@@ -1,0 +1,107 @@
+// Extension experiment (beyond the paper): localizing the onset of
+// pollution with a concept-drift detector. Icewafl injects noise into
+// the air-quality stream starting abruptly at a known event time; a
+// Page-Hinkley detector monitoring the absolute one-step-ahead residuals
+// of a seasonal-naive forecaster should fire shortly after the onset —
+// closing the loop between the pollution model (which *creates* drift)
+// and drift-adaptation tooling (which must *detect* it).
+
+#include <cstdio>
+
+#include "core/derived_error.h"
+#include "core/errors_numeric.h"
+#include "core/process.h"
+#include "data/airquality.h"
+#include "forecast/drift.h"
+#include "forecast/seasonal_naive.h"
+#include "scenarios/scenarios.h"
+
+namespace {
+
+using namespace icewafl;  // NOLINT
+
+constexpr int kRepetitions = 20;
+
+int Run() {
+  data::AirQualityOptions options;
+  options.hours = 24 * 120;  // 120 days
+  auto stream = data::GenerateAirQuality(options);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  const TupleVector& clean = stream.ValueOrDie();
+  // Pollution begins abruptly at day 60.
+  const Timestamp onset = clean.front().GetTimestamp().ValueOrDie() +
+                          60 * kSecondsPerDay;
+
+  std::printf("=== Extension: drift detection of pollution onset ===\n");
+  std::printf("stream: %zu hourly tuples; noise onset at t+%d days\n\n",
+              clean.size(), 60);
+
+  double total_delay = 0.0;
+  int detected = 0;
+  int false_alarms = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    // Abrupt-onset multiplicative noise on NO2 only.
+    PollutionPipeline pipeline("abrupt_noise");
+    pipeline.Add(std::make_unique<StandardPolluter>(
+        "noise_after_onset",
+        std::make_unique<DerivedTemporalError>(
+            std::make_unique<UniformNoiseError>(0.0, 0.8),
+            std::make_unique<AbruptProfile>(onset)),
+        std::make_unique<AlwaysCondition>(),
+        std::vector<std::string>{"NO2"}));
+    VectorSource source(clean.front().schema(), clean);
+    auto result = PollutionProcess::Pollute(
+        &source, std::move(pipeline), 7000 + static_cast<uint64_t>(rep),
+        /*enable_log=*/false);
+    if (!result.ok()) {
+      std::fprintf(stderr, "pollution failed\n");
+      return 1;
+    }
+    auto no2 =
+        data::ColumnAsDoubles(result.ValueOrDie().polluted, "NO2");
+    if (!no2.ok()) return 1;
+
+    forecast::SeasonalNaive model(24);
+    forecast::PageHinkley detector(/*delta=*/2.5, /*lambda=*/500.0,
+                                   /*min_observations=*/48);
+    Timestamp detected_at = -1;
+    for (size_t i = 0; i < no2.ValueOrDie().size(); ++i) {
+      const double y = no2.ValueOrDie()[i];
+      double residual = 0.0;
+      if (i >= 24) {
+        auto forecast_one = model.Forecast(1);
+        if (!forecast_one.ok()) return 1;
+        residual = std::abs(y - forecast_one.ValueOrDie()[0]);
+      }
+      const Timestamp now =
+          result.ValueOrDie().polluted[i].GetTimestamp().ValueOrDie();
+      if (detector.Update(residual) && detected_at < 0) {
+        detected_at = now;
+        if (now < onset) ++false_alarms;
+      }
+      model.LearnOne(y);
+    }
+    if (detected_at >= onset) {
+      ++detected;
+      total_delay += HoursBetween(onset, detected_at);
+    }
+  }
+
+  std::printf("runs with detection after the true onset: %d/%d\n", detected,
+              kRepetitions);
+  std::printf("false alarms before onset:                %d\n", false_alarms);
+  if (detected > 0) {
+    std::printf("mean detection delay:                     %.1f hours\n",
+                total_delay / detected);
+  }
+  std::printf("\nexpected shape: near-zero false alarms on 60 clean days,\n"
+              "detection within a few days of the onset.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

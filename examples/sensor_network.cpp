@@ -1,0 +1,122 @@
+// The paper's motivating scenario (Figure 1): a network of weather
+// sensors whose errors are *dependent*.
+//
+//   S1, S2  physical sensors in spatial proximity — a drifting cloud
+//           shades both at the same time (shared confounder),
+//   S4      a sensor further away — the same cloud reaches it with a
+//           one-hour delay,
+//   S3      a logical sensor deriving its value from S1 and S2 — it
+//           inherits their errors (error propagation).
+//
+// The example wires Icewafl into a streaming topology: a
+// PolluterOperator injects the correlated cloud errors, a MapOperator
+// derives S3 downstream (so the propagation is structural, not
+// simulated), and a windowed-aggregate condition implements the
+// "if Avg(Temp) > 20 then Weather = hot" rule from the figure.
+//
+// Run:  ./build/examples/sensor_network
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/errors_numeric.h"
+#include "core/polluter_operator.h"
+#include "stream/executor.h"
+
+using namespace icewafl;  // NOLINT
+
+int main() {
+  // --- The clean sensor network stream ---------------------------------
+  SchemaPtr schema =
+      Schema::Make({{"ts", ValueType::kInt64},
+                    {"S1", ValueType::kDouble},
+                    {"S2", ValueType::kDouble},
+                    {"S3", ValueType::kDouble},   // derived downstream
+                    {"S4", ValueType::kDouble},
+                    {"Weather", ValueType::kString}},
+                   "ts")
+          .ValueOrDie();
+  const Timestamp start = ParseTimestamp("2025-07-01 06:00:00").ValueOrDie();
+  TupleVector tuples;
+  Rng rng(2025);
+  for (int hour = 0; hour < 18; ++hour) {
+    // A warm day: temperatures climb toward mid-afternoon.
+    const double base =
+        16.0 + 10.0 * std::sin(M_PI * (hour + 2) / 20.0);
+    tuples.emplace_back(
+        schema,
+        std::vector<Value>{Value(start + hour * kSecondsPerHour),
+                           Value(base + rng.Gaussian(0.0, 0.3)),
+                           Value(base + rng.Gaussian(0.0, 0.3)),
+                           Value(0.0),  // S3 filled in downstream
+                           Value(base + rng.Gaussian(0.0, 0.3)),
+                           Value("")});
+  }
+
+  // --- Correlated cloud errors -----------------------------------------
+  // The cloud shades S1 and S2 from 11:00 to 13:59 and, drifting on,
+  // S4 from 12:00 to 14:59 (one hour later).
+  const Timestamp cloud_start = ParseTimestamp("2025-07-01 11:00:00").ValueOrDie();
+  const Timestamp cloud_end = ParseTimestamp("2025-07-01 14:00:00").ValueOrDie();
+  PollutionPipeline pipeline("cloud");
+  pipeline.Add(std::make_unique<StandardPolluter>(
+      "cloud_over_S1_S2", std::make_unique<OffsetError>(-6.0),
+      std::make_unique<TimeWindowCondition>(cloud_start, cloud_end),
+      std::vector<std::string>{"S1", "S2"}));
+  pipeline.Add(std::make_unique<StandardPolluter>(
+      "cloud_over_S4_delayed", std::make_unique<OffsetError>(-6.0),
+      std::make_unique<TimeWindowCondition>(cloud_start + kSecondsPerHour,
+                                            cloud_end + kSecondsPerHour),
+      std::vector<std::string>{"S4"}));
+
+  // --- The streaming topology ------------------------------------------
+  PollutionLog log;
+  PolluterOperator polluter(std::move(pipeline), /*seed=*/1,
+                            tuples.front().GetTimestamp().ValueOrDie(),
+                            tuples.back().GetTimestamp().ValueOrDie(), &log);
+  // Downstream of the polluter: S3 derives from the (possibly polluted)
+  // S1/S2 — errors propagate through the derivation — and the Weather
+  // label applies Figure 1's rule on the average temperature.
+  MapOperator derive([](Tuple t) -> Result<Tuple> {
+    ICEWAFL_ASSIGN_OR_RETURN(Value s1, t.Get("S1"));
+    ICEWAFL_ASSIGN_OR_RETURN(Value s2, t.Get("S2"));
+    const double avg =
+        (s1.ToDouble().ValueOrDie() + s2.ToDouble().ValueOrDie()) / 2.0;
+    ICEWAFL_RETURN_NOT_OK(t.Set("S3", Value(avg)));
+    ICEWAFL_RETURN_NOT_OK(t.Set("Weather", Value(avg > 20.0 ? "hot" : "cold")));
+    return t;
+  });
+
+  VectorSource source(schema, tuples);
+  VectorSink sink;
+  Status st = StreamExecutor::Run(&source, {&polluter, &derive}, &sink);
+  if (!st.ok()) {
+    std::fprintf(stderr, "topology failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- Show the dependent errors ---------------------------------------
+  std::printf("%-7s %-7s %-7s %-7s %-7s %-8s %s\n", "time", "S1", "S2",
+              "S3", "S4", "Weather", "cloud?");
+  for (const Tuple& t : sink.tuples()) {
+    const Timestamp ts = t.GetTimestamp().ValueOrDie();
+    bool shaded = false;
+    for (const PollutionLogEntry& e : log.entries()) {
+      if (e.tuple_id == t.id()) shaded = true;
+    }
+    std::printf("%-7s %-7.1f %-7.1f %-7.1f %-7.1f %-8s %s\n",
+                FormatTimestamp(ts).substr(11, 5).c_str(),
+                t.Get("S1").ValueOrDie().AsDouble(),
+                t.Get("S2").ValueOrDie().AsDouble(),
+                t.Get("S3").ValueOrDie().AsDouble(),
+                t.Get("S4").ValueOrDie().AsDouble(),
+                t.Get("Weather").ValueOrDie().AsString().c_str(),
+                shaded ? "<- polluted" : "");
+  }
+  std::printf(
+      "\nNote how S3 (derived from S1/S2) inherits the cloud error, and\n"
+      "S4 shows the same dip one hour later — the dependency structure\n"
+      "of Figure 1. During the cloud, the Weather rule misclassifies\n"
+      "'hot' hours as 'cold'.\n");
+  return 0;
+}

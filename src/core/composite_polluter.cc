@@ -1,0 +1,139 @@
+#include "core/composite_polluter.h"
+
+namespace icewafl {
+
+CompositePolluter::CompositePolluter(std::string label, ConditionPtr condition)
+    : Polluter(std::move(label)), condition_(std::move(condition)), rng_(0) {}
+
+void CompositePolluter::Register(PolluterPtr child) {
+  children_.push_back(std::move(child));
+}
+
+void CompositePolluter::Seed(Rng* parent) {
+  rng_ = parent->Fork();
+  for (const PolluterPtr& child : children_) child->Seed(&rng_);
+}
+
+void CompositePolluter::ResetStats() {
+  Polluter::ResetStats();
+  for (const PolluterPtr& child : children_) child->ResetStats();
+}
+
+Json CompositePolluter::ChildrenToJson() const {
+  Json arr = Json::MakeArray();
+  for (const PolluterPtr& child : children_) arr.Append(child->ToJson());
+  return arr;
+}
+
+std::vector<PolluterPtr> CompositePolluter::CloneChildren() const {
+  std::vector<PolluterPtr> clones;
+  clones.reserve(children_.size());
+  for (const PolluterPtr& child : children_) clones.push_back(child->Clone());
+  return clones;
+}
+
+SequentialPolluter::SequentialPolluter(std::string label,
+                                       ConditionPtr condition)
+    : CompositePolluter(std::move(label), std::move(condition)) {}
+
+Status SequentialPolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
+                                   PollutionLog* log) {
+  Rng* const outer_rng = ctx->rng;
+  ctx->rng = &rng_;
+  auto gate = condition_->Evaluate(*tuple, ctx);
+  ctx->rng = outer_rng;
+  if (!gate.ok()) return gate.status();
+  if (!gate.ValueOrDie()) return Status::OK();
+  ++applied_count_;
+  for (const PolluterPtr& child : children_) {
+    ICEWAFL_RETURN_NOT_OK(child->Pollute(tuple, ctx, log));
+  }
+  return Status::OK();
+}
+
+Json SequentialPolluter::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "sequential");
+  j.Set("label", label_);
+  j.Set("condition", condition_->ToJson());
+  j.Set("children", ChildrenToJson());
+  return j;
+}
+
+PolluterPtr SequentialPolluter::Clone() const {
+  auto clone =
+      std::make_unique<SequentialPolluter>(label_, condition_->Clone());
+  for (const PolluterPtr& child : children_) {
+    clone->Register(child->Clone());
+  }
+  return clone;
+}
+
+ExclusivePolluter::ExclusivePolluter(std::string label, ConditionPtr condition)
+    : CompositePolluter(std::move(label), std::move(condition)) {}
+
+void ExclusivePolluter::RegisterWeighted(PolluterPtr child, double weight) {
+  // Keep weights_ aligned with children_: pad any children registered via
+  // the unweighted Register() with weight 1.
+  while (weights_.size() < children_.size()) weights_.push_back(1.0);
+  children_.push_back(std::move(child));
+  weights_.push_back(weight);
+}
+
+Status ExclusivePolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
+                                  PollutionLog* log) {
+  if (children_.empty()) return Status::OK();
+  Rng* const outer_rng = ctx->rng;
+  ctx->rng = &rng_;
+  Status st = [&]() -> Status {
+    ICEWAFL_ASSIGN_OR_RETURN(bool fired, condition_->Evaluate(*tuple, ctx));
+    if (!fired) return Status::OK();
+    ++applied_count_;
+    // Weighted draw among children (unweighted children count as 1).
+    double total = 0.0;
+    for (size_t i = 0; i < children_.size(); ++i) {
+      total += i < weights_.size() ? weights_[i] : 1.0;
+    }
+    if (total <= 0.0) {
+      return Status::InvalidArgument("exclusive polluter '" + label_ +
+                                     "': total child weight must be > 0");
+    }
+    double pick = rng_.Uniform(0.0, total);
+    size_t chosen = children_.size() - 1;
+    for (size_t i = 0; i < children_.size(); ++i) {
+      pick -= i < weights_.size() ? weights_[i] : 1.0;
+      if (pick < 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    return children_[chosen]->Pollute(tuple, ctx, log);
+  }();
+  ctx->rng = outer_rng;
+  return st;
+}
+
+Json ExclusivePolluter::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "exclusive");
+  j.Set("label", label_);
+  j.Set("condition", condition_->ToJson());
+  j.Set("children", ChildrenToJson());
+  Json w = Json::MakeArray();
+  for (size_t i = 0; i < children_.size(); ++i) {
+    w.Append(Json(i < weights_.size() ? weights_[i] : 1.0));
+  }
+  j.Set("weights", std::move(w));
+  return j;
+}
+
+PolluterPtr ExclusivePolluter::Clone() const {
+  auto clone = std::make_unique<ExclusivePolluter>(label_, condition_->Clone());
+  for (size_t i = 0; i < children_.size(); ++i) {
+    clone->RegisterWeighted(children_[i]->Clone(),
+                            i < weights_.size() ? weights_[i] : 1.0);
+  }
+  return clone;
+}
+
+}  // namespace icewafl

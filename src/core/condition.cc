@@ -1,0 +1,450 @@
+#include "core/condition.h"
+
+#include <algorithm>
+
+namespace icewafl {
+
+Result<bool> AlwaysCondition::Evaluate(const Tuple&, PollutionContext*) {
+  return true;
+}
+
+Json AlwaysCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "always");
+  return j;
+}
+
+ConditionPtr AlwaysCondition::Clone() const {
+  return std::make_unique<AlwaysCondition>();
+}
+
+Result<bool> NeverCondition::Evaluate(const Tuple&, PollutionContext*) {
+  return false;
+}
+
+Json NeverCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "never");
+  return j;
+}
+
+ConditionPtr NeverCondition::Clone() const {
+  return std::make_unique<NeverCondition>();
+}
+
+RandomCondition::RandomCondition(double p)
+    : p_(std::min(1.0, std::max(0.0, p))) {}
+
+Result<bool> RandomCondition::Evaluate(const Tuple&, PollutionContext* ctx) {
+  if (ctx->rng == nullptr) {
+    return Status::Internal("random condition evaluated without RNG");
+  }
+  return ctx->rng->Bernoulli(p_);
+}
+
+Json RandomCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "random");
+  j.Set("p", p_);
+  return j;
+}
+
+ConditionPtr RandomCondition::Clone() const {
+  return std::make_unique<RandomCondition>(*this);
+}
+
+Result<CompareOp> ParseCompareOp(const std::string& text) {
+  if (text == "==") return CompareOp::kEq;
+  if (text == "!=") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  if (text == ">=") return CompareOp::kGe;
+  if (text == "is_null") return CompareOp::kIsNull;
+  if (text == "not_null") return CompareOp::kNotNull;
+  return Status::ParseError("unknown comparison operator: '" + text + "'");
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kIsNull:
+      return "is_null";
+    case CompareOp::kNotNull:
+      return "not_null";
+  }
+  return "?";
+}
+
+ValueCondition::ValueCondition(std::string attribute, CompareOp op,
+                               Value operand)
+    : attribute_(std::move(attribute)), op_(op), operand_(std::move(operand)) {}
+
+Result<bool> ValueCondition::Evaluate(const Tuple& tuple,
+                                      PollutionContext*) {
+  ICEWAFL_ASSIGN_OR_RETURN(Value v, tuple.Get(attribute_));
+  switch (op_) {
+    case CompareOp::kIsNull:
+      return v.is_null();
+    case CompareOp::kNotNull:
+      return !v.is_null();
+    default:
+      break;
+  }
+  // NULL compares false against everything (SQL-like semantics) except
+  // equality with an explicit NULL operand.
+  if (v.is_null() || operand_.is_null()) {
+    if (op_ == CompareOp::kEq) return v.is_null() && operand_.is_null();
+    if (op_ == CompareOp::kNe) return v.is_null() != operand_.is_null();
+    return false;
+  }
+  switch (op_) {
+    case CompareOp::kEq:
+      if (v.is_numeric() && operand_.is_numeric()) {
+        return v.ToDouble().ValueOrDie() == operand_.ToDouble().ValueOrDie();
+      }
+      return v == operand_;
+    case CompareOp::kNe:
+      if (v.is_numeric() && operand_.is_numeric()) {
+        return v.ToDouble().ValueOrDie() != operand_.ToDouble().ValueOrDie();
+      }
+      return !(v == operand_);
+    case CompareOp::kLt:
+      return v < operand_;
+    case CompareOp::kLe:
+      return !(operand_ < v);
+    case CompareOp::kGt:
+      return operand_ < v;
+    case CompareOp::kGe:
+      return !(v < operand_);
+    default:
+      return Status::Internal("unhandled comparison operator");
+  }
+}
+
+Json ValueCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "value");
+  j.Set("attribute", attribute_);
+  j.Set("op", CompareOpName(op_));
+  switch (operand_.type()) {
+    case ValueType::kNull:
+      j.Set("operand", Json());
+      break;
+    case ValueType::kBool:
+      j.Set("operand", Json(operand_.AsBool()));
+      break;
+    case ValueType::kInt64:
+      j.Set("operand", Json(operand_.AsInt64()));
+      j.Set("operand_type", "int64");
+      break;
+    case ValueType::kDouble:
+      j.Set("operand", Json(operand_.AsDouble()));
+      break;
+    case ValueType::kString:
+      j.Set("operand", Json(operand_.AsString()));
+      break;
+  }
+  return j;
+}
+
+ConditionPtr ValueCondition::Clone() const {
+  return std::make_unique<ValueCondition>(*this);
+}
+
+TimeWindowCondition::TimeWindowCondition(Timestamp start, Timestamp end)
+    : start_(start), end_(end) {}
+
+ConditionPtr TimeWindowCondition::After(Timestamp start) {
+  return std::make_unique<TimeWindowCondition>(start, INT64_MAX);
+}
+
+Result<bool> TimeWindowCondition::Evaluate(const Tuple&,
+                                           PollutionContext* ctx) {
+  return ctx->tau >= start_ && ctx->tau < end_;
+}
+
+Json TimeWindowCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "time_window");
+  // Open bounds are omitted: INT64_MIN/MAX do not survive the JSON
+  // double representation, and the config loader defaults absent bounds
+  // to fully open anyway.
+  if (start_ != INT64_MIN) j.Set("start", static_cast<int64_t>(start_));
+  if (end_ != INT64_MAX) j.Set("end", static_cast<int64_t>(end_));
+  return j;
+}
+
+ConditionPtr TimeWindowCondition::Clone() const {
+  return std::make_unique<TimeWindowCondition>(*this);
+}
+
+DailyWindowCondition::DailyWindowCondition(int start_minute, int end_minute)
+    : start_minute_(start_minute), end_minute_(end_minute) {}
+
+Result<bool> DailyWindowCondition::Evaluate(const Tuple&,
+                                            PollutionContext* ctx) {
+  const int minute = MinuteOfDay(ctx->tau);
+  if (start_minute_ <= end_minute_) {
+    return minute >= start_minute_ && minute <= end_minute_;
+  }
+  // Window wrapping midnight, e.g. 23:00-01:00.
+  return minute >= start_minute_ || minute <= end_minute_;
+}
+
+Json DailyWindowCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "daily_window");
+  j.Set("start_minute", start_minute_);
+  j.Set("end_minute", end_minute_);
+  return j;
+}
+
+ConditionPtr DailyWindowCondition::Clone() const {
+  return std::make_unique<DailyWindowCondition>(*this);
+}
+
+ProfileProbabilityCondition::ProfileProbabilityCondition(
+    TimeProfilePtr profile)
+    : profile_(std::move(profile)) {}
+
+Result<bool> ProfileProbabilityCondition::Evaluate(const Tuple&,
+                                                   PollutionContext* ctx) {
+  if (ctx->rng == nullptr) {
+    return Status::Internal("profile condition evaluated without RNG");
+  }
+  return ctx->rng->Bernoulli(profile_->Evaluate(*ctx));
+}
+
+Json ProfileProbabilityCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "profile_probability");
+  j.Set("profile", profile_->ToJson());
+  return j;
+}
+
+ConditionPtr ProfileProbabilityCondition::Clone() const {
+  return std::make_unique<ProfileProbabilityCondition>(profile_->Clone());
+}
+
+AndCondition::AndCondition(std::vector<ConditionPtr> children)
+    : children_(std::move(children)) {}
+
+Result<bool> AndCondition::Evaluate(const Tuple& tuple,
+                                    PollutionContext* ctx) {
+  for (const ConditionPtr& child : children_) {
+    ICEWAFL_ASSIGN_OR_RETURN(bool fired, child->Evaluate(tuple, ctx));
+    if (!fired) return false;
+  }
+  return true;
+}
+
+Json AndCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "and");
+  Json arr = Json::MakeArray();
+  for (const ConditionPtr& c : children_) arr.Append(c->ToJson());
+  j.Set("children", std::move(arr));
+  return j;
+}
+
+ConditionPtr AndCondition::Clone() const {
+  std::vector<ConditionPtr> clones;
+  clones.reserve(children_.size());
+  for (const ConditionPtr& c : children_) clones.push_back(c->Clone());
+  return std::make_unique<AndCondition>(std::move(clones));
+}
+
+OrCondition::OrCondition(std::vector<ConditionPtr> children)
+    : children_(std::move(children)) {}
+
+Result<bool> OrCondition::Evaluate(const Tuple& tuple, PollutionContext* ctx) {
+  for (const ConditionPtr& child : children_) {
+    ICEWAFL_ASSIGN_OR_RETURN(bool fired, child->Evaluate(tuple, ctx));
+    if (fired) return true;
+  }
+  return false;
+}
+
+Json OrCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "or");
+  Json arr = Json::MakeArray();
+  for (const ConditionPtr& c : children_) arr.Append(c->ToJson());
+  j.Set("children", std::move(arr));
+  return j;
+}
+
+ConditionPtr OrCondition::Clone() const {
+  std::vector<ConditionPtr> clones;
+  clones.reserve(children_.size());
+  for (const ConditionPtr& c : children_) clones.push_back(c->Clone());
+  return std::make_unique<OrCondition>(std::move(clones));
+}
+
+Result<WindowAgg> ParseWindowAgg(const std::string& text) {
+  if (text == "mean") return WindowAgg::kMean;
+  if (text == "min") return WindowAgg::kMin;
+  if (text == "max") return WindowAgg::kMax;
+  if (text == "sum") return WindowAgg::kSum;
+  if (text == "count") return WindowAgg::kCount;
+  return Status::ParseError("unknown window aggregate: '" + text + "'");
+}
+
+const char* WindowAggName(WindowAgg agg) {
+  switch (agg) {
+    case WindowAgg::kMean:
+      return "mean";
+    case WindowAgg::kMin:
+      return "min";
+    case WindowAgg::kMax:
+      return "max";
+    case WindowAgg::kSum:
+      return "sum";
+    case WindowAgg::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+WindowAggregateCondition::WindowAggregateCondition(std::string attribute,
+                                                   int64_t window_seconds,
+                                                   WindowAgg agg, CompareOp op,
+                                                   double threshold)
+    : attribute_(std::move(attribute)),
+      window_seconds_(window_seconds),
+      agg_(agg),
+      op_(op),
+      threshold_(threshold) {}
+
+Result<bool> WindowAggregateCondition::Evaluate(const Tuple& tuple,
+                                                PollutionContext* ctx) {
+  // Ingest the current tuple's value into the window.
+  ICEWAFL_ASSIGN_OR_RETURN(Value v, tuple.Get(attribute_));
+  if (!v.is_null() && v.is_numeric()) {
+    const double x = v.ToDouble().ValueOrDie();
+    window_.emplace_back(ctx->tau, x);
+    sum_ += x;
+  }
+  // Evict everything outside the half-open trailing window
+  // (tau - window_seconds, tau].
+  const Timestamp cutoff = ctx->tau - window_seconds_;
+  while (!window_.empty() && window_.front().first <= cutoff) {
+    sum_ -= window_.front().second;
+    window_.pop_front();
+  }
+
+  double aggregate = 0.0;
+  switch (agg_) {
+    case WindowAgg::kCount:
+      aggregate = static_cast<double>(window_.size());
+      break;
+    case WindowAgg::kSum:
+      aggregate = sum_;
+      break;
+    case WindowAgg::kMean:
+      if (window_.empty()) return false;
+      aggregate = sum_ / static_cast<double>(window_.size());
+      break;
+    case WindowAgg::kMin:
+    case WindowAgg::kMax: {
+      if (window_.empty()) return false;
+      aggregate = window_.front().second;
+      for (const auto& [ts, value] : window_) {
+        aggregate = agg_ == WindowAgg::kMin ? std::min(aggregate, value)
+                                            : std::max(aggregate, value);
+      }
+      break;
+    }
+  }
+
+  switch (op_) {
+    case CompareOp::kEq:
+      return aggregate == threshold_;
+    case CompareOp::kNe:
+      return aggregate != threshold_;
+    case CompareOp::kLt:
+      return aggregate < threshold_;
+    case CompareOp::kLe:
+      return aggregate <= threshold_;
+    case CompareOp::kGt:
+      return aggregate > threshold_;
+    case CompareOp::kGe:
+      return aggregate >= threshold_;
+    default:
+      return Status::InvalidArgument(
+          "window_aggregate does not support null comparison operators");
+  }
+}
+
+Json WindowAggregateCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "window_aggregate");
+  j.Set("attribute", attribute_);
+  j.Set("window_seconds", window_seconds_);
+  j.Set("agg", WindowAggName(agg_));
+  j.Set("op", CompareOpName(op_));
+  j.Set("threshold", threshold_);
+  return j;
+}
+
+ConditionPtr WindowAggregateCondition::Clone() const {
+  // Fresh clones start with an empty window.
+  return std::make_unique<WindowAggregateCondition>(
+      attribute_, window_seconds_, agg_, op_, threshold_);
+}
+
+HoldCondition::HoldCondition(ConditionPtr inner, int64_t hold_seconds)
+    : inner_(std::move(inner)), hold_seconds_(hold_seconds) {}
+
+Result<bool> HoldCondition::Evaluate(const Tuple& tuple,
+                                     PollutionContext* ctx) {
+  if (ctx->tau < hold_until_) return true;
+  ICEWAFL_ASSIGN_OR_RETURN(bool fired, inner_->Evaluate(tuple, ctx));
+  if (fired) hold_until_ = ctx->tau + hold_seconds_;
+  return fired;
+}
+
+Json HoldCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "hold");
+  j.Set("hold_seconds", hold_seconds_);
+  j.Set("inner", inner_->ToJson());
+  return j;
+}
+
+ConditionPtr HoldCondition::Clone() const {
+  // Fresh clones start without an active hold.
+  return std::make_unique<HoldCondition>(inner_->Clone(), hold_seconds_);
+}
+
+NotCondition::NotCondition(ConditionPtr child) : child_(std::move(child)) {}
+
+Result<bool> NotCondition::Evaluate(const Tuple& tuple, PollutionContext* ctx) {
+  ICEWAFL_ASSIGN_OR_RETURN(bool fired, child_->Evaluate(tuple, ctx));
+  return !fired;
+}
+
+Json NotCondition::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "not");
+  j.Set("child", child_->ToJson());
+  return j;
+}
+
+ConditionPtr NotCondition::Clone() const {
+  return std::make_unique<NotCondition>(child_->Clone());
+}
+
+}  // namespace icewafl

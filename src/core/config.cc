@@ -1,0 +1,420 @@
+#include "core/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/composite_polluter.h"
+#include "core/derived_error.h"
+#include "core/errors_numeric.h"
+#include "core/errors_temporal.h"
+#include "core/errors_value.h"
+#include "util/time_util.h"
+
+namespace icewafl {
+
+namespace {
+
+/// Reads a timestamp field that is either an epoch-second number or a
+/// calendar string; `fallback` is returned when the key is absent.
+Result<Timestamp> GetTimestampField(const Json& json, const std::string& key,
+                                    Timestamp fallback) {
+  if (!json.Has(key)) return fallback;
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  if (field.is_number()) return field.AsInt64();
+  if (field.is_string()) return ParseTimestamp(field.AsString());
+  return Status::TypeError("field '" + key +
+                           "' must be a number or timestamp string");
+}
+
+/// Reads a Value field; "<key>_type": "int64" forces integer values.
+Result<Value> GetValueField(const Json& json, const std::string& key) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  switch (field.type()) {
+    case Json::Type::kNull:
+      return Value::Null();
+    case Json::Type::kBool:
+      return Value(field.AsBool());
+    case Json::Type::kNumber:
+      if (json.GetString(key + "_type", "") == "int64") {
+        return Value(field.AsInt64());
+      }
+      return Value(field.AsDouble());
+    case Json::Type::kString:
+      return Value(field.AsString());
+    default:
+      return Status::TypeError("field '" + key + "' must be a scalar");
+  }
+}
+
+Result<double> RequireDouble(const Json& json, const std::string& key) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  if (!field.is_number()) {
+    return Status::TypeError("field '" + key + "' must be a number");
+  }
+  return field.AsDouble();
+}
+
+Result<std::string> RequireString(const Json& json, const std::string& key) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  if (!field.is_string()) {
+    return Status::TypeError("field '" + key + "' must be a string");
+  }
+  return field.AsString();
+}
+
+}  // namespace
+
+Result<TimeProfilePtr> TimeProfileFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("profile description must be a JSON object");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(std::string type, RequireString(json, "type"));
+  if (type == "constant") {
+    ICEWAFL_ASSIGN_OR_RETURN(double value, RequireDouble(json, "value"));
+    return TimeProfilePtr(std::make_unique<ConstantProfile>(value));
+  }
+  if (type == "abrupt") {
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp change,
+                             GetTimestampField(json, "change_time", 0));
+    return TimeProfilePtr(std::make_unique<AbruptProfile>(
+        change, json.GetDouble("before", 0.0), json.GetDouble("after", 1.0)));
+  }
+  if (type == "incremental") {
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp start,
+                             GetTimestampField(json, "ramp_start", 0));
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp end,
+                             GetTimestampField(json, "ramp_end", 0));
+    return TimeProfilePtr(std::make_unique<IncrementalProfile>(
+        start, end, json.GetDouble("from", 0.0), json.GetDouble("to", 1.0)));
+  }
+  if (type == "intermediate") {
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp start,
+                             GetTimestampField(json, "ramp_start", 0));
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp end,
+                             GetTimestampField(json, "ramp_end", 0));
+    return TimeProfilePtr(std::make_unique<IntermediateProfile>(
+        start, end, json.GetDouble("before", 0.0),
+        json.GetDouble("after", 1.0)));
+  }
+  if (type == "sinusoidal") {
+    return TimeProfilePtr(std::make_unique<SinusoidalProfile>(
+        json.GetDouble("period_hours", 24.0), json.GetDouble("amplitude", 0.5),
+        json.GetDouble("offset", 0.5), json.GetDouble("phase", 0.0)));
+  }
+  if (type == "stream_ramp") {
+    return TimeProfilePtr(
+        std::make_unique<StreamRampProfile>(json.GetDouble("scale", 1.0)));
+  }
+  if (type == "reoccurring") {
+    return TimeProfilePtr(std::make_unique<ReoccurringProfile>(
+        json.GetDouble("period_hours", 24.0), json.GetDouble("low", 0.0),
+        json.GetDouble("high", 1.0), json.GetDouble("duty_cycle", 0.5)));
+  }
+  if (type == "spike") {
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp center,
+                             GetTimestampField(json, "center", 0));
+    return TimeProfilePtr(std::make_unique<SpikeProfile>(
+        center, json.GetInt("width_seconds", 1),
+        json.GetDouble("peak", 1.0)));
+  }
+  return Status::ParseError("unknown profile type: '" + type + "'");
+}
+
+Result<ErrorFunctionPtr> ErrorFunctionFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("error description must be a JSON object");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(std::string type, RequireString(json, "type"));
+  if (type == "gaussian_noise") {
+    ICEWAFL_ASSIGN_OR_RETURN(double stddev, RequireDouble(json, "stddev"));
+    return ErrorFunctionPtr(std::make_unique<GaussianNoiseError>(
+        stddev, json.GetBool("multiplicative", false)));
+  }
+  if (type == "uniform_noise") {
+    ICEWAFL_ASSIGN_OR_RETURN(double lo, RequireDouble(json, "lo"));
+    ICEWAFL_ASSIGN_OR_RETURN(double hi, RequireDouble(json, "hi"));
+    return ErrorFunctionPtr(std::make_unique<UniformNoiseError>(lo, hi));
+  }
+  if (type == "scale") {
+    ICEWAFL_ASSIGN_OR_RETURN(double factor, RequireDouble(json, "factor"));
+    return ErrorFunctionPtr(std::make_unique<ScaleError>(factor));
+  }
+  if (type == "offset") {
+    ICEWAFL_ASSIGN_OR_RETURN(double delta, RequireDouble(json, "delta"));
+    return ErrorFunctionPtr(std::make_unique<OffsetError>(delta));
+  }
+  if (type == "round") {
+    return ErrorFunctionPtr(std::make_unique<RoundError>(
+        static_cast<int>(json.GetInt("precision", 0))));
+  }
+  if (type == "unit_conversion") {
+    ICEWAFL_ASSIGN_OR_RETURN(double factor, RequireDouble(json, "factor"));
+    return ErrorFunctionPtr(std::make_unique<UnitConversionError>(
+        factor, json.GetString("from_unit", ""), json.GetString("to_unit", "")));
+  }
+  if (type == "outlier") {
+    ICEWAFL_ASSIGN_OR_RETURN(double lo, RequireDouble(json, "min_factor"));
+    ICEWAFL_ASSIGN_OR_RETURN(double hi, RequireDouble(json, "max_factor"));
+    return ErrorFunctionPtr(std::make_unique<OutlierError>(lo, hi));
+  }
+  if (type == "missing_value") {
+    return ErrorFunctionPtr(std::make_unique<MissingValueError>());
+  }
+  if (type == "set_constant") {
+    ICEWAFL_ASSIGN_OR_RETURN(Value value, GetValueField(json, "value"));
+    return ErrorFunctionPtr(
+        std::make_unique<SetConstantError>(std::move(value)));
+  }
+  if (type == "incorrect_category") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json cats, json.Get("categories"));
+    if (!cats.is_array()) {
+      return Status::TypeError("'categories' must be an array of strings");
+    }
+    std::vector<std::string> categories;
+    for (const Json& c : cats.items()) {
+      if (!c.is_string()) {
+        return Status::TypeError("'categories' must contain only strings");
+      }
+      categories.push_back(c.AsString());
+    }
+    return ErrorFunctionPtr(
+        std::make_unique<IncorrectCategoryError>(std::move(categories)));
+  }
+  if (type == "typo") {
+    return ErrorFunctionPtr(std::make_unique<TypoError>());
+  }
+  if (type == "digit_swap") {
+    return ErrorFunctionPtr(std::make_unique<DigitSwapError>());
+  }
+  if (type == "sign_flip") {
+    return ErrorFunctionPtr(std::make_unique<SignFlipError>());
+  }
+  if (type == "case") {
+    return ErrorFunctionPtr(
+        std::make_unique<CaseError>(json.GetDouble("flip_probability", 0.5)));
+  }
+  if (type == "truncate") {
+    return ErrorFunctionPtr(std::make_unique<TruncateError>(
+        static_cast<size_t>(json.GetInt("max_length", 0))));
+  }
+  if (type == "swap_attributes") {
+    return ErrorFunctionPtr(std::make_unique<SwapAttributesError>());
+  }
+  if (type == "delay") {
+    return ErrorFunctionPtr(
+        std::make_unique<DelayError>(json.GetInt("delay_seconds", 0)));
+  }
+  if (type == "frozen_value") {
+    return ErrorFunctionPtr(
+        std::make_unique<FrozenValueError>(json.GetInt("hold_seconds", 0)));
+  }
+  if (type == "timestamp_shift") {
+    return ErrorFunctionPtr(
+        std::make_unique<TimestampShiftError>(json.GetInt("shift_seconds", 0)));
+  }
+  if (type == "timestamp_jitter") {
+    return ErrorFunctionPtr(std::make_unique<TimestampJitterError>(
+        json.GetInt("max_jitter_seconds", 0)));
+  }
+  if (type == "derived") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json base_json, json.Get("base"));
+    ICEWAFL_ASSIGN_OR_RETURN(Json profile_json, json.Get("profile"));
+    ICEWAFL_ASSIGN_OR_RETURN(ErrorFunctionPtr base,
+                             ErrorFunctionFromJson(base_json));
+    ICEWAFL_ASSIGN_OR_RETURN(TimeProfilePtr profile,
+                             TimeProfileFromJson(profile_json));
+    return ErrorFunctionPtr(std::make_unique<DerivedTemporalError>(
+        std::move(base), std::move(profile)));
+  }
+  return Status::ParseError("unknown error type: '" + type + "'");
+}
+
+Result<ConditionPtr> ConditionFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("condition description must be a JSON object");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(std::string type, RequireString(json, "type"));
+  if (type == "always") return ConditionPtr(std::make_unique<AlwaysCondition>());
+  if (type == "never") return ConditionPtr(std::make_unique<NeverCondition>());
+  if (type == "random") {
+    ICEWAFL_ASSIGN_OR_RETURN(double p, RequireDouble(json, "p"));
+    return ConditionPtr(std::make_unique<RandomCondition>(p));
+  }
+  if (type == "value") {
+    ICEWAFL_ASSIGN_OR_RETURN(std::string attr,
+                             RequireString(json, "attribute"));
+    ICEWAFL_ASSIGN_OR_RETURN(std::string op_text, RequireString(json, "op"));
+    ICEWAFL_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp(op_text));
+    Value operand;
+    if (json.Has("operand")) {
+      ICEWAFL_ASSIGN_OR_RETURN(operand, GetValueField(json, "operand"));
+    }
+    return ConditionPtr(std::make_unique<ValueCondition>(
+        std::move(attr), op, std::move(operand)));
+  }
+  if (type == "time_window") {
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp start,
+                             GetTimestampField(json, "start", INT64_MIN));
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp end,
+                             GetTimestampField(json, "end", INT64_MAX));
+    return ConditionPtr(std::make_unique<TimeWindowCondition>(start, end));
+  }
+  if (type == "daily_window") {
+    return ConditionPtr(std::make_unique<DailyWindowCondition>(
+        static_cast<int>(json.GetInt("start_minute", 0)),
+        static_cast<int>(json.GetInt("end_minute", 1439))));
+  }
+  if (type == "profile_probability") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json profile_json, json.Get("profile"));
+    ICEWAFL_ASSIGN_OR_RETURN(TimeProfilePtr profile,
+                             TimeProfileFromJson(profile_json));
+    return ConditionPtr(
+        std::make_unique<ProfileProbabilityCondition>(std::move(profile)));
+  }
+  if (type == "and" || type == "or") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json children_json, json.Get("children"));
+    if (!children_json.is_array()) {
+      return Status::TypeError("'children' must be an array");
+    }
+    std::vector<ConditionPtr> children;
+    for (const Json& c : children_json.items()) {
+      ICEWAFL_ASSIGN_OR_RETURN(ConditionPtr child, ConditionFromJson(c));
+      children.push_back(std::move(child));
+    }
+    if (type == "and") {
+      return ConditionPtr(std::make_unique<AndCondition>(std::move(children)));
+    }
+    return ConditionPtr(std::make_unique<OrCondition>(std::move(children)));
+  }
+  if (type == "not") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json child_json, json.Get("child"));
+    ICEWAFL_ASSIGN_OR_RETURN(ConditionPtr child, ConditionFromJson(child_json));
+    return ConditionPtr(std::make_unique<NotCondition>(std::move(child)));
+  }
+  if (type == "window_aggregate") {
+    ICEWAFL_ASSIGN_OR_RETURN(std::string attr,
+                             RequireString(json, "attribute"));
+    ICEWAFL_ASSIGN_OR_RETURN(std::string agg_text,
+                             RequireString(json, "agg"));
+    ICEWAFL_ASSIGN_OR_RETURN(WindowAgg agg, ParseWindowAgg(agg_text));
+    ICEWAFL_ASSIGN_OR_RETURN(std::string op_text, RequireString(json, "op"));
+    ICEWAFL_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp(op_text));
+    ICEWAFL_ASSIGN_OR_RETURN(double threshold,
+                             RequireDouble(json, "threshold"));
+    return ConditionPtr(std::make_unique<WindowAggregateCondition>(
+        std::move(attr), json.GetInt("window_seconds", 0), agg, op,
+        threshold));
+  }
+  if (type == "hold") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json inner_json, json.Get("inner"));
+    ICEWAFL_ASSIGN_OR_RETURN(ConditionPtr inner, ConditionFromJson(inner_json));
+    return ConditionPtr(std::make_unique<HoldCondition>(
+        std::move(inner), json.GetInt("hold_seconds", 0)));
+  }
+  return Status::ParseError("unknown condition type: '" + type + "'");
+}
+
+Result<PolluterPtr> PolluterFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("polluter description must be a JSON object");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(std::string type, RequireString(json, "type"));
+  const std::string label = json.GetString("label", type);
+  if (type == "standard") {
+    ICEWAFL_ASSIGN_OR_RETURN(Json error_json, json.Get("error"));
+    ICEWAFL_ASSIGN_OR_RETURN(ErrorFunctionPtr error,
+                             ErrorFunctionFromJson(error_json));
+    ConditionPtr condition = std::make_unique<AlwaysCondition>();
+    if (json.Has("condition")) {
+      ICEWAFL_ASSIGN_OR_RETURN(Json cond_json, json.Get("condition"));
+      ICEWAFL_ASSIGN_OR_RETURN(condition, ConditionFromJson(cond_json));
+    }
+    std::vector<std::string> attributes;
+    if (json.Has("attributes")) {
+      ICEWAFL_ASSIGN_OR_RETURN(Json attrs, json.Get("attributes"));
+      if (!attrs.is_array()) {
+        return Status::TypeError("'attributes' must be an array");
+      }
+      for (const Json& a : attrs.items()) {
+        if (!a.is_string()) {
+          return Status::TypeError("'attributes' must contain only strings");
+        }
+        attributes.push_back(a.AsString());
+      }
+    }
+    return PolluterPtr(std::make_unique<StandardPolluter>(
+        label, std::move(error), std::move(condition), std::move(attributes)));
+  }
+  if (type == "sequential" || type == "exclusive") {
+    ConditionPtr condition = std::make_unique<AlwaysCondition>();
+    if (json.Has("condition")) {
+      ICEWAFL_ASSIGN_OR_RETURN(Json cond_json, json.Get("condition"));
+      ICEWAFL_ASSIGN_OR_RETURN(condition, ConditionFromJson(cond_json));
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(Json children_json, json.Get("children"));
+    if (!children_json.is_array()) {
+      return Status::TypeError("'children' must be an array");
+    }
+    if (type == "sequential") {
+      auto composite =
+          std::make_unique<SequentialPolluter>(label, std::move(condition));
+      for (const Json& c : children_json.items()) {
+        ICEWAFL_ASSIGN_OR_RETURN(PolluterPtr child, PolluterFromJson(c));
+        composite->Register(std::move(child));
+      }
+      return PolluterPtr(std::move(composite));
+    }
+    auto composite =
+        std::make_unique<ExclusivePolluter>(label, std::move(condition));
+    std::vector<double> weights;
+    if (json.Has("weights")) {
+      ICEWAFL_ASSIGN_OR_RETURN(Json w, json.Get("weights"));
+      for (const Json& x : w.items()) {
+        if (!x.is_number()) {
+          return Status::TypeError("'weights' must contain only numbers");
+        }
+        weights.push_back(x.AsDouble());
+      }
+    }
+    size_t i = 0;
+    for (const Json& c : children_json.items()) {
+      ICEWAFL_ASSIGN_OR_RETURN(PolluterPtr child, PolluterFromJson(c));
+      composite->RegisterWeighted(std::move(child),
+                                  i < weights.size() ? weights[i] : 1.0);
+      ++i;
+    }
+    return PolluterPtr(std::move(composite));
+  }
+  return Status::ParseError("unknown polluter type: '" + type + "'");
+}
+
+Result<PollutionPipeline> PipelineFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("pipeline description must be a JSON object");
+  }
+  PollutionPipeline pipeline(json.GetString("name", "pipeline"));
+  ICEWAFL_ASSIGN_OR_RETURN(Json polluters, json.Get("polluters"));
+  if (!polluters.is_array()) {
+    return Status::TypeError("'polluters' must be an array");
+  }
+  for (const Json& p : polluters.items()) {
+    ICEWAFL_ASSIGN_OR_RETURN(PolluterPtr polluter, PolluterFromJson(p));
+    pipeline.Add(std::move(polluter));
+  }
+  return pipeline;
+}
+
+Result<PollutionPipeline> PipelineFromConfigString(const std::string& text) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return PipelineFromJson(json);
+}
+
+Result<PollutionPipeline> PipelineFromConfigFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open config file: '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return PipelineFromConfigString(buf.str());
+}
+
+}  // namespace icewafl

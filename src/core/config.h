@@ -1,0 +1,58 @@
+#ifndef ICEWAFL_CORE_CONFIG_H_
+#define ICEWAFL_CORE_CONFIG_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "util/json.h"
+
+namespace icewafl {
+
+/// \file
+/// Declarative configuration of pollution pipelines (Figure 2: the error
+/// configuration is an input to the pollution process). The JSON forms
+/// accepted here are exactly what the components' ToJson() methods emit,
+/// so pipelines round-trip: Build -> ToJson -> *FromJson -> Build.
+///
+/// Example:
+/// \code{.json}
+/// {
+///   "name": "software_update",
+///   "polluters": [
+///     {"type": "standard", "label": "km_to_cm",
+///      "attributes": ["Distance"],
+///      "condition": {"type": "time_window",
+///                    "start": "2016-02-27 00:00:00"},
+///      "error": {"type": "unit_conversion", "factor": 100000,
+///                "from_unit": "km", "to_unit": "cm"}}
+///   ]
+/// }
+/// \endcode
+///
+/// Timestamps in conditions/profiles may be given either as epoch-second
+/// numbers or as "YYYY-MM-DD[ HH:MM:SS]" strings.
+
+/// \brief Builds a change pattern from its JSON description.
+Result<TimeProfilePtr> TimeProfileFromJson(const Json& json);
+
+/// \brief Builds an error function from its JSON description.
+Result<ErrorFunctionPtr> ErrorFunctionFromJson(const Json& json);
+
+/// \brief Builds a condition from its JSON description.
+Result<ConditionPtr> ConditionFromJson(const Json& json);
+
+/// \brief Builds a (possibly composite) polluter from its JSON description.
+Result<PolluterPtr> PolluterFromJson(const Json& json);
+
+/// \brief Builds a whole pipeline from {"name": ..., "polluters": [...]}.
+Result<PollutionPipeline> PipelineFromJson(const Json& json);
+
+/// \brief Parses JSON text and builds the pipeline.
+Result<PollutionPipeline> PipelineFromConfigString(const std::string& text);
+
+/// \brief Reads a JSON config file and builds the pipeline.
+Result<PollutionPipeline> PipelineFromConfigFile(const std::string& path);
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_CONFIG_H_

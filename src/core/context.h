@@ -1,0 +1,42 @@
+#ifndef ICEWAFL_CORE_CONTEXT_H_
+#define ICEWAFL_CORE_CONTEXT_H_
+
+#include "util/rng.h"
+#include "util/time_util.h"
+
+namespace icewafl {
+
+/// \brief Per-tuple evaluation context handed to conditions and error
+/// functions.
+///
+/// Captures the temporal arguments of the pollution model (Section 2.2):
+/// the event time tau of the current tuple plus the stream bounds tau_0 /
+/// tau_n needed by stream-relative profiles (Equations 3 and 4 of the
+/// paper). `severity` in [0, 1] is set by derived temporal errors to
+/// modulate an otherwise static error over time (Figure 3, right);
+/// standalone static errors run at severity 1.
+struct PollutionContext {
+  /// Event time tau of the current tuple (the immutable replica assigned
+  /// in the preparation step, not the possibly polluted timestamp).
+  Timestamp tau = 0;
+
+  /// Event time of the first tuple of the stream (tau_0).
+  Timestamp stream_start = 0;
+
+  /// Event time of the last tuple (tau_n). For unbounded streams where it
+  /// is unknown, equals stream_start; stream-relative profiles then
+  /// evaluate to 0.
+  Timestamp stream_end = 0;
+
+  /// Severity multiplier in [0, 1] applied by change patterns.
+  double severity = 1.0;
+
+  /// Random source of the currently executing polluter. Each polluter
+  /// owns an independently forked generator so that pipeline composition
+  /// does not perturb sibling draws (reproducibility, Section 2.3).
+  Rng* rng = nullptr;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_CONTEXT_H_

@@ -1,0 +1,41 @@
+#include "core/derived_error.h"
+
+namespace icewafl {
+
+DerivedTemporalError::DerivedTemporalError(ErrorFunctionPtr base,
+                                           TimeProfilePtr profile)
+    : base_(std::move(base)), profile_(std::move(profile)) {}
+
+Status DerivedTemporalError::Apply(Tuple* tuple,
+                                   const std::vector<size_t>& attrs,
+                                   PollutionContext* ctx) {
+  const double outer = ctx->severity;
+  ctx->severity = outer * profile_->Evaluate(*ctx);
+  Status st = base_->Apply(tuple, attrs, ctx);
+  ctx->severity = outer;
+  return st;
+}
+
+Status DerivedTemporalError::Observe(const Tuple& tuple,
+                                     const std::vector<size_t>& attrs) {
+  return base_->Observe(tuple, attrs);
+}
+
+std::string DerivedTemporalError::name() const {
+  return base_->name() + "@" + profile_->name();
+}
+
+Json DerivedTemporalError::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "derived");
+  j.Set("base", base_->ToJson());
+  j.Set("profile", profile_->ToJson());
+  return j;
+}
+
+ErrorFunctionPtr DerivedTemporalError::Clone() const {
+  return std::make_unique<DerivedTemporalError>(base_->Clone(),
+                                                profile_->Clone());
+}
+
+}  // namespace icewafl

@@ -1,0 +1,43 @@
+#ifndef ICEWAFL_CORE_DERIVED_ERROR_H_
+#define ICEWAFL_CORE_DERIVED_ERROR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/error_function.h"
+#include "core/time_profile.h"
+
+namespace icewafl {
+
+/// \brief Derived temporal error: a static error combined with a change
+/// pattern (Figure 3, right).
+///
+/// On each application the wrapped profile is evaluated at the tuple's
+/// event time and installed as `ctx.severity` (multiplied with any outer
+/// severity, so derived errors nest), then the static error runs.
+/// Continuous errors scale their magnitude with severity (e.g. noise
+/// stddev grows over an incremental ramp); discrete errors use it as an
+/// application probability (e.g. missing values become more frequent).
+class DerivedTemporalError : public ErrorFunction {
+ public:
+  DerivedTemporalError(ErrorFunctionPtr base, TimeProfilePtr profile);
+
+  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+               PollutionContext* ctx) override;
+  Status Observe(const Tuple& tuple,
+                 const std::vector<size_t>& attrs) override;
+  std::string name() const override;
+  Json ToJson() const override;
+  ErrorFunctionPtr Clone() const override;
+
+  const ErrorFunction& base() const { return *base_; }
+  const TimeProfile& profile() const { return *profile_; }
+
+ private:
+  ErrorFunctionPtr base_;
+  TimeProfilePtr profile_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_DERIVED_ERROR_H_

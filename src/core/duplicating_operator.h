@@ -1,0 +1,69 @@
+#ifndef ICEWAFL_CORE_DUPLICATING_OPERATOR_H_
+#define ICEWAFL_CORE_DUPLICATING_OPERATOR_H_
+
+#include <utility>
+
+#include "core/pipeline.h"
+#include "stream/operator.h"
+#include "util/rng.h"
+
+namespace icewafl {
+
+/// \brief Injects (fuzzy) duplicate tuples — an error class the
+/// tuple-to-tuple polluter model cannot express because it needs 1:N
+/// semantics (Section 2.2.2 obtains duplicates from overlapping
+/// sub-streams; this operator produces them directly inside a
+/// topology).
+///
+/// With probability `probability`, a copy of the tuple is emitted after
+/// the original; the copy keeps the original's id (ground truth), is run
+/// through an optional pollution pipeline (making the duplicate fuzzy),
+/// and its arrival time is shifted by a uniform delay in
+/// [0, max_arrival_delay] (duplicates typically arrive late, e.g.
+/// at-least-once redelivery).
+class DuplicatingOperator : public Operator {
+ public:
+  DuplicatingOperator(double probability, uint64_t seed,
+                      PollutionPipeline duplicate_pipeline,
+                      int64_t max_arrival_delay = 0)
+      : probability_(probability),
+        rng_(seed),
+        duplicate_pipeline_(std::move(duplicate_pipeline)),
+        max_arrival_delay_(max_arrival_delay) {
+    duplicate_pipeline_.Seed(rng_.Next());
+  }
+
+  /// \brief Convenience: exact duplicates only.
+  DuplicatingOperator(double probability, uint64_t seed)
+      : DuplicatingOperator(probability, seed, PollutionPipeline("noop")) {}
+
+  Status Process(Tuple tuple, Emitter* out) override {
+    const bool duplicate = rng_.Bernoulli(probability_);
+    Tuple copy = tuple;
+    ICEWAFL_RETURN_NOT_OK(out->Emit(std::move(tuple)));
+    if (!duplicate) return Status::OK();
+    PollutionContext ctx;
+    ctx.tau = copy.event_time();
+    ctx.rng = &rng_;
+    ICEWAFL_RETURN_NOT_OK(duplicate_pipeline_.Apply(&copy, &ctx, nullptr));
+    if (max_arrival_delay_ > 0) {
+      copy.set_arrival_time(copy.arrival_time() +
+                            rng_.UniformInt(0, max_arrival_delay_));
+    }
+    ++duplicates_emitted_;
+    return out->Emit(std::move(copy));
+  }
+
+  uint64_t duplicates_emitted() const { return duplicates_emitted_; }
+
+ private:
+  double probability_;
+  Rng rng_;
+  PollutionPipeline duplicate_pipeline_;
+  int64_t max_arrival_delay_;
+  uint64_t duplicates_emitted_ = 0;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_DUPLICATING_OPERATOR_H_

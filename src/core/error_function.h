@@ -1,0 +1,56 @@
+#ifndef ICEWAFL_CORE_ERROR_FUNCTION_H_
+#define ICEWAFL_CORE_ERROR_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "stream/tuple.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace icewafl {
+
+/// \brief An error function e : dom(A) x 2^A x T -> dom(A) (Section 2.2).
+///
+/// Applies a specific data error to the targeted attributes of a tuple.
+/// Implementations must honor `ctx.severity` in [0, 1] where meaningful
+/// (severity scales error magnitude for continuous errors and acts as an
+/// application probability for discrete ones); this is what turns a
+/// static error into a derived temporal error when combined with a change
+/// pattern (Figure 3).
+class ErrorFunction {
+ public:
+  virtual ~ErrorFunction() = default;
+
+  /// \brief Transforms `*tuple` in place. `attrs` are the resolved indices
+  /// of the polluter's target attributes A_p (may be empty for errors
+  /// targeting tuple metadata, e.g. DelayError).
+  virtual Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                       PollutionContext* ctx) = 0;
+
+  /// \brief Observation hook invoked for every tuple that passes the
+  /// owning polluter, whether or not the condition fires. Stateful errors
+  /// (FrozenValueError) use it to track the evolving clean stream.
+  virtual Status Observe(const Tuple& tuple, const std::vector<size_t>& attrs) {
+    (void)tuple;
+    (void)attrs;
+    return Status::OK();
+  }
+
+  /// \brief Stable identifier used in configs and logs.
+  virtual std::string name() const = 0;
+
+  /// \brief Config/log representation (round-trips through config.h).
+  virtual Json ToJson() const = 0;
+
+  /// \brief Deep copy (fresh state); required for parallel sub-pipelines.
+  virtual std::unique_ptr<ErrorFunction> Clone() const = 0;
+};
+
+using ErrorFunctionPtr = std::unique_ptr<ErrorFunction>;
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_ERROR_FUNCTION_H_

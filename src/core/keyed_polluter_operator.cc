@@ -1,0 +1,68 @@
+#include "core/keyed_polluter_operator.h"
+
+namespace icewafl {
+
+namespace {
+
+/// FNV-1a; combined with the operator seed it derives the per-key seed.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+KeyedPolluterOperator::KeyedPolluterOperator(PollutionPipeline prototype,
+                                             std::string key_attribute,
+                                             uint64_t seed,
+                                             Timestamp stream_start,
+                                             Timestamp stream_end,
+                                             PollutionLog* log)
+    : prototype_(std::move(prototype)),
+      key_attribute_(std::move(key_attribute)),
+      seed_(seed),
+      stream_start_(stream_start),
+      stream_end_(stream_end),
+      log_(log) {}
+
+Status KeyedPolluterOperator::Process(Tuple tuple, Emitter* out) {
+  if (tuple.id() == kInvalidTupleId) {
+    tuple.set_id(next_id_++);
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, tuple.GetTimestamp());
+    tuple.set_event_time(ts);
+    tuple.set_arrival_time(ts);
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(Value key_value, tuple.Get(key_attribute_));
+  const std::string key = key_value.ToString("<null>");
+
+  auto it = partitions_.find(key);
+  if (it == partitions_.end()) {
+    PollutionPipeline clone = prototype_.Clone();
+    // Deterministic per-key randomness, independent of key interleaving.
+    clone.Seed(seed_ ^ HashKey(key));
+    it = partitions_.emplace(key, std::move(clone)).first;
+  }
+
+  PollutionContext ctx;
+  ctx.tau = tuple.event_time();
+  ctx.stream_start = stream_start_;
+  ctx.stream_end = stream_end_;
+  ICEWAFL_RETURN_NOT_OK(it->second.Apply(&tuple, &ctx, log_));
+  return out->Emit(std::move(tuple));
+}
+
+std::map<std::string, uint64_t> KeyedPolluterOperator::AppliedCounts() const {
+  std::map<std::string, uint64_t> totals;
+  for (const auto& [key, pipeline] : partitions_) {
+    for (const auto& [label, count] : pipeline.AppliedCounts()) {
+      totals[label] += count;
+    }
+  }
+  return totals;
+}
+
+}  // namespace icewafl

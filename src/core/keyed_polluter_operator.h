@@ -1,0 +1,54 @@
+#ifndef ICEWAFL_CORE_KEYED_POLLUTER_OPERATOR_H_
+#define ICEWAFL_CORE_KEYED_POLLUTER_OPERATOR_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+#include "core/pollution_log.h"
+#include "stream/operator.h"
+
+namespace icewafl {
+
+/// \brief Keyed pollution: an independent clone of the pipeline per key.
+///
+/// The analogue of Flink's keyed process functions sketched in the
+/// paper's future work: the stream is logically partitioned by a key
+/// attribute (e.g. the sensor/station id), and each partition gets its
+/// own pipeline instance. Stateful error functions (frozen values) and
+/// stateful conditions (holds, window aggregates) then evolve per key —
+/// sensor A freezing must not freeze sensor B — while the per-key random
+/// streams are derived deterministically from (seed, key), so the output
+/// does not depend on how the keys interleave.
+class KeyedPolluterOperator : public Operator {
+ public:
+  /// \param prototype pipeline cloned for every new key.
+  /// \param key_attribute attribute whose rendered value partitions the
+  ///   stream; NULL keys form their own partition.
+  KeyedPolluterOperator(PollutionPipeline prototype,
+                        std::string key_attribute, uint64_t seed,
+                        Timestamp stream_start = 0, Timestamp stream_end = 0,
+                        PollutionLog* log = nullptr);
+
+  Status Process(Tuple tuple, Emitter* out) override;
+
+  /// \brief Number of distinct keys seen so far.
+  size_t num_partitions() const { return partitions_.size(); }
+
+  /// \brief Applied counts summed over all partitions.
+  std::map<std::string, uint64_t> AppliedCounts() const;
+
+ private:
+  PollutionPipeline prototype_;
+  std::string key_attribute_;
+  uint64_t seed_;
+  Timestamp stream_start_;
+  Timestamp stream_end_;
+  PollutionLog* log_;
+  TupleId next_id_ = 0;
+  std::unordered_map<std::string, PollutionPipeline> partitions_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_KEYED_POLLUTER_OPERATOR_H_

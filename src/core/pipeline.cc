@@ -1,0 +1,45 @@
+#include "core/pipeline.h"
+
+namespace icewafl {
+
+void PollutionPipeline::Seed(uint64_t seed) {
+  Rng master(seed);
+  for (const PolluterPtr& p : polluters_) p->Seed(&master);
+}
+
+Status PollutionPipeline::Apply(Tuple* tuple, PollutionContext* ctx,
+                                PollutionLog* log) const {
+  for (const PolluterPtr& p : polluters_) {
+    ICEWAFL_RETURN_NOT_OK(p->Pollute(tuple, ctx, log));
+  }
+  return Status::OK();
+}
+
+void PollutionPipeline::ResetStats() {
+  for (const PolluterPtr& p : polluters_) p->ResetStats();
+}
+
+std::map<std::string, uint64_t> PollutionPipeline::AppliedCounts() const {
+  std::map<std::string, uint64_t> counts;
+  for (const PolluterPtr& p : polluters_) {
+    counts[p->label()] += p->applied_count();
+  }
+  return counts;
+}
+
+PollutionPipeline PollutionPipeline::Clone() const {
+  PollutionPipeline clone(name_);
+  for (const PolluterPtr& p : polluters_) clone.Add(p->Clone());
+  return clone;
+}
+
+Json PollutionPipeline::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("name", name_);
+  Json arr = Json::MakeArray();
+  for (const PolluterPtr& p : polluters_) arr.Append(p->ToJson());
+  j.Set("polluters", std::move(arr));
+  return j;
+}
+
+}  // namespace icewafl

@@ -1,0 +1,61 @@
+#ifndef ICEWAFL_CORE_PIPELINE_H_
+#define ICEWAFL_CORE_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/polluter.h"
+
+namespace icewafl {
+
+/// \brief A pollution pipeline P = p_1, ..., p_o (Section 2.2.1): an
+/// ordered sequence of polluters applied to every tuple, i.e.
+/// t' = p_o(...p_1(t, tau)..., tau).
+class PollutionPipeline {
+ public:
+  PollutionPipeline() = default;
+  explicit PollutionPipeline(std::string name) : name_(std::move(name)) {}
+
+  PollutionPipeline(PollutionPipeline&&) = default;
+  PollutionPipeline& operator=(PollutionPipeline&&) = default;
+  PollutionPipeline(const PollutionPipeline&) = delete;
+  PollutionPipeline& operator=(const PollutionPipeline&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Appends a polluter; execution follows insertion order.
+  void Add(PolluterPtr polluter) { polluters_.push_back(std::move(polluter)); }
+
+  size_t size() const { return polluters_.size(); }
+  bool empty() const { return polluters_.empty(); }
+  const std::vector<PolluterPtr>& polluters() const { return polluters_; }
+
+  /// \brief Derives fresh random streams for every polluter from `seed`.
+  /// Call once before a run; identical seeds reproduce identical output.
+  void Seed(uint64_t seed);
+
+  /// \brief Runs the tuple through all polluters in order.
+  Status Apply(Tuple* tuple, PollutionContext* ctx, PollutionLog* log) const;
+
+  /// \brief Clears the applied counters of all polluters.
+  void ResetStats();
+
+  /// \brief Applied counts per polluter label (top-level polluters only;
+  /// for nested counts use the pollution log).
+  std::map<std::string, uint64_t> AppliedCounts() const;
+
+  /// \brief Deep copy with fresh polluter state.
+  PollutionPipeline Clone() const;
+
+  /// \brief Config representation.
+  Json ToJson() const;
+
+ private:
+  std::string name_ = "pipeline";
+  std::vector<PolluterPtr> polluters_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_PIPELINE_H_

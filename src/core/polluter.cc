@@ -1,0 +1,76 @@
+#include "core/polluter.h"
+
+namespace icewafl {
+
+StandardPolluter::StandardPolluter(std::string label, ErrorFunctionPtr error,
+                                   ConditionPtr condition,
+                                   std::vector<std::string> attributes)
+    : Polluter(std::move(label)),
+      error_(std::move(error)),
+      condition_(std::move(condition)),
+      attributes_(std::move(attributes)),
+      rng_(0) {}
+
+Status StandardPolluter::ResolveAttributes(const Tuple& tuple) {
+  if (tuple.schema() == nullptr) {
+    return Status::Internal("polluter '" + label_ + "': tuple has no schema");
+  }
+  if (resolved_schema_ == tuple.schema().get()) return Status::OK();
+  attr_indices_.clear();
+  attr_indices_.reserve(attributes_.size());
+  for (const std::string& name : attributes_) {
+    ICEWAFL_ASSIGN_OR_RETURN(size_t idx, tuple.schema()->IndexOf(name));
+    attr_indices_.push_back(idx);
+  }
+  resolved_schema_ = tuple.schema().get();
+  return Status::OK();
+}
+
+Status StandardPolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
+                                 PollutionLog* log) {
+  ICEWAFL_RETURN_NOT_OK(ResolveAttributes(*tuple));
+  Rng* const outer_rng = ctx->rng;
+  ctx->rng = &rng_;
+  Status st = [&]() -> Status {
+    // Stateful errors watch the full stream regardless of the condition.
+    ICEWAFL_RETURN_NOT_OK(error_->Observe(*tuple, attr_indices_));
+    ICEWAFL_ASSIGN_OR_RETURN(bool fired, condition_->Evaluate(*tuple, ctx));
+    if (!fired) return Status::OK();
+    ICEWAFL_RETURN_NOT_OK(error_->Apply(tuple, attr_indices_, ctx));
+    ++applied_count_;
+    if (log != nullptr) {
+      PollutionLogEntry entry;
+      entry.tuple_id = tuple->id();
+      entry.substream = tuple->substream();
+      entry.polluter = label_;
+      entry.error_type = error_->name();
+      entry.attributes = attributes_;
+      entry.tau = ctx->tau;
+      log->Record(std::move(entry));
+    }
+    return Status::OK();
+  }();
+  ctx->rng = outer_rng;
+  return st;
+}
+
+void StandardPolluter::Seed(Rng* parent) { rng_ = parent->Fork(); }
+
+Json StandardPolluter::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "standard");
+  j.Set("label", label_);
+  j.Set("error", error_->ToJson());
+  j.Set("condition", condition_->ToJson());
+  Json attrs = Json::MakeArray();
+  for (const std::string& a : attributes_) attrs.Append(Json(a));
+  j.Set("attributes", std::move(attrs));
+  return j;
+}
+
+PolluterPtr StandardPolluter::Clone() const {
+  return std::make_unique<StandardPolluter>(label_, error_->Clone(),
+                                            condition_->Clone(), attributes_);
+}
+
+}  // namespace icewafl

@@ -1,0 +1,88 @@
+#ifndef ICEWAFL_CORE_POLLUTER_H_
+#define ICEWAFL_CORE_POLLUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/condition.h"
+#include "core/error_function.h"
+#include "core/pollution_log.h"
+#include "stream/tuple.h"
+
+namespace icewafl {
+
+/// \brief A polluter p = <e, c, A_p> (Section 2.2, Equation 2).
+///
+/// Icewafl distinguishes standard polluters, which inject a specific data
+/// error when their condition fires, from composite polluters
+/// (composite_polluter.h), which structure the pipeline by delegating to
+/// registered children.
+class Polluter {
+ public:
+  explicit Polluter(std::string label) : label_(std::move(label)) {}
+  virtual ~Polluter() = default;
+
+  /// \brief Applies the polluter to `*tuple`: evaluates the condition and,
+  /// if it fires, the error function. `log` may be nullptr.
+  virtual Status Pollute(Tuple* tuple, PollutionContext* ctx,
+                         PollutionLog* log) = 0;
+
+  /// \brief (Re-)derives this polluter's private random stream from the
+  /// parent generator. Must be called once before processing; pipelines do
+  /// this for all their polluters (composites recurse into children).
+  /// Deterministic: the same parent state yields the same child streams.
+  virtual void Seed(Rng* parent) = 0;
+
+  /// \brief Unique label within a pipeline, used in logs and configs.
+  const std::string& label() const { return label_; }
+
+  /// \brief Number of tuples this polluter actually polluted.
+  uint64_t applied_count() const { return applied_count_; }
+  virtual void ResetStats() { applied_count_ = 0; }
+
+  virtual Json ToJson() const = 0;
+  virtual std::unique_ptr<Polluter> Clone() const = 0;
+
+ protected:
+  std::string label_;
+  uint64_t applied_count_ = 0;
+};
+
+using PolluterPtr = std::unique_ptr<Polluter>;
+
+/// \brief Standard polluter: applies one error function to a fixed set of
+/// target attributes whenever its condition fires.
+class StandardPolluter : public Polluter {
+ public:
+  /// \param attributes target attribute names A_p; may be empty for
+  ///   metadata errors (delay, timestamp shift).
+  StandardPolluter(std::string label, ErrorFunctionPtr error,
+                   ConditionPtr condition, std::vector<std::string> attributes);
+
+  Status Pollute(Tuple* tuple, PollutionContext* ctx,
+                 PollutionLog* log) override;
+  void Seed(Rng* parent) override;
+  Json ToJson() const override;
+  PolluterPtr Clone() const override;
+
+  const ErrorFunction& error() const { return *error_; }
+  const Condition& condition() const { return *condition_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+ private:
+  Status ResolveAttributes(const Tuple& tuple);
+
+  ErrorFunctionPtr error_;
+  ConditionPtr condition_;
+  std::vector<std::string> attributes_;
+  Rng rng_;
+
+  // Attribute indices resolved against the schema of the first tuple.
+  const Schema* resolved_schema_ = nullptr;
+  std::vector<size_t> attr_indices_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_POLLUTER_H_

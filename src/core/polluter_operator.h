@@ -1,0 +1,58 @@
+#ifndef ICEWAFL_CORE_POLLUTER_OPERATOR_H_
+#define ICEWAFL_CORE_POLLUTER_OPERATOR_H_
+
+#include <utility>
+
+#include "core/pipeline.h"
+#include "stream/operator.h"
+
+namespace icewafl {
+
+/// \brief Adapter running a pollution pipeline as a dataflow operator.
+///
+/// This is how Icewafl plugs into an existing streaming topology (the
+/// paper's "seamless integration with existing data stream pipelines"):
+/// the operator prepares each tuple (id + event-time replica) if the
+/// upstream has not done so, applies the pipeline, and forwards the
+/// result. Stream bounds for stream-relative profiles must be supplied
+/// up front since an operator cannot see the end of the stream.
+class PolluterOperator : public Operator {
+ public:
+  PolluterOperator(PollutionPipeline pipeline, uint64_t seed,
+                   Timestamp stream_start = 0, Timestamp stream_end = 0,
+                   PollutionLog* log = nullptr)
+      : pipeline_(std::move(pipeline)),
+        stream_start_(stream_start),
+        stream_end_(stream_end),
+        log_(log) {
+    pipeline_.Seed(seed);
+  }
+
+  Status Process(Tuple tuple, Emitter* out) override {
+    if (tuple.id() == kInvalidTupleId) {
+      tuple.set_id(next_id_++);
+      ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, tuple.GetTimestamp());
+      tuple.set_event_time(ts);
+      tuple.set_arrival_time(ts);
+    }
+    PollutionContext ctx;
+    ctx.tau = tuple.event_time();
+    ctx.stream_start = stream_start_;
+    ctx.stream_end = stream_end_;
+    ICEWAFL_RETURN_NOT_OK(pipeline_.Apply(&tuple, &ctx, log_));
+    return out->Emit(std::move(tuple));
+  }
+
+  const PollutionPipeline& pipeline() const { return pipeline_; }
+
+ private:
+  PollutionPipeline pipeline_;
+  Timestamp stream_start_;
+  Timestamp stream_end_;
+  PollutionLog* log_;
+  TupleId next_id_ = 0;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_POLLUTER_OPERATOR_H_

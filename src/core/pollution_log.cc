@@ -1,0 +1,75 @@
+#include "core/pollution_log.h"
+
+#include <set>
+
+namespace icewafl {
+
+std::map<std::string, uint64_t> PollutionLog::CountsByPolluter() const {
+  std::map<std::string, uint64_t> counts;
+  for (const PollutionLogEntry& e : entries_) ++counts[e.polluter];
+  return counts;
+}
+
+uint64_t PollutionLog::DistinctTupleCount() const {
+  std::set<std::pair<TupleId, int>> seen;
+  for (const PollutionLogEntry& e : entries_) {
+    seen.emplace(e.tuple_id, e.substream);
+  }
+  return seen.size();
+}
+
+std::vector<uint64_t> PollutionLog::HourOfDayHistogram() const {
+  std::vector<uint64_t> hist(24, 0);
+  for (const PollutionLogEntry& e : entries_) {
+    ++hist[static_cast<size_t>(HourOfDay(e.tau))];
+  }
+  return hist;
+}
+
+Json PollutionLog::ToJson() const {
+  Json arr = Json::MakeArray();
+  for (const PollutionLogEntry& e : entries_) {
+    Json obj = Json::MakeObject();
+    obj.Set("tuple_id", static_cast<int64_t>(e.tuple_id));
+    obj.Set("substream", e.substream);
+    obj.Set("polluter", e.polluter);
+    obj.Set("error_type", e.error_type);
+    Json attrs = Json::MakeArray();
+    for (const std::string& a : e.attributes) attrs.Append(Json(a));
+    obj.Set("attributes", std::move(attrs));
+    obj.Set("tau", static_cast<int64_t>(e.tau));
+    arr.Append(std::move(obj));
+  }
+  Json root = Json::MakeObject();
+  root.Set("entries", std::move(arr));
+  return root;
+}
+
+Result<PollutionLog> PollutionLog::FromJson(const Json& json) {
+  PollutionLog log;
+  ICEWAFL_ASSIGN_OR_RETURN(Json entries, json.Get("entries"));
+  if (!entries.is_array()) {
+    return Status::ParseError("pollution log 'entries' must be an array");
+  }
+  for (const Json& item : entries.items()) {
+    if (!item.is_object()) {
+      return Status::ParseError("pollution log entry must be an object");
+    }
+    PollutionLogEntry e;
+    e.tuple_id = static_cast<TupleId>(item.GetInt("tuple_id", -1));
+    e.substream = static_cast<int>(item.GetInt("substream", kNoSubstream));
+    e.polluter = item.GetString("polluter", "");
+    e.error_type = item.GetString("error_type", "");
+    e.tau = item.GetInt("tau", 0);
+    auto attrs = item.Get("attributes");
+    if (attrs.ok() && attrs.ValueOrDie().is_array()) {
+      for (const Json& a : attrs.ValueOrDie().items()) {
+        if (a.is_string()) e.attributes.push_back(a.AsString());
+      }
+    }
+    log.Record(std::move(e));
+  }
+  return log;
+}
+
+}  // namespace icewafl

@@ -1,0 +1,66 @@
+#ifndef ICEWAFL_CORE_POLLUTION_LOG_H_
+#define ICEWAFL_CORE_POLLUTION_LOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/tuple.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace icewafl {
+
+/// \brief One recorded error injection.
+struct PollutionLogEntry {
+  TupleId tuple_id = kInvalidTupleId;
+  int substream = kNoSubstream;
+  /// Label of the polluter that fired (unique within a pipeline).
+  std::string polluter;
+  /// Error-function name (e.g. "missing_value").
+  std::string error_type;
+  /// Target attribute names A_p.
+  std::vector<std::string> attributes;
+  /// Event time of the polluted tuple.
+  Timestamp tau = 0;
+
+  bool operator==(const PollutionLogEntry&) const = default;
+};
+
+/// \brief The optional "Log Data" output of the pollution process
+/// (Figure 2): a ground-truth record of every injected error.
+///
+/// Benchmarck harnesses use it to compare expected against detected error
+/// counts, and it makes a pollution run auditable and reproducible.
+class PollutionLog {
+ public:
+  void Record(PollutionLogEntry entry) {
+    entries_.push_back(std::move(entry));
+  }
+
+  const std::vector<PollutionLogEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void Clear() { entries_.clear(); }
+
+  /// \brief Number of injections per polluter label.
+  std::map<std::string, uint64_t> CountsByPolluter() const;
+
+  /// \brief Number of distinct polluted tuples (a tuple hit by several
+  /// polluters counts once).
+  uint64_t DistinctTupleCount() const;
+
+  /// \brief Histogram of injections by hour-of-day of tau (Figure 4).
+  std::vector<uint64_t> HourOfDayHistogram() const;
+
+  /// \brief JSON serialization (round-trips through FromJson).
+  Json ToJson() const;
+  static Result<PollutionLog> FromJson(const Json& json);
+
+ private:
+  std::vector<PollutionLogEntry> entries_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_POLLUTION_LOG_H_

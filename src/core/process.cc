@@ -1,0 +1,164 @@
+#include "core/process.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace icewafl {
+
+PollutionProcess::PollutionProcess(ProcessOptions options)
+    : options_(options) {}
+
+void PollutionProcess::AddPipeline(PollutionPipeline pipeline) {
+  pipelines_.push_back(std::move(pipeline));
+}
+
+namespace {
+
+/// Pollutes one sub-stream in place. Tuples are processed in stream
+/// order; each carries its event time in the context.
+Status PolluteSubstream(TupleVector* tuples, const PollutionPipeline& pipeline,
+                        Timestamp stream_start, Timestamp stream_end,
+                        PollutionLog* log) {
+  PollutionContext ctx;
+  ctx.stream_start = stream_start;
+  ctx.stream_end = stream_end;
+  for (Tuple& t : *tuples) {
+    ctx.tau = t.event_time();
+    ctx.severity = 1.0;
+    ctx.rng = nullptr;
+    ICEWAFL_RETURN_NOT_OK(pipeline.Apply(&t, &ctx, log));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PollutionResult> PollutionProcess::Run(Source* source) {
+  const int m = options_.num_substreams;
+  if (m < 1) {
+    return Status::InvalidArgument("num_substreams must be >= 1");
+  }
+  if (static_cast<int>(pipelines_.size()) != m) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(m) + " pipelines, got " +
+        std::to_string(pipelines_.size()));
+  }
+  if (options_.overlap_fraction < 0.0 || options_.overlap_fraction > 1.0) {
+    return Status::InvalidArgument("overlap_fraction must be in [0, 1]");
+  }
+
+  PollutionResult result;
+  result.schema = source->schema();
+
+  // --- Step 1: prepare data -------------------------------------------
+  // Assign ids, replicate the timestamp into the event-time replica tau,
+  // and initialize the arrival time (Algorithm 1, lines 1-3).
+  ICEWAFL_ASSIGN_OR_RETURN(result.clean, CollectAll(source));
+  TupleId next_id = 0;
+  for (Tuple& t : result.clean) {
+    t.set_id(next_id++);
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, t.GetTimestamp());
+    t.set_event_time(ts);
+    t.set_arrival_time(ts);
+  }
+
+  Timestamp stream_start = options_.stream_start;
+  Timestamp stream_end = options_.stream_end;
+  if (stream_start > stream_end) {
+    // Derive bounds from the materialized input.
+    if (!result.clean.empty()) {
+      stream_start = result.clean.front().event_time();
+      stream_end = result.clean.back().event_time();
+      for (const Tuple& t : result.clean) {
+        stream_start = std::min(stream_start, t.event_time());
+        stream_end = std::max(stream_end, t.event_time());
+      }
+    } else {
+      stream_start = stream_end = 0;
+    }
+  }
+
+  // Split into m (overlapping) sub-streams (line 4). The primary
+  // assignment is round-robin (deterministic and balanced); with
+  // probability overlap_fraction a tuple is copied into a second,
+  // different sub-stream drawn from the process RNG.
+  Rng master(options_.seed);
+  Rng assign_rng = master.Fork();
+  std::vector<TupleVector> substreams(static_cast<size_t>(m));
+  for (size_t i = 0; i < result.clean.size(); ++i) {
+    const int primary = static_cast<int>(i % static_cast<size_t>(m));
+    Tuple copy = result.clean[i];
+    copy.set_substream(primary);
+    substreams[static_cast<size_t>(primary)].push_back(std::move(copy));
+    if (m > 1 && assign_rng.Bernoulli(options_.overlap_fraction)) {
+      int other =
+          static_cast<int>(assign_rng.UniformInt(0, static_cast<int64_t>(m) - 2));
+      if (other >= primary) ++other;
+      Tuple dup = result.clean[i];
+      dup.set_substream(other);
+      substreams[static_cast<size_t>(other)].push_back(std::move(dup));
+    }
+  }
+
+  // --- Step 2: pollute data (lines 5-9) -------------------------------
+  std::vector<PollutionLog> logs(static_cast<size_t>(m));
+  for (PollutionPipeline& pipeline : pipelines_) {
+    pipeline.Seed(master.Next());
+  }
+  if (options_.parallel && m > 1) {
+    std::vector<Status> statuses(static_cast<size_t>(m));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      workers.emplace_back([&, i] {
+        statuses[i] = PolluteSubstream(
+            &substreams[i], pipelines_[i], stream_start, stream_end,
+            options_.enable_log ? &logs[i] : nullptr);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const Status& st : statuses) ICEWAFL_RETURN_NOT_OK(st);
+  } else {
+    for (int i = 0; i < m; ++i) {
+      ICEWAFL_RETURN_NOT_OK(PolluteSubstream(
+          &substreams[i], pipelines_[i], stream_start, stream_end,
+          options_.enable_log ? &logs[i] : nullptr));
+    }
+  }
+
+  // --- Step 3: integrate and output (lines 10-11) ---------------------
+  size_t total = 0;
+  for (const TupleVector& s : substreams) total += s.size();
+  result.polluted.reserve(total);
+  for (TupleVector& s : substreams) {
+    for (Tuple& t : s) result.polluted.push_back(std::move(t));
+  }
+  std::stable_sort(result.polluted.begin(), result.polluted.end(),
+                   [](const Tuple& a, const Tuple& b) {
+                     if (a.arrival_time() != b.arrival_time()) {
+                       return a.arrival_time() < b.arrival_time();
+                     }
+                     return a.id() < b.id();
+                   });
+  for (PollutionLog& log : logs) {
+    for (const PollutionLogEntry& e : log.entries()) {
+      result.log.Record(e);
+    }
+  }
+  return result;
+}
+
+Result<PollutionResult> PollutionProcess::Pollute(Source* source,
+                                                  PollutionPipeline pipeline,
+                                                  uint64_t seed,
+                                                  bool enable_log) {
+  ProcessOptions options;
+  options.num_substreams = 1;
+  options.seed = seed;
+  options.enable_log = enable_log;
+  PollutionProcess process(options);
+  process.AddPipeline(std::move(pipeline));
+  return process.Run(source);
+}
+
+}  // namespace icewafl

@@ -1,0 +1,231 @@
+#include "core/time_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace icewafl {
+
+namespace {
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+ConstantProfile::ConstantProfile(double value) : value_(Clamp01(value)) {}
+
+double ConstantProfile::Evaluate(const PollutionContext&) const {
+  return value_;
+}
+
+Json ConstantProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "constant");
+  j.Set("value", value_);
+  return j;
+}
+
+TimeProfilePtr ConstantProfile::Clone() const {
+  return std::make_unique<ConstantProfile>(*this);
+}
+
+AbruptProfile::AbruptProfile(Timestamp change_time, double before, double after)
+    : change_time_(change_time), before_(Clamp01(before)), after_(Clamp01(after)) {}
+
+double AbruptProfile::Evaluate(const PollutionContext& ctx) const {
+  return ctx.tau >= change_time_ ? after_ : before_;
+}
+
+Json AbruptProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "abrupt");
+  j.Set("change_time", static_cast<int64_t>(change_time_));
+  j.Set("before", before_);
+  j.Set("after", after_);
+  return j;
+}
+
+TimeProfilePtr AbruptProfile::Clone() const {
+  return std::make_unique<AbruptProfile>(*this);
+}
+
+IncrementalProfile::IncrementalProfile(Timestamp ramp_start, Timestamp ramp_end,
+                                       double from, double to)
+    : ramp_start_(ramp_start),
+      ramp_end_(std::max(ramp_end, ramp_start)),
+      from_(Clamp01(from)),
+      to_(Clamp01(to)) {}
+
+double IncrementalProfile::Evaluate(const PollutionContext& ctx) const {
+  // A zero-length window degenerates to an abrupt change at ramp_start.
+  if (ramp_end_ == ramp_start_) {
+    return ctx.tau >= ramp_start_ ? to_ : from_;
+  }
+  if (ctx.tau <= ramp_start_) return from_;
+  if (ctx.tau >= ramp_end_) return to_;
+  const double frac = static_cast<double>(ctx.tau - ramp_start_) /
+                      static_cast<double>(ramp_end_ - ramp_start_);
+  return from_ + (to_ - from_) * frac;
+}
+
+Json IncrementalProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "incremental");
+  j.Set("ramp_start", static_cast<int64_t>(ramp_start_));
+  j.Set("ramp_end", static_cast<int64_t>(ramp_end_));
+  j.Set("from", from_);
+  j.Set("to", to_);
+  return j;
+}
+
+TimeProfilePtr IncrementalProfile::Clone() const {
+  return std::make_unique<IncrementalProfile>(*this);
+}
+
+IntermediateProfile::IntermediateProfile(Timestamp ramp_start,
+                                         Timestamp ramp_end, double before,
+                                         double after)
+    : ramp_start_(ramp_start),
+      ramp_end_(std::max(ramp_end, ramp_start)),
+      before_(Clamp01(before)),
+      after_(Clamp01(after)) {}
+
+double IntermediateProfile::Evaluate(const PollutionContext& ctx) const {
+  if (ramp_end_ == ramp_start_) {
+    return ctx.tau >= ramp_start_ ? after_ : before_;
+  }
+  if (ctx.tau <= ramp_start_) return before_;
+  if (ctx.tau >= ramp_end_) return after_;
+  const double frac = static_cast<double>(ctx.tau - ramp_start_) /
+                      static_cast<double>(ramp_end_ - ramp_start_);
+  // Gradual drift: inside the window the stream flips between the old and
+  // the new regime; the new regime is sampled with probability `frac`.
+  if (ctx.rng != nullptr) {
+    return ctx.rng->Bernoulli(frac) ? after_ : before_;
+  }
+  // Without randomness fall back to the expected value.
+  return before_ + (after_ - before_) * frac;
+}
+
+Json IntermediateProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "intermediate");
+  j.Set("ramp_start", static_cast<int64_t>(ramp_start_));
+  j.Set("ramp_end", static_cast<int64_t>(ramp_end_));
+  j.Set("before", before_);
+  j.Set("after", after_);
+  return j;
+}
+
+TimeProfilePtr IntermediateProfile::Clone() const {
+  return std::make_unique<IntermediateProfile>(*this);
+}
+
+SinusoidalProfile::SinusoidalProfile(double period_hours, double amplitude,
+                                     double offset, double phase)
+    : period_hours_(period_hours),
+      amplitude_(amplitude),
+      offset_(offset),
+      phase_(phase) {}
+
+double SinusoidalProfile::Evaluate(const PollutionContext& ctx) const {
+  if (period_hours_ <= 0.0) return Clamp01(offset_);
+  // Hour of day (fractional) drives the cycle, so that the pattern
+  // repeats every day for 24h periods regardless of the stream start.
+  const double hour =
+      static_cast<double>(MinuteOfDay(ctx.tau)) / 60.0 +
+      static_cast<double>(ctx.tau % kSecondsPerMinute) / 3600.0;
+  const double angle = 2.0 * M_PI / period_hours_ * hour + phase_;
+  return Clamp01(amplitude_ * std::cos(angle) + offset_);
+}
+
+Json SinusoidalProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "sinusoidal");
+  j.Set("period_hours", period_hours_);
+  j.Set("amplitude", amplitude_);
+  j.Set("offset", offset_);
+  j.Set("phase", phase_);
+  return j;
+}
+
+TimeProfilePtr SinusoidalProfile::Clone() const {
+  return std::make_unique<SinusoidalProfile>(*this);
+}
+
+ReoccurringProfile::ReoccurringProfile(double period_hours, double low,
+                                       double high, double duty_cycle)
+    : period_hours_(period_hours),
+      low_(Clamp01(low)),
+      high_(Clamp01(high)),
+      duty_cycle_(std::min(1.0, std::max(0.0, duty_cycle))) {}
+
+double ReoccurringProfile::Evaluate(const PollutionContext& ctx) const {
+  if (period_hours_ <= 0.0) return high_;
+  const double period_seconds = period_hours_ * kSecondsPerHour;
+  // Phase relative to the stream start so the first regime is "high".
+  double phase = std::fmod(
+      static_cast<double>(ctx.tau - ctx.stream_start), period_seconds);
+  if (phase < 0.0) phase += period_seconds;
+  return phase < duty_cycle_ * period_seconds ? high_ : low_;
+}
+
+Json ReoccurringProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "reoccurring");
+  j.Set("period_hours", period_hours_);
+  j.Set("low", low_);
+  j.Set("high", high_);
+  j.Set("duty_cycle", duty_cycle_);
+  return j;
+}
+
+TimeProfilePtr ReoccurringProfile::Clone() const {
+  return std::make_unique<ReoccurringProfile>(*this);
+}
+
+SpikeProfile::SpikeProfile(Timestamp center, int64_t width_seconds,
+                           double peak)
+    : center_(center),
+      width_seconds_(std::max(int64_t{1}, width_seconds)),
+      peak_(Clamp01(peak)) {}
+
+double SpikeProfile::Evaluate(const PollutionContext& ctx) const {
+  const double z = static_cast<double>(ctx.tau - center_) /
+                   static_cast<double>(width_seconds_);
+  return Clamp01(peak_ * std::exp(-0.5 * z * z));
+}
+
+Json SpikeProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "spike");
+  j.Set("center", static_cast<int64_t>(center_));
+  j.Set("width_seconds", width_seconds_);
+  j.Set("peak", peak_);
+  return j;
+}
+
+TimeProfilePtr SpikeProfile::Clone() const {
+  return std::make_unique<SpikeProfile>(*this);
+}
+
+StreamRampProfile::StreamRampProfile(double scale) : scale_(scale) {}
+
+double StreamRampProfile::Evaluate(const PollutionContext& ctx) const {
+  const double total = HoursBetween(ctx.stream_start, ctx.stream_end);
+  if (total <= 0.0) return 0.0;
+  const double elapsed = HoursBetween(ctx.stream_start, ctx.tau);
+  return Clamp01(scale_ * elapsed / total);
+}
+
+Json StreamRampProfile::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("type", "stream_ramp");
+  j.Set("scale", scale_);
+  return j;
+}
+
+TimeProfilePtr StreamRampProfile::Clone() const {
+  return std::make_unique<StreamRampProfile>(*this);
+}
+
+}  // namespace icewafl

@@ -1,0 +1,180 @@
+#ifndef ICEWAFL_CORE_TIME_PROFILE_H_
+#define ICEWAFL_CORE_TIME_PROFILE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/context.h"
+#include "util/json.h"
+
+namespace icewafl {
+
+/// \brief A change pattern: a function of event time into [0, 1].
+///
+/// Profiles implement the change patterns of Figure 3 (abrupt,
+/// incremental, intermediate; after Gama et al.) plus the periodic and
+/// stream-relative shapes used in the paper's experiments. They serve two
+/// roles: (a) severity modulation of a static error in a derived temporal
+/// error, and (b) time-varying activation probability inside a
+/// ProfileProbabilityCondition.
+class TimeProfile {
+ public:
+  virtual ~TimeProfile() = default;
+
+  /// \brief Profile value at the context's event time, clamped to [0, 1].
+  virtual double Evaluate(const PollutionContext& ctx) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// \brief Config/log representation.
+  virtual Json ToJson() const = 0;
+
+  virtual std::unique_ptr<TimeProfile> Clone() const = 0;
+};
+
+using TimeProfilePtr = std::unique_ptr<TimeProfile>;
+
+/// \brief Constant value (degenerates a derived error to a static one).
+class ConstantProfile : public TimeProfile {
+ public:
+  explicit ConstantProfile(double value);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "constant"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  double value_;
+};
+
+/// \brief Abrupt change: `before` until `change_time`, `after` from then on.
+class AbruptProfile : public TimeProfile {
+ public:
+  AbruptProfile(Timestamp change_time, double before = 0.0, double after = 1.0);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "abrupt"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  Timestamp change_time_;
+  double before_;
+  double after_;
+};
+
+/// \brief Incremental change: linear ramp from `from` to `to` over
+/// [ramp_start, ramp_end] (e.g. "over the next five minutes, missing-value
+/// probability increases from 40% to 90%").
+class IncrementalProfile : public TimeProfile {
+ public:
+  IncrementalProfile(Timestamp ramp_start, Timestamp ramp_end,
+                     double from = 0.0, double to = 1.0);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "incremental"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  Timestamp ramp_start_;
+  Timestamp ramp_end_;
+  double from_;
+  double to_;
+};
+
+/// \brief Intermediate (gradual) change: during the transition window the
+/// profile alternates between the old and new level, switching to the new
+/// one with probability growing linearly across the window.
+class IntermediateProfile : public TimeProfile {
+ public:
+  IntermediateProfile(Timestamp ramp_start, Timestamp ramp_end,
+                      double before = 0.0, double after = 1.0);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "intermediate"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  Timestamp ramp_start_;
+  Timestamp ramp_end_;
+  double before_;
+  double after_;
+};
+
+/// \brief Periodic (co)sinusoidal profile over the hour of day:
+/// amplitude * cos(2*pi/period_hours * h + phase) + offset, clamped.
+///
+/// With amplitude = offset = 0.25, period 24h, phase 0, this is exactly
+/// the daily error pattern of Experiment 3.1.1:
+/// p(t) = 0.25 * cos(pi/12 * t) + 0.25.
+class SinusoidalProfile : public TimeProfile {
+ public:
+  SinusoidalProfile(double period_hours, double amplitude, double offset,
+                    double phase = 0.0);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "sinusoidal"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  double period_hours_;
+  double amplitude_;
+  double offset_;
+  double phase_;
+};
+
+/// \brief Reoccurring drift: a square wave alternating between `low` and
+/// `high` with the given period (hours); the pattern class Gama et al.
+/// call "reoccurring concepts" — an error regime that comes and goes.
+class ReoccurringProfile : public TimeProfile {
+ public:
+  ReoccurringProfile(double period_hours, double low = 0.0, double high = 1.0,
+                     double duty_cycle = 0.5);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "reoccurring"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  double period_hours_;
+  double low_;
+  double high_;
+  double duty_cycle_;
+};
+
+/// \brief Transient spike: a Gaussian bump of height `peak` centered at
+/// `center` with the given width (stddev, seconds) — a one-off incident
+/// like a brief outage or interference burst.
+class SpikeProfile : public TimeProfile {
+ public:
+  SpikeProfile(Timestamp center, int64_t width_seconds, double peak = 1.0);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "spike"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  Timestamp center_;
+  int64_t width_seconds_;
+  double peak_;
+};
+
+/// \brief Stream-relative linear ramp:
+/// value(tau) = scale * hours(tau - tau_0) / hours(tau_n - tau_0).
+///
+/// Implements Equations 3 and 4 of the paper (temporally increasing noise
+/// magnitude / activation probability).
+class StreamRampProfile : public TimeProfile {
+ public:
+  explicit StreamRampProfile(double scale = 1.0);
+  double Evaluate(const PollutionContext& ctx) const override;
+  std::string name() const override { return "stream_ramp"; }
+  Json ToJson() const override;
+  TimeProfilePtr Clone() const override;
+
+ private:
+  double scale_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CORE_TIME_PROFILE_H_

@@ -1,0 +1,61 @@
+#include "data/impute.h"
+
+namespace icewafl {
+namespace data {
+
+Result<size_t> ForwardBackwardFill(TupleVector* tuples,
+                                   const std::string& column) {
+  if (tuples->empty()) return size_t{0};
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx,
+                           tuples->front().schema()->IndexOf(column));
+  size_t imputed = 0;
+  // Forward pass.
+  bool have_last = false;
+  Value last;
+  for (Tuple& t : *tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) {
+      if (have_last) {
+        t.set_value(idx, last);
+        ++imputed;
+      }
+    } else {
+      last = v;
+      have_last = true;
+    }
+  }
+  if (!have_last) {
+    return Status::InvalidArgument("column '" + column +
+                                   "' is entirely NULL; cannot impute");
+  }
+  // Backward pass for any leading NULLs.
+  have_last = false;
+  for (auto it = tuples->rbegin(); it != tuples->rend(); ++it) {
+    const Value& v = it->value(idx);
+    if (v.is_null()) {
+      if (have_last) {
+        it->set_value(idx, last);
+        ++imputed;
+      }
+    } else {
+      last = v;
+      have_last = true;
+    }
+  }
+  return imputed;
+}
+
+Result<size_t> CountNulls(const TupleVector& tuples,
+                          const std::string& column) {
+  if (tuples.empty()) return size_t{0};
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx,
+                           tuples.front().schema()->IndexOf(column));
+  size_t count = 0;
+  for (const Tuple& t : tuples) {
+    if (t.value(idx).is_null()) ++count;
+  }
+  return count;
+}
+
+}  // namespace data
+}  // namespace icewafl

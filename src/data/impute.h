@@ -1,0 +1,25 @@
+#ifndef ICEWAFL_DATA_IMPUTE_H_
+#define ICEWAFL_DATA_IMPUTE_H_
+
+#include <string>
+
+#include "stream/tuple.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace data {
+
+/// \brief Forward-fills NULLs in `column` with the most recent non-NULL
+/// value; leading NULLs are back-filled from the first non-NULL value
+/// (the paper's pandas ffill/bfill preprocessing of the NO2 series).
+/// Returns the number of values imputed. An all-NULL column is an error.
+Result<size_t> ForwardBackwardFill(TupleVector* tuples,
+                                   const std::string& column);
+
+/// \brief Number of NULLs in `column`.
+Result<size_t> CountNulls(const TupleVector& tuples, const std::string& column);
+
+}  // namespace data
+}  // namespace icewafl
+
+#endif  // ICEWAFL_DATA_IMPUTE_H_

@@ -1,0 +1,29 @@
+#include "data/splits.h"
+
+namespace icewafl {
+namespace data {
+
+Result<DataSplits> SplitByYear(const TupleVector& stream,
+                               const SplitOptions& options) {
+  const size_t year = options.hours_per_year;
+  if (options.valid_hours == 0 || options.valid_hours >= year) {
+    return Status::InvalidArgument("valid_hours must be in (0, hours_per_year)");
+  }
+  if (stream.size() < 2 * year) {
+    return Status::InvalidArgument(
+        "stream too short to split: need >= " + std::to_string(2 * year) +
+        " tuples, got " + std::to_string(stream.size()));
+  }
+  DataSplits splits;
+  const size_t train_end = year - options.valid_hours;
+  splits.train.assign(stream.begin(),
+                      stream.begin() + static_cast<ptrdiff_t>(train_end));
+  splits.valid.assign(stream.begin() + static_cast<ptrdiff_t>(train_end),
+                      stream.begin() + static_cast<ptrdiff_t>(year));
+  splits.eval.assign(stream.end() - static_cast<ptrdiff_t>(year),
+                     stream.end());
+  return splits;
+}
+
+}  // namespace data
+}  // namespace icewafl

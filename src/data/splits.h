@@ -1,0 +1,36 @@
+#ifndef ICEWAFL_DATA_SPLITS_H_
+#define ICEWAFL_DATA_SPLITS_H_
+
+#include "stream/tuple.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace data {
+
+/// \brief The data splits of Table 2 (per region r):
+///  - D_train: 1st year of D_r minus the last 12 hours,
+///  - D_valid: last 12 hours of the 1st year,
+///  - D_eval:  last year of D_r.
+/// The polluted variants D_noise / D_scale are produced by running the
+/// corresponding pollution pipelines over `eval`.
+struct DataSplits {
+  TupleVector train;
+  TupleVector valid;
+  TupleVector eval;
+};
+
+/// \brief Options for splitting a multi-year hourly stream.
+struct SplitOptions {
+  size_t hours_per_year = 8760;
+  size_t valid_hours = 12;
+};
+
+/// \brief Splits an hourly stream per Table 2. The stream must span at
+/// least two years of hourly tuples.
+Result<DataSplits> SplitByYear(const TupleVector& stream,
+                               const SplitOptions& options = {});
+
+}  // namespace data
+}  // namespace icewafl
+
+#endif  // ICEWAFL_DATA_SPLITS_H_

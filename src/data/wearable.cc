@@ -1,0 +1,185 @@
+#include "data/wearable.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace icewafl {
+namespace data {
+
+namespace {
+
+constexpr int64_t kSlotSeconds = 15 * 60;
+
+/// Stream start 2016-02-26 23:15: the three slots 23:15/23:30/23:45 are
+/// the only pre-update tuples.
+Timestamp StreamStart() {
+  return TimestampFromCivil({2016, 2, 26, 23, 15, 0});
+}
+
+/// CaloriesBurned with exactly three decimal places and a non-zero last
+/// digit, so the shortest decimal rendering has precision 3 and a
+/// round-to-2 pollution is always detectable.
+double ThreeDecimalCalories(Rng* rng, double lo, double hi) {
+  const int64_t whole = static_cast<int64_t>(std::floor(rng->Uniform(lo, hi)));
+  // Keep the value >= 0.5 so a later round-to-2 pollution cannot collapse
+  // it to a plain "0" (which a precision check would accept as valid).
+  int64_t milli = whole == 0 ? rng->UniformInt(501, 999)
+                             : rng->UniformInt(1, 999);
+  if (milli % 10 == 0) milli += 1;
+  // A single division keeps the value exactly the nearest double of the
+  // decimal "whole.milli", so its shortest rendering has 3 decimals.
+  return static_cast<double>(whole * 1000 + milli) / 1000.0;
+}
+
+}  // namespace
+
+Timestamp WearableUpdateTime() {
+  return TimestampFromCivil({2016, 2, 27, 0, 0, 0});
+}
+
+SchemaPtr WearableSchema() {
+  auto schema = Schema::Make(
+      {
+          {"Time", ValueType::kInt64},
+          {"BPM", ValueType::kDouble},
+          {"Steps", ValueType::kInt64},
+          {"Distance", ValueType::kDouble},
+          {"CaloriesBurned", ValueType::kDouble},
+          {"ActiveMinutes", ValueType::kDouble},
+      },
+      "Time");
+  return schema.ValueOrDie();
+}
+
+Result<TupleVector> GenerateWearable(const WearableOptions& options) {
+  const int n = options.total_tuples;
+  if (n <= 0) return Status::InvalidArgument("total_tuples must be > 0");
+  if (options.pre_update_tuples < 0 || options.pre_update_tuples >= n) {
+    return Status::InvalidArgument("pre_update_tuples out of range");
+  }
+  const int post = n - options.pre_update_tuples;
+  if (options.not_worn_tuples + options.active_tuples +
+          options.anomalous_tuples >
+      post) {
+    return Status::InvalidArgument(
+        "category counts exceed post-update tuple count");
+  }
+  if (options.exercise_tuples > options.active_tuples) {
+    return Status::InvalidArgument("exercise_tuples must be <= active_tuples");
+  }
+
+  Rng rng(options.seed);
+  const Timestamp start = StreamStart();
+  const Timestamp update = WearableUpdateTime();
+
+  // Partition the post-update slots into night (not-worn candidates) and
+  // day (activity candidates) by hour of day.
+  std::vector<int> night_slots;
+  std::vector<int> day_slots;
+  std::vector<int> other_slots;
+  for (int i = 0; i < n; ++i) {
+    const Timestamp ts = start + static_cast<Timestamp>(i) * kSlotSeconds;
+    if (ts < update) continue;  // pre-update tuples stay idle-worn
+    const int hour = HourOfDay(ts);
+    if (hour >= 0 && hour < 6) {
+      night_slots.push_back(i);
+    } else if (hour >= 7 && hour < 22) {
+      day_slots.push_back(i);
+    } else {
+      other_slots.push_back(i);
+    }
+  }
+  if (static_cast<int>(night_slots.size()) < options.not_worn_tuples) {
+    return Status::InvalidArgument("not enough night slots for not-worn count");
+  }
+  if (static_cast<int>(day_slots.size()) <
+      options.active_tuples + options.anomalous_tuples) {
+    return Status::InvalidArgument("not enough day slots for activity counts");
+  }
+
+  // Draw the exact category memberships with the seeded generator.
+  enum class Kind { kIdleWorn, kNotWorn, kActive, kExercise, kAnomalous };
+  std::vector<Kind> kind(static_cast<size_t>(n), Kind::kIdleWorn);
+
+  {
+    std::vector<size_t> perm = rng.Permutation(night_slots.size());
+    for (int k = 0; k < options.not_worn_tuples; ++k) {
+      kind[static_cast<size_t>(night_slots[perm[static_cast<size_t>(k)]])] =
+          Kind::kNotWorn;
+    }
+  }
+  {
+    std::vector<size_t> perm = rng.Permutation(day_slots.size());
+    int k = 0;
+    for (int a = 0; a < options.active_tuples; ++a, ++k) {
+      const size_t slot =
+          static_cast<size_t>(day_slots[perm[static_cast<size_t>(k)]]);
+      kind[slot] = a < options.exercise_tuples ? Kind::kExercise : Kind::kActive;
+    }
+    for (int a = 0; a < options.anomalous_tuples; ++a, ++k) {
+      kind[static_cast<size_t>(day_slots[perm[static_cast<size_t>(k)]])] =
+          Kind::kAnomalous;
+    }
+  }
+
+  SchemaPtr schema = WearableSchema();
+  TupleVector tuples;
+  tuples.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Timestamp ts = start + static_cast<Timestamp>(i) * kSlotSeconds;
+    double bpm = 0.0;
+    int64_t steps = 0;
+    double distance = 0.0;
+    double calories = 0.0;
+    double active_minutes = 0.0;
+    switch (kind[static_cast<size_t>(i)]) {
+      case Kind::kNotWorn:
+        // Device in the drawer: everything zero, including calories (the
+        // 96 tuples whose CaloriesBurned precision cannot be reduced).
+        break;
+      case Kind::kIdleWorn:
+        bpm = rng.Uniform(55.0, 75.0);
+        // Resting burn stays >= 0.5 kcal so that a round-to-2 pollution
+        // can never produce a plain "0" (which would read as valid).
+        calories = ThreeDecimalCalories(&rng, 0.5, 3.0);
+        break;
+      case Kind::kActive:
+        bpm = rng.Uniform(75.0, 99.0);
+        steps = rng.UniformInt(200, 2500);
+        distance = std::max(
+            0.1, static_cast<double>(steps) / 1300.0 +
+                     rng.Uniform(-0.02, 0.02));
+        active_minutes = rng.Uniform(3.0, 15.0);
+        calories = ThreeDecimalCalories(&rng, 5.0, 40.0);
+        break;
+      case Kind::kExercise:
+        bpm = rng.Uniform(105.0, 170.0);
+        steps = rng.UniformInt(1500, 3200);
+        distance = std::max(
+            0.5, static_cast<double>(steps) / 1200.0 +
+                     rng.Uniform(-0.05, 0.05));
+        active_minutes = 15.0;
+        calories = ThreeDecimalCalories(&rng, 40.0, 120.0);
+        break;
+      case Kind::kAnomalous:
+        // Pre-existing data error: heart rate dropped out while steps
+        // were still recorded (the "+2" of Table 1). Distance stays 0 so
+        // the non-zero-distance count is untouched.
+        bpm = 0.0;
+        steps = rng.UniformInt(100, 500);
+        active_minutes = rng.Uniform(1.0, 5.0);
+        calories = ThreeDecimalCalories(&rng, 3.0, 10.0);
+        break;
+    }
+    tuples.emplace_back(
+        schema, std::vector<Value>{Value(ts), Value(bpm), Value(steps),
+                                   Value(distance), Value(calories),
+                                   Value(active_minutes)});
+  }
+  return tuples;
+}
+
+}  // namespace data
+}  // namespace icewafl

@@ -1,0 +1,52 @@
+#ifndef ICEWAFL_DATA_WEARABLE_H_
+#define ICEWAFL_DATA_WEARABLE_H_
+
+#include "stream/tuple.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace data {
+
+/// \brief Configuration of the synthetic wearable-device stream.
+///
+/// Stands in for the proprietary dataset of Lim et al. (volunteer
+/// 0216-0051-NHC) used in Experiment 1. The generator reproduces the
+/// structural properties the paper's scenarios depend on, with exact
+/// counts so the experiment arithmetic matches Table 1:
+///  - 1059 tuples at 15-minute granularity (264.75 hours), starting
+///    2016-02-26 23:15 so that exactly `post_update_tuples` = 1056 tuples
+///    carry timestamps >= 2016-02-27 00:00 (the software-update date);
+///  - exactly `active_tuples` = 374 tuples with non-zero Distance (the
+///    tuples on which a km->cm unit error becomes detectable);
+///  - exactly `exercise_tuples` = 33 tuples with BPM > 100;
+///  - exactly `not_worn_tuples` = 96 post-update tuples where the device
+///    was not worn (BPM = 0, all activity attributes 0, CaloriesBurned
+///    0); every other tuple has CaloriesBurned with three decimal places
+///    (960 post-update tuples detectably affected by rounding);
+///  - exactly `anomalous_tuples` = 2 pre-existing errors: BPM = 0 while
+///    Steps > 0 (the two extra violations GX found in the original data).
+struct WearableOptions {
+  uint64_t seed = 0x5EA2AB1EULL;
+  int total_tuples = 1059;
+  int pre_update_tuples = 3;
+  int not_worn_tuples = 96;
+  int active_tuples = 374;
+  int exercise_tuples = 33;
+  int anomalous_tuples = 2;
+};
+
+/// \brief Event time of the simulated software update
+/// (2016-02-27 00:00:00 UTC).
+Timestamp WearableUpdateTime();
+
+/// \brief Schema: Time (timestamp), BPM, Steps, Distance (km),
+/// CaloriesBurned, ActiveMinutes.
+SchemaPtr WearableSchema();
+
+/// \brief Generates the synthetic activity-tracker stream.
+Result<TupleVector> GenerateWearable(const WearableOptions& options = {});
+
+}  // namespace data
+}  // namespace icewafl
+
+#endif  // ICEWAFL_DATA_WEARABLE_H_

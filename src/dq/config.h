@@ -1,0 +1,42 @@
+#ifndef ICEWAFL_DQ_CONFIG_H_
+#define ICEWAFL_DQ_CONFIG_H_
+
+#include <string>
+
+#include "dq/suite.h"
+#include "util/json.h"
+
+namespace icewafl {
+namespace dq {
+
+/// \file
+/// Declarative expectation-suite configuration (the analogue of Great
+/// Expectations' JSON suites). Example:
+/// \code{.json}
+/// {"name": "wearable_checks",
+///  "expectations": [
+///    {"type": "expect_column_values_to_not_be_null", "column": "BPM"},
+///    {"type": "expect_column_values_to_be_between", "column": "BPM",
+///     "min": 30, "max": 220},
+///    {"type": "expect_multicolumn_sum_to_equal",
+///     "columns": ["Steps", "Distance"], "total": 0,
+///     "where_column": "BPM", "where_value": 0}
+///  ]}
+/// \endcode
+
+/// \brief Builds one expectation from its JSON description.
+Result<ExpectationPtr> ExpectationFromJson(const Json& json);
+
+/// \brief Builds a whole suite from {"name": ..., "expectations": [...]}.
+Result<ExpectationSuite> SuiteFromJson(const Json& json);
+
+/// \brief Parses JSON text and builds the suite.
+Result<ExpectationSuite> SuiteFromConfigString(const std::string& text);
+
+/// \brief Reads a JSON file and builds the suite.
+Result<ExpectationSuite> SuiteFromConfigFile(const std::string& path);
+
+}  // namespace dq
+}  // namespace icewafl
+
+#endif  // ICEWAFL_DQ_CONFIG_H_

@@ -1,0 +1,481 @@
+#include "dq/expectation.h"
+
+#include <unordered_map>
+
+namespace icewafl {
+namespace dq {
+
+namespace {
+
+/// Timestamp used to bucket a failing tuple. Prefers the (possibly
+/// polluted) timestamp attribute; falls back to the event-time replica.
+Timestamp RecordTimestamp(const Tuple& tuple) {
+  auto ts = tuple.GetTimestamp();
+  if (ts.ok()) return ts.ValueOrDie();
+  return tuple.event_time();
+}
+
+void AddFailure(ExpectationResult* result, const Tuple& tuple) {
+  ++result->unexpected;
+  result->failures.push_back({tuple.id(), RecordTimestamp(tuple)});
+  result->success = false;
+}
+
+Result<size_t> ResolveColumn(const TupleVector& tuples,
+                             const std::string& column) {
+  if (tuples.empty()) return size_t{0};
+  if (tuples.front().schema() == nullptr) {
+    return Status::Internal("tuples have no schema");
+  }
+  return tuples.front().schema()->IndexOf(column);
+}
+
+}  // namespace
+
+std::vector<uint64_t> ExpectationResult::FailureHourHistogram() const {
+  std::vector<uint64_t> hist(24, 0);
+  for (const FailedRecord& f : failures) {
+    ++hist[static_cast<size_t>(HourOfDay(f.ts))];
+  }
+  return hist;
+}
+
+ExpectColumnValuesToNotBeNull::ExpectColumnValuesToNotBeNull(std::string column)
+    : column_(std::move(column)) {}
+
+Result<ExpectationResult> ExpectColumnValuesToNotBeNull::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    ++result.evaluated;
+    if (t.value(idx).is_null()) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToBeNull::ExpectColumnValuesToBeNull(std::string column)
+    : column_(std::move(column)) {}
+
+Result<ExpectationResult> ExpectColumnValuesToBeNull::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    ++result.evaluated;
+    if (!t.value(idx).is_null()) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToBeBetween::ExpectColumnValuesToBeBetween(
+    std::string column, double min, double max)
+    : column_(std::move(column)), min_(min), max_(max) {}
+
+Result<ExpectationResult> ExpectColumnValuesToBeBetween::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;  // GX skips NULL elements here
+    ++result.evaluated;
+    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
+    if (x < min_ || x > max_) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToMatchRegex::ExpectColumnValuesToMatchRegex(
+    std::string column, std::string pattern)
+    : column_(std::move(column)),
+      pattern_(std::move(pattern)),
+      regex_(pattern_) {}
+
+Result<ExpectationResult> ExpectColumnValuesToMatchRegex::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    if (!std::regex_match(v.ToString(), regex_)) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToBeIncreasing::ExpectColumnValuesToBeIncreasing(
+    std::string column, bool strictly)
+    : column_(std::move(column)), strictly_(strictly) {}
+
+Result<ExpectationResult> ExpectColumnValuesToBeIncreasing::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  bool have_prev = false;
+  double prev = 0.0;
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
+    if (have_prev) {
+      const bool ok = strictly_ ? x > prev : x >= prev;
+      if (!ok) AddFailure(&result, t);
+    }
+    prev = x;
+    have_prev = true;
+  }
+  return result;
+}
+
+ExpectColumnPairValuesAToBeGreaterThanB::
+    ExpectColumnPairValuesAToBeGreaterThanB(std::string column_a,
+                                            std::string column_b,
+                                            bool or_equal)
+    : column_a_(std::move(column_a)),
+      column_b_(std::move(column_b)),
+      or_equal_(or_equal) {}
+
+Result<ExpectationResult> ExpectColumnPairValuesAToBeGreaterThanB::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_a_ + ">" + column_b_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx_a, ResolveColumn(tuples, column_a_));
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx_b, ResolveColumn(tuples, column_b_));
+  for (const Tuple& t : tuples) {
+    const Value& a = t.value(idx_a);
+    const Value& b = t.value(idx_b);
+    if (a.is_null() || b.is_null()) continue;
+    ++result.evaluated;
+    ICEWAFL_ASSIGN_OR_RETURN(double xa, a.ToDouble());
+    ICEWAFL_ASSIGN_OR_RETURN(double xb, b.ToDouble());
+    const bool ok = or_equal_ ? xa >= xb : xa > xb;
+    if (!ok) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectMulticolumnSumToEqual::ExpectMulticolumnSumToEqual(
+    std::vector<std::string> columns, double total, double tolerance)
+    : columns_(std::move(columns)), total_(total), tolerance_(tolerance) {}
+
+ExpectMulticolumnSumToEqual& ExpectMulticolumnSumToEqual::WhereColumnEquals(
+    std::string column, double value) {
+  where_column_ = std::move(column);
+  where_value_ = value;
+  return *this;
+}
+
+Result<ExpectationResult> ExpectMulticolumnSumToEqual::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) result.column += "+";
+    result.column += columns_[i];
+  }
+  std::vector<size_t> indices;
+  indices.reserve(columns_.size());
+  for (const std::string& c : columns_) {
+    ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, c));
+    indices.push_back(idx);
+  }
+  size_t where_idx = 0;
+  if (!where_column_.empty()) {
+    ICEWAFL_ASSIGN_OR_RETURN(where_idx, ResolveColumn(tuples, where_column_));
+  }
+  for (const Tuple& t : tuples) {
+    if (!where_column_.empty()) {
+      const Value& w = t.value(where_idx);
+      if (w.is_null() || !w.is_numeric() ||
+          w.ToDouble().ValueOrDie() != where_value_) {
+        continue;
+      }
+    }
+    double sum = 0.0;
+    bool any_null = false;
+    for (size_t idx : indices) {
+      const Value& v = t.value(idx);
+      if (v.is_null()) {
+        any_null = true;
+        break;
+      }
+      ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
+      sum += x;
+    }
+    if (any_null) continue;
+    ++result.evaluated;
+    if (std::abs(sum - total_) > tolerance_) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToBeInSet::ExpectColumnValuesToBeInSet(
+    std::string column, std::set<std::string> values)
+    : column_(std::move(column)), values_(std::move(values)) {}
+
+Result<ExpectationResult> ExpectColumnValuesToBeInSet::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    if (values_.count(v.ToString()) == 0) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToBeUnique::ExpectColumnValuesToBeUnique(std::string column)
+    : column_(std::move(column)) {}
+
+Result<ExpectationResult> ExpectColumnValuesToBeUnique::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  std::unordered_map<std::string, uint64_t> seen;
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    if (++seen[v.ToString()] > 1) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnMeanToBeBetween::ExpectColumnMeanToBeBetween(std::string column,
+                                                         double min,
+                                                         double max)
+    : column_(std::move(column)), min_(min), max_(max) {}
+
+Result<ExpectationResult> ExpectColumnMeanToBeBetween::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  double sum = 0.0;
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
+    sum += x;
+  }
+  if (result.evaluated == 0) {
+    result.success = true;
+    return result;
+  }
+  result.observed = sum / static_cast<double>(result.evaluated);
+  result.success = result.observed >= min_ && result.observed <= max_;
+  if (!result.success) result.unexpected = result.evaluated;
+  return result;
+}
+
+ExpectColumnStdevToBeBetween::ExpectColumnStdevToBeBetween(std::string column,
+                                                           double min,
+                                                           double max)
+    : column_(std::move(column)), min_(min), max_(max) {}
+
+Result<ExpectationResult> ExpectColumnStdevToBeBetween::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  // Welford's algorithm for a numerically stable sample variance.
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(result.evaluated);
+    m2 += delta * (x - mean);
+  }
+  if (result.evaluated < 2) {
+    result.success = true;
+    return result;
+  }
+  result.observed =
+      std::sqrt(m2 / static_cast<double>(result.evaluated - 1));
+  result.success = result.observed >= min_ && result.observed <= max_;
+  if (!result.success) result.unexpected = result.evaluated;
+  return result;
+}
+
+ExpectColumnValueLengthsToBeBetween::ExpectColumnValueLengthsToBeBetween(
+    std::string column, size_t min_length, size_t max_length)
+    : column_(std::move(column)),
+      min_length_(min_length),
+      max_length_(max_length) {}
+
+Result<ExpectationResult> ExpectColumnValueLengthsToBeBetween::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    const size_t length = v.ToString().size();
+    if (length < min_length_ || length > max_length_) AddFailure(&result, t);
+  }
+  return result;
+}
+
+ExpectColumnValuesToBeOfType::ExpectColumnValuesToBeOfType(std::string column,
+                                                           ValueType type)
+    : column_(std::move(column)), type_(type) {}
+
+Result<ExpectationResult> ExpectColumnValuesToBeOfType::Validate(
+    const TupleVector& tuples) {
+  ExpectationResult result;
+  result.expectation = name();
+  result.column = column_;
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  for (const Tuple& t : tuples) {
+    const Value& v = t.value(idx);
+    if (v.is_null()) continue;
+    ++result.evaluated;
+    if (v.type() != type_) AddFailure(&result, t);
+  }
+  return result;
+}
+
+namespace {
+
+Json Base(const std::string& type) {
+  Json j = Json::MakeObject();
+  j.Set("type", type);
+  return j;
+}
+
+}  // namespace
+
+Json ExpectColumnValuesToNotBeNull::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  return j;
+}
+
+Json ExpectColumnValuesToBeNull::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  return j;
+}
+
+Json ExpectColumnValuesToBeBetween::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("min", min_);
+  j.Set("max", max_);
+  return j;
+}
+
+Json ExpectColumnValuesToMatchRegex::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("regex", pattern_);
+  return j;
+}
+
+Json ExpectColumnValuesToBeIncreasing::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("strictly", strictly_);
+  return j;
+}
+
+Json ExpectColumnPairValuesAToBeGreaterThanB::ToJson() const {
+  Json j = Base(name());
+  j.Set("column_a", column_a_);
+  j.Set("column_b", column_b_);
+  j.Set("or_equal", or_equal_);
+  return j;
+}
+
+Json ExpectMulticolumnSumToEqual::ToJson() const {
+  Json j = Base(name());
+  Json columns = Json::MakeArray();
+  for (const std::string& c : columns_) columns.Append(Json(c));
+  j.Set("columns", std::move(columns));
+  j.Set("total", total_);
+  j.Set("tolerance", tolerance_);
+  if (!where_column_.empty()) {
+    j.Set("where_column", where_column_);
+    j.Set("where_value", where_value_);
+  }
+  return j;
+}
+
+Json ExpectColumnValuesToBeInSet::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  Json values = Json::MakeArray();
+  for (const std::string& v : values_) values.Append(Json(v));
+  j.Set("values", std::move(values));
+  return j;
+}
+
+Json ExpectColumnValuesToBeUnique::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  return j;
+}
+
+Json ExpectColumnMeanToBeBetween::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("min", min_);
+  j.Set("max", max_);
+  return j;
+}
+
+Json ExpectColumnStdevToBeBetween::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("min", min_);
+  j.Set("max", max_);
+  return j;
+}
+
+Json ExpectColumnValueLengthsToBeBetween::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("min_length", static_cast<int64_t>(min_length_));
+  j.Set("max_length", static_cast<int64_t>(max_length_));
+  return j;
+}
+
+Json ExpectColumnValuesToBeOfType::ToJson() const {
+  Json j = Base(name());
+  j.Set("column", column_);
+  j.Set("value_type", ValueTypeName(type_));
+  return j;
+}
+
+}  // namespace dq
+}  // namespace icewafl

@@ -1,0 +1,145 @@
+#include "dq/profile.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/strings.h"
+
+namespace icewafl {
+namespace dq {
+
+Result<std::vector<ColumnProfile>> ProfileColumns(
+    const TupleVector& tuples, const ProfileOptions& options) {
+  std::vector<ColumnProfile> profiles;
+  if (tuples.empty()) return profiles;
+  const SchemaPtr& schema = tuples.front().schema();
+  if (schema == nullptr) return Status::Internal("tuples have no schema");
+
+  struct Accumulator {
+    std::set<std::string> distinct;
+    double m2 = 0.0;  // Welford
+  };
+  std::vector<Accumulator> accumulators(schema->num_attributes());
+  profiles.resize(schema->num_attributes());
+  for (size_t c = 0; c < schema->num_attributes(); ++c) {
+    profiles[c].column = schema->attribute(c).name;
+    profiles[c].declared_type = schema->attribute(c).type;
+  }
+
+  for (const Tuple& t : tuples) {
+    for (size_t c = 0; c < schema->num_attributes(); ++c) {
+      ColumnProfile& p = profiles[c];
+      Accumulator& acc = accumulators[c];
+      const Value& v = t.value(c);
+      ++p.total;
+      if (v.is_null()) {
+        ++p.nulls;
+        continue;
+      }
+      if (v.type() != p.declared_type) ++p.type_mismatches;
+      if (v.is_numeric()) {
+        const double x = v.ToDouble().ValueOrDie();
+        ++p.numeric_count;
+        if (p.numeric_count == 1) {
+          p.min = p.max = x;
+        } else {
+          p.min = std::min(p.min, x);
+          p.max = std::max(p.max, x);
+        }
+        const double delta = x - p.mean;
+        p.mean += delta / static_cast<double>(p.numeric_count);
+        acc.m2 += delta * (x - p.mean);
+      }
+      if (!p.distinct_exceeded) {
+        acc.distinct.insert(v.ToString());
+        if (acc.distinct.size() > options.distinct_cap) {
+          p.distinct_exceeded = true;
+          acc.distinct.clear();
+        }
+      }
+    }
+  }
+  for (size_t c = 0; c < profiles.size(); ++c) {
+    ColumnProfile& p = profiles[c];
+    if (p.numeric_count > 1) {
+      p.stddev = std::sqrt(accumulators[c].m2 /
+                           static_cast<double>(p.numeric_count));
+    }
+    if (!p.distinct_exceeded) {
+      p.distinct = accumulators[c].distinct.size();
+      p.distinct_values.assign(accumulators[c].distinct.begin(),
+                               accumulators[c].distinct.end());
+    } else {
+      p.distinct = options.distinct_cap;
+    }
+  }
+  return profiles;
+}
+
+std::string ProfilesToReport(const std::vector<ColumnProfile>& profiles) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %-8s %-8s %-6s %-10s %-10s %-10s %-9s\n",
+                "column", "type", "total", "nulls", "min", "max", "mean",
+                "distinct");
+  out += line;
+  for (const ColumnProfile& p : profiles) {
+    std::string distinct = std::to_string(p.distinct);
+    if (p.distinct_exceeded) distinct = ">" + distinct;
+    if (p.numeric_count > 0) {
+      std::snprintf(line, sizeof(line),
+                    "%-16s %-8s %-8llu %-6llu %-10.6g %-10.6g %-10.6g %-9s\n",
+                    p.column.c_str(), ValueTypeName(p.declared_type),
+                    static_cast<unsigned long long>(p.total),
+                    static_cast<unsigned long long>(p.nulls), p.min, p.max,
+                    p.mean, distinct.c_str());
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "%-16s %-8s %-8llu %-6llu %-10s %-10s %-10s %-9s\n",
+                    p.column.c_str(), ValueTypeName(p.declared_type),
+                    static_cast<unsigned long long>(p.total),
+                    static_cast<unsigned long long>(p.nulls), "-", "-", "-",
+                    distinct.c_str());
+    }
+    out += line;
+  }
+  return out;
+}
+
+Result<ExpectationSuite> SuggestSuite(const TupleVector& tuples,
+                                      const ProfileOptions& options) {
+  ICEWAFL_ASSIGN_OR_RETURN(std::vector<ColumnProfile> profiles,
+                           ProfileColumns(tuples, options));
+  ExpectationSuite suite("suggested");
+  if (tuples.empty()) return suite;
+  const SchemaPtr& schema = tuples.front().schema();
+
+  for (const ColumnProfile& p : profiles) {
+    if (p.nulls == 0) {
+      suite.Expect<ExpectColumnValuesToNotBeNull>(p.column);
+    }
+    if (p.type_mismatches == 0 && p.declared_type != ValueType::kNull &&
+        p.nulls < p.total) {
+      suite.Expect<ExpectColumnValuesToBeOfType>(p.column, p.declared_type);
+    }
+    if (p.numeric_count > 1) {
+      const double span = std::max(p.max - p.min, 1e-9);
+      suite.Expect<ExpectColumnValuesToBeBetween>(
+          p.column, p.min - options.bound_slack * span,
+          p.max + options.bound_slack * span);
+    }
+    if (p.declared_type == ValueType::kString && !p.distinct_exceeded &&
+        p.distinct > 0 && p.distinct <= options.max_categorical_domain) {
+      suite.Expect<ExpectColumnValuesToBeInSet>(
+          p.column, std::set<std::string>(p.distinct_values.begin(),
+                                          p.distinct_values.end()));
+    }
+  }
+  // The stream's event order: timestamps must not regress.
+  suite.Expect<ExpectColumnValuesToBeIncreasing>(schema->timestamp_name(),
+                                                 /*strictly=*/false);
+  return suite;
+}
+
+}  // namespace dq
+}  // namespace icewafl

@@ -1,0 +1,82 @@
+#include "dq/suite.h"
+
+#include <set>
+
+#include "util/strings.h"
+
+namespace icewafl {
+namespace dq {
+
+bool SuiteResult::success() const {
+  for (const ExpectationResult& r : results) {
+    if (!r.success) return false;
+  }
+  return true;
+}
+
+uint64_t SuiteResult::TotalUnexpected() const {
+  uint64_t total = 0;
+  for (const ExpectationResult& r : results) total += r.unexpected;
+  return total;
+}
+
+uint64_t SuiteResult::DistinctFlaggedTuples() const {
+  std::set<TupleId> flagged;
+  for (const ExpectationResult& r : results) {
+    for (const FailedRecord& f : r.failures) flagged.insert(f.id);
+  }
+  return flagged.size();
+}
+
+std::vector<uint64_t> SuiteResult::FailureHourHistogram() const {
+  std::vector<uint64_t> hist(24, 0);
+  for (const ExpectationResult& r : results) {
+    const std::vector<uint64_t> h = r.FailureHourHistogram();
+    for (size_t i = 0; i < 24; ++i) hist[i] += h[i];
+  }
+  return hist;
+}
+
+std::string SuiteResult::ToReport() const {
+  std::string out;
+  for (const ExpectationResult& r : results) {
+    out += r.success ? "[ OK ] " : "[FAIL] ";
+    out += r.expectation;
+    out += "(";
+    out += r.column;
+    out += "): ";
+    out += std::to_string(r.unexpected);
+    out += "/";
+    out += std::to_string(r.evaluated);
+    out += " unexpected";
+    if (!std::isnan(r.observed)) {
+      out += ", observed=";
+      out += FormatDouble(r.observed, 4);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<SuiteResult> ExpectationSuite::Validate(
+    const TupleVector& tuples) const {
+  SuiteResult suite_result;
+  suite_result.results.reserve(expectations_.size());
+  for (const ExpectationPtr& e : expectations_) {
+    ICEWAFL_ASSIGN_OR_RETURN(ExpectationResult r, e->Validate(tuples));
+    suite_result.results.push_back(std::move(r));
+  }
+  return suite_result;
+}
+
+Json ExpectationSuite::ToJson() const {
+  Json j = Json::MakeObject();
+  j.Set("name", name_);
+  Json arr = Json::MakeArray();
+  for (const ExpectationPtr& e : expectations_) arr.Append(e->ToJson());
+  j.Set("expectations", std::move(arr));
+  return j;
+}
+
+}  // namespace dq
+}  // namespace icewafl

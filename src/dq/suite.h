@@ -1,0 +1,73 @@
+#ifndef ICEWAFL_DQ_SUITE_H_
+#define ICEWAFL_DQ_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "dq/expectation.h"
+
+namespace icewafl {
+namespace dq {
+
+/// \brief Result of validating an expectation suite.
+struct SuiteResult {
+  std::vector<ExpectationResult> results;
+
+  /// \brief True iff every expectation succeeded.
+  bool success() const;
+
+  /// \brief Total unexpected element count across expectations.
+  uint64_t TotalUnexpected() const;
+
+  /// \brief Distinct tuples flagged by at least one expectation.
+  uint64_t DistinctFlaggedTuples() const;
+
+  /// \brief Per-hour histogram of all failures across expectations.
+  std::vector<uint64_t> FailureHourHistogram() const;
+
+  /// \brief Human-readable validation report.
+  std::string ToReport() const;
+};
+
+/// \brief An ordered collection of expectations validated together —
+/// the analogue of a Great Expectations expectation suite.
+class ExpectationSuite {
+ public:
+  ExpectationSuite() = default;
+  explicit ExpectationSuite(std::string name) : name_(std::move(name)) {}
+
+  ExpectationSuite(ExpectationSuite&&) = default;
+  ExpectationSuite& operator=(ExpectationSuite&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  void Add(ExpectationPtr expectation) {
+    expectations_.push_back(std::move(expectation));
+  }
+
+  /// \brief Builder-style add, enabling
+  /// `suite.Expect<ExpectColumnValuesToNotBeNull>("Distance")`.
+  template <typename T, typename... Args>
+  ExpectationSuite& Expect(Args&&... args) {
+    expectations_.push_back(std::make_unique<T>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  size_t size() const { return expectations_.size(); }
+
+  /// \brief Validates all expectations against the stream.
+  Result<SuiteResult> Validate(const TupleVector& tuples) const;
+
+  /// \brief Config representation; round-trips through
+  /// dq::SuiteFromJson (dq/config.h).
+  Json ToJson() const;
+
+ private:
+  std::string name_ = "suite";
+  std::vector<ExpectationPtr> expectations_;
+};
+
+}  // namespace dq
+}  // namespace icewafl
+
+#endif  // ICEWAFL_DQ_SUITE_H_

@@ -1,0 +1,199 @@
+#include "forecast/arima.h"
+
+#include <cmath>
+
+namespace icewafl {
+namespace forecast {
+
+namespace {
+constexpr double kMinStddev = 1e-9;
+}  // namespace
+
+Arima::Arima(ArimaOptions options)
+    : options_(options), y_stats_(options.stats_decay) {
+  phi_.assign(static_cast<size_t>(options_.p), 0.0);
+  theta_.assign(static_cast<size_t>(options_.q), 0.0);
+  diff_state_.assign(static_cast<size_t>(options_.d), 0.0);
+}
+
+void Arima::Reset() {
+  intercept_ = 0.0;
+  phi_.assign(phi_.size(), 0.0);
+  theta_.assign(theta_.size(), 0.0);
+  beta_.assign(beta_.size(), 0.0);
+  lags_.clear();
+  errors_.clear();
+  diff_state_.assign(diff_state_.size(), 0.0);
+  diff_warmup_ = 0;
+  observed_ = 0;
+  y_stats_.Reset();
+  for (RunningMoments& stats : x_stats_) stats.Reset();
+}
+
+double Arima::TargetStddev() const { return y_stats_.Stddev(kMinStddev); }
+
+std::vector<double> Arima::StandardizeFeatures(
+    const std::vector<double>& x) const {
+  std::vector<double> z(beta_.size(), 0.0);
+  for (size_t k = 0; k < beta_.size(); ++k) {
+    const double raw = k < x.size() ? x[k] : 0.0;
+    if (k >= x_stats_.size() || x_stats_[k].count() < 2) {
+      z[k] = raw;
+      continue;
+    }
+    z[k] = (raw - x_stats_[k].mean()) / x_stats_[k].Stddev(kMinStddev);
+  }
+  return z;
+}
+
+double Arima::PredictDifferenced(const std::deque<double>& lags,
+                                 const std::deque<double>& errors,
+                                 const std::vector<double>& x) const {
+  double pred = intercept_;
+  for (size_t i = 0; i < phi_.size(); ++i) {
+    pred += phi_[i] * (i < lags.size() ? lags[i] : 0.0);
+  }
+  for (size_t j = 0; j < theta_.size(); ++j) {
+    pred += theta_[j] * (j < errors.size() ? errors[j] : 0.0);
+  }
+  for (size_t k = 0; k < beta_.size(); ++k) {
+    pred += beta_[k] * (k < x.size() ? x[k] : 0.0);
+  }
+  return pred;
+}
+
+void Arima::UpdateWeights(const std::deque<double>& lags,
+                          const std::deque<double>& errors,
+                          const std::vector<double>& x, double error) {
+  // Normalized LMS over standardized features: all inputs are O(1), so
+  // the norm stays bounded and the step well-conditioned.
+  double norm = 1.0;  // the intercept feature
+  for (size_t i = 0; i < phi_.size(); ++i) {
+    const double f = i < lags.size() ? lags[i] : 0.0;
+    norm += f * f;
+  }
+  for (size_t j = 0; j < theta_.size(); ++j) {
+    const double f = j < errors.size() ? errors[j] : 0.0;
+    norm += f * f;
+  }
+  for (size_t k = 0; k < beta_.size(); ++k) {
+    const double f = k < x.size() ? x[k] : 0.0;
+    norm += f * f;
+  }
+  const double step = options_.learning_rate * error / norm;
+  intercept_ += step;
+  for (size_t i = 0; i < phi_.size(); ++i) {
+    phi_[i] += step * (i < lags.size() ? lags[i] : 0.0);
+  }
+  for (size_t j = 0; j < theta_.size(); ++j) {
+    theta_[j] += step * (j < errors.size() ? errors[j] : 0.0);
+  }
+  for (size_t k = 0; k < beta_.size(); ++k) {
+    beta_[k] += step * (k < x.size() ? x[k] : 0.0);
+  }
+}
+
+bool Arima::Difference(double y, double* out) {
+  double v = y;
+  for (int k = 0; k < options_.d; ++k) {
+    const size_t level = static_cast<size_t>(k);
+    if (diff_warmup_ <= level) {
+      diff_state_[level] = v;
+      diff_warmup_ = level + 1;
+      return false;
+    }
+    const double next = v - diff_state_[level];
+    diff_state_[level] = v;
+    v = next;
+  }
+  *out = v;
+  return true;
+}
+
+std::vector<double> Arima::Integrate(const std::vector<double>& diffed) const {
+  std::vector<double> out = diffed;
+  for (int k = options_.d - 1; k >= 0; --k) {
+    double prev = diff_state_[static_cast<size_t>(k)];
+    for (double& v : out) {
+      v += prev;
+      prev = v;
+    }
+  }
+  return out;
+}
+
+void Arima::LearnOne(double y, const std::vector<double>& x) {
+  ++observed_;
+  double yd;
+  if (!Difference(y, &yd)) return;  // differencing chain still warming up
+
+  // Standardize the exogenous vector with the stats known so far, then
+  // fold the new observation into the running statistics.
+  std::vector<double> zx = StandardizeFeatures(x);
+  for (size_t k = 0; k < x_stats_.size(); ++k) {
+    x_stats_[k].Update(k < x.size() ? x[k] : 0.0);
+  }
+
+  const double zy = (yd - y_stats_.mean()) / TargetStddev();
+  y_stats_.Update(yd);
+
+  const double pred = PredictDifferenced(lags_, errors_, zx);
+  const double error = zy - pred;
+  UpdateWeights(lags_, errors_, zx, error);
+  lags_.push_front(zy);
+  while (lags_.size() > phi_.size()) lags_.pop_back();
+  errors_.push_front(error);
+  while (errors_.size() > theta_.size()) errors_.pop_back();
+}
+
+Result<std::vector<double>> Arima::Forecast(
+    size_t horizon, const std::vector<std::vector<double>>& future_x) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("forecast horizon must be > 0");
+  }
+  if (!beta_.empty() && future_x.size() < horizon) {
+    return Status::InvalidArgument(
+        name() + " needs one future feature vector per forecast step (" +
+        std::to_string(future_x.size()) + " given, " +
+        std::to_string(horizon) + " needed)");
+  }
+  std::deque<double> lags = lags_;
+  std::deque<double> errors = errors_;
+  const double stddev = TargetStddev();
+  std::vector<double> diffed;
+  diffed.reserve(horizon);
+  static const std::vector<double> kNoFeatures;
+  for (size_t h = 0; h < horizon; ++h) {
+    const std::vector<double> zx =
+        h < future_x.size() ? StandardizeFeatures(future_x[h]) : kNoFeatures;
+    double pred_z = PredictDifferenced(lags, errors, zx);
+    // Sanity clamp: the recursion feeds its own predictions back in, so
+    // a transient shock (e.g. a scale error in the last observations)
+    // could otherwise snowball across the horizon. Eight standard
+    // deviations is far outside any plausible one-step move.
+    pred_z = std::max(-8.0, std::min(8.0, pred_z));
+    diffed.push_back(pred_z * stddev + y_stats_.mean());  // raw scale
+    lags.push_front(pred_z);
+    while (lags.size() > phi_.size()) lags.pop_back();
+    errors.push_front(0.0);  // future one-step errors are unknown
+    while (errors.size() > theta_.size()) errors.pop_back();
+  }
+  return Integrate(diffed);
+}
+
+ForecasterPtr Arima::CloneFresh() const {
+  return std::make_unique<Arima>(options_);
+}
+
+Arimax::Arimax(ArimaOptions options, size_t num_features) : Arima(options) {
+  num_exogenous_ = num_features;
+  beta_.assign(num_features, 0.0);
+  x_stats_.assign(num_features, RunningMoments(options.stats_decay));
+}
+
+ForecasterPtr Arimax::CloneFresh() const {
+  return std::make_unique<Arimax>(options_, num_exogenous_);
+}
+
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,119 @@
+#ifndef ICEWAFL_FORECAST_ARIMA_H_
+#define ICEWAFL_FORECAST_ARIMA_H_
+
+#include <deque>
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "forecast/running_moments.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Hyperparameters shared by Arima and Arimax.
+struct ArimaOptions {
+  int p = 1;  ///< auto-regressive order
+  int d = 0;  ///< differencing order
+  int q = 0;  ///< moving-average order
+  /// Base learning rate of the normalized-LMS update. The effective rate
+  /// is lr / (1 + ||features||^2), which keeps the recursion stable for
+  /// unscaled sensor magnitudes.
+  double learning_rate = 0.01;
+  /// Decay of the internal standardization statistics: 1.0 weighs the
+  /// whole history equally (cumulative); values < 1 track the current
+  /// scale of a drifting stream (see RunningMoments).
+  double stats_decay = 1.0;
+};
+
+/// \brief Online ARIMA(p, d, q) fitted by normalized stochastic gradient
+/// descent (the streaming formulation used by River's SNARIMAX).
+///
+/// The model maintains the d-times differenced series, standardizes it
+/// (and every exogenous feature) with running Welford statistics — the
+/// equivalent of the StandardScaler River pipelines use, and essential
+/// for the NLMS step to treat lag and exogenous features equally — then
+/// predicts
+///   zhat_t = c + sum_i phi_i * z_{t-i} + sum_j theta_j * e_{t-j} + b'x
+/// and updates (c, phi, theta, b) from each one-step-ahead error.
+/// Multi-step forecasts recurse with future errors set to zero, are
+/// un-standardized, and are integrated back through the differencing
+/// chain.
+class Arima : public Forecaster {
+ public:
+  explicit Arima(ArimaOptions options);
+
+  void LearnOne(double y, const std::vector<double>& x = {}) override;
+  Result<std::vector<double>> Forecast(
+      size_t horizon,
+      const std::vector<std::vector<double>>& future_x = {}) const override;
+  void Reset() override;
+  uint64_t observed_count() const override { return observed_; }
+  std::string name() const override { return "arima"; }
+  ForecasterPtr CloneFresh() const override;
+
+  const ArimaOptions& options() const { return options_; }
+
+ protected:
+  /// One-step prediction of the differenced series from the current
+  /// lag/error state (`lags` newest-first, `errors` newest-first) and the
+  /// exogenous vector (empty for plain ARIMA).
+  double PredictDifferenced(const std::deque<double>& lags,
+                            const std::deque<double>& errors,
+                            const std::vector<double>& x) const;
+
+  /// NLMS update from a one-step error.
+  void UpdateWeights(const std::deque<double>& lags,
+                     const std::deque<double>& errors,
+                     const std::vector<double>& x, double error);
+
+  /// Pushes y through the d-level differencing chain, returning the
+  /// fully differenced value; returns false while the chain is warming
+  /// up (fewer than d prior observations).
+  bool Difference(double y, double* out);
+
+  /// Integrates a differenced forecast sequence back to the original
+  /// scale using the stored chain state.
+  std::vector<double> Integrate(const std::vector<double>& diffed) const;
+
+  /// Standard deviation of the differenced target (>= a small floor so
+  /// constant series stay well-defined).
+  double TargetStddev() const;
+
+  /// Standardizes an exogenous vector with the current running stats.
+  std::vector<double> StandardizeFeatures(const std::vector<double>& x) const;
+
+  ArimaOptions options_;
+  size_t num_exogenous_ = 0;  // fixed for Arimax, 0 for plain Arima
+
+  double intercept_ = 0.0;
+  std::vector<double> phi_;    // AR coefficients, lag 1 first
+  std::vector<double> theta_;  // MA coefficients, lag 1 first
+  std::vector<double> beta_;   // exogenous coefficients (Arimax)
+
+  std::deque<double> lags_;    // standardized differenced values, newest 1st
+  std::deque<double> errors_;  // one-step errors (z-space), newest first
+  std::vector<double> diff_state_;  // last value per differencing level
+  size_t diff_warmup_ = 0;
+  uint64_t observed_ = 0;
+
+  // Running standardization statistics of the differenced target and of
+  // each exogenous feature.
+  RunningMoments y_stats_;
+  std::vector<RunningMoments> x_stats_;
+};
+
+/// \brief Online ARIMAX: ARIMA plus a linear term over exogenous features
+/// (weather covariates and sine/cosine time encodings in Experiment 2).
+/// Forecasting requires the future feature vectors.
+class Arimax : public Arima {
+ public:
+  Arimax(ArimaOptions options, size_t num_features);
+
+  std::string name() const override { return "arimax"; }
+  ForecasterPtr CloneFresh() const override;
+};
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_ARIMA_H_

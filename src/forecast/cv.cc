@@ -1,0 +1,134 @@
+#include "forecast/cv.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "forecast/metrics.h"
+
+namespace icewafl {
+namespace forecast {
+
+Result<std::vector<Fold>> TimeSeriesSplit(size_t n, int n_splits) {
+  if (n_splits < 1) {
+    return Status::InvalidArgument("n_splits must be >= 1");
+  }
+  const size_t blocks = static_cast<size_t>(n_splits) + 1;
+  if (n < blocks) {
+    return Status::InvalidArgument(
+        "series of length " + std::to_string(n) + " too short for " +
+        std::to_string(n_splits) + " splits");
+  }
+  const size_t test_size = n / blocks;
+  std::vector<Fold> folds;
+  folds.reserve(static_cast<size_t>(n_splits));
+  // Mirror scikit-learn: the first block absorbs the remainder.
+  const size_t first_train = n - test_size * static_cast<size_t>(n_splits);
+  for (int i = 0; i < n_splits; ++i) {
+    Fold fold;
+    fold.train_end = first_train + test_size * static_cast<size_t>(i);
+    fold.test_begin = fold.train_end;
+    fold.test_end = fold.test_begin + test_size;
+    folds.push_back(fold);
+  }
+  return folds;
+}
+
+namespace {
+
+/// Mean MAE of forecast/learn chunks over one fold.
+Result<double> ScoreFold(Forecaster* model, const std::vector<double>& y,
+                         const std::vector<std::vector<double>>& x,
+                         const Fold& fold, size_t horizon) {
+  static const std::vector<double> kNoFeatures;
+  auto features = [&](size_t i) -> const std::vector<double>& {
+    return i < x.size() ? x[i] : kNoFeatures;
+  };
+  for (size_t i = 0; i < fold.train_end; ++i) {
+    model->LearnOne(y[i], features(i));
+  }
+  double mae_sum = 0.0;
+  size_t chunks = 0;
+  size_t pos = fold.test_begin;
+  while (pos + horizon <= fold.test_end) {
+    std::vector<std::vector<double>> future_x;
+    if (!x.empty()) {
+      future_x.assign(x.begin() + static_cast<ptrdiff_t>(pos),
+                      x.begin() + static_cast<ptrdiff_t>(pos + horizon));
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(std::vector<double> predicted,
+                             model->Forecast(horizon, future_x));
+    const std::vector<double> actual(
+        y.begin() + static_cast<ptrdiff_t>(pos),
+        y.begin() + static_cast<ptrdiff_t>(pos + horizon));
+    ICEWAFL_ASSIGN_OR_RETURN(double mae,
+                             MeanAbsoluteError(actual, predicted));
+    mae_sum += mae;
+    ++chunks;
+    for (size_t i = pos; i < pos + horizon; ++i) {
+      model->LearnOne(y[i], features(i));
+    }
+    pos += horizon;
+  }
+  if (chunks == 0) {
+    return Status::InvalidArgument("test block shorter than forecast horizon");
+  }
+  return mae_sum / static_cast<double>(chunks);
+}
+
+/// Expands the grid into all parameter assignments (cartesian product).
+std::vector<ParamMap> ExpandGrid(
+    const std::map<std::string, std::vector<double>>& grid) {
+  std::vector<ParamMap> assignments = {ParamMap{}};
+  for (const auto& [param, values] : grid) {
+    std::vector<ParamMap> next;
+    next.reserve(assignments.size() * values.size());
+    for (const ParamMap& base : assignments) {
+      for (double v : values) {
+        ParamMap extended = base;
+        extended[param] = v;
+        next.push_back(std::move(extended));
+      }
+    }
+    assignments = std::move(next);
+  }
+  return assignments;
+}
+
+}  // namespace
+
+Result<GridSearchResult> GridSearch(
+    const std::map<std::string, std::vector<double>>& grid,
+    const ModelFactory& factory, const std::vector<double>& y,
+    const std::vector<std::vector<double>>& x,
+    const GridSearchOptions& options) {
+  if (!x.empty() && x.size() != y.size()) {
+    return Status::InvalidArgument("feature series must match target length");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(std::vector<Fold> folds,
+                           TimeSeriesSplit(y.size(), options.n_splits));
+  GridSearchResult result;
+  result.best_score = std::numeric_limits<double>::infinity();
+  for (const ParamMap& params : ExpandGrid(grid)) {
+    double score_sum = 0.0;
+    for (const Fold& fold : folds) {
+      ForecasterPtr model = factory(params);
+      if (model == nullptr) {
+        return Status::InvalidArgument("model factory returned nullptr");
+      }
+      ICEWAFL_ASSIGN_OR_RETURN(
+          double score,
+          ScoreFold(model.get(), y, x, fold, options.horizon));
+      score_sum += score;
+    }
+    const double mean_score = score_sum / static_cast<double>(folds.size());
+    result.evaluated.emplace_back(params, mean_score);
+    if (mean_score < result.best_score) {
+      result.best_score = mean_score;
+      result.best_params = params;
+    }
+  }
+  return result;
+}
+
+}  // namespace forecast
+}  // namespace icewafl

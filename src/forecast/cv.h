@@ -1,0 +1,67 @@
+#ifndef ICEWAFL_FORECAST_CV_H_
+#define ICEWAFL_FORECAST_CV_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief One expanding-window fold: train on [0, train_end), test on
+/// [test_begin, test_end).
+struct Fold {
+  size_t train_end = 0;
+  size_t test_begin = 0;
+  size_t test_end = 0;
+};
+
+/// \brief Expanding-window time-series cross validation
+/// (scikit-learn TimeSeriesSplit semantics): the series is cut into
+/// n_splits + 1 equal blocks; fold i trains on the first i+1 blocks and
+/// tests on block i+2.
+Result<std::vector<Fold>> TimeSeriesSplit(size_t n, int n_splits);
+
+/// \brief A point in hyperparameter space.
+using ParamMap = std::map<std::string, double>;
+
+/// \brief Builds an untrained model from a parameter assignment.
+using ModelFactory = std::function<ForecasterPtr(const ParamMap&)>;
+
+struct GridSearchResult {
+  ParamMap best_params;
+  double best_score = 0.0;  ///< mean CV MAE of the best assignment
+  /// Every evaluated assignment with its mean CV MAE.
+  std::vector<std::pair<ParamMap, double>> evaluated;
+};
+
+/// \brief Options for grid search.
+struct GridSearchOptions {
+  int n_splits = 5;
+  size_t horizon = 12;  ///< forecast chunk length inside each test block
+};
+
+/// \brief Exhaustive grid search over hyperparameters, scored by
+/// expanding-window CV: in each fold the model learns the training
+/// block, then alternates forecast-horizon / learn-chunk through the
+/// test block; the score is the mean MAE of all chunks (Section 3.2.2's
+/// "grid search in combination with 5-fold time series cross
+/// validation").
+///
+/// \param grid map from parameter name to candidate values; the
+///   cartesian product is evaluated.
+/// \param x optional exogenous features, one vector per observation
+///   (empty for purely auto-regressive models).
+Result<GridSearchResult> GridSearch(
+    const std::map<std::string, std::vector<double>>& grid,
+    const ModelFactory& factory, const std::vector<double>& y,
+    const std::vector<std::vector<double>>& x,
+    const GridSearchOptions& options = {});
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_CV_H_

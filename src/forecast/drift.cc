@@ -1,0 +1,34 @@
+#include "forecast/drift.h"
+
+#include <algorithm>
+
+namespace icewafl {
+namespace forecast {
+
+PageHinkley::PageHinkley(double delta, double lambda,
+                         uint64_t min_observations)
+    : delta_(delta), lambda_(lambda), min_observations_(min_observations) {}
+
+bool PageHinkley::Update(double value) {
+  ++count_;
+  const double prev_mean = mean_;
+  mean_ += (value - mean_) / static_cast<double>(count_);
+  (void)prev_mean;
+  cumulative_ += value - mean_ - delta_;
+  minimum_ = std::min(minimum_, cumulative_);
+  if (count_ >= min_observations_ && statistic() > lambda_) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void PageHinkley::Reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  minimum_ = 0.0;
+}
+
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,53 @@
+#ifndef ICEWAFL_FORECAST_DRIFT_H_
+#define ICEWAFL_FORECAST_DRIFT_H_
+
+#include <cstdint>
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Page-Hinkley change detector (Gama et al., "A Survey on
+/// Concept Drift Adaptation").
+///
+/// Monitors a stream of non-negative deviations (e.g. absolute forecast
+/// errors) and signals drift when their cumulative excess over the
+/// running mean (minus a tolerance delta) exceeds `lambda`. In this
+/// repository it closes the loop on the pollution model: a detector fed
+/// with forecast residuals localizes the *onset* of temporally
+/// increasing errors injected by Icewafl.
+class PageHinkley {
+ public:
+  /// \param delta  magnitude tolerance: deviations within delta of the
+  ///   running mean are treated as noise.
+  /// \param lambda detection threshold on the cumulative statistic.
+  /// \param min_observations warm-up before any detection fires.
+  PageHinkley(double delta, double lambda, uint64_t min_observations = 30);
+
+  /// \brief Consumes one value; returns true if drift is detected at
+  /// this observation. After a detection the statistic resets, so
+  /// subsequent drifts can be detected again.
+  bool Update(double value);
+
+  /// \brief Number of observations since construction or the last
+  /// detection.
+  uint64_t observed() const { return count_; }
+
+  /// \brief Current value of the cumulative test statistic.
+  double statistic() const { return cumulative_ - minimum_; }
+
+  void Reset();
+
+ private:
+  double delta_;
+  double lambda_;
+  uint64_t min_observations_;
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double minimum_ = 0.0;
+};
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_DRIFT_H_

@@ -1,0 +1,31 @@
+#ifndef ICEWAFL_FORECAST_ENCODINGS_H_
+#define ICEWAFL_FORECAST_ENCODINGS_H_
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/time_util.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Cyclic (sin, cos) encoding of a value with the given period.
+inline std::pair<double, double> CyclicEncode(double value, double period) {
+  const double angle = 2.0 * M_PI * value / period;
+  return {std::sin(angle), std::cos(angle)};
+}
+
+/// \brief The paper's temporal features for ARIMAX: sine and cosine
+/// encodings of the hour-of-day and the month of the event timestamp
+/// (Section 3.2.2). Returns {sin_h, cos_h, sin_m, cos_m}.
+inline std::vector<double> TimeEncodings(Timestamp ts) {
+  const auto [sin_h, cos_h] = CyclicEncode(HourOfDay(ts), 24.0);
+  const auto [sin_m, cos_m] = CyclicEncode(MonthOfYear(ts) - 1, 12.0);
+  return {sin_h, cos_h, sin_m, cos_m};
+}
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_ENCODINGS_H_

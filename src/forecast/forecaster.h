@@ -1,0 +1,50 @@
+#ifndef ICEWAFL_FORECAST_FORECASTER_H_
+#define ICEWAFL_FORECAST_FORECASTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief An online (incremental) forecasting model.
+///
+/// Models receive observations one at a time — the streaming analogue of
+/// the River library used in the paper's Experiment 2 — and can forecast
+/// an arbitrary horizon ahead from their current state. Exogenous
+/// features `x` are optional; auto-regressive models (ARIMA,
+/// Holt-Winters) ignore them while ARIMAX consumes them.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// \brief Consumes one observation of the target (and its features).
+  virtual void LearnOne(double y, const std::vector<double>& x = {}) = 0;
+
+  /// \brief Predicts the next `horizon` values. Models with exogenous
+  /// inputs require `future_x` to hold one feature vector per step.
+  virtual Result<std::vector<double>> Forecast(
+      size_t horizon,
+      const std::vector<std::vector<double>>& future_x = {}) const = 0;
+
+  /// \brief Discards all learned state (hyperparameters are kept).
+  virtual void Reset() = 0;
+
+  /// \brief Number of observations consumed since the last Reset.
+  virtual uint64_t observed_count() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// \brief Fresh (untrained) copy with identical hyperparameters.
+  virtual std::unique_ptr<Forecaster> CloneFresh() const = 0;
+};
+
+using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_FORECASTER_H_

@@ -1,0 +1,88 @@
+#include "forecast/holt_winters.h"
+
+namespace icewafl {
+namespace forecast {
+
+HoltWinters::HoltWinters(HoltWintersOptions options) : options_(options) {
+  if (options_.season_length < 1) options_.season_length = 1;
+}
+
+void HoltWinters::Reset() {
+  warmup_.clear();
+  season_.clear();
+  level_ = 0.0;
+  trend_ = 0.0;
+  initialized_ = false;
+  observed_ = 0;
+  season_pos_ = 0;
+}
+
+void HoltWinters::LearnOne(double y, const std::vector<double>&) {
+  ++observed_;
+  const size_t m = static_cast<size_t>(options_.season_length);
+  if (!initialized_) {
+    warmup_.push_back(y);
+    if (warmup_.size() < m) return;
+    // Initialize: level = mean of the first season, trend = 0, seasonal
+    // components = deviations from the mean.
+    double mean = 0.0;
+    for (double v : warmup_) mean += v;
+    mean /= static_cast<double>(m);
+    level_ = mean;
+    trend_ = 0.0;
+    season_.resize(m);
+    for (size_t i = 0; i < m; ++i) season_[i] = warmup_[i] - mean;
+    warmup_.clear();
+    season_pos_ = 0;  // the next observation aligns with season slot 0
+    initialized_ = true;
+    return;
+  }
+  const size_t s = season_pos_;
+  const double last_level = level_;
+  const double seasonal = season_[s];
+  level_ = options_.alpha * (y - seasonal) +
+           (1.0 - options_.alpha) * (level_ + trend_);
+  trend_ = options_.beta * (level_ - last_level) +
+           (1.0 - options_.beta) * trend_;
+  season_[s] = options_.gamma * (y - level_) +
+               (1.0 - options_.gamma) * seasonal;
+  season_pos_ = (season_pos_ + 1) % m;
+}
+
+Result<std::vector<double>> HoltWinters::Forecast(
+    size_t horizon, const std::vector<std::vector<double>>&) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("forecast horizon must be > 0");
+  }
+  std::vector<double> out;
+  out.reserve(horizon);
+  if (!initialized_) {
+    // Not enough data for a seasonal profile: forecast the running mean
+    // of what has been seen (or 0 with no data at all).
+    double mean = 0.0;
+    if (!warmup_.empty()) {
+      for (double v : warmup_) mean += v;
+      mean /= static_cast<double>(warmup_.size());
+    }
+    out.assign(horizon, mean);
+    return out;
+  }
+  const size_t m = season_.size();
+  const double phi = options_.trend_damping;
+  double damp_sum = 0.0;
+  double damp_pow = 1.0;
+  for (size_t h = 1; h <= horizon; ++h) {
+    damp_pow *= phi;
+    damp_sum += damp_pow;  // phi + phi^2 + ... + phi^h; equals h if phi=1
+    const size_t s = (season_pos_ + h - 1) % m;
+    out.push_back(level_ + damp_sum * trend_ + season_[s]);
+  }
+  return out;
+}
+
+ForecasterPtr HoltWinters::CloneFresh() const {
+  return std::make_unique<HoltWinters>(options_);
+}
+
+}  // namespace forecast
+}  // namespace icewafl

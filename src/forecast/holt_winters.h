@@ -1,0 +1,59 @@
+#ifndef ICEWAFL_FORECAST_HOLT_WINTERS_H_
+#define ICEWAFL_FORECAST_HOLT_WINTERS_H_
+
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Hyperparameters of the Holt-Winters model.
+struct HoltWintersOptions {
+  double alpha = 0.3;     ///< level smoothing in (0, 1)
+  double beta = 0.05;     ///< trend smoothing in [0, 1)
+  double gamma = 0.1;     ///< seasonal smoothing in [0, 1)
+  int season_length = 24; ///< observations per season (24 for hourly data)
+  /// Damped-trend factor phi in (0, 1]: the h-step forecast uses
+  /// (phi + phi^2 + ... + phi^h) * trend (Gardner's damped trend), which
+  /// keeps long horizons from running away on a noisy trend estimate.
+  /// 1.0 disables damping.
+  double trend_damping = 1.0;
+};
+
+/// \brief Additive Holt-Winters triple exponential smoothing, updated
+/// online (Hyndman & Athanasopoulos, ch. 8).
+///
+/// The first `season_length` observations initialize the seasonal
+/// profile; afterwards level, trend, and season are smoothed per
+/// observation and forecasts extrapolate level + h * trend + season.
+class HoltWinters : public Forecaster {
+ public:
+  explicit HoltWinters(HoltWintersOptions options);
+
+  void LearnOne(double y, const std::vector<double>& x = {}) override;
+  Result<std::vector<double>> Forecast(
+      size_t horizon,
+      const std::vector<std::vector<double>>& future_x = {}) const override;
+  void Reset() override;
+  uint64_t observed_count() const override { return observed_; }
+  std::string name() const override { return "holt_winters"; }
+  ForecasterPtr CloneFresh() const override;
+
+  const HoltWintersOptions& options() const { return options_; }
+
+ private:
+  HoltWintersOptions options_;
+  std::vector<double> warmup_;   // first season, used for initialization
+  std::vector<double> season_;   // seasonal components
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  bool initialized_ = false;
+  uint64_t observed_ = 0;
+  size_t season_pos_ = 0;  // index into season_ of the next observation
+};
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_HOLT_WINTERS_H_

@@ -1,0 +1,27 @@
+#ifndef ICEWAFL_FORECAST_METRICS_H_
+#define ICEWAFL_FORECAST_METRICS_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Mean absolute error between actual and predicted series.
+Result<double> MeanAbsoluteError(const std::vector<double>& actual,
+                                 const std::vector<double>& predicted);
+
+/// \brief Root mean squared error.
+Result<double> RootMeanSquaredError(const std::vector<double>& actual,
+                                    const std::vector<double>& predicted);
+
+/// \brief Symmetric mean absolute percentage error in [0, 200] (%).
+/// Pairs where both values are 0 contribute 0.
+Result<double> SymmetricMape(const std::vector<double>& actual,
+                             const std::vector<double>& predicted);
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_METRICS_H_

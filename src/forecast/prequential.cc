@@ -1,0 +1,63 @@
+#include "forecast/prequential.h"
+
+#include "forecast/metrics.h"
+
+namespace icewafl {
+namespace forecast {
+
+Result<std::vector<PrequentialPoint>> RunPrequential(
+    Forecaster* model, const std::vector<double>& y,
+    const std::vector<double>& targets,
+    const std::vector<std::vector<double>>& x,
+    const std::vector<Timestamp>& ts, const PrequentialOptions& options) {
+  const size_t n = y.size();
+  if (targets.size() != n) {
+    return Status::InvalidArgument("targets must match stream length");
+  }
+  if (!x.empty() && x.size() != n) {
+    return Status::InvalidArgument("feature series must match stream length");
+  }
+  if (ts.size() != n) {
+    return Status::InvalidArgument("timestamps must match stream length");
+  }
+  if (options.train_window == 0 || options.horizon == 0) {
+    return Status::InvalidArgument("train_window and horizon must be > 0");
+  }
+  static const std::vector<double> kNoFeatures;
+  auto features = [&](size_t i) -> const std::vector<double>& {
+    return i < x.size() ? x[i] : kNoFeatures;
+  };
+
+  std::vector<PrequentialPoint> points;
+  size_t pos = 0;
+  while (pos + options.train_window + options.horizon <= n) {
+    // Training period: the evaluation data of the previous window lies
+    // inside this range, realizing the "released for the next training
+    // period" rule.
+    const size_t train_end = pos + options.train_window;
+    for (size_t i = pos; i < train_end; ++i) {
+      model->LearnOne(y[i], features(i));
+    }
+    std::vector<std::vector<double>> future_x;
+    if (!x.empty()) {
+      future_x.assign(
+          x.begin() + static_cast<ptrdiff_t>(train_end),
+          x.begin() + static_cast<ptrdiff_t>(train_end + options.horizon));
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(std::vector<double> predicted,
+                             model->Forecast(options.horizon, future_x));
+    const std::vector<double> actual(
+        targets.begin() + static_cast<ptrdiff_t>(train_end),
+        targets.begin() +
+            static_cast<ptrdiff_t>(train_end + options.horizon));
+    PrequentialPoint point;
+    point.eval_start = ts[train_end];
+    ICEWAFL_ASSIGN_OR_RETURN(point.mae, MeanAbsoluteError(actual, predicted));
+    points.push_back(point);
+    pos += options.train_window;
+  }
+  return points;
+}
+
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,48 @@
+#ifndef ICEWAFL_FORECAST_PREQUENTIAL_H_
+#define ICEWAFL_FORECAST_PREQUENTIAL_H_
+
+#include <vector>
+
+#include "forecast/forecaster.h"
+#include "util/time_util.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Parameters of the paper's evaluation protocol (Section 3.2.3):
+/// learn `train_window` observations, forecast the next `horizon`, score,
+/// release the evaluation data into the next training period.
+struct PrequentialOptions {
+  size_t train_window = 504;  ///< 3 weeks of hourly data
+  size_t horizon = 12;        ///< 12-hour forecast
+};
+
+/// \brief One evaluation window of a prequential run.
+struct PrequentialPoint {
+  /// Event time of the first forecast step (x-axis of Figures 6/7).
+  Timestamp eval_start = 0;
+  /// Mean absolute error of the `horizon` forecasts in this window.
+  double mae = 0.0;
+};
+
+/// \brief Runs the train-504h / forecast-12h prequential protocol.
+///
+/// \param y       the stream the model observes (possibly polluted).
+/// \param targets the values forecasts are scored against. Pass `y`
+///   itself for pure prequential scoring, or the clean series to measure
+///   robustness against injected errors.
+/// \param x       optional exogenous features per observation (empty for
+///   purely auto-regressive models); forecasts receive the features of
+///   the evaluation steps, which mirrors the paper's ARIMAX setup where
+///   covariates of the forecast period are available.
+/// \param ts      event time per observation (labels the output points).
+Result<std::vector<PrequentialPoint>> RunPrequential(
+    Forecaster* model, const std::vector<double>& y,
+    const std::vector<double>& targets,
+    const std::vector<std::vector<double>>& x,
+    const std::vector<Timestamp>& ts, const PrequentialOptions& options = {});
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_PREQUENTIAL_H_

@@ -1,0 +1,77 @@
+#ifndef ICEWAFL_FORECAST_RUNNING_MOMENTS_H_
+#define ICEWAFL_FORECAST_RUNNING_MOMENTS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Streaming estimate of mean and standard deviation.
+///
+/// With decay == 1 this is the cumulative Welford recurrence (all
+/// history weighted equally). With decay < 1 the moments are
+/// exponentially weighted: each observation multiplies the weight of the
+/// past by `decay`, so the estimate tracks the *current* scale of a
+/// non-stationary stream — which is what an online standardizer needs
+/// when error magnitudes drift over time (Experiment 3.2's temporally
+/// increasing noise).
+class RunningMoments {
+ public:
+  explicit RunningMoments(double decay = 1.0) : decay_(decay) {}
+
+  void Update(double x) {
+    ++count_;
+    if (count_ == 1) {
+      mean_ = x;
+      accum_ = 0.0;
+      return;
+    }
+    if (decay_ >= 1.0) {
+      // Welford: accum_ carries the sum of squared deviations.
+      const double delta = x - mean_;
+      mean_ += delta / static_cast<double>(count_);
+      accum_ += delta * (x - mean_);
+    } else {
+      // Exponentially weighted: accum_ carries the variance directly.
+      const double diff = x - mean_;
+      const double incr = (1.0 - decay_) * diff;
+      mean_ += incr;
+      accum_ = decay_ * (accum_ + diff * incr);
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  double Variance() const {
+    if (count_ < 2) return 0.0;
+    if (decay_ >= 1.0) return accum_ / static_cast<double>(count_);
+    return accum_;
+  }
+
+  /// \brief Standard deviation, floored away from zero so standardizing
+  /// a constant stream stays well-defined.
+  double Stddev(double floor = 1e-9) const {
+    if (count_ < 2) return 1.0;
+    return std::max(floor, std::sqrt(Variance()));
+  }
+
+  void Reset() {
+    count_ = 0;
+    mean_ = 0.0;
+    accum_ = 0.0;
+  }
+
+ private:
+  double decay_;
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double accum_ = 0.0;
+};
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_RUNNING_MOMENTS_H_

@@ -1,0 +1,50 @@
+#include "forecast/seasonal_naive.h"
+
+namespace icewafl {
+namespace forecast {
+
+SeasonalNaive::SeasonalNaive(int season_length)
+    : season_length_(season_length < 1 ? 1 : season_length) {}
+
+void SeasonalNaive::LearnOne(double y, const std::vector<double>&) {
+  ++observed_;
+  history_.push_back(y);
+  while (history_.size() > static_cast<size_t>(season_length_)) {
+    history_.pop_front();
+  }
+}
+
+Result<std::vector<double>> SeasonalNaive::Forecast(
+    size_t horizon, const std::vector<std::vector<double>>&) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("forecast horizon must be > 0");
+  }
+  std::vector<double> out;
+  out.reserve(horizon);
+  if (history_.empty()) {
+    out.assign(horizon, 0.0);
+    return out;
+  }
+  if (history_.size() < static_cast<size_t>(season_length_)) {
+    // Not a full season yet: plain naive (repeat the last value).
+    out.assign(horizon, history_.back());
+    return out;
+  }
+  // history_[0] is the value from exactly one season ago.
+  for (size_t h = 0; h < horizon; ++h) {
+    out.push_back(history_[h % history_.size()]);
+  }
+  return out;
+}
+
+void SeasonalNaive::Reset() {
+  history_.clear();
+  observed_ = 0;
+}
+
+ForecasterPtr SeasonalNaive::CloneFresh() const {
+  return std::make_unique<SeasonalNaive>(season_length_);
+}
+
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,38 @@
+#ifndef ICEWAFL_FORECAST_SEASONAL_NAIVE_H_
+#define ICEWAFL_FORECAST_SEASONAL_NAIVE_H_
+
+#include <deque>
+
+#include "forecast/forecaster.h"
+
+namespace icewafl {
+namespace forecast {
+
+/// \brief Seasonal-naive baseline: the forecast for step t+h is the
+/// observation one season back, y_{t+h-m} (Hyndman & Athanasopoulos,
+/// ch. 3). The standard sanity baseline every seasonal forecaster must
+/// beat; before a full season has been observed it repeats the last
+/// value (plain naive).
+class SeasonalNaive : public Forecaster {
+ public:
+  explicit SeasonalNaive(int season_length = 24);
+
+  void LearnOne(double y, const std::vector<double>& x = {}) override;
+  Result<std::vector<double>> Forecast(
+      size_t horizon,
+      const std::vector<std::vector<double>>& future_x = {}) const override;
+  void Reset() override;
+  uint64_t observed_count() const override { return observed_; }
+  std::string name() const override { return "seasonal_naive"; }
+  ForecasterPtr CloneFresh() const override;
+
+ private:
+  int season_length_;
+  std::deque<double> history_;  // most recent season_length_ values
+  uint64_t observed_ = 0;
+};
+
+}  // namespace forecast
+}  // namespace icewafl
+
+#endif  // ICEWAFL_FORECAST_SEASONAL_NAIVE_H_

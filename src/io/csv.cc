@@ -1,0 +1,323 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace icewafl {
+
+Result<std::vector<std::vector<std::string>>> ParseCsvText(
+    const std::string& text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty() && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == options.delimiter) {
+      end_field();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r') {
+      // Swallow \r of \r\n; a bare \r also terminates the record.
+      if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      end_record();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  // Final record without trailing newline.
+  if (field_started || !field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+std::string EscapeCsvField(const std::string& field, char delimiter) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string ToCsvString(const SchemaPtr& schema, const TupleVector& tuples,
+                        const CsvOptions& options) {
+  std::string out;
+  if (options.header) {
+    for (size_t i = 0; i < schema->num_attributes(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      out += EscapeCsvField(schema->attribute(i).name, options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  for (const Tuple& t : tuples) {
+    for (size_t i = 0; i < t.num_values(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      out += EscapeCsvField(t.value(i).ToString(options.null_repr),
+                            options.delimiter);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+
+Result<Value> ConvertField(const std::string& field, ValueType type,
+                           const std::string& null_repr) {
+  if (field == null_repr) return Value::Null();
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      const std::string lower = ToLower(field);
+      if (lower == "true" || lower == "1") return Value(true);
+      if (lower == "false" || lower == "0") return Value(false);
+      return Status::ParseError("invalid bool field: '" + field + "'");
+    }
+    case ValueType::kInt64: {
+      ICEWAFL_ASSIGN_OR_RETURN(int64_t v, ParseInt64(field));
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      ICEWAFL_ASSIGN_OR_RETURN(double v, ParseDouble(field));
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(field);
+  }
+  return Status::Internal("corrupt value type");
+}
+
+}  // namespace
+
+Result<TupleVector> FromCsvString(const SchemaPtr& schema,
+                                  const std::string& text,
+                                  const CsvOptions& options) {
+  ICEWAFL_ASSIGN_OR_RETURN(auto records, ParseCsvText(text, options));
+  size_t start = 0;
+  if (options.header) {
+    if (records.empty()) {
+      return Status::ParseError("missing CSV header");
+    }
+    const auto names = schema->Names();
+    if (records[0] != std::vector<std::string>(names.begin(), names.end())) {
+      return Status::ParseError("CSV header does not match schema: got '" +
+                                Join(records[0], ",") + "'");
+    }
+    start = 1;
+  }
+  TupleVector tuples;
+  tuples.reserve(records.size() - start);
+  for (size_t r = start; r < records.size(); ++r) {
+    const auto& record = records[r];
+    if (record.size() != schema->num_attributes()) {
+      return Status::ParseError(
+          "CSV record " + std::to_string(r) + " has " +
+          std::to_string(record.size()) + " fields, schema expects " +
+          std::to_string(schema->num_attributes()));
+    }
+    std::vector<Value> values;
+    values.reserve(record.size());
+    for (size_t i = 0; i < record.size(); ++i) {
+      ICEWAFL_ASSIGN_OR_RETURN(
+          Value v, ConvertField(record[i], schema->attribute(i).type,
+                                options.null_repr));
+      values.push_back(std::move(v));
+    }
+    tuples.emplace_back(schema, std::move(values));
+  }
+  return tuples;
+}
+
+Status WriteCsvFile(const SchemaPtr& schema, const TupleVector& tuples,
+                    const std::string& path, const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: '" + path + "'");
+  out << ToCsvString(schema, tuples, options);
+  out.flush();
+  if (!out) return Status::IOError("write failed: '" + path + "'");
+  return Status::OK();
+}
+
+Result<TupleVector> ReadCsvFile(const SchemaPtr& schema,
+                                const std::string& path,
+                                const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromCsvString(schema, buf.str(), options);
+}
+
+CsvSource::CsvSource(SchemaPtr schema, std::string path, CsvOptions options)
+    : schema_(std::move(schema)),
+      path_(std::move(path)),
+      options_(std::move(options)) {}
+
+Result<bool> CsvSource::ReadRecord(std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any_char = false;
+  int c;
+  while ((c = input_->get()) != EOF) {
+    any_char = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (input_->peek() == '"') {
+          field.push_back('"');
+          input_->get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+      continue;
+    }
+    if (ch == '"' && field.empty()) {
+      in_quotes = true;
+    } else if (ch == options_.delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields->push_back(std::move(field));
+      return true;
+    } else if (ch == '\r') {
+      if (input_->peek() == '\n') input_->get();
+      fields->push_back(std::move(field));
+      return true;
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field in '" + path_ +
+                              "'");
+  }
+  if (!any_char) return false;  // clean EOF
+  fields->push_back(std::move(field));
+  return true;  // final record without trailing newline
+}
+
+Result<bool> CsvSource::Next(Tuple* out) {
+  if (input_ == nullptr) {
+    auto file = std::make_unique<std::ifstream>(path_, std::ios::binary);
+    if (!*file) {
+      return Status::IOError("cannot open for reading: '" + path_ + "'");
+    }
+    input_ = std::move(file);
+  }
+  std::vector<std::string> fields;
+  if (options_.header && !header_checked_) {
+    ICEWAFL_ASSIGN_OR_RETURN(bool has_header, ReadRecord(&fields));
+    if (!has_header) return Status::ParseError("missing CSV header");
+    const auto names = schema_->Names();
+    if (fields != std::vector<std::string>(names.begin(), names.end())) {
+      return Status::ParseError("CSV header does not match schema: got '" +
+                                Join(fields, ",") + "'");
+    }
+    header_checked_ = true;
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(bool more, ReadRecord(&fields));
+  if (!more) return false;
+  ++record_index_;
+  if (fields.size() != schema_->num_attributes()) {
+    return Status::ParseError(
+        "CSV record " + std::to_string(record_index_) + " has " +
+        std::to_string(fields.size()) + " fields, schema expects " +
+        std::to_string(schema_->num_attributes()));
+  }
+  std::vector<Value> values;
+  values.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(
+        Value v, ConvertField(fields[i], schema_->attribute(i).type,
+                              options_.null_repr));
+    values.push_back(std::move(v));
+  }
+  *out = Tuple(schema_, std::move(values));
+  return true;
+}
+
+Status CsvSource::Reset() {
+  input_.reset();
+  header_checked_ = false;
+  record_index_ = 0;
+  return Status::OK();
+}
+
+CsvSink::CsvSink(SchemaPtr schema, std::ostream* out, CsvOptions options)
+    : schema_(std::move(schema)), out_(out), options_(std::move(options)) {}
+
+Status CsvSink::Write(const Tuple& tuple) {
+  if (options_.header && !header_written_) {
+    for (size_t i = 0; i < schema_->num_attributes(); ++i) {
+      if (i > 0) out_->put(options_.delimiter);
+      *out_ << EscapeCsvField(schema_->attribute(i).name, options_.delimiter);
+    }
+    out_->put('\n');
+    header_written_ = true;
+  }
+  for (size_t i = 0; i < tuple.num_values(); ++i) {
+    if (i > 0) out_->put(options_.delimiter);
+    *out_ << EscapeCsvField(tuple.value(i).ToString(options_.null_repr),
+                            options_.delimiter);
+  }
+  out_->put('\n');
+  if (!*out_) return Status::IOError("CSV sink write failed");
+  return Status::OK();
+}
+
+Status CsvSink::Flush() {
+  out_->flush();
+  if (!*out_) return Status::IOError("CSV sink flush failed");
+  return Status::OK();
+}
+
+}  // namespace icewafl

@@ -1,0 +1,98 @@
+#ifndef ICEWAFL_IO_CSV_H_
+#define ICEWAFL_IO_CSV_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stream/sink.h"
+#include "stream/source.h"
+#include "stream/tuple.h"
+#include "util/result.h"
+
+namespace icewafl {
+
+/// \brief Options controlling CSV serialization and parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Rendering of NULL on write; strings equal to it parse back as NULL.
+  std::string null_repr = "";
+  bool header = true;
+};
+
+/// \brief Splits raw CSV text into records of fields (RFC-4180 quoting:
+/// fields may be quoted with '"', quotes are escaped by doubling, quoted
+/// fields may contain delimiters and newlines).
+Result<std::vector<std::vector<std::string>>> ParseCsvText(
+    const std::string& text, const CsvOptions& options = {});
+
+/// \brief Quotes a single field if it contains delimiter/quote/newline.
+std::string EscapeCsvField(const std::string& field, char delimiter);
+
+/// \brief Serializes tuples as CSV text (types rendered per Value rules).
+std::string ToCsvString(const SchemaPtr& schema, const TupleVector& tuples,
+                        const CsvOptions& options = {});
+
+/// \brief Parses CSV text into typed tuples according to `schema`.
+///
+/// With options.header, the first record must list exactly the schema's
+/// attribute names (in order). Field values are converted to the attribute
+/// type; conversion failures are errors, fields equal to
+/// `options.null_repr` become NULL.
+Result<TupleVector> FromCsvString(const SchemaPtr& schema,
+                                  const std::string& text,
+                                  const CsvOptions& options = {});
+
+/// \brief File variants of the above.
+Status WriteCsvFile(const SchemaPtr& schema, const TupleVector& tuples,
+                    const std::string& path, const CsvOptions& options = {});
+Result<TupleVector> ReadCsvFile(const SchemaPtr& schema,
+                                const std::string& path,
+                                const CsvOptions& options = {});
+
+/// \brief Streaming source reading one CSV record per Next() call —
+/// tuple-at-a-time ingestion without materializing the file (how a real
+/// deployment feeds micro-batched CSV exports into the polluter).
+class CsvSource : public Source {
+ public:
+  /// \brief Opens `path`; errors surface on the first Next().
+  CsvSource(SchemaPtr schema, std::string path, CsvOptions options = {});
+
+  SchemaPtr schema() const override { return schema_; }
+  Result<bool> Next(Tuple* out) override;
+  Status Reset() override;
+
+ private:
+  /// Reads one raw record, honoring quoted newlines. Returns false at
+  /// EOF.
+  Result<bool> ReadRecord(std::vector<std::string>* fields);
+
+  SchemaPtr schema_;
+  std::string path_;
+  CsvOptions options_;
+  std::unique_ptr<std::istream> input_;
+  bool header_checked_ = false;
+  size_t record_index_ = 0;
+};
+
+/// \brief Streaming sink writing one CSV record per tuple.
+class CsvSink : public Sink {
+ public:
+  /// \param out stream to write to; not owned, must outlive the sink.
+  CsvSink(SchemaPtr schema, std::ostream* out, CsvOptions options = {});
+
+  Status Write(const Tuple& tuple) override;
+  Status Flush() override;
+
+ private:
+  SchemaPtr schema_;
+  std::ostream* out_;
+  CsvOptions options_;
+  bool header_written_ = false;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_IO_CSV_H_

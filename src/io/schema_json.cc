@@ -1,0 +1,61 @@
+#include "io/schema_json.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace icewafl {
+
+Result<SchemaPtr> SchemaFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("schema description must be a JSON object");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(Json attrs, json.Get("attributes"));
+  if (!attrs.is_array()) {
+    return Status::TypeError("'attributes' must be an array");
+  }
+  std::vector<Attribute> attributes;
+  attributes.reserve(attrs.size());
+  for (const Json& a : attrs.items()) {
+    if (!a.is_object()) {
+      return Status::TypeError("each attribute must be an object");
+    }
+    const std::string name = a.GetString("name", "");
+    ICEWAFL_ASSIGN_OR_RETURN(ValueType type,
+                             ValueTypeFromName(a.GetString("type", "double")));
+    attributes.push_back({name, type});
+  }
+  const std::string timestamp = json.GetString("timestamp", "");
+  if (timestamp.empty()) {
+    return Status::InvalidArgument("schema needs a 'timestamp' attribute name");
+  }
+  return Schema::Make(std::move(attributes), timestamp);
+}
+
+Result<SchemaPtr> SchemaFromJsonString(const std::string& text) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return SchemaFromJson(json);
+}
+
+Result<SchemaPtr> SchemaFromJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open schema file: '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return SchemaFromJsonString(buf.str());
+}
+
+Json SchemaToJson(const Schema& schema) {
+  Json attrs = Json::MakeArray();
+  for (const Attribute& a : schema.attributes()) {
+    Json attr = Json::MakeObject();
+    attr.Set("name", a.name);
+    attr.Set("type", ValueTypeName(a.type));
+    attrs.Append(std::move(attr));
+  }
+  Json root = Json::MakeObject();
+  root.Set("attributes", std::move(attrs));
+  root.Set("timestamp", schema.timestamp_name());
+  return root;
+}
+
+}  // namespace icewafl

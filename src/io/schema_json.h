@@ -1,0 +1,35 @@
+#ifndef ICEWAFL_IO_SCHEMA_JSON_H_
+#define ICEWAFL_IO_SCHEMA_JSON_H_
+
+#include <string>
+
+#include "stream/schema.h"
+#include "util/json.h"
+
+namespace icewafl {
+
+/// \file
+/// JSON (de)serialization of stream schemas — the "Schema" input of the
+/// pollution process (Figure 2). The format is
+/// \code{.json}
+/// {"attributes": [{"name": "ts", "type": "int64"},
+///                 {"name": "temp", "type": "double"}],
+///  "timestamp": "ts"}
+/// \endcode
+/// with types "null", "bool", "int64", "double", "string".
+
+/// \brief Builds a schema from its JSON description.
+Result<SchemaPtr> SchemaFromJson(const Json& json);
+
+/// \brief Parses JSON text and builds the schema.
+Result<SchemaPtr> SchemaFromJsonString(const std::string& text);
+
+/// \brief Reads a JSON file and builds the schema.
+Result<SchemaPtr> SchemaFromJsonFile(const std::string& path);
+
+/// \brief Inverse of SchemaFromJson.
+Json SchemaToJson(const Schema& schema);
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_IO_SCHEMA_JSON_H_

@@ -1,0 +1,160 @@
+#include "scenarios/scenarios.h"
+
+#include <cmath>
+
+#include "core/composite_polluter.h"
+#include "core/derived_error.h"
+#include "core/errors_numeric.h"
+#include "core/errors_temporal.h"
+#include "core/errors_value.h"
+#include "data/wearable.h"
+
+namespace icewafl {
+namespace scenarios {
+
+PollutionPipeline RandomTemporalErrorsPipeline() {
+  PollutionPipeline pipeline("random_temporal_errors");
+  pipeline.Add(std::make_unique<StandardPolluter>(
+      "sinusoidal_nulls", std::make_unique<MissingValueError>(),
+      std::make_unique<ProfileProbabilityCondition>(
+          std::make_unique<SinusoidalProfile>(24.0, 0.25, 0.25)),
+      std::vector<std::string>{"Distance"}));
+  return pipeline;
+}
+
+dq::ExpectationSuite RandomTemporalErrorsSuite() {
+  dq::ExpectationSuite suite("random_temporal_errors");
+  suite.Expect<dq::ExpectColumnValuesToNotBeNull>("Distance");
+  return suite;
+}
+
+std::vector<double> RandomTemporalExpectedPerHour(
+    const std::vector<uint64_t>& tuples_per_hour) {
+  std::vector<double> expected(24, 0.0);
+  for (int h = 0; h < 24; ++h) {
+    const double p = 0.25 * std::cos(M_PI / 12.0 * h) + 0.25;
+    expected[static_cast<size_t>(h)] =
+        p * static_cast<double>(tuples_per_hour[static_cast<size_t>(h)]);
+  }
+  return expected;
+}
+
+PollutionPipeline SoftwareUpdatePipeline() {
+  // Figure 5: a composite "Software Update" polluter gated on the update
+  // date delegates to three children; the BPM child is itself composite.
+  auto update = std::make_unique<SequentialPolluter>(
+      "software_update",
+      TimeWindowCondition::After(data::WearableUpdateTime()));
+  update->Register(std::make_unique<StandardPolluter>(
+      "distance_km_to_cm",
+      std::make_unique<UnitConversionError>(100000.0, "km", "cm"),
+      std::make_unique<AlwaysCondition>(),
+      std::vector<std::string>{"Distance"}));
+  update->Register(std::make_unique<StandardPolluter>(
+      "calories_precision_2", std::make_unique<RoundError>(2),
+      std::make_unique<AlwaysCondition>(),
+      std::vector<std::string>{"CaloriesBurned"}));
+  auto wrong_bpm = std::make_unique<SequentialPolluter>(
+      "wrong_bpm_measurement",
+      std::make_unique<ValueCondition>("BPM", CompareOp::kGt, Value(100.0)));
+  wrong_bpm->Register(std::make_unique<StandardPolluter>(
+      "bpm_to_zero", std::make_unique<SetConstantError>(Value(0.0)),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"BPM"}));
+  wrong_bpm->Register(std::make_unique<StandardPolluter>(
+      "bpm_to_null", std::make_unique<MissingValueError>(),
+      std::make_unique<RandomCondition>(0.2),
+      std::vector<std::string>{"BPM"}));
+  update->Register(std::move(wrong_bpm));
+
+  PollutionPipeline pipeline("software_update");
+  pipeline.Add(std::move(update));
+  return pipeline;
+}
+
+dq::ExpectationSuite SoftwareUpdateSuite() {
+  dq::ExpectationSuite suite("software_update");
+  // (i) After km->cm, Distance exceeds Steps.
+  suite.Expect<dq::ExpectColumnPairValuesAToBeGreaterThanB>(
+      "Steps", "Distance", /*or_equal=*/true);
+  // (ii) Valid CaloriesBurned are 0 or have >= 3 decimal places; the
+  // rounding polluter reduces the precision below that.
+  suite.Expect<dq::ExpectColumnValuesToMatchRegex>("CaloriesBurned",
+                                                   R"(0|\d+\.\d{3,})");
+  // (iii) Tuples with BPM = 0 must show no activity.
+  auto sum_zero = std::make_unique<dq::ExpectMulticolumnSumToEqual>(
+      std::vector<std::string>{"ActiveMinutes", "Distance", "Steps"}, 0.0);
+  sum_zero->WhereColumnEquals("BPM", 0.0);
+  suite.Add(std::move(sum_zero));
+  // (iv) BPM must not be NULL.
+  suite.Expect<dq::ExpectColumnValuesToNotBeNull>("BPM");
+  return suite;
+}
+
+SoftwareUpdateExpectations SoftwareUpdateExpectedCounts() {
+  return SoftwareUpdateExpectations{};
+}
+
+PollutionPipeline NetworkDelayPipeline() {
+  // Delay by one hour, only between 13:00 and 14:59 and then only with
+  // probability 0.2 (the nested condition of Section 3.1.3).
+  std::vector<ConditionPtr> children;
+  children.push_back(
+      std::make_unique<DailyWindowCondition>(13 * 60, 14 * 60 + 59));
+  children.push_back(std::make_unique<RandomCondition>(0.2));
+  PollutionPipeline pipeline("bad_network_connection");
+  pipeline.Add(std::make_unique<StandardPolluter>(
+      "one_hour_delay", std::make_unique<DelayError>(3600),
+      std::make_unique<AndCondition>(std::move(children)),
+      std::vector<std::string>{}));
+  return pipeline;
+}
+
+dq::ExpectationSuite NetworkDelaySuite() {
+  dq::ExpectationSuite suite("bad_network_connection");
+  suite.Expect<dq::ExpectColumnValuesToBeIncreasing>("Time",
+                                                     /*strictly=*/true);
+  return suite;
+}
+
+PollutionPipeline TemporalNoisePipeline(
+    const std::vector<std::string>& attributes, double pi_max) {
+  // Equation 3: multiplicative uniform noise whose bounds grow linearly
+  // from 0 to pi_max over the stream. The derived temporal error scales
+  // the U(0, pi_max) bounds by the stream-relative ramp.
+  PollutionPipeline pipeline("temporally_increasing_noise");
+  pipeline.Add(std::make_unique<StandardPolluter>(
+      "ramped_uniform_noise",
+      std::make_unique<DerivedTemporalError>(
+          std::make_unique<UniformNoiseError>(0.0, pi_max),
+          std::make_unique<StreamRampProfile>()),
+      std::make_unique<AlwaysCondition>(), attributes));
+  return pipeline;
+}
+
+PollutionPipeline TemporalScalePipeline(
+    const std::vector<std::string>& attributes, double factor, double prior,
+    int hold_hours) {
+  // Equation 4: the polluter activates when BOTH the prior-probability
+  // condition and the stream-relative ramp condition fire; an activation
+  // persists for `hold_hours` hours (the paper's four-hour intervals).
+  std::vector<ConditionPtr> children;
+  children.push_back(std::make_unique<RandomCondition>(prior));
+  children.push_back(std::make_unique<ProfileProbabilityCondition>(
+      std::make_unique<StreamRampProfile>()));
+  auto gate = std::make_unique<HoldCondition>(
+      std::make_unique<AndCondition>(std::move(children)),
+      static_cast<int64_t>(hold_hours) * kSecondsPerHour);
+  PollutionPipeline pipeline("temporally_increasing_scale");
+  pipeline.Add(std::make_unique<StandardPolluter>(
+      "ramped_scale", std::make_unique<ScaleError>(factor), std::move(gate),
+      attributes));
+  return pipeline;
+}
+
+std::vector<std::string> AirQualityNumericAttributes() {
+  return {"PM2_5", "PM10", "SO2", "NO2", "CO",
+          "O3",    "TEMP", "PRES", "DEWP", "WSPM"};
+}
+
+}  // namespace scenarios
+}  // namespace icewafl

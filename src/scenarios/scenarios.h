@@ -1,0 +1,90 @@
+#ifndef ICEWAFL_SCENARIOS_SCENARIOS_H_
+#define ICEWAFL_SCENARIOS_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "dq/suite.h"
+
+namespace icewafl {
+namespace scenarios {
+
+/// \file
+/// The pollution scenarios and matching expectation suites of the
+/// paper's evaluation (Section 3), expressed against this repository's
+/// synthetic datasets. Benchmarks and examples share these builders so
+/// that the experiment harnesses stay faithful to one definition.
+
+// ---------------------------------------------------------------------
+// Experiment 1 (wearable stream, Section 3.1)
+// ---------------------------------------------------------------------
+
+/// \brief Scenario 3.1.1 — random temporal errors: NULLs injected into
+/// `Distance` with the daily sinusoidal probability
+/// p(t) = 0.25 * cos(pi/12 * t) + 0.25.
+PollutionPipeline RandomTemporalErrorsPipeline();
+
+/// \brief Expectation detecting scenario 3.1.1's missing values.
+dq::ExpectationSuite RandomTemporalErrorsSuite();
+
+/// \brief Expected number of polluted tuples per hour-of-day for
+/// scenario 3.1.1 given the tuple-count histogram of the clean stream
+/// (the blue series of Figure 4).
+std::vector<double> RandomTemporalExpectedPerHour(
+    const std::vector<uint64_t>& tuples_per_hour);
+
+/// \brief Scenario 3.1.2 — the software-update composite polluter of
+/// Figure 5: after 2016-02-27, Distance km->cm, CaloriesBurned rounded
+/// to 2 decimals, and BPM > 100 readings set to 0 then (p = 0.2) to NULL.
+PollutionPipeline SoftwareUpdatePipeline();
+
+/// \brief The four GX-style expectations of scenario 3.1.2 (order:
+/// steps>=distance, calories regex, BPM-zero activity sum, BPM not null).
+dq::ExpectationSuite SoftwareUpdateSuite();
+
+/// \brief Table 1's expected post-pollution error counts for the default
+/// wearable stream.
+struct SoftwareUpdateExpectations {
+  double bpm_zero = 26.4;      ///< 0.8 * 33 (plus 2 pre-existing found)
+  int bpm_zero_preexisting = 2;
+  double bpm_null = 6.6;       ///< 0.2 * 33
+  int distance = 374;
+  int calories = 960;
+  int gated_tuples = 1056;     ///< tuples after the update date (Figure 5)
+  int bpm_gated = 33;          ///< tuples with BPM > 100 (Figure 5)
+};
+SoftwareUpdateExpectations SoftwareUpdateExpectedCounts();
+
+/// \brief Scenario 3.1.3 — bad network connection: tuples between 13:00
+/// and 14:59 are delayed by one hour with nested probability 0.2.
+PollutionPipeline NetworkDelayPipeline();
+
+/// \brief Expectation detecting scenario 3.1.3's delays (increasing
+/// timestamps).
+dq::ExpectationSuite NetworkDelaySuite();
+
+// ---------------------------------------------------------------------
+// Experiment 2 (air-quality stream, Section 3.2)
+// ---------------------------------------------------------------------
+
+/// \brief D_noise pipeline — temporally increasing multiplicative
+/// uniform noise (Equation 3) on the given numerical attributes, with
+/// noise magnitude ramping from 0 to `pi_max` over the stream.
+PollutionPipeline TemporalNoisePipeline(
+    const std::vector<std::string>& attributes, double pi_max);
+
+/// \brief D_scale pipeline — scale-by-`factor` errors gated by a prior
+/// probability `prior` AND the stream-relative activation ramp of
+/// Equation 4; an activation persists for `hold_hours` hours.
+PollutionPipeline TemporalScalePipeline(
+    const std::vector<std::string>& attributes, double factor, double prior,
+    int hold_hours);
+
+/// \brief The numerical air-quality attributes polluted in Experiment 2.
+std::vector<std::string> AirQualityNumericAttributes();
+
+}  // namespace scenarios
+}  // namespace icewafl
+
+#endif  // ICEWAFL_SCENARIOS_SCENARIOS_H_

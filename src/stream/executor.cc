@@ -1,0 +1,105 @@
+#include "stream/executor.h"
+
+#include <thread>
+
+namespace icewafl {
+
+namespace {
+
+/// Pushes emitted tuples into the next operator of the chain, or into the
+/// terminal sink after the last operator.
+class ChainEmitter : public Emitter {
+ public:
+  ChainEmitter(const std::vector<Operator*>* ops, size_t next, Sink* sink)
+      : ops_(ops), next_(next), sink_(sink) {}
+
+  Status Emit(Tuple tuple) override {
+    if (next_ >= ops_->size()) return sink_->Write(tuple);
+    ChainEmitter downstream(ops_, next_ + 1, sink_);
+    return (*ops_)[next_]->Process(std::move(tuple), &downstream);
+  }
+
+ private:
+  const std::vector<Operator*>* ops_;
+  size_t next_;
+  Sink* sink_;
+};
+
+Status RunChain(Source* source, const std::vector<Operator*>& ops,
+                Sink* sink) {
+  ChainEmitter head(&ops, 0, sink);
+  Tuple tuple;
+  while (true) {
+    auto more = source->Next(&tuple);
+    if (!more.ok()) return more.status();
+    if (!more.ValueOrDie()) break;
+    ICEWAFL_RETURN_NOT_OK(head.Emit(std::move(tuple)));
+  }
+  // Flush buffered operator state front-to-back so that re-emitted tuples
+  // traverse the remaining chain.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ChainEmitter downstream(&ops, i + 1, sink);
+    ICEWAFL_RETURN_NOT_OK(ops[i]->Finish(&downstream));
+  }
+  return sink->Flush();
+}
+
+}  // namespace
+
+Status StreamExecutor::Run(Source* source, const std::vector<Operator*>& ops,
+                           Sink* sink) {
+  return RunChain(source, ops, sink);
+}
+
+Status StreamExecutor::Run(Source* source, const OperatorChain& chain,
+                           Sink* sink) {
+  std::vector<Operator*> ops;
+  ops.reserve(chain.size());
+  for (const auto& op : chain) ops.push_back(op.get());
+  return RunChain(source, ops, sink);
+}
+
+Status ParallelExecutor::Run(Source* source,
+                             const ChainFactory& chain_factory, Sink* sink) {
+  if (parallelism_ < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  // Partition the input round-robin. Tuples are materialized per worker;
+  // this mirrors Flink's rebalance() shuffle into parallel subtasks.
+  std::vector<TupleVector> partitions(static_cast<size_t>(parallelism_));
+  {
+    Tuple tuple;
+    size_t i = 0;
+    while (true) {
+      auto more = source->Next(&tuple);
+      if (!more.ok()) return more.status();
+      if (!more.ValueOrDie()) break;
+      partitions[i % partitions.size()].push_back(std::move(tuple));
+      ++i;
+    }
+  }
+
+  SchemaPtr schema = source->schema();
+  std::vector<VectorSink> outputs(partitions.size());
+  std::vector<Status> statuses(partitions.size());
+  std::vector<std::thread> workers;
+  workers.reserve(partitions.size());
+  for (size_t w = 0; w < partitions.size(); ++w) {
+    workers.emplace_back([&, w] {
+      OperatorChain chain = chain_factory(static_cast<int>(w));
+      VectorSource part(schema, std::move(partitions[w]));
+      statuses[w] = StreamExecutor::Run(&part, chain, &outputs[w]);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const Status& st : statuses) ICEWAFL_RETURN_NOT_OK(st);
+
+  for (VectorSink& out : outputs) {
+    for (const Tuple& t : out.tuples()) {
+      ICEWAFL_RETURN_NOT_OK(sink->Write(t));
+    }
+  }
+  return sink->Flush();
+}
+
+}  // namespace icewafl

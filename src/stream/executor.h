@@ -1,0 +1,57 @@
+#ifndef ICEWAFL_STREAM_EXECUTOR_H_
+#define ICEWAFL_STREAM_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "stream/operator.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+#include "util/result.h"
+
+namespace icewafl {
+
+/// \brief Drives tuples from a source through an operator chain into a
+/// sink (single-threaded, tuple-at-a-time).
+///
+/// This is the execution substrate standing in for Apache Flink's task
+/// chain: each tuple is pulled from the source and pushed through the
+/// operators; operators may buffer and re-emit; Finish() flushes state at
+/// end of stream.
+class StreamExecutor {
+ public:
+  /// \brief Runs the topology to completion (bounded source).
+  static Status Run(Source* source, const std::vector<Operator*>& ops,
+                    Sink* sink);
+
+  /// \brief Convenience overload for an owned chain.
+  static Status Run(Source* source, const OperatorChain& chain, Sink* sink);
+};
+
+/// \brief Partitioned multi-threaded executor (Flink parallelism model).
+///
+/// Tuples are partitioned round-robin over `parallelism` workers; each
+/// worker runs its own operator-chain instance produced by `chain_factory`
+/// (operator instances are stateful and must not be shared), and the
+/// partial outputs are merged in partition order. Because pollution in
+/// Icewafl is tuple-local, round-robin partitioning preserves semantics
+/// while distributing work.
+class ParallelExecutor {
+ public:
+  using ChainFactory = std::function<OperatorChain(int worker_index)>;
+
+  /// \param parallelism number of worker threads (>= 1).
+  explicit ParallelExecutor(int parallelism) : parallelism_(parallelism) {}
+
+  /// \brief Runs the topology; the merged output (concatenation of worker
+  /// outputs in worker order) is pushed into `sink`.
+  Status Run(Source* source, const ChainFactory& chain_factory, Sink* sink);
+
+ private:
+  int parallelism_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_STREAM_EXECUTOR_H_

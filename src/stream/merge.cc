@@ -1,0 +1,53 @@
+#include "stream/merge.h"
+
+namespace icewafl {
+
+MergeSortedSources::MergeSortedSources(std::vector<Source*> sources)
+    : sources_(std::move(sources)), heads_(sources_.size()) {}
+
+SchemaPtr MergeSortedSources::schema() const {
+  return sources_.empty() ? nullptr : sources_.front()->schema();
+}
+
+Status MergeSortedSources::FillHead(size_t i) {
+  Tuple tuple;
+  ICEWAFL_ASSIGN_OR_RETURN(bool more, sources_[i]->Next(&tuple));
+  if (more) {
+    heads_[i] = std::move(tuple);
+  } else {
+    heads_[i].reset();
+  }
+  return Status::OK();
+}
+
+Result<bool> MergeSortedSources::Next(Tuple* out) {
+  if (!primed_) {
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      ICEWAFL_RETURN_NOT_OK(FillHead(i));
+    }
+    primed_ = true;
+  }
+  size_t best = heads_.size();
+  for (size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i].has_value()) continue;
+    if (best == heads_.size() ||
+        heads_[i]->arrival_time() < heads_[best]->arrival_time()) {
+      best = i;
+    }
+  }
+  if (best == heads_.size()) return false;  // all exhausted
+  *out = std::move(*heads_[best]);
+  ICEWAFL_RETURN_NOT_OK(FillHead(best));
+  return true;
+}
+
+Status MergeSortedSources::Reset() {
+  for (Source* source : sources_) {
+    ICEWAFL_RETURN_NOT_OK(source->Reset());
+  }
+  heads_.assign(sources_.size(), std::nullopt);
+  primed_ = false;
+  return Status::OK();
+}
+
+}  // namespace icewafl

@@ -1,0 +1,38 @@
+#ifndef ICEWAFL_STREAM_MERGE_H_
+#define ICEWAFL_STREAM_MERGE_H_
+
+#include <optional>
+#include <vector>
+
+#include "stream/source.h"
+
+namespace icewafl {
+
+/// \brief K-way merge of sources ordered by arrival time.
+///
+/// The stream-integration counterpart of the pollution process's step 3:
+/// several (independently polluted) sources are combined into one stream
+/// ordered by arrival time. Each input source must itself be
+/// arrival-time ordered; ties preserve source index order. Sources are
+/// not owned and must outlive the merge.
+class MergeSortedSources : public Source {
+ public:
+  /// \param sources arrival-ordered inputs sharing one schema.
+  explicit MergeSortedSources(std::vector<Source*> sources);
+
+  SchemaPtr schema() const override;
+  Result<bool> Next(Tuple* out) override;
+  Status Reset() override;
+
+ private:
+  Status FillHead(size_t i);
+
+  std::vector<Source*> sources_;
+  // One lookahead tuple per source; empty slot = source exhausted.
+  std::vector<std::optional<Tuple>> heads_;
+  bool primed_ = false;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_STREAM_MERGE_H_

@@ -1,0 +1,27 @@
+#include "stream/micro_batch.h"
+
+namespace icewafl {
+
+Result<std::vector<TupleVector>> ToMicroBatches(Source* source,
+                                                size_t batch_size) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be > 0");
+  }
+  std::vector<TupleVector> batches;
+  TupleVector current;
+  Tuple tuple;
+  while (true) {
+    auto more = source->Next(&tuple);
+    if (!more.ok()) return more.status();
+    if (!more.ValueOrDie()) break;
+    current.push_back(std::move(tuple));
+    if (current.size() == batch_size) {
+      batches.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+}  // namespace icewafl

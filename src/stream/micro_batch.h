@@ -1,0 +1,58 @@
+#ifndef ICEWAFL_STREAM_MICRO_BATCH_H_
+#define ICEWAFL_STREAM_MICRO_BATCH_H_
+
+#include <utility>
+#include <vector>
+
+#include "stream/source.h"
+#include "util/result.h"
+
+namespace icewafl {
+
+/// \brief Groups a bounded stream into micro-batches of at most
+/// `batch_size` tuples (the last batch may be shorter).
+Result<std::vector<TupleVector>> ToMicroBatches(Source* source,
+                                                size_t batch_size);
+
+/// \brief Source adapter that replays micro-batches tuple-wise.
+///
+/// Section 2.1: batch input is treated "tuple-wise as a data stream";
+/// this adapter is the bridge from a micro-batched producer back into the
+/// tuple-at-a-time pollution pipeline.
+class MicroBatchSource : public Source {
+ public:
+  MicroBatchSource(SchemaPtr schema, std::vector<TupleVector> batches)
+      : schema_(std::move(schema)), batches_(std::move(batches)) {}
+
+  SchemaPtr schema() const override { return schema_; }
+
+  Result<bool> Next(Tuple* out) override {
+    while (batch_ < batches_.size()) {
+      if (pos_ < batches_[batch_].size()) {
+        *out = batches_[batch_][pos_++];
+        return true;
+      }
+      ++batch_;
+      pos_ = 0;
+    }
+    return false;
+  }
+
+  Status Reset() override {
+    batch_ = 0;
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  size_t num_batches() const { return batches_.size(); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<TupleVector> batches_;
+  size_t batch_ = 0;
+  size_t pos_ = 0;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_STREAM_MICRO_BATCH_H_

@@ -1,0 +1,27 @@
+#include "stream/operator.h"
+
+namespace icewafl {
+
+Status ReorderOperator::Process(Tuple tuple, Emitter* out) {
+  if (tuple.event_time() > max_event_time_seen_) {
+    max_event_time_seen_ = tuple.event_time();
+  }
+  buffer_.emplace(std::make_pair(tuple.arrival_time(), seq_++),
+                  std::move(tuple));
+  const Timestamp watermark = max_event_time_seen_ - max_lateness_;
+  while (!buffer_.empty() && buffer_.begin()->first.first <= watermark) {
+    ICEWAFL_RETURN_NOT_OK(out->Emit(std::move(buffer_.begin()->second)));
+    buffer_.erase(buffer_.begin());
+  }
+  return Status::OK();
+}
+
+Status ReorderOperator::Finish(Emitter* out) {
+  for (auto& [key, tuple] : buffer_) {
+    ICEWAFL_RETURN_NOT_OK(out->Emit(std::move(tuple)));
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+}  // namespace icewafl

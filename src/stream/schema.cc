@@ -1,0 +1,54 @@
+#include "stream/schema.h"
+
+namespace icewafl {
+
+Schema::Schema(std::vector<Attribute> attributes, size_t timestamp_index)
+    : attributes_(std::move(attributes)), timestamp_index_(timestamp_index) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    index_.emplace(attributes_[i].name, i);
+  }
+}
+
+Result<SchemaPtr> Schema::Make(std::vector<Attribute> attributes,
+                               const std::string& timestamp_attribute) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema must have at least one attribute");
+  }
+  std::unordered_map<std::string, size_t> seen;
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty");
+    }
+    if (!seen.emplace(attributes[i].name, i).second) {
+      return Status::AlreadyExists("duplicate attribute name: '" +
+                                   attributes[i].name + "'");
+    }
+  }
+  auto it = seen.find(timestamp_attribute);
+  if (it == seen.end()) {
+    return Status::NotFound("timestamp attribute '" + timestamp_attribute +
+                            "' not in schema");
+  }
+  if (attributes[it->second].type != ValueType::kInt64) {
+    return Status::TypeError("timestamp attribute '" + timestamp_attribute +
+                             "' must be int64 (epoch seconds)");
+  }
+  return SchemaPtr(new Schema(std::move(attributes), it->second));
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Schema::Names() const {
+  std::vector<std::string> out;
+  out.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) out.push_back(a.name);
+  return out;
+}
+
+}  // namespace icewafl

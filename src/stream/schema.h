@@ -1,0 +1,71 @@
+#ifndef ICEWAFL_STREAM_SCHEMA_H_
+#define ICEWAFL_STREAM_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/value.h"
+#include "util/result.h"
+#include "util/time_util.h"
+
+namespace icewafl {
+
+/// \brief A named, typed attribute of a stream schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+/// \brief Schema of a multivariate data stream: k attributes A1..Ak, one
+/// of which is designated as the timestamp attribute (Section 2.1 of the
+/// paper requires every stream schema to contain a timestamp).
+class Schema {
+ public:
+  /// \brief Builds a schema. `timestamp_attribute` must name an existing
+  /// int64 attribute.
+  static Result<std::shared_ptr<const Schema>> Make(
+      std::vector<Attribute> attributes, const std::string& timestamp_attribute);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// \brief Index of the designated timestamp attribute.
+  size_t timestamp_index() const { return timestamp_index_; }
+  const std::string& timestamp_name() const {
+    return attributes_[timestamp_index_].name;
+  }
+
+  /// \brief Index lookup by attribute name.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// \brief True if the schema contains an attribute of this name.
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// \brief All attribute names, in schema order.
+  std::vector<std::string> Names() const;
+
+  bool Equals(const Schema& other) const {
+    return attributes_ == other.attributes_ &&
+           timestamp_index_ == other.timestamp_index_;
+  }
+
+ private:
+  Schema(std::vector<Attribute> attributes, size_t timestamp_index);
+
+  std::vector<Attribute> attributes_;
+  size_t timestamp_index_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_STREAM_SCHEMA_H_

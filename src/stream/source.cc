@@ -1,0 +1,17 @@
+#include "stream/source.h"
+
+namespace icewafl {
+
+Result<TupleVector> CollectAll(Source* source) {
+  TupleVector out;
+  Tuple tuple;
+  while (true) {
+    auto more = source->Next(&tuple);
+    if (!more.ok()) return more.status();
+    if (!more.ValueOrDie()) break;
+    out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace icewafl

@@ -1,0 +1,51 @@
+#include "stream/tuple.h"
+
+namespace icewafl {
+
+Result<Value> Tuple::Get(const std::string& name) const {
+  if (!schema_) return Status::Internal("tuple has no schema");
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, schema_->IndexOf(name));
+  if (idx >= values_.size()) {
+    return Status::Internal("tuple narrower than schema");
+  }
+  return values_[idx];
+}
+
+Status Tuple::Set(const std::string& name, Value v) {
+  if (!schema_) return Status::Internal("tuple has no schema");
+  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, schema_->IndexOf(name));
+  if (idx >= values_.size()) {
+    return Status::Internal("tuple narrower than schema");
+  }
+  values_[idx] = std::move(v);
+  return Status::OK();
+}
+
+Result<Timestamp> Tuple::GetTimestamp() const {
+  if (!schema_) return Status::Internal("tuple has no schema");
+  const Value& v = values_[schema_->timestamp_index()];
+  if (v.is_null()) return Status::TypeError("timestamp attribute is NULL");
+  return v.ToInt64();
+}
+
+Status Tuple::SetTimestamp(Timestamp ts) {
+  if (!schema_) return Status::Internal("tuple has no schema");
+  values_[schema_->timestamp_index()] = Value(ts);
+  return Status::OK();
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (schema_ && i < schema_->num_attributes()) {
+      out += schema_->attribute(i).name;
+      out += "=";
+    }
+    out += values_[i].ToString("NULL");
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace icewafl

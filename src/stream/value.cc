@@ -1,0 +1,100 @@
+#include "stream/value.h"
+
+#include "util/strings.h"
+
+namespace icewafl {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Result<ValueType> ValueTypeFromName(const std::string& name) {
+  if (name == "null") return ValueType::kNull;
+  if (name == "bool") return ValueType::kBool;
+  if (name == "int64") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  return Status::ParseError("unknown value type: '" + name + "'");
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kNull:
+      return Status::TypeError("cannot convert NULL to double");
+    case ValueType::kString:
+      return Status::TypeError("cannot convert string to double: '" +
+                               AsString() + "'");
+  }
+  return Status::Internal("corrupt value type");
+}
+
+Result<int64_t> Value::ToInt64() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return static_cast<int64_t>(AsBool());
+    case ValueType::kInt64:
+      return AsInt64();
+    case ValueType::kDouble:
+      return static_cast<int64_t>(AsDouble());
+    case ValueType::kNull:
+      return Status::TypeError("cannot convert NULL to int64");
+    case ValueType::kString:
+      return Status::TypeError("cannot convert string to int64: '" +
+                               AsString() + "'");
+  }
+  return Status::Internal("corrupt value type");
+}
+
+std::string Value::ToString(const std::string& null_repr) const {
+  switch (type()) {
+    case ValueType::kNull:
+      return null_repr;
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& other) const {
+  // NULL sorts before everything else.
+  if (is_null()) return !other.is_null();
+  if (other.is_null()) return false;
+  if (is_numeric() && other.is_numeric()) {
+    return ToDouble().ValueOrDie() < other.ToDouble().ValueOrDie();
+  }
+  if (type() != other.type()) return type() < other.type();
+  switch (type()) {
+    case ValueType::kBool:
+      return AsBool() < other.AsBool();
+    case ValueType::kString:
+      return AsString() < other.AsString();
+    default:
+      return false;
+  }
+}
+
+}  // namespace icewafl

@@ -1,0 +1,94 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace icewafl {
+
+std::string RenderAsciiChart(const std::vector<std::vector<double>>& series,
+                             const AsciiChartOptions& options) {
+  if (series.empty() || series.front().empty()) return "";
+  const size_t n = series.front().size();
+  for (const auto& s : series) {
+    if (s.size() != n) return "";  // inconsistent input
+  }
+  const int height = std::max(2, options.height);
+
+  double lo = series[0][0];
+  double hi = series[0][0];
+  for (const auto& s : series) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  static const char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+  const size_t num_glyphs = sizeof(kGlyphs);
+
+  // grid[row][col]; row 0 is the top.
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(n, ' '));
+  for (size_t si = series.size(); si-- > 0;) {  // earlier series on top
+    const char glyph = kGlyphs[si % num_glyphs];
+    for (size_t i = 0; i < n; ++i) {
+      const double frac = (series[si][i] - lo) / (hi - lo);
+      int row = height - 1 -
+                static_cast<int>(std::lround(frac * (height - 1)));
+      row = std::max(0, std::min(height - 1, row));
+      grid[static_cast<size_t>(row)][i] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  // Y-axis labels on the first, middle, and last rows.
+  const int label_width = 10;
+  for (int row = 0; row < height; ++row) {
+    std::string label(static_cast<size_t>(label_width), ' ');
+    if (row == 0 || row == height - 1 || row == height / 2) {
+      const double frac =
+          static_cast<double>(height - 1 - row) / (height - 1);
+      std::string text = FormatDouble(lo + frac * (hi - lo), 1);
+      if (text.size() > static_cast<size_t>(label_width - 2)) {
+        text.resize(static_cast<size_t>(label_width - 2));
+      }
+      label = std::string(static_cast<size_t>(label_width - 2) - text.size(),
+                          ' ') +
+              text + " |";
+    } else {
+      label[static_cast<size_t>(label_width - 1)] = '|';
+    }
+    out += label + grid[static_cast<size_t>(row)] + "\n";
+  }
+  out += std::string(static_cast<size_t>(label_width - 1), ' ') + "+" +
+         std::string(n, '-') + "\n";
+  // X labels: first under column 0, last right-aligned.
+  if (!options.x_labels.empty()) {
+    std::string xrow(static_cast<size_t>(label_width), ' ');
+    xrow += options.x_labels.front();
+    const std::string& last = options.x_labels.back();
+    const size_t end_col = static_cast<size_t>(label_width) + n;
+    if (end_col > last.size() && end_col - last.size() >= xrow.size()) {
+      xrow += std::string(end_col - last.size() - xrow.size(), ' ');
+      xrow += last;
+    }
+    out += xrow + "\n";
+  }
+  if (!options.series_names.empty()) {
+    out += std::string(static_cast<size_t>(label_width), ' ');
+    for (size_t si = 0; si < options.series_names.size(); ++si) {
+      if (si > 0) out += "  ";
+      out += kGlyphs[si % num_glyphs];
+      out += "=";
+      out += options.series_names[si];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace icewafl

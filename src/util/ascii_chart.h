@@ -1,0 +1,31 @@
+#ifndef ICEWAFL_UTIL_ASCII_CHART_H_
+#define ICEWAFL_UTIL_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace icewafl {
+
+/// \brief Options for ASCII line charts.
+struct AsciiChartOptions {
+  int height = 12;          ///< rows of the plot area
+  std::string title;
+  std::vector<std::string> series_names;  ///< one per series (legend)
+  /// X-axis labels; printed under the first/middle/last columns.
+  std::vector<std::string> x_labels;
+};
+
+/// \brief Renders one or more equally long series as an ASCII line
+/// chart (used by the benchmark harnesses to visualize the figures they
+/// regenerate — Figure 4's sinusoid, Figures 6/7's MAE curves —
+/// directly in the terminal).
+///
+/// Each series gets a distinct glyph ('*', 'o', '+', 'x', ...); points
+/// from different series landing on the same cell show the glyph of the
+/// earlier series. Returns "" for empty input.
+std::string RenderAsciiChart(const std::vector<std::vector<double>>& series,
+                             const AsciiChartOptions& options = {});
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_UTIL_ASCII_CHART_H_

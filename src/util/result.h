@@ -1,0 +1,75 @@
+#ifndef ICEWAFL_UTIL_RESULT_H_
+#define ICEWAFL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace icewafl {
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// The database-library analogue of arrow::Result. Access the value only
+/// after checking `ok()`; `ValueOrDie()` asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing from an OK
+  /// status is a programming error and is converted to Internal.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      state_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// \brief The error status; Status::OK() if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// \brief Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(state_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace icewafl
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define ICEWAFL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ICEWAFL_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  ICEWAFL_ASSIGN_OR_RETURN_IMPL(ICEWAFL_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define ICEWAFL_CONCAT_INNER_(a, b) a##b
+#define ICEWAFL_CONCAT_(a, b) ICEWAFL_CONCAT_INNER_(a, b)
+
+#endif  // ICEWAFL_UTIL_RESULT_H_

@@ -1,0 +1,60 @@
+#ifndef ICEWAFL_UTIL_RNG_H_
+#define ICEWAFL_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icewafl {
+
+/// \brief Deterministic 64-bit pseudo-random generator (xoshiro256**),
+/// seeded via splitmix64.
+///
+/// Icewafl's reproducibility guarantee (Algorithm 1 is deterministic under
+/// fixed seeds) hinges on every stochastic component drawing from an
+/// explicitly seeded Rng. std::mt19937 distributions are not portable
+/// across standard-library implementations, so all distributions here are
+/// implemented by hand.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical sequences.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next();
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// \brief Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// \brief Standard normal deviate (Box-Muller, cached pair).
+  double Gaussian();
+
+  /// \brief Normal deviate with the given mean / standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// \brief True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// \brief Derives an independent child generator; used to give each
+  /// polluter in a pipeline its own stream so that adding a polluter does
+  /// not perturb the draws of its siblings.
+  Rng Fork();
+
+  /// \brief Fisher-Yates shuffle of indices [0, n).
+  std::vector<size_t> Permutation(size_t n);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_UTIL_RNG_H_

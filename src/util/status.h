@@ -1,0 +1,96 @@
+#ifndef ICEWAFL_UTIL_STATUS_H_
+#define ICEWAFL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace icewafl {
+
+/// \brief Error categories used across the library.
+///
+/// The library is exception-free in the style of RocksDB/Arrow: fallible
+/// operations return a Status (or a Result<T>, see result.h) instead of
+/// throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kIOError,
+  kParseError,
+  kTypeError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation). Construct error statuses
+/// through the named factories, e.g. `Status::InvalidArgument("bad k")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace icewafl
+
+/// Propagates a non-OK Status to the caller.
+#define ICEWAFL_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::icewafl::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // ICEWAFL_UTIL_STATUS_H_

@@ -1,0 +1,96 @@
+#include "util/time_util.h"
+
+#include <cstdio>
+
+namespace icewafl {
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;             // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                            // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Timestamp TimestampFromCivil(const CivilTime& ct) {
+  return DaysFromCivil(ct.year, ct.month, ct.day) * kSecondsPerDay +
+         ct.hour * kSecondsPerHour + ct.minute * kSecondsPerMinute + ct.second;
+}
+
+CivilTime CivilFromTimestamp(Timestamp ts) {
+  int64_t days = ts / kSecondsPerDay;
+  int64_t rem = ts % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilTime ct;
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int>(rem / kSecondsPerHour);
+  ct.minute = static_cast<int>((rem % kSecondsPerHour) / kSecondsPerMinute);
+  ct.second = static_cast<int>(rem % kSecondsPerMinute);
+  return ct;
+}
+
+int HourOfDay(Timestamp ts) { return CivilFromTimestamp(ts).hour; }
+
+int MinuteOfDay(Timestamp ts) {
+  const CivilTime ct = CivilFromTimestamp(ts);
+  return ct.hour * 60 + ct.minute;
+}
+
+int MonthOfYear(Timestamp ts) { return CivilFromTimestamp(ts).month; }
+
+double HoursBetween(Timestamp a, Timestamp b) {
+  return static_cast<double>(b - a) / static_cast<double>(kSecondsPerHour);
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  const CivilTime ct = CivilFromTimestamp(ts);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+std::string FormatMonthDay(Timestamp ts) {
+  const CivilTime ct = CivilFromTimestamp(ts);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%02d-%02d", ct.month, ct.day);
+  return buf;
+}
+
+Result<Timestamp> ParseTimestamp(const std::string& text) {
+  CivilTime ct;
+  int n = std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &ct.year, &ct.month,
+                      &ct.day, &ct.hour, &ct.minute, &ct.second);
+  if (n != 3 && n != 6) {
+    return Status::ParseError("cannot parse timestamp: '" + text + "'");
+  }
+  if (n == 3) ct.hour = ct.minute = ct.second = 0;
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 || ct.day > 31 ||
+      ct.hour < 0 || ct.hour > 23 || ct.minute < 0 || ct.minute > 59 ||
+      ct.second < 0 || ct.second > 59) {
+    return Status::OutOfRange("timestamp fields out of range: '" + text + "'");
+  }
+  return TimestampFromCivil(ct);
+}
+
+}  // namespace icewafl

@@ -1,0 +1,66 @@
+#ifndef ICEWAFL_UTIL_TIME_UTIL_H_
+#define ICEWAFL_UTIL_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace icewafl {
+
+/// Timestamps throughout the library are seconds since the Unix epoch
+/// (UTC, proleptic Gregorian calendar).
+using Timestamp = int64_t;
+
+/// \brief A broken-down calendar time (UTC).
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;   ///< 0..23
+  int minute = 0; ///< 0..59
+  int second = 0; ///< 0..59
+
+  bool operator==(const CivilTime&) const = default;
+};
+
+/// \brief Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// \brief Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// \brief Converts a broken-down UTC time to epoch seconds.
+Timestamp TimestampFromCivil(const CivilTime& ct);
+
+/// \brief Converts epoch seconds to broken-down UTC time.
+CivilTime CivilFromTimestamp(Timestamp ts);
+
+/// \brief Hour of day [0, 23] for a timestamp.
+int HourOfDay(Timestamp ts);
+
+/// \brief Minute of day [0, 1439] for a timestamp.
+int MinuteOfDay(Timestamp ts);
+
+/// \brief Month [1, 12] for a timestamp.
+int MonthOfYear(Timestamp ts);
+
+/// \brief Fractional hours elapsed between two timestamps (b - a).
+double HoursBetween(Timestamp a, Timestamp b);
+
+/// \brief Formats as "YYYY-MM-DD HH:MM:SS".
+std::string FormatTimestamp(Timestamp ts);
+
+/// \brief Formats as "MM-dd" (used for figure x-axis labels).
+std::string FormatMonthDay(Timestamp ts);
+
+/// \brief Parses "YYYY-MM-DD HH:MM:SS" or "YYYY-MM-DD".
+Result<Timestamp> ParseTimestamp(const std::string& text);
+
+constexpr int64_t kSecondsPerMinute = 60;
+constexpr int64_t kSecondsPerHour = 3600;
+constexpr int64_t kSecondsPerDay = 86400;
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_UTIL_TIME_UTIL_H_

@@ -1,0 +1,463 @@
+#include "core/condition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace icewafl {
+namespace {
+
+using testing_helpers::ContextFor;
+using testing_helpers::SensorSchema;
+using testing_helpers::SensorTuple;
+
+TEST(AlwaysNeverConditionTest, Constants) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(1);
+  Tuple t = SensorTuple(schema, 10);
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_TRUE(AlwaysCondition().Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_FALSE(NeverCondition().Evaluate(t, &ctx).ValueOrDie());
+}
+
+TEST(RandomConditionTest, FiresWithConfiguredProbability) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(2);
+  RandomCondition condition(0.2);
+  Tuple t = SensorTuple(schema, 10);
+  int fired = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    auto ctx = ContextFor(t, &rng);
+    if (condition.Evaluate(t, &ctx).ValueOrDie()) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / n, 0.2, 0.01);
+}
+
+TEST(RandomConditionTest, ClampsProbability) {
+  EXPECT_DOUBLE_EQ(RandomCondition(1.7).probability(), 1.0);
+  EXPECT_DOUBLE_EQ(RandomCondition(-0.3).probability(), 0.0);
+}
+
+TEST(RandomConditionTest, RequiresRng) {
+  SchemaPtr schema = SensorSchema();
+  RandomCondition condition(0.5);
+  Tuple t = SensorTuple(schema, 10);
+  PollutionContext ctx;  // no rng
+  EXPECT_EQ(condition.Evaluate(t, &ctx).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(ValueConditionTest, NumericComparisons) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(3);
+  Tuple t = SensorTuple(schema, 10, 120.0);
+  auto ctx = ContextFor(t, &rng);
+  // The paper's "BPM > 100" style condition.
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kGt, Value(100.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_FALSE(ValueCondition("temp", CompareOp::kGt, Value(120.0))
+                   .Evaluate(t, &ctx)
+                   .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kGe, Value(120.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kLt, Value(121.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kLe, Value(120.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kEq, Value(120.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kNe, Value(0.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+}
+
+TEST(ValueConditionTest, IntDoubleCrossComparison) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(4);
+  Tuple t = SensorTuple(schema, 10, 20.0, 100);
+  auto ctx = ContextFor(t, &rng);
+  // count is int64(100); operand double 100.0 compares equal numerically.
+  EXPECT_TRUE(ValueCondition("count", CompareOp::kEq, Value(100.0))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+}
+
+TEST(ValueConditionTest, StringComparison) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(5);
+  Tuple t = SensorTuple(schema, 10, 20.0, 100, "42");
+  auto ctx = ContextFor(t, &rng);
+  // The paper's Figure 2 example: "if attribute1.value == 42 then pollute".
+  EXPECT_TRUE(ValueCondition("label", CompareOp::kEq, Value("42"))
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_FALSE(ValueCondition("label", CompareOp::kEq, Value("43"))
+                   .Evaluate(t, &ctx)
+                   .ValueOrDie());
+}
+
+TEST(ValueConditionTest, NullHandling) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(6);
+  Tuple t = SensorTuple(schema, 10);
+  t.set_value(1, Value::Null());
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kIsNull)
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_FALSE(ValueCondition("temp", CompareOp::kNotNull)
+                   .Evaluate(t, &ctx)
+                   .ValueOrDie());
+  // Ordering against NULL is false (SQL-like), equality with explicit
+  // NULL operand is true.
+  EXPECT_FALSE(ValueCondition("temp", CompareOp::kGt, Value(0.0))
+                   .Evaluate(t, &ctx)
+                   .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("temp", CompareOp::kEq, Value::Null())
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+  EXPECT_TRUE(ValueCondition("count", CompareOp::kNe, Value::Null())
+                  .Evaluate(t, &ctx)
+                  .ValueOrDie());
+}
+
+TEST(ValueConditionTest, UnknownAttributeIsError) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(7);
+  Tuple t = SensorTuple(schema, 10);
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_EQ(ValueCondition("bogus", CompareOp::kEq, Value(1))
+                .Evaluate(t, &ctx)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CompareOpTest, ParseAndNameRoundTrip) {
+  for (const char* text :
+       {"==", "!=", "<", "<=", ">", ">=", "is_null", "not_null"}) {
+    auto op = ParseCompareOp(text);
+    ASSERT_TRUE(op.ok()) << text;
+    EXPECT_STREQ(CompareOpName(op.ValueOrDie()), text);
+  }
+  EXPECT_FALSE(ParseCompareOp("~=").ok());
+}
+
+TEST(TimeWindowConditionTest, HalfOpenWindowOnEventTime) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(8);
+  const Timestamp start = TimestampFromCivil({2016, 3, 1, 10, 0, 0});
+  const Timestamp end = TimestampFromCivil({2016, 3, 1, 12, 0, 0});
+  TimeWindowCondition condition(start, end);
+  for (int hour : {9, 10, 11, 12, 13}) {
+    Tuple t = SensorTuple(schema, hour);
+    auto ctx = ContextFor(t, &rng);
+    const bool expected = hour >= 10 && hour < 12;
+    EXPECT_EQ(condition.Evaluate(t, &ctx).ValueOrDie(), expected) << hour;
+  }
+}
+
+TEST(TimeWindowConditionTest, AfterFactoryIsOpenEnded) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(9);
+  ConditionPtr condition =
+      TimeWindowCondition::After(TimestampFromCivil({2016, 3, 1, 5, 0, 0}));
+  Tuple before = SensorTuple(schema, 4);
+  Tuple at = SensorTuple(schema, 5);
+  Tuple after = SensorTuple(schema, 23);
+  auto ctx_b = ContextFor(before, &rng);
+  auto ctx_at = ContextFor(at, &rng);
+  auto ctx_a = ContextFor(after, &rng);
+  EXPECT_FALSE(condition->Evaluate(before, &ctx_b).ValueOrDie());
+  EXPECT_TRUE(condition->Evaluate(at, &ctx_at).ValueOrDie());
+  EXPECT_TRUE(condition->Evaluate(after, &ctx_a).ValueOrDie());
+}
+
+TEST(DailyWindowConditionTest, MatchesPaperNetworkScenarioWindow) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(10);
+  // 13:00-14:59 (Experiment 3.1.3).
+  DailyWindowCondition condition(13 * 60, 14 * 60 + 59);
+  for (int hour = 0; hour < 24; ++hour) {
+    Tuple t = SensorTuple(schema, hour);
+    auto ctx = ContextFor(t, &rng);
+    const bool expected = hour == 13 || hour == 14;
+    EXPECT_EQ(condition.Evaluate(t, &ctx).ValueOrDie(), expected) << hour;
+  }
+}
+
+TEST(DailyWindowConditionTest, WrapsAroundMidnight) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(11);
+  DailyWindowCondition condition(23 * 60, 1 * 60);  // 23:00-01:00
+  for (int hour : {22, 23, 0, 1, 2}) {
+    Tuple t = SensorTuple(schema, hour);
+    auto ctx = ContextFor(t, &rng);
+    const bool expected = hour == 23 || hour == 0 || hour == 1;
+    EXPECT_EQ(condition.Evaluate(t, &ctx).ValueOrDie(), expected) << hour;
+  }
+}
+
+TEST(ProfileProbabilityConditionTest, SinusoidalDailyErrorRate) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(12);
+  // Experiment 3.1.1's p(t) = 0.25 cos(pi/12 t) + 0.25.
+  ProfileProbabilityCondition condition(
+      std::make_unique<SinusoidalProfile>(24.0, 0.25, 0.25));
+  const int n = 20000;
+  int fired_midnight = 0;
+  int fired_noon = 0;
+  for (int i = 0; i < n; ++i) {
+    Tuple midnight = SensorTuple(schema, 0);
+    Tuple noon = SensorTuple(schema, 12);
+    auto ctx_m = ContextFor(midnight, &rng);
+    auto ctx_n = ContextFor(noon, &rng);
+    if (condition.Evaluate(midnight, &ctx_m).ValueOrDie()) ++fired_midnight;
+    if (condition.Evaluate(noon, &ctx_n).ValueOrDie()) ++fired_noon;
+  }
+  EXPECT_NEAR(static_cast<double>(fired_midnight) / n, 0.5, 0.02);
+  EXPECT_EQ(fired_noon, 0);
+}
+
+TEST(CompositeConditionTest, AndShortCircuits) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(13);
+  std::vector<ConditionPtr> children;
+  children.push_back(std::make_unique<NeverCondition>());
+  // A condition on a missing attribute would error if evaluated.
+  children.push_back(
+      std::make_unique<ValueCondition>("missing", CompareOp::kEq, Value(1)));
+  AndCondition condition(std::move(children));
+  Tuple t = SensorTuple(schema, 10);
+  auto ctx = ContextFor(t, &rng);
+  auto r = condition.Evaluate(t, &ctx);
+  ASSERT_TRUE(r.ok());  // short-circuited before the bad child
+  EXPECT_FALSE(r.ValueOrDie());
+}
+
+TEST(CompositeConditionTest, AndRequiresAll) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(14);
+  // The paper's nested network-error condition: daily window AND p=0.2.
+  std::vector<ConditionPtr> children;
+  children.push_back(std::make_unique<DailyWindowCondition>(13 * 60, 899));
+  children.push_back(std::make_unique<RandomCondition>(0.2));
+  AndCondition condition(std::move(children));
+  int fired_in_window = 0;
+  int fired_outside = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Tuple in_window = SensorTuple(schema, 13);
+    Tuple outside = SensorTuple(schema, 9);
+    auto ctx_i = ContextFor(in_window, &rng);
+    auto ctx_o = ContextFor(outside, &rng);
+    if (condition.Evaluate(in_window, &ctx_i).ValueOrDie()) ++fired_in_window;
+    if (condition.Evaluate(outside, &ctx_o).ValueOrDie()) ++fired_outside;
+  }
+  EXPECT_NEAR(static_cast<double>(fired_in_window) / n, 0.2, 0.02);
+  EXPECT_EQ(fired_outside, 0);
+}
+
+TEST(CompositeConditionTest, OrFiresOnAny) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(15);
+  std::vector<ConditionPtr> children;
+  children.push_back(std::make_unique<NeverCondition>());
+  children.push_back(
+      std::make_unique<ValueCondition>("temp", CompareOp::kGt, Value(15.0)));
+  OrCondition condition(std::move(children));
+  Tuple hot = SensorTuple(schema, 10, 20.0);
+  Tuple cold = SensorTuple(schema, 10, 10.0);
+  auto ctx_h = ContextFor(hot, &rng);
+  auto ctx_c = ContextFor(cold, &rng);
+  EXPECT_TRUE(condition.Evaluate(hot, &ctx_h).ValueOrDie());
+  EXPECT_FALSE(condition.Evaluate(cold, &ctx_c).ValueOrDie());
+}
+
+TEST(CompositeConditionTest, NotInverts) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(16);
+  NotCondition condition(std::make_unique<NeverCondition>());
+  Tuple t = SensorTuple(schema, 10);
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_TRUE(condition.Evaluate(t, &ctx).ValueOrDie());
+}
+
+TEST(CompositeConditionTest, EmptyAndIsTrueEmptyOrIsFalse) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(17);
+  Tuple t = SensorTuple(schema, 10);
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_TRUE(AndCondition({}).Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_FALSE(OrCondition({}).Evaluate(t, &ctx).ValueOrDie());
+}
+
+TEST(WindowAggregateConditionTest, MotivatingExampleAvgTemp) {
+  // Figure 1: "if Avg(Temp) > 20 then ...". Evaluate over a 3-hour
+  // trailing window.
+  SchemaPtr schema = SensorSchema();
+  Rng rng(30);
+  WindowAggregateCondition condition("temp", 3 * 3600, WindowAgg::kMean,
+                                     CompareOp::kGt, 20.0);
+  const std::vector<double> temps = {16, 17, 30, 29, 21, 10, 5, 5};
+  std::vector<bool> fired;
+  for (size_t h = 0; h < temps.size(); ++h) {
+    Tuple t = SensorTuple(schema, static_cast<int>(h), temps[h]);
+    auto ctx = ContextFor(t, &rng);
+    fired.push_back(condition.Evaluate(t, &ctx).ValueOrDie());
+  }
+  // Trailing 3h means (incl. current): 16, 16.5, 21, 25.3, 26.7, 20, 12,
+  // 6.7 -> fires at hours 2-4 only... (mean at h=5 is (29+21+10)/3 = 20,
+  // not > 20).
+  const std::vector<bool> expected = {false, false, true, true,
+                                      true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(WindowAggregateConditionTest, CountAndSumAggregates) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(31);
+  WindowAggregateCondition count_cond("temp", 2 * 3600, WindowAgg::kCount,
+                                      CompareOp::kGe, 2.0);
+  WindowAggregateCondition sum_cond("temp", 3 * 3600, WindowAgg::kSum,
+                                    CompareOp::kGt, 45.0);
+  for (int h = 0; h < 3; ++h) {
+    Tuple t = SensorTuple(schema, h, 20.0);
+    auto ctx = ContextFor(t, &rng);
+    const bool count_fired = count_cond.Evaluate(t, &ctx).ValueOrDie();
+    const bool sum_fired = sum_cond.Evaluate(t, &ctx).ValueOrDie();
+    EXPECT_EQ(count_fired, h >= 1) << h;   // window holds 2+ from hour 1
+    EXPECT_EQ(sum_fired, h >= 2) << h;     // sum 60 > 45 from hour 2
+  }
+}
+
+TEST(WindowAggregateConditionTest, MinMaxAggregates) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(32);
+  WindowAggregateCondition max_cond("temp", 2 * 3600, WindowAgg::kMax,
+                                    CompareOp::kGe, 100.0);
+  const std::vector<double> temps = {50, 120, 50, 50, 50};
+  std::vector<bool> fired;
+  for (size_t h = 0; h < temps.size(); ++h) {
+    Tuple t = SensorTuple(schema, static_cast<int>(h), temps[h]);
+    auto ctx = ContextFor(t, &rng);
+    fired.push_back(max_cond.Evaluate(t, &ctx).ValueOrDie());
+  }
+  // The 120 spike keeps max >= 100 while it remains inside the
+  // half-open 2h window (hours 1-2; at hour 3 it is evicted).
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, true, false, false}));
+}
+
+TEST(WindowAggregateConditionTest, NullValuesSkipped) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(33);
+  WindowAggregateCondition condition("temp", 10 * 3600, WindowAgg::kMean,
+                                     CompareOp::kGt, 0.0);
+  Tuple t = SensorTuple(schema, 0);
+  t.set_value(1, Value::Null());
+  auto ctx = ContextFor(t, &rng);
+  // Empty window -> mean never fires.
+  EXPECT_FALSE(condition.Evaluate(t, &ctx).ValueOrDie());
+}
+
+TEST(WindowAggregateConditionTest, NullOperatorRejected) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(34);
+  WindowAggregateCondition condition("temp", 3600, WindowAgg::kMean,
+                                     CompareOp::kIsNull, 0.0);
+  Tuple t = SensorTuple(schema, 0);
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_FALSE(condition.Evaluate(t, &ctx).ok());
+}
+
+TEST(WindowAggregateConditionTest, CloneStartsEmptyAndJsonRoundTrips) {
+  WindowAggregateCondition condition("temp", 3600, WindowAgg::kMax,
+                                     CompareOp::kGt, 5.0);
+  ConditionPtr clone = condition.Clone();
+  EXPECT_EQ(clone->ToJson(), condition.ToJson());
+  EXPECT_EQ(condition.ToJson().GetString("agg", ""), "max");
+  EXPECT_EQ(condition.ToJson().GetString("op", ""), ">");
+}
+
+TEST(WindowAggParseTest, RoundTrip) {
+  for (const char* text : {"mean", "min", "max", "sum", "count"}) {
+    auto agg = ParseWindowAgg(text);
+    ASSERT_TRUE(agg.ok()) << text;
+    EXPECT_STREQ(WindowAggName(agg.ValueOrDie()), text);
+  }
+  EXPECT_FALSE(ParseWindowAgg("median").ok());
+}
+
+TEST(HoldConditionTest, StaysActiveForHoldWindow) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(20);
+  // Trigger exactly at hour 5; hold for 4 hours of event time.
+  HoldCondition condition(
+      std::make_unique<TimeWindowCondition>(
+          TimestampFromCivil({2016, 3, 1, 5, 0, 0}),
+          TimestampFromCivil({2016, 3, 1, 6, 0, 0})),
+      4 * 3600);
+  std::vector<bool> fired;
+  for (int hour = 0; hour < 12; ++hour) {
+    Tuple t = SensorTuple(schema, hour);
+    auto ctx = ContextFor(t, &rng);
+    fired.push_back(condition.Evaluate(t, &ctx).ValueOrDie());
+  }
+  // Active at the trigger (5) and while held (6, 7, 8); off afterwards.
+  const std::vector<bool> expected = {false, false, false, false, false,
+                                      true,  true,  true,  true,  false,
+                                      false, false};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(HoldConditionTest, RetriggersAfterExpiry) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(21);
+  HoldCondition condition(std::make_unique<AlwaysCondition>(), 3600);
+  // Always retriggering: every tuple fires.
+  for (int hour = 0; hour < 5; ++hour) {
+    Tuple t = SensorTuple(schema, hour);
+    auto ctx = ContextFor(t, &rng);
+    EXPECT_TRUE(condition.Evaluate(t, &ctx).ValueOrDie());
+  }
+}
+
+TEST(HoldConditionTest, CloneStartsInactive) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(22);
+  HoldCondition condition(std::make_unique<NeverCondition>(), 1000000);
+  ConditionPtr clone = condition.Clone();
+  Tuple t = SensorTuple(schema, 0);
+  auto ctx = ContextFor(t, &rng);
+  EXPECT_FALSE(clone->Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_EQ(clone->ToJson().GetString("type", ""), "hold");
+}
+
+TEST(ConditionTest, CloneIsDeepAndEquivalent) {
+  std::vector<ConditionPtr> children;
+  children.push_back(std::make_unique<RandomCondition>(0.2));
+  children.push_back(std::make_unique<DailyWindowCondition>(780, 899));
+  AndCondition original(std::move(children));
+  ConditionPtr clone = original.Clone();
+  EXPECT_EQ(clone->ToJson(), original.ToJson());
+  EXPECT_EQ(clone->name(), "and");
+}
+
+TEST(ConditionTest, ToJsonShapes) {
+  EXPECT_EQ(RandomCondition(0.3).ToJson().GetString("type", ""), "random");
+  EXPECT_DOUBLE_EQ(RandomCondition(0.3).ToJson().GetDouble("p", 0), 0.3);
+  const Json vc =
+      ValueCondition("BPM", CompareOp::kGt, Value(100.0)).ToJson();
+  EXPECT_EQ(vc.GetString("attribute", ""), "BPM");
+  EXPECT_EQ(vc.GetString("op", ""), ">");
+  EXPECT_DOUBLE_EQ(vc.GetDouble("operand", 0), 100.0);
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,224 @@
+#include "core/errors_temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/derived_error.h"
+#include "core/errors_numeric.h"
+#include "core/errors_value.h"
+#include "test_helpers.h"
+
+namespace icewafl {
+namespace {
+
+using testing_helpers::ContextFor;
+using testing_helpers::SensorSchema;
+using testing_helpers::SensorTuple;
+
+TEST(DelayErrorTest, ShiftsArrivalTimeOnly) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(1);
+  DelayError error(3600);  // the paper's one-hour network delay
+  Tuple t = SensorTuple(schema, 13);
+  const Timestamp original_ts = t.GetTimestamp().ValueOrDie();
+  const Timestamp original_arrival = t.arrival_time();
+  auto ctx = ContextFor(t, &rng);
+  ASSERT_TRUE(error.Apply(&t, {}, &ctx).ok());
+  EXPECT_EQ(t.arrival_time(), original_arrival + 3600);
+  EXPECT_EQ(t.GetTimestamp().ValueOrDie(), original_ts);
+  EXPECT_EQ(t.event_time(), original_ts);
+}
+
+TEST(DelayErrorTest, DelaysAccumulateAcrossApplications) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(2);
+  DelayError error(60);
+  Tuple t = SensorTuple(schema, 13);
+  const Timestamp base = t.arrival_time();
+  auto ctx = ContextFor(t, &rng);
+  ASSERT_TRUE(error.Apply(&t, {}, &ctx).ok());
+  ASSERT_TRUE(error.Apply(&t, {}, &ctx).ok());
+  EXPECT_EQ(t.arrival_time(), base + 120);
+}
+
+TEST(FrozenValueErrorTest, RepeatsPreFreezeValueWhileActive) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(3);
+  FrozenValueError error(7200);  // 2-hour freeze
+  // Observe three clean hours: 20, 21, 22 degrees.
+  std::vector<Tuple> stream;
+  for (int h = 0; h < 6; ++h) {
+    stream.push_back(SensorTuple(schema, h, 20.0 + h));
+  }
+  // Hours 0-1 pass clean.
+  ASSERT_TRUE(error.Observe(stream[0], {1}).ok());
+  ASSERT_TRUE(error.Observe(stream[1], {1}).ok());
+  // Hour 2: freeze begins; the sensor repeats hour 1's value (21).
+  ASSERT_TRUE(error.Observe(stream[2], {1}).ok());
+  auto ctx2 = ContextFor(stream[2], &rng);
+  ASSERT_TRUE(error.Apply(&stream[2], {1}, &ctx2).ok());
+  EXPECT_DOUBLE_EQ(stream[2].value(1).AsDouble(), 21.0);
+  // Hour 3 still within the 2-hour hold: same frozen value.
+  ASSERT_TRUE(error.Observe(stream[3], {1}).ok());
+  auto ctx3 = ContextFor(stream[3], &rng);
+  ASSERT_TRUE(error.Apply(&stream[3], {1}, &ctx3).ok());
+  EXPECT_DOUBLE_EQ(stream[3].value(1).AsDouble(), 21.0);
+  // Hour 5 is past the hold: a new freeze captures hour 4's value (24).
+  ASSERT_TRUE(error.Observe(stream[4], {1}).ok());
+  ASSERT_TRUE(error.Observe(stream[5], {1}).ok());
+  auto ctx5 = ContextFor(stream[5], &rng);
+  ASSERT_TRUE(error.Apply(&stream[5], {1}, &ctx5).ok());
+  EXPECT_DOUBLE_EQ(stream[5].value(1).AsDouble(), 24.0);
+}
+
+TEST(FrozenValueErrorTest, FirstTupleCannotFreeze) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(4);
+  FrozenValueError error(3600);
+  Tuple t = SensorTuple(schema, 0, 33.0);
+  ASSERT_TRUE(error.Observe(t, {1}).ok());
+  auto ctx = ContextFor(t, &rng);
+  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 33.0);  // unchanged
+}
+
+TEST(FrozenValueErrorTest, CloneStartsUnfrozen) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(5);
+  FrozenValueError error(3600);
+  Tuple a = SensorTuple(schema, 0, 1.0);
+  Tuple b = SensorTuple(schema, 1, 2.0);
+  ASSERT_TRUE(error.Observe(a, {1}).ok());
+  ASSERT_TRUE(error.Observe(b, {1}).ok());
+  ErrorFunctionPtr clone = error.Clone();
+  Tuple c = SensorTuple(schema, 2, 3.0);
+  auto ctx = ContextFor(c, &rng);
+  ASSERT_TRUE(clone->Apply(&c, {1}, &ctx).ok());
+  // The clone has no observation history, so it cannot freeze yet.
+  EXPECT_DOUBLE_EQ(c.value(1).AsDouble(), 3.0);
+}
+
+TEST(TimestampShiftErrorTest, ShiftsTimestampAttributeOnly) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(6);
+  TimestampShiftError error(-600);
+  Tuple t = SensorTuple(schema, 13);
+  const Timestamp original = t.GetTimestamp().ValueOrDie();
+  const Timestamp original_arrival = t.arrival_time();
+  auto ctx = ContextFor(t, &rng);
+  ASSERT_TRUE(error.Apply(&t, {}, &ctx).ok());
+  EXPECT_EQ(t.GetTimestamp().ValueOrDie(), original - 600);
+  EXPECT_EQ(t.arrival_time(), original_arrival);  // position unchanged
+}
+
+TEST(TimestampJitterErrorTest, JitterBounded) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(7);
+  TimestampJitterError error(120);
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t = SensorTuple(schema, 13);
+    const Timestamp original = t.GetTimestamp().ValueOrDie();
+    auto ctx = ContextFor(t, &rng);
+    ASSERT_TRUE(error.Apply(&t, {}, &ctx).ok());
+    const Timestamp shifted = t.GetTimestamp().ValueOrDie();
+    ASSERT_GE(shifted, original - 120);
+    ASSERT_LE(shifted, original + 120);
+  }
+}
+
+TEST(TemporalErrorsTest, SeverityGatesApplication) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(8);
+  DelayError error(3600);
+  int delayed = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = SensorTuple(schema, 13);
+    const Timestamp base = t.arrival_time();
+    auto ctx = ContextFor(t, &rng);
+    ctx.severity = 0.2;
+    ASSERT_TRUE(error.Apply(&t, {}, &ctx).ok());
+    if (t.arrival_time() != base) ++delayed;
+  }
+  EXPECT_NEAR(static_cast<double>(delayed) / n, 0.2, 0.02);
+}
+
+TEST(DerivedTemporalErrorTest, ProfileModulatesSeverity) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(9);
+  // Missing values whose probability ramps linearly over the stream.
+  DerivedTemporalError error(std::make_unique<MissingValueError>(),
+                             std::make_unique<StreamRampProfile>());
+  int early_nulls = 0;
+  int late_nulls = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    Tuple early = SensorTuple(schema, 2);   // ~8% through the day
+    Tuple late = SensorTuple(schema, 22);   // ~92% through the day
+    auto ctx_e = ContextFor(early, &rng);
+    auto ctx_l = ContextFor(late, &rng);
+    ASSERT_TRUE(error.Apply(&early, {1}, &ctx_e).ok());
+    ASSERT_TRUE(error.Apply(&late, {1}, &ctx_l).ok());
+    if (early.value(1).is_null()) ++early_nulls;
+    if (late.value(1).is_null()) ++late_nulls;
+  }
+  EXPECT_NEAR(static_cast<double>(early_nulls) / n, 2.0 / 24.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(late_nulls) / n, 22.0 / 24.0, 0.02);
+}
+
+TEST(DerivedTemporalErrorTest, SeverityRestoredAfterApply) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(10);
+  DerivedTemporalError error(std::make_unique<ScaleError>(2.0),
+                             std::make_unique<ConstantProfile>(0.5));
+  Tuple t = SensorTuple(schema, 10, 10.0);
+  auto ctx = ContextFor(t, &rng);
+  ctx.severity = 1.0;
+  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  EXPECT_DOUBLE_EQ(ctx.severity, 1.0);  // restored
+  // factor = 1 + (2-1) * (1.0 * 0.5) = 1.5
+  EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 15.0);
+}
+
+TEST(DerivedTemporalErrorTest, SeveritiesNestMultiplicatively) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(11);
+  auto inner = std::make_unique<DerivedTemporalError>(
+      std::make_unique<ScaleError>(5.0), std::make_unique<ConstantProfile>(0.5));
+  DerivedTemporalError outer(std::move(inner),
+                             std::make_unique<ConstantProfile>(0.5));
+  Tuple t = SensorTuple(schema, 10, 100.0);
+  auto ctx = ContextFor(t, &rng);
+  ASSERT_TRUE(outer.Apply(&t, {1}, &ctx).ok());
+  // factor = 1 + 4 * 0.25 = 2.
+  EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 200.0);
+}
+
+TEST(DerivedTemporalErrorTest, NameAndJsonComposeBaseAndProfile) {
+  DerivedTemporalError error(std::make_unique<GaussianNoiseError>(1.0),
+                             std::make_unique<AbruptProfile>(0));
+  EXPECT_EQ(error.name(), "gaussian_noise@abrupt");
+  const Json j = error.ToJson();
+  EXPECT_EQ(j.GetString("type", ""), "derived");
+  EXPECT_EQ(j.Get("base").ValueOrDie().GetString("type", ""),
+            "gaussian_noise");
+  EXPECT_EQ(j.Get("profile").ValueOrDie().GetString("type", ""), "abrupt");
+}
+
+TEST(DerivedTemporalErrorTest, ObserveForwardsToBase) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(12);
+  DerivedTemporalError error(std::make_unique<FrozenValueError>(7200),
+                             std::make_unique<ConstantProfile>(1.0));
+  Tuple a = SensorTuple(schema, 0, 10.0);
+  Tuple b = SensorTuple(schema, 1, 11.0);
+  Tuple c = SensorTuple(schema, 2, 12.0);
+  ASSERT_TRUE(error.Observe(a, {1}).ok());
+  ASSERT_TRUE(error.Observe(b, {1}).ok());
+  ASSERT_TRUE(error.Observe(c, {1}).ok());
+  auto ctx = ContextFor(c, &rng);
+  ASSERT_TRUE(error.Apply(&c, {1}, &ctx).ok());
+  EXPECT_DOUBLE_EQ(c.value(1).AsDouble(), 11.0);  // frozen to b's value
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,325 @@
+#include "core/polluter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/composite_polluter.h"
+#include "core/errors_numeric.h"
+#include "core/errors_value.h"
+#include "test_helpers.h"
+
+namespace icewafl {
+namespace {
+
+using testing_helpers::ContextFor;
+using testing_helpers::SensorSchema;
+using testing_helpers::SensorTuple;
+
+std::unique_ptr<StandardPolluter> MakeNullPolluter(double p) {
+  return std::make_unique<StandardPolluter>(
+      "nuller", std::make_unique<MissingValueError>(),
+      std::make_unique<RandomCondition>(p),
+      std::vector<std::string>{"temp"});
+}
+
+TEST(StandardPolluterTest, ConditionGatesError) {
+  SchemaPtr schema = SensorSchema();
+  auto polluter = std::make_unique<StandardPolluter>(
+      "hot_to_null", std::make_unique<MissingValueError>(),
+      std::make_unique<ValueCondition>("temp", CompareOp::kGt, Value(25.0)),
+      std::vector<std::string>{"temp"});
+  Rng master(1);
+  polluter->Seed(&master);
+  Tuple hot = SensorTuple(schema, 1, 30.0);
+  Tuple cold = SensorTuple(schema, 2, 20.0);
+  auto ctx_h = ContextFor(hot, nullptr);
+  auto ctx_c = ContextFor(cold, nullptr);
+  ASSERT_TRUE(polluter->Pollute(&hot, &ctx_h, nullptr).ok());
+  ASSERT_TRUE(polluter->Pollute(&cold, &ctx_c, nullptr).ok());
+  EXPECT_TRUE(hot.value(1).is_null());
+  EXPECT_FALSE(cold.value(1).is_null());
+  EXPECT_EQ(polluter->applied_count(), 1u);
+}
+
+TEST(StandardPolluterTest, EquationTwoSemantics) {
+  // p(t, tau) = e(t, A_p, tau) if c(t, tau), else t — the untouched
+  // branch must return the tuple bit-identical.
+  SchemaPtr schema = SensorSchema();
+  auto polluter = std::make_unique<StandardPolluter>(
+      "never", std::make_unique<GaussianNoiseError>(100.0),
+      std::make_unique<NeverCondition>(), std::vector<std::string>{"temp"});
+  Rng master(2);
+  polluter->Seed(&master);
+  Tuple t = SensorTuple(schema, 3, 21.5);
+  Tuple original = t;
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(polluter->Pollute(&t, &ctx, nullptr).ok());
+  EXPECT_TRUE(t.ValuesEqual(original));
+  EXPECT_EQ(polluter->applied_count(), 0u);
+}
+
+TEST(StandardPolluterTest, AppliedFractionMatchesProbability) {
+  SchemaPtr schema = SensorSchema();
+  auto polluter = MakeNullPolluter(0.25);
+  Rng master(3);
+  polluter->Seed(&master);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = SensorTuple(schema, i % 24);
+    auto ctx = ContextFor(t, nullptr);
+    ASSERT_TRUE(polluter->Pollute(&t, &ctx, nullptr).ok());
+  }
+  EXPECT_NEAR(static_cast<double>(polluter->applied_count()) / n, 0.25, 0.01);
+}
+
+TEST(StandardPolluterTest, LogsEveryInjection) {
+  SchemaPtr schema = SensorSchema();
+  auto polluter = MakeNullPolluter(1.0);
+  Rng master(4);
+  polluter->Seed(&master);
+  PollutionLog log;
+  for (int i = 0; i < 5; ++i) {
+    Tuple t = SensorTuple(schema, i);
+    t.set_id(static_cast<TupleId>(100 + i));
+    t.set_substream(2);
+    auto ctx = ContextFor(t, nullptr);
+    ASSERT_TRUE(polluter->Pollute(&t, &ctx, &log).ok());
+  }
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.entries()[0].tuple_id, 100u);
+  EXPECT_EQ(log.entries()[0].substream, 2);
+  EXPECT_EQ(log.entries()[0].polluter, "nuller");
+  EXPECT_EQ(log.entries()[0].error_type, "missing_value");
+  EXPECT_EQ(log.entries()[0].attributes, std::vector<std::string>{"temp"});
+}
+
+TEST(StandardPolluterTest, UnknownAttributeFailsAtFirstTuple) {
+  SchemaPtr schema = SensorSchema();
+  StandardPolluter polluter("bad", std::make_unique<MissingValueError>(),
+                            std::make_unique<AlwaysCondition>(),
+                            {"no_such_attr"});
+  Rng master(5);
+  polluter.Seed(&master);
+  Tuple t = SensorTuple(schema, 0);
+  auto ctx = ContextFor(t, nullptr);
+  EXPECT_EQ(polluter.Pollute(&t, &ctx, nullptr).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(StandardPolluterTest, SameSeedSameDecisions) {
+  SchemaPtr schema = SensorSchema();
+  auto run = [&](uint64_t seed) {
+    auto polluter = MakeNullPolluter(0.5);
+    Rng master(seed);
+    polluter->Seed(&master);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 200; ++i) {
+      Tuple t = SensorTuple(schema, i % 24);
+      auto ctx = ContextFor(t, nullptr);
+      EXPECT_TRUE(polluter->Pollute(&t, &ctx, nullptr).ok());
+      decisions.push_back(t.value(1).is_null());
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(77), run(77));
+  EXPECT_NE(run(77), run(78));
+}
+
+TEST(StandardPolluterTest, ResetStatsClearsCounter) {
+  SchemaPtr schema = SensorSchema();
+  auto polluter = MakeNullPolluter(1.0);
+  Rng master(6);
+  polluter->Seed(&master);
+  Tuple t = SensorTuple(schema, 0);
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(polluter->Pollute(&t, &ctx, nullptr).ok());
+  EXPECT_EQ(polluter->applied_count(), 1u);
+  polluter->ResetStats();
+  EXPECT_EQ(polluter->applied_count(), 0u);
+}
+
+TEST(StandardPolluterTest, CloneSharesConfigNotState) {
+  SchemaPtr schema = SensorSchema();
+  auto polluter = MakeNullPolluter(1.0);
+  Rng master(7);
+  polluter->Seed(&master);
+  Tuple t = SensorTuple(schema, 0);
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(polluter->Pollute(&t, &ctx, nullptr).ok());
+  PolluterPtr clone = polluter->Clone();
+  EXPECT_EQ(clone->applied_count(), 0u);
+  EXPECT_EQ(clone->ToJson(), polluter->ToJson());
+}
+
+TEST(SequentialPolluterTest, GateDelegatesToAllChildren) {
+  SchemaPtr schema = SensorSchema();
+  // Software-update shape: after a date, several errors occur together.
+  auto composite = std::make_unique<SequentialPolluter>(
+      "software_update",
+      TimeWindowCondition::After(TimestampFromCivil({2016, 3, 1, 12, 0, 0})));
+  composite->Register(std::make_unique<StandardPolluter>(
+      "scale", std::make_unique<ScaleError>(100.0),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"temp"}));
+  composite->Register(std::make_unique<StandardPolluter>(
+      "null_count", std::make_unique<MissingValueError>(),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"count"}));
+  Rng master(8);
+  composite->Seed(&master);
+
+  Tuple before = SensorTuple(schema, 10, 20.0);
+  Tuple after = SensorTuple(schema, 14, 20.0);
+  auto ctx_b = ContextFor(before, nullptr);
+  auto ctx_a = ContextFor(after, nullptr);
+  ASSERT_TRUE(composite->Pollute(&before, &ctx_b, nullptr).ok());
+  ASSERT_TRUE(composite->Pollute(&after, &ctx_a, nullptr).ok());
+  // Gate closed: children never ran.
+  EXPECT_DOUBLE_EQ(before.value(1).AsDouble(), 20.0);
+  EXPECT_FALSE(before.value(2).is_null());
+  // Gate open: both children ran.
+  EXPECT_DOUBLE_EQ(after.value(1).AsDouble(), 2000.0);
+  EXPECT_TRUE(after.value(2).is_null());
+  EXPECT_EQ(composite->applied_count(), 1u);
+}
+
+TEST(SequentialPolluterTest, ChildrenChainOnEachOthersOutput) {
+  SchemaPtr schema = SensorSchema();
+  // BPM-style chain: set to 0, then (p=1 here) to NULL — the second child
+  // sees the output of the first.
+  auto composite = std::make_unique<SequentialPolluter>(
+      "bpm_chain",
+      std::make_unique<ValueCondition>("temp", CompareOp::kGt, Value(100.0)));
+  composite->Register(std::make_unique<StandardPolluter>(
+      "to_zero", std::make_unique<SetConstantError>(Value(0.0)),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"temp"}));
+  composite->Register(std::make_unique<StandardPolluter>(
+      "zero_to_null", std::make_unique<MissingValueError>(),
+      std::make_unique<ValueCondition>("temp", CompareOp::kEq, Value(0.0)),
+      std::vector<std::string>{"temp"}));
+  Rng master(9);
+  composite->Seed(&master);
+  Tuple t = SensorTuple(schema, 10, 150.0);
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(composite->Pollute(&t, &ctx, nullptr).ok());
+  EXPECT_TRUE(t.value(1).is_null());
+}
+
+TEST(SequentialPolluterTest, NestedCompositesWork) {
+  SchemaPtr schema = SensorSchema();
+  auto inner = std::make_unique<SequentialPolluter>(
+      "inner", std::make_unique<AlwaysCondition>());
+  inner->Register(std::make_unique<StandardPolluter>(
+      "null_temp", std::make_unique<MissingValueError>(),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"temp"}));
+  auto outer = std::make_unique<SequentialPolluter>(
+      "outer", std::make_unique<AlwaysCondition>());
+  outer->Register(std::move(inner));
+  Rng master(10);
+  outer->Seed(&master);
+  Tuple t = SensorTuple(schema, 10);
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(outer->Pollute(&t, &ctx, nullptr).ok());
+  EXPECT_TRUE(t.value(1).is_null());
+}
+
+TEST(ExclusivePolluterTest, ExactlyOneChildRunsPerTuple) {
+  SchemaPtr schema = SensorSchema();
+  auto composite = std::make_unique<ExclusivePolluter>(
+      "either_or", std::make_unique<AlwaysCondition>());
+  composite->Register(std::make_unique<StandardPolluter>(
+      "null_temp", std::make_unique<MissingValueError>(),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"temp"}));
+  composite->Register(std::make_unique<StandardPolluter>(
+      "null_count", std::make_unique<MissingValueError>(),
+      std::make_unique<AlwaysCondition>(), std::vector<std::string>{"count"}));
+  Rng master(11);
+  composite->Seed(&master);
+  int temp_nulled = 0;
+  int count_nulled = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = SensorTuple(schema, i % 24);
+    auto ctx = ContextFor(t, nullptr);
+    ASSERT_TRUE(composite->Pollute(&t, &ctx, nullptr).ok());
+    const bool a = t.value(1).is_null();
+    const bool b = t.value(2).is_null();
+    ASSERT_NE(a, b);  // mutually exclusive, and exactly one fires
+    if (a) ++temp_nulled;
+    if (b) ++count_nulled;
+  }
+  // Uniform weights: roughly half each.
+  EXPECT_NEAR(static_cast<double>(temp_nulled) / n, 0.5, 0.03);
+  EXPECT_NEAR(static_cast<double>(count_nulled) / n, 0.5, 0.03);
+}
+
+TEST(ExclusivePolluterTest, WeightsBiasTheDraw) {
+  SchemaPtr schema = SensorSchema();
+  auto composite = std::make_unique<ExclusivePolluter>(
+      "weighted", std::make_unique<AlwaysCondition>());
+  composite->RegisterWeighted(
+      std::make_unique<StandardPolluter>(
+          "null_temp", std::make_unique<MissingValueError>(),
+          std::make_unique<AlwaysCondition>(),
+          std::vector<std::string>{"temp"}),
+      9.0);
+  composite->RegisterWeighted(
+      std::make_unique<StandardPolluter>(
+          "null_count", std::make_unique<MissingValueError>(),
+          std::make_unique<AlwaysCondition>(),
+          std::vector<std::string>{"count"}),
+      1.0);
+  Rng master(12);
+  composite->Seed(&master);
+  int temp_nulled = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Tuple t = SensorTuple(schema, i % 24);
+    auto ctx = ContextFor(t, nullptr);
+    ASSERT_TRUE(composite->Pollute(&t, &ctx, nullptr).ok());
+    if (t.value(1).is_null()) ++temp_nulled;
+  }
+  EXPECT_NEAR(static_cast<double>(temp_nulled) / n, 0.9, 0.01);
+}
+
+TEST(ExclusivePolluterTest, EmptyCompositeIsNoOp) {
+  SchemaPtr schema = SensorSchema();
+  ExclusivePolluter composite("empty", std::make_unique<AlwaysCondition>());
+  Rng master(13);
+  composite.Seed(&master);
+  Tuple t = SensorTuple(schema, 0);
+  Tuple original = t;
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(composite.Pollute(&t, &ctx, nullptr).ok());
+  EXPECT_TRUE(t.ValuesEqual(original));
+}
+
+TEST(CompositePolluterTest, ResetStatsRecurses) {
+  SchemaPtr schema = SensorSchema();
+  auto composite = std::make_unique<SequentialPolluter>(
+      "outer", std::make_unique<AlwaysCondition>());
+  composite->Register(MakeNullPolluter(1.0));
+  Rng master(14);
+  composite->Seed(&master);
+  Tuple t = SensorTuple(schema, 0);
+  auto ctx = ContextFor(t, nullptr);
+  ASSERT_TRUE(composite->Pollute(&t, &ctx, nullptr).ok());
+  EXPECT_EQ(composite->applied_count(), 1u);
+  EXPECT_EQ(composite->children()[0]->applied_count(), 1u);
+  composite->ResetStats();
+  EXPECT_EQ(composite->applied_count(), 0u);
+  EXPECT_EQ(composite->children()[0]->applied_count(), 0u);
+}
+
+TEST(CompositePolluterTest, CloneIsDeep) {
+  auto composite = std::make_unique<SequentialPolluter>(
+      "outer", std::make_unique<AlwaysCondition>());
+  composite->Register(MakeNullPolluter(0.5));
+  PolluterPtr clone = composite->Clone();
+  EXPECT_EQ(clone->ToJson(), composite->ToJson());
+  auto* cloned_composite = dynamic_cast<SequentialPolluter*>(clone.get());
+  ASSERT_NE(cloned_composite, nullptr);
+  EXPECT_EQ(cloned_composite->num_children(), 1u);
+  EXPECT_NE(cloned_composite->children()[0].get(),
+            composite->children()[0].get());
+}
+
+}  // namespace
+}  // namespace icewafl

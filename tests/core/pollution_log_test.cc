@@ -1,0 +1,83 @@
+#include "core/pollution_log.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+PollutionLogEntry Entry(TupleId id, int substream, const std::string& polluter,
+                        int hour) {
+  PollutionLogEntry e;
+  e.tuple_id = id;
+  e.substream = substream;
+  e.polluter = polluter;
+  e.error_type = "missing_value";
+  e.attributes = {"Distance"};
+  e.tau = TimestampFromCivil({2016, 3, 1, hour, 0, 0});
+  return e;
+}
+
+TEST(PollutionLogTest, RecordsAndCounts) {
+  PollutionLog log;
+  EXPECT_TRUE(log.empty());
+  log.Record(Entry(1, 0, "a", 0));
+  log.Record(Entry(2, 0, "a", 1));
+  log.Record(Entry(3, 0, "b", 2));
+  EXPECT_EQ(log.size(), 3u);
+  auto counts = log.CountsByPolluter();
+  EXPECT_EQ(counts["a"], 2u);
+  EXPECT_EQ(counts["b"], 1u);
+}
+
+TEST(PollutionLogTest, DistinctTupleCountDeduplicates) {
+  PollutionLog log;
+  log.Record(Entry(1, 0, "a", 0));
+  log.Record(Entry(1, 0, "b", 0));  // same tuple hit twice
+  log.Record(Entry(1, 1, "a", 0));  // same id but another sub-stream copy
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.DistinctTupleCount(), 2u);
+}
+
+TEST(PollutionLogTest, HourHistogramBucketsByTau) {
+  PollutionLog log;
+  log.Record(Entry(1, 0, "a", 3));
+  log.Record(Entry(2, 0, "a", 3));
+  log.Record(Entry(3, 0, "a", 17));
+  const auto hist = log.HourOfDayHistogram();
+  ASSERT_EQ(hist.size(), 24u);
+  EXPECT_EQ(hist[3], 2u);
+  EXPECT_EQ(hist[17], 1u);
+  EXPECT_EQ(hist[0], 0u);
+}
+
+TEST(PollutionLogTest, JsonRoundTrip) {
+  PollutionLog log;
+  log.Record(Entry(1, 0, "a", 0));
+  log.Record(Entry(2, 1, "b", 5));
+  const Json j = log.ToJson();
+  auto restored = PollutionLog::FromJson(j);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.ValueOrDie().size(), 2u);
+  EXPECT_EQ(restored.ValueOrDie().entries()[0], log.entries()[0]);
+  EXPECT_EQ(restored.ValueOrDie().entries()[1], log.entries()[1]);
+}
+
+TEST(PollutionLogTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(PollutionLog::FromJson(Json::Parse("{}").ValueOrDie()).ok());
+  EXPECT_FALSE(
+      PollutionLog::FromJson(Json::Parse(R"({"entries": 5})").ValueOrDie())
+          .ok());
+  EXPECT_FALSE(
+      PollutionLog::FromJson(Json::Parse(R"({"entries": [5]})").ValueOrDie())
+          .ok());
+}
+
+TEST(PollutionLogTest, ClearEmpties) {
+  PollutionLog log;
+  log.Record(Entry(1, 0, "a", 0));
+  log.Clear();
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,44 @@
+#ifndef ICEWAFL_TESTS_CORE_TEST_HELPERS_H_
+#define ICEWAFL_TESTS_CORE_TEST_HELPERS_H_
+
+#include "core/context.h"
+#include "stream/tuple.h"
+
+namespace icewafl {
+namespace testing_helpers {
+
+inline SchemaPtr SensorSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64},
+                       {"temp", ValueType::kDouble},
+                       {"count", ValueType::kInt64},
+                       {"label", ValueType::kString}},
+                      "ts")
+      .ValueOrDie();
+}
+
+/// One sensor tuple at hour `hour` of 2016-03-01.
+inline Tuple SensorTuple(const SchemaPtr& schema, int hour, double temp = 20.0,
+                         int64_t count = 100, const std::string& label = "ok") {
+  const Timestamp ts =
+      TimestampFromCivil({2016, 3, 1, hour, 0, 0});
+  Tuple t(schema, {Value(ts), Value(temp), Value(count), Value(label)});
+  t.set_id(static_cast<TupleId>(hour));
+  t.set_event_time(ts);
+  t.set_arrival_time(ts);
+  return t;
+}
+
+/// Context positioned at the tuple's event time within a one-day stream.
+inline PollutionContext ContextFor(const Tuple& t, Rng* rng) {
+  PollutionContext ctx;
+  ctx.tau = t.event_time();
+  ctx.stream_start = TimestampFromCivil({2016, 3, 1, 0, 0, 0});
+  ctx.stream_end = TimestampFromCivil({2016, 3, 2, 0, 0, 0});
+  ctx.rng = rng;
+  return ctx;
+}
+
+}  // namespace testing_helpers
+}  // namespace icewafl
+
+#endif  // ICEWAFL_TESTS_CORE_TEST_HELPERS_H_

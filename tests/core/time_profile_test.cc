@@ -1,0 +1,182 @@
+#include "core/time_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icewafl {
+namespace {
+
+PollutionContext CtxAt(Timestamp tau, Timestamp start = 0,
+                       Timestamp end = 86400, Rng* rng = nullptr) {
+  PollutionContext ctx;
+  ctx.tau = tau;
+  ctx.stream_start = start;
+  ctx.stream_end = end;
+  ctx.rng = rng;
+  return ctx;
+}
+
+TEST(ConstantProfileTest, ClampsAndReturnsValue) {
+  EXPECT_DOUBLE_EQ(ConstantProfile(0.4).Evaluate(CtxAt(0)), 0.4);
+  EXPECT_DOUBLE_EQ(ConstantProfile(2.0).Evaluate(CtxAt(0)), 1.0);
+  EXPECT_DOUBLE_EQ(ConstantProfile(-1.0).Evaluate(CtxAt(0)), 0.0);
+}
+
+TEST(AbruptProfileTest, StepsAtChangeTime) {
+  AbruptProfile profile(1000, 0.1, 0.9);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(999)), 0.1);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(1000)), 0.9);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(5000)), 0.9);
+}
+
+TEST(IncrementalProfileTest, LinearRamp) {
+  // The paper's example: over five minutes the missing-value probability
+  // rises from 40% to 90%.
+  IncrementalProfile profile(0, 300, 0.4, 0.9);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(-10)), 0.4);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(0)), 0.4);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(150)), 0.65);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(300)), 0.9);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(10000)), 0.9);
+}
+
+TEST(IncrementalProfileTest, DegenerateWindowActsAbrupt) {
+  IncrementalProfile profile(100, 100, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(99)), 0.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(100)), 1.0);
+}
+
+TEST(IncrementalProfileTest, DecreasingRampAllowed) {
+  IncrementalProfile profile(0, 100, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(50)), 0.5);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(200)), 0.0);
+}
+
+TEST(IntermediateProfileTest, OutsideWindowIsDeterministic) {
+  IntermediateProfile profile(100, 200, 0.0, 1.0);
+  Rng rng(1);
+  auto ctx_before = CtxAt(50, 0, 300, &rng);
+  auto ctx_after = CtxAt(250, 0, 300, &rng);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(ctx_before), 0.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(ctx_after), 1.0);
+}
+
+TEST(IntermediateProfileTest, InsideWindowMixesRegimes) {
+  IntermediateProfile profile(0, 1000, 0.0, 1.0);
+  Rng rng(42);
+  int new_regime = 0;
+  const int trials = 10000;
+  // At 75% through the transition the new regime should dominate.
+  for (int i = 0; i < trials; ++i) {
+    auto ctx = CtxAt(750, 0, 2000, &rng);
+    if (profile.Evaluate(ctx) == 1.0) ++new_regime;
+  }
+  EXPECT_NEAR(static_cast<double>(new_regime) / trials, 0.75, 0.02);
+}
+
+TEST(IntermediateProfileTest, WithoutRngFallsBackToExpectation) {
+  IntermediateProfile profile(0, 100, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(25)), 0.25);
+}
+
+TEST(SinusoidalProfileTest, MatchesPaperDailyErrorPattern) {
+  // p(t) = 0.25 * cos(pi/12 * t) + 0.25 (Experiment 3.1.1).
+  SinusoidalProfile profile(24.0, 0.25, 0.25);
+  for (int hour = 0; hour < 24; ++hour) {
+    const Timestamp tau = TimestampFromCivil({2016, 3, 1, hour, 0, 0});
+    const double expected = 0.25 * std::cos(M_PI / 12.0 * hour) + 0.25;
+    EXPECT_NEAR(profile.Evaluate(CtxAt(tau)), expected, 1e-9) << hour;
+  }
+}
+
+TEST(SinusoidalProfileTest, PeaksAtMidnightTroughsAtNoon) {
+  SinusoidalProfile profile(24.0, 0.25, 0.25);
+  const Timestamp midnight = TimestampFromCivil({2016, 3, 1, 0, 0, 0});
+  const Timestamp noon = TimestampFromCivil({2016, 3, 1, 12, 0, 0});
+  EXPECT_NEAR(profile.Evaluate(CtxAt(midnight)), 0.5, 1e-9);
+  EXPECT_NEAR(profile.Evaluate(CtxAt(noon)), 0.0, 1e-9);
+}
+
+TEST(SinusoidalProfileTest, RepeatsDaily) {
+  SinusoidalProfile profile(24.0, 0.25, 0.25);
+  const Timestamp day1 = TimestampFromCivil({2016, 3, 1, 7, 0, 0});
+  const Timestamp day2 = TimestampFromCivil({2016, 3, 2, 7, 0, 0});
+  EXPECT_NEAR(profile.Evaluate(CtxAt(day1)), profile.Evaluate(CtxAt(day2)),
+              1e-9);
+}
+
+TEST(SinusoidalProfileTest, ClampsNegativeLobes) {
+  SinusoidalProfile profile(24.0, 1.0, 0.0);  // cos in [-1, 1], no offset
+  const Timestamp noon = TimestampFromCivil({2016, 3, 1, 12, 0, 0});
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(noon)), 0.0);  // clamped from -1
+}
+
+TEST(StreamRampProfileTest, ImplementsEquation4) {
+  // p(activation | tau_i) = hours(tau_i - tau_0) / hours(tau_n - tau_0).
+  StreamRampProfile profile;
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(0, 0, 86400)), 0.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(43200, 0, 86400)), 0.5);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(86400, 0, 86400)), 1.0);
+}
+
+TEST(StreamRampProfileTest, ScaleCapsOrStretches) {
+  StreamRampProfile half(0.5);
+  EXPECT_DOUBLE_EQ(half.Evaluate(CtxAt(86400, 0, 86400)), 0.5);
+  StreamRampProfile twice(2.0);
+  EXPECT_DOUBLE_EQ(twice.Evaluate(CtxAt(43200, 0, 86400)), 1.0);  // clamped
+}
+
+TEST(StreamRampProfileTest, UnknownBoundsYieldZero) {
+  StreamRampProfile profile;
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(500, 100, 100)), 0.0);
+}
+
+TEST(ReoccurringProfileTest, SquareWaveRelativeToStreamStart) {
+  // 4-hour period, 50% duty cycle: high for 2h, low for 2h, repeating.
+  ReoccurringProfile profile(4.0, 0.1, 0.9);
+  for (int h = 0; h < 12; ++h) {
+    const double expected = (h % 4) < 2 ? 0.9 : 0.1;
+    EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(h * 3600, 0, 86400)), expected)
+        << h;
+  }
+}
+
+TEST(ReoccurringProfileTest, DutyCycleControlsOnFraction) {
+  ReoccurringProfile profile(10.0, 0.0, 1.0, 0.3);
+  int high = 0;
+  for (int h = 0; h < 10; ++h) {
+    if (profile.Evaluate(CtxAt(h * 3600, 0, 86400)) == 1.0) ++high;
+  }
+  EXPECT_EQ(high, 3);
+}
+
+TEST(SpikeProfileTest, GaussianBumpAroundCenter) {
+  SpikeProfile profile(/*center=*/10000, /*width_seconds=*/1000, 1.0);
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(10000)), 1.0);
+  const double one_sigma = profile.Evaluate(CtxAt(11000));
+  EXPECT_NEAR(one_sigma, std::exp(-0.5), 1e-12);
+  EXPECT_LT(profile.Evaluate(CtxAt(15000)), 1e-4);  // 5 sigma out
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(profile.Evaluate(CtxAt(9000)),
+                   profile.Evaluate(CtxAt(11000)));
+}
+
+TEST(TimeProfileTest, CloneIsIndependentAndEquivalent) {
+  IncrementalProfile original(0, 100, 0.0, 1.0);
+  TimeProfilePtr clone = original.Clone();
+  EXPECT_EQ(clone->name(), "incremental");
+  EXPECT_DOUBLE_EQ(clone->Evaluate(CtxAt(50)), 0.5);
+  EXPECT_EQ(clone->ToJson(), original.ToJson());
+}
+
+TEST(TimeProfileTest, ToJsonCarriesType) {
+  EXPECT_EQ(ConstantProfile(0.5).ToJson().GetString("type", ""), "constant");
+  EXPECT_EQ(AbruptProfile(0).ToJson().GetString("type", ""), "abrupt");
+  EXPECT_EQ(SinusoidalProfile(24, 0.25, 0.25).ToJson().GetString("type", ""),
+            "sinusoidal");
+  EXPECT_EQ(StreamRampProfile().ToJson().GetString("type", ""), "stream_ramp");
+}
+
+}  // namespace
+}  // namespace icewafl

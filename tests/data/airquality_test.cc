@@ -1,0 +1,231 @@
+#include "data/airquality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/impute.h"
+#include "data/splits.h"
+
+namespace icewafl {
+namespace data {
+namespace {
+
+AirQualityOptions SmallOptions(size_t hours = 24 * 40) {
+  AirQualityOptions options;
+  options.hours = hours;
+  return options;
+}
+
+TEST(AirQualityTest, SchemaHasEighteenAttributes) {
+  SchemaPtr schema = AirQualitySchema();
+  EXPECT_EQ(schema->num_attributes(), 18u);
+  EXPECT_EQ(schema->timestamp_name(), "timestamp");
+  for (const char* name : {"NO2", "TEMP", "PRES", "WSPM", "station", "WD"}) {
+    EXPECT_TRUE(schema->Contains(name)) << name;
+  }
+}
+
+TEST(AirQualityTest, HourlyCadenceAndCalendarColumns) {
+  const TupleVector tuples = GenerateAirQuality(SmallOptions(48)).ValueOrDie();
+  ASSERT_EQ(tuples.size(), 48u);
+  const SchemaPtr& schema = tuples.front().schema();
+  const size_t hour_idx = schema->IndexOf("hour").ValueOrDie();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const Timestamp ts = tuples[i].GetTimestamp().ValueOrDie();
+    if (i > 0) {
+      ASSERT_EQ(ts - tuples[i - 1].GetTimestamp().ValueOrDie(),
+                kSecondsPerHour);
+    }
+    EXPECT_EQ(tuples[i].value(hour_idx).AsInt64(), HourOfDay(ts));
+  }
+}
+
+TEST(AirQualityTest, ValuesPhysicallyPlausible) {
+  const TupleVector tuples = GenerateAirQuality(SmallOptions()).ValueOrDie();
+  const SchemaPtr& schema = tuples.front().schema();
+  const size_t no2 = schema->IndexOf("NO2").ValueOrDie();
+  const size_t temp = schema->IndexOf("TEMP").ValueOrDie();
+  const size_t pres = schema->IndexOf("PRES").ValueOrDie();
+  const size_t wspm = schema->IndexOf("WSPM").ValueOrDie();
+  for (const Tuple& t : tuples) {
+    ASSERT_GT(t.value(no2).AsDouble(), 0.0);
+    ASSERT_GT(t.value(temp).AsDouble(), -40.0);
+    ASSERT_LT(t.value(temp).AsDouble(), 55.0);
+    ASSERT_GT(t.value(pres).AsDouble(), 950.0);
+    ASSERT_LT(t.value(pres).AsDouble(), 1070.0);
+    ASSERT_GT(t.value(wspm).AsDouble(), 0.0);
+  }
+}
+
+TEST(AirQualityTest, AnnualSeasonalityPresent) {
+  AirQualityOptions options;
+  options.hours = 35064;
+  const TupleVector tuples = GenerateAirQuality(options).ValueOrDie();
+  const auto temp = ColumnAsDoubles(tuples, "TEMP").ValueOrDie();
+  // The stream starts in March; July (~hour 2950..3670 of year 1) must be
+  // much warmer than January (~hour 7350..8060).
+  auto mean_range = [&](size_t begin, size_t end) {
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += temp[i];
+    return sum / static_cast<double>(end - begin);
+  };
+  const double july = mean_range(2950, 3670);
+  const double january = mean_range(7350, 8060);
+  EXPECT_GT(july - january, 10.0);
+}
+
+TEST(AirQualityTest, No2AutocorrelationIsStrong) {
+  const TupleVector tuples = GenerateAirQuality(SmallOptions()).ValueOrDie();
+  const auto no2 = ColumnAsDoubles(tuples, "NO2").ValueOrDie();
+  double mean = 0.0;
+  for (double v : no2) mean += v;
+  mean /= static_cast<double>(no2.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 1; i < no2.size(); ++i) {
+    num += (no2[i] - mean) * (no2[i - 1] - mean);
+  }
+  for (double v : no2) den += (v - mean) * (v - mean);
+  const double lag1 = num / den;
+  EXPECT_GT(lag1, 0.5);  // AR(1)-like memory
+}
+
+TEST(AirQualityTest, StationsDiffer) {
+  AirQualityOptions a = SmallOptions(200);
+  a.station = "Gucheng";
+  AirQualityOptions b = SmallOptions(200);
+  b.station = "Wanliu";
+  const auto sa = GenerateAirQuality(a).ValueOrDie();
+  const auto sb = GenerateAirQuality(b).ValueOrDie();
+  const auto na = ColumnAsDoubles(sa, "NO2").ValueOrDie();
+  const auto nb = ColumnAsDoubles(sb, "NO2").ValueOrDie();
+  EXPECT_NE(na, nb);
+  EXPECT_EQ(sa.front().Get("station").ValueOrDie().AsString(), "Gucheng");
+}
+
+TEST(AirQualityTest, UnknownStationGetsStableProfile) {
+  const StationProfile p1 = StationProfileFor("SomewhereElse");
+  const StationProfile p2 = StationProfileFor("SomewhereElse");
+  EXPECT_EQ(p1.seed_offset, p2.seed_offset);
+  EXPECT_NE(p1.seed_offset, StationProfileFor("Another").seed_offset);
+}
+
+TEST(AirQualityTest, DeterministicForSeed) {
+  const auto a = GenerateAirQuality(SmallOptions(100)).ValueOrDie();
+  const auto b = GenerateAirQuality(SmallOptions(100)).ValueOrDie();
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ValuesEqual(b[i])) << i;
+  }
+}
+
+TEST(AirQualityTest, MissingFractionInjectsNulls) {
+  AirQualityOptions options = SmallOptions(2000);
+  options.missing_fraction = 0.1;
+  const TupleVector tuples = GenerateAirQuality(options).ValueOrDie();
+  const size_t nulls = CountNulls(tuples, "NO2").ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(nulls) / 2000.0, 0.1, 0.03);
+  // Extraction must refuse un-imputed data.
+  EXPECT_FALSE(ColumnAsDoubles(tuples, "NO2").ok());
+}
+
+TEST(AirQualityTest, InvalidOptionsRejected) {
+  AirQualityOptions zero;
+  zero.hours = 0;
+  EXPECT_FALSE(GenerateAirQuality(zero).ok());
+  AirQualityOptions bad_fraction;
+  bad_fraction.missing_fraction = 1.5;
+  EXPECT_FALSE(GenerateAirQuality(bad_fraction).ok());
+}
+
+TEST(AirQualityTest, GenerateAllRegionsCoversPaperRegions) {
+  AirQualityOptions base = SmallOptions(100);
+  auto streams = GenerateAllRegions(base);
+  ASSERT_TRUE(streams.ok());
+  const auto regions = PaperRegions();
+  ASSERT_EQ(streams.ValueOrDie().size(), regions.size());
+  for (size_t i = 0; i < regions.size(); ++i) {
+    const TupleVector& stream = streams.ValueOrDie()[i];
+    ASSERT_EQ(stream.size(), 100u);
+    EXPECT_EQ(stream.front().Get("station").ValueOrDie().AsString(),
+              regions[i]);
+  }
+  // Streams differ across regions.
+  EXPECT_NE(ColumnAsDoubles(streams.ValueOrDie()[0], "NO2").ValueOrDie(),
+            ColumnAsDoubles(streams.ValueOrDie()[2], "NO2").ValueOrDie());
+}
+
+TEST(ImputeTest, ForwardFillReplacesInteriorNulls) {
+  AirQualityOptions options = SmallOptions(500);
+  options.missing_fraction = 0.2;
+  TupleVector tuples = GenerateAirQuality(options).ValueOrDie();
+  const size_t nulls_before = CountNulls(tuples, "NO2").ValueOrDie();
+  ASSERT_GT(nulls_before, 0u);
+  const size_t imputed = ForwardBackwardFill(&tuples, "NO2").ValueOrDie();
+  EXPECT_EQ(imputed, nulls_before);
+  EXPECT_EQ(CountNulls(tuples, "NO2").ValueOrDie(), 0u);
+  EXPECT_TRUE(ColumnAsDoubles(tuples, "NO2").ok());
+}
+
+TEST(ImputeTest, LeadingNullsBackFilled) {
+  SchemaPtr schema =
+      Schema::Make({{"ts", ValueType::kInt64}, {"v", ValueType::kDouble}},
+                   "ts")
+          .ValueOrDie();
+  TupleVector tuples;
+  tuples.emplace_back(schema,
+                      std::vector<Value>{Value(int64_t{0}), Value::Null()});
+  tuples.emplace_back(schema,
+                      std::vector<Value>{Value(int64_t{1}), Value(5.0)});
+  tuples.emplace_back(schema,
+                      std::vector<Value>{Value(int64_t{2}), Value::Null()});
+  ASSERT_EQ(ForwardBackwardFill(&tuples, "v").ValueOrDie(), 2u);
+  EXPECT_DOUBLE_EQ(tuples[0].value(1).AsDouble(), 5.0);  // back-filled
+  EXPECT_DOUBLE_EQ(tuples[2].value(1).AsDouble(), 5.0);  // forward-filled
+}
+
+TEST(ImputeTest, AllNullColumnRejected) {
+  SchemaPtr schema =
+      Schema::Make({{"ts", ValueType::kInt64}, {"v", ValueType::kDouble}},
+                   "ts")
+          .ValueOrDie();
+  TupleVector tuples;
+  tuples.emplace_back(schema,
+                      std::vector<Value>{Value(int64_t{0}), Value::Null()});
+  EXPECT_FALSE(ForwardBackwardFill(&tuples, "v").ok());
+}
+
+TEST(SplitsTest, TableTwoSemantics) {
+  AirQualityOptions options;
+  options.hours = 35064;  // four years, like the real dataset
+  const TupleVector stream = GenerateAirQuality(options).ValueOrDie();
+  const DataSplits splits = SplitByYear(stream).ValueOrDie();
+  EXPECT_EQ(splits.train.size(), 8760u - 12u);
+  EXPECT_EQ(splits.valid.size(), 12u);
+  EXPECT_EQ(splits.eval.size(), 8760u);
+  // D_valid directly follows D_train.
+  EXPECT_EQ(splits.valid.front().GetTimestamp().ValueOrDie() -
+                splits.train.back().GetTimestamp().ValueOrDie(),
+            kSecondsPerHour);
+  // D_eval is the final year.
+  EXPECT_EQ(splits.eval.back().GetTimestamp().ValueOrDie(),
+            stream.back().GetTimestamp().ValueOrDie());
+}
+
+TEST(SplitsTest, TooShortStreamRejected) {
+  const TupleVector stream = GenerateAirQuality(SmallOptions(100)).ValueOrDie();
+  EXPECT_FALSE(SplitByYear(stream).ok());
+}
+
+TEST(SplitsTest, InvalidOptionsRejected) {
+  const TupleVector stream =
+      GenerateAirQuality(SmallOptions(200)).ValueOrDie();
+  SplitOptions options;
+  options.hours_per_year = 50;
+  options.valid_hours = 50;
+  EXPECT_FALSE(SplitByYear(stream, options).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace icewafl

@@ -1,0 +1,131 @@
+// Parameterized sweep over every expectation type: shared invariants
+// that must hold regardless of the concrete check — vacuous success on
+// empty streams, determinism, and counting consistency.
+
+#include <gtest/gtest.h>
+
+#include "dq/config.h"
+#include "util/rng.h"
+
+namespace icewafl {
+namespace dq {
+namespace {
+
+// Every expectation, in its JSON form (reusing the config factory keeps
+// this list in lockstep with the supported set).
+const char* const kAllExpectations[] = {
+    R"({"type":"expect_column_values_to_not_be_null","column":"v"})",
+    R"({"type":"expect_column_values_to_be_null","column":"v"})",
+    R"({"type":"expect_column_values_to_be_between","column":"v","min":-1000,"max":1000})",
+    R"({"type":"expect_column_values_to_match_regex","column":"v",
+        "regex":".*"})",
+    R"({"type":"expect_column_values_to_be_increasing","column":"ts",
+        "strictly":false})",
+    R"({"type":"expect_column_pair_values_a_to_be_greater_than_b",
+        "column_a":"v","column_b":"w","or_equal":true})",
+    R"({"type":"expect_multicolumn_sum_to_equal","columns":["v","w"],
+        "total":0,"tolerance":1e9})",
+    R"({"type":"expect_column_values_to_be_in_set","column":"label",
+        "values":["x","y"]})",
+    R"({"type":"expect_column_values_to_be_unique","column":"ts"})",
+    R"({"type":"expect_column_mean_to_be_between","column":"v",
+        "min":-1000,"max":1000})",
+    R"({"type":"expect_column_stdev_to_be_between","column":"v",
+        "min":0,"max":1000})",
+    R"({"type":"expect_column_value_lengths_to_be_between","column":"label",
+        "min_length":0,"max_length":100})",
+    R"({"type":"expect_column_values_to_be_of_type","column":"v",
+        "value_type":"double"})",
+};
+
+SchemaPtr SweepSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64},
+                       {"v", ValueType::kDouble},
+                       {"w", ValueType::kDouble},
+                       {"label", ValueType::kString}},
+                      "ts")
+      .ValueOrDie();
+}
+
+TupleVector SweepTuples(size_t n) {
+  SchemaPtr schema = SweepSchema();
+  Rng rng(3);
+  TupleVector tuples;
+  for (size_t i = 0; i < n; ++i) {
+    tuples.emplace_back(
+        schema,
+        std::vector<Value>{Value(static_cast<int64_t>(i)),
+                           rng.Bernoulli(0.1) ? Value::Null()
+                                              : Value(rng.Gaussian(0, 10)),
+                           Value(rng.Gaussian(0, 10)),
+                           Value(rng.Bernoulli(0.5) ? "x" : "y")});
+  }
+  return tuples;
+}
+
+class ExpectationSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  ExpectationPtr Make() {
+    auto json = Json::Parse(GetParam());
+    EXPECT_TRUE(json.ok()) << GetParam();
+    auto expectation = ExpectationFromJson(json.ValueOrDie());
+    EXPECT_TRUE(expectation.ok()) << GetParam();
+    return std::move(expectation).ValueOrDie();
+  }
+};
+
+TEST_P(ExpectationSweep, EmptyStreamSucceedsVacuously) {
+  ExpectationPtr expectation = Make();
+  auto result = expectation->Validate({});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.ValueOrDie().success);
+  EXPECT_EQ(result.ValueOrDie().evaluated, 0u);
+  EXPECT_EQ(result.ValueOrDie().unexpected, 0u);
+}
+
+TEST_P(ExpectationSweep, ValidationIsDeterministic) {
+  const TupleVector tuples = SweepTuples(500);
+  ExpectationPtr a = Make();
+  ExpectationPtr b = Make();
+  auto ra = a->Validate(tuples);
+  auto rb = b->Validate(tuples);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.ValueOrDie().unexpected, rb.ValueOrDie().unexpected);
+  EXPECT_EQ(ra.ValueOrDie().evaluated, rb.ValueOrDie().evaluated);
+  EXPECT_EQ(ra.ValueOrDie().failures, rb.ValueOrDie().failures);
+}
+
+TEST_P(ExpectationSweep, CountsAreConsistent) {
+  const TupleVector tuples = SweepTuples(500);
+  ExpectationPtr expectation = Make();
+  auto result = expectation->Validate(tuples);
+  ASSERT_TRUE(result.ok());
+  const ExpectationResult& r = result.ValueOrDie();
+  EXPECT_LE(r.unexpected, r.evaluated);
+  EXPECT_LE(r.evaluated, tuples.size());
+  // Per-element expectations record one failure per unexpected element;
+  // aggregate expectations record none.
+  EXPECT_TRUE(r.failures.size() == r.unexpected || r.failures.empty());
+  // success <=> no unexpected elements (aggregates set unexpected too).
+  if (r.success) EXPECT_EQ(r.unexpected, 0u);
+}
+
+TEST_P(ExpectationSweep, JsonRoundTripPreservesBehaviour) {
+  const TupleVector tuples = SweepTuples(300);
+  ExpectationPtr original = Make();
+  auto reparsed = ExpectationFromJson(original->ToJson());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  auto ra = original->Validate(tuples);
+  auto rb = reparsed.ValueOrDie()->Validate(tuples);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.ValueOrDie().unexpected, rb.ValueOrDie().unexpected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, ExpectationSweep,
+                         ::testing::ValuesIn(kAllExpectations));
+
+}  // namespace
+}  // namespace dq
+}  // namespace icewafl

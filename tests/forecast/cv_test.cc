@@ -1,0 +1,129 @@
+#include "forecast/cv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forecast/arima.h"
+#include "forecast/holt_winters.h"
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+TEST(TimeSeriesSplitTest, SklearnSemantics) {
+  // n = 60, 5 splits -> 6 blocks of 10.
+  auto folds = TimeSeriesSplit(60, 5);
+  ASSERT_TRUE(folds.ok());
+  const auto& f = folds.ValueOrDie();
+  ASSERT_EQ(f.size(), 5u);
+  EXPECT_EQ(f[0].train_end, 10u);
+  EXPECT_EQ(f[0].test_begin, 10u);
+  EXPECT_EQ(f[0].test_end, 20u);
+  EXPECT_EQ(f[4].train_end, 50u);
+  EXPECT_EQ(f[4].test_end, 60u);
+}
+
+TEST(TimeSeriesSplitTest, RemainderGoesToFirstTrainBlock) {
+  // n = 64, 5 splits: test blocks of 10, first train block 14.
+  auto folds = TimeSeriesSplit(64, 5);
+  ASSERT_TRUE(folds.ok());
+  EXPECT_EQ(folds.ValueOrDie()[0].train_end, 14u);
+  EXPECT_EQ(folds.ValueOrDie()[4].test_end, 64u);
+}
+
+TEST(TimeSeriesSplitTest, TrainAlwaysPrecedesTest) {
+  auto folds = TimeSeriesSplit(100, 4);
+  ASSERT_TRUE(folds.ok());
+  for (const Fold& fold : folds.ValueOrDie()) {
+    EXPECT_EQ(fold.train_end, fold.test_begin);
+    EXPECT_LT(fold.test_begin, fold.test_end);
+  }
+}
+
+TEST(TimeSeriesSplitTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(TimeSeriesSplit(10, 0).ok());
+  EXPECT_FALSE(TimeSeriesSplit(3, 5).ok());
+}
+
+TEST(GridSearchTest, FindsBetterLearningRate) {
+  // Series with strong AR structure; lr=0 cannot learn anything, a
+  // positive lr can. Grid search must not pick 0.
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    y.push_back(50.0 + 20.0 * std::sin(i / 5.0));
+  }
+  GridSearchOptions options;
+  options.n_splits = 3;
+  options.horizon = 6;
+  auto result = GridSearch(
+      {{"learning_rate", {0.0, 0.1}}, {"p", {2}}},
+      [](const ParamMap& params) -> ForecasterPtr {
+        ArimaOptions ao;
+        ao.p = static_cast<int>(params.at("p"));
+        ao.learning_rate = params.at("learning_rate");
+        return std::make_unique<Arima>(ao);
+      },
+      y, {}, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result.ValueOrDie().best_params.at("learning_rate"), 0.1);
+  EXPECT_EQ(result.ValueOrDie().evaluated.size(), 2u);
+  EXPECT_LT(result.ValueOrDie().best_score,
+            result.ValueOrDie().evaluated[0].second +
+                result.ValueOrDie().evaluated[1].second);
+}
+
+TEST(GridSearchTest, CartesianProductEvaluated) {
+  std::vector<double> y(200, 5.0);
+  auto result = GridSearch(
+      {{"alpha", {0.1, 0.3, 0.5}}, {"beta", {0.0, 0.1}}},
+      [](const ParamMap& params) -> ForecasterPtr {
+        HoltWintersOptions options;
+        options.alpha = params.at("alpha");
+        options.beta = params.at("beta");
+        options.season_length = 4;
+        return std::make_unique<HoltWinters>(options);
+      },
+      y, {}, {2, 4});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.ValueOrDie().evaluated.size(), 6u);
+}
+
+TEST(GridSearchTest, FeatureLengthMismatchRejected) {
+  std::vector<double> y(100, 1.0);
+  std::vector<std::vector<double>> x(50, {1.0});
+  auto result = GridSearch(
+      {{"p", {1}}},
+      [](const ParamMap&) -> ForecasterPtr {
+        return std::make_unique<Arima>(ArimaOptions{});
+      },
+      y, x, {2, 4});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GridSearchTest, NullFactoryRejected) {
+  std::vector<double> y(100, 1.0);
+  auto result = GridSearch(
+      {{"p", {1}}},
+      [](const ParamMap&) -> ForecasterPtr { return nullptr; }, y, {},
+      {2, 4});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GridSearchTest, HorizonLargerThanTestBlockRejected) {
+  std::vector<double> y(30, 1.0);
+  GridSearchOptions options;
+  options.n_splits = 5;   // test blocks of 5
+  options.horizon = 12;   // cannot fit
+  auto result = GridSearch(
+      {{"p", {1}}},
+      [](const ParamMap&) -> ForecasterPtr {
+        return std::make_unique<Arima>(ArimaOptions{});
+      },
+      y, {}, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,71 @@
+#include "forecast/drift.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+TEST(PageHinkleyTest, NoDetectionOnStationaryStream) {
+  PageHinkley detector(0.05, 50.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_FALSE(detector.Update(std::abs(rng.Gaussian(1.0, 0.2))));
+  }
+}
+
+TEST(PageHinkleyTest, DetectsMeanShiftPromptly) {
+  PageHinkley detector(0.05, 20.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(detector.Update(std::abs(rng.Gaussian(1.0, 0.2))));
+  }
+  // The error level triples: detection within a few dozen observations.
+  int detected_at = -1;
+  for (int i = 0; i < 500; ++i) {
+    if (detector.Update(std::abs(rng.Gaussian(3.0, 0.2)))) {
+      detected_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(detected_at, 0);
+  EXPECT_LT(detected_at, 100);
+}
+
+TEST(PageHinkleyTest, WarmupSuppressesEarlyDetections) {
+  PageHinkley detector(0.0, 0.001, /*min_observations=*/50);
+  // Even a wild first observation cannot fire during warm-up.
+  for (int i = 0; i < 49; ++i) {
+    ASSERT_FALSE(detector.Update(i == 10 ? 1000.0 : 1.0)) << i;
+  }
+}
+
+TEST(PageHinkleyTest, ResetsAfterDetectionAndCanFireAgain) {
+  PageHinkley detector(0.01, 5.0, 10);
+  Rng rng(3);
+  auto feed_until_detect = [&](double level) {
+    for (int i = 0; i < 5000; ++i) {
+      if (detector.Update(std::abs(rng.Gaussian(level, 0.1)))) return true;
+      // Escalate to force the statistic upward.
+      level += 0.01;
+    }
+    return false;
+  };
+  EXPECT_TRUE(feed_until_detect(1.0));
+  EXPECT_EQ(detector.observed(), 0u);  // reset after detection
+  EXPECT_TRUE(feed_until_detect(1.0));
+}
+
+TEST(PageHinkleyTest, StatisticGrowsUnderDrift) {
+  PageHinkley detector(0.0, 1e9);  // threshold unreachably high
+  for (int i = 0; i < 100; ++i) detector.Update(1.0);
+  const double before = detector.statistic();
+  for (int i = 0; i < 100; ++i) detector.Update(5.0);
+  EXPECT_GT(detector.statistic(), before);
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,130 @@
+#include "forecast/holt_winters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+HoltWintersOptions DefaultOptions() {
+  HoltWintersOptions options;
+  options.alpha = 0.3;
+  options.beta = 0.05;
+  options.gamma = 0.2;
+  options.season_length = 24;
+  return options;
+}
+
+TEST(HoltWintersTest, LearnsConstantSeries) {
+  HoltWinters model(DefaultOptions());
+  for (int i = 0; i < 500; ++i) model.LearnOne(42.0);
+  auto forecast = model.Forecast(24);
+  ASSERT_TRUE(forecast.ok());
+  for (double v : forecast.ValueOrDie()) EXPECT_NEAR(v, 42.0, 0.5);
+}
+
+TEST(HoltWintersTest, CapturesSeasonalPattern) {
+  HoltWinters model(DefaultOptions());
+  // Daily sinusoid with period 24.
+  auto signal = [](int t) {
+    return 50.0 + 10.0 * std::sin(2.0 * M_PI * (t % 24) / 24.0);
+  };
+  for (int t = 0; t < 24 * 60; ++t) model.LearnOne(signal(t));
+  auto forecast = model.Forecast(24);
+  ASSERT_TRUE(forecast.ok());
+  const auto& f = forecast.ValueOrDie();
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_NEAR(f[static_cast<size_t>(h)], signal(24 * 60 + h), 2.0) << h;
+  }
+}
+
+TEST(HoltWintersTest, TracksLinearTrend) {
+  // Pure ramp: use season length 1 so no seasonal sawtooth interferes.
+  HoltWintersOptions options = DefaultOptions();
+  options.beta = 0.2;
+  options.season_length = 1;
+  HoltWinters model(options);
+  for (int t = 0; t < 24 * 40; ++t) model.LearnOne(0.5 * t);
+  auto forecast = model.Forecast(4);
+  ASSERT_TRUE(forecast.ok());
+  const int n = 24 * 40;
+  for (int h = 1; h <= 4; ++h) {
+    EXPECT_NEAR(forecast.ValueOrDie()[static_cast<size_t>(h - 1)],
+                0.5 * (n - 1 + h), 3.0)
+        << h;
+  }
+}
+
+TEST(HoltWintersTest, WarmupForecastsRunningMean) {
+  HoltWinters model(DefaultOptions());
+  model.LearnOne(10.0);
+  model.LearnOne(20.0);
+  auto forecast = model.Forecast(3);  // still warming up (needs 24)
+  ASSERT_TRUE(forecast.ok());
+  for (double v : forecast.ValueOrDie()) EXPECT_DOUBLE_EQ(v, 15.0);
+}
+
+TEST(HoltWintersTest, EmptyModelForecastsZero) {
+  HoltWinters model(DefaultOptions());
+  auto forecast = model.Forecast(2);
+  ASSERT_TRUE(forecast.ok());
+  for (double v : forecast.ValueOrDie()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HoltWintersTest, ZeroHorizonRejected) {
+  HoltWinters model(DefaultOptions());
+  EXPECT_EQ(model.Forecast(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HoltWintersTest, ResetRestartsWarmup) {
+  HoltWinters model(DefaultOptions());
+  for (int i = 0; i < 100; ++i) model.LearnOne(50.0);
+  EXPECT_EQ(model.observed_count(), 100u);
+  model.Reset();
+  EXPECT_EQ(model.observed_count(), 0u);
+  auto forecast = model.Forecast(1);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_DOUBLE_EQ(forecast.ValueOrDie()[0], 0.0);
+}
+
+TEST(HoltWintersTest, SeasonAlignmentAfterPartialCycle) {
+  HoltWinters model(DefaultOptions());
+  auto signal = [](int t) { return (t % 24 < 12) ? 100.0 : 0.0; };
+  // Stop mid-cycle: next forecast step must continue from phase 30 % 24.
+  const int n = 24 * 50 + 6;
+  for (int t = 0; t < n; ++t) model.LearnOne(signal(t));
+  auto forecast = model.Forecast(2);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(forecast.ValueOrDie()[0], signal(n), 10.0);
+  EXPECT_NEAR(forecast.ValueOrDie()[1], signal(n + 1), 10.0);
+}
+
+TEST(HoltWintersTest, CloneFreshSharesOptionsOnly) {
+  HoltWintersOptions options = DefaultOptions();
+  options.season_length = 7;
+  HoltWinters model(options);
+  for (int i = 0; i < 100; ++i) model.LearnOne(5.0);
+  ForecasterPtr clone = model.CloneFresh();
+  EXPECT_EQ(clone->observed_count(), 0u);
+  auto* hw = dynamic_cast<HoltWinters*>(clone.get());
+  ASSERT_NE(hw, nullptr);
+  EXPECT_EQ(hw->options().season_length, 7);
+}
+
+TEST(HoltWintersTest, SeasonLengthOneDegradesToDoubleExponential) {
+  HoltWintersOptions options = DefaultOptions();
+  options.season_length = 1;
+  HoltWinters model(options);
+  for (int i = 0; i < 500; ++i) model.LearnOne(7.0);
+  auto forecast = model.Forecast(3);
+  ASSERT_TRUE(forecast.ok());
+  for (double v : forecast.ValueOrDie()) EXPECT_NEAR(v, 7.0, 0.5);
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,48 @@
+#include "forecast/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+TEST(MetricsTest, MaeBasic) {
+  EXPECT_DOUBLE_EQ(
+      MeanAbsoluteError({1, 2, 3}, {1, 2, 3}).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      MeanAbsoluteError({1, 2, 3}, {2, 1, 5}).ValueOrDie(), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({-5}, {5}).ValueOrDie(), 10.0);
+}
+
+TEST(MetricsTest, RmseBasic) {
+  EXPECT_DOUBLE_EQ(
+      RootMeanSquaredError({0, 0}, {3, 4}).ValueOrDie(),
+      std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({7}, {7}).ValueOrDie(), 0.0);
+}
+
+TEST(MetricsTest, RmseDominatesMae) {
+  const std::vector<double> a = {0, 0, 0, 0};
+  const std::vector<double> p = {0, 0, 0, 8};
+  EXPECT_GT(RootMeanSquaredError(a, p).ValueOrDie(),
+            MeanAbsoluteError(a, p).ValueOrDie());
+}
+
+TEST(MetricsTest, SmapeBasic) {
+  // actual 100, predicted 50: |50| / 75 = 2/3 -> 66.67%.
+  EXPECT_NEAR(SymmetricMape({100}, {50}).ValueOrDie(), 200.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(SymmetricMape({5}, {5}).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(SymmetricMape({0}, {0}).ValueOrDie(), 0.0);
+}
+
+TEST(MetricsTest, SizeMismatchRejected) {
+  EXPECT_FALSE(MeanAbsoluteError({1, 2}, {1}).ok());
+  EXPECT_FALSE(RootMeanSquaredError({}, {}).ok());
+  EXPECT_FALSE(SymmetricMape({1}, {}).ok());
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

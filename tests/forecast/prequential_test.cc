@@ -1,0 +1,113 @@
+#include "forecast/prequential.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "forecast/arima.h"
+#include "forecast/holt_winters.h"
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+struct Series {
+  std::vector<double> y;
+  std::vector<Timestamp> ts;
+};
+
+Series HourlySine(size_t n) {
+  Series s;
+  for (size_t i = 0; i < n; ++i) {
+    s.y.push_back(50.0 +
+                  10.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 24.0));
+    s.ts.push_back(static_cast<Timestamp>(i) * 3600);
+  }
+  return s;
+}
+
+TEST(PrequentialTest, WindowCountAndLabels) {
+  const Series s = HourlySine(504 * 3 + 12);
+  HoltWintersOptions options;
+  options.season_length = 24;
+  HoltWinters model(options);
+  auto points = RunPrequential(&model, s.y, s.y, {}, s.ts, {504, 12});
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  // Windows at 0, 504, 1008 — each needs 504 train + 12 eval.
+  ASSERT_EQ(points.ValueOrDie().size(), 3u);
+  EXPECT_EQ(points.ValueOrDie()[0].eval_start, 504 * 3600);
+  EXPECT_EQ(points.ValueOrDie()[1].eval_start, 1008 * 3600);
+}
+
+TEST(PrequentialTest, SeasonalModelHasLowErrorOnCleanSine) {
+  const Series s = HourlySine(504 * 4);
+  HoltWintersOptions options;
+  options.season_length = 24;
+  options.gamma = 0.3;
+  HoltWinters model(options);
+  auto points = RunPrequential(&model, s.y, s.y, {}, s.ts, {504, 12});
+  ASSERT_TRUE(points.ok());
+  // After the first window the model has seen many full days.
+  EXPECT_LT(points.ValueOrDie().back().mae, 2.0);
+}
+
+TEST(PrequentialTest, ScoringAgainstSeparateTargets) {
+  // Observe a corrupted stream but score against the clean one — the
+  // robustness measurement mode used for Figures 6 and 7.
+  Series s = HourlySine(504 * 2 + 12);
+  std::vector<double> corrupted = s.y;
+  for (size_t i = 0; i < corrupted.size(); i += 7) corrupted[i] += 25.0;
+  HoltWintersOptions options;
+  options.season_length = 24;
+  HoltWinters model(options);
+  auto points =
+      RunPrequential(&model, corrupted, s.y, {}, s.ts, {504, 12});
+  ASSERT_TRUE(points.ok());
+  EXPECT_FALSE(points.ValueOrDie().empty());
+  // Error vs clean truth is nonzero because the model learned corruption.
+  EXPECT_GT(points.ValueOrDie().back().mae, 0.5);
+}
+
+TEST(PrequentialTest, ExogenousFeaturesFlowToForecasts) {
+  const size_t n = 504 * 2 + 12;
+  Series s;
+  std::vector<std::vector<double>> x;
+  for (size_t i = 0; i < n; ++i) {
+    const double driver = std::sin(static_cast<double>(i) / 6.0);
+    s.y.push_back(4.0 * driver);
+    s.ts.push_back(static_cast<Timestamp>(i) * 3600);
+    x.push_back({driver});
+  }
+  ArimaOptions options;
+  options.p = 1;
+  options.learning_rate = 0.2;
+  Arimax model(options, 1);
+  auto points = RunPrequential(&model, s.y, s.y, x, s.ts, {504, 12});
+  ASSERT_TRUE(points.ok()) << points.status().ToString();
+  EXPECT_LT(points.ValueOrDie().back().mae, 1.5);
+}
+
+TEST(PrequentialTest, InputValidation) {
+  const Series s = HourlySine(600);
+  HoltWinters model(HoltWintersOptions{});
+  std::vector<double> short_targets(10, 0.0);
+  EXPECT_FALSE(
+      RunPrequential(&model, s.y, short_targets, {}, s.ts, {504, 12}).ok());
+  std::vector<Timestamp> short_ts(10, 0);
+  EXPECT_FALSE(
+      RunPrequential(&model, s.y, s.y, {}, short_ts, {504, 12}).ok());
+  EXPECT_FALSE(RunPrequential(&model, s.y, s.y, {}, s.ts, {0, 12}).ok());
+  EXPECT_FALSE(RunPrequential(&model, s.y, s.y, {}, s.ts, {504, 0}).ok());
+}
+
+TEST(PrequentialTest, TooShortSeriesYieldsNoPoints) {
+  const Series s = HourlySine(100);
+  HoltWinters model(HoltWintersOptions{});
+  auto points = RunPrequential(&model, s.y, s.y, {}, s.ts, {504, 12});
+  ASSERT_TRUE(points.ok());
+  EXPECT_TRUE(points.ValueOrDie().empty());
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,79 @@
+#include "forecast/running_moments.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+TEST(RunningMomentsTest, CumulativeMatchesBatchMoments) {
+  RunningMoments stats;  // decay 1.0
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) stats.Update(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 4.0, 1e-12);  // population variance
+  EXPECT_NEAR(stats.Stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningMomentsTest, FewSamplesHaveUnitStddev) {
+  RunningMoments stats;
+  EXPECT_DOUBLE_EQ(stats.Stddev(), 1.0);
+  stats.Update(42.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 42.0);
+}
+
+TEST(RunningMomentsTest, ConstantStreamHitsStddevFloor) {
+  RunningMoments stats;
+  for (int i = 0; i < 100; ++i) stats.Update(7.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(0.5), 0.5);
+}
+
+TEST(RunningMomentsTest, ExponentialDecayTracksRegimeChange) {
+  RunningMoments cumulative(1.0);
+  RunningMoments adaptive(0.97);
+  Rng rng(1);
+  // First regime: N(0, 1); second regime: N(100, 10).
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Gaussian(0.0, 1.0);
+    cumulative.Update(x);
+    adaptive.Update(x);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.Gaussian(100.0, 10.0);
+    cumulative.Update(x);
+    adaptive.Update(x);
+  }
+  // The adaptive estimate converges to the new regime...
+  EXPECT_NEAR(adaptive.mean(), 100.0, 3.0);
+  EXPECT_NEAR(adaptive.Stddev(), 10.0, 3.0);
+  // ...while the cumulative estimate stays anchored between regimes.
+  EXPECT_NEAR(cumulative.mean(), 50.0, 2.0);
+  EXPECT_GT(cumulative.Stddev(), 30.0);
+}
+
+TEST(RunningMomentsTest, DecayedVarianceApproximatesStationaryVariance) {
+  RunningMoments stats(0.99);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) stats.Update(rng.Gaussian(5.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 1.0);
+  EXPECT_NEAR(stats.Stddev(), 3.0, 1.0);
+}
+
+TEST(RunningMomentsTest, ResetClears) {
+  RunningMoments stats(0.9);
+  stats.Update(1.0);
+  stats.Update(2.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(), 1.0);
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

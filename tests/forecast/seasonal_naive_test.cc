@@ -1,0 +1,76 @@
+#include "forecast/seasonal_naive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace icewafl {
+namespace forecast {
+namespace {
+
+TEST(SeasonalNaiveTest, RepeatsLastSeason) {
+  SeasonalNaive model(4);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0}) {
+    model.LearnOne(v);
+  }
+  auto forecast = model.Forecast(6);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast.ValueOrDie(),
+            (std::vector<double>{10, 20, 30, 40, 10, 20}));
+}
+
+TEST(SeasonalNaiveTest, PlainNaiveBeforeFullSeason) {
+  SeasonalNaive model(24);
+  model.LearnOne(7.0);
+  model.LearnOne(9.0);
+  auto forecast = model.Forecast(3);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast.ValueOrDie(), (std::vector<double>{9, 9, 9}));
+}
+
+TEST(SeasonalNaiveTest, EmptyForecastsZero) {
+  SeasonalNaive model(4);
+  auto forecast = model.Forecast(2);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast.ValueOrDie(), (std::vector<double>{0, 0}));
+  EXPECT_FALSE(model.Forecast(0).ok());
+}
+
+TEST(SeasonalNaiveTest, PerfectOnExactlyPeriodicSeries) {
+  SeasonalNaive model(24);
+  auto signal = [](int t) {
+    return 50.0 + 10.0 * std::sin(2.0 * M_PI * (t % 24) / 24.0);
+  };
+  const int n = 24 * 10;
+  for (int t = 0; t < n; ++t) model.LearnOne(signal(t));
+  auto forecast = model.Forecast(24);
+  ASSERT_TRUE(forecast.ok());
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_NEAR(forecast.ValueOrDie()[static_cast<size_t>(h)],
+                signal(n + h), 1e-9)
+        << h;
+  }
+}
+
+TEST(SeasonalNaiveTest, ResetAndCloneFresh) {
+  SeasonalNaive model(4);
+  for (int i = 0; i < 10; ++i) model.LearnOne(5.0);
+  EXPECT_EQ(model.observed_count(), 10u);
+  ForecasterPtr clone = model.CloneFresh();
+  EXPECT_EQ(clone->observed_count(), 0u);
+  model.Reset();
+  EXPECT_EQ(model.observed_count(), 0u);
+}
+
+TEST(SeasonalNaiveTest, DegenerateSeasonLengthClamped) {
+  SeasonalNaive model(0);  // clamped to 1 -> plain naive
+  model.LearnOne(1.0);
+  model.LearnOne(2.0);
+  auto forecast = model.Forecast(3);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast.ValueOrDie(), (std::vector<double>{2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace forecast
+}  // namespace icewafl

@@ -1,0 +1,201 @@
+// Cross-module integration tests: the paper's experiment scenarios run
+// end to end (generator -> pollution process -> DQ validation) and the
+// headline numbers hold. These are the assertions behind the bench
+// harnesses, pinned down as tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/config.h"
+#include "core/process.h"
+#include "data/wearable.h"
+#include "scenarios/scenarios.h"
+
+namespace icewafl {
+namespace {
+
+const TupleVector& Wearable() {
+  static const TupleVector stream = [] {
+    auto generated = data::GenerateWearable();
+    return std::move(generated).ValueOrDie();
+  }();
+  return stream;
+}
+
+Result<PollutionResult> RunScenario(PollutionPipeline pipeline,
+                                    uint64_t seed) {
+  VectorSource source(Wearable().front().schema(), Wearable());
+  return PollutionProcess::Pollute(&source, std::move(pipeline), seed);
+}
+
+TEST(ScenarioIntegrationTest, RandomTemporalProportionNearQuarter) {
+  // Mean of p(t) = 0.25*cos(pi/12*t)+0.25 over a day is 0.25; over many
+  // repetitions the realized proportion concentrates there (paper:
+  // 24.58%).
+  double total = 0.0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto result = RunScenario(scenarios::RandomTemporalErrorsPipeline(),
+                              100 + static_cast<uint64_t>(rep));
+    ASSERT_TRUE(result.ok());
+    total += static_cast<double>(result.ValueOrDie().log.size());
+  }
+  const double proportion =
+      total / (reps * static_cast<double>(Wearable().size()));
+  EXPECT_NEAR(proportion, 0.25, 0.03);
+}
+
+TEST(ScenarioIntegrationTest, RandomTemporalDetectionMatchesInjection) {
+  auto result = RunScenario(scenarios::RandomTemporalErrorsPipeline(), 5);
+  ASSERT_TRUE(result.ok());
+  auto validation = scenarios::RandomTemporalErrorsSuite().Validate(
+      result.ValueOrDie().polluted);
+  ASSERT_TRUE(validation.ok());
+  // Every injected null is detected, and nothing else (the clean stream
+  // has no missing Distance values).
+  EXPECT_EQ(validation.ValueOrDie().TotalUnexpected(),
+            result.ValueOrDie().log.size());
+}
+
+TEST(ScenarioIntegrationTest, RandomTemporalNoErrorsAtNoon) {
+  auto result = RunScenario(scenarios::RandomTemporalErrorsPipeline(), 6);
+  ASSERT_TRUE(result.ok());
+  const auto hist = result.ValueOrDie().log.HourOfDayHistogram();
+  EXPECT_EQ(hist[12], 0u);                   // p(12:00) = 0
+  EXPECT_GT(hist[0], hist[6]);               // midnight >> morning
+}
+
+TEST(ScenarioIntegrationTest, SoftwareUpdateStructuralCounts) {
+  auto result = RunScenario(scenarios::SoftwareUpdatePipeline(), 7);
+  ASSERT_TRUE(result.ok());
+  const auto counts = result.ValueOrDie().log.CountsByPolluter();
+  EXPECT_EQ(counts.at("distance_km_to_cm"), 1056u);
+  EXPECT_EQ(counts.at("calories_precision_2"), 1056u);
+  EXPECT_EQ(counts.at("bpm_to_zero"), 33u);
+  // bpm_to_null fires with p=0.2 out of 33 -> plausible range.
+  const uint64_t nulled = counts.count("bpm_to_null")
+                              ? counts.at("bpm_to_null")
+                              : 0;
+  EXPECT_LE(nulled, 20u);
+}
+
+TEST(ScenarioIntegrationTest, SoftwareUpdateDetectionMatchesTable1) {
+  auto result = RunScenario(scenarios::SoftwareUpdatePipeline(), 8);
+  ASSERT_TRUE(result.ok());
+  auto validation =
+      scenarios::SoftwareUpdateSuite().Validate(result.ValueOrDie().polluted);
+  ASSERT_TRUE(validation.ok());
+  const auto& results = validation.ValueOrDie().results;
+  const auto counts = result.ValueOrDie().log.CountsByPolluter();
+  const uint64_t nulled = counts.at("bpm_to_null");
+  // (i) every non-zero distance detected after km->cm.
+  EXPECT_EQ(results[0].unexpected, 374u);
+  // (ii) every detectably rounded calories value.
+  EXPECT_EQ(results[1].unexpected, 960u);
+  // (iii) zeroed-BPM-with-activity: 33 hit minus the nulled ones, plus
+  // the 2 pre-existing anomalies.
+  EXPECT_EQ(results[2].unexpected, 33u - nulled + 2u);
+  // (iv) nulled BPM values.
+  EXPECT_EQ(results[3].unexpected, nulled);
+}
+
+TEST(ScenarioIntegrationTest, SoftwareUpdateCleanStreamHasTwoViolations) {
+  auto validation = scenarios::SoftwareUpdateSuite().Validate(Wearable());
+  ASSERT_TRUE(validation.ok());
+  EXPECT_EQ(validation.ValueOrDie().TotalUnexpected(), 2u);
+}
+
+TEST(ScenarioIntegrationTest, NetworkDelayWindowAndDetection) {
+  auto result = RunScenario(scenarios::NetworkDelayPipeline(), 9);
+  ASSERT_TRUE(result.ok());
+  const size_t injected = result.ValueOrDie().log.size();
+  // 88 tuples in the window, p = 0.2 -> ~17.6 (allow generous slack for
+  // a single run).
+  EXPECT_GE(injected, 8u);
+  EXPECT_LE(injected, 30u);
+  // Every injected delay happened between 13:00 and 14:59.
+  for (const PollutionLogEntry& e : result.ValueOrDie().log.entries()) {
+    const int minute = MinuteOfDay(e.tau);
+    EXPECT_GE(minute, 13 * 60);
+    EXPECT_LE(minute, 14 * 60 + 59);
+  }
+  auto validation =
+      scenarios::NetworkDelaySuite().Validate(result.ValueOrDie().polluted);
+  ASSERT_TRUE(validation.ok());
+  const uint64_t detected = validation.ValueOrDie().TotalUnexpected();
+  // Detection can undercount (adjacent delays) but never exceeds 2x the
+  // injections (each delayed tuple can create at most 2 inversions).
+  EXPECT_GT(detected, 0u);
+  EXPECT_LE(detected, 2 * injected);
+}
+
+TEST(ScenarioIntegrationTest, NetworkDelayPreservesTupleCount) {
+  auto result = RunScenario(scenarios::NetworkDelayPipeline(), 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie().polluted.size(), Wearable().size());
+  // Arrival order is maintained by the integration step.
+  const TupleVector& polluted = result.ValueOrDie().polluted;
+  for (size_t i = 1; i < polluted.size(); ++i) {
+    ASSERT_LE(polluted[i - 1].arrival_time(), polluted[i].arrival_time());
+  }
+}
+
+TEST(ScenarioIntegrationTest, AllScenarioPipelinesRoundTripThroughJson) {
+  for (auto factory : {scenarios::RandomTemporalErrorsPipeline,
+                       scenarios::SoftwareUpdatePipeline,
+                       scenarios::NetworkDelayPipeline}) {
+    PollutionPipeline original = factory();
+    auto reparsed = PipelineFromJson(original.ToJson());
+    ASSERT_TRUE(reparsed.ok()) << original.name() << ": "
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed.ValueOrDie().ToJson(), original.ToJson())
+        << original.name();
+  }
+}
+
+TEST(ScenarioIntegrationTest, ForecastPipelinesRoundTripThroughJson) {
+  PollutionPipeline noise = scenarios::TemporalNoisePipeline({"NO2"}, 2.0);
+  auto noise_reparsed = PipelineFromJson(noise.ToJson());
+  ASSERT_TRUE(noise_reparsed.ok());
+  EXPECT_EQ(noise_reparsed.ValueOrDie().ToJson(), noise.ToJson());
+
+  PollutionPipeline scale =
+      scenarios::TemporalScalePipeline({"NO2"}, 0.125, 0.01, 4);
+  auto scale_reparsed = PipelineFromJson(scale.ToJson());
+  ASSERT_TRUE(scale_reparsed.ok());
+  EXPECT_EQ(scale_reparsed.ValueOrDie().ToJson(), scale.ToJson());
+}
+
+TEST(ScenarioIntegrationTest, ScalePipelineActivationsRampAndHold) {
+  // The Equation 4 gate: activations become denser late in the stream,
+  // and each activation pollutes a multi-hour run of tuples.
+  data::WearableOptions unused;  // (scenario runs on air-quality shapes too)
+  (void)unused;
+  SchemaPtr schema =
+      Schema::Make({{"ts", ValueType::kInt64}, {"v", ValueType::kDouble}},
+                   "ts")
+          .ValueOrDie();
+  TupleVector tuples;
+  for (int i = 0; i < 5000; ++i) {
+    tuples.emplace_back(
+        schema, std::vector<Value>{Value(int64_t{i} * kSecondsPerHour),
+                                   Value(100.0)});
+  }
+  VectorSource source(schema, tuples);
+  auto result = PollutionProcess::Pollute(
+      &source, scenarios::TemporalScalePipeline({"v"}, 0.125, 0.02, 4), 11);
+  ASSERT_TRUE(result.ok());
+  const TupleVector& polluted = result.ValueOrDie().polluted;
+  int early = 0;
+  int late = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    if (polluted[i].value(1).AsDouble() < 50.0) ++early;
+    if (polluted[polluted.size() - 1 - i].value(1).AsDouble() < 50.0) ++late;
+  }
+  EXPECT_LT(early, late);
+  EXPECT_GT(late, 20);  // held activations pollute runs of tuples
+}
+
+}  // namespace
+}  // namespace icewafl

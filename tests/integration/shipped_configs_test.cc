@@ -1,0 +1,73 @@
+// Pins the JSON files shipped under configs/ against the in-code
+// builders: the CLI-facing configs must never drift from the scenario
+// definitions the benches use.
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/process.h"
+#include "data/airquality.h"
+#include "data/wearable.h"
+#include "dq/config.h"
+#include "io/schema_json.h"
+#include "scenarios/scenarios.h"
+
+namespace icewafl {
+namespace {
+
+// ctest runs the binaries from build/tests; the config directory is
+// resolved relative to the source tree via the compile definition.
+std::string ConfigPath(const std::string& name) {
+  return std::string(ICEWAFL_CONFIG_DIR) + "/" + name;
+}
+
+TEST(ShippedConfigsTest, PipelinesMatchScenarioBuilders) {
+  const struct {
+    const char* file;
+    PollutionPipeline (*builder)();
+  } kCases[] = {
+      {"random_temporal.json", scenarios::RandomTemporalErrorsPipeline},
+      {"software_update.json", scenarios::SoftwareUpdatePipeline},
+      {"network_delay.json", scenarios::NetworkDelayPipeline},
+  };
+  for (const auto& c : kCases) {
+    auto from_file = PipelineFromConfigFile(ConfigPath(c.file));
+    ASSERT_TRUE(from_file.ok())
+        << c.file << ": " << from_file.status().ToString();
+    EXPECT_EQ(from_file.ValueOrDie().ToJson(), c.builder().ToJson())
+        << c.file;
+  }
+}
+
+TEST(ShippedConfigsTest, SchemasMatchGenerators) {
+  auto wearable = SchemaFromJsonFile(ConfigPath("wearable_schema.json"));
+  ASSERT_TRUE(wearable.ok()) << wearable.status().ToString();
+  EXPECT_TRUE(wearable.ValueOrDie()->Equals(*data::WearableSchema()));
+
+  auto airquality = SchemaFromJsonFile(ConfigPath("airquality_schema.json"));
+  ASSERT_TRUE(airquality.ok()) << airquality.status().ToString();
+  EXPECT_TRUE(airquality.ValueOrDie()->Equals(*data::AirQualitySchema()));
+}
+
+TEST(ShippedConfigsTest, SuiteLoadsAndDetectsSoftwareUpdateErrors) {
+  auto suite = dq::SuiteFromConfigFile(ConfigPath("wearable_suite.json"));
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+  ASSERT_EQ(suite.ValueOrDie().size(), 5u);
+
+  // The loaded suite detects the software-update errors end to end.
+  auto stream = data::GenerateWearable();
+  ASSERT_TRUE(stream.ok());
+  VectorSource source(stream.ValueOrDie().front().schema(),
+                      stream.ValueOrDie());
+  auto polluted = PollutionProcess::Pollute(
+      &source, scenarios::SoftwareUpdatePipeline(), 4);
+  ASSERT_TRUE(polluted.ok());
+  auto result =
+      suite.ValueOrDie().Validate(polluted.ValueOrDie().polluted);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.ValueOrDie().success());
+  EXPECT_GT(result.ValueOrDie().TotalUnexpected(), 1300u);  // 374+960+...
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,236 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace icewafl {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64},
+                       {"v", ValueType::kDouble},
+                       {"name", ValueType::kString},
+                       {"flag", ValueType::kBool}},
+                      "ts")
+      .ValueOrDie();
+}
+
+TupleVector TestTuples(const SchemaPtr& schema) {
+  TupleVector tuples;
+  tuples.emplace_back(
+      schema, std::vector<Value>{Value(int64_t{1}), Value(1.5), Value("a"),
+                                 Value(true)});
+  tuples.emplace_back(
+      schema, std::vector<Value>{Value(int64_t{2}), Value::Null(),
+                                 Value("with,comma"), Value(false)});
+  tuples.emplace_back(
+      schema, std::vector<Value>{Value(int64_t{3}), Value(-0.25),
+                                 Value("quo\"te"), Value(true)});
+  return tuples;
+}
+
+TEST(CsvTest, ParseSimpleRecords) {
+  auto r = ParseCsvText("a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  const auto& recs = r.ValueOrDie();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(recs[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithDelimiterAndNewline) {
+  auto r = ParseCsvText("\"a,b\",\"line1\nline2\",\"qu\"\"ote\"\n");
+  ASSERT_TRUE(r.ok());
+  const auto& recs = r.ValueOrDie();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0][0], "a,b");
+  EXPECT_EQ(recs[0][1], "line1\nline2");
+  EXPECT_EQ(recs[0][2], "qu\"ote");
+}
+
+TEST(CsvTest, ParseHandlesCrLfAndMissingTrailingNewline) {
+  auto r = ParseCsvText("a,b\r\nc,d");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().size(), 2u);
+  EXPECT_EQ(r.ValueOrDie()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  EXPECT_EQ(ParseCsvText("\"open").status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, ParseEmptyInput) {
+  EXPECT_EQ(ParseCsvText("").ValueOrDie().size(), 0u);
+}
+
+TEST(CsvTest, EscapeCsvField) {
+  EXPECT_EQ(EscapeCsvField("plain", ','), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b", ','), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"t", ','), "\"q\"\"t\"");
+  EXPECT_EQ(EscapeCsvField("nl\n", ','), "\"nl\n\"");
+}
+
+TEST(CsvTest, StringRoundTripPreservesTypesAndNulls) {
+  SchemaPtr schema = TestSchema();
+  TupleVector tuples = TestTuples(schema);
+  const std::string csv = ToCsvString(schema, tuples);
+  auto parsed = FromCsvString(schema, csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TupleVector& out = parsed.ValueOrDie();
+  ASSERT_EQ(out.size(), tuples.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i].ValuesEqual(tuples[i])) << "tuple " << i;
+  }
+  EXPECT_TRUE(out[1].value(1).is_null());
+  EXPECT_TRUE(out[0].value(3).is_bool());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  SchemaPtr schema = TestSchema();
+  auto r = FromCsvString(schema, "wrong,header,row,x\n1,2,a,true\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, FieldCountMismatchRejected) {
+  SchemaPtr schema = TestSchema();
+  auto r = FromCsvString(schema, "ts,v,name,flag\n1,2,a\n");
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, TypeConversionFailureRejected) {
+  SchemaPtr schema = TestSchema();
+  auto r = FromCsvString(schema, "ts,v,name,flag\nnot_an_int,2,a,true\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, CustomNullReprAndDelimiter) {
+  SchemaPtr schema = TestSchema();
+  TupleVector tuples = TestTuples(schema);
+  CsvOptions options;
+  options.delimiter = ';';
+  options.null_repr = "NA";
+  const std::string csv = ToCsvString(schema, tuples, options);
+  EXPECT_NE(csv.find("NA"), std::string::npos);
+  auto parsed = FromCsvString(schema, csv, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.ValueOrDie()[1].value(1).is_null());
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  SchemaPtr schema = TestSchema();
+  CsvOptions options;
+  options.header = false;
+  const std::string csv = ToCsvString(schema, TestTuples(schema), options);
+  EXPECT_EQ(csv.find("ts,"), std::string::npos);
+  auto parsed = FromCsvString(schema, csv, options);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().size(), 3u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  SchemaPtr schema = TestSchema();
+  TupleVector tuples = TestTuples(schema);
+  const std::string path = testing::TempDir() + "/icewafl_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(schema, tuples, path).ok());
+  auto parsed = ReadCsvFile(schema, path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.ValueOrDie().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIOError) {
+  SchemaPtr schema = TestSchema();
+  EXPECT_EQ(ReadCsvFile(schema, "/nonexistent/path.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(CsvSourceTest, StreamsTuplesOneByOne) {
+  SchemaPtr schema = TestSchema();
+  TupleVector tuples = TestTuples(schema);
+  const std::string path = testing::TempDir() + "/icewafl_csv_source.csv";
+  ASSERT_TRUE(WriteCsvFile(schema, tuples, path).ok());
+  CsvSource source(schema, path);
+  auto all = CollectAll(&source);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all.ValueOrDie().size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_TRUE(all.ValueOrDie()[i].ValuesEqual(tuples[i])) << i;
+  }
+  // Source is replayable.
+  ASSERT_TRUE(source.Reset().ok());
+  EXPECT_EQ(CollectAll(&source).ValueOrDie().size(), tuples.size());
+  std::remove(path.c_str());
+}
+
+TEST(CsvSourceTest, QuotedNewlinesSurviveStreaming) {
+  SchemaPtr schema = TestSchema();
+  TupleVector tuples;
+  tuples.emplace_back(
+      schema, std::vector<Value>{Value(int64_t{1}), Value(0.5),
+                                 Value("line1\nline2"), Value(true)});
+  const std::string path = testing::TempDir() + "/icewafl_csv_nl.csv";
+  ASSERT_TRUE(WriteCsvFile(schema, tuples, path).ok());
+  CsvSource source(schema, path);
+  auto all = CollectAll(&source);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all.ValueOrDie().size(), 1u);
+  EXPECT_EQ(all.ValueOrDie()[0].value(2).AsString(), "line1\nline2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvSourceTest, MissingFileFailsOnFirstNext) {
+  SchemaPtr schema = TestSchema();
+  CsvSource source(schema, "/no/such/file.csv");
+  Tuple t;
+  EXPECT_EQ(source.Next(&t).status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvSourceTest, HeaderMismatchRejected) {
+  SchemaPtr schema = TestSchema();
+  const std::string path = testing::TempDir() + "/icewafl_csv_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "wrong,header,row,x\n1,2,a,true\n";
+  }
+  CsvSource source(schema, path);
+  Tuple t;
+  EXPECT_EQ(source.Next(&t).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(CsvSourceTest, StreamingMatchesWholeFileRead) {
+  SchemaPtr schema = TestSchema();
+  TupleVector tuples = TestTuples(schema);
+  const std::string path = testing::TempDir() + "/icewafl_csv_eq.csv";
+  ASSERT_TRUE(WriteCsvFile(schema, tuples, path).ok());
+  CsvSource source(schema, path);
+  auto streamed = CollectAll(&source);
+  auto whole = ReadCsvFile(schema, path);
+  ASSERT_TRUE(streamed.ok());
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(streamed.ValueOrDie().size(), whole.ValueOrDie().size());
+  for (size_t i = 0; i < whole.ValueOrDie().size(); ++i) {
+    EXPECT_TRUE(
+        streamed.ValueOrDie()[i].ValuesEqual(whole.ValueOrDie()[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CsvSinkStreamsWithHeader) {
+  SchemaPtr schema = TestSchema();
+  std::ostringstream out;
+  CsvSink sink(schema, &out);
+  for (const Tuple& t : TestTuples(schema)) {
+    ASSERT_TRUE(sink.Write(t).ok());
+  }
+  ASSERT_TRUE(sink.Flush().ok());
+  auto parsed = FromCsvString(schema, out.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().size(), 3u);
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,68 @@
+#include "io/schema_json.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+TEST(SchemaJsonTest, ParsesFullSchema) {
+  auto schema = SchemaFromJsonString(R"({
+    "attributes": [
+      {"name": "ts", "type": "int64"},
+      {"name": "temp", "type": "double"},
+      {"name": "ok", "type": "bool"},
+      {"name": "station", "type": "string"}
+    ],
+    "timestamp": "ts"
+  })");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  const SchemaPtr& s = schema.ValueOrDie();
+  EXPECT_EQ(s->num_attributes(), 4u);
+  EXPECT_EQ(s->timestamp_name(), "ts");
+  EXPECT_EQ(s->attribute(2).type, ValueType::kBool);
+}
+
+TEST(SchemaJsonTest, TypeDefaultsToDouble) {
+  auto schema = SchemaFromJsonString(R"({
+    "attributes": [{"name": "ts", "type": "int64"}, {"name": "v"}],
+    "timestamp": "ts"
+  })");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.ValueOrDie()->attribute(1).type, ValueType::kDouble);
+}
+
+TEST(SchemaJsonTest, RejectsBadInput) {
+  EXPECT_FALSE(SchemaFromJsonString("[]").ok());
+  EXPECT_FALSE(SchemaFromJsonString(R"({"attributes": 5})").ok());
+  EXPECT_FALSE(SchemaFromJsonString(
+                   R"({"attributes": [{"name":"a","type":"int64"}]})")
+                   .ok());  // no timestamp
+  EXPECT_FALSE(SchemaFromJsonString(
+                   R"({"attributes": [{"name":"a","type":"wat"}],
+                       "timestamp": "a"})")
+                   .ok());
+  EXPECT_FALSE(SchemaFromJsonFile("/no/such/file.json").ok());
+}
+
+TEST(SchemaJsonTest, RoundTrips) {
+  SchemaPtr schema =
+      Schema::Make({{"ts", ValueType::kInt64}, {"v", ValueType::kDouble}},
+                   "ts")
+          .ValueOrDie();
+  auto reparsed = SchemaFromJson(SchemaToJson(*schema));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.ValueOrDie()->Equals(*schema));
+}
+
+TEST(SchemaJsonTest, ValueTypeNamesRoundTrip) {
+  for (ValueType type : {ValueType::kNull, ValueType::kBool,
+                         ValueType::kInt64, ValueType::kDouble,
+                         ValueType::kString}) {
+    auto parsed = ValueTypeFromName(ValueTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.ValueOrDie(), type);
+  }
+}
+
+}  // namespace
+}  // namespace icewafl

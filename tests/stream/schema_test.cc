@@ -1,0 +1,84 @@
+#include "stream/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+Result<SchemaPtr> MakeTestSchema() {
+  return Schema::Make(
+      {{"ts", ValueType::kInt64},
+       {"temp", ValueType::kDouble},
+       {"station", ValueType::kString}},
+      "ts");
+}
+
+TEST(SchemaTest, BasicConstruction) {
+  auto schema = MakeTestSchema();
+  ASSERT_TRUE(schema.ok());
+  const SchemaPtr& s = schema.ValueOrDie();
+  EXPECT_EQ(s->num_attributes(), 3u);
+  EXPECT_EQ(s->timestamp_index(), 0u);
+  EXPECT_EQ(s->timestamp_name(), "ts");
+  EXPECT_EQ(s->attribute(1).name, "temp");
+  EXPECT_EQ(s->attribute(1).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, IndexOf) {
+  const SchemaPtr s = MakeTestSchema().ValueOrDie();
+  EXPECT_EQ(s->IndexOf("station").ValueOrDie(), 2u);
+  EXPECT_EQ(s->IndexOf("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(s->Contains("temp"));
+  EXPECT_FALSE(s->Contains("missing"));
+}
+
+TEST(SchemaTest, Names) {
+  const SchemaPtr s = MakeTestSchema().ValueOrDie();
+  EXPECT_EQ(s->Names(),
+            (std::vector<std::string>{"ts", "temp", "station"}));
+}
+
+TEST(SchemaTest, RejectsEmptySchema) {
+  EXPECT_EQ(Schema::Make({}, "ts").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto r = Schema::Make(
+      {{"ts", ValueType::kInt64}, {"ts", ValueType::kDouble}}, "ts");
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyAttributeName) {
+  auto r = Schema::Make({{"", ValueType::kInt64}}, "");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsMissingTimestampAttribute) {
+  auto r = Schema::Make({{"x", ValueType::kInt64}}, "ts");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RejectsNonIntegerTimestamp) {
+  auto r = Schema::Make({{"ts", ValueType::kDouble}}, "ts");
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, TimestampCanBeAnyPosition) {
+  auto r = Schema::Make(
+      {{"a", ValueType::kDouble}, {"time", ValueType::kInt64}}, "time");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie()->timestamp_index(), 1u);
+}
+
+TEST(SchemaTest, Equals) {
+  const SchemaPtr a = MakeTestSchema().ValueOrDie();
+  const SchemaPtr b = MakeTestSchema().ValueOrDie();
+  EXPECT_TRUE(a->Equals(*b));
+  const SchemaPtr c =
+      Schema::Make({{"ts", ValueType::kInt64}}, "ts").ValueOrDie();
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,97 @@
+#include "stream/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make({{"ts", ValueType::kInt64},
+                       {"temp", ValueType::kDouble},
+                       {"station", ValueType::kString}},
+                      "ts")
+      .ValueOrDie();
+}
+
+Tuple TestTuple() {
+  return Tuple(TestSchema(), {Value(int64_t{1000}), Value(21.5), Value("S1")});
+}
+
+TEST(TupleTest, ValueAccessByIndex) {
+  Tuple t = TestTuple();
+  EXPECT_EQ(t.num_values(), 3u);
+  EXPECT_EQ(t.value(0).AsInt64(), 1000);
+  EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 21.5);
+  EXPECT_EQ(t.value(2).AsString(), "S1");
+}
+
+TEST(TupleTest, GetSetByName) {
+  Tuple t = TestTuple();
+  EXPECT_DOUBLE_EQ(t.Get("temp").ValueOrDie().AsDouble(), 21.5);
+  ASSERT_TRUE(t.Set("temp", Value(30.0)).ok());
+  EXPECT_DOUBLE_EQ(t.Get("temp").ValueOrDie().AsDouble(), 30.0);
+  EXPECT_EQ(t.Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(t.Set("missing", Value(1)).code(), StatusCode::kNotFound);
+}
+
+TEST(TupleTest, TimestampAccessors) {
+  Tuple t = TestTuple();
+  EXPECT_EQ(t.GetTimestamp().ValueOrDie(), 1000);
+  ASSERT_TRUE(t.SetTimestamp(2000).ok());
+  EXPECT_EQ(t.GetTimestamp().ValueOrDie(), 2000);
+  EXPECT_EQ(t.value(0).AsInt64(), 2000);
+}
+
+TEST(TupleTest, NullTimestampIsError) {
+  Tuple t = TestTuple();
+  t.set_value(0, Value::Null());
+  EXPECT_EQ(t.GetTimestamp().status().code(), StatusCode::kTypeError);
+}
+
+TEST(TupleTest, MetadataDefaults) {
+  Tuple t = TestTuple();
+  EXPECT_EQ(t.id(), kInvalidTupleId);
+  EXPECT_EQ(t.event_time(), 0);
+  EXPECT_EQ(t.arrival_time(), 0);
+  EXPECT_EQ(t.substream(), kNoSubstream);
+}
+
+TEST(TupleTest, MetadataRoundTrip) {
+  Tuple t = TestTuple();
+  t.set_id(7);
+  t.set_event_time(1000);
+  t.set_arrival_time(4600);
+  t.set_substream(2);
+  EXPECT_EQ(t.id(), 7u);
+  EXPECT_EQ(t.event_time(), 1000);
+  EXPECT_EQ(t.arrival_time(), 4600);
+  EXPECT_EQ(t.substream(), 2);
+}
+
+TEST(TupleTest, ValuesEqualIgnoresMetadata) {
+  Tuple a = TestTuple();
+  Tuple b = TestTuple();
+  b.set_id(99);
+  b.set_substream(1);
+  EXPECT_TRUE(a.ValuesEqual(b));
+  ASSERT_TRUE(b.Set("temp", Value(0.0)).ok());
+  EXPECT_FALSE(a.ValuesEqual(b));
+}
+
+TEST(TupleTest, ToStringShowsNamesAndNull) {
+  Tuple t = TestTuple();
+  t.set_value(1, Value::Null());
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("ts=1000"), std::string::npos);
+  EXPECT_NE(s.find("temp=NULL"), std::string::npos);
+  EXPECT_NE(s.find("station=S1"), std::string::npos);
+}
+
+TEST(TupleTest, GetWithoutSchemaIsInternalError) {
+  Tuple t;
+  EXPECT_EQ(t.Get("x").status().code(), StatusCode::kInternal);
+  EXPECT_EQ(t.GetTimestamp().status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace icewafl

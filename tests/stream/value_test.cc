@@ -1,0 +1,89 @@
+#include "stream/value.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(Value::Null(), v);
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{5}).is_int64());
+  EXPECT_TRUE(Value(5).is_int64());
+  EXPECT_TRUE(Value(5.0).is_double());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(std::string("s")).is_string());
+}
+
+TEST(ValueTest, IsNumeric) {
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value(true).is_numeric());
+  EXPECT_FALSE(Value("1").is_numeric());
+  EXPECT_FALSE(Value().is_numeric());
+}
+
+TEST(ValueTest, ToDoubleCoercions) {
+  EXPECT_DOUBLE_EQ(Value(3).ToDouble().ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).ToDouble().ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(Value(true).ToDouble().ValueOrDie(), 1.0);
+  EXPECT_EQ(Value().ToDouble().status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Value("x").ToDouble().status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, ToInt64TruncatesDoubles) {
+  EXPECT_EQ(Value(3.9).ToInt64().ValueOrDie(), 3);
+  EXPECT_EQ(Value(-3.9).ToInt64().ValueOrDie(), -3);
+  EXPECT_EQ(Value(7).ToInt64().ValueOrDie(), 7);
+  EXPECT_FALSE(Value().ToInt64().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().ToString(), "");
+  EXPECT_EQ(Value().ToString("NULL"), "NULL");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, StrictEqualityDistinguishesIntAndDouble) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(1.0));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_FALSE(Value() == Value(0));
+}
+
+TEST(ValueTest, OrderingNullFirst) {
+  EXPECT_TRUE(Value() < Value(0));
+  EXPECT_TRUE(Value() < Value("a"));
+  EXPECT_FALSE(Value(0) < Value());
+  EXPECT_FALSE(Value() < Value());
+}
+
+TEST(ValueTest, CrossNumericOrdering) {
+  EXPECT_TRUE(Value(1) < Value(1.5));
+  EXPECT_TRUE(Value(1.5) < Value(2));
+  EXPECT_FALSE(Value(2.0) < Value(2));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_TRUE(Value("a") < Value("b"));
+  EXPECT_FALSE(Value("b") < Value("a"));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,70 @@
+#include "util/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+TEST(AsciiChartTest, EmptyInputYieldsEmptyString) {
+  EXPECT_EQ(RenderAsciiChart({}), "");
+  EXPECT_EQ(RenderAsciiChart({{}}), "");
+}
+
+TEST(AsciiChartTest, InconsistentSeriesLengthsRejected) {
+  EXPECT_EQ(RenderAsciiChart({{1, 2, 3}, {1, 2}}), "");
+}
+
+TEST(AsciiChartTest, SingleSeriesHasExpectedShape) {
+  AsciiChartOptions options;
+  options.height = 5;
+  options.title = "ramp";
+  const std::string chart = RenderAsciiChart({{0, 1, 2, 3, 4}}, options);
+  ASSERT_FALSE(chart.empty());
+  EXPECT_EQ(chart.substr(0, 4), "ramp");
+  // 1 title row + 5 plot rows + 1 axis row.
+  int newlines = 0;
+  for (char c : chart) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 7);
+  // The maximum lands in the top plot row, the minimum in the bottom.
+  const size_t first_row = chart.find('\n') + 1;
+  const std::string top =
+      chart.substr(first_row, chart.find('\n', first_row) - first_row);
+  EXPECT_NE(top.find('*'), std::string::npos);
+  EXPECT_EQ(top.find('*'), top.size() - 1);  // last column is the max
+}
+
+TEST(AsciiChartTest, ConstantSeriesDoesNotDivideByZero) {
+  const std::string chart = RenderAsciiChart({{5, 5, 5, 5}});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, MultipleSeriesGetDistinctGlyphsAndLegend) {
+  AsciiChartOptions options;
+  options.series_names = {"alpha", "beta"};
+  const std::string chart =
+      RenderAsciiChart({{0, 1, 2, 3}, {3, 2, 1, 0}}, options);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("*=alpha"), std::string::npos);
+  EXPECT_NE(chart.find("o=beta"), std::string::npos);
+}
+
+TEST(AsciiChartTest, XAxisLabelsPrinted) {
+  AsciiChartOptions options;
+  options.x_labels = {"03-22", "09-06", "02-21"};
+  const std::string chart =
+      RenderAsciiChart({{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}, options);
+  EXPECT_NE(chart.find("03-22"), std::string::npos);
+  EXPECT_NE(chart.find("02-21"), std::string::npos);
+}
+
+TEST(AsciiChartTest, YAxisShowsRange) {
+  const std::string chart = RenderAsciiChart({{0, 100}});
+  EXPECT_NE(chart.find("100"), std::string::npos);
+  EXPECT_NE(chart.find("0.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icewafl

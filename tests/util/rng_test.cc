@@ -1,0 +1,170 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace icewafl {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.5, 8.25);
+    ASSERT_GE(v, -3.5);
+    ASSERT_LT(v, 8.25);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // every value of the small range appears
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-10, -5);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScalesMeanAndStddev) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(100.0, 5.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 100.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sum2 / n - mean * mean), 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyTracksProbability) {
+  Rng rng(19);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  // Fork is deterministic given parent state...
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(fa.Next(), fb.Next());
+  // ...and drawing from the fork does not perturb the parent.
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(23);
+  const std::vector<size_t> perm = rng.Permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(23);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  EXPECT_EQ(rng.Permutation(1), std::vector<size_t>{0});
+}
+
+TEST(RngTest, PermutationActuallyShuffles) {
+  Rng rng(29);
+  std::vector<size_t> identity(50);
+  for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  EXPECT_NE(rng.Permutation(50), identity);
+}
+
+}  // namespace
+}  // namespace icewafl

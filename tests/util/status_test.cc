@@ -1,0 +1,105 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace icewafl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::AlreadyExists("").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IOError("").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::TypeError("").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+Status FailsAtFirstError() {
+  ICEWAFL_RETURN_NOT_OK(Status::OK());
+  ICEWAFL_RETURN_NOT_OK(Status::IOError("disk gone"));
+  ICEWAFL_RETURN_NOT_OK(Status::Internal("unreached"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroShortCircuits) {
+  Status st = FailsAtFirstError();
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "disk gone");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ(Result<int>(7).ValueOr(-1), 7);
+  EXPECT_EQ(Result<int>(Status::IOError("x")).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> Doubled(Result<int> in) {
+  ICEWAFL_ASSIGN_OR_RETURN(int v, std::move(in));
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubled(21).ValueOrDie(), 42);
+  EXPECT_EQ(Doubled(Status::ParseError("bad")).status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace icewafl

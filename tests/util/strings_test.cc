@@ -1,0 +1,101 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields) {
+  const auto parts = Split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto parts = Split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringsTest, JoinInvertsSplit) {
+  const std::vector<std::string> parts = {"x", "", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringsTest, JoinEmptyVector) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo 123"), "hello 123");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("icewafl", "ice"));
+  EXPECT_FALSE(StartsWith("ice", "icewafl"));
+  EXPECT_TRUE(EndsWith("icewafl", "wafl"));
+  EXPECT_FALSE(EndsWith("wafl", "icewafl"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").ValueOrDie(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").ValueOrDie(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("  7 ").ValueOrDie(), 7.0);
+}
+
+TEST(StringsTest, ParseDoubleRejectsTrailing) {
+  EXPECT_FALSE(ParseDouble("3.25abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt64("-9").ValueOrDie(), -9);
+  EXPECT_EQ(ParseInt64("1456531200").ValueOrDie(), 1456531200);
+}
+
+TEST(StringsTest, ParseInt64Rejects) {
+  EXPECT_FALSE(ParseInt64("4.5").ok());
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(StringsTest, FormatDoubleShortestRoundTrips) {
+  for (double v : {0.1, 1.234, -2.5, 1e-9, 123456.789, 0.0}) {
+    EXPECT_DOUBLE_EQ(ParseDouble(FormatDouble(v)).ValueOrDie(), v);
+  }
+}
+
+TEST(StringsTest, FormatDoubleShortestIsMinimal) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(1.234), "1.234");
+}
+
+TEST(StringsTest, FormatDoubleFixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,106 @@
+#include "util/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+TEST(TimeUtilTest, EpochIsJanuaryFirst1970) {
+  const CivilTime ct = CivilFromTimestamp(0);
+  EXPECT_EQ(ct.year, 1970);
+  EXPECT_EQ(ct.month, 1);
+  EXPECT_EQ(ct.day, 1);
+  EXPECT_EQ(ct.hour, 0);
+}
+
+TEST(TimeUtilTest, KnownTimestampRoundTrip) {
+  // 2016-02-27 00:00:00 UTC == 1456531200.
+  const CivilTime ct{2016, 2, 27, 0, 0, 0};
+  EXPECT_EQ(TimestampFromCivil(ct), 1456531200);
+  EXPECT_EQ(CivilFromTimestamp(1456531200), ct);
+}
+
+TEST(TimeUtilTest, LeapDayHandled) {
+  const CivilTime leap{2016, 2, 29, 12, 30, 45};
+  const Timestamp ts = TimestampFromCivil(leap);
+  EXPECT_EQ(CivilFromTimestamp(ts), leap);
+}
+
+TEST(TimeUtilTest, NonLeapCenturyYear) {
+  // 1900 was not a leap year; 2000 was.
+  EXPECT_EQ(DaysFromCivil(1900, 3, 1) - DaysFromCivil(1900, 2, 28), 1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28), 2);
+}
+
+TEST(TimeUtilTest, PreEpochDates) {
+  const CivilTime ct{1969, 12, 31, 23, 0, 0};
+  const Timestamp ts = TimestampFromCivil(ct);
+  EXPECT_EQ(ts, -3600);
+  EXPECT_EQ(CivilFromTimestamp(ts), ct);
+}
+
+TEST(TimeUtilTest, RoundTripSweepAcrossYears) {
+  // Property: civil -> ts -> civil is the identity on a broad sweep.
+  for (int year : {1999, 2000, 2013, 2016, 2017, 2024}) {
+    for (int month = 1; month <= 12; ++month) {
+      const CivilTime ct{year, month, 15, 7, 31, 5};
+      ASSERT_EQ(CivilFromTimestamp(TimestampFromCivil(ct)), ct)
+          << year << "-" << month;
+    }
+  }
+}
+
+TEST(TimeUtilTest, HourAndMinuteOfDay) {
+  const Timestamp ts = TimestampFromCivil({2016, 3, 1, 13, 45, 10});
+  EXPECT_EQ(HourOfDay(ts), 13);
+  EXPECT_EQ(MinuteOfDay(ts), 13 * 60 + 45);
+  EXPECT_EQ(MonthOfYear(ts), 3);
+}
+
+TEST(TimeUtilTest, HoursBetweenIsFractionalAndSigned) {
+  const Timestamp a = TimestampFromCivil({2016, 3, 1, 0, 0, 0});
+  const Timestamp b = TimestampFromCivil({2016, 3, 1, 1, 30, 0});
+  EXPECT_DOUBLE_EQ(HoursBetween(a, b), 1.5);
+  EXPECT_DOUBLE_EQ(HoursBetween(b, a), -1.5);
+}
+
+TEST(TimeUtilTest, FormatTimestamp) {
+  const Timestamp ts = TimestampFromCivil({2016, 2, 27, 9, 5, 3});
+  EXPECT_EQ(FormatTimestamp(ts), "2016-02-27 09:05:03");
+  EXPECT_EQ(FormatMonthDay(ts), "02-27");
+}
+
+TEST(TimeUtilTest, ParseFullTimestamp) {
+  auto ts = ParseTimestamp("2016-02-27 09:05:03");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(FormatTimestamp(ts.ValueOrDie()), "2016-02-27 09:05:03");
+}
+
+TEST(TimeUtilTest, ParseDateOnlyDefaultsToMidnight) {
+  auto ts = ParseTimestamp("2016-02-27");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts.ValueOrDie(), TimestampFromCivil({2016, 2, 27, 0, 0, 0}));
+}
+
+TEST(TimeUtilTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTimestamp("not a date").ok());
+  EXPECT_FALSE(ParseTimestamp("").ok());
+}
+
+TEST(TimeUtilTest, ParseRejectsOutOfRangeFields) {
+  EXPECT_FALSE(ParseTimestamp("2016-13-01").ok());
+  EXPECT_FALSE(ParseTimestamp("2016-02-27 25:00:00").ok());
+  EXPECT_FALSE(ParseTimestamp("2016-00-10").ok());
+}
+
+TEST(TimeUtilTest, FormatParseRoundTrip) {
+  for (Timestamp ts : {Timestamp{0}, Timestamp{1456531200},
+                       Timestamp{1700000000}}) {
+    auto parsed = ParseTimestamp(FormatTimestamp(ts));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.ValueOrDie(), ts);
+  }
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,245 @@
+// icewafl_cli — command-line front end to the pollution library.
+//
+// Subcommands:
+//   pollute   --schema s.json --config pipeline.json --input in.csv
+//             --output dirty.csv [--clean-output clean.csv]
+//             [--log log.json] [--seed N] [--null-repr STR]
+//   validate  --schema s.json --suite suite.json --input in.csv
+//             [--null-repr STR]
+//   generate  --dataset wearable|airquality --output out.csv
+//             [--seed N] [--hours N] [--station NAME]
+//   profile   --schema s.json --input in.csv [--null-repr STR]
+//             [--suggest-suite out.json]  (column stats; optionally
+//                                          writes a suggested suite)
+//   schema    --dataset wearable|airquality        (prints schema JSON)
+//
+// Exit code: 0 on success (for `validate`: also when all expectations
+// pass), 1 on failure, 2 on usage errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/config.h"
+#include "core/process.h"
+#include "data/airquality.h"
+#include "data/wearable.h"
+#include "dq/config.h"
+#include "dq/profile.h"
+#include "io/csv.h"
+#include "io/schema_json.h"
+
+namespace {
+
+using namespace icewafl;  // NOLINT
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  icewafl_cli pollute --schema S.json --config P.json --input IN.csv\n"
+      "              --output OUT.csv [--clean-output C.csv] [--log L.json]\n"
+      "              [--seed N] [--null-repr STR]\n"
+      "  icewafl_cli validate --schema S.json --suite Q.json --input IN.csv\n"
+      "              [--null-repr STR]\n"
+      "  icewafl_cli generate --dataset wearable|airquality --output OUT.csv\n"
+      "              [--seed N] [--hours N] [--station NAME]\n"
+      "  icewafl_cli profile --schema S.json --input IN.csv\n"
+      "              [--suggest-suite]\n"
+      "  icewafl_cli schema --dataset wearable|airquality\n");
+  return 2;
+}
+
+/// Parses --key value pairs after the subcommand.
+bool ParseFlags(int argc, char** argv, std::map<std::string, std::string>* out) {
+  for (int i = 2; i < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0 || i + 1 >= argc) return false;
+    (*out)[key + 2] = argv[i + 1];
+  }
+  return true;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: '" + path + "'");
+  out << text;
+  out.flush();
+  if (!out) return Status::IOError("write failed: '" + path + "'");
+  return Status::OK();
+}
+
+int RunPollute(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"schema", "config", "input", "output"}) {
+    if (!flags.count(required)) {
+      std::fprintf(stderr, "pollute: missing --%s\n", required);
+      return 2;
+    }
+  }
+  CsvOptions csv;
+  csv.null_repr = FlagOr(flags, "null-repr", "");
+  auto schema = SchemaFromJsonFile(flags.at("schema"));
+  if (!schema.ok()) return Fail(schema.status());
+  auto pipeline = PipelineFromConfigFile(flags.at("config"));
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  auto tuples = ReadCsvFile(schema.ValueOrDie(), flags.at("input"), csv);
+  if (!tuples.ok()) return Fail(tuples.status());
+
+  const uint64_t seed = std::strtoull(
+      FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  VectorSource source(schema.ValueOrDie(), std::move(tuples).ValueOrDie());
+  auto result = PollutionProcess::Pollute(
+      &source, std::move(pipeline).ValueOrDie(), seed);
+  if (!result.ok()) return Fail(result.status());
+  const PollutionResult& r = result.ValueOrDie();
+
+  Status st = WriteCsvFile(r.schema, r.polluted, flags.at("output"), csv);
+  if (!st.ok()) return Fail(st);
+  if (flags.count("clean-output")) {
+    st = WriteCsvFile(r.schema, r.clean, flags.at("clean-output"), csv);
+    if (!st.ok()) return Fail(st);
+  }
+  if (flags.count("log")) {
+    st = WriteTextFile(flags.at("log"), r.log.ToJson().DumpPretty());
+    if (!st.ok()) return Fail(st);
+  }
+  std::printf("polluted %zu tuples, %zu injections, seed %llu\n",
+              r.polluted.size(), r.log.size(),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int RunValidate(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"schema", "suite", "input"}) {
+    if (!flags.count(required)) {
+      std::fprintf(stderr, "validate: missing --%s\n", required);
+      return 2;
+    }
+  }
+  CsvOptions csv;
+  csv.null_repr = FlagOr(flags, "null-repr", "");
+  auto schema = SchemaFromJsonFile(flags.at("schema"));
+  if (!schema.ok()) return Fail(schema.status());
+  auto suite = dq::SuiteFromConfigFile(flags.at("suite"));
+  if (!suite.ok()) return Fail(suite.status());
+  auto tuples = ReadCsvFile(schema.ValueOrDie(), flags.at("input"), csv);
+  if (!tuples.ok()) return Fail(tuples.status());
+  auto result = suite.ValueOrDie().Validate(tuples.ValueOrDie());
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", result.ValueOrDie().ToReport().c_str());
+  return result.ValueOrDie().success() ? 0 : 1;
+}
+
+int RunGenerate(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("dataset") || !flags.count("output")) {
+    std::fprintf(stderr, "generate: need --dataset and --output\n");
+    return 2;
+  }
+  const std::string dataset = flags.at("dataset");
+  const uint64_t seed = std::strtoull(
+      FlagOr(flags, "seed", "0").c_str(), nullptr, 10);
+  Result<TupleVector> tuples = Status::Internal("unset");
+  SchemaPtr schema;
+  if (dataset == "wearable") {
+    data::WearableOptions options;
+    if (seed != 0) options.seed = seed;
+    tuples = data::GenerateWearable(options);
+    schema = data::WearableSchema();
+  } else if (dataset == "airquality") {
+    data::AirQualityOptions options;
+    if (seed != 0) options.seed = seed;
+    if (flags.count("hours")) {
+      options.hours = std::strtoull(flags.at("hours").c_str(), nullptr, 10);
+    }
+    options.station = FlagOr(flags, "station", options.station);
+    tuples = data::GenerateAirQuality(options);
+    schema = data::AirQualitySchema();
+  } else {
+    std::fprintf(stderr, "unknown dataset: '%s'\n", dataset.c_str());
+    return 2;
+  }
+  if (!tuples.ok()) return Fail(tuples.status());
+  Status st =
+      WriteCsvFile(schema, tuples.ValueOrDie(), flags.at("output"));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu tuples to %s\n", tuples.ValueOrDie().size(),
+              flags.at("output").c_str());
+  return 0;
+}
+
+int RunProfile(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"schema", "input"}) {
+    if (!flags.count(required)) {
+      std::fprintf(stderr, "profile: missing --%s\n", required);
+      return 2;
+    }
+  }
+  CsvOptions csv;
+  csv.null_repr = FlagOr(flags, "null-repr", "");
+  auto schema = SchemaFromJsonFile(flags.at("schema"));
+  if (!schema.ok()) return Fail(schema.status());
+  auto tuples = ReadCsvFile(schema.ValueOrDie(), flags.at("input"), csv);
+  if (!tuples.ok()) return Fail(tuples.status());
+  auto profiles = dq::ProfileColumns(tuples.ValueOrDie());
+  if (!profiles.ok()) return Fail(profiles.status());
+  std::printf("%s", dq::ProfilesToReport(profiles.ValueOrDie()).c_str());
+  if (flags.count("suggest-suite")) {
+    auto suite = dq::SuggestSuite(tuples.ValueOrDie());
+    if (!suite.ok()) return Fail(suite.status());
+    // Round-trip sanity: validate the stream against its own suite.
+    auto self_check = suite.ValueOrDie().Validate(tuples.ValueOrDie());
+    if (!self_check.ok()) return Fail(self_check.status());
+    Status st = WriteTextFile(flags.at("suggest-suite"),
+                              suite.ValueOrDie().ToJson().DumpPretty());
+    if (!st.ok()) return Fail(st);
+    std::printf("\nwrote %zu suggested expectations to %s "
+                "(self-check: %s)\n",
+                suite.ValueOrDie().size(),
+                flags.at("suggest-suite").c_str(),
+                self_check.ValueOrDie().success() ? "pass" : "FAIL");
+  }
+  return 0;
+}
+
+int RunSchema(const std::map<std::string, std::string>& flags) {
+  const std::string dataset = FlagOr(flags, "dataset", "");
+  SchemaPtr schema;
+  if (dataset == "wearable") {
+    schema = data::WearableSchema();
+  } else if (dataset == "airquality") {
+    schema = data::AirQualitySchema();
+  } else {
+    std::fprintf(stderr, "unknown dataset: '%s'\n", dataset.c_str());
+    return 2;
+  }
+  std::printf("%s\n", SchemaToJson(*schema).DumpPretty().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::map<std::string, std::string> flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+  const std::string command = argv[1];
+  if (command == "pollute") return RunPollute(flags);
+  if (command == "validate") return RunValidate(flags);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "profile") return RunProfile(flags);
+  if (command == "schema") return RunSchema(flags);
+  return Usage();
+}
