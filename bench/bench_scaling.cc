@@ -9,6 +9,7 @@
 #include "core/keyed_polluter_operator.h"
 #include "core/polluter_operator.h"
 #include "stream/executor.h"
+#include "stream/runtime.h"
 #include "core/process.h"
 #include "data/airquality.h"
 
@@ -121,6 +122,46 @@ void BM_GlobalPolluterOperator(benchmark::State& state) {
                           static_cast<int64_t>(stream.size()));
 }
 BENCHMARK(BM_GlobalPolluterOperator);
+
+void BM_RuntimeParallelism(benchmark::State& state) {
+  // The pipelined runtime end to end; RuntimeStats counters expose the
+  // pipeline's behaviour (batches, backpressure, peak buffering) next to
+  // the throughput numbers.
+  const int parallelism = static_cast<int>(state.range(0));
+  const TupleVector& stream = Stream();
+  SchemaPtr schema = stream.front().schema();
+  RuntimeStats last_stats;
+  for (auto _ : state) {
+    VectorSource source(schema, stream);
+    CountingSink sink;
+    RuntimeOptions options;
+    options.parallelism = parallelism;
+    PipelineRuntime runtime(options);
+    Status st = runtime.Run(
+        &source,
+        [](int worker) {
+          OperatorChain chain;
+          chain.push_back(std::make_unique<PolluterOperator>(
+              MakePipeline(4), 1 + static_cast<uint64_t>(worker)));
+          return chain;
+        },
+        &sink);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(sink.checksum());
+    last_stats = runtime.stats();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+  state.counters["source_tuples"] =
+      static_cast<double>(last_stats.source_tuples);
+  state.counters["sink_tuples"] = static_cast<double>(last_stats.sink_tuples);
+  state.counters["batches"] = static_cast<double>(last_stats.batches);
+  state.counters["blocked_pushes"] =
+      static_cast<double>(last_stats.blocked_pushes);
+  state.counters["peak_buffered"] =
+      static_cast<double>(last_stats.peak_buffered_tuples);
+}
+BENCHMARK(BM_RuntimeParallelism)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_KeyedPolluterOperator(benchmark::State& state) {
   // Keyed by hour-of-day string: 24 partitions, per-key pipeline clones.

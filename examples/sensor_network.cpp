@@ -21,7 +21,7 @@
 
 #include "core/errors_numeric.h"
 #include "core/polluter_operator.h"
-#include "stream/executor.h"
+#include "stream/runtime.h"
 
 using namespace icewafl;  // NOLINT
 
@@ -89,7 +89,11 @@ int main() {
 
   VectorSource source(schema, tuples);
   VectorSink sink;
-  Status st = StreamExecutor::Run(&source, {&polluter, &derive}, &sink);
+  // Run on the pipelined runtime: source, operator chain, and sink are
+  // concurrent stages over bounded channels (order preserved here since
+  // the topology runs at parallelism 1).
+  PipelineRuntime runtime;
+  Status st = runtime.Run(&source, {&polluter, &derive}, &sink);
   if (!st.ok()) {
     std::fprintf(stderr, "topology failed: %s\n", st.ToString().c_str());
     return 1;
@@ -118,5 +122,6 @@ int main() {
       "S4 shows the same dip one hour later — the dependency structure\n"
       "of Figure 1. During the cloud, the Weather rule misclassifies\n"
       "'hot' hours as 'cold'.\n");
+  std::printf("\nruntime: %s\n", runtime.stats().ToString().c_str());
   return 0;
 }

@@ -29,14 +29,14 @@ KeyedPolluterOperator::KeyedPolluterOperator(PollutionPipeline prototype,
       stream_end_(stream_end),
       log_(log) {}
 
-Status KeyedPolluterOperator::Process(Tuple tuple, Emitter* out) {
-  if (tuple.id() == kInvalidTupleId) {
-    tuple.set_id(next_id_++);
-    ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, tuple.GetTimestamp());
-    tuple.set_event_time(ts);
-    tuple.set_arrival_time(ts);
+Status KeyedPolluterOperator::PolluteOne(Tuple* tuple, PollutionContext* ctx) {
+  if (tuple->id() == kInvalidTupleId) {
+    tuple->set_id(next_id_++);
+    ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, tuple->GetTimestamp());
+    tuple->set_event_time(ts);
+    tuple->set_arrival_time(ts);
   }
-  ICEWAFL_ASSIGN_OR_RETURN(Value key_value, tuple.Get(key_attribute_));
+  ICEWAFL_ASSIGN_OR_RETURN(Value key_value, tuple->Get(key_attribute_));
   const std::string key = key_value.ToString("<null>");
 
   auto it = partitions_.find(key);
@@ -47,12 +47,30 @@ Status KeyedPolluterOperator::Process(Tuple tuple, Emitter* out) {
     it = partitions_.emplace(key, std::move(clone)).first;
   }
 
+  ctx->tau = tuple->event_time();
+  ctx->severity = 1.0;
+  ctx->rng = nullptr;
+  return it->second.Apply(tuple, ctx, log_);
+}
+
+Status KeyedPolluterOperator::Process(Tuple tuple, Emitter* out) {
   PollutionContext ctx;
-  ctx.tau = tuple.event_time();
   ctx.stream_start = stream_start_;
   ctx.stream_end = stream_end_;
-  ICEWAFL_RETURN_NOT_OK(it->second.Apply(&tuple, &ctx, log_));
+  ICEWAFL_RETURN_NOT_OK(PolluteOne(&tuple, &ctx));
   return out->Emit(std::move(tuple));
+}
+
+Status KeyedPolluterOperator::ProcessBatch(TupleVector* batch, Emitter* out) {
+  PollutionContext ctx;
+  ctx.stream_start = stream_start_;
+  ctx.stream_end = stream_end_;
+  for (Tuple& tuple : *batch) {
+    ICEWAFL_RETURN_NOT_OK(PolluteOne(&tuple, &ctx));
+    ICEWAFL_RETURN_NOT_OK(out->Emit(std::move(tuple)));
+  }
+  batch->clear();
+  return Status::OK();
 }
 
 std::map<std::string, uint64_t> KeyedPolluterOperator::AppliedCounts() const {

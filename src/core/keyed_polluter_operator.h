@@ -32,6 +32,10 @@ class KeyedPolluterOperator : public Operator {
 
   Status Process(Tuple tuple, Emitter* out) override;
 
+  /// \brief Batched fast path: shares one context across the batch and
+  /// resolves the per-key pipeline with a single hash lookup per tuple.
+  Status ProcessBatch(TupleVector* batch, Emitter* out) override;
+
   /// \brief Number of distinct keys seen so far.
   size_t num_partitions() const { return partitions_.size(); }
 
@@ -39,6 +43,8 @@ class KeyedPolluterOperator : public Operator {
   std::map<std::string, uint64_t> AppliedCounts() const;
 
  private:
+  Status PolluteOne(Tuple* tuple, PollutionContext* ctx);
+
   PollutionPipeline prototype_;
   std::string key_attribute_;
   uint64_t seed_;

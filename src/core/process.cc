@@ -1,12 +1,15 @@
 #include "core/process.h"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
+
+#include "stream/channel.h"
 
 namespace icewafl {
 
 PollutionProcess::PollutionProcess(ProcessOptions options)
-    : options_(options) {}
+    : options_(std::move(options)) {}
 
 void PollutionProcess::AddPipeline(PollutionPipeline pipeline) {
   pipelines_.push_back(std::move(pipeline));
@@ -14,21 +17,22 @@ void PollutionProcess::AddPipeline(PollutionPipeline pipeline) {
 
 namespace {
 
-/// Pollutes one sub-stream in place. Tuples are processed in stream
-/// order; each carries its event time in the context.
-Status PolluteSubstream(TupleVector* tuples, const PollutionPipeline& pipeline,
-                        Timestamp stream_start, Timestamp stream_end,
-                        PollutionLog* log) {
-  PollutionContext ctx;
-  ctx.stream_start = stream_start;
-  ctx.stream_end = stream_end;
-  for (Tuple& t : *tuples) {
-    ctx.tau = t.event_time();
-    ctx.severity = 1.0;
-    ctx.rng = nullptr;
-    ICEWAFL_RETURN_NOT_OK(pipeline.Apply(&t, &ctx, log));
-  }
-  return Status::OK();
+/// Tuples per channel batch in parallel mode; small enough that the
+/// split stage and the pipeline workers overlap on short streams, large
+/// enough to amortize channel locking.
+constexpr size_t kSubstreamBatch = 256;
+/// Batches each sub-stream channel may buffer (backpressure bound).
+constexpr size_t kSubstreamChannelCapacity = 4;
+
+/// Applies `pipeline` to one prepared tuple; mirrors the per-tuple
+/// context reset of the materializing implementation exactly so seeded
+/// runs stay byte-identical.
+Status PolluteTuple(const PollutionPipeline& pipeline, Tuple* t,
+                    PollutionContext* ctx, PollutionLog* log) {
+  ctx->tau = t->event_time();
+  ctx->severity = 1.0;
+  ctx->rng = nullptr;
+  return pipeline.Apply(t, ctx, log);
 }
 
 }  // namespace
@@ -46,6 +50,17 @@ Result<PollutionResult> PollutionProcess::Run(Source* source) {
   if (options_.overlap_fraction < 0.0 || options_.overlap_fraction > 1.0) {
     return Status::InvalidArgument("overlap_fraction must be in [0, 1]");
   }
+  if (options_.stream_start.has_value() != options_.stream_end.has_value()) {
+    return Status::InvalidArgument(
+        "stream_start and stream_end must be set together");
+  }
+  if (options_.stream_start.has_value() &&
+      *options_.stream_start > *options_.stream_end) {
+    return Status::InvalidArgument(
+        "stream_start must be <= stream_end (got start=" +
+        std::to_string(*options_.stream_start) +
+        ", end=" + std::to_string(*options_.stream_end) + ")");
+  }
 
   PollutionResult result;
   result.schema = source->schema();
@@ -62,75 +77,151 @@ Result<PollutionResult> PollutionProcess::Run(Source* source) {
     t.set_arrival_time(ts);
   }
 
-  Timestamp stream_start = options_.stream_start;
-  Timestamp stream_end = options_.stream_end;
-  if (stream_start > stream_end) {
-    // Derive bounds from the materialized input.
-    if (!result.clean.empty()) {
-      stream_start = result.clean.front().event_time();
-      stream_end = result.clean.back().event_time();
-      for (const Tuple& t : result.clean) {
-        stream_start = std::min(stream_start, t.event_time());
-        stream_end = std::max(stream_end, t.event_time());
-      }
-    } else {
-      stream_start = stream_end = 0;
+  Timestamp stream_start = 0;
+  Timestamp stream_end = 0;
+  if (options_.stream_start.has_value()) {
+    stream_start = *options_.stream_start;
+    stream_end = *options_.stream_end;
+  } else if (!result.clean.empty()) {
+    // Derive bounds from the prepared input.
+    stream_start = result.clean.front().event_time();
+    stream_end = stream_start;
+    for (const Tuple& t : result.clean) {
+      stream_start = std::min(stream_start, t.event_time());
+      stream_end = std::max(stream_end, t.event_time());
     }
   }
 
-  // Split into m (overlapping) sub-streams (line 4). The primary
-  // assignment is round-robin (deterministic and balanced); with
-  // probability overlap_fraction a tuple is copied into a second,
-  // different sub-stream drawn from the process RNG.
+  // --- Steps 2+3: split -> pollute -> collect, streamed ----------------
+  // The split (line 4) assigns tuples round-robin (deterministic and
+  // balanced); with probability overlap_fraction a tuple is copied into
+  // a second, different sub-stream drawn from the process RNG. Instead
+  // of materializing all m sub-streams and polluting them afterwards,
+  // each assigned copy flows straight into its sub-stream's pipeline
+  // (lines 5-9) — sequentially in-line, or in parallel mode through a
+  // bounded channel per sub-stream so that splitting and pollution
+  // overlap under backpressure. Per-pipeline work order is identical to
+  // the materializing implementation, so seeded output does not change.
   Rng master(options_.seed);
   Rng assign_rng = master.Fork();
-  std::vector<TupleVector> substreams(static_cast<size_t>(m));
-  for (size_t i = 0; i < result.clean.size(); ++i) {
-    const int primary = static_cast<int>(i % static_cast<size_t>(m));
-    Tuple copy = result.clean[i];
-    copy.set_substream(primary);
-    substreams[static_cast<size_t>(primary)].push_back(std::move(copy));
-    if (m > 1 && assign_rng.Bernoulli(options_.overlap_fraction)) {
-      int other =
-          static_cast<int>(assign_rng.UniformInt(0, static_cast<int64_t>(m) - 2));
-      if (other >= primary) ++other;
-      Tuple dup = result.clean[i];
-      dup.set_substream(other);
-      substreams[static_cast<size_t>(other)].push_back(std::move(dup));
-    }
-  }
-
-  // --- Step 2: pollute data (lines 5-9) -------------------------------
-  std::vector<PollutionLog> logs(static_cast<size_t>(m));
   for (PollutionPipeline& pipeline : pipelines_) {
     pipeline.Seed(master.Next());
   }
+
+  std::vector<TupleVector> outputs(static_cast<size_t>(m));
+  std::vector<PollutionLog> logs(static_cast<size_t>(m));
+
+  // Yields each prepared copy as (substream, tuple) in input order —
+  // primary assignment first, then the optional overlap duplicate.
+  auto for_each_assignment = [&](auto&& deliver) -> Status {
+    for (size_t i = 0; i < result.clean.size(); ++i) {
+      const int primary = static_cast<int>(i % static_cast<size_t>(m));
+      Tuple copy = result.clean[i];
+      copy.set_substream(primary);
+      ICEWAFL_RETURN_NOT_OK(deliver(primary, std::move(copy)));
+      if (m > 1 && assign_rng.Bernoulli(options_.overlap_fraction)) {
+        int other = static_cast<int>(
+            assign_rng.UniformInt(0, static_cast<int64_t>(m) - 2));
+        if (other >= primary) ++other;
+        Tuple dup = result.clean[i];
+        dup.set_substream(other);
+        ICEWAFL_RETURN_NOT_OK(deliver(other, std::move(dup)));
+      }
+    }
+    return Status::OK();
+  };
+
   if (options_.parallel && m > 1) {
+    // One bounded channel + pipeline worker per sub-stream; the splitter
+    // (caller thread) pushes batches and blocks when a worker lags.
+    std::vector<std::unique_ptr<BatchChannel>> channels;
+    channels.reserve(static_cast<size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      channels.push_back(
+          std::make_unique<BatchChannel>(kSubstreamChannelCapacity));
+    }
     std::vector<Status> statuses(static_cast<size_t>(m));
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(m));
     for (int i = 0; i < m; ++i) {
       workers.emplace_back([&, i] {
-        statuses[i] = PolluteSubstream(
-            &substreams[i], pipelines_[i], stream_start, stream_end,
-            options_.enable_log ? &logs[i] : nullptr);
+        PollutionContext ctx;
+        ctx.stream_start = stream_start;
+        ctx.stream_end = stream_end;
+        PollutionLog* log = options_.enable_log ? &logs[i] : nullptr;
+        TupleVector batch;
+        while (channels[i]->Pop(&batch)) {
+          for (Tuple& t : batch) {
+            Status st = PolluteTuple(pipelines_[i], &t, &ctx, log);
+            if (!st.ok()) {
+              statuses[i] = st;
+              channels[i]->Poison();  // unblock and stop the splitter
+              return;
+            }
+            outputs[i].push_back(std::move(t));
+          }
+        }
       });
     }
-    for (std::thread& w : workers) w.join();
-    for (const Status& st : statuses) ICEWAFL_RETURN_NOT_OK(st);
-  } else {
-    for (int i = 0; i < m; ++i) {
-      ICEWAFL_RETURN_NOT_OK(PolluteSubstream(
-          &substreams[i], pipelines_[i], stream_start, stream_end,
-          options_.enable_log ? &logs[i] : nullptr));
+
+    std::vector<TupleVector> pending(static_cast<size_t>(m));
+    for (TupleVector& p : pending) p.reserve(kSubstreamBatch);
+    Status split_status = for_each_assignment(
+        [&](int substream, Tuple tuple) -> Status {
+          TupleVector& batch = pending[static_cast<size_t>(substream)];
+          batch.push_back(std::move(tuple));
+          if (batch.size() >= kSubstreamBatch) {
+            if (!channels[substream]->Push(std::move(batch))) {
+              return Status::Internal("substream worker aborted");
+            }
+            batch = TupleVector();
+            batch.reserve(kSubstreamBatch);
+          }
+          return Status::OK();
+        });
+    if (split_status.ok()) {
+      for (int i = 0; i < m; ++i) {
+        if (!pending[static_cast<size_t>(i)].empty()) {
+          // A failed push only means the worker aborted; its status is
+          // reported below.
+          channels[i]->Push(std::move(pending[static_cast<size_t>(i)]));
+        }
+      }
     }
+    for (auto& channel : channels) channel->Close();
+    for (std::thread& w : workers) w.join();
+    for (const Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+    // A split failure not caused by a worker abort (worker statuses all
+    // OK) is a genuine error.
+    if (!split_status.ok()) return split_status;
+  } else {
+    // Sequential streaming: each assigned copy runs through its
+    // pipeline immediately. Pipelines are independent, so interleaving
+    // sub-streams consumes each pipeline's random stream in exactly the
+    // order the sub-stream-at-a-time implementation did.
+    std::vector<PollutionContext> contexts(static_cast<size_t>(m));
+    for (PollutionContext& ctx : contexts) {
+      ctx.stream_start = stream_start;
+      ctx.stream_end = stream_end;
+    }
+    ICEWAFL_RETURN_NOT_OK(for_each_assignment(
+        [&](int substream, Tuple tuple) -> Status {
+          const auto s = static_cast<size_t>(substream);
+          ICEWAFL_RETURN_NOT_OK(PolluteTuple(
+              pipelines_[s], &tuple, &contexts[s],
+              options_.enable_log ? &logs[s] : nullptr));
+          outputs[s].push_back(std::move(tuple));
+          return Status::OK();
+        }));
   }
 
   // --- Step 3: integrate and output (lines 10-11) ---------------------
   size_t total = 0;
-  for (const TupleVector& s : substreams) total += s.size();
+  for (const TupleVector& s : outputs) total += s.size();
   result.polluted.reserve(total);
-  for (TupleVector& s : substreams) {
+  for (TupleVector& s : outputs) {
     for (Tuple& t : s) result.polluted.push_back(std::move(t));
   }
   std::stable_sort(result.polluted.begin(), result.polluted.end(),

@@ -1,6 +1,7 @@
 #ifndef ICEWAFL_CORE_PROCESS_H_
 #define ICEWAFL_CORE_PROCESS_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -33,10 +34,11 @@ struct ProcessOptions {
   bool parallel = false;
 
   /// Explicit stream bounds for stream-relative profiles (Equations 3/4).
-  /// When unset (start > end), bounds are taken from the materialized
-  /// input's first and last event time.
-  Timestamp stream_start = 1;
-  Timestamp stream_end = 0;
+  /// Set both or neither; when unset, bounds are derived from the
+  /// prepared input's minimum and maximum event time. When set,
+  /// `stream_start <= stream_end` is validated at Run.
+  std::optional<Timestamp> stream_start;
+  std::optional<Timestamp> stream_end;
 };
 
 /// \brief Output of a pollution run.
@@ -60,6 +62,13 @@ struct PollutionResult {
 /// through the sub-stream's pollution pipeline. Step 3 merges the
 /// polluted sub-streams (union of tuples, tagged with the sub-stream id)
 /// and orders the result by arrival time.
+///
+/// Steps 2 and 3 are streamed: the split feeds each sub-stream's
+/// pipeline tuple-wise (in parallel mode through bounded channels, so
+/// splitting, pollution, and collection overlap with backpressure)
+/// instead of materializing every sub-stream up front. Output is
+/// byte-identical to the materializing implementation for the same seed
+/// and configuration, in both sequential and parallel mode.
 class PollutionProcess {
  public:
   explicit PollutionProcess(ProcessOptions options);

@@ -83,6 +83,8 @@ class CsvSink : public Sink {
   /// \param out stream to write to; not owned, must outlive the sink.
   CsvSink(SchemaPtr schema, std::ostream* out, CsvOptions options = {});
 
+  using Sink::Write;
+
   Status Write(const Tuple& tuple) override;
   Status Flush() override;
 

@@ -4,6 +4,7 @@
 
 #include "core/composite_polluter.h"
 #include "core/derived_error.h"
+#include "core/polluter_operator.h"
 #include "core/errors_numeric.h"
 #include "core/errors_temporal.h"
 #include "core/errors_value.h"
@@ -154,6 +155,27 @@ PollutionPipeline TemporalScalePipeline(
 std::vector<std::string> AirQualityNumericAttributes() {
   return {"PM2_5", "PM10", "SO2", "NO2", "CO",
           "O3",    "TEMP", "PRES", "DEWP", "WSPM"};
+}
+
+Result<TupleVector> ApplyPipelineStreaming(Source* source,
+                                           const PollutionPipeline& prototype,
+                                           uint64_t seed, int parallelism,
+                                           RuntimeStats* stats) {
+  VectorSink sink;
+  RuntimeOptions options;
+  options.parallelism = parallelism < 1 ? 1 : parallelism;
+  PipelineRuntime runtime(options);
+  ICEWAFL_RETURN_NOT_OK(runtime.Run(
+      source,
+      [&](int worker) {
+        OperatorChain chain;
+        chain.push_back(std::make_unique<PolluterOperator>(
+            prototype.Clone(), seed + static_cast<uint64_t>(worker)));
+        return chain;
+      },
+      &sink));
+  if (stats != nullptr) *stats = runtime.stats();
+  return sink.TakeTuples();
 }
 
 }  // namespace scenarios

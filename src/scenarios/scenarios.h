@@ -6,6 +6,8 @@
 
 #include "core/pipeline.h"
 #include "dq/suite.h"
+#include "stream/runtime.h"
+#include "stream/source.h"
 
 namespace icewafl {
 namespace scenarios {
@@ -83,6 +85,24 @@ PollutionPipeline TemporalScalePipeline(
 
 /// \brief The numerical air-quality attributes polluted in Experiment 2.
 std::vector<std::string> AirQualityNumericAttributes();
+
+// ---------------------------------------------------------------------
+// Streaming execution
+// ---------------------------------------------------------------------
+
+/// \brief Runs a scenario pipeline over `source` on the pipelined
+/// runtime (`PipelineRuntime`): the source, `parallelism` polluter
+/// workers (each owning a clone of `prototype` seeded `seed + worker`),
+/// and the collecting sink run concurrently over bounded channels, so
+/// the scenario streams at steady-state memory instead of materializing.
+///
+/// With `parallelism` 1 the output preserves input order; above 1 it is
+/// the runtime's deterministic batch rotation. Optionally returns the
+/// run's RuntimeStats through `stats`.
+Result<TupleVector> ApplyPipelineStreaming(Source* source,
+                                           const PollutionPipeline& prototype,
+                                           uint64_t seed, int parallelism = 1,
+                                           RuntimeStats* stats = nullptr);
 
 }  // namespace scenarios
 }  // namespace icewafl

@@ -1,0 +1,144 @@
+#ifndef ICEWAFL_STREAM_CHANNEL_H_
+#define ICEWAFL_STREAM_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "stream/tuple.h"
+
+namespace icewafl {
+
+/// \brief Counters describing one channel's traffic.
+///
+/// `blocked_pushes` / `blocked_pops` count the calls that had to wait on
+/// the condition variable — the direct measure of backpressure (full
+/// channel) and starvation (empty channel) between pipeline stages.
+struct ChannelStats {
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
+  uint64_t blocked_pushes = 0;
+  uint64_t blocked_pops = 0;
+  /// Largest number of items queued at once (peak buffering).
+  uint64_t peak_queued = 0;
+};
+
+/// \brief Bounded blocking MPSC/MPMC queue connecting pipeline stages.
+///
+/// The backbone of the pipelined runtime: producers `Push` until the
+/// channel holds `capacity` items, then block — backpressure propagates
+/// upstream to the source, which is what bounds the memory footprint of
+/// an unbounded stream. Consumers `Pop` until the channel is both closed
+/// and drained.
+///
+/// End-of-stream and abort are modelled explicitly:
+///  - `Close()`   — graceful: no further pushes succeed, queued items
+///                  remain poppable (normal end of a bounded stream);
+///  - `Poison()`  — abort: closes *and* discards queued items so blocked
+///                  producers and consumers wake immediately (error
+///                  propagation across stages).
+///
+/// All operations are safe to call concurrently from any thread.
+template <typename T>
+class BoundedChannel {
+ public:
+  /// \param capacity maximum queued items (>= 1).
+  explicit BoundedChannel(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// \brief Enqueues `item`, blocking while the channel is full.
+  /// \return false iff the channel was closed (the item is dropped).
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_ && !closed_) {
+      ++stats_.blocked_pushes;
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    ++stats_.pushes;
+    if (queue_.size() > stats_.peak_queued) stats_.peak_queued = queue_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// \brief Dequeues into `*out`, blocking while the channel is empty and
+  /// still open.
+  /// \return false iff the channel is closed and drained (end of stream).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty() && !closed_) {
+      ++stats_.blocked_pops;
+      not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    }
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// \brief Closes the channel for writing; queued items stay poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// \brief Closes the channel and discards queued items (abort path).
+  void Poison() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      queue_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  ChannelStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+  ChannelStats stats_;
+};
+
+/// \brief Channel of tuple batches — the unit of transfer between
+/// pipeline stages (batching amortizes locking and virtual dispatch).
+using BatchChannel = BoundedChannel<TupleVector>;
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_STREAM_CHANNEL_H_

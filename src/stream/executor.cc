@@ -2,19 +2,22 @@
 
 #include <thread>
 
+#include "stream/runtime.h"
+
 namespace icewafl {
 
 namespace {
 
 /// Pushes emitted tuples into the next operator of the chain, or into the
-/// terminal sink after the last operator.
+/// terminal sink after the last operator (legacy tuple-at-a-time driver,
+/// kept for the materializing baseline).
 class ChainEmitter : public Emitter {
  public:
   ChainEmitter(const std::vector<Operator*>* ops, size_t next, Sink* sink)
       : ops_(ops), next_(next), sink_(sink) {}
 
   Status Emit(Tuple tuple) override {
-    if (next_ >= ops_->size()) return sink_->Write(tuple);
+    if (next_ >= ops_->size()) return sink_->Write(std::move(tuple));
     ChainEmitter downstream(ops_, next_ + 1, sink_);
     return (*ops_)[next_]->Process(std::move(tuple), &downstream);
   }
@@ -25,8 +28,8 @@ class ChainEmitter : public Emitter {
   Sink* sink_;
 };
 
-Status RunChain(Source* source, const std::vector<Operator*>& ops,
-                Sink* sink) {
+Status RunChainInline(Source* source, const std::vector<Operator*>& ops,
+                      Sink* sink) {
   ChainEmitter head(&ops, 0, sink);
   Tuple tuple;
   while (true) {
@@ -48,7 +51,8 @@ Status RunChain(Source* source, const std::vector<Operator*>& ops,
 
 Status StreamExecutor::Run(Source* source, const std::vector<Operator*>& ops,
                            Sink* sink) {
-  return RunChain(source, ops, sink);
+  PipelineRuntime runtime;
+  return runtime.Run(source, ops, sink);
 }
 
 Status StreamExecutor::Run(Source* source, const OperatorChain& chain,
@@ -56,11 +60,20 @@ Status StreamExecutor::Run(Source* source, const OperatorChain& chain,
   std::vector<Operator*> ops;
   ops.reserve(chain.size());
   for (const auto& op : chain) ops.push_back(op.get());
-  return RunChain(source, ops, sink);
+  return Run(source, ops, sink);
 }
 
 Status ParallelExecutor::Run(Source* source,
                              const ChainFactory& chain_factory, Sink* sink) {
+  RuntimeOptions options;
+  options.parallelism = parallelism_;
+  PipelineRuntime runtime(options);
+  return runtime.Run(source, chain_factory, sink);
+}
+
+Status ParallelExecutor::RunMaterializing(Source* source,
+                                          const ChainFactory& chain_factory,
+                                          Sink* sink) {
   if (parallelism_ < 1) {
     return Status::InvalidArgument("parallelism must be >= 1");
   }
@@ -88,15 +101,20 @@ Status ParallelExecutor::Run(Source* source,
     workers.emplace_back([&, w] {
       OperatorChain chain = chain_factory(static_cast<int>(w));
       VectorSource part(schema, std::move(partitions[w]));
-      statuses[w] = StreamExecutor::Run(&part, chain, &outputs[w]);
+      // The per-worker run stays inline on the worker's own thread.
+      std::vector<Operator*> ops;
+      ops.reserve(chain.size());
+      for (const auto& op : chain) ops.push_back(op.get());
+      statuses[w] = RunChainInline(&part, ops, &outputs[w]);
     });
   }
   for (std::thread& t : workers) t.join();
   for (const Status& st : statuses) ICEWAFL_RETURN_NOT_OK(st);
 
   for (VectorSink& out : outputs) {
-    for (const Tuple& t : out.tuples()) {
-      ICEWAFL_RETURN_NOT_OK(sink->Write(t));
+    TupleVector tuples = out.TakeTuples();
+    for (Tuple& t : tuples) {
+      ICEWAFL_RETURN_NOT_OK(sink->Write(std::move(t)));
     }
   }
   return sink->Flush();

@@ -13,12 +13,14 @@
 namespace icewafl {
 
 /// \brief Drives tuples from a source through an operator chain into a
-/// sink (single-threaded, tuple-at-a-time).
+/// sink, preserving exact input order.
 ///
 /// This is the execution substrate standing in for Apache Flink's task
-/// chain: each tuple is pulled from the source and pushed through the
-/// operators; operators may buffer and re-emit; Finish() flushes state at
-/// end of stream.
+/// chain. Since the pipelined-runtime refactor it is a thin façade over
+/// `PipelineRuntime` at parallelism 1: tuples flow through the batched
+/// operator path with bounded buffering instead of being materialized.
+/// Semantics are unchanged — operators may buffer and re-emit, and
+/// Finish() flushes state at end of stream in chain order.
 class StreamExecutor {
  public:
   /// \brief Runs the topology to completion (bounded source).
@@ -32,11 +34,19 @@ class StreamExecutor {
 /// \brief Partitioned multi-threaded executor (Flink parallelism model).
 ///
 /// Tuples are partitioned round-robin over `parallelism` workers; each
-/// worker runs its own operator-chain instance produced by `chain_factory`
-/// (operator instances are stateful and must not be shared), and the
-/// partial outputs are merged in partition order. Because pollution in
-/// Icewafl is tuple-local, round-robin partitioning preserves semantics
-/// while distributing work.
+/// worker runs its own operator-chain instance produced by
+/// `chain_factory` (operator instances are stateful and must not be
+/// shared). Because pollution in Icewafl is tuple-local, round-robin
+/// partitioning preserves semantics while distributing work.
+///
+/// `Run` executes on the pipelined `PipelineRuntime`: workers consume
+/// and emit bounded channel batches concurrently with the source, so
+/// peak buffering is O(channel capacity × parallelism) instead of the
+/// whole stream, and the merged output interleaves worker batches in a
+/// deterministic rotation. `RunMaterializing` retains the legacy
+/// materialize-then-run model (full partition buffering, worker-order
+/// concatenation) as a baseline for benchmarks and for callers that
+/// need the historical output order.
 class ParallelExecutor {
  public:
   using ChainFactory = std::function<OperatorChain(int worker_index)>;
@@ -44,9 +54,15 @@ class ParallelExecutor {
   /// \param parallelism number of worker threads (>= 1).
   explicit ParallelExecutor(int parallelism) : parallelism_(parallelism) {}
 
-  /// \brief Runs the topology; the merged output (concatenation of worker
-  /// outputs in worker order) is pushed into `sink`.
+  /// \brief Runs the topology on the pipelined runtime; worker outputs
+  /// are merged into `sink` in a deterministic batch rotation.
   Status Run(Source* source, const ChainFactory& chain_factory, Sink* sink);
+
+  /// \brief Legacy materializing execution: buffers the full stream into
+  /// per-worker partitions, runs the workers, then moves the per-worker
+  /// outputs into `sink` in worker order.
+  Status RunMaterializing(Source* source, const ChainFactory& chain_factory,
+                          Sink* sink);
 
  private:
   int parallelism_;

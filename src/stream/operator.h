@@ -31,6 +31,21 @@ class Operator {
   /// \brief Processes one input tuple, emitting results downstream.
   virtual Status Process(Tuple tuple, Emitter* out) = 0;
 
+  /// \brief Batched fast path used by the pipelined runtime: consumes
+  /// `*batch` (left empty on return), emitting results into `out` in the
+  /// same order the per-tuple path would.
+  ///
+  /// The default forwards tuple-by-tuple to Process(); stateful hot-path
+  /// operators (the polluter adapters) override it to hoist per-batch
+  /// setup out of the tuple loop and amortize virtual dispatch.
+  virtual Status ProcessBatch(TupleVector* batch, Emitter* out) {
+    for (Tuple& t : *batch) {
+      ICEWAFL_RETURN_NOT_OK(Process(std::move(t), out));
+    }
+    batch->clear();
+    return Status::OK();
+  }
+
   /// \brief Flushes buffered state at end of (bounded) stream.
   virtual Status Finish(Emitter* out) {
     (void)out;

@@ -1,0 +1,114 @@
+#ifndef ICEWAFL_STREAM_RUNTIME_H_
+#define ICEWAFL_STREAM_RUNTIME_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stream/channel.h"
+#include "stream/operator.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+#include "util/result.h"
+
+namespace icewafl {
+
+/// \brief Tuning knobs of the pipelined runtime.
+struct RuntimeOptions {
+  /// Number of concurrent operator-chain workers (>= 1). Tuples are
+  /// partitioned round-robin (tuple i -> worker i % parallelism), the
+  /// same partitioning the legacy materializing executor used.
+  int parallelism = 1;
+
+  /// Tuples per batch handed between stages. Batching amortizes channel
+  /// locking and per-operator virtual dispatch.
+  size_t batch_size = 256;
+
+  /// Batches each inter-stage channel may buffer before `Push` blocks.
+  /// Peak tuple buffering of a run is O(channel_capacity * batch_size *
+  /// parallelism) regardless of stream length.
+  size_t channel_capacity = 4;
+};
+
+/// \brief Per-stage traffic counters of one runtime execution.
+struct StageStats {
+  std::string stage;          ///< "source", "worker<i>", or "sink".
+  uint64_t tuples_in = 0;     ///< Tuples entering the stage.
+  uint64_t tuples_out = 0;    ///< Tuples leaving the stage.
+  uint64_t batches = 0;       ///< Batches handled.
+  uint64_t blocked_pushes = 0;  ///< Pushes that hit backpressure.
+  uint64_t blocked_pops = 0;    ///< Pops that found the channel empty.
+};
+
+/// \brief Aggregate statistics of one `PipelineRuntime::Run`.
+struct RuntimeStats {
+  std::vector<StageStats> stages;
+  uint64_t source_tuples = 0;  ///< Tuples read from the source.
+  uint64_t sink_tuples = 0;    ///< Tuples written to the sink.
+  uint64_t batches = 0;        ///< Batches emitted by the source stage.
+  uint64_t blocked_pushes = 0;  ///< Total backpressure events.
+  /// Largest number of tuples queued in channels at any point — the
+  /// steady-state memory footprint of the pipeline (compare against the
+  /// stream length for the materializing executors).
+  uint64_t peak_buffered_tuples = 0;
+  double wall_seconds = 0.0;
+
+  /// \brief One-line summary for logs and bench harnesses.
+  std::string ToString() const;
+};
+
+/// \brief Pipelined streaming runtime: Source -> operator chains -> Sink
+/// as concurrently running stages connected by bounded channels.
+///
+/// Execution model (Flink-style task pipeline):
+///  - a *source stage* thread pulls tuples, partitions them round-robin
+///    over `parallelism` workers, and pushes fixed-size batches into
+///    per-worker bounded input channels (blocking push = backpressure;
+///    the source never runs ahead of the slowest worker by more than the
+///    channel capacity);
+///  - each *worker* thread owns a private operator-chain instance
+///    (operators are stateful and must not be shared) and drives batches
+///    through it via the batched operator path
+///    (`Operator::ProcessBatch`), pushing one output batch per input
+///    batch into its bounded output channel; after its input closes it
+///    flushes `Finish()` state front-to-back through the remaining chain;
+///  - the *sink stage* (caller thread) pops output batches in a
+///    deterministic worker rotation and moves the tuples into the sink.
+///
+/// Unlike the legacy materializing executors, no stage ever holds the
+/// whole stream: peak buffering is bounded by the channel capacities, so
+/// an unbounded source streams at steady-state memory. Output order is
+/// deterministic (a pure function of the input order and parallelism)
+/// but interleaves worker outputs; order-sensitive callers either run
+/// with parallelism 1 (exact input order) or re-sort downstream, as the
+/// pollution process does with its arrival-time merge.
+///
+/// Errors from any stage cancel the run: channels are poisoned so every
+/// blocked stage wakes, and the first non-OK status (source before
+/// workers before sink) is returned.
+class PipelineRuntime {
+ public:
+  using ChainFactory = std::function<OperatorChain(int worker_index)>;
+
+  explicit PipelineRuntime(RuntimeOptions options = {})
+      : options_(options) {}
+
+  /// \brief Runs the topology to completion (bounded source).
+  /// `chain_factory` is invoked once per worker on the worker thread.
+  Status Run(Source* source, const ChainFactory& chain_factory, Sink* sink);
+
+  /// \brief Convenience single-worker overload over non-owned operators;
+  /// preserves exact input order (parallelism is forced to 1).
+  Status Run(Source* source, const std::vector<Operator*>& ops, Sink* sink);
+
+  /// \brief Statistics of the most recent Run.
+  const RuntimeStats& stats() const { return stats_; }
+
+ private:
+  RuntimeOptions options_;
+  RuntimeStats stats_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_STREAM_RUNTIME_H_

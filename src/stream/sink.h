@@ -17,6 +17,13 @@ class Sink {
   /// \brief Consumes one tuple.
   virtual Status Write(const Tuple& tuple) = 0;
 
+  /// \brief Move-aware overload used by the executors' merge paths; the
+  /// default degrades to the copying Write. Materializing sinks override
+  /// it to take ownership without a per-tuple deep copy.
+  virtual Status Write(Tuple&& tuple) {
+    return Write(static_cast<const Tuple&>(tuple));
+  }
+
   /// \brief Called once after the last tuple.
   virtual Status Flush() { return Status::OK(); }
 };
@@ -24,8 +31,15 @@ class Sink {
 /// \brief Materializes the stream into an in-memory vector.
 class VectorSink : public Sink {
  public:
+  using Sink::Write;
+
   Status Write(const Tuple& tuple) override {
     tuples_.push_back(tuple);
+    return Status::OK();
+  }
+
+  Status Write(Tuple&& tuple) override {
+    tuples_.push_back(std::move(tuple));
     return Status::OK();
   }
 
@@ -40,6 +54,8 @@ class VectorSink : public Sink {
 /// measurements, Figure 8).
 class CountingSink : public Sink {
  public:
+  using Sink::Write;
+
   Status Write(const Tuple& tuple) override {
     ++count_;
     checksum_ ^= tuple.id() + 0x9E3779B97F4A7C15ULL + (checksum_ << 6);

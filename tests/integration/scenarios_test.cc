@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "core/config.h"
+#include "core/polluter_operator.h"
 #include "core/process.h"
 #include "data/wearable.h"
 #include "scenarios/scenarios.h"
@@ -195,6 +196,57 @@ TEST(ScenarioIntegrationTest, ScalePipelineActivationsRampAndHold) {
   }
   EXPECT_LT(early, late);
   EXPECT_GT(late, 20);  // held activations pollute runs of tuples
+}
+
+TEST(ScenarioIntegrationTest, ApplyPipelineStreamingMatchesOperatorPath) {
+  // The streaming helper at parallelism 1 must produce exactly what a
+  // PolluterOperator with the same seed produces tuple-by-tuple.
+  VectorSource source(Wearable().front().schema(), Wearable());
+  RuntimeStats stats;
+  auto streamed = scenarios::ApplyPipelineStreaming(
+      &source, scenarios::SoftwareUpdatePipeline(), /*seed=*/11,
+      /*parallelism=*/1, &stats);
+  ASSERT_TRUE(streamed.ok());
+  ASSERT_EQ(streamed.ValueOrDie().size(), Wearable().size());
+  EXPECT_EQ(stats.source_tuples, Wearable().size());
+  EXPECT_EQ(stats.sink_tuples, Wearable().size());
+  // The wearable stream (1059 tuples) fits entirely inside the default
+  // channel budget, so peak buffering can only be bounded by it here;
+  // the large-stream bound is asserted in runtime_test.cc.
+  EXPECT_LE(stats.peak_buffered_tuples, Wearable().size());
+
+  VectorSource source2(Wearable().front().schema(), Wearable());
+  PolluterOperator op(scenarios::SoftwareUpdatePipeline().Clone(), 11);
+  VectorSink reference;
+  Tuple t;
+  while (source2.Next(&t).ValueOrDie()) {
+    class DirectEmitter : public Emitter {
+     public:
+      explicit DirectEmitter(VectorSink* sink) : sink_(sink) {}
+      Status Emit(Tuple tuple) override {
+        return sink_->Write(std::move(tuple));
+      }
+
+     private:
+      VectorSink* sink_;
+    } emitter(&reference);
+    ASSERT_TRUE(op.Process(std::move(t), &emitter).ok());
+  }
+  ASSERT_EQ(reference.tuples().size(), streamed.ValueOrDie().size());
+  for (size_t i = 0; i < reference.tuples().size(); ++i) {
+    EXPECT_EQ(reference.tuples()[i].value(1).ToString("<null>"),
+              streamed.ValueOrDie()[i].value(1).ToString("<null>"))
+        << "mismatch at tuple " << i;
+  }
+}
+
+TEST(ScenarioIntegrationTest, ApplyPipelineStreamingParallelKeepsCount) {
+  VectorSource source(Wearable().front().schema(), Wearable());
+  auto streamed = scenarios::ApplyPipelineStreaming(
+      &source, scenarios::RandomTemporalErrorsPipeline(), /*seed=*/3,
+      /*parallelism=*/4);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed.ValueOrDie().size(), Wearable().size());
 }
 
 }  // namespace

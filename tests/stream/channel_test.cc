@@ -1,0 +1,167 @@
+#include "stream/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace icewafl {
+namespace {
+
+using IntChannel = BoundedChannel<int>;
+
+TEST(ChannelTest, FifoOrder) {
+  IntChannel ch(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.Push(i));
+  ch.Close();
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ch.Pop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ch.Pop(&v));
+}
+
+TEST(ChannelTest, CapacityIsClampedToOne) {
+  IntChannel ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+}
+
+TEST(ChannelTest, PushBlocksWhenFullUntilPop) {
+  IntChannel ch(2);
+  EXPECT_TRUE(ch.Push(1));
+  EXPECT_TRUE(ch.Push(2));
+  EXPECT_EQ(ch.size(), 2u);
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ch.Push(3));  // blocks: channel full
+    third_pushed.store(true);
+  });
+
+  // The producer must be parked on the full channel, not completing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(ch.size(), 2u);
+
+  int v = 0;
+  ASSERT_TRUE(ch.Pop(&v));
+  EXPECT_EQ(v, 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_GE(ch.stats().blocked_pushes, 1u);
+}
+
+TEST(ChannelTest, CloseWakesBlockedPushAndReturnsFalse) {
+  IntChannel ch(1);
+  EXPECT_TRUE(ch.Push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result.store(ch.Push(2) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(result.load(), -1);  // still blocked
+  ch.Close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);  // push rejected, item dropped
+  // The item queued before Close stays poppable.
+  int v = 0;
+  ASSERT_TRUE(ch.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(ch.Pop(&v));
+}
+
+TEST(ChannelTest, CloseWakesBlockedPopAndReturnsFalse) {
+  IntChannel ch(4);
+  std::atomic<int> result{-1};
+  std::thread consumer([&] {
+    int v = 0;
+    result.store(ch.Pop(&v) ? 1 : 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(result.load(), -1);  // still blocked on empty channel
+  ch.Close();
+  consumer.join();
+  EXPECT_EQ(result.load(), 0);
+  EXPECT_GE(ch.stats().blocked_pops, 1u);
+}
+
+TEST(ChannelTest, PoisonDiscardsQueuedItems) {
+  IntChannel ch(4);
+  EXPECT_TRUE(ch.Push(1));
+  EXPECT_TRUE(ch.Push(2));
+  ch.Poison();
+  int v = 0;
+  EXPECT_FALSE(ch.Pop(&v));  // queue discarded, not drained
+  EXPECT_FALSE(ch.Push(3));
+  EXPECT_TRUE(ch.closed());
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(ChannelTest, PoisonWakesBlockedProducer) {
+  IntChannel ch(1);
+  EXPECT_TRUE(ch.Push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result.store(ch.Push(2) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ch.Poison();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+}
+
+TEST(ChannelTest, StatsCountTraffic) {
+  IntChannel ch(8);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(ch.Push(i));
+  int v = 0;
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.Pop(&v));
+  ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.pushes, 6u);
+  EXPECT_EQ(stats.pops, 4u);
+  EXPECT_EQ(stats.peak_queued, 6u);
+  EXPECT_EQ(stats.blocked_pushes, 0u);
+  EXPECT_EQ(stats.blocked_pops, 0u);
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  IntChannel ch(3);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  int64_t sum = 0;
+  uint64_t count = 0;
+  std::thread consumer([&] {
+    int v = 0;
+    while (ch.Pop(&v)) {
+      sum += v;
+      ++count;
+    }
+  });
+  for (std::thread& t : producers) t.join();
+  ch.Close();
+  consumer.join();
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(count, static_cast<uint64_t>(n));
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+  EXPECT_EQ(ch.stats().pushes, static_cast<uint64_t>(n));
+  EXPECT_LE(ch.stats().peak_queued, 3u);
+}
+
+TEST(ChannelTest, BatchChannelMovesBatches) {
+  BatchChannel ch(2);
+  TupleVector batch;
+  batch.resize(3);
+  EXPECT_TRUE(ch.Push(std::move(batch)));
+  TupleVector out;
+  ASSERT_TRUE(ch.Pop(&out));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace icewafl

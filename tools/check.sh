@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sanitizer gate: builds the asan (Address+UndefinedBehavior) and tsan
+# (Thread) presets and runs the test suite under each. The tsan pass is
+# what keeps the pipelined runtime (stream/channel.h, stream/runtime.cc,
+# the parallel pollution process) data-race free.
+#
+# Usage: tools/check.sh [asan|tsan]      (default: both)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+presets=("${@:-asan}" )
+if [ "$#" -eq 0 ]; then
+  presets=(asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== ${preset}: configure ==="
+  cmake --preset "${preset}"
+  echo "=== ${preset}: build ==="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "=== ${preset}: test ==="
+  ctest --preset "${preset}" -j "${jobs}"
+  echo "=== ${preset}: OK ==="
+done
