@@ -1,6 +1,7 @@
 #ifndef ICEWAFL_CORE_CONFIG_H_
 #define ICEWAFL_CORE_CONFIG_H_
 
+#include <functional>
 #include <string>
 
 #include "core/pipeline.h"
@@ -32,20 +33,37 @@ namespace icewafl {
 /// Timestamps in conditions/profiles may be given either as epoch-second
 /// numbers or as "YYYY-MM-DD[ HH:MM:SS]" strings.
 
+/// Loader errors carry the JSON pointer (RFC 6901) of the offending
+/// fragment, e.g. "at /polluters/0/error: missing field 'stddev'". The
+/// optional `path` argument of the builders below is the pointer prefix
+/// of `json` within the enclosing document (empty for the root).
+
 /// \brief Builds a change pattern from its JSON description.
-Result<TimeProfilePtr> TimeProfileFromJson(const Json& json);
+Result<TimeProfilePtr> TimeProfileFromJson(const Json& json,
+                                           const std::string& path = "");
 
 /// \brief Builds an error function from its JSON description.
-Result<ErrorFunctionPtr> ErrorFunctionFromJson(const Json& json);
+Result<ErrorFunctionPtr> ErrorFunctionFromJson(const Json& json,
+                                               const std::string& path = "");
 
 /// \brief Builds a condition from its JSON description.
-Result<ConditionPtr> ConditionFromJson(const Json& json);
+Result<ConditionPtr> ConditionFromJson(const Json& json,
+                                       const std::string& path = "");
 
 /// \brief Builds a (possibly composite) polluter from its JSON description.
-Result<PolluterPtr> PolluterFromJson(const Json& json);
+Result<PolluterPtr> PolluterFromJson(const Json& json,
+                                     const std::string& path = "");
 
 /// \brief Builds a whole pipeline from {"name": ..., "polluters": [...]}.
 Result<PollutionPipeline> PipelineFromJson(const Json& json);
+
+/// \brief Opt-in pipeline-load hook, run by PipelineFromJson on the raw
+/// document before construction. A non-OK return aborts the load with
+/// that status. The static analyzer installs its AnalyzeOrDie gate here
+/// (analysis/analyzer.h: InstallAnalyzeOrDieHook); pass nullptr to
+/// uninstall. Not thread-safe; install once at startup.
+using PipelineLoadHook = std::function<Status(const Json& pipeline_json)>;
+void SetPipelineLoadHook(PipelineLoadHook hook);
 
 /// \brief Parses JSON text and builds the pipeline.
 Result<PollutionPipeline> PipelineFromConfigString(const std::string& text);

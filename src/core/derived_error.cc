@@ -25,6 +25,12 @@ std::string DerivedTemporalError::name() const {
   return base_->name() + "@" + profile_->name();
 }
 
+ErrorTraits DerivedTemporalError::Describe() const {
+  ErrorTraits traits = base_->Describe();
+  traits.uses_rng = true;
+  return traits;
+}
+
 Json DerivedTemporalError::ToJson() const {
   Json j = Json::MakeObject();
   j.Set("type", "derived");

@@ -27,6 +27,11 @@ class DerivedTemporalError : public ErrorFunction {
   Status Observe(const Tuple& tuple,
                  const std::vector<size_t>& attrs) override;
   std::string name() const override;
+
+  /// \brief Inherits the base error's traits; always reports rng use
+  /// because severity gating and intermediate profiles draw randomness.
+  ErrorTraits Describe() const override;
+
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 

@@ -12,6 +12,35 @@
 
 namespace icewafl {
 
+/// \brief Value domain an error function operates on; drives the static
+/// analyzer's schema-compatibility checks (analysis/analyzer.h).
+enum class ErrorDomain {
+  /// Works on values of any type (missing_value, set_constant, ...).
+  kAnyValue = 0,
+  /// Requires int64/double targets; Apply returns TypeError otherwise.
+  kNumeric,
+  /// Requires string targets; Apply returns TypeError otherwise.
+  kString,
+  /// Targets tuple metadata (arrival/event time), not attribute values.
+  kMetadata,
+};
+
+/// \brief Static self-description of an error function.
+///
+/// The introspection surface the static analyzer uses to reason about a
+/// configured error without executing it: which column types it is
+/// compatible with, whether it consumes randomness (determinism audits),
+/// and whether it perturbs temporal metadata (post-union sort checks).
+struct ErrorTraits {
+  ErrorDomain domain = ErrorDomain::kAnyValue;
+  /// Draws from the polluter's random stream when applied.
+  bool uses_rng = false;
+  /// Rewrites the timestamp attribute value (timestamp_shift/jitter).
+  bool mutates_timestamp = false;
+  /// Postpones the tuple's arrival time (delay).
+  bool delays_arrival = false;
+};
+
 /// \brief An error function e : dom(A) x 2^A x T -> dom(A) (Section 2.2).
 ///
 /// Applies a specific data error to the targeted attributes of a tuple.
@@ -41,6 +70,9 @@ class ErrorFunction {
 
   /// \brief Stable identifier used in configs and logs.
   virtual std::string name() const = 0;
+
+  /// \brief Static traits for the analyzer; see ErrorTraits.
+  virtual ErrorTraits Describe() const { return {}; }
 
   /// \brief Config/log representation (round-trips through config.h).
   virtual Json ToJson() const = 0;

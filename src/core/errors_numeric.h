@@ -18,6 +18,9 @@ class GaussianNoiseError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "gaussian_noise"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -36,6 +39,9 @@ class UniformNoiseError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "uniform_noise"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -51,6 +57,9 @@ class ScaleError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "scale"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -66,6 +75,9 @@ class OffsetError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "offset"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -82,6 +94,9 @@ class RoundError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "round"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -99,6 +114,9 @@ class UnitConversionError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "unit_conversion"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -116,6 +134,9 @@ class OutlierError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "outlier"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -134,6 +155,9 @@ class DigitSwapError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "digit_swap"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 };
@@ -146,6 +170,9 @@ class SignFlipError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "sign_flip"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kNumeric};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 };

@@ -22,6 +22,9 @@ class DelayError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "delay"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kMetadata, .delays_arrival = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -44,6 +47,9 @@ class FrozenValueError : public ErrorFunction {
   Status Observe(const Tuple& tuple,
                  const std::vector<size_t>& attrs) override;
   std::string name() const override { return "frozen_value"; }
+  ErrorTraits Describe() const override {
+    return {};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -66,6 +72,9 @@ class TimestampShiftError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "timestamp_shift"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kMetadata, .mutates_timestamp = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -82,6 +91,10 @@ class TimestampJitterError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "timestamp_jitter"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kMetadata, .uses_rng = true,
+            .mutates_timestamp = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 

@@ -16,6 +16,9 @@ class MissingValueError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "missing_value"; }
+  ErrorTraits Describe() const override {
+    return {};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 };
@@ -28,6 +31,9 @@ class SetConstantError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "set_constant"; }
+  ErrorTraits Describe() const override {
+    return {};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -45,6 +51,9 @@ class IncorrectCategoryError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "incorrect_category"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kString, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -60,6 +69,9 @@ class TypoError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "typo"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kString, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 };
@@ -72,6 +84,9 @@ class SwapAttributesError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "swap_attributes"; }
+  ErrorTraits Describe() const override {
+    return {};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 };
@@ -84,6 +99,9 @@ class CaseError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "case"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kString, .uses_rng = true};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 
@@ -99,6 +117,9 @@ class TruncateError : public ErrorFunction {
   Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
                PollutionContext* ctx) override;
   std::string name() const override { return "truncate"; }
+  ErrorTraits Describe() const override {
+    return {.domain = ErrorDomain::kString};
+  }
   Json ToJson() const override;
   ErrorFunctionPtr Clone() const override;
 

@@ -228,4 +228,50 @@ TimeProfilePtr StreamRampProfile::Clone() const {
   return std::make_unique<StreamRampProfile>(*this);
 }
 
+// ---------------------------------------------------------------------
+// Value-range enclosures (introspection for the static analyzer). Each
+// must be a superset of the values Evaluate() can produce.
+// ---------------------------------------------------------------------
+
+ProfileBounds ConstantProfile::Bounds() const { return {value_, value_}; }
+
+ProfileBounds AbruptProfile::Bounds() const {
+  return {std::min(before_, after_), std::max(before_, after_)};
+}
+
+ProfileBounds IncrementalProfile::Bounds() const {
+  return {std::min(from_, to_), std::max(from_, to_)};
+}
+
+ProfileBounds IntermediateProfile::Bounds() const {
+  return {std::min(before_, after_), std::max(before_, after_)};
+}
+
+ProfileBounds SinusoidalProfile::Bounds() const {
+  if (period_hours_ <= 0.0) {
+    const double v = Clamp01(offset_);
+    return {v, v};
+  }
+  const double amp = std::abs(amplitude_);
+  return {Clamp01(offset_ - amp), Clamp01(offset_ + amp)};
+}
+
+ProfileBounds ReoccurringProfile::Bounds() const {
+  if (period_hours_ <= 0.0 || duty_cycle_ >= 1.0) return {high_, high_};
+  if (duty_cycle_ <= 0.0) return {low_, low_};
+  return {std::min(low_, high_), std::max(low_, high_)};
+}
+
+ProfileBounds SpikeProfile::Bounds() const {
+  // Far from the center the bump decays towards (but never exactly to)
+  // zero, so the lower bound is 0.
+  return {0.0, peak_};
+}
+
+ProfileBounds StreamRampProfile::Bounds() const {
+  // Evaluate() is scale * frac with frac in [0, 1], clamped to [0, 1];
+  // for unbounded streams it degenerates to 0.
+  return {0.0, Clamp01(std::max(0.0, scale_))};
+}
+
 }  // namespace icewafl

@@ -9,6 +9,17 @@
 
 namespace icewafl {
 
+/// \brief Conservative enclosure of a profile's value range over all
+/// event times: every Evaluate() result lies in [lo, hi] (both within
+/// [0, 1]). The static analyzer uses it to decide whether a
+/// profile-driven activation probability can ever exceed zero (hi == 0
+/// means the polluter is unreachable) or ever drops below one (lo >= 1
+/// means a "probabilistic" condition always fires).
+struct ProfileBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
 /// \brief A change pattern: a function of event time into [0, 1].
 ///
 /// Profiles implement the change patterns of Figure 3 (abrupt,
@@ -26,6 +37,10 @@ class TimeProfile {
 
   virtual std::string name() const = 0;
 
+  /// \brief Conservative value-range enclosure; see ProfileBounds. The
+  /// default is the whole [0, 1] range.
+  virtual ProfileBounds Bounds() const { return {}; }
+
   /// \brief Config/log representation.
   virtual Json ToJson() const = 0;
 
@@ -40,6 +55,7 @@ class ConstantProfile : public TimeProfile {
   explicit ConstantProfile(double value);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "constant"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -53,6 +69,7 @@ class AbruptProfile : public TimeProfile {
   AbruptProfile(Timestamp change_time, double before = 0.0, double after = 1.0);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "abrupt"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -71,6 +88,7 @@ class IncrementalProfile : public TimeProfile {
                      double from = 0.0, double to = 1.0);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "incremental"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -90,6 +108,7 @@ class IntermediateProfile : public TimeProfile {
                       double before = 0.0, double after = 1.0);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "intermediate"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -112,6 +131,7 @@ class SinusoidalProfile : public TimeProfile {
                     double phase = 0.0);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "sinusoidal"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -131,6 +151,7 @@ class ReoccurringProfile : public TimeProfile {
                      double duty_cycle = 0.5);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "reoccurring"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -149,6 +170,7 @@ class SpikeProfile : public TimeProfile {
   SpikeProfile(Timestamp center, int64_t width_seconds, double peak = 1.0);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "spike"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 
@@ -168,6 +190,7 @@ class StreamRampProfile : public TimeProfile {
   explicit StreamRampProfile(double scale = 1.0);
   double Evaluate(const PollutionContext& ctx) const override;
   std::string name() const override { return "stream_ramp"; }
+  ProfileBounds Bounds() const override;
   Json ToJson() const override;
   TimeProfilePtr Clone() const override;
 

@@ -9,33 +9,48 @@ namespace dq {
 
 namespace {
 
+// Thread-local pointer prefix for the helpers below; set once per
+// ExpectationFromJson call so every field error carries its JSON pointer.
+thread_local std::string t_path;
+
+std::string At(const std::string& key) {
+  return " at " + (t_path.empty() ? std::string("/") : t_path) + "/" + key;
+}
+
+Result<Json> GetField(const Json& json, const std::string& key) {
+  if (!json.Has(key)) {
+    return Status::NotFound("missing field '" + key + "'" + At(key));
+  }
+  return json.Get(key);
+}
+
 Result<std::string> RequireString(const Json& json, const std::string& key) {
-  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, GetField(json, key));
   if (!field.is_string()) {
-    return Status::TypeError("field '" + key + "' must be a string");
+    return Status::TypeError("field" + At(key) + " must be a string");
   }
   return field.AsString();
 }
 
 Result<double> RequireDouble(const Json& json, const std::string& key) {
-  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, GetField(json, key));
   if (!field.is_number()) {
-    return Status::TypeError("field '" + key + "' must be a number");
+    return Status::TypeError("field" + At(key) + " must be a number");
   }
   return field.AsDouble();
 }
 
 Result<std::vector<std::string>> RequireStringArray(const Json& json,
                                                     const std::string& key) {
-  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, GetField(json, key));
   if (!field.is_array()) {
-    return Status::TypeError("field '" + key + "' must be an array");
+    return Status::TypeError("field" + At(key) + " must be an array");
   }
   std::vector<std::string> out;
   for (const Json& item : field.items()) {
     if (!item.is_string()) {
-      return Status::TypeError("field '" + key +
-                               "' must contain only strings");
+      return Status::TypeError("field" + At(key) +
+                               " must contain only strings");
     }
     out.push_back(item.AsString());
   }
@@ -44,9 +59,13 @@ Result<std::vector<std::string>> RequireStringArray(const Json& json,
 
 }  // namespace
 
-Result<ExpectationPtr> ExpectationFromJson(const Json& json) {
+Result<ExpectationPtr> ExpectationFromJson(const Json& json,
+                                           const std::string& path) {
+  t_path = path;
   if (!json.is_object()) {
-    return Status::ParseError("expectation description must be an object");
+    return Status::ParseError("expectation description at " +
+                              (path.empty() ? std::string("/") : path) +
+                              " must be an object");
   }
   ICEWAFL_ASSIGN_OR_RETURN(std::string type, RequireString(json, "type"));
   if (type == "expect_column_values_to_not_be_null") {
@@ -156,7 +175,8 @@ Result<ExpectationPtr> ExpectationFromJson(const Json& json) {
     return ExpectationPtr(std::make_unique<ExpectColumnValuesToBeOfType>(
         std::move(column), value_type));
   }
-  return Status::ParseError("unknown expectation type: '" + type + "'");
+  return Status::ParseError("unknown expectation type '" + type + "' at " +
+                            (path.empty() ? std::string("/") : path));
 }
 
 Result<ExpectationSuite> SuiteFromJson(const Json& json) {
@@ -164,13 +184,18 @@ Result<ExpectationSuite> SuiteFromJson(const Json& json) {
     return Status::ParseError("suite description must be a JSON object");
   }
   ExpectationSuite suite(json.GetString("name", "suite"));
+  if (!json.Has("expectations")) {
+    return Status::NotFound("missing field 'expectations' at /");
+  }
   ICEWAFL_ASSIGN_OR_RETURN(Json expectations, json.Get("expectations"));
   if (!expectations.is_array()) {
-    return Status::TypeError("'expectations' must be an array");
+    return Status::TypeError("field at /expectations must be an array");
   }
-  for (const Json& e : expectations.items()) {
-    ICEWAFL_ASSIGN_OR_RETURN(ExpectationPtr expectation,
-                             ExpectationFromJson(e));
+  for (size_t i = 0; i < expectations.items().size(); ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(
+        ExpectationPtr expectation,
+        ExpectationFromJson(expectations.items()[i],
+                            "/expectations/" + std::to_string(i)));
     suite.Add(std::move(expectation));
   }
   return suite;

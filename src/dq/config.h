@@ -24,8 +24,14 @@ namespace dq {
 ///  ]}
 /// \endcode
 
+/// Loader errors carry the JSON pointer (RFC 6901) of the offending
+/// fragment, e.g. "at /expectations/2: missing field 'column'". The
+/// optional `path` argument is the pointer prefix of `json` within the
+/// enclosing document (empty for the root).
+
 /// \brief Builds one expectation from its JSON description.
-Result<ExpectationPtr> ExpectationFromJson(const Json& json);
+Result<ExpectationPtr> ExpectationFromJson(const Json& json,
+                                           const std::string& path = "");
 
 /// \brief Builds a whole suite from {"name": ..., "expectations": [...]}.
 Result<ExpectationSuite> SuiteFromJson(const Json& json);

@@ -1,13 +1,16 @@
 #include "scenarios/scenarios.h"
 
 #include <cmath>
+#include <optional>
 
+#include "analysis/analyzer.h"
 #include "core/composite_polluter.h"
 #include "core/derived_error.h"
 #include "core/polluter_operator.h"
 #include "core/errors_numeric.h"
 #include "core/errors_temporal.h"
 #include "core/errors_value.h"
+#include "data/airquality.h"
 #include "data/wearable.h"
 
 namespace icewafl {
@@ -176,6 +179,49 @@ Result<TupleVector> ApplyPipelineStreaming(Source* source,
       &sink));
   if (stats != nullptr) *stats = runtime.stats();
   return sink.TakeTuples();
+}
+
+Status AnalyzeScenariosOrDie() {
+  struct Artifact {
+    const char* name;
+    PollutionPipeline pipeline;
+    std::optional<dq::ExpectationSuite> suite;
+    SchemaPtr schema;
+  };
+  const SchemaPtr wearable = data::WearableSchema();
+  const SchemaPtr airquality = data::AirQualitySchema();
+  Artifact artifacts[] = {
+      {"random_temporal", RandomTemporalErrorsPipeline(),
+       RandomTemporalErrorsSuite(), wearable},
+      {"software_update", SoftwareUpdatePipeline(), SoftwareUpdateSuite(),
+       wearable},
+      {"network_delay", NetworkDelayPipeline(), NetworkDelaySuite(),
+       wearable},
+      {"temporal_noise",
+       TemporalNoisePipeline(AirQualityNumericAttributes(), 0.5),
+       std::nullopt, airquality},
+      {"temporal_scale",
+       TemporalScalePipeline(AirQualityNumericAttributes(), 10.0, 0.1, 24),
+       std::nullopt, airquality},
+  };
+  for (const Artifact& artifact : artifacts) {
+    analysis::AnalyzeOptions options;
+    options.schema = artifact.schema;
+    Json suite_json;
+    const Json* suite = nullptr;
+    if (artifact.suite.has_value()) {
+      suite_json = artifact.suite->ToJson();
+      suite = &suite_json;
+    }
+    Diagnostics diags = analysis::AnalyzeArtifacts(
+        artifact.pipeline.ToJson(), suite, options);
+    if (diags.HasErrors()) {
+      return Status::InvalidArgument(
+          std::string("scenario '") + artifact.name +
+          "' rejected by static analysis:\n" + diags.ToReport());
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace scenarios

@@ -104,6 +104,18 @@ Result<TupleVector> ApplyPipelineStreaming(Source* source,
                                            uint64_t seed, int parallelism = 1,
                                            RuntimeStats* stats = nullptr);
 
+// ---------------------------------------------------------------------
+// Static analysis gate
+// ---------------------------------------------------------------------
+
+/// \brief Lints every built-in scenario pipeline (round-tripped through
+/// ToJson) against its dataset schema, cross-checked with its matching
+/// expectation suite where one exists. OK when no pipeline has
+/// error-severity findings; otherwise InvalidArgument carrying the
+/// offending pipeline's report. An opt-in pre-flight for harnesses:
+/// call it once before running experiments.
+Status AnalyzeScenariosOrDie();
+
 }  // namespace scenarios
 }  // namespace icewafl
 

@@ -86,11 +86,16 @@ class Status {
 
 }  // namespace icewafl
 
-/// Propagates a non-OK Status to the caller.
-#define ICEWAFL_RETURN_NOT_OK(expr)                 \
-  do {                                              \
-    ::icewafl::Status _st = (expr);                 \
-    if (!_st.ok()) return _st;                      \
+/// Propagates a non-OK Status to the caller. The status variable gets a
+/// line-unique name so nested/adjacent uses do not shadow each other.
+#define ICEWAFL_STATUS_CONCAT_IMPL_(a, b) a##b
+#define ICEWAFL_STATUS_CONCAT_(a, b) ICEWAFL_STATUS_CONCAT_IMPL_(a, b)
+#define ICEWAFL_RETURN_NOT_OK(expr) \
+  ICEWAFL_RETURN_NOT_OK_IMPL_(ICEWAFL_STATUS_CONCAT_(_st_, __LINE__), expr)
+#define ICEWAFL_RETURN_NOT_OK_IMPL_(st, expr) \
+  do {                                        \
+    ::icewafl::Status st = (expr);            \
+    if (!st.ok()) return st;                  \
   } while (0)
 
 #endif  // ICEWAFL_UTIL_STATUS_H_

@@ -108,7 +108,9 @@ TEST_P(ExpectationSweep, CountsAreConsistent) {
   // aggregate expectations record none.
   EXPECT_TRUE(r.failures.size() == r.unexpected || r.failures.empty());
   // success <=> no unexpected elements (aggregates set unexpected too).
-  if (r.success) EXPECT_EQ(r.unexpected, 0u);
+  if (r.success) {
+    EXPECT_EQ(r.unexpected, 0u);
+  }
 }
 
 TEST_P(ExpectationSweep, JsonRoundTripPreservesBehaviour) {

@@ -60,9 +60,13 @@ TEST(ProfileTest, DistinctCapStopsTracking) {
   SchemaPtr schema = TestSchema();
   TupleVector tuples;
   for (int i = 0; i < 100; ++i) {
-    tuples.emplace_back(
-        schema, std::vector<Value>{Value(int64_t{i}), Value(1.0),
-                                   Value("v" + std::to_string(i))});
+    // Built via append to dodge a GCC 12 -Wrestrict false positive
+    // (PR105651) on operator+ with a short string literal.
+    std::string label = "v";
+    label += std::to_string(i);
+    tuples.emplace_back(schema,
+                        std::vector<Value>{Value(int64_t{i}), Value(1.0),
+                                           Value(std::move(label))});
   }
   ProfileOptions options;
   options.distinct_cap = 10;

@@ -1,0 +1,145 @@
+// Lint soundness property: any pipeline the static analyzer passes
+// (error-free) against a schema must also load and run end-to-end over
+// a synthetic stream without a Status error. Pipelines are assembled
+// from a grab-bag of valid and broken fragments, so the sweep exercises
+// both the accept and the reject path.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/config.h"
+#include "core/process.h"
+#include "data/wearable.h"
+#include "stream/source.h"
+
+namespace icewafl {
+namespace {
+
+const std::vector<std::string>& AttributeFragments() {
+  static const auto* fragments = new std::vector<std::string>{
+      R"(["BPM"])",
+      R"(["Distance"])",
+      R"(["BPM", "Distance"])",
+      R"(["Nope"])",          // IW101
+      R"(["Time"])",          // IW105 (warning only: must still run)
+      R"([])",
+  };
+  return *fragments;
+}
+
+const std::vector<std::string>& ErrorFragments() {
+  static const auto* fragments = new std::vector<std::string>{
+      R"({"type": "gaussian_noise", "stddev": 2.5})",
+      R"({"type": "uniform_noise", "lo": -1, "hi": 1})",
+      R"({"type": "scale", "factor": 100})",
+      R"({"type": "missing_value"})",
+      R"({"type": "set_constant", "value": 0})",
+      R"({"type": "typo"})",              // IW102 on numeric targets
+      R"({"type": "swap_attributes"})",   // IW106 unless exactly 2 attrs
+      R"({"type": "delay", "delay_seconds": 60})",
+      R"({"type": "delay", "delay_seconds": -60})",  // IW303
+      R"({"type": "timestamp_shift", "shift_seconds": 120})",
+      R"({"type": "derived",
+          "base": {"type": "gaussian_noise", "stddev": 1},
+          "profile": {"type": "stream_ramp", "scale": 1}})",
+      R"({"type": "mystery_error"})",     // IW100
+  };
+  return *fragments;
+}
+
+const std::vector<std::string>& ConditionFragments() {
+  static const auto* fragments = new std::vector<std::string>{
+      R"({"type": "always"})",
+      R"({"type": "never"})",
+      R"({"type": "random", "p": 0.3})",
+      R"({"type": "random", "p": 1.5})",  // IW203
+      R"({"type": "random", "p": 0.0})",  // IW201
+      R"({"type": "value", "attribute": "BPM", "op": ">", "operand": 100})",
+      R"({"type": "value", "attribute": "Ghost", "op": ">", "operand": 1})",
+      R"({"type": "time_window", "start": 1000, "end": 7000})",
+      R"({"type": "time_window", "start": 7000, "end": 1000})",  // IW204
+      R"({"type": "daily_window", "start_minute": 0, "end_minute": 720})",
+      R"({"type": "daily_window", "start_minute": 0,
+          "end_minute": 2000})",  // IW205
+      R"({"type": "and", "children": [
+            {"type": "random", "p": 0.5},
+            {"type": "value", "attribute": "BPM", "op": "<",
+             "operand": 200}]})",
+      R"({"type": "hold", "hold_seconds": 300,
+          "inner": {"type": "random", "p": 0.1}})",
+  };
+  return *fragments;
+}
+
+TupleVector SyntheticStream(const SchemaPtr& schema) {
+  TupleVector tuples;
+  for (int i = 0; i < 100; ++i) {
+    tuples.emplace_back(
+        schema, std::vector<Value>{Value(int64_t{1000 + 60 * i}),
+                                   Value(60.0 + i),          // BPM
+                                   Value(int64_t{10 * i}),   // Steps
+                                   Value(0.01 * i),          // Distance
+                                   Value(1.5 * i),           // CaloriesBurned
+                                   Value(0.5 * i)});         // ActiveMinutes
+  }
+  return tuples;
+}
+
+TEST(LintSoundnessTest, LintCleanPipelinesRunWithoutStatusErrors) {
+  const SchemaPtr schema = data::WearableSchema();
+  analysis::AnalyzeOptions options;
+  options.schema = schema;
+  options.stream_start = 1000;
+  options.stream_end = 1000 + 60 * 100;
+
+  size_t clean = 0, rejected = 0;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    std::mt19937_64 rng(seed);
+    const auto pick = [&rng](const std::vector<std::string>& pool) {
+      return pool[rng() % pool.size()];
+    };
+    std::string polluters;
+    const size_t count = 1 + rng() % 3;
+    for (size_t i = 0; i < count; ++i) {
+      if (i > 0) polluters += ",";
+      polluters += R"({"type": "standard", "label": "p)" +
+                   std::to_string(i) + R"(", "attributes": )" +
+                   pick(AttributeFragments()) + R"(, "error": )" +
+                   pick(ErrorFragments()) + R"(, "condition": )" +
+                   pick(ConditionFragments()) + "}";
+    }
+    const std::string text =
+        R"({"name": "generated", "polluters": [)" + polluters + "]}";
+    auto json = Json::Parse(text);
+    ASSERT_TRUE(json.ok()) << text;
+
+    Diagnostics diags =
+        analysis::AnalyzePipeline(json.ValueOrDie(), options);
+    if (diags.HasErrors()) {
+      ++rejected;
+      continue;
+    }
+    ++clean;
+    auto pipeline = PipelineFromJson(json.ValueOrDie());
+    ASSERT_TRUE(pipeline.ok())
+        << "lint-clean pipeline failed to load: "
+        << pipeline.status().ToString() << "\n" << text;
+    VectorSource source(schema, SyntheticStream(schema));
+    auto result =
+        PollutionProcess::Pollute(&source, std::move(pipeline).ValueOrDie(),
+                                  /*seed=*/seed);
+    ASSERT_TRUE(result.ok())
+        << "lint-clean pipeline failed at runtime: "
+        << result.status().ToString() << "\n" << text;
+    EXPECT_EQ(result.ValueOrDie().polluted.size(), 100u);
+  }
+  // The sweep must exercise both branches to mean anything.
+  EXPECT_GT(clean, 20u);
+  EXPECT_GT(rejected, 20u);
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -1,0 +1,17 @@
+// The scenario pre-flight gate: every built-in scenario artifact must
+// pass static analysis, so AnalyzeScenariosOrDie succeeds and can be
+// used as an opt-in startup check.
+#include <gtest/gtest.h>
+
+#include "scenarios/scenarios.h"
+
+namespace icewafl::scenarios {
+namespace {
+
+TEST(ScenarioLintTest, BuiltInScenariosPassStaticAnalysis) {
+  const Status status = AnalyzeScenariosOrDie();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace icewafl::scenarios

@@ -1,0 +1,66 @@
+#include "util/diag.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace {
+
+TEST(DiagTest, ToStringFormatsSeverityCodePathMessage) {
+  Diagnostic d{DiagSeverity::kError, "IW101", "/polluters/0",
+               "unknown attribute 'X'", ""};
+  EXPECT_EQ(d.ToString(), "error IW101 at /polluters/0: unknown attribute 'X'");
+  d.hint = "check the schema";
+  EXPECT_EQ(d.ToString(),
+            "error IW101 at /polluters/0: unknown attribute 'X' "
+            "(hint: check the schema)");
+}
+
+TEST(DiagTest, CountsBySeverity) {
+  Diagnostics diags;
+  diags.AddError("IW101", "/a", "e1");
+  diags.AddError("IW102", "/b", "e2");
+  diags.AddWarning("IW401", "/c", "w1");
+  diags.AddNote("IW999", "/d", "n1");
+  EXPECT_EQ(diags.size(), 4u);
+  EXPECT_EQ(diags.ErrorCount(), 2u);
+  EXPECT_EQ(diags.WarningCount(), 1u);
+  EXPECT_TRUE(diags.HasErrors());
+  EXPECT_TRUE(diags.HasCode("IW401"));
+  EXPECT_FALSE(diags.HasCode("IW500"));
+}
+
+TEST(DiagTest, MergeAppendsInOrder) {
+  Diagnostics a;
+  a.AddError("IW101", "/a", "first");
+  Diagnostics b;
+  b.AddWarning("IW401", "/b", "second");
+  a.Merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.items()[0].code, "IW101");
+  EXPECT_EQ(a.items()[1].code, "IW401");
+}
+
+TEST(DiagTest, ReportEndsWithSummaryLine) {
+  Diagnostics diags;
+  EXPECT_EQ(diags.ToReport(), "0 errors, 0 warnings\n");
+  diags.AddError("IW101", "/a", "boom");
+  const std::string report = diags.ToReport();
+  EXPECT_NE(report.find("error IW101 at /a: boom"), std::string::npos);
+  EXPECT_NE(report.find("1 error, 0 warnings"), std::string::npos);
+}
+
+TEST(DiagTest, ToJsonCarriesCounts) {
+  Diagnostics diags;
+  diags.AddError("IW101", "/a", "boom", "fix it");
+  Json json = diags.ToJson();
+  EXPECT_EQ(json.GetInt("errors", -1), 1);
+  EXPECT_EQ(json.GetInt("warnings", -1), 0);
+  const Json& items = json.fields().at("diagnostics");
+  ASSERT_EQ(items.items().size(), 1u);
+  EXPECT_EQ(items.items()[0].GetString("code", ""), "IW101");
+  EXPECT_EQ(items.items()[0].GetString("severity", ""), "error");
+  EXPECT_EQ(items.items()[0].GetString("hint", ""), "fix it");
+}
+
+}  // namespace
+}  // namespace icewafl

@@ -12,9 +12,13 @@
 //             [--suggest-suite out.json]  (column stats; optionally
 //                                          writes a suggested suite)
 //   schema    --dataset wearable|airquality        (prints schema JSON)
+//   lint      PIPELINE.json [--schema s.json] [--suite suite.json]
+//             [--stream-start T] [--stream-end T] [--json]
+//             (static analysis; no stream is executed)
 //
 // Exit code: 0 on success (for `validate`: also when all expectations
-// pass), 1 on failure, 2 on usage errors.
+// pass; for `lint`: no error-severity findings), 1 on failure, 2 on
+// usage errors.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +26,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/analyzer.h"
 #include "core/config.h"
 #include "core/process.h"
 #include "data/airquality.h"
@@ -48,16 +53,27 @@ int Usage() {
       "              [--seed N] [--hours N] [--station NAME]\n"
       "  icewafl_cli profile --schema S.json --input IN.csv\n"
       "              [--suggest-suite]\n"
-      "  icewafl_cli schema --dataset wearable|airquality\n");
+      "  icewafl_cli schema --dataset wearable|airquality\n"
+      "  icewafl_cli lint PIPELINE.json [--schema S.json] [--suite Q.json]\n"
+      "              [--stream-start T] [--stream-end T] [--json]\n");
   return 2;
 }
 
-/// Parses --key value pairs after the subcommand.
-bool ParseFlags(int argc, char** argv, std::map<std::string, std::string>* out) {
-  for (int i = 2; i < argc; i += 2) {
+/// Parses --key value pairs starting at argv[first]. `--json` is the one
+/// boolean flag and takes no value.
+bool ParseFlags(int argc, char** argv, int first,
+                std::map<std::string, std::string>* out) {
+  for (int i = first; i < argc; ++i) {
     const char* key = argv[i];
-    if (std::strncmp(key, "--", 2) != 0 || i + 1 >= argc) return false;
-    (*out)[key + 2] = argv[i + 1];
+    if (std::strncmp(key, "--", 2) != 0) return false;
+    // insert_or_assign with explicit std::string values dodges a GCC 12
+    // -Wrestrict false positive (PR105651) on operator[] + char* assign.
+    if (std::strcmp(key, "--json") == 0) {
+      out->insert_or_assign(std::string("json"), std::string("1"));
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    out->insert_or_assign(std::string(key + 2), std::string(argv[++i]));
   }
   return true;
 }
@@ -229,13 +245,75 @@ int RunSchema(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+Result<Json> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Json::Parse(buf.str());
+}
+
+int RunLint(const std::string& config_path,
+            const std::map<std::string, std::string>& flags) {
+  auto pipeline_json = ReadJsonFile(config_path);
+  if (!pipeline_json.ok()) return Fail(pipeline_json.status());
+
+  analysis::AnalyzeOptions options;
+  if (flags.count("schema")) {
+    auto schema = SchemaFromJsonFile(flags.at("schema"));
+    if (!schema.ok()) return Fail(schema.status());
+    options.schema = std::move(schema).ValueOrDie();
+  }
+  for (const char* bound : {"stream-start", "stream-end"}) {
+    if (!flags.count(bound)) continue;
+    const std::string& text = flags.at(bound);
+    auto parsed = ParseTimestamp(text);
+    Timestamp value;
+    if (parsed.ok()) {
+      value = parsed.ValueOrDie();
+    } else {
+      char* end = nullptr;
+      value = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return Fail(parsed.status());
+    }
+    if (std::strcmp(bound, "stream-start") == 0) {
+      options.stream_start = value;
+    } else {
+      options.stream_end = value;
+    }
+  }
+
+  Diagnostics diags;
+  if (flags.count("suite")) {
+    auto suite_json = ReadJsonFile(flags.at("suite"));
+    if (!suite_json.ok()) return Fail(suite_json.status());
+    diags = analysis::AnalyzeArtifacts(pipeline_json.ValueOrDie(),
+                                       &suite_json.ValueOrDie(), options);
+  } else {
+    diags = analysis::AnalyzePipeline(pipeline_json.ValueOrDie(), options);
+  }
+
+  if (flags.count("json")) {
+    std::printf("%s\n", diags.ToJson().DumpPretty().c_str());
+  } else {
+    std::printf("%s", diags.ToReport().c_str());
+  }
+  return diags.HasErrors() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  std::map<std::string, std::string> flags;
-  if (!ParseFlags(argc, argv, &flags)) return Usage();
   const std::string command = argv[1];
+  std::map<std::string, std::string> flags;
+  if (command == "lint") {
+    // lint takes the pipeline as a positional argument.
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return Usage();
+    if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
+    return RunLint(argv[2], flags);
+  }
+  if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
   if (command == "pollute") return RunPollute(flags);
   if (command == "validate") return RunValidate(flags);
   if (command == "generate") return RunGenerate(flags);
