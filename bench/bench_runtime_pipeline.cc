@@ -20,6 +20,7 @@
 
 #include "core/errors_numeric.h"
 #include "core/polluter_operator.h"
+#include "obs/metrics.h"
 #include "stream/executor.h"
 #include "stream/runtime.h"
 #include "stream/sink.h"
@@ -69,11 +70,14 @@ PollutionPipeline MakePipeline() {
   return pipeline;
 }
 
-ParallelExecutor::ChainFactory MakeFactory() {
-  return [](int worker) {
+ParallelExecutor::ChainFactory MakeFactory(
+    obs::MetricRegistry* metrics = nullptr) {
+  return [metrics](int worker) {
     OperatorChain chain;
-    chain.push_back(std::make_unique<PolluterOperator>(
-        MakePipeline(), kSeed + static_cast<uint64_t>(worker)));
+    auto polluter = std::make_unique<PolluterOperator>(
+        MakePipeline(), kSeed + static_cast<uint64_t>(worker));
+    polluter->BindMetrics(metrics);
+    chain.push_back(std::move(polluter));
     return chain;
   };
 }
@@ -87,6 +91,8 @@ struct RunResult {
 };
 
 double Mtps(const RunResult& r) {
+  // Sub-tick runs would divide by zero; report 0 rather than inf/nan.
+  if (r.seconds <= 0.0) return 0.0;
   return static_cast<double>(r.tuples) / r.seconds / 1e6;
 }
 
@@ -113,7 +119,8 @@ RunResult RunMaterializing(int parallelism) {
   return r;
 }
 
-RunResult RunPipelined(int parallelism) {
+RunResult RunPipelined(int parallelism,
+                       obs::MetricRegistry* metrics = nullptr) {
   SchemaPtr schema = WearableSchema();
   GeneratorSource source(schema, [&](uint64_t i) -> std::optional<Tuple> {
     if (i >= kTuples) return std::nullopt;
@@ -122,8 +129,9 @@ RunResult RunPipelined(int parallelism) {
   CountingSink sink;
   RuntimeOptions options;
   options.parallelism = parallelism;
+  options.metrics = metrics;
   PipelineRuntime runtime(options);
-  auto factory = MakeFactory();
+  auto factory = MakeFactory(metrics);
   const auto start = std::chrono::steady_clock::now();
   Status st = runtime.Run(&source, factory, &sink);
   const auto end = std::chrono::steady_clock::now();
@@ -175,5 +183,43 @@ int main() {
 
   std::printf("\npipelined P=4 speedup over materializing P=4: %.2fx %s\n",
               speedup_p4, speedup_p4 >= 1.5 ? "(>= 1.5x target)" : "");
+
+  // Latency distribution + instrumentation overhead. Repeated runs feed
+  // an obs::Histogram so the report shows tail latency, not just one
+  // sample; the instrumented column carries a live MetricRegistry
+  // through the runtime and every polluter (the overhead contract in
+  // DESIGN.md section 7 is <5% on this comparison).
+  constexpr int kReps = 7;
+  const std::vector<double> bounds = obs::ExponentialBounds(0.001, 16.0, 2.0);
+  obs::Histogram plain(bounds);
+  obs::Histogram instrumented(bounds);
+  for (int i = 0; i < kReps; ++i) {
+    plain.Observe(RunPipelined(4).seconds);
+    obs::MetricRegistry registry;
+    instrumented.Observe(RunPipelined(4, &registry).seconds);
+  }
+  std::printf("\npipelined P=4 wall seconds over %d reps:\n", kReps);
+  std::printf("%-24s %10s %10s %10s %10s\n", "variant", "p50", "p95", "p99",
+              "mean");
+  for (const auto& [label, hist] :
+       {std::pair<const char*, const obs::Histogram*>{"uninstrumented",
+                                                      &plain},
+        std::pair<const char*, const obs::Histogram*>{"instrumented",
+                                                      &instrumented}}) {
+    const double mean =
+        hist->count() > 0 ? hist->sum() / static_cast<double>(hist->count())
+                          : 0.0;
+    std::printf("%-24s %10.4f %10.4f %10.4f %10.4f\n", label,
+                hist->Quantile(0.5), hist->Quantile(0.95),
+                hist->Quantile(0.99), mean);
+  }
+  const double plain_mean =
+      plain.sum() / static_cast<double>(plain.count());
+  const double inst_mean =
+      instrumented.sum() / static_cast<double>(instrumented.count());
+  const double overhead =
+      plain_mean > 0.0 ? (inst_mean / plain_mean - 1.0) * 100.0 : 0.0;
+  std::printf("instrumentation overhead on mean wall time: %+.1f%%\n",
+              overhead);
   return 0;
 }

@@ -5,9 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "core/errors_numeric.h"
 #include "core/keyed_polluter_operator.h"
 #include "core/polluter_operator.h"
+#include "obs/metrics.h"
 #include "stream/executor.h"
 #include "stream/runtime.h"
 #include "core/process.h"
@@ -131,12 +134,16 @@ void BM_RuntimeParallelism(benchmark::State& state) {
   const TupleVector& stream = Stream();
   SchemaPtr schema = stream.front().schema();
   RuntimeStats last_stats;
+  // Per-iteration wall times land in a histogram so the counters expose
+  // tail latency (p50/p95/p99) instead of only google-benchmark's mean.
+  obs::Histogram wall_hist(obs::ExponentialBounds(1e-4, 64.0, 2.0));
   for (auto _ : state) {
     VectorSource source(schema, stream);
     CountingSink sink;
     RuntimeOptions options;
     options.parallelism = parallelism;
     PipelineRuntime runtime(options);
+    const auto start = std::chrono::steady_clock::now();
     Status st = runtime.Run(
         &source,
         [](int worker) {
@@ -146,9 +153,11 @@ void BM_RuntimeParallelism(benchmark::State& state) {
           return chain;
         },
         &sink);
+    const auto end = std::chrono::steady_clock::now();
     if (!st.ok()) state.SkipWithError(st.ToString().c_str());
     benchmark::DoNotOptimize(sink.checksum());
     last_stats = runtime.stats();
+    wall_hist.Observe(std::chrono::duration<double>(end - start).count());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(stream.size()));
@@ -158,8 +167,13 @@ void BM_RuntimeParallelism(benchmark::State& state) {
   state.counters["batches"] = static_cast<double>(last_stats.batches);
   state.counters["blocked_pushes"] =
       static_cast<double>(last_stats.blocked_pushes);
+  state.counters["blocked_pops"] =
+      static_cast<double>(last_stats.blocked_pops);
   state.counters["peak_buffered"] =
       static_cast<double>(last_stats.peak_buffered_tuples);
+  state.counters["wall_p50"] = wall_hist.Quantile(0.5);
+  state.counters["wall_p95"] = wall_hist.Quantile(0.95);
+  state.counters["wall_p99"] = wall_hist.Quantile(0.99);
 }
 BENCHMARK(BM_RuntimeParallelism)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 

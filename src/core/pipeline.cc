@@ -1,6 +1,57 @@
 #include "core/pipeline.h"
 
+#include "core/composite_polluter.h"
+
 namespace icewafl {
+
+namespace {
+
+const char* DomainName(ErrorDomain domain) {
+  switch (domain) {
+    case ErrorDomain::kAnyValue:
+      return "any";
+    case ErrorDomain::kNumeric:
+      return "numeric";
+    case ErrorDomain::kString:
+      return "string";
+    case ErrorDomain::kMetadata:
+      return "metadata";
+  }
+  return "any";
+}
+
+/// Recursive activation-count publisher; composites contribute their
+/// gate-fire count and recurse into their children.
+void PublishPolluter(const Polluter& polluter, const std::string& pipeline,
+                     obs::MetricRegistry* registry) {
+  std::string error = "composite";
+  std::string domain = "any";
+  if (const auto* standard = dynamic_cast<const StandardPolluter*>(&polluter);
+      standard != nullptr) {
+    error = standard->error().name();
+    domain = DomainName(standard->error().Describe().domain);
+  } else if (dynamic_cast<const SequentialPolluter*>(&polluter) != nullptr) {
+    error = "composite_sequential";
+  } else if (dynamic_cast<const ExclusivePolluter*>(&polluter) != nullptr) {
+    error = "composite_exclusive";
+  }
+  obs::Counter* counter = registry->GetCounter(
+      "icewafl_polluter_applied_total",
+      {{"pipeline", pipeline},
+       {"polluter", polluter.label()},
+       {"error", error},
+       {"domain", domain}},
+      "Activations per polluter (composite gates count gate fires)");
+  if (counter != nullptr) counter->Increment(polluter.applied_count());
+  if (const auto* composite = dynamic_cast<const CompositePolluter*>(&polluter);
+      composite != nullptr) {
+    for (const PolluterPtr& child : composite->children()) {
+      PublishPolluter(*child, pipeline, registry);
+    }
+  }
+}
+
+}  // namespace
 
 void PollutionPipeline::Seed(uint64_t seed) {
   Rng master(seed);
@@ -25,6 +76,19 @@ std::map<std::string, uint64_t> PollutionPipeline::AppliedCounts() const {
     counts[p->label()] += p->applied_count();
   }
   return counts;
+}
+
+uint64_t PollutionPipeline::TotalAppliedCount() const {
+  uint64_t total = 0;
+  for (const PolluterPtr& p : polluters_) total += p->applied_count();
+  return total;
+}
+
+void PollutionPipeline::PublishMetrics(obs::MetricRegistry* registry) const {
+  if (registry == nullptr) return;
+  for (const PolluterPtr& p : polluters_) {
+    PublishPolluter(*p, name_, registry);
+  }
 }
 
 PollutionPipeline PollutionPipeline::Clone() const {

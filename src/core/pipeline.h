@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/polluter.h"
+#include "obs/metrics.h"
 
 namespace icewafl {
 
@@ -44,6 +45,20 @@ class PollutionPipeline {
   /// \brief Applied counts per polluter label (top-level polluters only;
   /// for nested counts use the pollution log).
   std::map<std::string, uint64_t> AppliedCounts() const;
+
+  /// \brief Sum of the top-level polluters' applied counts; cheap enough
+  /// to sample per tuple, which is how the operator adapters count
+  /// polluted tuples without touching the data path.
+  uint64_t TotalAppliedCount() const;
+
+  /// \brief Pushes every polluter's activation count (composites
+  /// recursively, so nested children appear as their own series) into
+  /// `registry` as `icewafl_polluter_applied_total` counters labeled with
+  /// the pipeline name, the polluter label, and the error function's
+  /// name/domain (from ErrorFunction::Describe()). Counters aggregate
+  /// across the per-worker pipeline clones of a parallel run. No-op when
+  /// `registry` is nullptr.
+  void PublishMetrics(obs::MetricRegistry* registry) const;
 
   /// \brief Deep copy with fresh polluter state.
   PollutionPipeline Clone() const;

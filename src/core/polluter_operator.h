@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "stream/operator.h"
 
 namespace icewafl {
@@ -28,13 +29,42 @@ class PolluterOperator : public Operator {
     pipeline_.Seed(seed);
   }
 
+  /// \brief Attaches per-operator instrumentation. Live counters track
+  /// tuples seen / tuples polluted; Finish() additionally publishes the
+  /// per-error-function activation counts of the whole polluter tree.
+  /// When never called (or called with nullptr) the processing loops pay
+  /// exactly one pointer-null check per tuple.
+  void BindMetrics(obs::MetricRegistry* registry) {
+    metrics_ = registry;
+    if (registry == nullptr) {
+      tuples_seen_ = nullptr;
+      tuples_polluted_ = nullptr;
+      return;
+    }
+    const obs::Labels labels = {{"pipeline", pipeline_.name()}};
+    tuples_seen_ =
+        registry->GetCounter("icewafl_polluter_tuples_total", labels,
+                             "Tuples that entered a pollution pipeline");
+    tuples_polluted_ = registry->GetCounter(
+        "icewafl_polluter_polluted_total", labels,
+        "Tuples hit by at least one top-level polluter");
+  }
+
   Status Process(Tuple tuple, Emitter* out) override {
     ICEWAFL_RETURN_NOT_OK(Prepare(&tuple));
     PollutionContext ctx;
     ctx.stream_start = stream_start_;
     ctx.stream_end = stream_end_;
     ctx.tau = tuple.event_time();
+    const uint64_t applied_before =
+        tuples_seen_ != nullptr ? pipeline_.TotalAppliedCount() : 0;
     ICEWAFL_RETURN_NOT_OK(pipeline_.Apply(&tuple, &ctx, log_));
+    if (tuples_seen_ != nullptr) {
+      tuples_seen_->Increment();
+      if (pipeline_.TotalAppliedCount() > applied_before) {
+        tuples_polluted_->Increment();
+      }
+    }
     return out->Emit(std::move(tuple));
   }
 
@@ -45,15 +75,31 @@ class PolluterOperator : public Operator {
     PollutionContext ctx;
     ctx.stream_start = stream_start_;
     ctx.stream_end = stream_end_;
+    const bool instrumented = tuples_seen_ != nullptr;
     for (Tuple& tuple : *batch) {
       ICEWAFL_RETURN_NOT_OK(Prepare(&tuple));
       ctx.tau = tuple.event_time();
       ctx.severity = 1.0;
       ctx.rng = nullptr;
+      const uint64_t applied_before =
+          instrumented ? pipeline_.TotalAppliedCount() : 0;
       ICEWAFL_RETURN_NOT_OK(pipeline_.Apply(&tuple, &ctx, log_));
+      if (instrumented && pipeline_.TotalAppliedCount() > applied_before) {
+        tuples_polluted_->Increment();
+      }
       ICEWAFL_RETURN_NOT_OK(out->Emit(std::move(tuple)));
     }
+    if (instrumented) tuples_seen_->Increment(batch->size());
     batch->clear();
+    return Status::OK();
+  }
+
+  /// \brief End-of-stream hook: publishes the activation count of every
+  /// polluter in the tree to the bound registry. Counters are shared by
+  /// label set, so per-worker clones aggregate into one series.
+  Status Finish(Emitter* out) override {
+    (void)out;
+    pipeline_.PublishMetrics(metrics_);
     return Status::OK();
   }
 
@@ -75,6 +121,9 @@ class PolluterOperator : public Operator {
   Timestamp stream_end_;
   PollutionLog* log_;
   TupleId next_id_ = 0;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::Counter* tuples_seen_ = nullptr;
+  obs::Counter* tuples_polluted_ = nullptr;
 };
 
 }  // namespace icewafl

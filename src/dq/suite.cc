@@ -58,6 +58,34 @@ std::string SuiteResult::ToReport() const {
   return out;
 }
 
+void PublishSuiteResult(const SuiteResult& result,
+                        const std::string& suite_name,
+                        obs::MetricRegistry* registry) {
+  if (registry == nullptr) return;
+  obs::Counter* passed = registry->GetCounter(
+      "icewafl_dq_expectations_total",
+      {{"suite", suite_name}, {"result", "pass"}},
+      "Expectation validations by outcome");
+  obs::Counter* failed = registry->GetCounter(
+      "icewafl_dq_expectations_total",
+      {{"suite", suite_name}, {"result", "fail"}},
+      "Expectation validations by outcome");
+  for (const ExpectationResult& r : result.results) {
+    if (r.success) {
+      if (passed != nullptr) passed->Increment();
+    } else {
+      if (failed != nullptr) failed->Increment();
+    }
+    obs::Counter* unexpected = registry->GetCounter(
+        "icewafl_dq_unexpected_total",
+        {{"suite", suite_name},
+         {"expectation", r.expectation},
+         {"column", r.column}},
+        "Unexpected elements per expectation");
+    if (unexpected != nullptr) unexpected->Increment(r.unexpected);
+  }
+}
+
 Result<SuiteResult> ExpectationSuite::Validate(
     const TupleVector& tuples) const {
   SuiteResult suite_result;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dq/expectation.h"
+#include "obs/metrics.h"
 
 namespace icewafl {
 namespace dq {
@@ -28,6 +29,16 @@ struct SuiteResult {
   /// \brief Human-readable validation report.
   std::string ToReport() const;
 };
+
+/// \brief Publishes a validation outcome to `registry`: pass/fail counts
+/// per suite (`icewafl_dq_expectations_total{suite,result}`) and the
+/// unexpected-element count per expectation
+/// (`icewafl_dq_unexpected_total{suite,expectation,column}`). Counters
+/// accumulate across repeated validations of the same suite. No-op when
+/// `registry` is nullptr.
+void PublishSuiteResult(const SuiteResult& result,
+                        const std::string& suite_name,
+                        obs::MetricRegistry* registry);
 
 /// \brief An ordered collection of expectations validated together —
 /// the analogue of a Great Expectations expectation suite.

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace icewafl {
+namespace obs {
+
+namespace {
+
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!alpha && (i == 0 || c < '0' || c > '9')) return false;
+  }
+  return true;
+}
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Canonical `{k1="v1",k2="v2"}` signature of a sorted label set; the
+/// empty string for no labels.
+std::string LabelSignature(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(labels[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Signature with one extra label appended (histogram `le` buckets).
+std::string LabelSignatureWith(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return LabelSignature(extended);
+}
+
+std::string FormatBound(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return FormatDouble(bound);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds_.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    if (counts[i] == 0) return upper;
+    const double before = static_cast<double>(cumulative - counts[i]);
+    const double fraction =
+        (rank - before) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> ExponentialBounds(double lo, double hi, double factor) {
+  std::vector<double> bounds;
+  if (lo <= 0.0 || factor <= 1.0) return bounds;
+  for (double b = lo; b < hi * factor; b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+MetricRegistry::Series* MetricRegistry::GetSeries(const std::string& name,
+                                                  Labels* labels, Type type,
+                                                  const std::string& help) {
+  if (!IsValidMetricName(name)) return nullptr;
+  std::sort(labels->begin(), labels->end());
+  const std::string signature = LabelSignature(*labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [family_it, inserted] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (inserted) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    return nullptr;
+  }
+  Series& series = family.series[signature];
+  series.labels = *labels;
+  return &series;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name, Labels labels,
+                                    const std::string& help) {
+  Series* series = GetSeries(name, &labels, Type::kCounter, help);
+  if (series == nullptr) return nullptr;
+  if (series->counter == nullptr) series->counter =
+      std::make_unique<Counter>();
+  return series->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name, Labels labels,
+                                const std::string& help) {
+  Series* series = GetSeries(name, &labels, Type::kGauge, help);
+  if (series == nullptr) return nullptr;
+  if (series->gauge == nullptr) series->gauge = std::make_unique<Gauge>();
+  return series->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        Labels labels,
+                                        std::vector<double> upper_bounds,
+                                        const std::string& help) {
+  Series* series = GetSeries(name, &labels, Type::kHistogram, help);
+  if (series == nullptr) return nullptr;
+  if (series->histogram == nullptr) {
+    series->histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return series->histogram.get();
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.series.size();
+  return n;
+}
+
+std::string MetricRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter\n";
+        break;
+      case Type::kGauge:
+        out += "gauge\n";
+        break;
+      case Type::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [signature, series] : family.series) {
+      if (series.counter != nullptr) {
+        out += name + signature + " " +
+               std::to_string(series.counter->value()) + "\n";
+      } else if (series.gauge != nullptr) {
+        out += name + signature + " " + FormatDouble(series.gauge->value()) +
+               "\n";
+      } else if (series.histogram != nullptr) {
+        const Histogram& h = *series.histogram;
+        const std::vector<uint64_t> counts = h.BucketCounts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          const double bound = i < h.bounds().size()
+                                   ? h.bounds()[i]
+                                   : std::numeric_limits<double>::infinity();
+          out += name + "_bucket" +
+                 LabelSignatureWith(series.labels, "le", FormatBound(bound)) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum" + signature + " " + FormatDouble(h.sum()) + "\n";
+        out += name + "_count" + signature + " " + std::to_string(h.count()) +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace icewafl

@@ -1,0 +1,174 @@
+#ifndef ICEWAFL_OBS_METRICS_H_
+#define ICEWAFL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icewafl {
+namespace obs {
+
+/// \file
+/// Unified metrics layer of the runtime (DESIGN.md section 7).
+///
+/// Every instrumented component (pipeline stages, channels, polluters,
+/// DQ validation) increments handles obtained once from a shared
+/// MetricRegistry. Handles are plain relaxed atomics, so the hot-path
+/// contract is: one pointer-null check when observability is disabled,
+/// one relaxed atomic add when enabled — never a lock, never an
+/// allocation. Registries are exported through the Prometheus text
+/// exposition format (prometheus.io/docs/instrumenting/exposition_formats)
+/// so the counters plug into standard scrape/alerting tooling.
+
+/// \brief Label set attached to one time series, e.g.
+/// `{{"stage", "worker0"}}`. Keys are sorted on registration, so label
+/// order at the call site does not create duplicate series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter (events since start of run).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-written value (queue depths, peaks, configuration knobs).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// \brief Raises the gauge to `v` if it exceeds the current value.
+  void SetMax(double v) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram with quantile estimation.
+///
+/// Buckets are defined by ascending upper bounds; an implicit +Inf
+/// bucket catches the overflow. Observation is lock-free (one relaxed
+/// atomic increment per bucket hit); quantiles interpolate linearly
+/// inside the winning bucket, the standard Prometheus `histogram_quantile`
+/// estimate computed client-side.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// \brief Per-bucket counts (non-cumulative), +Inf bucket last.
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// \brief Estimated q-quantile (q in [0, 1]); 0 when empty. Values in
+  /// the overflow bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Exponentially spaced bounds from `lo` to at least `hi`
+/// (`factor` > 1 per step) — the usual latency-histogram layout.
+std::vector<double> ExponentialBounds(double lo, double hi, double factor);
+
+/// \brief Thread-safe home of every metric of one run.
+///
+/// `Get*` registers the series on first use and returns the existing
+/// handle on every later call with the same name + labels, so clones of
+/// an operator running on different workers aggregate into one series.
+/// Returned pointers stay valid for the registry's lifetime. Names must
+/// match Prometheus conventions ([a-zA-Z_:][a-zA-Z0-9_:]*); a name
+/// registered as one metric type cannot be re-registered as another
+/// (Get* returns nullptr for such conflicts).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, Labels labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, Labels labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, Labels labels,
+                          std::vector<double> upper_bounds,
+                          const std::string& help = "");
+
+  /// \brief Number of registered series (all types).
+  size_t size() const;
+
+  /// \brief Prometheus text exposition of every registered series.
+  /// Deterministic: families sorted by name, series by label signature.
+  std::string ToPrometheusText() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::map<std::string, Series> series;  // keyed by label signature
+  };
+
+  Series* GetSeries(const std::string& name, Labels* labels, Type type,
+                    const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace obs
+}  // namespace icewafl
+
+#endif  // ICEWAFL_OBS_METRICS_H_

@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include "util/json.h"
+
+namespace icewafl {
+namespace obs {
+
+void TraceRecorder::RecordComplete(std::string name, std::string category,
+                                   int64_t tid, int64_t start_us,
+                                   int64_t duration_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.tid = tid;
+  event.ts_us = start_us;
+  event.dur_us = duration_us < 0 ? 0 : duration_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(std::string name, std::string category,
+                                  int64_t tid) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'i';
+  event.tid = tid;
+  event.ts_us = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  Json root = Json::MakeObject();
+  Json events = Json::MakeArray();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& e : events_) {
+      Json j = Json::MakeObject();
+      j.Set("name", e.name);
+      j.Set("cat", e.category);
+      j.Set("ph", std::string(1, e.phase));
+      j.Set("pid", int64_t{1});
+      j.Set("tid", e.tid);
+      j.Set("ts", e.ts_us);
+      if (e.phase == 'X') j.Set("dur", e.dur_us);
+      // Instant events need an explicit scope to render.
+      if (e.phase == 'i') j.Set("s", "t");
+      events.Append(std::move(j));
+    }
+  }
+  root.Set("traceEvents", std::move(events));
+  root.Set("displayTimeUnit", "ms");
+  return root.Dump();
+}
+
+}  // namespace obs
+}  // namespace icewafl

@@ -1,0 +1,98 @@
+#ifndef ICEWAFL_OBS_TRACE_H_
+#define ICEWAFL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace icewafl {
+namespace obs {
+
+/// \brief One recorded trace event (Chrome `trace_event` model).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  /// 'X' = complete (has duration), 'i' = instant.
+  char phase = 'X';
+  /// Logical track the event renders on; the runtime uses stage indices
+  /// (0 = source, 1..P = workers, P+1 = sink) so a trace reads like the
+  /// pipeline topology.
+  int64_t tid = 0;
+  int64_t ts_us = 0;   ///< Start, microseconds since recorder creation.
+  int64_t dur_us = 0;  ///< Duration; 0 for instants.
+};
+
+/// \brief Lightweight span/event recorder exporting Chrome trace JSON.
+///
+/// Load the exported file in `chrome://tracing` or Perfetto to see the
+/// pipeline stages as horizontal tracks. Recording a span is one lock
+/// acquisition at span *end* only — nothing on the per-tuple path — and
+/// all timestamps come from the steady clock, so tracing never perturbs
+/// the data path or the random streams.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// \brief Microseconds elapsed since the recorder was created.
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  void RecordComplete(std::string name, std::string category, int64_t tid,
+                      int64_t start_us, int64_t duration_us);
+  void RecordInstant(std::string name, std::string category, int64_t tid);
+
+  size_t size() const;
+  std::vector<TraceEvent> Events() const;
+
+  /// \brief Chrome trace JSON (`{"traceEvents": [...]}`); loads directly
+  /// in chrome://tracing and Perfetto.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief RAII span: records a complete event from construction to
+/// destruction. Null-safe — a nullptr recorder makes every operation a
+/// no-op, which is how tracing stays off the hot path when disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string name, std::string category,
+             int64_t tid)
+      : recorder_(recorder),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        tid_(tid),
+        start_us_(recorder == nullptr ? 0 : recorder->NowMicros()) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->RecordComplete(std::move(name_), std::move(category_), tid_,
+                              start_us_, recorder_->NowMicros() - start_us_);
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  int64_t tid_;
+  int64_t start_us_;
+};
+
+}  // namespace obs
+}  // namespace icewafl
+
+#endif  // ICEWAFL_OBS_TRACE_H_

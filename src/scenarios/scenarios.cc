@@ -160,20 +160,25 @@ std::vector<std::string> AirQualityNumericAttributes() {
           "O3",    "TEMP", "PRES", "DEWP", "WSPM"};
 }
 
-Result<TupleVector> ApplyPipelineStreaming(Source* source,
-                                           const PollutionPipeline& prototype,
-                                           uint64_t seed, int parallelism,
-                                           RuntimeStats* stats) {
+Result<TupleVector> ApplyPipelineStreaming(
+    Source* source, const PollutionPipeline& prototype, uint64_t seed,
+    int parallelism, RuntimeStats* stats, obs::MetricRegistry* metrics,
+    obs::TraceRecorder* trace, Timestamp stream_start, Timestamp stream_end) {
   VectorSink sink;
   RuntimeOptions options;
   options.parallelism = parallelism < 1 ? 1 : parallelism;
+  options.metrics = metrics;
+  options.trace = trace;
   PipelineRuntime runtime(options);
   ICEWAFL_RETURN_NOT_OK(runtime.Run(
       source,
       [&](int worker) {
         OperatorChain chain;
-        chain.push_back(std::make_unique<PolluterOperator>(
-            prototype.Clone(), seed + static_cast<uint64_t>(worker)));
+        auto polluter = std::make_unique<PolluterOperator>(
+            prototype.Clone(), seed + static_cast<uint64_t>(worker),
+            stream_start, stream_end);
+        polluter->BindMetrics(metrics);
+        chain.push_back(std::move(polluter));
         return chain;
       },
       &sink));

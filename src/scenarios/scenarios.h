@@ -99,10 +99,18 @@ std::vector<std::string> AirQualityNumericAttributes();
 /// With `parallelism` 1 the output preserves input order; above 1 it is
 /// the runtime's deterministic batch rotation. Optionally returns the
 /// run's RuntimeStats through `stats`.
-Result<TupleVector> ApplyPipelineStreaming(Source* source,
-                                           const PollutionPipeline& prototype,
-                                           uint64_t seed, int parallelism = 1,
-                                           RuntimeStats* stats = nullptr);
+///
+/// When `metrics` / `trace` are non-null the runtime and every worker's
+/// PolluterOperator publish into them (stage counters, per-polluter
+/// activation counts, trace spans); output bytes are identical either
+/// way. Pipelines with stream-relative profiles (Equations 3/4) need
+/// `stream_start` / `stream_end`; left at 0/0 those profiles evaluate
+/// to their unbounded-stream degenerate value.
+Result<TupleVector> ApplyPipelineStreaming(
+    Source* source, const PollutionPipeline& prototype, uint64_t seed,
+    int parallelism = 1, RuntimeStats* stats = nullptr,
+    obs::MetricRegistry* metrics = nullptr, obs::TraceRecorder* trace = nullptr,
+    Timestamp stream_start = 0, Timestamp stream_end = 0);
 
 // ---------------------------------------------------------------------
 // Static analysis gate

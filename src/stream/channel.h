@@ -55,14 +55,18 @@ class BoundedChannel {
   /// \return false iff the channel was closed (the item is dropped).
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
+    bool waited = false;
     if (queue_.size() >= capacity_ && !closed_) {
-      ++stats_.blocked_pushes;
+      waited = true;
       not_full_.wait(lock,
                      [this] { return queue_.size() < capacity_ || closed_; });
     }
     if (closed_) return false;
     queue_.push_back(std::move(item));
     ++stats_.pushes;
+    // A wait only counts as backpressure when the push actually lands;
+    // waits cut short by Close()/Poison() are aborts, not backpressure.
+    if (waited) ++stats_.blocked_pushes;
     if (queue_.size() > stats_.peak_queued) stats_.peak_queued = queue_.size();
     lock.unlock();
     not_empty_.notify_one();

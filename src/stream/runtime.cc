@@ -98,6 +98,7 @@ std::string RuntimeStats::ToString() const {
                   std::to_string(sink_tuples) +
                   " batches=" + std::to_string(batches) +
                   " blocked_pushes=" + std::to_string(blocked_pushes) +
+                  " blocked_pops=" + std::to_string(blocked_pops) +
                   " peak_buffered_tuples=" +
                   std::to_string(peak_buffered_tuples) +
                   " wall_s=" + FormatDouble(wall_seconds, 4);
@@ -134,6 +135,38 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
     outputs.push_back(std::make_unique<BatchChannel>(capacity));
   }
 
+  // Registry handles per stage, resolved once up front so the stage
+  // loops pay only a pointer-null check (metrics off) or a relaxed
+  // atomic add per batch (metrics on).
+  struct StageHandles {
+    obs::Counter* tuples_in = nullptr;
+    obs::Counter* tuples_out = nullptr;
+    obs::Counter* batches = nullptr;
+  };
+  std::vector<StageHandles> handles(workers + 2);
+  obs::Histogram* batch_histogram = nullptr;
+  obs::MetricRegistry* const metrics = options_.metrics;
+  if (metrics != nullptr) {
+    for (size_t s = 0; s < workers + 2; ++s) {
+      const obs::Labels labels = {{"stage", stats_.stages[s].stage}};
+      handles[s].tuples_in =
+          metrics->GetCounter("icewafl_stage_tuples_in_total", labels,
+                              "Tuples entering a pipeline stage");
+      handles[s].tuples_out =
+          metrics->GetCounter("icewafl_stage_tuples_out_total", labels,
+                              "Tuples leaving a pipeline stage");
+      handles[s].batches =
+          metrics->GetCounter("icewafl_stage_batches_total", labels,
+                              "Batches handled by a pipeline stage");
+    }
+    batch_histogram = metrics->GetHistogram(
+        "icewafl_runtime_batch_tuples", {},
+        obs::ExponentialBounds(1.0, 65536.0, 2.0),
+        "Tuples per inter-stage batch");
+  }
+  obs::TraceRecorder* const trace = options_.trace;
+  obs::ScopedSpan run_span(trace, "pipeline_run", "runtime", 0);
+
   BufferGauge gauge;
   Status source_status;
   std::vector<Status> worker_status(workers);
@@ -149,6 +182,9 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
   for (size_t w = 0; w < workers; ++w) {
     worker_threads.emplace_back([&, w] {
       StageStats& stage = stats_.stages[w + 1];
+      const StageHandles& obs_handles = handles[w + 1];
+      obs::ScopedSpan stage_span(trace, stage.stage, "stage",
+                                 static_cast<int64_t>(w) + 1);
       OperatorChain chain = chain_factory(static_cast<int>(w));
       std::vector<Operator*> ops;
       ops.reserve(chain.size());
@@ -160,6 +196,10 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
         gauge.Remove(batch.size());
         stage.tuples_in += batch.size();
         ++stage.batches;
+        if (obs_handles.tuples_in != nullptr) {
+          obs_handles.tuples_in->Increment(batch.size());
+          obs_handles.batches->Increment();
+        }
         TupleVector out_batch;
         Status st = RunBatchThroughOps(ops, 0, &batch, &out_batch);
         if (!st.ok()) {
@@ -168,6 +208,9 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
           break;
         }
         stage.tuples_out += out_batch.size();
+        if (obs_handles.tuples_out != nullptr) {
+          obs_handles.tuples_out->Increment(out_batch.size());
+        }
         gauge.Add(out_batch.size());
         const size_t out_size = out_batch.size();
         if (!outputs[w]->Push(std::move(out_batch))) {
@@ -183,6 +226,9 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
           worker_status[w] = st;
         } else if (!flushed.empty()) {
           stage.tuples_out += flushed.size();
+          if (obs_handles.tuples_out != nullptr) {
+            obs_handles.tuples_out->Increment(flushed.size());
+          }
           gauge.Add(flushed.size());
           const size_t out_size = flushed.size();
           if (!outputs[w]->Push(std::move(flushed))) gauge.Remove(out_size);
@@ -194,6 +240,8 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
 
   // --- Source stage -----------------------------------------------------
   std::thread source_thread([&] {
+    const StageHandles& obs_handles = handles.front();
+    obs::ScopedSpan stage_span(trace, "source", "stage", 0);
     // Per-worker accumulators implementing tuple round-robin: tuple i
     // goes to worker i % parallelism, batches flush once full.
     std::vector<TupleVector> pending(workers);
@@ -215,6 +263,11 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
       if (pending[w].size() >= batch_size) {
         source_stage.tuples_out += pending[w].size();
         ++source_stage.batches;
+        if (obs_handles.tuples_out != nullptr) {
+          obs_handles.tuples_out->Increment(pending[w].size());
+          obs_handles.batches->Increment();
+          batch_histogram->Observe(static_cast<double>(pending[w].size()));
+        }
         gauge.Add(pending[w].size());
         const size_t n = pending[w].size();
         if (!inputs[w]->Push(std::move(pending[w]))) {
@@ -228,6 +281,7 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
       }
     }
     source_stage.tuples_in = index;
+    if (obs_handles.tuples_in != nullptr) obs_handles.tuples_in->Increment(index);
     if (aborted) {
       for (auto& ch : inputs) ch->Poison();
       return;
@@ -236,6 +290,11 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
       if (pending[w].empty()) continue;
       source_stage.tuples_out += pending[w].size();
       ++source_stage.batches;
+      if (obs_handles.tuples_out != nullptr) {
+        obs_handles.tuples_out->Increment(pending[w].size());
+        obs_handles.batches->Increment();
+        batch_histogram->Observe(static_cast<double>(pending[w].size()));
+      }
       gauge.Add(pending[w].size());
       const size_t n = pending[w].size();
       if (!inputs[w]->Push(std::move(pending[w]))) gauge.Remove(n);
@@ -248,6 +307,9 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
   // the rotation once closed and drained.
   Status sink_status;
   {
+    const StageHandles& obs_handles = handles.back();
+    obs::ScopedSpan stage_span(trace, "sink", "stage",
+                               static_cast<int64_t>(workers) + 1);
     std::vector<bool> done(workers, false);
     size_t remaining = workers;
     size_t w = 0;
@@ -261,6 +323,11 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
           gauge.Remove(batch.size());
           sink_stage.tuples_in += batch.size();
           ++sink_stage.batches;
+          if (obs_handles.tuples_in != nullptr) {
+            obs_handles.tuples_in->Increment(batch.size());
+            obs_handles.batches->Increment();
+          }
+          const uint64_t written_before = sink_stage.tuples_out;
           for (Tuple& t : batch) {
             Status st = sink->Write(std::move(t));
             if (!st.ok()) {
@@ -269,6 +336,10 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
               break;
             }
             ++sink_stage.tuples_out;
+          }
+          if (obs_handles.tuples_out != nullptr) {
+            obs_handles.tuples_out->Increment(sink_stage.tuples_out -
+                                              written_before);
           }
           batch.clear();
         }
@@ -296,12 +367,39 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
   stats_.batches = source_stage.batches;
   for (const StageStats& s : stats_.stages) {
     stats_.blocked_pushes += s.blocked_pushes;
+    stats_.blocked_pops += s.blocked_pops;
   }
   stats_.peak_buffered_tuples = gauge.peak();
   stats_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+
+  // Post-run publication of the wait/buffering counters: these only
+  // become known once the channels are quiescent, so they are pushed to
+  // the registry in one shot rather than on the hot path.
+  if (metrics != nullptr) {
+    for (const StageStats& s : stats_.stages) {
+      const obs::Labels labels = {{"stage", s.stage}};
+      metrics
+          ->GetCounter("icewafl_stage_blocked_pushes_total", labels,
+                       "Pushes that waited on a full channel (backpressure)")
+          ->Increment(s.blocked_pushes);
+      metrics
+          ->GetCounter("icewafl_stage_blocked_pops_total", labels,
+                       "Pops that waited on an empty channel (starvation)")
+          ->Increment(s.blocked_pops);
+    }
+    metrics
+        ->GetGauge("icewafl_runtime_peak_buffered_tuples", {},
+                   "High-water mark of tuples buffered in channels")
+        ->SetMax(static_cast<double>(stats_.peak_buffered_tuples));
+    metrics
+        ->GetHistogram("icewafl_runtime_wall_seconds", {},
+                       obs::ExponentialBounds(1e-4, 64.0, 2.0),
+                       "End-to-end wall time of one runtime execution")
+        ->Observe(stats_.wall_seconds);
+  }
 
   ICEWAFL_RETURN_NOT_OK(source_status);
   for (const Status& st : worker_status) ICEWAFL_RETURN_NOT_OK(st);

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/channel.h"
 #include "stream/operator.h"
 #include "stream/sink.h"
@@ -28,6 +30,15 @@ struct RuntimeOptions {
   /// Peak tuple buffering of a run is O(channel_capacity * batch_size *
   /// parallelism) regardless of stream length.
   size_t channel_capacity = 4;
+
+  /// Optional observability sinks (not owned; may be nullptr). When set,
+  /// the runtime publishes per-stage counters / histograms into the
+  /// registry and one span per stage into the recorder. When unset the
+  /// cost is a pointer-null check per batch; instrumentation never
+  /// touches the data path or the random streams, so output stays
+  /// byte-identical either way.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// \brief Per-stage traffic counters of one runtime execution.
@@ -47,6 +58,10 @@ struct RuntimeStats {
   uint64_t sink_tuples = 0;    ///< Tuples written to the sink.
   uint64_t batches = 0;        ///< Batches emitted by the source stage.
   uint64_t blocked_pushes = 0;  ///< Total backpressure events.
+  /// Total starvation events — pops that found their channel empty. High
+  /// values on worker stages mean the source is the bottleneck; on the
+  /// sink they mean the workers are.
+  uint64_t blocked_pops = 0;
   /// Largest number of tuples queued in channels at any point — the
   /// steady-state memory footprint of the pipeline (compare against the
   /// stream length for the materializing executors).

@@ -44,7 +44,12 @@ double Rng::Uniform(double lo, double hi) {
 }
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Width and offset are computed in uint64_t throughout: `hi - lo` in
+  // signed arithmetic overflows for extreme bounds (e.g. lo = INT64_MIN,
+  // hi = INT64_MAX - 1), as does adding the drawn offset back onto lo.
+  // Unsigned wraparound makes both well-defined and exact.
+  const uint64_t range =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
   if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
   // Rejection sampling to avoid modulo bias.
   const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
@@ -52,7 +57,7 @@ int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   do {
     v = Next();
   } while (v >= limit);
-  return lo + static_cast<int64_t>(v % range);
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + v % range);
 }
 
 double Rng::Gaussian() {

@@ -74,6 +74,58 @@ TEST(PolluterOperatorTest, AssignsIdsWhenUpstreamDidNot) {
   EXPECT_EQ(ids.size(), sink.tuples().size());
 }
 
+TEST(PolluterOperatorTest, BindMetricsCountsSeenAndPolluted) {
+  SchemaPtr schema = KeyedSchema();
+  VectorSource source(schema, InterleavedStream(schema, 50));
+  PolluterOperator op(NullPipeline(0.5), /*seed=*/1);
+  obs::MetricRegistry registry;
+  op.BindMetrics(&registry);
+  VectorSink sink;
+  ASSERT_TRUE(StreamExecutor::Run(&source, {&op}, &sink).ok());
+  ASSERT_EQ(sink.tuples().size(), 100u);
+  uint64_t nulled = 0;
+  for (const Tuple& t : sink.tuples()) {
+    if (t.value(2).is_null()) ++nulled;
+  }
+  obs::Counter* seen =
+      registry.GetCounter("icewafl_polluter_tuples_total", {{"pipeline",
+                                                             "nulls"}});
+  obs::Counter* polluted =
+      registry.GetCounter("icewafl_polluter_polluted_total",
+                          {{"pipeline", "nulls"}});
+  ASSERT_NE(seen, nullptr);
+  ASSERT_NE(polluted, nullptr);
+  EXPECT_EQ(seen->value(), 100u);
+  EXPECT_EQ(polluted->value(), nulled);
+  EXPECT_GT(nulled, 0u);
+  EXPECT_LT(nulled, 100u);
+  // Finish published the per-polluter activation counts.
+  obs::Counter* applied = registry.GetCounter(
+      "icewafl_polluter_applied_total",
+      {{"pipeline", "nulls"},
+       {"polluter", "nuller"},
+       {"error", "missing_value"},
+       {"domain", "any"}});
+  ASSERT_NE(applied, nullptr);
+  EXPECT_EQ(applied->value(), nulled);
+}
+
+TEST(PolluterOperatorTest, UnboundMetricsProduceIdenticalOutput) {
+  SchemaPtr schema = KeyedSchema();
+  auto run = [&](bool instrument) {
+    VectorSource source(schema, InterleavedStream(schema, 30));
+    PolluterOperator op(NullPipeline(0.3), /*seed=*/7);
+    obs::MetricRegistry registry;
+    if (instrument) op.BindMetrics(&registry);
+    VectorSink sink;
+    EXPECT_TRUE(StreamExecutor::Run(&source, {&op}, &sink).ok());
+    std::vector<bool> nulls;
+    for (const Tuple& t : sink.tuples()) nulls.push_back(t.value(2).is_null());
+    return nulls;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(KeyedPolluterOperatorTest, FrozenValueStateIsPerKey) {
   // A frozen-value error applied to everything: with keyed pollution,
   // sensor A freezes on A's values and sensor B on B's; a non-keyed

@@ -102,6 +102,33 @@ TEST(SuiteTest, EmptySuiteSucceeds) {
   EXPECT_TRUE(r.ValueOrDie().success());
 }
 
+TEST(SuiteTest, PublishSuiteResultExportsPassFailCounters) {
+  ExpectationSuite suite("demo");
+  suite.Expect<ExpectColumnValuesToNotBeNull>("v")       // fails (1 NULL)
+      .Expect<ExpectColumnValuesToBeIncreasing>("ts");   // passes
+  auto r = suite.Validate(TestTuples());
+  ASSERT_TRUE(r.ok());
+  obs::MetricRegistry registry;
+  PublishSuiteResult(r.ValueOrDie(), suite.name(), &registry);
+  obs::Counter* passed = registry.GetCounter(
+      "icewafl_dq_expectations_total", {{"suite", "demo"}, {"result", "pass"}});
+  obs::Counter* failed = registry.GetCounter(
+      "icewafl_dq_expectations_total", {{"suite", "demo"}, {"result", "fail"}});
+  ASSERT_NE(passed, nullptr);
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(passed->value(), 1u);
+  EXPECT_EQ(failed->value(), 1u);
+  obs::Counter* unexpected = registry.GetCounter(
+      "icewafl_dq_unexpected_total",
+      {{"suite", "demo"},
+       {"expectation", "expect_column_values_to_not_be_null"},
+       {"column", "v"}});
+  ASSERT_NE(unexpected, nullptr);
+  EXPECT_EQ(unexpected->value(), 1u);
+  // Null registry is a no-op, not a crash.
+  PublishSuiteResult(r.ValueOrDie(), suite.name(), nullptr);
+}
+
 }  // namespace
 }  // namespace dq
 }  // namespace icewafl

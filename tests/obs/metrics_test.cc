@@ -1,0 +1,191 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace icewafl {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSetMax) {
+  Gauge g;
+  g.Set(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+  g.Add(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.SetMax(5.0);  // lower than current: no change
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.SetMax(12.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+}
+
+TEST(HistogramTest, BucketCountsAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, BoundaryValueLandsInItsBucket) {
+  // Prometheus buckets are `le` (inclusive upper bound).
+  Histogram h({1.0, 2.0});
+  h.Observe(1.0);
+  EXPECT_EQ(h.BucketCounts()[0], 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolatesAndClamps) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.Observe(1.5);  // all in (1, 2]
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  // Empty histogram reports 0.
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.99), 0.0);
+  // Overflow observations clamp to the largest finite bound.
+  Histogram overflow({1.0, 2.0});
+  overflow.Observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 2.0);
+}
+
+TEST(ExponentialBoundsTest, CoversRange) {
+  const std::vector<double> bounds = ExponentialBounds(1.0, 8.0, 2.0);
+  ASSERT_GE(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1.0);
+  EXPECT_GE(bounds.back(), 8.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(MetricRegistryTest, SameNameAndLabelsShareOneSeries) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("icewafl_test_total", {{"k", "v"}});
+  // Label order must not matter.
+  Counter* b = registry.GetCounter("icewafl_test_total",
+                                   {{"k", "v"}});
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  Counter* other = registry.GetCounter("icewafl_test_total", {{"k", "w"}});
+  EXPECT_NE(a, other);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricRegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricRegistry registry;
+  Counter* a =
+      registry.GetCounter("icewafl_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b =
+      registry.GetCounter("icewafl_test_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricRegistryTest, TypeConflictReturnsNull) {
+  MetricRegistry registry;
+  ASSERT_NE(registry.GetCounter("icewafl_conflict"), nullptr);
+  EXPECT_EQ(registry.GetGauge("icewafl_conflict"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("icewafl_conflict", {}, {1.0}), nullptr);
+}
+
+TEST(MetricRegistryTest, InvalidNameReturnsNull) {
+  MetricRegistry registry;
+  EXPECT_EQ(registry.GetCounter("0starts_with_digit"), nullptr);
+  EXPECT_EQ(registry.GetCounter("has space"), nullptr);
+  EXPECT_EQ(registry.GetCounter(""), nullptr);
+  EXPECT_NE(registry.GetCounter("ok_name:with_colon"), nullptr);
+}
+
+TEST(MetricRegistryTest, PrometheusTextFormat) {
+  MetricRegistry registry;
+  registry.GetCounter("icewafl_events_total", {{"stage", "source"}},
+                      "Events seen")->Increment(3);
+  registry.GetGauge("icewafl_depth")->Set(2.5);
+  Histogram* h =
+      registry.GetHistogram("icewafl_latency_seconds", {}, {0.1, 1.0});
+  h->Observe(0.05);
+  h->Observe(5.0);
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("# HELP icewafl_events_total Events seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE icewafl_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("icewafl_events_total{stage=\"source\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE icewafl_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE icewafl_latency_seconds histogram"),
+            std::string::npos);
+  // Cumulative buckets: le="1" holds the le="0.1" observation too.
+  EXPECT_NE(text.find("icewafl_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("icewafl_latency_seconds_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("icewafl_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("icewafl_latency_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, LabelValuesAreEscaped) {
+  MetricRegistry registry;
+  registry.GetCounter("icewafl_esc_total",
+                      {{"path", "a\"b\\c\nd"}})->Increment();
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        Counter* c = registry.GetCounter("icewafl_shared_total",
+                                         {{"worker", "all"}});
+        ASSERT_NE(c, nullptr);
+        c->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Counter* c = registry.GetCounter("icewafl_shared_total", {{"worker", "all"}});
+  EXPECT_EQ(c->value(), 8000u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace icewafl

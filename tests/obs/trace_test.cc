@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace icewafl {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, RecordsCompleteAndInstantEvents) {
+  TraceRecorder recorder;
+  recorder.RecordComplete("span", "stage", /*tid=*/2, /*start_us=*/10,
+                          /*duration_us=*/5);
+  recorder.RecordInstant("marker", "runtime", /*tid=*/0);
+  ASSERT_EQ(recorder.size(), 2u);
+  const std::vector<TraceEvent> events = recorder.Events();
+  EXPECT_EQ(events[0].name, "span");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].tid, 2);
+  EXPECT_EQ(events[0].ts_us, 10);
+  EXPECT_EQ(events[0].dur_us, 5);
+  EXPECT_EQ(events[1].phase, 'i');
+}
+
+TEST(TraceRecorderTest, ChromeJsonRoundTrips) {
+  TraceRecorder recorder;
+  recorder.RecordComplete("pipeline_run", "runtime", 0, 0, 100);
+  recorder.RecordInstant("poisoned", "channel", 1);
+  auto parsed = Json::Parse(recorder.ToChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& root = parsed.ValueOrDie();
+  auto events = root.Get("traceEvents");
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events.ValueOrDie().items().size(), 2u);
+  const Json& complete = events.ValueOrDie().items()[0];
+  EXPECT_EQ(complete.GetString("name", ""), "pipeline_run");
+  EXPECT_EQ(complete.GetString("ph", ""), "X");
+  EXPECT_EQ(complete.GetInt("dur", -1), 100);
+  const Json& instant = events.ValueOrDie().items()[1];
+  EXPECT_EQ(instant.GetString("ph", ""), "i");
+  // Instant events need a scope for Chrome to render them.
+  EXPECT_TRUE(instant.Has("s"));
+}
+
+TEST(TraceRecorderTest, NowMicrosIsMonotonic) {
+  TraceRecorder recorder;
+  const int64_t a = recorder.NowMicros();
+  const int64_t b = recorder.NowMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(ScopedSpanTest, RecordsOnDestruction) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan span(&recorder, "work", "stage", 3);
+    EXPECT_EQ(recorder.size(), 0u);  // nothing until the span closes
+  }
+  ASSERT_EQ(recorder.size(), 1u);
+  const TraceEvent event = recorder.Events()[0];
+  EXPECT_EQ(event.name, "work");
+  EXPECT_EQ(event.category, "stage");
+  EXPECT_EQ(event.tid, 3);
+  EXPECT_GE(event.dur_us, 0);
+}
+
+TEST(ScopedSpanTest, NullRecorderIsNoop) {
+  // The disabled-observability contract: a null recorder must be safe.
+  ScopedSpan span(nullptr, "work", "stage", 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace icewafl

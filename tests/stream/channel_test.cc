@@ -109,6 +109,37 @@ TEST(ChannelTest, PoisonWakesBlockedProducer) {
   EXPECT_EQ(result.load(), 0);
 }
 
+TEST(ChannelTest, FailedPushDoesNotCountAsBackpressure) {
+  // Regression: a Push parked on a full channel whose wait ends because
+  // of Close() used to increment blocked_pushes even though nothing was
+  // enqueued — inflating the backpressure signal with aborts.
+  IntChannel ch(1);
+  EXPECT_TRUE(ch.Push(1));
+  std::atomic<int> result{-1};
+  std::thread producer([&] { result.store(ch.Push(2) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(result.load(), -1);  // parked on the full channel
+  ch.Close();
+  producer.join();
+  EXPECT_EQ(result.load(), 0);
+  EXPECT_EQ(ch.stats().blocked_pushes, 0u);
+  EXPECT_EQ(ch.stats().pushes, 1u);
+}
+
+TEST(ChannelTest, SuccessfulPushAfterWaitStillCounts) {
+  // The complement: a wait that ends with the item actually enqueued is
+  // real backpressure and must be counted.
+  IntChannel ch(1);
+  EXPECT_TRUE(ch.Push(1));
+  std::thread producer([&] { EXPECT_TRUE(ch.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  int v = 0;
+  ASSERT_TRUE(ch.Pop(&v));
+  producer.join();
+  EXPECT_GE(ch.stats().blocked_pushes, 1u);
+  EXPECT_EQ(ch.stats().pushes, 2u);
+}
+
 TEST(ChannelTest, StatsCountTraffic) {
   IntChannel ch(8);
   for (int i = 0; i < 6; ++i) EXPECT_TRUE(ch.Push(i));
@@ -151,6 +182,54 @@ TEST(ChannelTest, ManyProducersOneConsumer) {
   EXPECT_EQ(sum, n * (n - 1) / 2);
   EXPECT_EQ(ch.stats().pushes, static_cast<uint64_t>(n));
   EXPECT_LE(ch.stats().peak_queued, 3u);
+}
+
+TEST(ChannelTest, MpmcStressWithMidStreamPoison) {
+  // Many producers and consumers hammer a tiny channel while a third
+  // party poisons it mid-stream. The test must terminate (no deadlock:
+  // every blocked producer and consumer is woken) and the books must
+  // balance: every pop observed by a consumer corresponds to a push
+  // acknowledged by a producer, and the channel's own counters agree.
+  // Run under the tsan preset to verify race-freedom.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  IntChannel ch(2);
+  std::atomic<uint64_t> pushed{0};
+  std::atomic<uint64_t> popped{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!ch.Push(i)) return;  // poisoned: stop producing
+        pushed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (ch.Pop(&v)) popped.fetch_add(1);
+    });
+  }
+  // Let traffic flow, then poison while producers and consumers are
+  // mid-flight (some of them parked on the full/empty channel).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.Poison();
+  for (std::thread& t : producers) t.join();
+  for (std::thread& t : consumers) t.join();
+
+  const ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.pushes, pushed.load());
+  EXPECT_EQ(stats.pops, popped.load());
+  // Poison discards queued items, so pops never exceed pushes, and the
+  // gap is exactly what was queued at poison time (at most capacity).
+  EXPECT_LE(popped.load(), pushed.load());
+  EXPECT_LE(pushed.load() - popped.load(), ch.capacity());
+  EXPECT_TRUE(ch.closed());
 }
 
 TEST(ChannelTest, BatchChannelMovesBatches) {

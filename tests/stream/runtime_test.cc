@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <optional>
+#include <thread>
 
 #include "stream/executor.h"
 #include "stream/operator.h"
@@ -374,6 +377,92 @@ TEST(PipelineRuntimeTest, StatsAreConsistent) {
                 static_cast<size_t>(options.parallelism));
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(PipelineRuntimeTest, BlockedPopsAggregateIntoRuntimeStats) {
+  // Regression: StageStats::blocked_pops used to be collected per stage
+  // but never summed into RuntimeStats nor printed by ToString(), so
+  // starvation was invisible at the aggregate level.
+  SchemaPtr schema = TestSchema();
+  // A slow source starves the workers: their input pops find the channel
+  // empty and block until the next batch arrives.
+  GeneratorSource source(schema, [&](uint64_t i) -> std::optional<Tuple> {
+    if (i >= 8) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return Tuple(schema, {Value(static_cast<int64_t>(i)),
+                          Value(static_cast<double>(i))});
+  });
+  CountingSink sink;
+  RuntimeOptions options;
+  options.batch_size = 1;  // one batch per tuple: maximal pop pressure
+  options.channel_capacity = 1;
+  PipelineRuntime runtime(options);
+  ASSERT_TRUE(runtime
+                  .Run(&source,
+                       [](int) {
+                         OperatorChain chain;
+                         chain.push_back(AddOne());
+                         return chain;
+                       },
+                       &sink)
+                  .ok());
+  const RuntimeStats& stats = runtime.stats();
+  uint64_t per_stage = 0;
+  for (const StageStats& s : stats.stages) per_stage += s.blocked_pops;
+  EXPECT_EQ(stats.blocked_pops, per_stage);
+  EXPECT_GE(stats.blocked_pops, 1u);  // the starved worker blocked
+  EXPECT_NE(stats.ToString().find("blocked_pops="), std::string::npos);
+}
+
+TEST(PipelineRuntimeTest, PublishesMetricsAndTraceWithoutPerturbingOutput) {
+  SchemaPtr schema = TestSchema();
+  RuntimeOptions options;
+  options.parallelism = 2;
+  options.batch_size = 16;
+
+  auto run = [&](obs::MetricRegistry* metrics,
+                 obs::TraceRecorder* trace) -> uint64_t {
+    VectorSource source(schema, MakeTuples(schema, 200));
+    CountingSink sink;
+    RuntimeOptions opts = options;
+    opts.metrics = metrics;
+    opts.trace = trace;
+    PipelineRuntime runtime(opts);
+    EXPECT_TRUE(runtime
+                    .Run(&source,
+                         [](int) {
+                           OperatorChain chain;
+                           chain.push_back(AddOne());
+                           return chain;
+                         },
+                         &sink)
+                    .ok());
+    return sink.checksum();
+  };
+
+  const uint64_t plain = run(nullptr, nullptr);
+  obs::MetricRegistry registry;
+  obs::TraceRecorder trace;
+  const uint64_t instrumented = run(&registry, &trace);
+  // Determinism contract: instrumentation must not change the output.
+  EXPECT_EQ(plain, instrumented);
+
+  // Stage counters agree with the runtime's own stats.
+  obs::Counter* source_out = registry.GetCounter(
+      "icewafl_stage_tuples_out_total", {{"stage", "source"}});
+  ASSERT_NE(source_out, nullptr);
+  EXPECT_EQ(source_out->value(), 200u);
+  obs::Counter* sink_in = registry.GetCounter("icewafl_stage_tuples_in_total",
+                                              {{"stage", "sink"}});
+  ASSERT_NE(sink_in, nullptr);
+  EXPECT_EQ(sink_in->value(), 200u);
+
+  // One span per stage (source, 2 workers, sink) plus the run span.
+  EXPECT_GE(trace.size(), 5u);
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("icewafl_runtime_wall_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("icewafl_runtime_batch_tuples_bucket"),
+            std::string::npos);
 }
 
 TEST(PipelineRuntimeTest, MatchesMaterializingExecutor) {

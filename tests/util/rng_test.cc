@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 
 namespace icewafl {
@@ -79,6 +81,50 @@ TEST(RngTest, UniformIntNegativeRange) {
     ASSERT_GE(v, -10);
     ASSERT_LE(v, -5);
   }
+}
+
+TEST(RngTest, UniformIntExtremeBoundsDoNotOverflow) {
+  // Regression: `hi - lo` used to be computed in int64_t, which is
+  // signed overflow (UB) for ranges wider than INT64_MAX. These bounds
+  // would trip UBSan and could return values outside [lo, hi].
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t full = rng.UniformInt(kMin, kMax);
+    ASSERT_GE(full, kMin);
+    ASSERT_LE(full, kMax);
+    const int64_t wide = rng.UniformInt(kMin, kMax - 1);
+    ASSERT_GE(wide, kMin);
+    ASSERT_LE(wide, kMax - 1);
+    const int64_t half = rng.UniformInt(-1, kMax);
+    ASSERT_GE(half, -1);
+  }
+}
+
+TEST(RngTest, UniformIntExtremeSingletons) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformInt(kMin, kMin), kMin);
+    EXPECT_EQ(rng.UniformInt(kMax, kMax), kMax);
+  }
+}
+
+TEST(RngTest, UniformIntFullRangeCoversBothSigns) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  Rng rng(43);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 1000 && !(saw_negative && saw_positive); ++i) {
+    const int64_t v = rng.UniformInt(kMin, kMax);
+    if (v < 0) saw_negative = true;
+    if (v > 0) saw_positive = true;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
 }
 
 TEST(RngTest, GaussianMomentsMatchStandardNormal) {

@@ -6,6 +6,9 @@
 #   tools/check.sh tsan       # Thread sanitizer only
 #   tools/check.sh tidy       # clang-tidy over src/ and tools/
 #   tools/check.sh lint       # icewafl_cli lint over configs/*.json
+#   tools/check.sh obs        # end-to-end observability smoke: run a
+#                             # scenario with --metrics-out/--trace-out
+#                             # and validate both exports parse
 #
 # The sanitizer presets compile with -Werror, so this script is also the
 # warning gate. (-Wmaybe-uninitialized is excluded there: GCC 12 emits
@@ -90,6 +93,60 @@ run_lint() {
   echo "=== lint: OK ==="
 }
 
+run_obs() {
+  echo "=== obs: build icewafl_cli ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${jobs}" --target icewafl_cli
+  local cli=build/tools/icewafl_cli
+  local outdir
+  outdir=$(mktemp -d)
+  trap 'rm -rf "${outdir}"' RETURN
+  echo "=== obs: run software_update with exports ==="
+  "${cli}" run --scenario software_update --parallelism 2 \
+    --metrics-out "${outdir}/metrics.prom" --trace-out "${outdir}/trace.json"
+  echo "=== obs: validate Prometheus exposition ==="
+  # Every non-comment line must be `name{labels} value` or `name value`,
+  # and the series instrumented by the runtime must be present.
+  if grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$)' \
+      "${outdir}/metrics.prom" | grep -q .; then
+    echo "obs: malformed exposition line(s):"
+    grep -vE '^(#|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$)' \
+      "${outdir}/metrics.prom"
+    return 1
+  fi
+  for metric in icewafl_stage_tuples_in_total icewafl_polluter_applied_total \
+                icewafl_dq_expectations_total icewafl_runtime_wall_seconds; do
+    if ! grep -q "^${metric}" "${outdir}/metrics.prom"; then
+      echo "obs: missing metric family ${metric}"
+      return 1
+    fi
+  done
+  echo "=== obs: validate Chrome trace JSON ==="
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${outdir}/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "no trace events"
+for e in events:
+    assert e["ph"] in ("X", "i"), e
+    assert "ts" in e and "tid" in e and "name" in e, e
+print(f"obs: {len(events)} trace events OK")
+EOF
+  else
+    grep -q '"traceEvents"' "${outdir}/trace.json"
+  fi
+  echo "=== obs: determinism (instrumented == uninstrumented) ==="
+  "${cli}" run --scenario software_update --output "${outdir}/plain.csv" \
+    >/dev/null
+  "${cli}" run --scenario software_update --output "${outdir}/obs.csv" \
+    --metrics-out "${outdir}/m2.prom" --trace-out "${outdir}/t2.json" \
+    >/dev/null
+  cmp "${outdir}/plain.csv" "${outdir}/obs.csv"
+  echo "=== obs: OK ==="
+}
+
 modes=("$@")
 if [ "${#modes[@]}" -eq 0 ]; then
   modes=(asan tsan)
@@ -100,8 +157,9 @@ for mode in "${modes[@]}"; do
     asan | tsan) run_preset "${mode}" ;;
     tidy) run_tidy ;;
     lint) run_lint ;;
+    obs) run_obs ;;
     *)
-      echo "unknown mode '${mode}' (expected asan, tsan, tidy, or lint)" >&2
+      echo "unknown mode '${mode}' (expected asan, tsan, tidy, lint, or obs)" >&2
       exit 2
       ;;
   esac

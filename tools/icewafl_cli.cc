@@ -15,15 +15,25 @@
 //   lint      PIPELINE.json [--schema s.json] [--suite suite.json]
 //             [--stream-start T] [--stream-end T] [--json]
 //             (static analysis; no stream is executed)
+//   run       --scenario random_temporal|software_update|network_delay|
+//                         temporal_noise|temporal_scale
+//             [--seed N] [--parallelism P] [--output OUT.csv]
+//             [--metrics-out METRICS.prom] [--trace-out TRACE.json]
+//             (generates the scenario's dataset, streams it through the
+//              pipelined runtime, validates the matching expectation
+//              suite, and optionally exports Prometheus metrics and a
+//              Chrome trace_event JSON)
 //
 // Exit code: 0 on success (for `validate`: also when all expectations
 // pass; for `lint`: no error-severity findings), 1 on failure, 2 on
-// usage errors.
+// usage errors. `run` exits 0 even when the suite flags errors — a
+// polluted stream is SUPPOSED to violate its expectations.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "analysis/analyzer.h"
@@ -35,6 +45,9 @@
 #include "dq/profile.h"
 #include "io/csv.h"
 #include "io/schema_json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenarios/scenarios.h"
 
 namespace {
 
@@ -55,7 +68,11 @@ int Usage() {
       "              [--suggest-suite]\n"
       "  icewafl_cli schema --dataset wearable|airquality\n"
       "  icewafl_cli lint PIPELINE.json [--schema S.json] [--suite Q.json]\n"
-      "              [--stream-start T] [--stream-end T] [--json]\n");
+      "              [--stream-start T] [--stream-end T] [--json]\n"
+      "  icewafl_cli run --scenario random_temporal|software_update|\n"
+      "              network_delay|temporal_noise|temporal_scale\n"
+      "              [--seed N] [--parallelism P] [--output OUT.csv]\n"
+      "              [--metrics-out F.prom] [--trace-out F.json]\n");
   return 2;
 }
 
@@ -301,6 +318,118 @@ int RunLint(const std::string& config_path,
   return diags.HasErrors() ? 1 : 0;
 }
 
+int RunScenario(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("scenario")) {
+    std::fprintf(stderr, "run: missing --scenario\n");
+    return 2;
+  }
+  const std::string name = flags.at("scenario");
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const int parallelism = static_cast<int>(
+      std::strtol(FlagOr(flags, "parallelism", "1").c_str(), nullptr, 10));
+
+  // Resolve the scenario: pipeline, dataset, and (where the paper
+  // defines one) the matching expectation suite.
+  PollutionPipeline pipeline;
+  std::optional<dq::ExpectationSuite> suite;
+  Result<TupleVector> tuples = Status::Internal("unset");
+  SchemaPtr schema;
+  if (name == "random_temporal" || name == "software_update" ||
+      name == "network_delay") {
+    data::WearableOptions options;
+    if (seed != 0) options.seed = seed;
+    tuples = data::GenerateWearable(options);
+    schema = data::WearableSchema();
+    if (name == "random_temporal") {
+      pipeline = scenarios::RandomTemporalErrorsPipeline();
+      suite = scenarios::RandomTemporalErrorsSuite();
+    } else if (name == "software_update") {
+      pipeline = scenarios::SoftwareUpdatePipeline();
+      suite = scenarios::SoftwareUpdateSuite();
+    } else {
+      pipeline = scenarios::NetworkDelayPipeline();
+      suite = scenarios::NetworkDelaySuite();
+    }
+  } else if (name == "temporal_noise" || name == "temporal_scale") {
+    data::AirQualityOptions options;
+    if (seed != 0) options.seed = seed;
+    tuples = data::GenerateAirQuality(options);
+    schema = data::AirQualitySchema();
+    if (name == "temporal_noise") {
+      pipeline = scenarios::TemporalNoisePipeline(
+          scenarios::AirQualityNumericAttributes(), 0.5);
+    } else {
+      pipeline = scenarios::TemporalScalePipeline(
+          scenarios::AirQualityNumericAttributes(), 10.0, 0.1, 24);
+    }
+  } else {
+    std::fprintf(stderr, "unknown scenario: '%s'\n", name.c_str());
+    return 2;
+  }
+  if (!tuples.ok()) return Fail(tuples.status());
+  TupleVector clean = std::move(tuples).ValueOrDie();
+  if (clean.empty()) return Fail(Status::Internal("empty dataset"));
+
+  // Stream bounds for stream-relative profiles (Equations 3/4).
+  auto start_ts = clean.front().GetTimestamp();
+  auto end_ts = clean.back().GetTimestamp();
+  if (!start_ts.ok()) return Fail(start_ts.status());
+  if (!end_ts.ok()) return Fail(end_ts.status());
+
+  // Observability is opt-in: the registry/recorder are only wired into
+  // the run when an export path asks for them, so a plain run pays
+  // nothing but a null check per batch.
+  obs::MetricRegistry registry;
+  obs::TraceRecorder trace;
+  obs::MetricRegistry* metrics_ptr =
+      flags.count("metrics-out") ? &registry : nullptr;
+  obs::TraceRecorder* trace_ptr = flags.count("trace-out") ? &trace : nullptr;
+
+  const size_t clean_size = clean.size();
+  VectorSource source(schema, std::move(clean));
+  RuntimeStats stats;
+  auto polluted = scenarios::ApplyPipelineStreaming(
+      &source, pipeline, seed, parallelism, &stats, metrics_ptr, trace_ptr,
+      start_ts.ValueOrDie(), end_ts.ValueOrDie());
+  if (!polluted.ok()) return Fail(polluted.status());
+
+  std::printf("scenario %s: %zu tuples in, %zu out (seed %llu, "
+              "parallelism %d)\n",
+              name.c_str(), clean_size, polluted.ValueOrDie().size(),
+              static_cast<unsigned long long>(seed), parallelism);
+  std::printf("%s\n", stats.ToString().c_str());
+
+  if (suite.has_value()) {
+    auto validation = suite->Validate(polluted.ValueOrDie());
+    if (!validation.ok()) return Fail(validation.status());
+    std::printf("%s", validation.ValueOrDie().ToReport().c_str());
+    dq::PublishSuiteResult(validation.ValueOrDie(), suite->name(),
+                           metrics_ptr);
+  }
+
+  if (flags.count("output")) {
+    Status st =
+        WriteCsvFile(schema, polluted.ValueOrDie(), flags.at("output"));
+    if (!st.ok()) return Fail(st);
+  }
+  if (metrics_ptr != nullptr) {
+    Status st =
+        WriteTextFile(flags.at("metrics-out"), registry.ToPrometheusText());
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu metric series to %s\n", registry.size(),
+                flags.at("metrics-out").c_str());
+  }
+  if (trace_ptr != nullptr) {
+    Status st =
+        WriteTextFile(flags.at("trace-out"), trace.ToChromeTraceJson());
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu trace events to %s\n", trace.size(),
+                flags.at("trace-out").c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -319,5 +448,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return RunGenerate(flags);
   if (command == "profile") return RunProfile(flags);
   if (command == "schema") return RunSchema(flags);
+  if (command == "run") return RunScenario(flags);
   return Usage();
 }
