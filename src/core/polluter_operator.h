@@ -48,6 +48,13 @@ class PolluterOperator : public Operator {
     tuples_polluted_ = registry->GetCounter(
         "icewafl_polluter_polluted_total", labels,
         "Tuples hit by at least one top-level polluter");
+    // The processing loops gate on tuples_seen_ alone; if either counter
+    // failed to register (metric-type conflict) disable both so the
+    // polluted path never dereferences null.
+    if (tuples_seen_ == nullptr || tuples_polluted_ == nullptr) {
+      tuples_seen_ = nullptr;
+      tuples_polluted_ = nullptr;
+    }
   }
 
   Status Process(Tuple tuple, Emitter* out) override {
@@ -83,13 +90,15 @@ class PolluterOperator : public Operator {
       ctx.rng = nullptr;
       const uint64_t applied_before =
           instrumented ? pipeline_.TotalAppliedCount() : 0;
+      // Seen is counted before Apply so a mid-batch failure can never
+      // leave polluted_total > tuples_total.
+      if (instrumented) tuples_seen_->Increment();
       ICEWAFL_RETURN_NOT_OK(pipeline_.Apply(&tuple, &ctx, log_));
       if (instrumented && pipeline_.TotalAppliedCount() > applied_before) {
         tuples_polluted_->Increment();
       }
       ICEWAFL_RETURN_NOT_OK(out->Emit(std::move(tuple)));
     }
-    if (instrumented) tuples_seen_->Increment(batch->size());
     batch->clear();
     return Status::OK();
   }

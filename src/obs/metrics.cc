@@ -135,9 +135,9 @@ std::vector<double> ExponentialBounds(double lo, double hi, double factor) {
   return bounds;
 }
 
-MetricRegistry::Series* MetricRegistry::GetSeries(const std::string& name,
-                                                  Labels* labels, Type type,
-                                                  const std::string& help) {
+MetricRegistry::Series* MetricRegistry::GetSeries(
+    const std::string& name, Labels* labels, Type type,
+    const std::string& help, std::vector<double>* upper_bounds) {
   if (!IsValidMetricName(name)) return nullptr;
   std::sort(labels->begin(), labels->end());
   const std::string signature = LabelSignature(*labels);
@@ -152,36 +152,48 @@ MetricRegistry::Series* MetricRegistry::GetSeries(const std::string& name,
   }
   Series& series = family.series[signature];
   series.labels = *labels;
+  // Construct the value object while mu_ is still held: two threads
+  // registering the same series concurrently must agree on one object,
+  // and later lock-free reads of the pointer synchronize through mu_.
+  switch (type) {
+    case Type::kCounter:
+      if (series.counter == nullptr) {
+        series.counter = std::make_unique<Counter>();
+      }
+      break;
+    case Type::kGauge:
+      if (series.gauge == nullptr) series.gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      if (series.histogram == nullptr) {
+        series.histogram = std::make_unique<Histogram>(
+            upper_bounds != nullptr ? std::move(*upper_bounds)
+                                    : std::vector<double>());
+      }
+      break;
+  }
   return &series;
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name, Labels labels,
                                     const std::string& help) {
   Series* series = GetSeries(name, &labels, Type::kCounter, help);
-  if (series == nullptr) return nullptr;
-  if (series->counter == nullptr) series->counter =
-      std::make_unique<Counter>();
-  return series->counter.get();
+  return series == nullptr ? nullptr : series->counter.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name, Labels labels,
                                 const std::string& help) {
   Series* series = GetSeries(name, &labels, Type::kGauge, help);
-  if (series == nullptr) return nullptr;
-  if (series->gauge == nullptr) series->gauge = std::make_unique<Gauge>();
-  return series->gauge.get();
+  return series == nullptr ? nullptr : series->gauge.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         Labels labels,
                                         std::vector<double> upper_bounds,
                                         const std::string& help) {
-  Series* series = GetSeries(name, &labels, Type::kHistogram, help);
-  if (series == nullptr) return nullptr;
-  if (series->histogram == nullptr) {
-    series->histogram = std::make_unique<Histogram>(std::move(upper_bounds));
-  }
-  return series->histogram.get();
+  Series* series =
+      GetSeries(name, &labels, Type::kHistogram, help, &upper_bounds);
+  return series == nullptr ? nullptr : series->histogram.get();
 }
 
 size_t MetricRegistry::size() const {

@@ -161,8 +161,13 @@ class MetricRegistry {
     std::map<std::string, Series> series;  // keyed by label signature
   };
 
+  /// Registers (or finds) the series and lazily constructs its value
+  /// object while `mu_` is held, so concurrent Get* calls with the same
+  /// name + labels never race on the unique_ptr. `upper_bounds` is
+  /// consumed only when a histogram is first created.
   Series* GetSeries(const std::string& name, Labels* labels, Type type,
-                    const std::string& help);
+                    const std::string& help,
+                    std::vector<double>* upper_bounds = nullptr);
 
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;

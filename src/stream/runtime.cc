@@ -158,6 +158,12 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
       handles[s].batches =
           metrics->GetCounter("icewafl_stage_batches_total", labels,
                               "Batches handled by a pipeline stage");
+      // Stage loops gate all three on one null check; if any counter hit
+      // a metric-type conflict, disable the whole stage's handles.
+      if (handles[s].tuples_in == nullptr || handles[s].tuples_out == nullptr ||
+          handles[s].batches == nullptr) {
+        handles[s] = StageHandles{};
+      }
     }
     batch_histogram = metrics->GetHistogram(
         "icewafl_runtime_batch_tuples", {},
@@ -266,6 +272,8 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
         if (obs_handles.tuples_out != nullptr) {
           obs_handles.tuples_out->Increment(pending[w].size());
           obs_handles.batches->Increment();
+        }
+        if (batch_histogram != nullptr) {
           batch_histogram->Observe(static_cast<double>(pending[w].size()));
         }
         gauge.Add(pending[w].size());
@@ -293,6 +301,8 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
       if (obs_handles.tuples_out != nullptr) {
         obs_handles.tuples_out->Increment(pending[w].size());
         obs_handles.batches->Increment();
+      }
+      if (batch_histogram != nullptr) {
         batch_histogram->Observe(static_cast<double>(pending[w].size()));
       }
       gauge.Add(pending[w].size());
@@ -381,24 +391,28 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
   if (metrics != nullptr) {
     for (const StageStats& s : stats_.stages) {
       const obs::Labels labels = {{"stage", s.stage}};
-      metrics
-          ->GetCounter("icewafl_stage_blocked_pushes_total", labels,
-                       "Pushes that waited on a full channel (backpressure)")
-          ->Increment(s.blocked_pushes);
-      metrics
-          ->GetCounter("icewafl_stage_blocked_pops_total", labels,
-                       "Pops that waited on an empty channel (starvation)")
-          ->Increment(s.blocked_pops);
+      obs::Counter* blocked_pushes = metrics->GetCounter(
+          "icewafl_stage_blocked_pushes_total", labels,
+          "Pushes that waited on a full channel (backpressure)");
+      if (blocked_pushes != nullptr) {
+        blocked_pushes->Increment(s.blocked_pushes);
+      }
+      obs::Counter* blocked_pops = metrics->GetCounter(
+          "icewafl_stage_blocked_pops_total", labels,
+          "Pops that waited on an empty channel (starvation)");
+      if (blocked_pops != nullptr) blocked_pops->Increment(s.blocked_pops);
     }
-    metrics
-        ->GetGauge("icewafl_runtime_peak_buffered_tuples", {},
-                   "High-water mark of tuples buffered in channels")
-        ->SetMax(static_cast<double>(stats_.peak_buffered_tuples));
-    metrics
-        ->GetHistogram("icewafl_runtime_wall_seconds", {},
-                       obs::ExponentialBounds(1e-4, 64.0, 2.0),
-                       "End-to-end wall time of one runtime execution")
-        ->Observe(stats_.wall_seconds);
+    obs::Gauge* peak_buffered = metrics->GetGauge(
+        "icewafl_runtime_peak_buffered_tuples", {},
+        "High-water mark of tuples buffered in channels");
+    if (peak_buffered != nullptr) {
+      peak_buffered->SetMax(static_cast<double>(stats_.peak_buffered_tuples));
+    }
+    obs::Histogram* wall_histogram = metrics->GetHistogram(
+        "icewafl_runtime_wall_seconds", {},
+        obs::ExponentialBounds(1e-4, 64.0, 2.0),
+        "End-to-end wall time of one runtime execution");
+    if (wall_histogram != nullptr) wall_histogram->Observe(stats_.wall_seconds);
   }
 
   ICEWAFL_RETURN_NOT_OK(source_status);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -184,6 +185,51 @@ TEST(MetricRegistryTest, ConcurrentRegistrationIsSafe) {
   for (auto& t : threads) t.join();
   Counter* c = registry.GetCounter("icewafl_shared_total", {{"worker", "all"}});
   EXPECT_EQ(c->value(), 8000u);
+}
+
+// Regression: lazy value creation used to happen after GetSeries released
+// the registry mutex, so two threads registering the same cold series
+// could each construct the object and one increment could land on a
+// Counter the other thread had just destroyed. All threads start behind
+// a gate so the very first Get* calls collide.
+TEST(MetricRegistryTest, ConcurrentFirstRegistrationSharesOneHandle) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<Counter*> counters(kThreads, nullptr);
+  std::vector<Gauge*> gauges(kThreads, nullptr);
+  std::vector<Histogram*> histograms(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load()) {
+      }
+      counters[t] = registry.GetCounter("icewafl_cold_total",
+                                        {{"worker", "all"}});
+      ASSERT_NE(counters[t], nullptr);
+      counters[t]->Increment();
+      gauges[t] = registry.GetGauge("icewafl_cold_gauge");
+      ASSERT_NE(gauges[t], nullptr);
+      histograms[t] =
+          registry.GetHistogram("icewafl_cold_seconds", {}, {1.0, 2.0});
+      ASSERT_NE(histograms[t], nullptr);
+      histograms[t]->Observe(1.5);
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true);
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(counters[t], counters[0]);
+    EXPECT_EQ(gauges[t], gauges[0]);
+    EXPECT_EQ(histograms[t], histograms[0]);
+  }
+  EXPECT_EQ(counters[0]->value(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(histograms[0]->count(), static_cast<uint64_t>(kThreads));
 }
 
 }  // namespace
