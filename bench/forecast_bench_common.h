@@ -36,25 +36,16 @@ struct ForecastBenchOptions {
 };
 
 /// Exogenous feature vectors for ARIMAX: TEMP, PRES, WSPM plus sine and
-/// cosine encodings of hour and month (Section 3.2.2).
+/// cosine encodings of hour and month (Section 3.2.2). Pressure enters
+/// as an offset from one atmosphere to keep the NLMS feature norm
+/// balanced. One bound pass instead of three per-column extractions.
 inline Result<std::vector<std::vector<double>>> ArimaxFeatures(
     const TupleVector& tuples) {
-  std::vector<std::vector<double>> x;
-  x.reserve(tuples.size());
-  ICEWAFL_ASSIGN_OR_RETURN(auto temp, data::ColumnAsDoubles(tuples, "TEMP"));
-  ICEWAFL_ASSIGN_OR_RETURN(auto pres, data::ColumnAsDoubles(tuples, "PRES"));
-  ICEWAFL_ASSIGN_OR_RETURN(auto wspm, data::ColumnAsDoubles(tuples, "WSPM"));
-  ICEWAFL_ASSIGN_OR_RETURN(auto ts, data::ColumnAsTimestamps(tuples));
-  for (size_t i = 0; i < tuples.size(); ++i) {
-    std::vector<double> features = forecast::TimeEncodings(ts[i]);
-    // Pressure enters as an offset from one atmosphere to keep the NLMS
-    // feature norm balanced.
-    features.push_back(temp[i] * 0.1);
-    features.push_back((pres[i] - 1012.0) * 0.1);
-    features.push_back(wspm[i]);
-    x.push_back(std::move(features));
-  }
-  return x;
+  forecast::FeatureEncoder encoder;
+  encoder.AddColumn("TEMP", /*scale=*/0.1);
+  encoder.AddColumn("PRES", /*scale=*/0.1, /*offset=*/-1012.0);
+  encoder.AddColumn("WSPM");
+  return encoder.EncodeAll(tuples);
 }
 
 inline std::map<std::string, forecast::ForecasterPtr> MakeModels() {

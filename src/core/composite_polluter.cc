@@ -9,6 +9,23 @@ void CompositePolluter::Register(PolluterPtr child) {
   children_.push_back(std::move(child));
 }
 
+Status CompositePolluter::Bind(BindContext& ctx) {
+  bound_schema_ = nullptr;
+  {
+    BindContext::Scope condition_scope(ctx, "condition");
+    ICEWAFL_RETURN_NOT_OK(condition_->Bind(ctx));
+  }
+  {
+    BindContext::Scope children_scope(ctx, "children");
+    for (size_t i = 0; i < children_.size(); ++i) {
+      BindContext::Scope index_scope(ctx, i);
+      ICEWAFL_RETURN_NOT_OK(children_[i]->Bind(ctx));
+    }
+  }
+  bound_schema_ = &ctx.schema();
+  return Status::OK();
+}
+
 void CompositePolluter::Seed(Rng* parent) {
   rng_ = parent->Fork();
   for (const PolluterPtr& child : children_) child->Seed(&rng_);
@@ -38,12 +55,12 @@ SequentialPolluter::SequentialPolluter(std::string label,
 
 Status SequentialPolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
                                    PollutionLog* log) {
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(*tuple));
   Rng* const outer_rng = ctx->rng;
   ctx->rng = &rng_;
-  auto gate = condition_->Evaluate(*tuple, ctx);
+  const bool gate = condition_->Evaluate(*tuple, ctx);
   ctx->rng = outer_rng;
-  if (!gate.ok()) return gate.status();
-  if (!gate.ValueOrDie()) return Status::OK();
+  if (!gate) return Status::OK();
   ++applied_count_;
   for (const PolluterPtr& child : children_) {
     ICEWAFL_RETURN_NOT_OK(child->Pollute(tuple, ctx, log));
@@ -66,6 +83,7 @@ PolluterPtr SequentialPolluter::Clone() const {
   for (const PolluterPtr& child : children_) {
     clone->Register(child->Clone());
   }
+  clone->bound_schema_ = bound_schema_;
   return clone;
 }
 
@@ -80,20 +98,35 @@ void ExclusivePolluter::RegisterWeighted(PolluterPtr child, double weight) {
   weights_.push_back(weight);
 }
 
+double ExclusivePolluter::TotalWeight() const {
+  double total = 0.0;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    total += i < weights_.size() ? weights_[i] : 1.0;
+  }
+  return total;
+}
+
+Status ExclusivePolluter::Bind(BindContext& ctx) {
+  if (!children_.empty() && TotalWeight() <= 0.0) {
+    BindContext::Scope weights_scope(ctx, "weights");
+    return ctx.Error(StatusCode::kInvalidArgument,
+                     "exclusive polluter '" + label_ +
+                         "': total child weight must be > 0");
+  }
+  return CompositePolluter::Bind(ctx);
+}
+
 Status ExclusivePolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
                                   PollutionLog* log) {
   if (children_.empty()) return Status::OK();
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(*tuple));
   Rng* const outer_rng = ctx->rng;
   ctx->rng = &rng_;
   Status st = [&]() -> Status {
-    ICEWAFL_ASSIGN_OR_RETURN(bool fired, condition_->Evaluate(*tuple, ctx));
-    if (!fired) return Status::OK();
+    if (!condition_->Evaluate(*tuple, ctx)) return Status::OK();
     ++applied_count_;
     // Weighted draw among children (unweighted children count as 1).
-    double total = 0.0;
-    for (size_t i = 0; i < children_.size(); ++i) {
-      total += i < weights_.size() ? weights_[i] : 1.0;
-    }
+    const double total = TotalWeight();
     if (total <= 0.0) {
       return Status::InvalidArgument("exclusive polluter '" + label_ +
                                      "': total child weight must be > 0");
@@ -133,6 +166,7 @@ PolluterPtr ExclusivePolluter::Clone() const {
     clone->RegisterWeighted(children_[i]->Clone(),
                             i < weights_.size() ? weights_[i] : 1.0);
   }
+  clone->bound_schema_ = bound_schema_;
   return clone;
 }
 

@@ -26,6 +26,10 @@ class CompositePolluter : public Polluter {
   size_t num_children() const { return children_.size(); }
   const std::vector<PolluterPtr>& children() const { return children_; }
 
+  /// \brief Binds the gate condition (at "condition") and recurses into
+  /// the children (at "children/<i>").
+  Status Bind(BindContext& ctx) override;
+
   void Seed(Rng* parent) override;
   void ResetStats() override;
 
@@ -61,12 +65,17 @@ class ExclusivePolluter : public CompositePolluter {
 
   void RegisterWeighted(PolluterPtr child, double weight);
 
+  /// \brief Additionally rejects a non-positive total child weight.
+  Status Bind(BindContext& ctx) override;
+
   Status Pollute(Tuple* tuple, PollutionContext* ctx,
                  PollutionLog* log) override;
   Json ToJson() const override;
   PolluterPtr Clone() const override;
 
  private:
+  double TotalWeight() const;
+
   std::vector<double> weights_;
 };
 

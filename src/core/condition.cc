@@ -4,7 +4,7 @@
 
 namespace icewafl {
 
-Result<bool> AlwaysCondition::Evaluate(const Tuple&, PollutionContext*) {
+bool AlwaysCondition::Evaluate(const Tuple&, PollutionContext*) noexcept {
   return true;
 }
 
@@ -18,7 +18,7 @@ ConditionPtr AlwaysCondition::Clone() const {
   return std::make_unique<AlwaysCondition>();
 }
 
-Result<bool> NeverCondition::Evaluate(const Tuple&, PollutionContext*) {
+bool NeverCondition::Evaluate(const Tuple&, PollutionContext*) noexcept {
   return false;
 }
 
@@ -35,10 +35,10 @@ ConditionPtr NeverCondition::Clone() const {
 RandomCondition::RandomCondition(double p)
     : p_(std::min(1.0, std::max(0.0, p))) {}
 
-Result<bool> RandomCondition::Evaluate(const Tuple&, PollutionContext* ctx) {
-  if (ctx->rng == nullptr) {
-    return Status::Internal("random condition evaluated without RNG");
-  }
+bool RandomCondition::Evaluate(const Tuple&, PollutionContext* ctx) noexcept {
+  // Polluters install their private stream before evaluating; without
+  // one there is no reproducible draw to make, so stay silent.
+  if (ctx->rng == nullptr) return false;
   return ctx->rng->Bernoulli(p_);
 }
 
@@ -91,9 +91,37 @@ ValueCondition::ValueCondition(std::string attribute, CompareOp op,
                                Value operand)
     : attribute_(std::move(attribute)), op_(op), operand_(std::move(operand)) {}
 
-Result<bool> ValueCondition::Evaluate(const Tuple& tuple,
-                                      PollutionContext*) {
-  ICEWAFL_ASSIGN_OR_RETURN(Value v, tuple.Get(attribute_));
+Status ValueCondition::Bind(BindContext& ctx) {
+  {
+    BindContext::Scope scope(ctx, "attribute");
+    ICEWAFL_ASSIGN_OR_RETURN(accessor_, ctx.Resolve(attribute_));
+  }
+  // Mirror of lint IW104: a numeric operand can never equal (or order
+  // against) a string column and vice versa, so the condition is a
+  // misconfiguration, not a per-tuple outcome.
+  const ValueType column = accessor_.declared_type();
+  const bool column_numeric =
+      column == ValueType::kInt64 || column == ValueType::kDouble;
+  if (operand_.is_numeric() && column == ValueType::kString) {
+    BindContext::Scope scope(ctx, "operand");
+    return ctx.Error(StatusCode::kTypeError,
+                     "numeric operand compared against string column '" +
+                         attribute_ + "'");
+  }
+  if (operand_.is_string() && column_numeric) {
+    BindContext::Scope scope(ctx, "operand");
+    return ctx.Error(StatusCode::kTypeError,
+                     "string operand compared against numeric column '" +
+                         attribute_ + "'");
+  }
+  bound_ = true;
+  return Status::OK();
+}
+
+bool ValueCondition::Evaluate(const Tuple& tuple,
+                              PollutionContext*) noexcept {
+  if (!bound_) return false;
+  const Value& v = accessor_.at(tuple);
   switch (op_) {
     case CompareOp::kIsNull:
       return v.is_null();
@@ -129,7 +157,7 @@ Result<bool> ValueCondition::Evaluate(const Tuple& tuple,
     case CompareOp::kGe:
       return !(v < operand_);
     default:
-      return Status::Internal("unhandled comparison operator");
+      return false;  // unreachable: null ops handled above
   }
 }
 
@@ -160,6 +188,7 @@ Json ValueCondition::ToJson() const {
 }
 
 ConditionPtr ValueCondition::Clone() const {
+  // Copy construction preserves the bound accessor.
   return std::make_unique<ValueCondition>(*this);
 }
 
@@ -170,8 +199,8 @@ ConditionPtr TimeWindowCondition::After(Timestamp start) {
   return std::make_unique<TimeWindowCondition>(start, INT64_MAX);
 }
 
-Result<bool> TimeWindowCondition::Evaluate(const Tuple&,
-                                           PollutionContext* ctx) {
+bool TimeWindowCondition::Evaluate(const Tuple&,
+                                   PollutionContext* ctx) noexcept {
   return ctx->tau >= start_ && ctx->tau < end_;
 }
 
@@ -193,8 +222,8 @@ ConditionPtr TimeWindowCondition::Clone() const {
 DailyWindowCondition::DailyWindowCondition(int start_minute, int end_minute)
     : start_minute_(start_minute), end_minute_(end_minute) {}
 
-Result<bool> DailyWindowCondition::Evaluate(const Tuple&,
-                                            PollutionContext* ctx) {
+bool DailyWindowCondition::Evaluate(const Tuple&,
+                                    PollutionContext* ctx) noexcept {
   const int minute = MinuteOfDay(ctx->tau);
   if (start_minute_ <= end_minute_) {
     return minute >= start_minute_ && minute <= end_minute_;
@@ -219,11 +248,9 @@ ProfileProbabilityCondition::ProfileProbabilityCondition(
     TimeProfilePtr profile)
     : profile_(std::move(profile)) {}
 
-Result<bool> ProfileProbabilityCondition::Evaluate(const Tuple&,
-                                                   PollutionContext* ctx) {
-  if (ctx->rng == nullptr) {
-    return Status::Internal("profile condition evaluated without RNG");
-  }
+bool ProfileProbabilityCondition::Evaluate(const Tuple&,
+                                           PollutionContext* ctx) noexcept {
+  if (ctx->rng == nullptr) return false;
   return ctx->rng->Bernoulli(profile_->Evaluate(*ctx));
 }
 
@@ -241,11 +268,19 @@ ConditionPtr ProfileProbabilityCondition::Clone() const {
 AndCondition::AndCondition(std::vector<ConditionPtr> children)
     : children_(std::move(children)) {}
 
-Result<bool> AndCondition::Evaluate(const Tuple& tuple,
-                                    PollutionContext* ctx) {
+Status AndCondition::Bind(BindContext& ctx) {
+  BindContext::Scope scope(ctx, "children");
+  for (size_t i = 0; i < children_.size(); ++i) {
+    BindContext::Scope child_scope(ctx, i);
+    ICEWAFL_RETURN_NOT_OK(children_[i]->Bind(ctx));
+  }
+  return Status::OK();
+}
+
+bool AndCondition::Evaluate(const Tuple& tuple,
+                            PollutionContext* ctx) noexcept {
   for (const ConditionPtr& child : children_) {
-    ICEWAFL_ASSIGN_OR_RETURN(bool fired, child->Evaluate(tuple, ctx));
-    if (!fired) return false;
+    if (!child->Evaluate(tuple, ctx)) return false;
   }
   return true;
 }
@@ -269,10 +304,19 @@ ConditionPtr AndCondition::Clone() const {
 OrCondition::OrCondition(std::vector<ConditionPtr> children)
     : children_(std::move(children)) {}
 
-Result<bool> OrCondition::Evaluate(const Tuple& tuple, PollutionContext* ctx) {
+Status OrCondition::Bind(BindContext& ctx) {
+  BindContext::Scope scope(ctx, "children");
+  for (size_t i = 0; i < children_.size(); ++i) {
+    BindContext::Scope child_scope(ctx, i);
+    ICEWAFL_RETURN_NOT_OK(children_[i]->Bind(ctx));
+  }
+  return Status::OK();
+}
+
+bool OrCondition::Evaluate(const Tuple& tuple,
+                           PollutionContext* ctx) noexcept {
   for (const ConditionPtr& child : children_) {
-    ICEWAFL_ASSIGN_OR_RETURN(bool fired, child->Evaluate(tuple, ctx));
-    if (fired) return true;
+    if (child->Evaluate(tuple, ctx)) return true;
   }
   return false;
 }
@@ -328,12 +372,37 @@ WindowAggregateCondition::WindowAggregateCondition(std::string attribute,
       op_(op),
       threshold_(threshold) {}
 
-Result<bool> WindowAggregateCondition::Evaluate(const Tuple& tuple,
-                                                PollutionContext* ctx) {
-  // Ingest the current tuple's value into the window.
-  ICEWAFL_ASSIGN_OR_RETURN(Value v, tuple.Get(attribute_));
-  if (!v.is_null() && v.is_numeric()) {
-    const double x = v.ToDouble().ValueOrDie();
+Status WindowAggregateCondition::Bind(BindContext& ctx) {
+  if (op_ == CompareOp::kIsNull || op_ == CompareOp::kNotNull) {
+    BindContext::Scope scope(ctx, "op");
+    return ctx.Error(
+        StatusCode::kInvalidArgument,
+        "window_aggregate does not support null comparison operators");
+  }
+  BindContext::Scope scope(ctx, "attribute");
+  ICEWAFL_ASSIGN_OR_RETURN(BoundAccessor accessor, ctx.Resolve(attribute_));
+  // Mirror of lint IW104: only int64/double columns aggregate.
+  const ValueType type = accessor.declared_type();
+  if (type != ValueType::kInt64 && type != ValueType::kDouble) {
+    return ctx.Error(StatusCode::kTypeError,
+                     "window aggregate over non-numeric column '" +
+                         attribute_ + "' (" + ValueTypeName(type) + ")");
+  }
+  accessor_ = accessor;
+  bound_ = true;
+  return Status::OK();
+}
+
+bool WindowAggregateCondition::Evaluate(const Tuple& tuple,
+                                        PollutionContext* ctx) noexcept {
+  if (!bound_) return false;
+  // Ingest the current tuple's value into the window. Values whose
+  // runtime type diverged from the declared column type (an upstream
+  // polluter may have rewritten it) are skipped like NULLs.
+  const Value& v = accessor_.at(tuple);
+  if (v.is_numeric()) {
+    const double x = v.is_double() ? v.AsDouble()
+                                   : static_cast<double>(v.AsInt64());
     window_.emplace_back(ctx->tau, x);
     sum_ += x;
   }
@@ -383,8 +452,7 @@ Result<bool> WindowAggregateCondition::Evaluate(const Tuple& tuple,
     case CompareOp::kGe:
       return aggregate >= threshold_;
     default:
-      return Status::InvalidArgument(
-          "window_aggregate does not support null comparison operators");
+      return false;  // null ops rejected at Bind
   }
 }
 
@@ -400,18 +468,27 @@ Json WindowAggregateCondition::ToJson() const {
 }
 
 ConditionPtr WindowAggregateCondition::Clone() const {
-  // Fresh clones start with an empty window.
-  return std::make_unique<WindowAggregateCondition>(
+  // Fresh clones start with an empty window but keep the bound accessor
+  // so worker clones never re-resolve.
+  auto clone = std::make_unique<WindowAggregateCondition>(
       attribute_, window_seconds_, agg_, op_, threshold_);
+  clone->accessor_ = accessor_;
+  clone->bound_ = bound_;
+  return clone;
 }
 
 HoldCondition::HoldCondition(ConditionPtr inner, int64_t hold_seconds)
     : inner_(std::move(inner)), hold_seconds_(hold_seconds) {}
 
-Result<bool> HoldCondition::Evaluate(const Tuple& tuple,
-                                     PollutionContext* ctx) {
+Status HoldCondition::Bind(BindContext& ctx) {
+  BindContext::Scope scope(ctx, "inner");
+  return inner_->Bind(ctx);
+}
+
+bool HoldCondition::Evaluate(const Tuple& tuple,
+                             PollutionContext* ctx) noexcept {
   if (ctx->tau < hold_until_) return true;
-  ICEWAFL_ASSIGN_OR_RETURN(bool fired, inner_->Evaluate(tuple, ctx));
+  const bool fired = inner_->Evaluate(tuple, ctx);
   if (fired) hold_until_ = ctx->tau + hold_seconds_;
   return fired;
 }
@@ -425,15 +502,21 @@ Json HoldCondition::ToJson() const {
 }
 
 ConditionPtr HoldCondition::Clone() const {
-  // Fresh clones start without an active hold.
+  // Fresh clones start without an active hold; the inner clone keeps
+  // its bound state.
   return std::make_unique<HoldCondition>(inner_->Clone(), hold_seconds_);
 }
 
 NotCondition::NotCondition(ConditionPtr child) : child_(std::move(child)) {}
 
-Result<bool> NotCondition::Evaluate(const Tuple& tuple, PollutionContext* ctx) {
-  ICEWAFL_ASSIGN_OR_RETURN(bool fired, child_->Evaluate(tuple, ctx));
-  return !fired;
+Status NotCondition::Bind(BindContext& ctx) {
+  BindContext::Scope scope(ctx, "child");
+  return child_->Bind(ctx);
+}
+
+bool NotCondition::Evaluate(const Tuple& tuple,
+                            PollutionContext* ctx) noexcept {
+  return !child_->Evaluate(tuple, ctx);
 }
 
 Json NotCondition::ToJson() const {

@@ -9,6 +9,7 @@
 
 #include "core/context.h"
 #include "core/time_profile.h"
+#include "stream/bind.h"
 #include "stream/tuple.h"
 #include "util/json.h"
 #include "util/result.h"
@@ -22,13 +23,29 @@ namespace icewafl {
 /// (ii) depending on the values to be polluted, (iii) depending on other
 /// values of the tuple; Icewafl adds (iv) temporal conditions on the event
 /// time, and (v) composites conjoining any of the above.
+///
+/// Conditions follow the two-phase bind/run lifecycle (DESIGN.md §8):
+/// Bind resolves attribute names against the schema once and surfaces
+/// misconfiguration as a Status with a JSON-pointer path; Evaluate is the
+/// noexcept per-tuple hot path with no error plumbing.
 class Condition {
  public:
   virtual ~Condition() = default;
 
-  /// \brief Decides whether to pollute `tuple`. Returns an error only on
-  /// misconfiguration (e.g. unknown attribute).
-  virtual Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) = 0;
+  /// \brief Compiles the condition against a schema: attribute names
+  /// become column indices, type mismatches are rejected here. Default
+  /// is a no-op for schema-independent conditions. Idempotent; callers
+  /// may re-bind against a different schema.
+  virtual Status Bind(BindContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// \brief Decides whether to pollute `tuple`. Schema-dependent
+  /// conditions must be bound first; an unbound (or RNG-less random)
+  /// condition conservatively returns false.
+  virtual bool Evaluate(const Tuple& tuple,
+                        PollutionContext* ctx) noexcept = 0;
 
   virtual std::string name() const = 0;
   virtual Json ToJson() const = 0;
@@ -40,7 +57,7 @@ using ConditionPtr = std::unique_ptr<Condition>;
 /// \brief Fires for every tuple.
 class AlwaysCondition : public Condition {
  public:
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "always"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -49,7 +66,7 @@ class AlwaysCondition : public Condition {
 /// \brief Never fires (disables a polluter without removing it).
 class NeverCondition : public Condition {
  public:
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "never"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -59,7 +76,7 @@ class NeverCondition : public Condition {
 class RandomCondition : public Condition {
  public:
   explicit RandomCondition(double p);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "random"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -93,7 +110,12 @@ const char* CompareOpName(CompareOp op);
 class ValueCondition : public Condition {
  public:
   ValueCondition(std::string attribute, CompareOp op, Value operand = Value());
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+
+  /// Resolves the attribute and rejects operand/column type mismatches
+  /// (a numeric operand against a string column and vice versa).
+  Status Bind(BindContext& ctx) override;
+
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "value"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -102,6 +124,8 @@ class ValueCondition : public Condition {
   std::string attribute_;
   CompareOp op_;
   Value operand_;
+  BoundAccessor accessor_;
+  bool bound_ = false;
 };
 
 /// \brief Temporal condition: fires while the event time lies in
@@ -115,7 +139,7 @@ class TimeWindowCondition : public Condition {
   /// software-update date condition "Time >= 2016-02-27").
   static ConditionPtr After(Timestamp start);
 
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "time_window"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -131,7 +155,7 @@ class TimeWindowCondition : public Condition {
 class DailyWindowCondition : public Condition {
  public:
   DailyWindowCondition(int start_minute, int end_minute);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "daily_window"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -147,7 +171,7 @@ class DailyWindowCondition : public Condition {
 class ProfileProbabilityCondition : public Condition {
  public:
   explicit ProfileProbabilityCondition(TimeProfilePtr profile);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "profile_probability"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -161,7 +185,8 @@ class ProfileProbabilityCondition : public Condition {
 class AndCondition : public Condition {
  public:
   explicit AndCondition(std::vector<ConditionPtr> children);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  Status Bind(BindContext& ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "and"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -174,7 +199,8 @@ class AndCondition : public Condition {
 class OrCondition : public Condition {
  public:
   explicit OrCondition(std::vector<ConditionPtr> children);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  Status Bind(BindContext& ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "or"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -207,10 +233,16 @@ const char* WindowAggName(WindowAgg agg);
 /// fires (except for kCount, which compares 0).
 class WindowAggregateCondition : public Condition {
  public:
-  /// \param op one of ==, !=, <, <=, >, >= (null checks are invalid).
+  /// \param op one of ==, !=, <, <=, >, >= (null checks are invalid and
+  ///   rejected by Bind; the config loader rejects them at parse time).
   WindowAggregateCondition(std::string attribute, int64_t window_seconds,
                            WindowAgg agg, CompareOp op, double threshold);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+
+  /// Resolves the attribute (which must be a numeric column) and
+  /// rejects null comparison operators.
+  Status Bind(BindContext& ctx) override;
+
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "window_aggregate"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -221,6 +253,8 @@ class WindowAggregateCondition : public Condition {
   WindowAgg agg_;
   CompareOp op_;
   double threshold_;
+  BoundAccessor accessor_;
+  bool bound_ = false;
   // Trailing window of (event time, value); sum_ kept incrementally.
   std::deque<std::pair<Timestamp, double>> window_;
   double sum_ = 0.0;
@@ -236,7 +270,8 @@ class WindowAggregateCondition : public Condition {
 class HoldCondition : public Condition {
  public:
   HoldCondition(ConditionPtr inner, int64_t hold_seconds);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  Status Bind(BindContext& ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "hold"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -251,7 +286,8 @@ class HoldCondition : public Condition {
 class NotCondition : public Condition {
  public:
   explicit NotCondition(ConditionPtr child);
-  Result<bool> Evaluate(const Tuple& tuple, PollutionContext* ctx) override;
+  Status Bind(BindContext& ctx) override;
+  bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
   std::string name() const override { return "not"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;

@@ -382,6 +382,13 @@ Result<ConditionPtr> ConditionFromJson(const Json& json,
       return Status::ParseError("invalid op at " + Sub(path, "op") + ": " +
                                 op.status().message());
     }
+    if (op.ValueOrDie() == CompareOp::kIsNull ||
+        op.ValueOrDie() == CompareOp::kNotNull) {
+      return Status::ParseError(
+          "invalid op at " + Sub(path, "op") +
+          ": window_aggregate does not support null comparison operator '" +
+          op_text + "'");
+    }
     ICEWAFL_ASSIGN_OR_RETURN(double threshold,
                              RequireDouble(json, "threshold", path));
     return ConditionPtr(std::make_unique<WindowAggregateCondition>(
@@ -494,7 +501,8 @@ Result<PolluterPtr> PolluterFromJson(const Json& json,
                             AtPath(path));
 }
 
-Result<PollutionPipeline> PipelineFromJson(const Json& json) {
+Result<PollutionPipeline> PipelineFromJson(const Json& json,
+                                           SchemaPtr bind_schema) {
   if (!json.is_object()) {
     return Status::ParseError("pipeline description must be a JSON object");
   }
@@ -512,6 +520,9 @@ Result<PollutionPipeline> PipelineFromJson(const Json& json) {
         PolluterFromJson(polluters.items()[i], SubIdx("/polluters", i)));
     pipeline.Add(std::move(polluter));
   }
+  if (bind_schema != nullptr) {
+    ICEWAFL_RETURN_NOT_OK(pipeline.Bind(std::move(bind_schema)));
+  }
   return pipeline;
 }
 
@@ -519,17 +530,19 @@ void SetPipelineLoadHook(PipelineLoadHook hook) {
   g_pipeline_load_hook = std::move(hook);
 }
 
-Result<PollutionPipeline> PipelineFromConfigString(const std::string& text) {
+Result<PollutionPipeline> PipelineFromConfigString(const std::string& text,
+                                                   SchemaPtr bind_schema) {
   ICEWAFL_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
-  return PipelineFromJson(json);
+  return PipelineFromJson(json, std::move(bind_schema));
 }
 
-Result<PollutionPipeline> PipelineFromConfigFile(const std::string& path) {
+Result<PollutionPipeline> PipelineFromConfigFile(const std::string& path,
+                                                 SchemaPtr bind_schema) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open config file: '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return PipelineFromConfigString(buf.str());
+  return PipelineFromConfigString(buf.str(), std::move(bind_schema));
 }
 
 }  // namespace icewafl

@@ -55,7 +55,12 @@ Result<PolluterPtr> PolluterFromJson(const Json& json,
                                      const std::string& path = "");
 
 /// \brief Builds a whole pipeline from {"name": ..., "polluters": [...]}.
-Result<PollutionPipeline> PipelineFromJson(const Json& json);
+/// When `bind_schema` is non-null the pipeline is additionally bound
+/// against it (two-phase bind/run lifecycle, DESIGN.md §8), so unknown
+/// attributes and type mismatches surface at load time — with the same
+/// JSON-pointer paths as parse errors — instead of mid-stream.
+Result<PollutionPipeline> PipelineFromJson(const Json& json,
+                                           SchemaPtr bind_schema = nullptr);
 
 /// \brief Opt-in pipeline-load hook, run by PipelineFromJson on the raw
 /// document before construction. A non-OK return aborts the load with
@@ -65,11 +70,15 @@ Result<PollutionPipeline> PipelineFromJson(const Json& json);
 using PipelineLoadHook = std::function<Status(const Json& pipeline_json)>;
 void SetPipelineLoadHook(PipelineLoadHook hook);
 
-/// \brief Parses JSON text and builds the pipeline.
-Result<PollutionPipeline> PipelineFromConfigString(const std::string& text);
+/// \brief Parses JSON text and builds (and, with a schema, binds) the
+/// pipeline.
+Result<PollutionPipeline> PipelineFromConfigString(
+    const std::string& text, SchemaPtr bind_schema = nullptr);
 
-/// \brief Reads a JSON config file and builds the pipeline.
-Result<PollutionPipeline> PipelineFromConfigFile(const std::string& path);
+/// \brief Reads a JSON config file and builds (and, with a schema,
+/// binds) the pipeline.
+Result<PollutionPipeline> PipelineFromConfigFile(
+    const std::string& path, SchemaPtr bind_schema = nullptr);
 
 }  // namespace icewafl
 

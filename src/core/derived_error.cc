@@ -6,19 +6,25 @@ DerivedTemporalError::DerivedTemporalError(ErrorFunctionPtr base,
                                            TimeProfilePtr profile)
     : base_(std::move(base)), profile_(std::move(profile)) {}
 
-Status DerivedTemporalError::Apply(Tuple* tuple,
-                                   const std::vector<size_t>& attrs,
-                                   PollutionContext* ctx) {
-  const double outer = ctx->severity;
-  ctx->severity = outer * profile_->Evaluate(*ctx);
-  Status st = base_->Apply(tuple, attrs, ctx);
-  ctx->severity = outer;
-  return st;
+Status DerivedTemporalError::Bind(BindContext& ctx,
+                                  const std::vector<size_t>& attrs) {
+  // Delegate to the wrapped static error; the profile has no schema
+  // dependency (it reads only the tuple's event time via the context).
+  return base_->Bind(ctx, attrs);
 }
 
-Status DerivedTemporalError::Observe(const Tuple& tuple,
-                                     const std::vector<size_t>& attrs) {
-  return base_->Observe(tuple, attrs);
+void DerivedTemporalError::Apply(Tuple* tuple,
+                                 const std::vector<size_t>& attrs,
+                                 PollutionContext* ctx) {
+  const double outer = ctx->severity;
+  ctx->severity = outer * profile_->Evaluate(*ctx);
+  base_->Apply(tuple, attrs, ctx);
+  ctx->severity = outer;
+}
+
+void DerivedTemporalError::Observe(const Tuple& tuple,
+                                   const std::vector<size_t>& attrs) {
+  base_->Observe(tuple, attrs);
 }
 
 std::string DerivedTemporalError::name() const {

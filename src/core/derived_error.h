@@ -22,10 +22,11 @@ class DerivedTemporalError : public ErrorFunction {
  public:
   DerivedTemporalError(ErrorFunctionPtr base, TimeProfilePtr profile);
 
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
-  Status Observe(const Tuple& tuple,
-                 const std::vector<size_t>& attrs) override;
+  Status Bind(BindContext& ctx, const std::vector<size_t>& attrs) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
+  void Observe(const Tuple& tuple,
+               const std::vector<size_t>& attrs) override;
   std::string name() const override;
 
   /// \brief Inherits the base error's traits; always reports rng use

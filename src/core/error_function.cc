@@ -1,0 +1,38 @@
+#include "core/error_function.h"
+
+namespace icewafl {
+
+Status ErrorFunction::Bind(BindContext& ctx,
+                           const std::vector<size_t>& attrs) {
+  const ErrorTraits traits = Describe();
+  for (size_t idx : attrs) {
+    const Attribute& attribute = ctx.schema().attribute(idx);
+    switch (traits.domain) {
+      case ErrorDomain::kNumeric:
+        if (attribute.type != ValueType::kInt64 &&
+            attribute.type != ValueType::kDouble) {
+          return ctx.Error(StatusCode::kTypeError,
+                           "numeric error '" + name() +
+                               "' targets non-numeric attribute '" +
+                               attribute.name + "' (" +
+                               ValueTypeName(attribute.type) + ")");
+        }
+        break;
+      case ErrorDomain::kString:
+        if (attribute.type != ValueType::kString) {
+          return ctx.Error(StatusCode::kTypeError,
+                           "string error '" + name() +
+                               "' targets non-string attribute '" +
+                               attribute.name + "' (" +
+                               ValueTypeName(attribute.type) + ")");
+        }
+        break;
+      case ErrorDomain::kAnyValue:
+      case ErrorDomain::kMetadata:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace icewafl

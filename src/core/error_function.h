@@ -6,20 +6,22 @@
 #include <vector>
 
 #include "core/context.h"
+#include "stream/bind.h"
 #include "stream/tuple.h"
 #include "util/json.h"
 #include "util/result.h"
 
 namespace icewafl {
 
-/// \brief Value domain an error function operates on; drives the static
-/// analyzer's schema-compatibility checks (analysis/analyzer.h).
+/// \brief Value domain an error function operates on; drives both the
+/// static analyzer's schema-compatibility checks (analysis/analyzer.h)
+/// and the default bind-time type validation.
 enum class ErrorDomain {
   /// Works on values of any type (missing_value, set_constant, ...).
   kAnyValue = 0,
-  /// Requires int64/double targets; Apply returns TypeError otherwise.
+  /// Requires int64/double targets; rejected at Bind otherwise.
   kNumeric,
-  /// Requires string targets; Apply returns TypeError otherwise.
+  /// Requires string targets; rejected at Bind otherwise.
   kString,
   /// Targets tuple metadata (arrival/event time), not attribute values.
   kMetadata,
@@ -49,23 +51,39 @@ struct ErrorTraits {
 /// application probability for discrete ones); this is what turns a
 /// static error into a derived temporal error when combined with a change
 /// pattern (Figure 3).
+///
+/// Error functions follow the two-phase bind/run lifecycle (DESIGN.md
+/// §8): Bind validates the target columns against the schema once (type
+/// mismatches and arity errors become a Status with a JSON-pointer
+/// path); Apply/Observe are the per-tuple hot path with no error
+/// plumbing. Values whose runtime type diverged from the declared column
+/// type (an upstream polluter may have rewritten them) are skipped like
+/// NULLs.
 class ErrorFunction {
  public:
   virtual ~ErrorFunction() = default;
 
+  /// \brief Validates the resolved target columns against the schema.
+  /// The default implementation enforces the declared ErrorDomain:
+  /// kNumeric errors require int64/double columns, kString errors
+  /// require string columns. Overrides add arity/parameter checks
+  /// (swap_attributes, incorrect_category). `attrs` are the resolved
+  /// indices of the polluter's target attributes, in config order.
+  virtual Status Bind(BindContext& ctx, const std::vector<size_t>& attrs);
+
   /// \brief Transforms `*tuple` in place. `attrs` are the resolved indices
   /// of the polluter's target attributes A_p (may be empty for errors
-  /// targeting tuple metadata, e.g. DelayError).
-  virtual Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                       PollutionContext* ctx) = 0;
+  /// targeting tuple metadata, e.g. DelayError). Runs only after a
+  /// successful Bind; values of unexpected runtime type are skipped.
+  virtual void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                     PollutionContext* ctx) = 0;
 
   /// \brief Observation hook invoked for every tuple that passes the
   /// owning polluter, whether or not the condition fires. Stateful errors
   /// (FrozenValueError) use it to track the evolving clean stream.
-  virtual Status Observe(const Tuple& tuple, const std::vector<size_t>& attrs) {
+  virtual void Observe(const Tuple& tuple, const std::vector<size_t>& attrs) {
     (void)tuple;
     (void)attrs;
-    return Status::OK();
   }
 
   /// \brief Stable identifier used in configs and logs.

@@ -10,25 +10,19 @@ namespace icewafl {
 
 namespace {
 
-/// Applies `fn` to every targeted numeric value. NULL values are skipped
-/// (there is nothing left to pollute); non-numeric values are a
-/// configuration error. Integer attributes stay integers (rounded).
+/// Applies `fn` to every targeted numeric value. Column types are
+/// validated at Bind (ErrorDomain::kNumeric); per tuple we only skip
+/// NULLs and values whose runtime type diverged from the declared one.
+/// Integer attributes stay integers (rounded).
 template <typename Fn>
-Status TransformNumeric(Tuple* tuple, const std::vector<size_t>& attrs,
-                        const char* error_name, Fn&& fn) {
+void TransformNumeric(Tuple* tuple, const std::vector<size_t>& attrs,
+                      Fn&& fn) {
   for (size_t idx : attrs) {
-    if (idx >= tuple->num_values()) {
-      return Status::OutOfRange(std::string(error_name) +
-                                ": attribute index out of range");
-    }
+    if (idx >= tuple->num_values()) continue;
     const Value& v = tuple->value(idx);
-    if (v.is_null()) continue;
-    if (!v.is_numeric()) {
-      return Status::TypeError(std::string(error_name) +
-                               " targets non-numeric attribute '" +
-                               tuple->schema()->attribute(idx).name + "'");
-    }
-    const double in = v.ToDouble().ValueOrDie();
+    if (!v.is_numeric()) continue;
+    const double in =
+        v.is_double() ? v.AsDouble() : static_cast<double>(v.AsInt64());
     const double out = fn(in);
     if (v.is_int64()) {
       tuple->set_value(idx, Value(static_cast<int64_t>(std::llround(out))));
@@ -36,7 +30,6 @@ Status TransformNumeric(Tuple* tuple, const std::vector<size_t>& attrs,
       tuple->set_value(idx, Value(out));
     }
   }
-  return Status::OK();
 }
 
 /// Discrete errors treat severity as an application probability.
@@ -51,11 +44,11 @@ bool SeverityGate(PollutionContext* ctx) {
 GaussianNoiseError::GaussianNoiseError(double stddev, bool multiplicative)
     : stddev_(stddev), multiplicative_(multiplicative) {}
 
-Status GaussianNoiseError::Apply(Tuple* tuple,
-                                 const std::vector<size_t>& attrs,
-                                 PollutionContext* ctx) {
+void GaussianNoiseError::Apply(Tuple* tuple,
+                               const std::vector<size_t>& attrs,
+                               PollutionContext* ctx) {
   const double sigma = stddev_ * ctx->severity;
-  return TransformNumeric(tuple, attrs, "gaussian_noise", [&](double v) {
+  TransformNumeric(tuple, attrs, [&](double v) {
     const double noise = ctx->rng != nullptr ? ctx->rng->Gaussian(0.0, sigma)
                                              : 0.0;
     return multiplicative_ ? v * (1.0 + noise) : v + noise;
@@ -77,11 +70,11 @@ ErrorFunctionPtr GaussianNoiseError::Clone() const {
 UniformNoiseError::UniformNoiseError(double lo, double hi)
     : lo_(lo), hi_(hi) {}
 
-Status UniformNoiseError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                                PollutionContext* ctx) {
+void UniformNoiseError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                              PollutionContext* ctx) {
   const double lo = lo_ * ctx->severity;
   const double hi = hi_ * ctx->severity;
-  return TransformNumeric(tuple, attrs, "uniform_noise", [&](double v) {
+  TransformNumeric(tuple, attrs, [&](double v) {
     if (ctx->rng == nullptr) return v;
     const double f = ctx->rng->Uniform(lo, hi);
     const bool increase = ctx->rng->Bernoulli(0.5);
@@ -103,11 +96,10 @@ ErrorFunctionPtr UniformNoiseError::Clone() const {
 
 ScaleError::ScaleError(double factor) : factor_(factor) {}
 
-Status ScaleError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                         PollutionContext* ctx) {
+void ScaleError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                       PollutionContext* ctx) {
   const double factor = 1.0 + (factor_ - 1.0) * ctx->severity;
-  return TransformNumeric(tuple, attrs, "scale",
-                          [&](double v) { return v * factor; });
+  TransformNumeric(tuple, attrs, [&](double v) { return v * factor; });
 }
 
 Json ScaleError::ToJson() const {
@@ -123,11 +115,10 @@ ErrorFunctionPtr ScaleError::Clone() const {
 
 OffsetError::OffsetError(double delta) : delta_(delta) {}
 
-Status OffsetError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                          PollutionContext* ctx) {
+void OffsetError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                        PollutionContext* ctx) {
   const double delta = delta_ * ctx->severity;
-  return TransformNumeric(tuple, attrs, "offset",
-                          [&](double v) { return v + delta; });
+  TransformNumeric(tuple, attrs, [&](double v) { return v + delta; });
 }
 
 Json OffsetError::ToJson() const {
@@ -143,13 +134,12 @@ ErrorFunctionPtr OffsetError::Clone() const {
 
 RoundError::RoundError(int precision) : precision_(precision) {}
 
-Status RoundError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                         PollutionContext* ctx) {
-  if (!SeverityGate(ctx)) return Status::OK();
+void RoundError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                       PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
   const double scale = std::pow(10.0, precision_);
-  return TransformNumeric(tuple, attrs, "round", [&](double v) {
-    return std::round(v * scale) / scale;
-  });
+  TransformNumeric(tuple, attrs,
+                   [&](double v) { return std::round(v * scale) / scale; });
 }
 
 Json RoundError::ToJson() const {
@@ -169,12 +159,11 @@ UnitConversionError::UnitConversionError(double factor, std::string from_unit,
       from_unit_(std::move(from_unit)),
       to_unit_(std::move(to_unit)) {}
 
-Status UnitConversionError::Apply(Tuple* tuple,
-                                  const std::vector<size_t>& attrs,
-                                  PollutionContext* ctx) {
-  if (!SeverityGate(ctx)) return Status::OK();
-  return TransformNumeric(tuple, attrs, "unit_conversion",
-                          [&](double v) { return v * factor_; });
+void UnitConversionError::Apply(Tuple* tuple,
+                                const std::vector<size_t>& attrs,
+                                PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
+  TransformNumeric(tuple, attrs, [&](double v) { return v * factor_; });
 }
 
 Json UnitConversionError::ToJson() const {
@@ -193,10 +182,10 @@ ErrorFunctionPtr UnitConversionError::Clone() const {
 OutlierError::OutlierError(double min_factor, double max_factor)
     : min_factor_(min_factor), max_factor_(max_factor) {}
 
-Status OutlierError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                           PollutionContext* ctx) {
-  if (!SeverityGate(ctx)) return Status::OK();
-  return TransformNumeric(tuple, attrs, "outlier", [&](double v) {
+void OutlierError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                         PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
+  TransformNumeric(tuple, attrs, [&](double v) {
     if (ctx->rng == nullptr) return v * max_factor_;
     const double f = ctx->rng->Uniform(min_factor_, max_factor_);
     return ctx->rng->Bernoulli(0.5) ? v * f : v / f;
@@ -215,19 +204,13 @@ ErrorFunctionPtr OutlierError::Clone() const {
   return std::make_unique<OutlierError>(*this);
 }
 
-Status DigitSwapError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                             PollutionContext* ctx) {
-  if (!SeverityGate(ctx)) return Status::OK();
+void DigitSwapError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                           PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
   for (size_t idx : attrs) {
-    if (idx >= tuple->num_values()) {
-      return Status::OutOfRange("digit_swap: attribute index out of range");
-    }
+    if (idx >= tuple->num_values()) continue;
     const Value& v = tuple->value(idx);
-    if (v.is_null()) continue;
-    if (!v.is_numeric()) {
-      return Status::TypeError("digit_swap targets non-numeric attribute '" +
-                               tuple->schema()->attribute(idx).name + "'");
-    }
+    if (!v.is_numeric()) continue;
     std::string text = v.ToString();
     // Positions where this digit and the next are both digits.
     std::vector<size_t> swappable;
@@ -253,7 +236,6 @@ Status DigitSwapError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
       if (parsed.ok()) tuple->set_value(idx, Value(parsed.ValueOrDie()));
     }
   }
-  return Status::OK();
 }
 
 Json DigitSwapError::ToJson() const {
@@ -266,11 +248,10 @@ ErrorFunctionPtr DigitSwapError::Clone() const {
   return std::make_unique<DigitSwapError>();
 }
 
-Status SignFlipError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                            PollutionContext* ctx) {
-  if (!SeverityGate(ctx)) return Status::OK();
-  return TransformNumeric(tuple, attrs, "sign_flip",
-                          [](double v) { return -v; });
+void SignFlipError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                          PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
+  TransformNumeric(tuple, attrs, [](double v) { return -v; });
 }
 
 Json SignFlipError::ToJson() const {

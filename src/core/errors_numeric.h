@@ -15,8 +15,8 @@ namespace icewafl {
 class GaussianNoiseError : public ErrorFunction {
  public:
   explicit GaussianNoiseError(double stddev, bool multiplicative = false);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "gaussian_noise"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
@@ -36,8 +36,8 @@ class GaussianNoiseError : public ErrorFunction {
 class UniformNoiseError : public ErrorFunction {
  public:
   UniformNoiseError(double lo, double hi);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "uniform_noise"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
@@ -54,8 +54,8 @@ class UniformNoiseError : public ErrorFunction {
 class ScaleError : public ErrorFunction {
  public:
   explicit ScaleError(double factor);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "scale"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric};
@@ -72,8 +72,8 @@ class ScaleError : public ErrorFunction {
 class OffsetError : public ErrorFunction {
  public:
   explicit OffsetError(double delta);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "offset"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric};
@@ -91,8 +91,8 @@ class OffsetError : public ErrorFunction {
 class RoundError : public ErrorFunction {
  public:
   explicit RoundError(int precision);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "round"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric};
@@ -111,8 +111,8 @@ class UnitConversionError : public ErrorFunction {
  public:
   UnitConversionError(double factor, std::string from_unit,
                       std::string to_unit);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "unit_conversion"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric};
@@ -131,8 +131,8 @@ class UnitConversionError : public ErrorFunction {
 class OutlierError : public ErrorFunction {
  public:
   OutlierError(double min_factor, double max_factor);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "outlier"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
@@ -152,8 +152,8 @@ class OutlierError : public ErrorFunction {
 class DigitSwapError : public ErrorFunction {
  public:
   DigitSwapError() = default;
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "digit_swap"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric, .uses_rng = true};
@@ -167,8 +167,8 @@ class DigitSwapError : public ErrorFunction {
 class SignFlipError : public ErrorFunction {
  public:
   SignFlipError() = default;
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "sign_flip"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kNumeric};

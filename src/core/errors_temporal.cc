@@ -15,12 +15,11 @@ bool SeverityGate(PollutionContext* ctx) {
 DelayError::DelayError(int64_t delay_seconds)
     : delay_seconds_(delay_seconds) {}
 
-Status DelayError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                         PollutionContext* ctx) {
+void DelayError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                       PollutionContext* ctx) {
   (void)attrs;  // operates on tuple metadata, not attribute values
-  if (!SeverityGate(ctx)) return Status::OK();
+  if (!SeverityGate(ctx)) return;
   tuple->set_arrival_time(tuple->arrival_time() + delay_seconds_);
-  return Status::OK();
 }
 
 Json DelayError::ToJson() const {
@@ -37,39 +36,33 @@ ErrorFunctionPtr DelayError::Clone() const {
 FrozenValueError::FrozenValueError(int64_t hold_seconds)
     : hold_seconds_(hold_seconds) {}
 
-Status FrozenValueError::Observe(const Tuple& tuple,
-                                 const std::vector<size_t>& attrs) {
+void FrozenValueError::Observe(const Tuple& tuple,
+                               const std::vector<size_t>& attrs) {
   std::vector<Value> snapshot;
   snapshot.reserve(attrs.size());
   for (size_t idx : attrs) {
-    if (idx >= tuple.num_values()) {
-      return Status::OutOfRange("frozen_value: attribute index out of range");
-    }
+    if (idx >= tuple.num_values()) return;  // unbound misuse
     snapshot.push_back(tuple.value(idx));
   }
   prev_values_ = std::move(last_values_);
   last_values_ = std::move(snapshot);
-  return Status::OK();
 }
 
-Status FrozenValueError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                               PollutionContext* ctx) {
+void FrozenValueError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                             PollutionContext* ctx) {
   if (ctx->tau >= freeze_until_ + hold_seconds_ ||
       freeze_until_ == INT64_MIN) {
     // Start a new freeze: capture the value of the previous tuple (the
     // last reading before the sensor got stuck).
-    if (!prev_values_.has_value()) return Status::OK();  // first tuple
+    if (!prev_values_.has_value()) return;  // first tuple
     frozen_values_ = prev_values_;
     freeze_until_ = ctx->tau;
   }
-  if (!frozen_values_.has_value()) return Status::OK();
-  if (frozen_values_->size() != attrs.size()) {
-    return Status::Internal("frozen_value: attribute set changed mid-stream");
-  }
+  if (!frozen_values_.has_value()) return;
+  if (frozen_values_->size() != attrs.size()) return;  // attrs changed
   for (size_t i = 0; i < attrs.size(); ++i) {
     tuple->set_value(attrs[i], (*frozen_values_)[i]);
   }
-  return Status::OK();
 }
 
 Json FrozenValueError::ToJson() const {
@@ -87,13 +80,14 @@ ErrorFunctionPtr FrozenValueError::Clone() const {
 TimestampShiftError::TimestampShiftError(int64_t shift_seconds)
     : shift_seconds_(shift_seconds) {}
 
-Status TimestampShiftError::Apply(Tuple* tuple,
-                                  const std::vector<size_t>& attrs,
-                                  PollutionContext* ctx) {
+void TimestampShiftError::Apply(Tuple* tuple,
+                                const std::vector<size_t>& attrs,
+                                PollutionContext* ctx) {
   (void)attrs;
-  if (!SeverityGate(ctx)) return Status::OK();
-  ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, tuple->GetTimestamp());
-  return tuple->SetTimestamp(ts + shift_seconds_);
+  if (!SeverityGate(ctx)) return;
+  Result<Timestamp> ts = tuple->GetTimestamp();
+  if (!ts.ok()) return;  // timestamp already polluted to a non-time value
+  (void)tuple->SetTimestamp(ts.ValueOrDie() + shift_seconds_);
 }
 
 Json TimestampShiftError::ToJson() const {
@@ -110,17 +104,18 @@ ErrorFunctionPtr TimestampShiftError::Clone() const {
 TimestampJitterError::TimestampJitterError(int64_t max_jitter_seconds)
     : max_jitter_seconds_(max_jitter_seconds) {}
 
-Status TimestampJitterError::Apply(Tuple* tuple,
-                                   const std::vector<size_t>& attrs,
-                                   PollutionContext* ctx) {
+void TimestampJitterError::Apply(Tuple* tuple,
+                                 const std::vector<size_t>& attrs,
+                                 PollutionContext* ctx) {
   (void)attrs;
-  if (!SeverityGate(ctx)) return Status::OK();
+  if (!SeverityGate(ctx)) return;
   const int64_t jitter =
       ctx->rng != nullptr
           ? ctx->rng->UniformInt(-max_jitter_seconds_, max_jitter_seconds_)
           : max_jitter_seconds_;
-  ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, tuple->GetTimestamp());
-  return tuple->SetTimestamp(ts + jitter);
+  Result<Timestamp> ts = tuple->GetTimestamp();
+  if (!ts.ok()) return;
+  (void)tuple->SetTimestamp(ts.ValueOrDie() + jitter);
 }
 
 Json TimestampJitterError::ToJson() const {

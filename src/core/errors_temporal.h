@@ -19,8 +19,8 @@ namespace icewafl {
 class DelayError : public ErrorFunction {
  public:
   explicit DelayError(int64_t delay_seconds);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "delay"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kMetadata, .delays_arrival = true};
@@ -42,10 +42,10 @@ class DelayError : public ErrorFunction {
 class FrozenValueError : public ErrorFunction {
  public:
   explicit FrozenValueError(int64_t hold_seconds);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
-  Status Observe(const Tuple& tuple,
-                 const std::vector<size_t>& attrs) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
+  void Observe(const Tuple& tuple,
+               const std::vector<size_t>& attrs) override;
   std::string name() const override { return "frozen_value"; }
   ErrorTraits Describe() const override {
     return {};
@@ -69,8 +69,8 @@ class FrozenValueError : public ErrorFunction {
 class TimestampShiftError : public ErrorFunction {
  public:
   explicit TimestampShiftError(int64_t shift_seconds);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "timestamp_shift"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kMetadata, .mutates_timestamp = true};
@@ -88,8 +88,8 @@ class TimestampShiftError : public ErrorFunction {
 class TimestampJitterError : public ErrorFunction {
  public:
   explicit TimestampJitterError(int64_t max_jitter_seconds);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "timestamp_jitter"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kMetadata, .uses_rng = true,

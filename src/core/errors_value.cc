@@ -13,25 +13,21 @@ bool SeverityGate(PollutionContext* ctx) {
   return ctx->rng->Bernoulli(ctx->severity);
 }
 
-Status CheckIndices(const Tuple& tuple, const std::vector<size_t>& attrs,
-                    const char* error_name) {
-  for (size_t idx : attrs) {
-    if (idx >= tuple.num_values()) {
-      return Status::OutOfRange(std::string(error_name) +
-                                ": attribute index out of range");
-    }
-  }
-  return Status::OK();
+// Misconfiguration is rejected at Bind; the per-tuple loops below keep
+// only a cheap range guard (for direct unbound Apply calls) and skip
+// values whose runtime type diverged from the declared column type.
+bool InRange(const Tuple& tuple, size_t idx) {
+  return idx < tuple.num_values();
 }
 
 }  // namespace
 
-Status MissingValueError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                                PollutionContext* ctx) {
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "missing_value"));
-  if (!SeverityGate(ctx)) return Status::OK();
-  for (size_t idx : attrs) tuple->set_value(idx, Value::Null());
-  return Status::OK();
+void MissingValueError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                              PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
+  for (size_t idx : attrs) {
+    if (InRange(*tuple, idx)) tuple->set_value(idx, Value::Null());
+  }
 }
 
 Json MissingValueError::ToJson() const {
@@ -46,12 +42,12 @@ ErrorFunctionPtr MissingValueError::Clone() const {
 
 SetConstantError::SetConstantError(Value value) : value_(std::move(value)) {}
 
-Status SetConstantError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                               PollutionContext* ctx) {
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "set_constant"));
-  if (!SeverityGate(ctx)) return Status::OK();
-  for (size_t idx : attrs) tuple->set_value(idx, value_);
-  return Status::OK();
+void SetConstantError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                             PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
+  for (size_t idx : attrs) {
+    if (InRange(*tuple, idx)) tuple->set_value(idx, value_);
+  }
 }
 
 Json SetConstantError::ToJson() const {
@@ -86,23 +82,25 @@ IncorrectCategoryError::IncorrectCategoryError(
     std::vector<std::string> categories)
     : categories_(std::move(categories)) {}
 
-Status IncorrectCategoryError::Apply(Tuple* tuple,
-                                     const std::vector<size_t>& attrs,
-                                     PollutionContext* ctx) {
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "incorrect_category"));
+Status IncorrectCategoryError::Bind(BindContext& ctx,
+                                    const std::vector<size_t>& attrs) {
   if (categories_.size() < 2) {
-    return Status::InvalidArgument(
-        "incorrect_category needs >= 2 categories");
+    return ctx.Error(StatusCode::kInvalidArgument,
+                     "incorrect_category needs >= 2 categories, got " +
+                         std::to_string(categories_.size()));
   }
-  if (!SeverityGate(ctx)) return Status::OK();
+  return ErrorFunction::Bind(ctx, attrs);
+}
+
+void IncorrectCategoryError::Apply(Tuple* tuple,
+                                   const std::vector<size_t>& attrs,
+                                   PollutionContext* ctx) {
+  if (categories_.size() < 2) return;  // unbound misuse; Bind rejects this
+  if (!SeverityGate(ctx)) return;
   for (size_t idx : attrs) {
+    if (!InRange(*tuple, idx)) continue;
     const Value& v = tuple->value(idx);
-    if (v.is_null()) continue;
-    if (!v.is_string()) {
-      return Status::TypeError(
-          "incorrect_category targets non-string attribute '" +
-          tuple->schema()->attribute(idx).name + "'");
-    }
+    if (!v.is_string()) continue;
     const std::string& current = v.AsString();
     // Draw until a category different from the current value comes up;
     // bounded because >= 2 distinct categories exist (if the current
@@ -125,7 +123,6 @@ Status IncorrectCategoryError::Apply(Tuple* tuple,
     }
     tuple->set_value(idx, Value(replacement));
   }
-  return Status::OK();
 }
 
 Json IncorrectCategoryError::ToJson() const {
@@ -141,17 +138,13 @@ ErrorFunctionPtr IncorrectCategoryError::Clone() const {
   return std::make_unique<IncorrectCategoryError>(*this);
 }
 
-Status TypoError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                        PollutionContext* ctx) {
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "typo"));
-  if (!SeverityGate(ctx)) return Status::OK();
+void TypoError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                      PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
   for (size_t idx : attrs) {
+    if (!InRange(*tuple, idx)) continue;
     const Value& v = tuple->value(idx);
-    if (v.is_null()) continue;
-    if (!v.is_string()) {
-      return Status::TypeError("typo targets non-string attribute '" +
-                               tuple->schema()->attribute(idx).name + "'");
-    }
+    if (!v.is_string()) continue;
     std::string s = v.AsString();
     if (s.empty() || ctx->rng == nullptr) continue;
     const size_t pos = static_cast<size_t>(
@@ -172,7 +165,6 @@ Status TypoError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
     }
     tuple->set_value(idx, Value(std::move(s)));
   }
-  return Status::OK();
 }
 
 Json TypoError::ToJson() const {
@@ -185,21 +177,28 @@ ErrorFunctionPtr TypoError::Clone() const {
   return std::make_unique<TypoError>();
 }
 
-Status SwapAttributesError::Apply(Tuple* tuple,
-                                  const std::vector<size_t>& attrs,
-                                  PollutionContext* ctx) {
+Status SwapAttributesError::Bind(BindContext& ctx,
+                                 const std::vector<size_t>& attrs) {
   if (attrs.size() != 2) {
-    return Status::InvalidArgument(
-        "swap_attributes requires exactly 2 target attributes, got " +
-        std::to_string(attrs.size()));
+    return ctx.Error(StatusCode::kInvalidArgument,
+                     "swap_attributes requires exactly 2 target attributes, "
+                     "got " + std::to_string(attrs.size()));
   }
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "swap_attributes"));
-  if (!SeverityGate(ctx)) return Status::OK();
+  return ErrorFunction::Bind(ctx, attrs);
+}
+
+void SwapAttributesError::Apply(Tuple* tuple,
+                                const std::vector<size_t>& attrs,
+                                PollutionContext* ctx) {
+  if (attrs.size() != 2 || !InRange(*tuple, attrs[0]) ||
+      !InRange(*tuple, attrs[1])) {
+    return;  // unbound misuse; Bind rejects this
+  }
+  if (!SeverityGate(ctx)) return;
   Value a = tuple->value(attrs[0]);
   Value b = tuple->value(attrs[1]);
   tuple->set_value(attrs[0], std::move(b));
   tuple->set_value(attrs[1], std::move(a));
-  return Status::OK();
 }
 
 Json SwapAttributesError::ToJson() const {
@@ -215,17 +214,13 @@ ErrorFunctionPtr SwapAttributesError::Clone() const {
 CaseError::CaseError(double flip_probability)
     : flip_probability_(flip_probability) {}
 
-Status CaseError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                        PollutionContext* ctx) {
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "case"));
-  if (!SeverityGate(ctx)) return Status::OK();
+void CaseError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                      PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
   for (size_t idx : attrs) {
+    if (!InRange(*tuple, idx)) continue;
     const Value& v = tuple->value(idx);
-    if (v.is_null()) continue;
-    if (!v.is_string()) {
-      return Status::TypeError("case targets non-string attribute '" +
-                               tuple->schema()->attribute(idx).name + "'");
-    }
+    if (!v.is_string()) continue;
     std::string s = v.AsString();
     for (char& c : s) {
       const bool flip = ctx->rng != nullptr
@@ -241,7 +236,6 @@ Status CaseError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
     }
     tuple->set_value(idx, Value(std::move(s)));
   }
-  return Status::OK();
 }
 
 Json CaseError::ToJson() const {
@@ -257,22 +251,17 @@ ErrorFunctionPtr CaseError::Clone() const {
 
 TruncateError::TruncateError(size_t max_length) : max_length_(max_length) {}
 
-Status TruncateError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-                            PollutionContext* ctx) {
-  ICEWAFL_RETURN_NOT_OK(CheckIndices(*tuple, attrs, "truncate"));
-  if (!SeverityGate(ctx)) return Status::OK();
+void TruncateError::Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+                          PollutionContext* ctx) {
+  if (!SeverityGate(ctx)) return;
   for (size_t idx : attrs) {
+    if (!InRange(*tuple, idx)) continue;
     const Value& v = tuple->value(idx);
-    if (v.is_null()) continue;
-    if (!v.is_string()) {
-      return Status::TypeError("truncate targets non-string attribute '" +
-                               tuple->schema()->attribute(idx).name + "'");
-    }
+    if (!v.is_string()) continue;
     if (v.AsString().size() > max_length_) {
       tuple->set_value(idx, Value(v.AsString().substr(0, max_length_)));
     }
   }
-  return Status::OK();
 }
 
 Json TruncateError::ToJson() const {

@@ -13,8 +13,8 @@ namespace icewafl {
 class MissingValueError : public ErrorFunction {
  public:
   MissingValueError() = default;
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "missing_value"; }
   ErrorTraits Describe() const override {
     return {};
@@ -28,8 +28,8 @@ class MissingValueError : public ErrorFunction {
 class SetConstantError : public ErrorFunction {
  public:
   explicit SetConstantError(Value value);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "set_constant"; }
   ErrorTraits Describe() const override {
     return {};
@@ -46,10 +46,11 @@ class SetConstantError : public ErrorFunction {
 class IncorrectCategoryError : public ErrorFunction {
  public:
   /// \param categories the categorical domain; must have >= 2 entries for
-  ///   the error to be able to change anything.
+  ///   the error to be able to change anything (enforced by Bind).
   explicit IncorrectCategoryError(std::vector<std::string> categories);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  Status Bind(BindContext& ctx, const std::vector<size_t>& attrs) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "incorrect_category"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kString, .uses_rng = true};
@@ -66,8 +67,8 @@ class IncorrectCategoryError : public ErrorFunction {
 class TypoError : public ErrorFunction {
  public:
   TypoError() = default;
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "typo"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kString, .uses_rng = true};
@@ -77,12 +78,14 @@ class TypoError : public ErrorFunction {
 };
 
 /// \brief Swaps the values of the first two targeted attributes
-/// (transposed-fields entry error). Requires exactly two attributes.
+/// (transposed-fields entry error). Requires exactly two attributes
+/// (enforced by Bind).
 class SwapAttributesError : public ErrorFunction {
  public:
   SwapAttributesError() = default;
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  Status Bind(BindContext& ctx, const std::vector<size_t>& attrs) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "swap_attributes"; }
   ErrorTraits Describe() const override {
     return {};
@@ -96,8 +99,8 @@ class SwapAttributesError : public ErrorFunction {
 class CaseError : public ErrorFunction {
  public:
   explicit CaseError(double flip_probability = 0.5);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "case"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kString, .uses_rng = true};
@@ -114,8 +117,8 @@ class CaseError : public ErrorFunction {
 class TruncateError : public ErrorFunction {
  public:
   explicit TruncateError(size_t max_length);
-  Status Apply(Tuple* tuple, const std::vector<size_t>& attrs,
-               PollutionContext* ctx) override;
+  void Apply(Tuple* tuple, const std::vector<size_t>& attrs,
+             PollutionContext* ctx) override;
   std::string name() const override { return "truncate"; }
   ErrorTraits Describe() const override {
     return {.domain = ErrorDomain::kString};

@@ -5,7 +5,7 @@ namespace icewafl {
 namespace {
 
 /// FNV-1a; combined with the operator seed it derives the per-key seed.
-uint64_t HashKey(const std::string& key) {
+uint64_t HashKey(std::string_view key) {
   uint64_t h = 1469598103934665603ULL;
   for (char c : key) {
     h ^= static_cast<unsigned char>(c);
@@ -29,6 +29,17 @@ KeyedPolluterOperator::KeyedPolluterOperator(PollutionPipeline prototype,
       stream_end_(stream_end),
       log_(log) {}
 
+PollutionPipeline* KeyedPolluterOperator::PartitionFor(std::string_view key) {
+  auto it = partitions_.find(key);
+  if (it == partitions_.end()) {
+    PollutionPipeline clone = prototype_.Clone();
+    // Deterministic per-key randomness, independent of key interleaving.
+    clone.Seed(seed_ ^ HashKey(key));
+    it = partitions_.emplace(std::string(key), std::move(clone)).first;
+  }
+  return &it->second;
+}
+
 Status KeyedPolluterOperator::PolluteOne(Tuple* tuple, PollutionContext* ctx) {
   if (tuple->id() == kInvalidTupleId) {
     tuple->set_id(next_id_++);
@@ -36,21 +47,26 @@ Status KeyedPolluterOperator::PolluteOne(Tuple* tuple, PollutionContext* ctx) {
     tuple->set_event_time(ts);
     tuple->set_arrival_time(ts);
   }
-  ICEWAFL_ASSIGN_OR_RETURN(Value key_value, tuple->Get(key_attribute_));
-  const std::string key = key_value.ToString("<null>");
-
-  auto it = partitions_.find(key);
-  if (it == partitions_.end()) {
-    PollutionPipeline clone = prototype_.Clone();
-    // Deterministic per-key randomness, independent of key interleaving.
-    clone.Seed(seed_ ^ HashKey(key));
-    it = partitions_.emplace(key, std::move(clone)).first;
+  if (key_schema_ != tuple->schema().get()) {
+    if (tuple->schema() == nullptr) {
+      return Status::Internal("keyed polluter: tuple has no schema");
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(key_index_,
+                             tuple->schema()->IndexOf(key_attribute_));
+    key_schema_ = tuple->schema().get();
   }
+
+  // Read the key by reference; string keys probe the map without a copy
+  // (same bytes as ToString, so the per-key seeds are unchanged).
+  const Value& key_value = tuple->value(key_index_);
+  PollutionPipeline* partition =
+      key_value.is_string() ? PartitionFor(key_value.AsString())
+                            : PartitionFor(key_value.ToString("<null>"));
 
   ctx->tau = tuple->event_time();
   ctx->severity = 1.0;
   ctx->rng = nullptr;
-  return it->second.Apply(tuple, ctx, log_);
+  return partition->Apply(tuple, ctx, log_);
 }
 
 Status KeyedPolluterOperator::Process(Tuple tuple, Emitter* out) {

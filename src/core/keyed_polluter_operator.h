@@ -1,7 +1,9 @@
 #ifndef ICEWAFL_CORE_KEYED_POLLUTER_OPERATOR_H_
 #define ICEWAFL_CORE_KEYED_POLLUTER_OPERATOR_H_
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/pipeline.h"
@@ -43,7 +45,17 @@ class KeyedPolluterOperator : public Operator {
   std::map<std::string, uint64_t> AppliedCounts() const;
 
  private:
+  /// Transparent hashing so string keys probe the partition map from a
+  /// string_view without materializing a std::string per tuple.
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   Status PolluteOne(Tuple* tuple, PollutionContext* ctx);
+  PollutionPipeline* PartitionFor(std::string_view key);
 
   PollutionPipeline prototype_;
   std::string key_attribute_;
@@ -52,7 +64,12 @@ class KeyedPolluterOperator : public Operator {
   Timestamp stream_end_;
   PollutionLog* log_;
   TupleId next_id_ = 0;
-  std::unordered_map<std::string, PollutionPipeline> partitions_;
+  // Key column index, re-resolved whenever the tuple schema changes.
+  const Schema* key_schema_ = nullptr;
+  size_t key_index_ = 0;
+  std::unordered_map<std::string, PollutionPipeline, KeyHash,
+                     std::equal_to<>>
+      partitions_;
 };
 
 }  // namespace icewafl

@@ -58,6 +58,19 @@ void PollutionPipeline::Seed(uint64_t seed) {
   for (const PolluterPtr& p : polluters_) p->Seed(&master);
 }
 
+Status PollutionPipeline::Bind(SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("pipeline '" + name_ +
+                                   "': cannot bind to a null schema");
+  }
+  for (size_t i = 0; i < polluters_.size(); ++i) {
+    BindContext ctx(*schema, "/polluters/" + std::to_string(i));
+    ICEWAFL_RETURN_NOT_OK(polluters_[i]->Bind(ctx));
+  }
+  bound_schema_ = std::move(schema);
+  return Status::OK();
+}
+
 Status PollutionPipeline::Apply(Tuple* tuple, PollutionContext* ctx,
                                 PollutionLog* log) const {
   for (const PolluterPtr& p : polluters_) {
@@ -94,6 +107,9 @@ void PollutionPipeline::PublishMetrics(obs::MetricRegistry* registry) const {
 PollutionPipeline PollutionPipeline::Clone() const {
   PollutionPipeline clone(name_);
   for (const PolluterPtr& p : polluters_) clone.Add(p->Clone());
+  // Worker clones share the immutable bound plan: polluter clones carry
+  // their resolved indices, and the shared_ptr keeps the schema alive.
+  clone.bound_schema_ = bound_schema_;
   return clone;
 }
 

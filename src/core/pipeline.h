@@ -7,6 +7,7 @@
 
 #include "core/polluter.h"
 #include "obs/metrics.h"
+#include "stream/schema.h"
 
 namespace icewafl {
 
@@ -35,6 +36,18 @@ class PollutionPipeline {
   /// \brief Derives fresh random streams for every polluter from `seed`.
   /// Call once before a run; identical seeds reproduce identical output.
   void Seed(uint64_t seed);
+
+  /// \brief Binds every polluter against `schema` (two-phase bind/run
+  /// lifecycle, DESIGN.md §8): attribute names resolve to column indices
+  /// once, and misconfiguration surfaces here as a Status whose message
+  /// carries a JSON-pointer path ("at /polluters/0/condition/attribute:
+  /// unknown attribute ..."). The pipeline keeps `schema` alive for its
+  /// bound polluters; clones share the same immutable bound plan.
+  Status Bind(SchemaPtr schema);
+
+  /// \brief The schema this pipeline was last successfully bound
+  /// against, or nullptr.
+  const SchemaPtr& bound_schema() const { return bound_schema_; }
 
   /// \brief Runs the tuple through all polluters in order.
   Status Apply(Tuple* tuple, PollutionContext* ctx, PollutionLog* log) const;
@@ -69,6 +82,7 @@ class PollutionPipeline {
  private:
   std::string name_ = "pipeline";
   std::vector<PolluterPtr> polluters_;
+  SchemaPtr bound_schema_;
 };
 
 }  // namespace icewafl

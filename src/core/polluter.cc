@@ -11,32 +11,40 @@ StandardPolluter::StandardPolluter(std::string label, ErrorFunctionPtr error,
       attributes_(std::move(attributes)),
       rng_(0) {}
 
-Status StandardPolluter::ResolveAttributes(const Tuple& tuple) {
-  if (tuple.schema() == nullptr) {
-    return Status::Internal("polluter '" + label_ + "': tuple has no schema");
-  }
-  if (resolved_schema_ == tuple.schema().get()) return Status::OK();
+Status StandardPolluter::Bind(BindContext& ctx) {
+  bound_schema_ = nullptr;
   attr_indices_.clear();
   attr_indices_.reserve(attributes_.size());
-  for (const std::string& name : attributes_) {
-    ICEWAFL_ASSIGN_OR_RETURN(size_t idx, tuple.schema()->IndexOf(name));
-    attr_indices_.push_back(idx);
+  {
+    BindContext::Scope attrs_scope(ctx, "attributes");
+    for (size_t i = 0; i < attributes_.size(); ++i) {
+      BindContext::Scope index_scope(ctx, i);
+      ICEWAFL_ASSIGN_OR_RETURN(BoundAccessor accessor,
+                               ctx.Resolve(attributes_[i]));
+      attr_indices_.push_back(accessor.index());
+    }
   }
-  resolved_schema_ = tuple.schema().get();
+  {
+    BindContext::Scope error_scope(ctx, "error");
+    ICEWAFL_RETURN_NOT_OK(error_->Bind(ctx, attr_indices_));
+  }
+  {
+    BindContext::Scope condition_scope(ctx, "condition");
+    ICEWAFL_RETURN_NOT_OK(condition_->Bind(ctx));
+  }
+  bound_schema_ = &ctx.schema();
   return Status::OK();
 }
 
 Status StandardPolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
                                  PollutionLog* log) {
-  ICEWAFL_RETURN_NOT_OK(ResolveAttributes(*tuple));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(*tuple));
   Rng* const outer_rng = ctx->rng;
   ctx->rng = &rng_;
-  Status st = [&]() -> Status {
-    // Stateful errors watch the full stream regardless of the condition.
-    ICEWAFL_RETURN_NOT_OK(error_->Observe(*tuple, attr_indices_));
-    ICEWAFL_ASSIGN_OR_RETURN(bool fired, condition_->Evaluate(*tuple, ctx));
-    if (!fired) return Status::OK();
-    ICEWAFL_RETURN_NOT_OK(error_->Apply(tuple, attr_indices_, ctx));
+  // Stateful errors watch the full stream regardless of the condition.
+  error_->Observe(*tuple, attr_indices_);
+  if (condition_->Evaluate(*tuple, ctx)) {
+    error_->Apply(tuple, attr_indices_, ctx);
     ++applied_count_;
     if (log != nullptr) {
       PollutionLogEntry entry;
@@ -48,10 +56,9 @@ Status StandardPolluter::Pollute(Tuple* tuple, PollutionContext* ctx,
       entry.tau = ctx->tau;
       log->Record(std::move(entry));
     }
-    return Status::OK();
-  }();
+  }
   ctx->rng = outer_rng;
-  return st;
+  return Status::OK();
 }
 
 void StandardPolluter::Seed(Rng* parent) { rng_ = parent->Fork(); }
@@ -69,8 +76,13 @@ Json StandardPolluter::ToJson() const {
 }
 
 PolluterPtr StandardPolluter::Clone() const {
-  return std::make_unique<StandardPolluter>(label_, error_->Clone(),
-                                            condition_->Clone(), attributes_);
+  auto clone = std::make_unique<StandardPolluter>(
+      label_, error_->Clone(), condition_->Clone(), attributes_);
+  // Clones share the immutable bound plan (condition Clone already
+  // preserves its accessors); only RNG/statistics state starts fresh.
+  clone->bound_schema_ = bound_schema_;
+  clone->attr_indices_ = attr_indices_;
+  return clone;
 }
 
 }  // namespace icewafl

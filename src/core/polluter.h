@@ -8,6 +8,7 @@
 #include "core/condition.h"
 #include "core/error_function.h"
 #include "core/pollution_log.h"
+#include "stream/bind.h"
 #include "stream/tuple.h"
 
 namespace icewafl {
@@ -18,10 +19,24 @@ namespace icewafl {
 /// error when their condition fires, from composite polluters
 /// (composite_polluter.h), which structure the pipeline by delegating to
 /// registered children.
+///
+/// Polluters follow the two-phase bind/run lifecycle (DESIGN.md §8):
+/// Bind resolves attribute names against the schema once and validates
+/// the error/condition configuration; Pollute is the per-tuple run phase.
+/// A polluter invoked against a schema it was not bound to re-binds
+/// lazily on the first tuple (and whenever the schema pointer changes),
+/// so direct use without an explicit Bind keeps working.
 class Polluter {
  public:
   explicit Polluter(std::string label) : label_(std::move(label)) {}
   virtual ~Polluter() = default;
+
+  /// \brief Resolves attribute names to column indices and validates the
+  /// configuration against `ctx.schema()`. Misconfiguration (unknown
+  /// attribute, domain/type mismatch, bad arity) is reported as a Status
+  /// whose message carries the JSON-pointer path of the offending config
+  /// fragment. Composites recurse into their children.
+  virtual Status Bind(BindContext& ctx) = 0;
 
   /// \brief Applies the polluter to `*tuple`: evaluates the condition and,
   /// if it fires, the error function. `log` may be nullptr.
@@ -45,8 +60,22 @@ class Polluter {
   virtual std::unique_ptr<Polluter> Clone() const = 0;
 
  protected:
+  /// \brief Lazy-bind helper for direct (pipeline-less) use: re-binds
+  /// against the tuple's schema when it differs from the bound one.
+  Status EnsureBound(const Tuple& tuple) {
+    if (bound_schema_ == tuple.schema().get()) return Status::OK();
+    if (tuple.schema() == nullptr) {
+      return Status::Internal("polluter '" + label_ +
+                              "': tuple has no schema");
+    }
+    BindContext ctx(*tuple.schema());
+    return Bind(ctx);
+  }
+
   std::string label_;
   uint64_t applied_count_ = 0;
+  // Schema this polluter is currently bound against (identity compare).
+  const Schema* bound_schema_ = nullptr;
 };
 
 using PolluterPtr = std::unique_ptr<Polluter>;
@@ -60,6 +89,7 @@ class StandardPolluter : public Polluter {
   StandardPolluter(std::string label, ErrorFunctionPtr error,
                    ConditionPtr condition, std::vector<std::string> attributes);
 
+  Status Bind(BindContext& ctx) override;
   Status Pollute(Tuple* tuple, PollutionContext* ctx,
                  PollutionLog* log) override;
   void Seed(Rng* parent) override;
@@ -71,15 +101,12 @@ class StandardPolluter : public Polluter {
   const std::vector<std::string>& attributes() const { return attributes_; }
 
  private:
-  Status ResolveAttributes(const Tuple& tuple);
-
   ErrorFunctionPtr error_;
   ConditionPtr condition_;
   std::vector<std::string> attributes_;
   Rng rng_;
 
-  // Attribute indices resolved against the schema of the first tuple.
-  const Schema* resolved_schema_ = nullptr;
+  // Target attribute indices, resolved by Bind.
   std::vector<size_t> attr_indices_;
 };
 

@@ -102,6 +102,16 @@ Result<PollutionResult> PollutionProcess::Run(Source* source) {
   // bounded channel per sub-stream so that splitting and pollution
   // overlap under backpressure. Per-pipeline work order is identical to
   // the materializing implementation, so seeded output does not change.
+  // Bind every pipeline against the source schema up front (DESIGN.md
+  // §8): misconfiguration fails here with a JSON-pointer path instead of
+  // surfacing on the first tuple inside a worker. The workers' pipeline
+  // state then shares the immutable bound plan.
+  if (result.schema != nullptr) {
+    for (PollutionPipeline& pipeline : pipelines_) {
+      ICEWAFL_RETURN_NOT_OK(pipeline.Bind(result.schema));
+    }
+  }
+
   Rng master(options_.seed);
   Rng assign_rng = master.Fork();
   for (PollutionPipeline& pipeline : pipelines_) {

@@ -179,7 +179,7 @@ Result<ExpectationPtr> ExpectationFromJson(const Json& json,
                             (path.empty() ? std::string("/") : path));
 }
 
-Result<ExpectationSuite> SuiteFromJson(const Json& json) {
+Result<ExpectationSuite> SuiteFromJson(const Json& json, SchemaPtr bind_schema) {
   if (!json.is_object()) {
     return Status::ParseError("suite description must be a JSON object");
   }
@@ -198,20 +198,25 @@ Result<ExpectationSuite> SuiteFromJson(const Json& json) {
                             "/expectations/" + std::to_string(i)));
     suite.Add(std::move(expectation));
   }
+  if (bind_schema != nullptr) {
+    ICEWAFL_RETURN_NOT_OK(suite.Bind(std::move(bind_schema)));
+  }
   return suite;
 }
 
-Result<ExpectationSuite> SuiteFromConfigString(const std::string& text) {
+Result<ExpectationSuite> SuiteFromConfigString(const std::string& text,
+                                               SchemaPtr bind_schema) {
   ICEWAFL_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
-  return SuiteFromJson(json);
+  return SuiteFromJson(json, std::move(bind_schema));
 }
 
-Result<ExpectationSuite> SuiteFromConfigFile(const std::string& path) {
+Result<ExpectationSuite> SuiteFromConfigFile(const std::string& path,
+                                             SchemaPtr bind_schema) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open suite file: '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return SuiteFromConfigString(buf.str());
+  return SuiteFromConfigString(buf.str(), std::move(bind_schema));
 }
 
 }  // namespace dq

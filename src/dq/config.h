@@ -34,13 +34,19 @@ Result<ExpectationPtr> ExpectationFromJson(const Json& json,
                                            const std::string& path = "");
 
 /// \brief Builds a whole suite from {"name": ..., "expectations": [...]}.
-Result<ExpectationSuite> SuiteFromJson(const Json& json);
+/// When `bind_schema` is non-null the suite is additionally bound against
+/// it (DESIGN.md section 8): unknown columns and type mismatches are
+/// rejected here, at load time, with their JSON-pointer path.
+Result<ExpectationSuite> SuiteFromJson(const Json& json,
+                                       SchemaPtr bind_schema = nullptr);
 
-/// \brief Parses JSON text and builds the suite.
-Result<ExpectationSuite> SuiteFromConfigString(const std::string& text);
+/// \brief Parses JSON text and builds (and optionally binds) the suite.
+Result<ExpectationSuite> SuiteFromConfigString(const std::string& text,
+                                               SchemaPtr bind_schema = nullptr);
 
-/// \brief Reads a JSON file and builds the suite.
-Result<ExpectationSuite> SuiteFromConfigFile(const std::string& path);
+/// \brief Reads a JSON file and builds (and optionally binds) the suite.
+Result<ExpectationSuite> SuiteFromConfigFile(const std::string& path,
+                                             SchemaPtr bind_schema = nullptr);
 
 }  // namespace dq
 }  // namespace icewafl

@@ -21,16 +21,61 @@ void AddFailure(ExpectationResult* result, const Tuple& tuple) {
   result->success = false;
 }
 
-Result<size_t> ResolveColumn(const TupleVector& tuples,
-                             const std::string& column) {
-  if (tuples.empty()) return size_t{0};
-  if (tuples.front().schema() == nullptr) {
-    return Status::Internal("tuples have no schema");
+/// Numeric read widening int64/double/bool; false otherwise. Values
+/// whose runtime type diverged from the bound column type (an upstream
+/// polluter may have rewritten them) are skipped like NULLs.
+bool NumericValue(const Value& v, double* out) {
+  switch (v.type()) {
+    case ValueType::kDouble:
+      *out = v.AsDouble();
+      return true;
+    case ValueType::kInt64:
+      *out = static_cast<double>(v.AsInt64());
+      return true;
+    case ValueType::kBool:
+      *out = v.AsBool() ? 1.0 : 0.0;
+      return true;
+    default:
+      return false;
   }
-  return tuples.front().schema()->IndexOf(column);
+}
+
+/// Borrowed string view of a value: string values are read in place,
+/// anything else is rendered into `storage`.
+const std::string& RenderedValue(const Value& v, std::string* storage) {
+  if (v.is_string()) return v.AsString();
+  *storage = v.ToString();
+  return *storage;
 }
 
 }  // namespace
+
+Status Expectation::Bind(BindContext& ctx) {
+  bound_schema_ = nullptr;
+  const std::vector<ColumnRef> refs = ColumnRefs();
+  std::vector<size_t> indices;
+  indices.reserve(refs.size());
+  for (const ColumnRef& ref : refs) {
+    BindContext::Scope scope(ctx, ref.key);
+    ICEWAFL_ASSIGN_OR_RETURN(BoundAccessor accessor,
+                             ref.numeric ? ctx.ResolveNumeric(*ref.name)
+                                         : ctx.Resolve(*ref.name));
+    indices.push_back(accessor.index());
+  }
+  indices_ = std::move(indices);
+  bound_schema_ = &ctx.schema();
+  return Status::OK();
+}
+
+Status Expectation::EnsureBound(const TupleVector& tuples) {
+  if (tuples.empty()) return Status::OK();
+  if (bound_schema_ == tuples.front().schema().get()) return Status::OK();
+  if (tuples.front().schema() == nullptr) {
+    return Status::Internal("tuples have no schema");
+  }
+  BindContext ctx(*tuples.front().schema());
+  return Bind(ctx);
+}
 
 std::vector<uint64_t> ExpectationResult::FailureHourHistogram() const {
   std::vector<uint64_t> hist(24, 0);
@@ -48,7 +93,9 @@ Result<ExpectationResult> ExpectColumnValuesToNotBeNull::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   for (const Tuple& t : tuples) {
     ++result.evaluated;
     if (t.value(idx).is_null()) AddFailure(&result, t);
@@ -64,7 +111,9 @@ Result<ExpectationResult> ExpectColumnValuesToBeNull::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   for (const Tuple& t : tuples) {
     ++result.evaluated;
     if (!t.value(idx).is_null()) AddFailure(&result, t);
@@ -81,12 +130,13 @@ Result<ExpectationResult> ExpectColumnValuesToBeBetween::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   for (const Tuple& t : tuples) {
-    const Value& v = t.value(idx);
-    if (v.is_null()) continue;  // GX skips NULL elements here
+    double x;
+    if (!NumericValue(t.value(idx), &x)) continue;  // GX skips NULLs here
     ++result.evaluated;
-    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
     if (x < min_ || x > max_) AddFailure(&result, t);
   }
   return result;
@@ -103,12 +153,18 @@ Result<ExpectationResult> ExpectColumnValuesToMatchRegex::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   for (const Tuple& t : tuples) {
     const Value& v = t.value(idx);
     if (v.is_null()) continue;
     ++result.evaluated;
-    if (!std::regex_match(v.ToString(), regex_)) AddFailure(&result, t);
+    // String values match in place; only other types are rendered first.
+    const bool matched = v.is_string()
+                             ? std::regex_match(v.AsString(), regex_)
+                             : std::regex_match(v.ToString(), regex_);
+    if (!matched) AddFailure(&result, t);
   }
   return result;
 }
@@ -122,14 +178,15 @@ Result<ExpectationResult> ExpectColumnValuesToBeIncreasing::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   bool have_prev = false;
   double prev = 0.0;
   for (const Tuple& t : tuples) {
-    const Value& v = t.value(idx);
-    if (v.is_null()) continue;
+    double x;
+    if (!NumericValue(t.value(idx), &x)) continue;
     ++result.evaluated;
-    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
     if (have_prev) {
       const bool ok = strictly_ ? x > prev : x >= prev;
       if (!ok) AddFailure(&result, t);
@@ -153,15 +210,18 @@ Result<ExpectationResult> ExpectColumnPairValuesAToBeGreaterThanB::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_a_ + ">" + column_b_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx_a, ResolveColumn(tuples, column_a_));
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx_b, ResolveColumn(tuples, column_b_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx_a = column_index(0);
+  const size_t idx_b = column_index(1);
   for (const Tuple& t : tuples) {
-    const Value& a = t.value(idx_a);
-    const Value& b = t.value(idx_b);
-    if (a.is_null() || b.is_null()) continue;
+    double xa;
+    double xb;
+    if (!NumericValue(t.value(idx_a), &xa) ||
+        !NumericValue(t.value(idx_b), &xb)) {
+      continue;
+    }
     ++result.evaluated;
-    ICEWAFL_ASSIGN_OR_RETURN(double xa, a.ToDouble());
-    ICEWAFL_ASSIGN_OR_RETURN(double xb, b.ToDouble());
     const bool ok = or_equal_ ? xa >= xb : xa > xb;
     if (!ok) AddFailure(&result, t);
   }
@@ -187,36 +247,29 @@ Result<ExpectationResult> ExpectMulticolumnSumToEqual::Validate(
     if (i > 0) result.column += "+";
     result.column += columns_[i];
   }
-  std::vector<size_t> indices;
-  indices.reserve(columns_.size());
-  for (const std::string& c : columns_) {
-    ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, c));
-    indices.push_back(idx);
-  }
-  size_t where_idx = 0;
-  if (!where_column_.empty()) {
-    ICEWAFL_ASSIGN_OR_RETURN(where_idx, ResolveColumn(tuples, where_column_));
-  }
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  // Bound layout: one index per sum column, then the where column.
+  const size_t n = columns_.size();
   for (const Tuple& t : tuples) {
     if (!where_column_.empty()) {
-      const Value& w = t.value(where_idx);
-      if (w.is_null() || !w.is_numeric() ||
-          w.ToDouble().ValueOrDie() != where_value_) {
+      const Value& w = t.value(column_index(n));
+      double wx;
+      if (!w.is_numeric() || !NumericValue(w, &wx) || wx != where_value_) {
         continue;
       }
     }
     double sum = 0.0;
-    bool any_null = false;
-    for (size_t idx : indices) {
-      const Value& v = t.value(idx);
-      if (v.is_null()) {
-        any_null = true;
+    bool any_skipped = false;
+    for (size_t i = 0; i < n; ++i) {
+      double x;
+      if (!NumericValue(t.value(column_index(i)), &x)) {
+        any_skipped = true;
         break;
       }
-      ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
       sum += x;
     }
-    if (any_null) continue;
+    if (any_skipped) continue;
     ++result.evaluated;
     if (std::abs(sum - total_) > tolerance_) AddFailure(&result, t);
   }
@@ -232,12 +285,15 @@ Result<ExpectationResult> ExpectColumnValuesToBeInSet::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
+  std::string storage;
   for (const Tuple& t : tuples) {
     const Value& v = t.value(idx);
     if (v.is_null()) continue;
     ++result.evaluated;
-    if (values_.count(v.ToString()) == 0) AddFailure(&result, t);
+    if (values_.count(RenderedValue(v, &storage)) == 0) AddFailure(&result, t);
   }
   return result;
 }
@@ -250,13 +306,16 @@ Result<ExpectationResult> ExpectColumnValuesToBeUnique::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   std::unordered_map<std::string, uint64_t> seen;
+  std::string storage;
   for (const Tuple& t : tuples) {
     const Value& v = t.value(idx);
     if (v.is_null()) continue;
     ++result.evaluated;
-    if (++seen[v.ToString()] > 1) AddFailure(&result, t);
+    if (++seen[RenderedValue(v, &storage)] > 1) AddFailure(&result, t);
   }
   return result;
 }
@@ -271,13 +330,17 @@ Result<ExpectationResult> ExpectColumnMeanToBeBetween::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
   double sum = 0.0;
+  if (tuples.empty()) {
+    result.success = true;
+    return result;
+  }
+  const size_t idx = column_index(0);
   for (const Tuple& t : tuples) {
-    const Value& v = t.value(idx);
-    if (v.is_null()) continue;
+    double x;
+    if (!NumericValue(t.value(idx), &x)) continue;
     ++result.evaluated;
-    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
     sum += x;
   }
   if (result.evaluated == 0) {
@@ -300,15 +363,19 @@ Result<ExpectationResult> ExpectColumnStdevToBeBetween::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) {
+    result.success = true;
+    return result;
+  }
+  const size_t idx = column_index(0);
   // Welford's algorithm for a numerically stable sample variance.
   double mean = 0.0;
   double m2 = 0.0;
   for (const Tuple& t : tuples) {
-    const Value& v = t.value(idx);
-    if (v.is_null()) continue;
+    double x;
+    if (!NumericValue(t.value(idx), &x)) continue;
     ++result.evaluated;
-    ICEWAFL_ASSIGN_OR_RETURN(double x, v.ToDouble());
     const double delta = x - mean;
     mean += delta / static_cast<double>(result.evaluated);
     m2 += delta * (x - mean);
@@ -335,12 +402,15 @@ Result<ExpectationResult> ExpectColumnValueLengthsToBeBetween::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
+  std::string storage;
   for (const Tuple& t : tuples) {
     const Value& v = t.value(idx);
     if (v.is_null()) continue;
     ++result.evaluated;
-    const size_t length = v.ToString().size();
+    const size_t length = RenderedValue(v, &storage).size();
     if (length < min_length_ || length > max_length_) AddFailure(&result, t);
   }
   return result;
@@ -355,7 +425,9 @@ Result<ExpectationResult> ExpectColumnValuesToBeOfType::Validate(
   ExpectationResult result;
   result.expectation = name();
   result.column = column_;
-  ICEWAFL_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(tuples, column_));
+  ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
+  if (tuples.empty()) return result;
+  const size_t idx = column_index(0);
   for (const Tuple& t : tuples) {
     const Value& v = t.value(idx);
     if (v.is_null()) continue;
@@ -363,6 +435,80 @@ Result<ExpectationResult> ExpectColumnValuesToBeOfType::Validate(
     if (v.type() != type_) AddFailure(&result, t);
   }
   return result;
+}
+
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToNotBeNull::ColumnRefs() const {
+  return {{&column_, "column", false}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToBeNull::ColumnRefs() const {
+  return {{&column_, "column", false}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToBeBetween::ColumnRefs() const {
+  return {{&column_, "column", true}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToMatchRegex::ColumnRefs() const {
+  return {{&column_, "column", false}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToBeIncreasing::ColumnRefs() const {
+  return {{&column_, "column", true}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnPairValuesAToBeGreaterThanB::ColumnRefs() const {
+  return {{&column_a_, "column_a", true}, {&column_b_, "column_b", true}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectMulticolumnSumToEqual::ColumnRefs() const {
+  std::vector<ColumnRef> refs;
+  refs.reserve(columns_.size() + 1);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    refs.push_back({&columns_[i], "columns/" + std::to_string(i), true});
+  }
+  if (!where_column_.empty()) {
+    refs.push_back({&where_column_, "where_column", true});
+  }
+  return refs;
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToBeInSet::ColumnRefs() const {
+  return {{&column_, "column", false}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToBeUnique::ColumnRefs() const {
+  return {{&column_, "column", false}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnMeanToBeBetween::ColumnRefs() const {
+  return {{&column_, "column", true}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnStdevToBeBetween::ColumnRefs() const {
+  return {{&column_, "column", true}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValueLengthsToBeBetween::ColumnRefs() const {
+  return {{&column_, "column", false}};
+}
+
+std::vector<Expectation::ColumnRef>
+ExpectColumnValuesToBeOfType::ColumnRefs() const {
+  return {{&column_, "column", false}};
 }
 
 namespace {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "stream/bind.h"
 #include "stream/tuple.h"
 #include "util/json.h"
 #include "util/result.h"
@@ -58,9 +59,22 @@ struct ExpectationResult {
 /// pre-existing) errors. Column expectations judge each tuple; stream
 /// expectations (e.g. increasing) judge the order; aggregate expectations
 /// judge a statistic of the whole stream.
+///
+/// Expectations follow the two-phase bind/run lifecycle (DESIGN.md §8):
+/// Bind resolves the referenced columns against the schema once (unknown
+/// columns and numeric-type mismatches become a Status with a
+/// JSON-pointer path, e.g. "at /expectations/2/column: ..."); Validate
+/// then reads values by index. A suite validated without an explicit
+/// Bind re-binds lazily against the tuples' schema.
 class Expectation {
  public:
   virtual ~Expectation() = default;
+
+  /// \brief Resolves the referenced columns against `ctx.schema()` and
+  /// caches their indices. Numeric expectations (between, increasing,
+  /// mean, stdev, pair, multicolumn sum) additionally require numeric
+  /// columns.
+  virtual Status Bind(BindContext& ctx);
 
   /// \brief Validates the expectation against the (ordered) stream.
   virtual Result<ExpectationResult> Validate(const TupleVector& tuples) = 0;
@@ -70,6 +84,30 @@ class Expectation {
   /// \brief Config representation; round-trips through
   /// dq::ExpectationFromJson (dq/config.h).
   virtual Json ToJson() const = 0;
+
+ protected:
+  /// \brief One column reference: the member holding the name, the JSON
+  /// config key to report bind failures under, and whether the column
+  /// must be numeric.
+  struct ColumnRef {
+    const std::string* name;
+    std::string key;
+    bool numeric = false;
+  };
+
+  /// \brief The column references this expectation reads, in a fixed
+  /// order; the default Bind resolves them into column_index(i).
+  virtual std::vector<ColumnRef> ColumnRefs() const = 0;
+
+  /// \brief Lazy-bind fallback used by Validate: re-binds against the
+  /// tuples' schema when it differs from the bound one. No-op on an
+  /// empty stream.
+  Status EnsureBound(const TupleVector& tuples);
+
+  size_t column_index(size_t i) const { return indices_[i]; }
+
+  const Schema* bound_schema_ = nullptr;
+  std::vector<size_t> indices_;
 };
 
 using ExpectationPtr = std::unique_ptr<Expectation>;
@@ -83,6 +121,10 @@ class ExpectColumnValuesToNotBeNull : public Expectation {
     return "expect_column_values_to_not_be_null";
   }
   Json ToJson() const override;
+
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
 
  private:
   std::string column_;
@@ -99,6 +141,10 @@ class ExpectColumnValuesToBeNull : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::string column_;
 };
@@ -113,6 +159,10 @@ class ExpectColumnValuesToBeBetween : public Expectation {
     return "expect_column_values_to_be_between";
   }
   Json ToJson() const override;
+
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
 
  private:
   std::string column_;
@@ -134,6 +184,10 @@ class ExpectColumnValuesToMatchRegex : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::string column_;
   std::string pattern_;
@@ -153,6 +207,10 @@ class ExpectColumnValuesToBeIncreasing : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::string column_;
   bool strictly_;
@@ -169,6 +227,10 @@ class ExpectColumnPairValuesAToBeGreaterThanB : public Expectation {
     return "expect_column_pair_values_a_to_be_greater_than_b";
   }
   Json ToJson() const override;
+
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
 
  private:
   std::string column_a_;
@@ -197,6 +259,10 @@ class ExpectMulticolumnSumToEqual : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::vector<std::string> columns_;
   double total_;
@@ -216,6 +282,10 @@ class ExpectColumnValuesToBeInSet : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::string column_;
   std::set<std::string> values_;
@@ -232,6 +302,10 @@ class ExpectColumnValuesToBeUnique : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::string column_;
 };
@@ -246,6 +320,10 @@ class ExpectColumnMeanToBeBetween : public Expectation {
     return "expect_column_mean_to_be_between";
   }
   Json ToJson() const override;
+
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
 
  private:
   std::string column_;
@@ -263,6 +341,10 @@ class ExpectColumnStdevToBeBetween : public Expectation {
     return "expect_column_stdev_to_be_between";
   }
   Json ToJson() const override;
+
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
 
  private:
   std::string column_;
@@ -283,6 +365,10 @@ class ExpectColumnValueLengthsToBeBetween : public Expectation {
   }
   Json ToJson() const override;
 
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
+
  private:
   std::string column_;
   size_t min_length_;
@@ -299,6 +385,10 @@ class ExpectColumnValuesToBeOfType : public Expectation {
     return "expect_column_values_to_be_of_type";
   }
   Json ToJson() const override;
+
+
+ protected:
+  std::vector<ColumnRef> ColumnRefs() const override;
 
  private:
   std::string column_;

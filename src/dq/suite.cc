@@ -86,6 +86,19 @@ void PublishSuiteResult(const SuiteResult& result,
   }
 }
 
+Status ExpectationSuite::Bind(SchemaPtr schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("suite '" + name_ +
+                                   "': cannot bind to a null schema");
+  }
+  for (size_t i = 0; i < expectations_.size(); ++i) {
+    BindContext ctx(*schema, "/expectations/" + std::to_string(i));
+    ICEWAFL_RETURN_NOT_OK(expectations_[i]->Bind(ctx));
+  }
+  bound_schema_ = std::move(schema);
+  return Status::OK();
+}
+
 Result<SuiteResult> ExpectationSuite::Validate(
     const TupleVector& tuples) const {
   SuiteResult suite_result;

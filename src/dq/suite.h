@@ -66,6 +66,15 @@ class ExpectationSuite {
 
   size_t size() const { return expectations_.size(); }
 
+  /// \brief Binds every expectation against `schema` (DESIGN.md section
+  /// 8). Errors carry the expectation's JSON-pointer path, e.g.
+  /// "at /expectations/2/column: unknown attribute ...". After a
+  /// successful Bind, Validate runs without per-call column resolution.
+  Status Bind(SchemaPtr schema);
+
+  /// \brief The schema this suite was bound against, or nullptr.
+  const SchemaPtr& bound_schema() const { return bound_schema_; }
+
   /// \brief Validates all expectations against the stream.
   Result<SuiteResult> Validate(const TupleVector& tuples) const;
 
@@ -76,6 +85,7 @@ class ExpectationSuite {
  private:
   std::string name_ = "suite";
   std::vector<ExpectationPtr> expectations_;
+  SchemaPtr bound_schema_;
 };
 
 }  // namespace dq

@@ -2,9 +2,13 @@
 #define ICEWAFL_FORECAST_ENCODINGS_H_
 
 #include <cmath>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "stream/bind.h"
+#include "stream/tuple.h"
+#include "util/result.h"
 #include "util/time_util.h"
 
 namespace icewafl {
@@ -24,6 +28,88 @@ inline std::vector<double> TimeEncodings(Timestamp ts) {
   const auto [sin_m, cos_m] = CyclicEncode(MonthOfYear(ts) - 1, 12.0);
   return {sin_h, cos_h, sin_m, cos_m};
 }
+
+/// \brief Bound exogenous-feature encoder (DESIGN.md section 8): the
+/// TimeEncodings of each tuple's timestamp followed by a configurable
+/// list of affine-rescaled numeric columns, emitted in one pass over the
+/// stream with column indices resolved once at Bind instead of per
+/// column extraction.
+class FeatureEncoder {
+ public:
+  /// \brief Appends a numeric column contributing `(value + offset) *
+  /// scale` to every feature vector.
+  void AddColumn(std::string name, double scale = 1.0, double offset = 0.0) {
+    columns_.push_back({std::move(name), scale, offset, BoundAccessor()});
+  }
+
+  /// \brief Feature-vector width: the four time encodings plus one slot
+  /// per added column.
+  size_t num_features() const { return 4 + columns_.size(); }
+
+  /// \brief Resolves every column (at "columns/<i>") and requires each
+  /// to be numeric.
+  Status Bind(BindContext& ctx) {
+    bound_schema_ = nullptr;
+    BindContext::Scope columns_scope(ctx, "columns");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      BindContext::Scope index_scope(ctx, i);
+      ICEWAFL_ASSIGN_OR_RETURN(columns_[i].accessor,
+                               ctx.ResolveNumeric(columns_[i].name));
+    }
+    bound_schema_ = &ctx.schema();
+    return Status::OK();
+  }
+
+  /// \brief Encodes the whole stream; lazy-binds against the tuples'
+  /// schema when Bind was not called up front. NULLs are rejected the
+  /// same way data::ColumnAsDoubles rejects them: impute first.
+  Result<std::vector<std::vector<double>>> EncodeAll(
+      const TupleVector& tuples) {
+    std::vector<std::vector<double>> out;
+    out.reserve(tuples.size());
+    if (tuples.empty()) return out;
+    ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples.front()));
+    for (const Tuple& t : tuples) {
+      ICEWAFL_ASSIGN_OR_RETURN(Timestamp ts, t.GetTimestamp());
+      std::vector<double> features = TimeEncodings(ts);
+      features.reserve(num_features());
+      for (const Column& c : columns_) {
+        if (c.accessor.at(t).is_null()) {
+          return Status::InvalidArgument("NULL in column '" + c.name +
+                                         "' — impute before extraction");
+        }
+        double x;
+        if (!c.accessor.DoubleAt(t, &x)) {
+          return Status::TypeError("column '" + c.name +
+                                   "' holds a non-numeric value");
+        }
+        features.push_back((x + c.offset) * c.scale);
+      }
+      out.push_back(std::move(features));
+    }
+    return out;
+  }
+
+ private:
+  struct Column {
+    std::string name;
+    double scale;
+    double offset;
+    BoundAccessor accessor;
+  };
+
+  Status EnsureBound(const Tuple& tuple) {
+    if (bound_schema_ == tuple.schema().get()) return Status::OK();
+    if (tuple.schema() == nullptr) {
+      return Status::Internal("feature encoder: tuples have no schema");
+    }
+    BindContext ctx(*tuple.schema());
+    return Bind(ctx);
+  }
+
+  std::vector<Column> columns_;
+  const Schema* bound_schema_ = nullptr;
+};
 
 }  // namespace forecast
 }  // namespace icewafl

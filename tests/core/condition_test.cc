@@ -11,13 +11,20 @@ using testing_helpers::ContextFor;
 using testing_helpers::SensorSchema;
 using testing_helpers::SensorTuple;
 
+// Binds `condition` against `schema` at the root path, as the pipeline
+// Bind pass does before any Evaluate call.
+Status BindTo(Condition* condition, const SchemaPtr& schema) {
+  BindContext ctx(*schema);
+  return condition->Bind(ctx);
+}
+
 TEST(AlwaysNeverConditionTest, Constants) {
   SchemaPtr schema = SensorSchema();
   Rng rng(1);
   Tuple t = SensorTuple(schema, 10);
   auto ctx = ContextFor(t, &rng);
-  EXPECT_TRUE(AlwaysCondition().Evaluate(t, &ctx).ValueOrDie());
-  EXPECT_FALSE(NeverCondition().Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_TRUE(AlwaysCondition().Evaluate(t, &ctx));
+  EXPECT_FALSE(NeverCondition().Evaluate(t, &ctx));
 }
 
 TEST(RandomConditionTest, FiresWithConfiguredProbability) {
@@ -29,7 +36,7 @@ TEST(RandomConditionTest, FiresWithConfiguredProbability) {
   const int n = 50000;
   for (int i = 0; i < n; ++i) {
     auto ctx = ContextFor(t, &rng);
-    if (condition.Evaluate(t, &ctx).ValueOrDie()) ++fired;
+    if (condition.Evaluate(t, &ctx)) ++fired;
   }
   EXPECT_NEAR(static_cast<double>(fired) / n, 0.2, 0.01);
 }
@@ -39,13 +46,12 @@ TEST(RandomConditionTest, ClampsProbability) {
   EXPECT_DOUBLE_EQ(RandomCondition(-0.3).probability(), 0.0);
 }
 
-TEST(RandomConditionTest, RequiresRng) {
+TEST(RandomConditionTest, NeverFiresWithoutRng) {
   SchemaPtr schema = SensorSchema();
-  RandomCondition condition(0.5);
+  RandomCondition condition(1.0);
   Tuple t = SensorTuple(schema, 10);
-  PollutionContext ctx;  // no rng
-  EXPECT_EQ(condition.Evaluate(t, &ctx).status().code(),
-            StatusCode::kInternal);
+  PollutionContext ctx;  // no rng: no reproducible draw to make
+  EXPECT_FALSE(condition.Evaluate(t, &ctx));
 }
 
 TEST(ValueConditionTest, NumericComparisons) {
@@ -54,27 +60,32 @@ TEST(ValueConditionTest, NumericComparisons) {
   Tuple t = SensorTuple(schema, 10, 120.0);
   auto ctx = ContextFor(t, &rng);
   // The paper's "BPM > 100" style condition.
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kGt, Value(100.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_FALSE(ValueCondition("temp", CompareOp::kGt, Value(120.0))
-                   .Evaluate(t, &ctx)
-                   .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kGe, Value(120.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kLt, Value(121.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kLe, Value(120.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kEq, Value(120.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kNe, Value(0.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
+  const struct {
+    CompareOp op;
+    double operand;
+    bool expected;
+  } cases[] = {
+      {CompareOp::kGt, 100.0, true}, {CompareOp::kGt, 120.0, false},
+      {CompareOp::kGe, 120.0, true}, {CompareOp::kLt, 121.0, true},
+      {CompareOp::kLe, 120.0, true}, {CompareOp::kEq, 120.0, true},
+      {CompareOp::kNe, 0.0, true},
+  };
+  for (const auto& c : cases) {
+    ValueCondition condition("temp", c.op, Value(c.operand));
+    ASSERT_TRUE(BindTo(&condition, schema).ok());
+    EXPECT_EQ(condition.Evaluate(t, &ctx), c.expected)
+        << CompareOpName(c.op) << " " << c.operand;
+  }
+}
+
+TEST(ValueConditionTest, UnboundNeverFires) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(3);
+  Tuple t = SensorTuple(schema, 10, 120.0);
+  auto ctx = ContextFor(t, &rng);
+  // Without Bind there is no resolved column to read.
+  EXPECT_FALSE(
+      ValueCondition("temp", CompareOp::kGt, Value(100.0)).Evaluate(t, &ctx));
 }
 
 TEST(ValueConditionTest, IntDoubleCrossComparison) {
@@ -83,9 +94,9 @@ TEST(ValueConditionTest, IntDoubleCrossComparison) {
   Tuple t = SensorTuple(schema, 10, 20.0, 100);
   auto ctx = ContextFor(t, &rng);
   // count is int64(100); operand double 100.0 compares equal numerically.
-  EXPECT_TRUE(ValueCondition("count", CompareOp::kEq, Value(100.0))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
+  ValueCondition condition("count", CompareOp::kEq, Value(100.0));
+  ASSERT_TRUE(BindTo(&condition, schema).ok());
+  EXPECT_TRUE(condition.Evaluate(t, &ctx));
 }
 
 TEST(ValueConditionTest, StringComparison) {
@@ -94,12 +105,12 @@ TEST(ValueConditionTest, StringComparison) {
   Tuple t = SensorTuple(schema, 10, 20.0, 100, "42");
   auto ctx = ContextFor(t, &rng);
   // The paper's Figure 2 example: "if attribute1.value == 42 then pollute".
-  EXPECT_TRUE(ValueCondition("label", CompareOp::kEq, Value("42"))
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_FALSE(ValueCondition("label", CompareOp::kEq, Value("43"))
-                   .Evaluate(t, &ctx)
-                   .ValueOrDie());
+  ValueCondition eq42("label", CompareOp::kEq, Value("42"));
+  ValueCondition eq43("label", CompareOp::kEq, Value("43"));
+  ASSERT_TRUE(BindTo(&eq42, schema).ok());
+  ASSERT_TRUE(BindTo(&eq43, schema).ok());
+  EXPECT_TRUE(eq42.Evaluate(t, &ctx));
+  EXPECT_FALSE(eq43.Evaluate(t, &ctx));
 }
 
 TEST(ValueConditionTest, NullHandling) {
@@ -108,35 +119,43 @@ TEST(ValueConditionTest, NullHandling) {
   Tuple t = SensorTuple(schema, 10);
   t.set_value(1, Value::Null());
   auto ctx = ContextFor(t, &rng);
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kIsNull)
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_FALSE(ValueCondition("temp", CompareOp::kNotNull)
-                   .Evaluate(t, &ctx)
-                   .ValueOrDie());
-  // Ordering against NULL is false (SQL-like), equality with explicit
-  // NULL operand is true.
-  EXPECT_FALSE(ValueCondition("temp", CompareOp::kGt, Value(0.0))
-                   .Evaluate(t, &ctx)
-                   .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("temp", CompareOp::kEq, Value::Null())
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
-  EXPECT_TRUE(ValueCondition("count", CompareOp::kNe, Value::Null())
-                  .Evaluate(t, &ctx)
-                  .ValueOrDie());
+  const struct {
+    const char* attribute;
+    CompareOp op;
+    Value operand;
+    bool expected;
+  } cases[] = {
+      {"temp", CompareOp::kIsNull, Value(), true},
+      {"temp", CompareOp::kNotNull, Value(), false},
+      // Ordering against NULL is false (SQL-like), equality with explicit
+      // NULL operand is true.
+      {"temp", CompareOp::kGt, Value(0.0), false},
+      {"temp", CompareOp::kEq, Value::Null(), true},
+      {"count", CompareOp::kNe, Value::Null(), true},
+  };
+  for (const auto& c : cases) {
+    ValueCondition condition(c.attribute, c.op, c.operand);
+    ASSERT_TRUE(BindTo(&condition, schema).ok());
+    EXPECT_EQ(condition.Evaluate(t, &ctx), c.expected)
+        << c.attribute << " " << CompareOpName(c.op);
+  }
 }
 
-TEST(ValueConditionTest, UnknownAttributeIsError) {
+TEST(ValueConditionTest, UnknownAttributeRejectedAtBind) {
   SchemaPtr schema = SensorSchema();
-  Rng rng(7);
-  Tuple t = SensorTuple(schema, 10);
-  auto ctx = ContextFor(t, &rng);
-  EXPECT_EQ(ValueCondition("bogus", CompareOp::kEq, Value(1))
-                .Evaluate(t, &ctx)
-                .status()
-                .code(),
-            StatusCode::kNotFound);
+  ValueCondition condition("bogus", CompareOp::kEq, Value(1));
+  const Status status = BindTo(&condition, schema);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+TEST(ValueConditionTest, OperandColumnTypeMismatchRejectedAtBind) {
+  SchemaPtr schema = SensorSchema();
+  // Numeric operand against the string column and vice versa.
+  ValueCondition numeric_on_string("label", CompareOp::kGt, Value(1.0));
+  EXPECT_EQ(BindTo(&numeric_on_string, schema).code(), StatusCode::kTypeError);
+  ValueCondition string_on_numeric("temp", CompareOp::kEq, Value("hot"));
+  EXPECT_EQ(BindTo(&string_on_numeric, schema).code(), StatusCode::kTypeError);
 }
 
 TEST(CompareOpTest, ParseAndNameRoundTrip) {
@@ -159,7 +178,7 @@ TEST(TimeWindowConditionTest, HalfOpenWindowOnEventTime) {
     Tuple t = SensorTuple(schema, hour);
     auto ctx = ContextFor(t, &rng);
     const bool expected = hour >= 10 && hour < 12;
-    EXPECT_EQ(condition.Evaluate(t, &ctx).ValueOrDie(), expected) << hour;
+    EXPECT_EQ(condition.Evaluate(t, &ctx), expected) << hour;
   }
 }
 
@@ -174,9 +193,9 @@ TEST(TimeWindowConditionTest, AfterFactoryIsOpenEnded) {
   auto ctx_b = ContextFor(before, &rng);
   auto ctx_at = ContextFor(at, &rng);
   auto ctx_a = ContextFor(after, &rng);
-  EXPECT_FALSE(condition->Evaluate(before, &ctx_b).ValueOrDie());
-  EXPECT_TRUE(condition->Evaluate(at, &ctx_at).ValueOrDie());
-  EXPECT_TRUE(condition->Evaluate(after, &ctx_a).ValueOrDie());
+  EXPECT_FALSE(condition->Evaluate(before, &ctx_b));
+  EXPECT_TRUE(condition->Evaluate(at, &ctx_at));
+  EXPECT_TRUE(condition->Evaluate(after, &ctx_a));
 }
 
 TEST(DailyWindowConditionTest, MatchesPaperNetworkScenarioWindow) {
@@ -188,7 +207,7 @@ TEST(DailyWindowConditionTest, MatchesPaperNetworkScenarioWindow) {
     Tuple t = SensorTuple(schema, hour);
     auto ctx = ContextFor(t, &rng);
     const bool expected = hour == 13 || hour == 14;
-    EXPECT_EQ(condition.Evaluate(t, &ctx).ValueOrDie(), expected) << hour;
+    EXPECT_EQ(condition.Evaluate(t, &ctx), expected) << hour;
   }
 }
 
@@ -200,7 +219,7 @@ TEST(DailyWindowConditionTest, WrapsAroundMidnight) {
     Tuple t = SensorTuple(schema, hour);
     auto ctx = ContextFor(t, &rng);
     const bool expected = hour == 23 || hour == 0 || hour == 1;
-    EXPECT_EQ(condition.Evaluate(t, &ctx).ValueOrDie(), expected) << hour;
+    EXPECT_EQ(condition.Evaluate(t, &ctx), expected) << hour;
   }
 }
 
@@ -218,27 +237,25 @@ TEST(ProfileProbabilityConditionTest, SinusoidalDailyErrorRate) {
     Tuple noon = SensorTuple(schema, 12);
     auto ctx_m = ContextFor(midnight, &rng);
     auto ctx_n = ContextFor(noon, &rng);
-    if (condition.Evaluate(midnight, &ctx_m).ValueOrDie()) ++fired_midnight;
-    if (condition.Evaluate(noon, &ctx_n).ValueOrDie()) ++fired_noon;
+    if (condition.Evaluate(midnight, &ctx_m)) ++fired_midnight;
+    if (condition.Evaluate(noon, &ctx_n)) ++fired_noon;
   }
   EXPECT_NEAR(static_cast<double>(fired_midnight) / n, 0.5, 0.02);
   EXPECT_EQ(fired_noon, 0);
 }
 
-TEST(CompositeConditionTest, AndShortCircuits) {
+TEST(CompositeConditionTest, BindRecursesIntoChildren) {
   SchemaPtr schema = SensorSchema();
-  Rng rng(13);
   std::vector<ConditionPtr> children;
   children.push_back(std::make_unique<NeverCondition>());
-  // A condition on a missing attribute would error if evaluated.
   children.push_back(
       std::make_unique<ValueCondition>("missing", CompareOp::kEq, Value(1)));
   AndCondition condition(std::move(children));
-  Tuple t = SensorTuple(schema, 10);
-  auto ctx = ContextFor(t, &rng);
-  auto r = condition.Evaluate(t, &ctx);
-  ASSERT_TRUE(r.ok());  // short-circuited before the bad child
-  EXPECT_FALSE(r.ValueOrDie());
+  // The bad child is rejected at bind time with its path, even though
+  // evaluation would short-circuit before reaching it.
+  const Status status = BindTo(&condition, schema);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("missing"), std::string::npos);
 }
 
 TEST(CompositeConditionTest, AndRequiresAll) {
@@ -249,6 +266,7 @@ TEST(CompositeConditionTest, AndRequiresAll) {
   children.push_back(std::make_unique<DailyWindowCondition>(13 * 60, 899));
   children.push_back(std::make_unique<RandomCondition>(0.2));
   AndCondition condition(std::move(children));
+  ASSERT_TRUE(BindTo(&condition, schema).ok());
   int fired_in_window = 0;
   int fired_outside = 0;
   const int n = 20000;
@@ -257,8 +275,8 @@ TEST(CompositeConditionTest, AndRequiresAll) {
     Tuple outside = SensorTuple(schema, 9);
     auto ctx_i = ContextFor(in_window, &rng);
     auto ctx_o = ContextFor(outside, &rng);
-    if (condition.Evaluate(in_window, &ctx_i).ValueOrDie()) ++fired_in_window;
-    if (condition.Evaluate(outside, &ctx_o).ValueOrDie()) ++fired_outside;
+    if (condition.Evaluate(in_window, &ctx_i)) ++fired_in_window;
+    if (condition.Evaluate(outside, &ctx_o)) ++fired_outside;
   }
   EXPECT_NEAR(static_cast<double>(fired_in_window) / n, 0.2, 0.02);
   EXPECT_EQ(fired_outside, 0);
@@ -272,12 +290,13 @@ TEST(CompositeConditionTest, OrFiresOnAny) {
   children.push_back(
       std::make_unique<ValueCondition>("temp", CompareOp::kGt, Value(15.0)));
   OrCondition condition(std::move(children));
+  ASSERT_TRUE(BindTo(&condition, schema).ok());
   Tuple hot = SensorTuple(schema, 10, 20.0);
   Tuple cold = SensorTuple(schema, 10, 10.0);
   auto ctx_h = ContextFor(hot, &rng);
   auto ctx_c = ContextFor(cold, &rng);
-  EXPECT_TRUE(condition.Evaluate(hot, &ctx_h).ValueOrDie());
-  EXPECT_FALSE(condition.Evaluate(cold, &ctx_c).ValueOrDie());
+  EXPECT_TRUE(condition.Evaluate(hot, &ctx_h));
+  EXPECT_FALSE(condition.Evaluate(cold, &ctx_c));
 }
 
 TEST(CompositeConditionTest, NotInverts) {
@@ -286,7 +305,7 @@ TEST(CompositeConditionTest, NotInverts) {
   NotCondition condition(std::make_unique<NeverCondition>());
   Tuple t = SensorTuple(schema, 10);
   auto ctx = ContextFor(t, &rng);
-  EXPECT_TRUE(condition.Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_TRUE(condition.Evaluate(t, &ctx));
 }
 
 TEST(CompositeConditionTest, EmptyAndIsTrueEmptyOrIsFalse) {
@@ -294,8 +313,8 @@ TEST(CompositeConditionTest, EmptyAndIsTrueEmptyOrIsFalse) {
   Rng rng(17);
   Tuple t = SensorTuple(schema, 10);
   auto ctx = ContextFor(t, &rng);
-  EXPECT_TRUE(AndCondition({}).Evaluate(t, &ctx).ValueOrDie());
-  EXPECT_FALSE(OrCondition({}).Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_TRUE(AndCondition({}).Evaluate(t, &ctx));
+  EXPECT_FALSE(OrCondition({}).Evaluate(t, &ctx));
 }
 
 TEST(WindowAggregateConditionTest, MotivatingExampleAvgTemp) {
@@ -305,12 +324,13 @@ TEST(WindowAggregateConditionTest, MotivatingExampleAvgTemp) {
   Rng rng(30);
   WindowAggregateCondition condition("temp", 3 * 3600, WindowAgg::kMean,
                                      CompareOp::kGt, 20.0);
+  ASSERT_TRUE(BindTo(&condition, schema).ok());
   const std::vector<double> temps = {16, 17, 30, 29, 21, 10, 5, 5};
   std::vector<bool> fired;
   for (size_t h = 0; h < temps.size(); ++h) {
     Tuple t = SensorTuple(schema, static_cast<int>(h), temps[h]);
     auto ctx = ContextFor(t, &rng);
-    fired.push_back(condition.Evaluate(t, &ctx).ValueOrDie());
+    fired.push_back(condition.Evaluate(t, &ctx));
   }
   // Trailing 3h means (incl. current): 16, 16.5, 21, 25.3, 26.7, 20, 12,
   // 6.7 -> fires at hours 2-4 only... (mean at h=5 is (29+21+10)/3 = 20,
@@ -327,11 +347,13 @@ TEST(WindowAggregateConditionTest, CountAndSumAggregates) {
                                       CompareOp::kGe, 2.0);
   WindowAggregateCondition sum_cond("temp", 3 * 3600, WindowAgg::kSum,
                                     CompareOp::kGt, 45.0);
+  ASSERT_TRUE(BindTo(&count_cond, schema).ok());
+  ASSERT_TRUE(BindTo(&sum_cond, schema).ok());
   for (int h = 0; h < 3; ++h) {
     Tuple t = SensorTuple(schema, h, 20.0);
     auto ctx = ContextFor(t, &rng);
-    const bool count_fired = count_cond.Evaluate(t, &ctx).ValueOrDie();
-    const bool sum_fired = sum_cond.Evaluate(t, &ctx).ValueOrDie();
+    const bool count_fired = count_cond.Evaluate(t, &ctx);
+    const bool sum_fired = sum_cond.Evaluate(t, &ctx);
     EXPECT_EQ(count_fired, h >= 1) << h;   // window holds 2+ from hour 1
     EXPECT_EQ(sum_fired, h >= 2) << h;     // sum 60 > 45 from hour 2
   }
@@ -342,12 +364,13 @@ TEST(WindowAggregateConditionTest, MinMaxAggregates) {
   Rng rng(32);
   WindowAggregateCondition max_cond("temp", 2 * 3600, WindowAgg::kMax,
                                     CompareOp::kGe, 100.0);
+  ASSERT_TRUE(BindTo(&max_cond, schema).ok());
   const std::vector<double> temps = {50, 120, 50, 50, 50};
   std::vector<bool> fired;
   for (size_t h = 0; h < temps.size(); ++h) {
     Tuple t = SensorTuple(schema, static_cast<int>(h), temps[h]);
     auto ctx = ContextFor(t, &rng);
-    fired.push_back(max_cond.Evaluate(t, &ctx).ValueOrDie());
+    fired.push_back(max_cond.Evaluate(t, &ctx));
   }
   // The 120 spike keeps max >= 100 while it remains inside the
   // half-open 2h window (hours 1-2; at hour 3 it is evicted).
@@ -359,21 +382,26 @@ TEST(WindowAggregateConditionTest, NullValuesSkipped) {
   Rng rng(33);
   WindowAggregateCondition condition("temp", 10 * 3600, WindowAgg::kMean,
                                      CompareOp::kGt, 0.0);
+  ASSERT_TRUE(BindTo(&condition, schema).ok());
   Tuple t = SensorTuple(schema, 0);
   t.set_value(1, Value::Null());
   auto ctx = ContextFor(t, &rng);
   // Empty window -> mean never fires.
-  EXPECT_FALSE(condition.Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_FALSE(condition.Evaluate(t, &ctx));
 }
 
-TEST(WindowAggregateConditionTest, NullOperatorRejected) {
+TEST(WindowAggregateConditionTest, NullOperatorRejectedAtBind) {
   SchemaPtr schema = SensorSchema();
-  Rng rng(34);
   WindowAggregateCondition condition("temp", 3600, WindowAgg::kMean,
                                      CompareOp::kIsNull, 0.0);
-  Tuple t = SensorTuple(schema, 0);
-  auto ctx = ContextFor(t, &rng);
-  EXPECT_FALSE(condition.Evaluate(t, &ctx).ok());
+  EXPECT_EQ(BindTo(&condition, schema).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WindowAggregateConditionTest, NonNumericColumnRejectedAtBind) {
+  SchemaPtr schema = SensorSchema();
+  WindowAggregateCondition condition("label", 3600, WindowAgg::kMean,
+                                     CompareOp::kGt, 0.0);
+  EXPECT_EQ(BindTo(&condition, schema).code(), StatusCode::kTypeError);
 }
 
 TEST(WindowAggregateConditionTest, CloneStartsEmptyAndJsonRoundTrips) {
@@ -407,7 +435,7 @@ TEST(HoldConditionTest, StaysActiveForHoldWindow) {
   for (int hour = 0; hour < 12; ++hour) {
     Tuple t = SensorTuple(schema, hour);
     auto ctx = ContextFor(t, &rng);
-    fired.push_back(condition.Evaluate(t, &ctx).ValueOrDie());
+    fired.push_back(condition.Evaluate(t, &ctx));
   }
   // Active at the trigger (5) and while held (6, 7, 8); off afterwards.
   const std::vector<bool> expected = {false, false, false, false, false,
@@ -424,7 +452,7 @@ TEST(HoldConditionTest, RetriggersAfterExpiry) {
   for (int hour = 0; hour < 5; ++hour) {
     Tuple t = SensorTuple(schema, hour);
     auto ctx = ContextFor(t, &rng);
-    EXPECT_TRUE(condition.Evaluate(t, &ctx).ValueOrDie());
+    EXPECT_TRUE(condition.Evaluate(t, &ctx));
   }
 }
 
@@ -435,7 +463,7 @@ TEST(HoldConditionTest, CloneStartsInactive) {
   ConditionPtr clone = condition.Clone();
   Tuple t = SensorTuple(schema, 0);
   auto ctx = ContextFor(t, &rng);
-  EXPECT_FALSE(clone->Evaluate(t, &ctx).ValueOrDie());
+  EXPECT_FALSE(clone->Evaluate(t, &ctx));
   EXPECT_EQ(clone->ToJson().GetString("type", ""), "hold");
 }
 
@@ -447,6 +475,19 @@ TEST(ConditionTest, CloneIsDeepAndEquivalent) {
   ConditionPtr clone = original.Clone();
   EXPECT_EQ(clone->ToJson(), original.ToJson());
   EXPECT_EQ(clone->name(), "and");
+}
+
+TEST(ConditionTest, CloneKeepsBoundState) {
+  SchemaPtr schema = SensorSchema();
+  Rng rng(23);
+  ValueCondition condition("temp", CompareOp::kGt, Value(15.0));
+  ASSERT_TRUE(BindTo(&condition, schema).ok());
+  // Workers clone the bound plan; the clone must evaluate without a
+  // fresh Bind call.
+  ConditionPtr clone = condition.Clone();
+  Tuple hot = SensorTuple(schema, 10, 20.0);
+  auto ctx = ContextFor(hot, &rng);
+  EXPECT_TRUE(clone->Evaluate(hot, &ctx));
 }
 
 TEST(ConditionTest, ToJsonShapes) {

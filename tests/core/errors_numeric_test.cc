@@ -23,7 +23,7 @@ TEST(GaussianNoiseErrorTest, AdditiveNoiseHasExpectedSpread) {
   for (int i = 0; i < n; ++i) {
     Tuple t = SensorTuple(schema, 10, 50.0);
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     const double v = t.value(1).AsDouble();
     sum += v;
     sum2 += v * v;
@@ -42,7 +42,7 @@ TEST(GaussianNoiseErrorTest, MultiplicativeScalesWithValue) {
   for (int i = 0; i < n; ++i) {
     Tuple t = SensorTuple(schema, 10, 100.0);
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     const double d = t.value(1).AsDouble() - 100.0;
     sum2 += d * d;
   }
@@ -59,7 +59,7 @@ TEST(GaussianNoiseErrorTest, SeverityScalesStddev) {
     Tuple t = SensorTuple(schema, 10, 0.0);
     auto ctx = ContextFor(t, &rng);
     ctx.severity = 0.2;
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     sum2 += t.value(1).AsDouble() * t.value(1).AsDouble();
   }
   EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.1);  // 10 * 0.2
@@ -72,12 +72,14 @@ TEST(GaussianNoiseErrorTest, NullSkippedNonNumericRejected) {
   Tuple t = SensorTuple(schema, 10);
   t.set_value(1, Value::Null());
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_TRUE(t.value(1).is_null());  // nothing to pollute
-  // Targeting the string attribute is a configuration error.
-  Tuple t2 = SensorTuple(schema, 10);
-  auto ctx2 = ContextFor(t2, &rng);
-  EXPECT_EQ(error.Apply(&t2, {3}, &ctx2).code(), StatusCode::kTypeError);
+  // Targeting the string attribute is a configuration error, caught at
+  // bind time with the attribute's name in the message.
+  BindContext bind_ctx(*schema);
+  const Status status = error.Bind(bind_ctx, {3});
+  EXPECT_EQ(status.code(), StatusCode::kTypeError);
+  EXPECT_NE(status.message().find("label"), std::string::npos);
 }
 
 TEST(GaussianNoiseErrorTest, IntegerAttributeStaysInteger) {
@@ -86,17 +88,20 @@ TEST(GaussianNoiseErrorTest, IntegerAttributeStaysInteger) {
   GaussianNoiseError error(5.0);
   Tuple t = SensorTuple(schema, 10, 20.0, 100);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {2}, &ctx).ok());
+  error.Apply(&t, {2}, &ctx);
   EXPECT_TRUE(t.value(2).is_int64());
 }
 
-TEST(GaussianNoiseErrorTest, OutOfRangeIndexRejected) {
+TEST(GaussianNoiseErrorTest, OutOfRangeIndexSkipped) {
   SchemaPtr schema = SensorSchema();
   Rng rng(6);
   GaussianNoiseError error(1.0);
   Tuple t = SensorTuple(schema, 10);
+  const Tuple original = t;
   auto ctx = ContextFor(t, &rng);
-  EXPECT_EQ(error.Apply(&t, {99}, &ctx).code(), StatusCode::kOutOfRange);
+  // A stale index beyond the tuple is ignored rather than dereferenced.
+  error.Apply(&t, {99}, &ctx);
+  EXPECT_EQ(t.value(1).AsDouble(), original.value(1).AsDouble());
 }
 
 TEST(UniformNoiseErrorTest, FactorWithinBoundsAndBothDirections) {
@@ -108,7 +113,7 @@ TEST(UniformNoiseErrorTest, FactorWithinBoundsAndBothDirections) {
   for (int i = 0; i < 5000; ++i) {
     Tuple t = SensorTuple(schema, 10, 100.0);
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     const double v = t.value(1).AsDouble();
     // v = 100 * (1 +- f), f in [0.2, 0.5).
     if (v > 100.0) {
@@ -134,7 +139,7 @@ TEST(UniformNoiseErrorTest, SeverityShrinksBounds) {
     Tuple t = SensorTuple(schema, 10, 100.0);
     auto ctx = ContextFor(t, &rng);
     ctx.severity = 0.1;
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     ASSERT_NEAR(t.value(1).AsDouble(), 100.0, 10.0 + 1e-9);
   }
 }
@@ -145,7 +150,7 @@ TEST(ScaleErrorTest, ScalesByFactor) {
   ScaleError error(0.125);
   Tuple t = SensorTuple(schema, 10, 80.0);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 10.0);
 }
 
@@ -156,7 +161,7 @@ TEST(ScaleErrorTest, SeverityInterpolatesTowardsIdentity) {
   Tuple t = SensorTuple(schema, 10, 10.0);
   auto ctx = ContextFor(t, &rng);
   ctx.severity = 0.5;  // factor 1 + (3-1)*0.5 = 2
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 20.0);
 }
 
@@ -166,7 +171,7 @@ TEST(ScaleErrorTest, MultipleAttributesAllScaled) {
   ScaleError error(2.0);
   Tuple t = SensorTuple(schema, 10, 5.0, 7);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1, 2}, &ctx).ok());
+  error.Apply(&t, {1, 2}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 10.0);
   EXPECT_EQ(t.value(2).AsInt64(), 14);
 }
@@ -177,7 +182,7 @@ TEST(OffsetErrorTest, AddsDelta) {
   OffsetError error(-3.5);
   Tuple t = SensorTuple(schema, 10, 20.0);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 16.5);
 }
 
@@ -187,7 +192,7 @@ TEST(RoundErrorTest, RoundsToPrecision) {
   RoundError error(2);
   Tuple t = SensorTuple(schema, 10, 3.14159);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 3.14);
 }
 
@@ -197,7 +202,7 @@ TEST(RoundErrorTest, ZeroPrecisionRoundsToInteger) {
   RoundError error(0);
   Tuple t = SensorTuple(schema, 10, 2.718);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 3.0);
 }
 
@@ -207,7 +212,7 @@ TEST(UnitConversionErrorTest, KmToCm) {
   UnitConversionError error(100000.0, "km", "cm");
   Tuple t = SensorTuple(schema, 10, 1.5);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 150000.0);
   const Json j = error.ToJson();
   EXPECT_EQ(j.GetString("from_unit", ""), "km");
@@ -223,7 +228,7 @@ TEST(OutlierErrorTest, ProducesSpikesInEitherDirection) {
   for (int i = 0; i < 2000; ++i) {
     Tuple t = SensorTuple(schema, 10, 100.0);
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     const double v = t.value(1).AsDouble();
     if (v > 100.0) {
       ++up;
@@ -247,7 +252,7 @@ TEST(DigitSwapErrorTest, SwapsAdjacentDigits) {
   for (int i = 0; i < 500; ++i) {
     Tuple t = SensorTuple(schema, 10, 12.34);
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     const double v = t.value(1).AsDouble();
     // "12.34": swappable pairs are (1,2) and (3,4).
     ASSERT_TRUE(v == 21.34 || v == 12.43) << v;
@@ -262,7 +267,7 @@ TEST(DigitSwapErrorTest, IntegersStayIntegers) {
   DigitSwapError error;
   Tuple t = SensorTuple(schema, 10, 20.0, 123);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {2}, &ctx).ok());
+  error.Apply(&t, {2}, &ctx);
   ASSERT_TRUE(t.value(2).is_int64());
   const int64_t v = t.value(2).AsInt64();
   EXPECT_TRUE(v == 213 || v == 132) << v;
@@ -275,7 +280,7 @@ TEST(DigitSwapErrorTest, SingleRepeatedDigitUnchanged) {
   for (double value : {7.0, 111.0, 0.0}) {
     Tuple t = SensorTuple(schema, 10, value);
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), value);
   }
 }
@@ -286,7 +291,7 @@ TEST(SignFlipErrorTest, NegatesValues) {
   SignFlipError error;
   Tuple t = SensorTuple(schema, 10, 21.5, -3);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1, 2}, &ctx).ok());
+  error.Apply(&t, {1, 2}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), -21.5);
   EXPECT_EQ(t.value(2).AsInt64(), 3);
 }
@@ -301,9 +306,9 @@ TEST(NumericErrorsTest, SeverityZeroGatesDiscreteErrors) {
     Tuple t = SensorTuple(schema, 10, 3.14159);
     auto ctx = ContextFor(t, &rng);
     ctx.severity = 0.0;
-    ASSERT_TRUE(round_error.Apply(&t, {1}, &ctx).ok());
-    ASSERT_TRUE(unit_error.Apply(&t, {1}, &ctx).ok());
-    ASSERT_TRUE(outlier_error.Apply(&t, {1}, &ctx).ok());
+    round_error.Apply(&t, {1}, &ctx);
+    unit_error.Apply(&t, {1}, &ctx);
+    outlier_error.Apply(&t, {1}, &ctx);
     ASSERT_DOUBLE_EQ(t.value(1).AsDouble(), 3.14159);
   }
 }

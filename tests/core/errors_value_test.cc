@@ -17,7 +17,7 @@ TEST(MissingValueErrorTest, SetsTargetsToNull) {
   MissingValueError error;
   Tuple t = SensorTuple(schema, 10);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1, 2}, &ctx).ok());
+  error.Apply(&t, {1, 2}, &ctx);
   EXPECT_TRUE(t.value(1).is_null());
   EXPECT_TRUE(t.value(2).is_null());
   EXPECT_FALSE(t.value(3).is_null());  // untargeted attribute untouched
@@ -33,7 +33,7 @@ TEST(MissingValueErrorTest, SeverityActsAsProbability) {
     Tuple t = SensorTuple(schema, 10);
     auto ctx = ContextFor(t, &rng);
     ctx.severity = 0.3;
-    ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+    error.Apply(&t, {1}, &ctx);
     if (t.value(1).is_null()) ++nulled;
   }
   EXPECT_NEAR(static_cast<double>(nulled) / n, 0.3, 0.02);
@@ -45,7 +45,7 @@ TEST(SetConstantErrorTest, OverwritesWithConstant) {
   SetConstantError error(Value(0.0));
   Tuple t = SensorTuple(schema, 10, 120.0);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1}, &ctx).ok());
+  error.Apply(&t, {1}, &ctx);
   EXPECT_DOUBLE_EQ(t.value(1).AsDouble(), 0.0);
 }
 
@@ -55,10 +55,10 @@ TEST(SetConstantErrorTest, CanSetNullAndString) {
   Tuple t = SensorTuple(schema, 10);
   auto ctx = ContextFor(t, &rng);
   SetConstantError to_null{Value::Null()};
-  ASSERT_TRUE(to_null.Apply(&t, {1}, &ctx).ok());
+  to_null.Apply(&t, {1}, &ctx);
   EXPECT_TRUE(t.value(1).is_null());
   SetConstantError to_string{Value("broken")};
-  ASSERT_TRUE(to_string.Apply(&t, {3}, &ctx).ok());
+  to_string.Apply(&t, {3}, &ctx);
   EXPECT_EQ(t.value(3).AsString(), "broken");
 }
 
@@ -69,7 +69,7 @@ TEST(IncorrectCategoryErrorTest, AlwaysProducesDifferentCategory) {
   for (int i = 0; i < 500; ++i) {
     Tuple t = SensorTuple(schema, 10, 20.0, 100, "ok");
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+    error.Apply(&t, {3}, &ctx);
     const std::string v = t.value(3).AsString();
     ASSERT_NE(v, "ok");
     ASSERT_TRUE(v == "warn" || v == "fail");
@@ -82,7 +82,7 @@ TEST(IncorrectCategoryErrorTest, ValueOutsideDomainReplaced) {
   IncorrectCategoryError error({"a", "b"});
   Tuple t = SensorTuple(schema, 10, 20.0, 100, "zzz");
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+  error.Apply(&t, {3}, &ctx);
   const std::string v = t.value(3).AsString();
   EXPECT_TRUE(v == "a" || v == "b");
 }
@@ -91,20 +91,22 @@ TEST(IncorrectCategoryErrorTest, TooFewCategoriesRejected) {
   SchemaPtr schema = SensorSchema();
   Rng rng(7);
   IncorrectCategoryError error({"only"});
-  Tuple t = SensorTuple(schema, 10);
-  auto ctx = ContextFor(t, &rng);
-  EXPECT_EQ(error.Apply(&t, {3}, &ctx).code(), StatusCode::kInvalidArgument);
+  BindContext bind_ctx(*schema);
+  EXPECT_EQ(error.Bind(bind_ctx, {3}).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(IncorrectCategoryErrorTest, NonStringTargetRejectedNullSkipped) {
   SchemaPtr schema = SensorSchema();
   Rng rng(8);
   IncorrectCategoryError error({"a", "b"});
+  // Targeting the numeric column is a misconfiguration, caught at bind.
+  BindContext bind_ctx(*schema);
+  EXPECT_EQ(error.Bind(bind_ctx, {1}).code(), StatusCode::kTypeError);
+  // NULL values are skipped at apply time.
   Tuple t = SensorTuple(schema, 10);
   auto ctx = ContextFor(t, &rng);
-  EXPECT_EQ(error.Apply(&t, {1}, &ctx).code(), StatusCode::kTypeError);
   t.set_value(3, Value::Null());
-  ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+  error.Apply(&t, {3}, &ctx);
   EXPECT_TRUE(t.value(3).is_null());
 }
 
@@ -116,7 +118,7 @@ TEST(TypoErrorTest, IntroducesSingleEditOnStrings) {
   for (int i = 0; i < 500; ++i) {
     Tuple t = SensorTuple(schema, 10, 20.0, 100, "sensor-yard");
     auto ctx = ContextFor(t, &rng);
-    ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+    error.Apply(&t, {3}, &ctx);
     const std::string v = t.value(3).AsString();
     // Single edit: length changes by at most 1.
     ASSERT_GE(v.size(), 10u);
@@ -134,7 +136,7 @@ TEST(TypoErrorTest, EmptyStringUntouched) {
   TypoError error;
   Tuple t = SensorTuple(schema, 10, 20.0, 100, "");
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+  error.Apply(&t, {3}, &ctx);
   EXPECT_EQ(t.value(3).AsString(), "");
 }
 
@@ -144,19 +146,18 @@ TEST(SwapAttributesErrorTest, SwapsValues) {
   SwapAttributesError error;
   Tuple t = SensorTuple(schema, 10, 20.5, 99);
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {1, 2}, &ctx).ok());
+  error.Apply(&t, {1, 2}, &ctx);
   EXPECT_EQ(t.value(1).AsInt64(), 99);
   EXPECT_DOUBLE_EQ(t.value(2).AsDouble(), 20.5);
 }
 
 TEST(SwapAttributesErrorTest, RequiresExactlyTwoTargets) {
   SchemaPtr schema = SensorSchema();
-  Rng rng(12);
   SwapAttributesError error;
-  Tuple t = SensorTuple(schema, 10);
-  auto ctx = ContextFor(t, &rng);
-  EXPECT_EQ(error.Apply(&t, {1}, &ctx).code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(error.Apply(&t, {1, 2, 3}, &ctx).code(),
+  BindContext one(*schema);
+  EXPECT_EQ(error.Bind(one, {1}).code(), StatusCode::kInvalidArgument);
+  BindContext three(*schema);
+  EXPECT_EQ(error.Bind(three, {1, 2, 3}).code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -166,7 +167,7 @@ TEST(CaseErrorTest, FlipsLetterCase) {
   CaseError error(1.0);  // flip every letter
   Tuple t = SensorTuple(schema, 10, 20.0, 100, "Sensor-42a");
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+  error.Apply(&t, {3}, &ctx);
   EXPECT_EQ(t.value(3).AsString(), "sENSOR-42A");
 }
 
@@ -176,7 +177,7 @@ TEST(CaseErrorTest, ZeroProbabilityIsNoOp) {
   CaseError error(0.0);
   Tuple t = SensorTuple(schema, 10, 20.0, 100, "MiXeD");
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+  error.Apply(&t, {3}, &ctx);
   EXPECT_EQ(t.value(3).AsString(), "MiXeD");
 }
 
@@ -186,12 +187,12 @@ TEST(TruncateErrorTest, CutsLongStrings) {
   TruncateError error(4);
   Tuple t = SensorTuple(schema, 10, 20.0, 100, "overflowing");
   auto ctx = ContextFor(t, &rng);
-  ASSERT_TRUE(error.Apply(&t, {3}, &ctx).ok());
+  error.Apply(&t, {3}, &ctx);
   EXPECT_EQ(t.value(3).AsString(), "over");
   // Already-short strings are untouched.
   Tuple t2 = SensorTuple(schema, 10, 20.0, 100, "ok");
   auto ctx2 = ContextFor(t2, &rng);
-  ASSERT_TRUE(error.Apply(&t2, {3}, &ctx2).ok());
+  error.Apply(&t2, {3}, &ctx2);
   EXPECT_EQ(t2.value(3).AsString(), "ok");
 }
 

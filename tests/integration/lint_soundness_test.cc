@@ -123,10 +123,14 @@ TEST(LintSoundnessTest, LintCleanPipelinesRunWithoutStatusErrors) {
       continue;
     }
     ++clean;
-    auto pipeline = PipelineFromJson(json.ValueOrDie());
+    // Lint/bind parity (DESIGN.md section 8): the bind pass rejects a
+    // strict subset of what the analyzer flags as errors, so any
+    // lint-clean pipeline must also bind against the same schema.
+    auto pipeline = PipelineFromJson(json.ValueOrDie(), schema);
     ASSERT_TRUE(pipeline.ok())
-        << "lint-clean pipeline failed to load: "
+        << "lint-clean pipeline failed to load+bind: "
         << pipeline.status().ToString() << "\n" << text;
+    ASSERT_NE(pipeline.ValueOrDie().bound_schema(), nullptr);
     VectorSource source(schema, SyntheticStream(schema));
     auto result =
         PollutionProcess::Pollute(&source, std::move(pipeline).ValueOrDie(),

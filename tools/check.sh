@@ -9,6 +9,12 @@
 #   tools/check.sh obs        # end-to-end observability smoke: run a
 #                             # scenario with --metrics-out/--trace-out
 #                             # and validate both exports parse
+#   tools/check.sh bench      # hot-path hygiene: grep-gate the per-tuple
+#                             # pollute/validate sources against
+#                             # Schema::IndexOf, then build Release and
+#                             # smoke-run bench_micro_polluters (tiny
+#                             # iteration budget) so its built-in
+#                             # assertions break the build on regression
 #
 # The sanitizer presets compile with -Werror, so this script is also the
 # warning gate. (-Wmaybe-uninitialized is excluded there: GCC 12 emits
@@ -147,6 +153,44 @@ EOF
   echo "=== obs: OK ==="
 }
 
+run_bench() {
+  echo "=== bench: hot-path grep gate (no Schema::IndexOf) ==="
+  # Two-phase bind/run lifecycle (DESIGN.md section 8): attribute names
+  # resolve to column indices once at Bind time, so the per-tuple
+  # pollute/validate sources must never call Schema::IndexOf.
+  # keyed_polluter_operator.cc is deliberately absent from the list: it
+  # re-resolves the key column only when the tuple schema changes, never
+  # per tuple. stream/bind.h hosts the one sanctioned call site.
+  local hot_files=(
+    src/core/condition.h src/core/condition.cc
+    src/core/error_function.h src/core/error_function.cc
+    src/core/errors_numeric.h src/core/errors_numeric.cc
+    src/core/errors_value.h src/core/errors_value.cc
+    src/core/errors_temporal.h src/core/errors_temporal.cc
+    src/core/derived_error.h src/core/derived_error.cc
+    src/core/polluter.h src/core/polluter.cc
+    src/core/composite_polluter.h src/core/composite_polluter.cc
+    src/core/pipeline.h src/core/pipeline.cc
+    src/dq/expectation.h src/dq/expectation.cc
+    src/dq/suite.h src/dq/suite.cc
+    src/forecast/encodings.h
+  )
+  if grep -n "IndexOf" "${hot_files[@]}"; then
+    echo "bench: Schema::IndexOf crept back onto a pollute/validate hot" \
+         "path — resolve names in Bind() instead (DESIGN.md section 8)"
+    return 1
+  fi
+  echo "=== bench: Release build ==="
+  cmake -S . -B build-rel -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-rel -j "${jobs}" --target bench_micro_polluters
+  echo "=== bench: smoke run ==="
+  # The tiny time budget keeps this a compile-and-assert smoke, not a
+  # measurement; the binary's keyed-overhead ratio assertion and the
+  # per-benchmark partition checks still run at full strength.
+  ./build-rel/bench/bench_micro_polluters --benchmark_min_time=0.01
+  echo "=== bench: OK ==="
+}
+
 modes=("$@")
 if [ "${#modes[@]}" -eq 0 ]; then
   modes=(asan tsan)
@@ -158,8 +202,9 @@ for mode in "${modes[@]}"; do
     tidy) run_tidy ;;
     lint) run_lint ;;
     obs) run_obs ;;
+    bench) run_bench ;;
     *)
-      echo "unknown mode '${mode}' (expected asan, tsan, tidy, lint, or obs)" >&2
+      echo "unknown mode '${mode}' (expected asan, tsan, tidy, lint, obs, or bench)" >&2
       exit 2
       ;;
   esac
