@@ -1,0 +1,114 @@
+// Ablation A4: wire-codec throughput. Measures tuple encode and decode
+// rates for the length-prefixed binary frame format that
+// `icewafl_cli serve` fans out, so serving overhead can be attributed
+// to codec vs. socket cost. Reported counters are tuples/s and bytes/s.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/wearable.h"
+#include "net/wire.h"
+#include "stream/tuple.h"
+
+namespace {
+
+using namespace icewafl;  // NOLINT
+
+const TupleVector& WearableStream() {
+  static const TupleVector stream = [] {
+    auto generated = data::GenerateWearable();
+    return std::move(generated).ValueOrDie();
+  }();
+  return stream;
+}
+
+void BM_EncodeTupleFrames(benchmark::State& state) {
+  const TupleVector& stream = WearableStream();
+  size_t bytes = 0;
+  size_t tuples = 0;
+  for (auto _ : state) {
+    for (const Tuple& tuple : stream) {
+      const std::string frame = net::EncodeTupleFrame(tuple);
+      benchmark::DoNotOptimize(frame.data());
+      bytes += frame.size();
+    }
+    tuples += stream.size();
+  }
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+  state.counters["bytes/s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EncodeTupleFrames)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeTupleFrames(benchmark::State& state) {
+  const TupleVector& stream = WearableStream();
+  const SchemaPtr schema = stream.front().schema();
+  // Pre-encode the whole stream once; the loop measures decode only.
+  std::string wire;
+  for (const Tuple& tuple : stream) wire += net::EncodeTupleFrame(tuple);
+  size_t tuples = 0;
+  for (auto _ : state) {
+    net::FrameDecoder decoder;
+    decoder.Feed(wire.data(), wire.size());
+    uint8_t type = 0;
+    std::string payload;
+    Tuple decoded;
+    while (true) {
+      auto next = decoder.Next(&type, &payload);
+      if (!next.ok() || !next.ValueOrDie()) break;
+      auto tuple = net::DecodeTuplePayload(payload, schema);
+      if (!tuple.ok()) {
+        state.SkipWithError(tuple.status().ToString().c_str());
+        return;
+      }
+      decoded = std::move(tuple).ValueOrDie();
+      benchmark::DoNotOptimize(decoded.id());
+      ++tuples;
+    }
+  }
+  state.counters["tuples/s"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsRate);
+  state.SetBytesProcessed(static_cast<int64_t>(
+      wire.size() * static_cast<size_t>(state.iterations())));
+}
+BENCHMARK(BM_DecodeTupleFrames)->Unit(benchmark::kMillisecond);
+
+void BM_FrameDecoderChunkedFeed(benchmark::State& state) {
+  // Decode under adversarial fragmentation: the wire arrives in chunks
+  // of the given size, as a real TCP stream would.
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  const TupleVector& stream = WearableStream();
+  std::string wire;
+  for (const Tuple& tuple : stream) wire += net::EncodeTupleFrame(tuple);
+  for (auto _ : state) {
+    net::FrameDecoder decoder;
+    uint8_t type = 0;
+    std::string payload;
+    size_t frames = 0;
+    for (size_t off = 0; off < wire.size(); off += chunk) {
+      decoder.Feed(wire.data() + off, std::min(chunk, wire.size() - off));
+      while (true) {
+        auto next = decoder.Next(&type, &payload);
+        if (!next.ok() || !next.ValueOrDie()) break;
+        ++frames;
+      }
+    }
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(
+      wire.size() * static_cast<size_t>(state.iterations())));
+}
+BENCHMARK(BM_FrameDecoderChunkedFeed)
+    ->Arg(64)
+    ->Arg(1460)
+    ->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -897,6 +897,145 @@ Diagnostics AnalyzeArtifacts(const Json& pipeline_json, const Json* suite_json,
   return diags;
 }
 
+namespace {
+
+/// "prefix a, b, c" — or "" when the vocabulary was not provided, so
+/// no hint is attached.
+std::string JoinHint(const std::string& prefix,
+                     const std::vector<std::string>& words) {
+  if (words.empty()) return "";
+  std::string hint = prefix;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) hint += ", ";
+    hint += words[i];
+  }
+  return hint;
+}
+
+}  // namespace
+
+bool LooksLikeServeConfig(const Json& json) {
+  return json.is_object() && json.Has("scenario") && !json.Has("polluters") &&
+         !json.Has("expectations");
+}
+
+Diagnostics AnalyzeServeConfig(const Json& serve_json,
+                               const ServeAnalyzeOptions& options) {
+  Diagnostics diags;
+  if (!serve_json.is_object()) {
+    diags.AddError("IW605", "", "serve config must be a JSON object");
+    return diags;
+  }
+
+  // IW605: the scenario is the one mandatory field.
+  if (!serve_json.Has("scenario") ||
+      !serve_json.Get("scenario").ValueOrDie().is_string() ||
+      serve_json.GetString("scenario", "").empty()) {
+    diags.AddError("IW605", "/scenario", "missing scenario name",
+                   JoinHint("one of: ", options.known_scenarios));
+  } else if (!options.known_scenarios.empty()) {
+    const std::string name = serve_json.GetString("scenario", "");
+    bool known = false;
+    for (const std::string& candidate : options.known_scenarios) {
+      if (candidate == name) known = true;
+    }
+    if (!known) {
+      diags.AddError("IW605", "/scenario", "unknown scenario '" + name + "'",
+                     JoinHint("one of: ", options.known_scenarios));
+    }
+  }
+
+  // IW601: TCP port range.
+  if (serve_json.Has("port")) {
+    const Json port = serve_json.Get("port").ValueOrDie();
+    if (!port.is_number()) {
+      diags.AddError("IW601", "/port", "port must be a number");
+    } else if (port.AsInt64() < 0 || port.AsInt64() > 65535) {
+      diags.AddError("IW601", "/port",
+                     "port " + std::to_string(port.AsInt64()) +
+                         " outside [0, 65535]",
+                     "0 binds an ephemeral port");
+    }
+  }
+
+  // IW602: slow-consumer policy vocabulary.
+  if (serve_json.Has("slow_consumer")) {
+    const Json policy = serve_json.Get("slow_consumer").ValueOrDie();
+    if (!policy.is_string()) {
+      diags.AddError("IW602", "/slow_consumer",
+                     "slow_consumer must be a string",
+                     JoinHint("one of: ", options.known_policies));
+    } else if (!options.known_policies.empty()) {
+      bool known = false;
+      for (const std::string& candidate : options.known_policies) {
+        if (candidate == policy.AsString()) known = true;
+      }
+      if (!known) {
+        diags.AddError("IW602", "/slow_consumer",
+                       "unknown slow-consumer policy '" + policy.AsString() +
+                           "'",
+                       JoinHint("one of: ", options.known_policies));
+      }
+    }
+  }
+
+  // IW603: a zero-capacity queue can never deliver a frame.
+  if (serve_json.Has("queue_capacity")) {
+    const Json capacity = serve_json.Get("queue_capacity").ValueOrDie();
+    if (!capacity.is_number()) {
+      diags.AddError("IW603", "/queue_capacity",
+                     "queue_capacity must be a number");
+    } else if (capacity.AsInt64() < 1) {
+      diags.AddError("IW603", "/queue_capacity",
+                     "queue_capacity must be >= 1 (got " +
+                         std::to_string(capacity.AsInt64()) + ")");
+    }
+  }
+
+  // IW606: sign/minimum constraints on the remaining numerics.
+  struct Bound {
+    const char* key;
+    int64_t minimum;
+  };
+  for (const Bound& bound : {Bound{"seed", 0}, Bound{"parallelism", 1},
+                             Bound{"min_subscribers", 1},
+                             Bound{"max_sessions", 0}}) {
+    if (!serve_json.Has(bound.key)) continue;
+    const Json value = serve_json.Get(bound.key).ValueOrDie();
+    const std::string path = std::string("/") + bound.key;
+    if (!value.is_number()) {
+      diags.AddError("IW606", path,
+                     std::string(bound.key) + " must be a number");
+    } else if (value.AsInt64() < bound.minimum) {
+      diags.AddError("IW606", path,
+                     std::string(bound.key) + " must be >= " +
+                         std::to_string(bound.minimum) + " (got " +
+                         std::to_string(value.AsInt64()) + ")");
+    }
+  }
+
+  // IW604: unknown keys are warnings — likely typos of the above.
+  static const char* kKnownKeys[] = {
+      "scenario",        "host",         "port",
+      "seed",            "parallelism",  "min_subscribers",
+      "max_sessions",    "queue_capacity", "slow_consumer"};
+  for (const auto& entry : serve_json.fields()) {
+    bool known = false;
+    for (const char* key : kKnownKeys) {
+      if (entry.first == key) known = true;
+    }
+    if (!known) {
+      diags.AddWarning("IW604", "/" + entry.first,
+                       "unknown serve config key '" + entry.first + "'");
+    }
+  }
+  if (serve_json.Has("host") &&
+      !serve_json.Get("host").ValueOrDie().is_string()) {
+    diags.AddError("IW606", "/host", "host must be a string");
+  }
+  return diags;
+}
+
 Status AnalyzeOrDie(const Json& pipeline_json, const AnalyzeOptions& options) {
   Diagnostics diags = AnalyzePipeline(pipeline_json, options);
   if (!diags.HasErrors()) return Status::OK();

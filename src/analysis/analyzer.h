@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "stream/schema.h"
 #include "util/diag.h"
@@ -67,6 +68,33 @@ Diagnostics AnalyzeSuite(const Json& suite_json,
 Diagnostics AnalyzeArtifacts(const Json& pipeline_json,
                              const Json* suite_json,
                              const AnalyzeOptions& options = {});
+
+/// \brief Context for serve-config analysis. Both vocabularies are
+/// passed in (rather than linked in) so the analyzer stays free of
+/// scenario and network dependencies; an empty vector skips the
+/// corresponding membership check.
+struct ServeAnalyzeOptions {
+  std::vector<std::string> known_scenarios;
+  std::vector<std::string> known_policies;
+};
+
+/// \brief Analyzes a serve document {"scenario": ..., "port": ...} — the
+/// config surface of `icewafl_cli serve` (net::ServeConfig). Codes:
+///  - IW601 (error): port outside [0, 65535] or not a number;
+///  - IW602 (error): unknown slow_consumer policy (hint lists the
+///    valid names when provided);
+///  - IW603 (error): queue_capacity < 1 or not a number;
+///  - IW604 (warning): unknown key (likely a typo);
+///  - IW605 (error): missing or unknown scenario;
+///  - IW606 (error): negative seed / parallelism / min_subscribers /
+///    max_sessions, or parallelism / min_subscribers < 1.
+Diagnostics AnalyzeServeConfig(const Json& serve_json,
+                               const ServeAnalyzeOptions& options = {});
+
+/// \brief Heuristic: a JSON object that names a scenario but declares no
+/// polluters is a serve config, not a pipeline (used by the lint CLI to
+/// route documents).
+bool LooksLikeServeConfig(const Json& json);
 
 /// \brief Gate form: OK when the pipeline has no error-severity
 /// findings, otherwise InvalidArgument carrying the full report.

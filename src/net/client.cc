@@ -1,0 +1,89 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace icewafl {
+namespace net {
+
+Status StreamClient::ReadFrame(int fd, FrameDecoder* decoder, uint8_t* type,
+                               std::string* payload) {
+  char buf[64 * 1024];
+  while (true) {
+    ICEWAFL_ASSIGN_OR_RETURN(const bool have, decoder->Next(type, payload));
+    if (have) return Status::OK();
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::IOError("connection closed mid-stream (" +
+                             std::to_string(decoder->buffered()) +
+                             " bytes of partial frame buffered)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    decoder->Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<std::unique_ptr<StreamClient>> StreamClient::Connect(
+    const std::string& host, uint16_t port) {
+  ICEWAFL_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
+  // Handshake: the server's first frame is the stream schema.
+  FrameDecoder decoder;
+  uint8_t type = 0;
+  std::string payload;
+  ICEWAFL_RETURN_NOT_OK(ReadFrame(fd.get(), &decoder, &type, &payload));
+  if (type == kFrameError) {
+    return Status::IOError("server error during handshake: " + payload);
+  }
+  if (type != kFrameSchema) {
+    return Status::ParseError("expected Schema frame in handshake, got type " +
+                              std::to_string(static_cast<int>(type)));
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(SchemaPtr schema, DecodeSchemaPayload(payload));
+  auto client = std::unique_ptr<StreamClient>(
+      new StreamClient(std::move(fd), std::move(schema)));
+  client->decoder_ = std::move(decoder);  // may hold early tuple bytes
+  return client;
+}
+
+Result<bool> StreamClient::Next(Tuple* out) {
+  if (finished_) return false;
+  uint8_t type = 0;
+  std::string payload;
+  ICEWAFL_RETURN_NOT_OK(ReadFrame(fd_.get(), &decoder_, &type, &payload));
+  switch (type) {
+    case kFrameTuple: {
+      ICEWAFL_ASSIGN_OR_RETURN(*out, DecodeTuplePayload(payload, schema_));
+      ++tuples_received_;
+      return true;
+    }
+    case kFrameEnd: {
+      ICEWAFL_ASSIGN_OR_RETURN(reported_total_, DecodeEndPayload(payload));
+      finished_ = true;
+      fd_.Reset();
+      if (reported_total_ != tuples_received_) {
+        return Status::IOError(
+            "stream ended after " + std::to_string(tuples_received_) +
+            " tuples but the server reported " +
+            std::to_string(reported_total_));
+      }
+      return false;
+    }
+    case kFrameError:
+      finished_ = true;
+      fd_.Reset();
+      return Status::IOError("server error: " + payload);
+    case kFrameSchema:
+      return Status::ParseError("unexpected mid-stream Schema frame");
+    default:
+      return Status::ParseError("unknown frame type " +
+                                std::to_string(static_cast<int>(type)));
+  }
+}
+
+}  // namespace net
+}  // namespace icewafl

@@ -1,0 +1,63 @@
+#ifndef ICEWAFL_NET_CLIENT_H_
+#define ICEWAFL_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "stream/source.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace net {
+
+/// \brief TCP subscriber to a PollutionServer — a network-backed Source.
+///
+/// Connect() dials the server and performs the handshake (the first
+/// frame must be the stream's Schema). After that the client is an
+/// ordinary pull-based Source: Next() blocks for the next Tuple frame,
+/// returns false at the End frame, and surfaces every abnormal
+/// condition — a server-sent Error frame, a mid-stream disconnect, or a
+/// malformed frame — as a Status. One client consumes exactly one
+/// session; it does not reconnect.
+class StreamClient : public Source {
+ public:
+  /// \brief Dials host:port and completes the schema handshake.
+  static Result<std::unique_ptr<StreamClient>> Connect(const std::string& host,
+                                                       uint16_t port);
+
+  SchemaPtr schema() const override { return schema_; }
+
+  /// \brief Produces the next streamed tuple; false at graceful end of
+  /// stream. A disconnect before the End frame is an error, not an end.
+  Result<bool> Next(Tuple* out) override;
+
+  /// \brief Tuples received so far.
+  uint64_t tuples_received() const { return tuples_received_; }
+
+  /// \brief Total the server reported in its End frame (valid once
+  /// Next() has returned false).
+  uint64_t reported_total() const { return reported_total_; }
+
+ private:
+  StreamClient(UniqueFd fd, SchemaPtr schema)
+      : fd_(std::move(fd)), schema_(std::move(schema)) {}
+
+  /// Blocks until one complete frame is available (or the peer closes).
+  static Status ReadFrame(int fd, FrameDecoder* decoder, uint8_t* type,
+                          std::string* payload);
+
+  UniqueFd fd_;
+  SchemaPtr schema_;
+  FrameDecoder decoder_;
+  bool finished_ = false;
+  uint64_t tuples_received_ = 0;
+  uint64_t reported_total_ = 0;
+};
+
+}  // namespace net
+}  // namespace icewafl
+
+#endif  // ICEWAFL_NET_CLIENT_H_

@@ -1,0 +1,110 @@
+#include "net/serve_config.h"
+
+namespace icewafl {
+namespace net {
+
+namespace {
+
+/// A present key of the wrong JSON type must fail loudly, not fall back
+/// to the default — the lint flags it, so the parser must refuse it.
+Status RequireType(const Json& json, const std::string& key, bool want_string) {
+  if (!json.Has(key)) return Status::OK();
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
+  const bool ok = want_string ? field.is_string() : field.is_number();
+  if (!ok) {
+    return Status::InvalidArgument("serve config: \"" + key + "\" must be a " +
+                                   (want_string ? "string" : "number"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("serve config must be a JSON object");
+  }
+  for (const char* key : {"scenario", "host", "slow_consumer"}) {
+    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/true));
+  }
+  for (const char* key : {"port", "seed", "parallelism", "min_subscribers",
+                          "max_sessions", "queue_capacity"}) {
+    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/false));
+  }
+  ServeConfig config;
+  config.scenario = json.GetString("scenario", "");
+  if (config.scenario.empty()) {
+    return Status::InvalidArgument("serve config: missing \"scenario\"");
+  }
+  config.host = json.GetString("host", config.host);
+  const int64_t port = json.GetInt("port", 0);
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("serve config: port " +
+                                   std::to_string(port) +
+                                   " outside [0, 65535]");
+  }
+  config.port = static_cast<uint16_t>(port);
+  const int64_t seed = json.GetInt("seed", static_cast<int64_t>(config.seed));
+  if (seed < 0) {
+    return Status::InvalidArgument("serve config: seed must be >= 0");
+  }
+  config.seed = static_cast<uint64_t>(seed);
+  config.parallelism =
+      static_cast<int>(json.GetInt("parallelism", config.parallelism));
+  if (config.parallelism < 1) {
+    return Status::InvalidArgument("serve config: parallelism must be >= 1");
+  }
+  config.min_subscribers =
+      static_cast<int>(json.GetInt("min_subscribers", config.min_subscribers));
+  if (config.min_subscribers < 1) {
+    return Status::InvalidArgument(
+        "serve config: min_subscribers must be >= 1");
+  }
+  const int64_t max_sessions =
+      json.GetInt("max_sessions", static_cast<int64_t>(config.max_sessions));
+  if (max_sessions < 0) {
+    return Status::InvalidArgument("serve config: max_sessions must be >= 0");
+  }
+  config.max_sessions = static_cast<uint64_t>(max_sessions);
+  const int64_t capacity =
+      json.GetInt("queue_capacity", static_cast<int64_t>(config.queue_capacity));
+  if (capacity < 1) {
+    return Status::InvalidArgument(
+        "serve config: queue_capacity must be >= 1");
+  }
+  config.queue_capacity = static_cast<size_t>(capacity);
+  const std::string policy =
+      json.GetString("slow_consumer", SlowConsumerPolicyName(config.slow_consumer));
+  ICEWAFL_ASSIGN_OR_RETURN(config.slow_consumer,
+                           SlowConsumerPolicyFromName(policy));
+  return config;
+}
+
+Json ServeConfig::ToJson() const {
+  Json json = Json::MakeObject();
+  json.Set("scenario", Json(scenario));
+  json.Set("host", Json(host));
+  json.Set("port", Json(static_cast<int64_t>(port)));
+  json.Set("seed", Json(static_cast<int64_t>(seed)));
+  json.Set("parallelism", Json(static_cast<int64_t>(parallelism)));
+  json.Set("min_subscribers", Json(static_cast<int64_t>(min_subscribers)));
+  json.Set("max_sessions", Json(static_cast<int64_t>(max_sessions)));
+  json.Set("queue_capacity", Json(static_cast<int64_t>(queue_capacity)));
+  json.Set("slow_consumer", Json(std::string(SlowConsumerPolicyName(slow_consumer))));
+  return json;
+}
+
+ServerOptions ServeConfig::ToServerOptions(obs::MetricRegistry* metrics) const {
+  ServerOptions options;
+  options.host = host;
+  options.port = port;
+  options.min_subscribers = min_subscribers;
+  options.max_sessions = max_sessions;
+  options.queue_capacity = queue_capacity;
+  options.slow_consumer = slow_consumer;
+  options.metrics = metrics;
+  return options;
+}
+
+}  // namespace net
+}  // namespace icewafl

@@ -1,0 +1,48 @@
+#ifndef ICEWAFL_NET_SERVE_CONFIG_H_
+#define ICEWAFL_NET_SERVE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/server.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace net {
+
+/// \brief Declarative configuration of `icewafl_cli serve` — one JSON
+/// document (or the equivalent flag set) naming the scenario to pollute
+/// and how to serve it. The same document is what
+/// `analysis::AnalyzeServeConfig` lints (IW601..IW606), so a config
+/// rejected by `icewafl_cli lint` is exactly one `serve` would refuse.
+struct ServeConfig {
+  std::string scenario;
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (printed at startup).
+  uint16_t port = 0;
+  uint64_t seed = 42;
+  int parallelism = 1;
+  int min_subscribers = 1;
+  /// 0 = serve sessions until stopped.
+  uint64_t max_sessions = 0;
+  size_t queue_capacity = 256;
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
+
+  /// \brief Parses and validates a serve document. The checks mirror the
+  /// analyzer's IW6xx error codes — this is the enforcing twin of the
+  /// advisory lint.
+  static Result<ServeConfig> FromJson(const Json& json);
+
+  /// \brief Canonical JSON form (what the CLI lints when serve is
+  /// configured through flags).
+  Json ToJson() const;
+
+  /// \brief Server options for this config; `metrics` may be null.
+  ServerOptions ToServerOptions(obs::MetricRegistry* metrics) const;
+};
+
+}  // namespace net
+}  // namespace icewafl
+
+#endif  // ICEWAFL_NET_SERVE_CONFIG_H_

@@ -1,0 +1,488 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire.h"
+
+namespace icewafl {
+namespace net {
+
+namespace {
+
+/// Upper bound on a connection's write buffer before the network thread
+/// stops refilling it from the frame queue (backpressure then builds in
+/// the bounded queue, where the slow-consumer policy applies).
+constexpr size_t kMaxOutbufBytes = 256 * 1024;
+
+/// Grace period for flushing connected subscribers during Wait(); an
+/// unresponsive peer cannot hold shutdown hostage forever.
+constexpr std::chrono::seconds kDrainGrace(10);
+
+const std::vector<std::string> kPolicyNames = {"block", "drop_oldest",
+                                               "disconnect"};
+
+}  // namespace
+
+const char* SlowConsumerPolicyName(SlowConsumerPolicy policy) {
+  switch (policy) {
+    case SlowConsumerPolicy::kBlock:
+      return "block";
+    case SlowConsumerPolicy::kDropOldest:
+      return "drop_oldest";
+    case SlowConsumerPolicy::kDisconnect:
+      return "disconnect";
+  }
+  return "unknown";
+}
+
+Result<SlowConsumerPolicy> SlowConsumerPolicyFromName(
+    const std::string& name) {
+  if (name == "block") return SlowConsumerPolicy::kBlock;
+  if (name == "drop_oldest") return SlowConsumerPolicy::kDropOldest;
+  if (name == "disconnect") return SlowConsumerPolicy::kDisconnect;
+  return Status::InvalidArgument(
+      "unknown slow-consumer policy '" + name +
+      "' (expected block, drop_oldest, or disconnect)");
+}
+
+const std::vector<std::string>& SlowConsumerPolicyNames() {
+  return kPolicyNames;
+}
+
+// ---------------------------------------------------------------------
+// Fan-out sink: runs on the session thread inside the pipeline runtime.
+// ---------------------------------------------------------------------
+
+class PollutionServer::FanoutSink : public Sink {
+ public:
+  FanoutSink(PollutionServer* server, std::vector<ClientPtr> subscribers)
+      : server_(server),
+        subscribers_(std::move(subscribers)),
+        open_(subscribers_.size(), true) {}
+
+  using Sink::Write;
+
+  Status Write(const Tuple& tuple) override {
+    {
+      std::lock_guard<std::mutex> lock(server_->mu_);
+      if (server_->stop_requested_) {
+        return Status::IOError("server stopping");
+      }
+    }
+    // Encode once; every subscriber queue shares the same frame bytes.
+    auto frame =
+        std::make_shared<const std::string>(EncodeTupleFrame(tuple));
+    for (size_t i = 0; i < subscribers_.size(); ++i) {
+      if (!open_[i]) continue;
+      if (server_->EnqueueFrame(subscribers_[i], frame)) {
+        if (server_->metrics_.tuples_sent != nullptr) {
+          server_->metrics_.tuples_sent->Increment();
+        }
+      } else {
+        open_[i] = false;  // disconnected or cut by policy
+      }
+    }
+    ++count_;
+    return Status::OK();
+  }
+
+  /// \brief Tuples the session produced (End-frame payload).
+  uint64_t count() const { return count_; }
+
+  const std::vector<ClientPtr>& subscribers() const { return subscribers_; }
+  bool open(size_t i) const { return open_[i]; }
+
+ private:
+  PollutionServer* server_;
+  std::vector<ClientPtr> subscribers_;
+  std::vector<bool> open_;
+  uint64_t count_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+PollutionServer::PollutionServer(SchemaPtr schema, SessionFn session,
+                                 ServerOptions options)
+    : schema_(std::move(schema)),
+      session_(std::move(session)),
+      options_(std::move(options)) {}
+
+PollutionServer::~PollutionServer() {
+  RequestStop();
+  if (session_thread_.joinable()) session_thread_.join();
+  if (net_thread_.joinable()) net_thread_.join();
+}
+
+Status PollutionServer::Start() {
+  if (schema_ == nullptr) {
+    return Status::InvalidArgument("PollutionServer needs a schema");
+  }
+  if (session_ == nullptr) {
+    return Status::InvalidArgument("PollutionServer needs a session fn");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::AlreadyExists("server already started");
+  }
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.min_subscribers < 1) options_.min_subscribers = 1;
+  schema_frame_ = EncodeSchemaFrame(*schema_);
+  ICEWAFL_ASSIGN_OR_RETURN(wake_, WakePipe::Make());
+  ICEWAFL_ASSIGN_OR_RETURN(
+      listen_fd_,
+      ListenTcp(options_.host, options_.port, options_.backlog, &port_));
+  metrics_ = obs::ServerMetrics::Bind(options_.metrics);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    accepting_ = true;
+  }
+  net_thread_ = std::thread(&PollutionServer::NetLoop, this);
+  session_thread_ = std::thread(&PollutionServer::SessionLoop, this);
+  return Status::OK();
+}
+
+void PollutionServer::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+    accepting_ = false;
+    for (const ClientPtr& c : clients_) c->queue->Poison();
+  }
+  cv_.notify_all();
+  wake_.Poke();
+}
+
+Status PollutionServer::Wait() {
+  if (session_thread_.joinable()) session_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    accepting_ = false;
+    // Late joiners that never saw a session get a courteous error frame
+    // before their connection is flushed and closed.
+    auto bye = std::make_shared<const std::string>(
+        EncodeErrorFrame("server shutting down"));
+    for (const ClientPtr& c : clients_) {
+      if (!c->in_session) {
+        (void)c->queue->TryPush(
+            {bye, std::chrono::steady_clock::now()});
+        c->queue->Close();
+      }
+    }
+  }
+  cv_.notify_all();
+  wake_.Poke();
+  if (net_thread_.joinable()) net_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+size_t PollutionServer::clients_connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clients_.size();
+}
+
+bool PollutionServer::EnqueueFrame(
+    const ClientPtr& client, const std::shared_ptr<const std::string>& frame) {
+  QueuedFrame qf{frame, std::chrono::steady_clock::now()};
+  switch (options_.slow_consumer) {
+    case SlowConsumerPolicy::kBlock: {
+      // Blocking push: backpressure propagates into the pipeline
+      // runtime, which is exactly the contract of this policy.
+      if (!client->queue->Push(std::move(qf))) return false;
+      wake_.Poke();
+      return true;
+    }
+    case SlowConsumerPolicy::kDropOldest: {
+      while (true) {
+        switch (client->queue->TryPush(qf)) {
+          case FrameQueue::PushResult::kOk:
+            wake_.Poke();
+            return true;
+          case FrameQueue::PushResult::kClosed:
+            return false;
+          case FrameQueue::PushResult::kFull: {
+            QueuedFrame discard;
+            if (client->queue->TryPop(&discard) &&
+                metrics_.slow_drops != nullptr) {
+              metrics_.slow_drops->Increment();
+            }
+            break;  // retry the push
+          }
+        }
+      }
+    }
+    case SlowConsumerPolicy::kDisconnect: {
+      switch (client->queue->TryPush(std::move(qf))) {
+        case FrameQueue::PushResult::kOk:
+          wake_.Poke();
+          return true;
+        case FrameQueue::PushResult::kClosed:
+          return false;
+        case FrameQueue::PushResult::kFull:
+          break;
+      }
+      // Queue full: cut the slow consumer loose.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        client->kill = true;
+      }
+      client->queue->Poison();
+      if (metrics_.slow_disconnects != nullptr) {
+        metrics_.slow_disconnects->Increment();
+      }
+      wake_.Poke();
+      return false;
+    }
+  }
+  return false;
+}
+
+void PollutionServer::SessionLoop() {
+  while (true) {
+    std::vector<ClientPtr> participants;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        if (stop_requested_ || draining_) return true;
+        int waiting = 0;
+        for (const ClientPtr& c : clients_) {
+          if (!c->in_session && !c->kill) ++waiting;
+        }
+        return waiting >= options_.min_subscribers;
+      });
+      if (stop_requested_ || draining_) break;
+      for (const ClientPtr& c : clients_) {
+        if (!c->in_session && !c->kill) {
+          c->in_session = true;
+          participants.push_back(c);
+        }
+      }
+    }
+    if (metrics_.sessions != nullptr) metrics_.sessions->Increment();
+
+    FanoutSink sink(this, std::move(participants));
+    Status status = session_(&sink);
+
+    // Terminate every participating stream: End on success, Error on a
+    // session failure, then close the queues so the network thread
+    // flushes and hangs up.
+    auto tail = std::make_shared<const std::string>(
+        status.ok() ? EncodeEndFrame(sink.count())
+                    : EncodeErrorFrame(status.ToString()));
+    for (size_t i = 0; i < sink.subscribers().size(); ++i) {
+      if (sink.open(i)) (void)EnqueueFrame(sink.subscribers()[i], tail);
+      sink.subscribers()[i]->queue->Close();
+    }
+    wake_.Poke();
+
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // A stop-triggered abort is not a session failure.
+      if (!stop_requested_ && first_error_.ok()) first_error_ = status;
+    }
+    const uint64_t served =
+        sessions_served_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.max_sessions != 0 && served >= options_.max_sessions) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    session_thread_done_ = true;
+  }
+  cv_.notify_all();
+  wake_.Poke();
+}
+
+bool PollutionServer::ServiceClient(const ClientPtr& client) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (client->kill) {
+      client->queue->Poison();
+      return false;
+    }
+  }
+  // Inbound direction: the protocol is one-way, so reads only detect
+  // peer close (n == 0) and keep the receive buffer empty.
+  char rbuf[512];
+  while (true) {
+    const ssize_t n = ::recv(client->fd.get(), rbuf, sizeof(rbuf), 0);
+    if (n == 0) {
+      client->queue->Poison();
+      return false;  // peer hung up
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      client->queue->Poison();
+      return false;
+    }
+  }
+  // Refill the write buffer from the frame queue.
+  QueuedFrame frame;
+  while (client->outbuf.size() - client->outpos < kMaxOutbufBytes &&
+         client->queue->TryPop(&frame)) {
+    if (client->send_latency != nullptr) {
+      client->send_latency->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        frame.enqueued)
+              .count());
+    }
+    client->outbuf.append(*frame.bytes);
+  }
+  if (client->outpos == client->outbuf.size()) {
+    client->outbuf.clear();
+    client->outpos = 0;
+  } else if (client->outpos > kMaxOutbufBytes) {
+    client->outbuf.erase(0, client->outpos);
+    client->outpos = 0;
+  }
+  // Drain the write buffer into the socket.
+  while (client->outpos < client->outbuf.size()) {
+    const ssize_t n =
+        ::send(client->fd.get(), client->outbuf.data() + client->outpos,
+               client->outbuf.size() - client->outpos, MSG_NOSIGNAL);
+    if (n > 0) {
+      client->outpos += static_cast<size_t>(n);
+      if (metrics_.bytes_sent != nullptr) {
+        metrics_.bytes_sent->Increment(static_cast<uint64_t>(n));
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    client->queue->Poison();
+    return false;  // broken connection
+  }
+  // Graceful completion: queue closed and drained, buffer flushed.
+  // The network thread is the only consumer of a closed queue, so
+  // closed + empty cannot un-empty.
+  if (client->queue->closed() && client->queue->size() == 0 &&
+      client->outpos == client->outbuf.size()) {
+    return false;
+  }
+  return true;
+}
+
+void PollutionServer::RemoveClient(const ClientPtr& client) {
+  client->fd.Reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+    if (it->get() == client.get()) {
+      clients_.erase(it);
+      break;
+    }
+  }
+  if (metrics_.clients_connected != nullptr) {
+    metrics_.clients_connected->Set(static_cast<double>(clients_.size()));
+  }
+  cv_.notify_all();
+}
+
+void PollutionServer::NetLoop() {
+  std::vector<pollfd> fds;
+  std::vector<ClientPtr> snapshot;
+  bool drain_deadline_set = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  while (true) {
+    bool accepting = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+      if (draining_ && session_thread_done_) {
+        if (clients_.empty()) break;
+        if (!drain_deadline_set) {
+          drain_deadline_set = true;
+          drain_deadline = std::chrono::steady_clock::now() + kDrainGrace;
+        } else if (std::chrono::steady_clock::now() > drain_deadline) {
+          break;  // unresponsive peers cannot hold shutdown hostage
+        }
+      }
+      accepting = accepting_;
+      snapshot = clients_;
+    }
+
+    fds.clear();
+    fds.push_back({wake_.read_end.get(), POLLIN, 0});
+    if (accepting) fds.push_back({listen_fd_.get(), POLLIN, 0});
+    for (const ClientPtr& c : snapshot) {
+      short events = POLLIN;
+      const bool wants_write = c->outpos < c->outbuf.size() ||
+                               c->queue->size() > 0 || c->queue->closed();
+      if (wants_write) events |= POLLOUT;
+      fds.push_back({c->fd.get(), events, 0});
+    }
+
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100) < 0 &&
+        errno != EINTR) {
+      break;  // poll itself failed; abort serving
+    }
+    if ((fds[0].revents & POLLIN) != 0) wake_.Drain();
+
+    if (accepting && (fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int cfd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (cfd < 0) break;
+        auto client = std::make_shared<Client>();
+        client->fd = UniqueFd(cfd);
+        const int one = 1;
+        (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        client->queue =
+            std::make_shared<FrameQueue>(options_.queue_capacity);
+        client->outbuf = schema_frame_;  // handshake goes out first
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          client->id = next_client_id_++;
+          clients_.push_back(client);
+          if (metrics_.clients_connected != nullptr) {
+            metrics_.clients_connected->Set(
+                static_cast<double>(clients_.size()));
+          }
+        }
+        client->send_latency =
+            obs::BindClientSendLatency(options_.metrics, client->id);
+        if (metrics_.clients_accepted != nullptr) {
+          metrics_.clients_accepted->Increment();
+        }
+        cv_.notify_all();  // a session may now have enough subscribers
+      }
+    }
+
+    for (const ClientPtr& c : snapshot) {
+      if (!c->fd.valid()) continue;
+      if (!ServiceClient(c)) RemoveClient(c);
+    }
+  }
+  // Abort/exit path: close everything still open.
+  std::vector<ClientPtr> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(clients_);
+    if (metrics_.clients_connected != nullptr) {
+      metrics_.clients_connected->Set(0.0);
+    }
+  }
+  for (const ClientPtr& c : leftovers) {
+    c->queue->Poison();
+    c->fd.Reset();
+  }
+  listen_fd_.Reset();
+  cv_.notify_all();
+}
+
+}  // namespace net
+}  // namespace icewafl

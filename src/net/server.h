@@ -1,0 +1,198 @@
+#ifndef ICEWAFL_NET_SERVER_H_
+#define ICEWAFL_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "obs/net_metrics.h"
+#include "stream/channel.h"
+#include "stream/schema.h"
+#include "stream/sink.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace net {
+
+/// \brief What the server does with a subscriber whose bounded queue is
+/// full (the slow-consumer decision every fan-out system has to make).
+enum class SlowConsumerPolicy {
+  /// Block the pollution pipeline until the consumer catches up —
+  /// backpressure propagates through the runtime's channels all the way
+  /// to the source. Every subscriber sees the complete stream.
+  kBlock = 0,
+  /// Drop the oldest queued frame to make room. The pipeline never
+  /// stalls; slow consumers see gaps (drops are counted per server).
+  kDropOldest,
+  /// Close the slow subscriber's connection. The pipeline never stalls
+  /// and surviving subscribers see the complete stream; the victim
+  /// observes a mid-stream disconnect.
+  kDisconnect,
+};
+
+/// \brief Wire name of a policy ("block", "drop_oldest", "disconnect").
+const char* SlowConsumerPolicyName(SlowConsumerPolicy policy);
+
+/// \brief Inverse of SlowConsumerPolicyName.
+Result<SlowConsumerPolicy> SlowConsumerPolicyFromName(const std::string& name);
+
+/// \brief All valid policy names, for diagnostics and lint hints.
+const std::vector<std::string>& SlowConsumerPolicyNames();
+
+/// \brief Configuration of a PollutionServer.
+struct ServerOptions {
+  /// Interface to bind; empty means INADDR_ANY.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (see PollutionServer::port()).
+  uint16_t port = 0;
+  int backlog = 16;
+  /// Subscribers that must be connected before a session starts. A
+  /// session snapshots the waiting subscribers and streams one full
+  /// pollution run to them; late joiners wait for the next session.
+  int min_subscribers = 1;
+  /// Sessions to serve before Wait() returns; 0 = until RequestStop().
+  uint64_t max_sessions = 0;
+  /// Frames each subscriber queue buffers before the slow-consumer
+  /// policy applies (must be >= 1).
+  size_t queue_capacity = 256;
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
+  /// Optional metrics sink (not owned; may be nullptr).
+  obs::MetricRegistry* metrics = nullptr;
+};
+
+/// \brief TCP fan-out server for polluted streams (DESIGN.md section 9).
+///
+/// Topology: one *network thread* owns a poll()-driven loop over the
+/// listening socket, a self-pipe, and every subscriber connection; one
+/// *session thread* repeatedly runs the bound pollution pipeline (the
+/// `SessionFn`, typically `PipelineRuntime` over a scenario source) into
+/// a fan-out sink. Each subscriber has a bounded `BoundedChannel` frame
+/// queue between the two threads: the sink encodes each tuple once and
+/// enqueues the shared frame per subscriber; the network thread drains
+/// queues into per-connection write buffers and the sockets.
+///
+/// Protocol per connection: the server immediately sends a Schema frame
+/// (handshake), then — once a session starts — Tuple frames, then one
+/// End frame carrying the session's tuple count, then closes. A session
+/// failure is reported with an Error frame instead of End.
+///
+/// Lifecycle: Start() binds and spawns the threads; Wait() blocks until
+/// `max_sessions` sessions completed, then drains and closes every
+/// connection gracefully; RequestStop() aborts (queues poisoned, fds
+/// closed). The destructor aborts if still running — no fd or thread
+/// leaks on any path.
+class PollutionServer {
+ public:
+  /// \brief One pollution session: stream the full (bounded) polluted
+  /// stream into `sink`. Invoked on the session thread once per
+  /// session; must create its own Source so sessions are independent
+  /// replays.
+  using SessionFn = std::function<Status(Sink* sink)>;
+
+  PollutionServer(SchemaPtr schema, SessionFn session,
+                  ServerOptions options = {});
+  ~PollutionServer();
+
+  PollutionServer(const PollutionServer&) = delete;
+  PollutionServer& operator=(const PollutionServer&) = delete;
+
+  /// \brief Binds, listens, and spawns the serving threads.
+  Status Start();
+
+  /// \brief The actually bound port (differs from options.port when 0).
+  uint16_t port() const { return port_; }
+
+  /// \brief Blocks until the configured sessions are served, then
+  /// flushes and closes every subscriber. Returns the first session
+  /// error, if any. With max_sessions == 0 this returns only after
+  /// RequestStop().
+  Status Wait();
+
+  /// \brief Aborts serving: poisons every queue, wakes every thread.
+  /// Idempotent and safe from any thread (including signal-free CLI
+  /// teardown paths).
+  void RequestStop();
+
+  /// \brief Completed sessions so far.
+  uint64_t sessions_served() const {
+    return sessions_served_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Currently connected subscribers (tests / introspection).
+  size_t clients_connected() const;
+
+ private:
+  struct QueuedFrame {
+    std::shared_ptr<const std::string> bytes;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  using FrameQueue = BoundedChannel<QueuedFrame>;
+
+  struct Client {
+    uint64_t id = 0;
+    UniqueFd fd;
+    std::shared_ptr<FrameQueue> queue;
+    /// Write buffer; owned exclusively by the network thread.
+    std::string outbuf;
+    size_t outpos = 0;
+    /// Guarded by mu_: session membership and the disconnect-policy
+    /// kill flag.
+    bool in_session = false;
+    bool kill = false;
+    obs::Histogram* send_latency = nullptr;
+  };
+  using ClientPtr = std::shared_ptr<Client>;
+
+  class FanoutSink;
+
+  void NetLoop();
+  void SessionLoop();
+  /// Applies the slow-consumer policy to enqueue `frame` for `client`.
+  /// Returns false when the client can no longer receive (closed/killed).
+  bool EnqueueFrame(const ClientPtr& client,
+                    const std::shared_ptr<const std::string>& frame);
+  /// Network-thread helper: moves queued frames into the write buffer
+  /// and writes to the socket. Returns false when the connection is
+  /// finished (drained or broken) and should be removed.
+  bool ServiceClient(const ClientPtr& client);
+  void RemoveClient(const ClientPtr& client);
+
+  SchemaPtr schema_;
+  SessionFn session_;
+  ServerOptions options_;
+  std::string schema_frame_;
+
+  UniqueFd listen_fd_;
+  WakePipe wake_;
+  uint16_t port_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ClientPtr> clients_;
+  bool started_ = false;
+  bool accepting_ = false;
+  bool draining_ = false;
+  bool stop_requested_ = false;
+  bool session_thread_done_ = false;
+  Status first_error_;
+  uint64_t next_client_id_ = 1;
+
+  std::atomic<uint64_t> sessions_served_{0};
+  obs::ServerMetrics metrics_;
+
+  std::thread net_thread_;
+  std::thread session_thread_;
+};
+
+}  // namespace net
+}  // namespace icewafl
+
+#endif  // ICEWAFL_NET_SERVER_H_

@@ -1,0 +1,144 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace icewafl {
+namespace net {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Resolves `host` to an IPv4 sockaddr_in. getaddrinfo handles both
+/// numeric addresses and names like "localhost".
+Status ResolveIpv4(const std::string& host, uint16_t port,
+                   sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (host.empty()) {
+    addr->sin_addr.s_addr = htonl(INADDR_ANY);
+    return Status::OK();
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1) {
+    return Status::OK();
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &info);
+  if (rc != 0 || info == nullptr) {
+    return Status::IOError("cannot resolve host '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  addr->sin_addr =
+      reinterpret_cast<const sockaddr_in*>(info->ai_addr)->sin_addr;
+  freeaddrinfo(info);
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return ErrnoStatus("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog, uint16_t* bound_port) {
+  sockaddr_in addr{};
+  ICEWAFL_RETURN_NOT_OK(ResolveIpv4(host, port, &addr));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return ErrnoStatus("bind to port " + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) < 0) return ErrnoStatus("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return ErrnoStatus("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  ICEWAFL_RETURN_NOT_OK(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  ICEWAFL_RETURN_NOT_OK(
+      ResolveIpv4(host.empty() ? "127.0.0.1" : host, port, &addr));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return ErrnoStatus("socket");
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return ErrnoStatus("connect to " + host + ":" + std::to_string(port));
+  }
+  // Tuple frames are small; without TCP_NODELAY Nagle batches them
+  // behind the peer's delayed ACKs and per-tuple latency jumps to ~40ms.
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<WakePipe> WakePipe::Make() {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) < 0) {
+    return ErrnoStatus("pipe2");
+  }
+  WakePipe pipe;
+  pipe.read_end = UniqueFd(fds[0]);
+  pipe.write_end = UniqueFd(fds[1]);
+  return pipe;
+}
+
+void WakePipe::Poke() const {
+  const char byte = 1;
+  // EAGAIN means a wake is already pending — exactly what we want.
+  [[maybe_unused]] ssize_t n = ::write(write_end.get(), &byte, 1);
+}
+
+void WakePipe::Drain() const {
+  char buf[256];
+  while (::read(read_end.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace net
+}  // namespace icewafl

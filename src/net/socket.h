@@ -1,0 +1,84 @@
+#ifndef ICEWAFL_NET_SOCKET_H_
+#define ICEWAFL_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace icewafl {
+namespace net {
+
+/// \file
+/// Thin RAII wrappers over the POSIX socket calls the serving subsystem
+/// uses. Everything returns Status instead of errno, and every
+/// descriptor lives in a UniqueFd so error paths cannot leak fds (the
+/// ASan preset runs the whole server test suite; a leaked fd shows up
+/// as an exhausted descriptor table long before then).
+
+/// \brief Owning file descriptor; closes on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// \brief Relinquishes ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// \brief Closes the descriptor (idempotent).
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Creates a listening TCP socket bound to `host:port`
+/// (SO_REUSEADDR, non-blocking). Port 0 binds an ephemeral port; the
+/// actually bound port is written to `*bound_port`.
+Result<UniqueFd> ListenTcp(const std::string& host, uint16_t port,
+                           int backlog, uint16_t* bound_port);
+
+/// \brief Connects (blocking) to `host:port`.
+Result<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// \brief Switches `fd` to non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// \brief A non-blocking pipe pair used to wake a poll() loop from
+/// other threads (the self-pipe trick).
+struct WakePipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+
+  static Result<WakePipe> Make();
+
+  /// \brief Wakes the poller; coalesces when the pipe is full.
+  void Poke() const;
+  /// \brief Drains pending wake bytes.
+  void Drain() const;
+};
+
+}  // namespace net
+}  // namespace icewafl
+
+#endif  // ICEWAFL_NET_SOCKET_H_

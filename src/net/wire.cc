@@ -1,0 +1,321 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace icewafl {
+namespace net {
+
+namespace {
+
+constexpr int kMaxVarintBytes = 10;
+
+}  // namespace
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendFixed64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+Result<uint8_t> ByteReader::U8() {
+  if (pos_ >= size_) return Status::ParseError("wire: truncated byte");
+  return data_[pos_++];
+}
+
+Result<uint64_t> ByteReader::Fixed64() {
+  if (size_ - pos_ < 8) return Status::ParseError("wire: truncated fixed64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> ByteReader::Varint() {
+  uint64_t v = 0;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos_ >= size_) return Status::ParseError("wire: truncated varint");
+    const uint8_t byte = data_[pos_++];
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (i == kMaxVarintBytes - 1 && (byte & 0xFE) != 0) {
+      return Status::ParseError("wire: varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::ParseError("wire: varint too long");
+}
+
+Result<std::string> ByteReader::Bytes(size_t n) {
+  if (size_ - pos_ < n) return Status::ParseError("wire: truncated bytes");
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+Status ByteReader::ExpectEnd() const {
+  if (pos_ != size_) {
+    return Status::ParseError("wire: " + std::to_string(size_ - pos_) +
+                              " trailing payload byte(s)");
+  }
+  return Status::OK();
+}
+
+void AppendFrame(uint8_t type, const std::string& payload, std::string* out) {
+  out->push_back(static_cast<char>(type));
+  AppendVarint(payload.size(), out);
+  out->append(payload);
+}
+
+std::string EncodeSchemaPayload(const Schema& schema) {
+  std::string out;
+  AppendVarint(schema.num_attributes(), &out);
+  for (const Attribute& attr : schema.attributes()) {
+    AppendVarint(attr.name.size(), &out);
+    out.append(attr.name);
+    out.push_back(static_cast<char>(attr.type));
+  }
+  AppendVarint(schema.timestamp_index(), &out);
+  return out;
+}
+
+namespace {
+
+void AppendValue(const Value& v, std::string* out) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+      AppendFixed64(static_cast<uint64_t>(v.AsInt64()), out);
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      const double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      AppendFixed64(bits, out);
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      AppendVarint(s.size(), out);
+      out->append(s);
+      break;
+    }
+  }
+}
+
+Result<Value> ReadValue(ByteReader* reader) {
+  ICEWAFL_ASSIGN_OR_RETURN(uint8_t tag, reader->U8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      ICEWAFL_ASSIGN_OR_RETURN(uint8_t b, reader->U8());
+      if (b > 1) return Status::ParseError("wire: bool byte not 0/1");
+      return Value(b == 1);
+    }
+    case ValueType::kInt64: {
+      ICEWAFL_ASSIGN_OR_RETURN(uint64_t bits, reader->Fixed64());
+      return Value(static_cast<int64_t>(bits));
+    }
+    case ValueType::kDouble: {
+      ICEWAFL_ASSIGN_OR_RETURN(uint64_t bits, reader->Fixed64());
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString: {
+      ICEWAFL_ASSIGN_OR_RETURN(uint64_t len, reader->Varint());
+      if (len > reader->remaining()) {
+        return Status::ParseError("wire: string length exceeds payload");
+      }
+      ICEWAFL_ASSIGN_OR_RETURN(std::string s,
+                               reader->Bytes(static_cast<size_t>(len)));
+      return Value(std::move(s));
+    }
+  }
+  return Status::ParseError("wire: unknown value tag " + std::to_string(tag));
+}
+
+}  // namespace
+
+std::string EncodeTuplePayload(const Tuple& tuple) {
+  std::string out;
+  AppendFixed64(tuple.id(), &out);
+  AppendFixed64(static_cast<uint64_t>(tuple.event_time()), &out);
+  AppendFixed64(static_cast<uint64_t>(tuple.arrival_time()), &out);
+  AppendVarint(ZigzagEncode(tuple.substream()), &out);
+  AppendVarint(tuple.num_values(), &out);
+  for (const Value& v : tuple.values()) AppendValue(v, &out);
+  return out;
+}
+
+std::string EncodeEndPayload(uint64_t total_tuples) {
+  std::string out;
+  AppendVarint(total_tuples, &out);
+  return out;
+}
+
+std::string EncodeSchemaFrame(const Schema& schema) {
+  std::string out;
+  AppendFrame(kFrameSchema, EncodeSchemaPayload(schema), &out);
+  return out;
+}
+
+std::string EncodeTupleFrame(const Tuple& tuple) {
+  std::string out;
+  AppendFrame(kFrameTuple, EncodeTuplePayload(tuple), &out);
+  return out;
+}
+
+std::string EncodeEndFrame(uint64_t total_tuples) {
+  std::string out;
+  AppendFrame(kFrameEnd, EncodeEndPayload(total_tuples), &out);
+  return out;
+}
+
+std::string EncodeErrorFrame(const std::string& message) {
+  std::string out;
+  AppendFrame(kFrameError, message, &out);
+  return out;
+}
+
+Result<SchemaPtr> DecodeSchemaPayload(const std::string& payload) {
+  ByteReader reader(payload);
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+  // Each attribute takes at least 2 bytes, so `count` is bounded by the
+  // payload size — reject before reserving a hostile capacity.
+  if (count > payload.size()) {
+    return Status::ParseError("wire: schema attribute count exceeds payload");
+  }
+  std::vector<Attribute> attributes;
+  attributes.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(uint64_t name_len, reader.Varint());
+    if (name_len > reader.remaining()) {
+      return Status::ParseError("wire: attribute name length exceeds payload");
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(std::string name,
+                             reader.Bytes(static_cast<size_t>(name_len)));
+    ICEWAFL_ASSIGN_OR_RETURN(uint8_t type, reader.U8());
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::ParseError("wire: unknown attribute type tag " +
+                                std::to_string(type));
+    }
+    attributes.push_back({std::move(name), static_cast<ValueType>(type)});
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t ts_index, reader.Varint());
+  ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
+  if (ts_index >= attributes.size()) {
+    return Status::ParseError("wire: timestamp index out of range");
+  }
+  // Schema::Make re-validates (int64 timestamp type, name collisions),
+  // so a hostile schema frame fails with its error instead of crashing.
+  const std::string ts_name = attributes[static_cast<size_t>(ts_index)].name;
+  return Schema::Make(std::move(attributes), ts_name);
+}
+
+Result<Tuple> DecodeTuplePayload(const std::string& payload,
+                                 const SchemaPtr& schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("wire: tuple decode requires a schema");
+  }
+  ByteReader reader(payload);
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t id, reader.Fixed64());
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t event_time, reader.Fixed64());
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t arrival_time, reader.Fixed64());
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t substream_zz, reader.Varint());
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t count, reader.Varint());
+  if (count != schema->num_attributes()) {
+    return Status::ParseError(
+        "wire: tuple has " + std::to_string(count) +
+        " values, schema expects " +
+        std::to_string(schema->num_attributes()));
+  }
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(Value v, ReadValue(&reader));
+    values.push_back(std::move(v));
+  }
+  ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
+  Tuple tuple(schema, std::move(values));
+  tuple.set_id(id);
+  tuple.set_event_time(static_cast<Timestamp>(event_time));
+  tuple.set_arrival_time(static_cast<Timestamp>(arrival_time));
+  const int64_t substream = ZigzagDecode(substream_zz);
+  if (substream < INT32_MIN || substream > INT32_MAX) {
+    return Status::ParseError("wire: substream id out of range");
+  }
+  tuple.set_substream(static_cast<int>(substream));
+  return tuple;
+}
+
+Result<uint64_t> DecodeEndPayload(const std::string& payload) {
+  ByteReader reader(payload);
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t total, reader.Varint());
+  ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
+  return total;
+}
+
+void FrameDecoder::Feed(const void* data, size_t n) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+Result<bool> FrameDecoder::Next(uint8_t* type, std::string* payload) {
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 2) return false;  // type byte + at least one length byte
+  const uint8_t frame_type = static_cast<uint8_t>(buffer_[consumed_]);
+  // Decode the length varint by hand: a *truncated* varint means "wait
+  // for more bytes", while an overlong/overflowing one can never become
+  // valid and is reported as corruption immediately.
+  uint64_t len = 0;
+  size_t header = 1;  // bytes consumed after the type byte
+  bool complete = false;
+  for (int i = 0; i < kMaxVarintBytes; ++i) {
+    if (header + 1 > avail) return false;  // truncated header
+    const uint8_t byte =
+        static_cast<uint8_t>(buffer_[consumed_ + header]);
+    ++header;
+    if (i == kMaxVarintBytes - 1 && (byte & 0xFE) != 0) {
+      return Status::ParseError("wire: frame length varint overflows");
+    }
+    len |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      complete = true;
+      break;
+    }
+  }
+  if (!complete) return Status::ParseError("wire: frame length varint too long");
+  if (len > kMaxFramePayload) {
+    return Status::ParseError("wire: frame payload of " + std::to_string(len) +
+                              " bytes exceeds limit");
+  }
+  if (avail - header < len) return false;  // partial payload
+  payload->assign(buffer_, consumed_ + header, static_cast<size_t>(len));
+  *type = frame_type;
+  consumed_ += header + static_cast<size_t>(len);
+  return true;
+}
+
+}  // namespace net
+}  // namespace icewafl

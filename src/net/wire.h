@@ -1,0 +1,157 @@
+#ifndef ICEWAFL_NET_WIRE_H_
+#define ICEWAFL_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/schema.h"
+#include "stream/tuple.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace net {
+
+/// \file
+/// Length-prefixed binary wire format of the serving subsystem
+/// (DESIGN.md section 9). A connection carries a sequence of frames:
+///
+///   frame   := type:u8  payload_len:varint  payload:u8[payload_len]
+///   varint  := LEB128 (7 bits per byte, LSB group first, high bit =
+///              continuation; at most 10 bytes)
+///
+/// Numerics are explicit little-endian regardless of host order: int64
+/// as 8-byte two's complement, double as the 8-byte IEEE-754 bit
+/// pattern — NaN payloads and signed zeros round-trip bit-exactly.
+/// Decoding is total: truncated input reports "need more bytes",
+/// corrupt input (bad tags, overlong varints, oversized or
+/// under-consumed payloads) returns a Status — never UB, never a
+/// crash.
+
+/// \brief Frame type tags. Values are part of the wire contract.
+enum FrameType : uint8_t {
+  kFrameSchema = 0x01,  ///< handshake: the stream's schema
+  kFrameTuple = 0x02,   ///< one stream element
+  kFrameEnd = 0x03,     ///< graceful end of stream (payload: total count)
+  kFrameError = 0x04,   ///< server-side failure (payload: UTF-8 message)
+};
+
+/// \brief Upper bound on a frame payload; decode rejects larger length
+/// prefixes before allocating (a corrupt length must not OOM the peer).
+constexpr uint64_t kMaxFramePayload = 16ull << 20;  // 16 MiB
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+/// \brief Appends `v` as a LEB128 varint.
+void AppendVarint(uint64_t v, std::string* out);
+
+/// \brief Appends `v` as 8 bytes little-endian.
+void AppendFixed64(uint64_t v, std::string* out);
+
+/// \brief Zigzag mapping for signed varints (small magnitudes of either
+/// sign stay short).
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// \brief Bounds-checked sequential reader over one frame payload.
+///
+/// Every accessor returns a Status instead of reading past the end, so
+/// decoding a hostile buffer degrades to an error, never UB.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(const std::string& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  Result<uint8_t> U8();
+  Result<uint64_t> Fixed64();
+  Result<uint64_t> Varint();
+  /// \brief Reads `n` raw bytes into a string.
+  Result<std::string> Bytes(size_t n);
+  /// \brief Error unless the payload was consumed exactly.
+  Status ExpectEnd() const;
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------
+
+/// \brief Appends one complete frame (type + length prefix + payload).
+void AppendFrame(uint8_t type, const std::string& payload, std::string* out);
+
+/// \brief Schema payload: attr_count:varint, then per attribute
+/// name_len:varint name:bytes type:u8, then timestamp_index:varint.
+std::string EncodeSchemaPayload(const Schema& schema);
+
+/// \brief Tuple payload: id:fixed64, event_time:fixed64,
+/// arrival_time:fixed64, substream:zigzag-varint, value_count:varint,
+/// then per value type:u8 + type-specific payload (bool u8, int64
+/// fixed64, double IEEE bits fixed64, string varint-length + bytes;
+/// null has no payload).
+std::string EncodeTuplePayload(const Tuple& tuple);
+
+/// \brief End payload: total tuples sent in this stream, as a varint.
+std::string EncodeEndPayload(uint64_t total_tuples);
+
+/// Convenience: full frames, ready to write to a socket.
+std::string EncodeSchemaFrame(const Schema& schema);
+std::string EncodeTupleFrame(const Tuple& tuple);
+std::string EncodeEndFrame(uint64_t total_tuples);
+std::string EncodeErrorFrame(const std::string& message);
+
+// ---------------------------------------------------------------------
+// Frame decoding
+// ---------------------------------------------------------------------
+
+/// \brief Validates and decodes a schema payload.
+Result<SchemaPtr> DecodeSchemaPayload(const std::string& payload);
+
+/// \brief Validates and decodes a tuple payload against `schema` (the
+/// value count must match the schema arity; value types are
+/// self-describing, since polluters may NULL any attribute).
+Result<Tuple> DecodeTuplePayload(const std::string& payload,
+                                 const SchemaPtr& schema);
+
+/// \brief Decodes the total-count payload of an End frame.
+Result<uint64_t> DecodeEndPayload(const std::string& payload);
+
+/// \brief Incremental frame splitter over a byte stream.
+///
+/// Feed() appends raw received bytes; Next() extracts the next complete
+/// frame. A partial frame is not an error — Next() returns false until
+/// the rest arrives — but a malformed header (overlong varint, payload
+/// length above kMaxFramePayload) is a Status, because no amount of
+/// further input can repair it.
+class FrameDecoder {
+ public:
+  void Feed(const void* data, size_t n);
+
+  /// \return true and fills `*type` / `*payload` when a complete frame
+  /// was extracted; false when more bytes are needed.
+  Result<bool> Next(uint8_t* type, std::string* payload);
+
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace net
+}  // namespace icewafl
+
+#endif  // ICEWAFL_NET_WIRE_H_

@@ -1,0 +1,42 @@
+#include "obs/net_metrics.h"
+
+namespace icewafl {
+namespace obs {
+
+ServerMetrics ServerMetrics::Bind(MetricRegistry* registry) {
+  ServerMetrics m;
+  if (registry == nullptr) return m;
+  m.clients_accepted =
+      registry->GetCounter("icewafl_server_clients_accepted_total", {},
+                           "TCP subscriber connections accepted");
+  m.clients_connected =
+      registry->GetGauge("icewafl_server_clients_connected", {},
+                         "Subscribers currently connected");
+  m.sessions = registry->GetCounter("icewafl_server_sessions_total", {},
+                                    "Pollution sessions served");
+  m.tuples_sent =
+      registry->GetCounter("icewafl_server_tuples_sent_total", {},
+                           "Tuple frames enqueued to subscribers");
+  m.bytes_sent = registry->GetCounter("icewafl_server_bytes_sent_total", {},
+                                      "Frame bytes written to sockets");
+  m.slow_drops = registry->GetCounter(
+      "icewafl_server_slow_drops_total", {},
+      "Frames dropped by the drop_oldest slow-consumer policy");
+  m.slow_disconnects = registry->GetCounter(
+      "icewafl_server_slow_disconnects_total", {},
+      "Subscribers disconnected by the disconnect slow-consumer policy");
+  return m;
+}
+
+Histogram* BindClientSendLatency(MetricRegistry* registry,
+                                 uint64_t client_id) {
+  if (registry == nullptr) return nullptr;
+  return registry->GetHistogram(
+      "icewafl_server_send_latency_seconds",
+      {{"client", std::to_string(client_id)}},
+      ExponentialBounds(1e-6, 10.0, 4.0),
+      "Per-client latency from frame enqueue to socket write");
+}
+
+}  // namespace obs
+}  // namespace icewafl

@@ -1,0 +1,43 @@
+#ifndef ICEWAFL_OBS_NET_METRICS_H_
+#define ICEWAFL_OBS_NET_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace icewafl {
+namespace obs {
+
+/// \file
+/// Metric families of the serving subsystem (`src/net/`). Bound once
+/// from a MetricRegistry at server start, handles shared by the network
+/// and session threads (all handles are lock-free atomics). With a null
+/// registry every handle is nullptr and the server pays one null check
+/// per event — the same opt-in contract as the runtime instrumentation
+/// (DESIGN.md section 7).
+
+/// \brief Server-wide serving metrics.
+struct ServerMetrics {
+  Counter* clients_accepted = nullptr;   ///< connections accepted
+  Gauge* clients_connected = nullptr;    ///< currently connected
+  Counter* sessions = nullptr;           ///< pollution sessions served
+  Counter* tuples_sent = nullptr;        ///< tuple frames enqueued
+  Counter* bytes_sent = nullptr;         ///< payload bytes written
+  Counter* slow_drops = nullptr;         ///< frames dropped (drop_oldest)
+  Counter* slow_disconnects = nullptr;   ///< clients cut (disconnect)
+
+  /// \brief Binds every family in `registry`; no-op when null.
+  static ServerMetrics Bind(MetricRegistry* registry);
+};
+
+/// \brief Per-client send-latency histogram (seconds between a frame
+/// entering the client's queue and its bytes being handed to the
+/// socket), labeled {client="<id>"}. Returns nullptr when `registry` is
+/// null.
+Histogram* BindClientSendLatency(MetricRegistry* registry, uint64_t client_id);
+
+}  // namespace obs
+}  // namespace icewafl
+
+#endif  // ICEWAFL_OBS_NET_METRICS_H_

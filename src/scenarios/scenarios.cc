@@ -160,11 +160,65 @@ std::vector<std::string> AirQualityNumericAttributes() {
           "O3",    "TEMP", "PRES", "DEWP", "WSPM"};
 }
 
-Result<TupleVector> ApplyPipelineStreaming(
-    Source* source, const PollutionPipeline& prototype, uint64_t seed,
-    int parallelism, RuntimeStats* stats, obs::MetricRegistry* metrics,
-    obs::TraceRecorder* trace, Timestamp stream_start, Timestamp stream_end) {
-  VectorSink sink;
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string> kNames = {
+      "random_temporal", "software_update", "network_delay", "temporal_noise",
+      "temporal_scale"};
+  return kNames;
+}
+
+Result<ResolvedScenario> ResolveScenario(const std::string& name,
+                                         uint64_t seed) {
+  ResolvedScenario scenario;
+  scenario.name = name;
+  Result<TupleVector> tuples = Status::Internal("unset");
+  if (name == "random_temporal" || name == "software_update" ||
+      name == "network_delay") {
+    data::WearableOptions options;
+    if (seed != 0) options.seed = seed;
+    tuples = data::GenerateWearable(options);
+    scenario.schema = data::WearableSchema();
+    if (name == "random_temporal") {
+      scenario.pipeline = RandomTemporalErrorsPipeline();
+      scenario.suite = RandomTemporalErrorsSuite();
+    } else if (name == "software_update") {
+      scenario.pipeline = SoftwareUpdatePipeline();
+      scenario.suite = SoftwareUpdateSuite();
+    } else {
+      scenario.pipeline = NetworkDelayPipeline();
+      scenario.suite = NetworkDelaySuite();
+    }
+  } else if (name == "temporal_noise" || name == "temporal_scale") {
+    data::AirQualityOptions options;
+    if (seed != 0) options.seed = seed;
+    tuples = data::GenerateAirQuality(options);
+    scenario.schema = data::AirQualitySchema();
+    if (name == "temporal_noise") {
+      scenario.pipeline =
+          TemporalNoisePipeline(AirQualityNumericAttributes(), 0.5);
+    } else {
+      scenario.pipeline =
+          TemporalScalePipeline(AirQualityNumericAttributes(), 10.0, 0.1, 24);
+    }
+  } else {
+    return Status::InvalidArgument("unknown scenario: '" + name + "'");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(scenario.clean, std::move(tuples));
+  if (scenario.clean.empty()) {
+    return Status::Internal("scenario '" + name + "' generated no tuples");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(scenario.stream_start,
+                           scenario.clean.front().GetTimestamp());
+  ICEWAFL_ASSIGN_OR_RETURN(scenario.stream_end,
+                           scenario.clean.back().GetTimestamp());
+  return scenario;
+}
+
+Status StreamPipelineToSink(Source* source, const PollutionPipeline& prototype,
+                            uint64_t seed, int parallelism, Sink* sink,
+                            RuntimeStats* stats, obs::MetricRegistry* metrics,
+                            obs::TraceRecorder* trace, Timestamp stream_start,
+                            Timestamp stream_end) {
   RuntimeOptions options;
   options.parallelism = parallelism < 1 ? 1 : parallelism;
   options.metrics = metrics;
@@ -181,8 +235,19 @@ Result<TupleVector> ApplyPipelineStreaming(
         chain.push_back(std::move(polluter));
         return chain;
       },
-      &sink));
+      sink));
   if (stats != nullptr) *stats = runtime.stats();
+  return Status::OK();
+}
+
+Result<TupleVector> ApplyPipelineStreaming(
+    Source* source, const PollutionPipeline& prototype, uint64_t seed,
+    int parallelism, RuntimeStats* stats, obs::MetricRegistry* metrics,
+    obs::TraceRecorder* trace, Timestamp stream_start, Timestamp stream_end) {
+  VectorSink sink;
+  ICEWAFL_RETURN_NOT_OK(StreamPipelineToSink(source, prototype, seed,
+                                             parallelism, &sink, stats, metrics,
+                                             trace, stream_start, stream_end));
   return sink.TakeTuples();
 }
 

@@ -1,12 +1,14 @@
 #ifndef ICEWAFL_SCENARIOS_SCENARIOS_H_
 #define ICEWAFL_SCENARIOS_SCENARIOS_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "dq/suite.h"
 #include "stream/runtime.h"
+#include "stream/sink.h"
 #include "stream/source.h"
 
 namespace icewafl {
@@ -87,8 +89,51 @@ PollutionPipeline TemporalScalePipeline(
 std::vector<std::string> AirQualityNumericAttributes();
 
 // ---------------------------------------------------------------------
+// Scenario registry
+// ---------------------------------------------------------------------
+
+/// \brief One paper scenario resolved end-to-end: the generated clean
+/// dataset, the pollution pipeline, the matching expectation suite
+/// (where Section 3 defines one), and the stream bounds that
+/// stream-relative profiles (Equations 3/4) need. Every consumer of a
+/// scenario by name — `icewafl_cli run`, `icewafl_cli serve`, benches —
+/// resolves through this one definition, which is what makes the served
+/// stream byte-identical to the offline run.
+struct ResolvedScenario {
+  std::string name;
+  PollutionPipeline pipeline;
+  std::optional<dq::ExpectationSuite> suite;
+  SchemaPtr schema;
+  TupleVector clean;
+  Timestamp stream_start = 0;
+  Timestamp stream_end = 0;
+};
+
+/// \brief The five runnable scenario names, in documentation order.
+const std::vector<std::string>& ScenarioNames();
+
+/// \brief Resolves `name` (one of ScenarioNames()) with the dataset
+/// generated from `seed` (0 keeps the dataset default).
+/// InvalidArgument for an unknown name.
+Result<ResolvedScenario> ResolveScenario(const std::string& name,
+                                         uint64_t seed);
+
+// ---------------------------------------------------------------------
 // Streaming execution
 // ---------------------------------------------------------------------
+
+/// \brief Core of ApplyPipelineStreaming with a caller-supplied sink:
+/// runs `prototype` over `source` on the pipelined runtime and pushes
+/// every output tuple into `sink` (which may fan out over TCP, write
+/// CSV, or materialize). Same determinism contract as
+/// ApplyPipelineStreaming.
+Status StreamPipelineToSink(Source* source, const PollutionPipeline& prototype,
+                            uint64_t seed, int parallelism, Sink* sink,
+                            RuntimeStats* stats = nullptr,
+                            obs::MetricRegistry* metrics = nullptr,
+                            obs::TraceRecorder* trace = nullptr,
+                            Timestamp stream_start = 0,
+                            Timestamp stream_end = 0);
 
 /// \brief Runs a scenario pipeline over `source` on the pipelined
 /// runtime (`PipelineRuntime`): the source, `parallelism` polluter

@@ -73,6 +73,39 @@ class BoundedChannel {
     return true;
   }
 
+  /// \brief Outcome of a non-blocking TryPush.
+  enum class PushResult { kOk, kFull, kClosed };
+
+  /// \brief Non-blocking enqueue; never waits. Used by the serving
+  /// fan-out to implement the drop_oldest / disconnect slow-consumer
+  /// policies, where a full queue is a decision point, not a wait.
+  PushResult TryPush(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (queue_.size() >= capacity_) return PushResult::kFull;
+    queue_.push_back(std::move(item));
+    ++stats_.pushes;
+    if (queue_.size() > stats_.peak_queued) stats_.peak_queued = queue_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// \brief Non-blocking dequeue; never waits.
+  /// \return false when the channel is currently empty (whether open or
+  /// closed — combine with closed() to distinguish end of stream, which
+  /// is race-free for a channel's single consumer).
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
   /// \brief Dequeues into `*out`, blocking while the channel is empty and
   /// still open.
   /// \return false iff the channel is closed and drained (end of stream).

@@ -232,5 +232,154 @@ TEST(CsvTest, CsvSinkStreamsWithHeader) {
   EXPECT_EQ(parsed.ValueOrDie().size(), 3u);
 }
 
+// ---------------------------------------------------------------------
+// Round-trip hardening: hostile field content must survive the writer →
+// parser cycle byte-for-byte, for both the whole-string and the
+// streaming parser, under default and custom delimiters.
+// ---------------------------------------------------------------------
+
+SchemaPtr StringPairSchema() {
+  return Schema::Make(
+             {{"ts", ValueType::kInt64}, {"payload", ValueType::kString}},
+             "ts")
+      .ValueOrDie();
+}
+
+std::vector<std::string> HostilePayloads() {
+  return {
+      "plain",
+      "comma,inside",
+      "semi;inside",
+      "quote\"inside",
+      "\"leading quote",
+      "trailing quote\"",
+      "\"wrapped in quotes\"",
+      "\"\"",                       // just two quote chars
+      "line1\nline2",               // embedded LF
+      "line1\r\nline2",             // embedded CRLF
+      "bare\rreturn",               // embedded bare CR
+      "\n",                         // newline only
+      "\r\n",                       // CRLF only
+      "  padded  ",                 // spaces preserved unquoted
+      "tab\tinside",
+      "mixed,\"all\"\nof\r\nit\r",  // everything at once
+  };
+}
+
+TEST(CsvHardening, HostilePayloadsRoundTripDefaultDelimiter) {
+  SchemaPtr schema = StringPairSchema();
+  TupleVector tuples;
+  int64_t ts = 0;
+  for (const std::string& payload : HostilePayloads()) {
+    tuples.emplace_back(schema,
+                        std::vector<Value>{Value(ts++), Value(payload)});
+  }
+  const std::string text = ToCsvString(schema, tuples);
+  auto back = FromCsvString(schema, text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.ValueOrDie().size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(back.ValueOrDie()[i].value(1).AsString(),
+              tuples[i].value(1).AsString())
+        << "payload " << i << " corrupted by the round trip";
+  }
+}
+
+TEST(CsvHardening, HostilePayloadsRoundTripCustomDelimiter) {
+  SchemaPtr schema = StringPairSchema();
+  CsvOptions options;
+  options.delimiter = ';';
+  TupleVector tuples;
+  int64_t ts = 0;
+  for (const std::string& payload : HostilePayloads()) {
+    tuples.emplace_back(schema,
+                        std::vector<Value>{Value(ts++), Value(payload)});
+  }
+  const std::string text = ToCsvString(schema, tuples, options);
+  auto back = FromCsvString(schema, text, options);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.ValueOrDie().size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(back.ValueOrDie()[i].value(1).AsString(),
+              tuples[i].value(1).AsString())
+        << "payload " << i;
+  }
+}
+
+TEST(CsvHardening, StreamingParserAgreesOnHostileFile) {
+  SchemaPtr schema = StringPairSchema();
+  TupleVector tuples;
+  int64_t ts = 0;
+  for (const std::string& payload : HostilePayloads()) {
+    tuples.emplace_back(schema,
+                        std::vector<Value>{Value(ts++), Value(payload)});
+  }
+  const std::string path = testing::TempDir() + "/icewafl_csv_hostile.csv";
+  ASSERT_TRUE(WriteCsvFile(schema, tuples, path).ok());
+  CsvSource source(schema, path);
+  auto streamed = CollectAll(&source);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  ASSERT_EQ(streamed.ValueOrDie().size(), tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(streamed.ValueOrDie()[i].value(1).AsString(),
+              tuples[i].value(1).AsString())
+        << "payload " << i << " corrupted by the streaming parser";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvHardening, EscapeQuotesExactlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain", ','), "plain");
+  EXPECT_EQ(EscapeCsvField("semi;fine", ','), "semi;fine");
+  EXPECT_EQ(EscapeCsvField("a,b", ','), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\rb", ','), "\"a\rb\"");
+  EXPECT_EQ(EscapeCsvField("a\nb", ','), "\"a\nb\"");
+  EXPECT_EQ(EscapeCsvField("a\"b", ','), "\"a\"\"b\"");
+  // The delimiter, not a hard-coded comma, decides the quoting.
+  EXPECT_EQ(EscapeCsvField("a,b", ';'), "a,b");
+  EXPECT_EQ(EscapeCsvField("a;b", ';'), "\"a;b\"");
+}
+
+TEST(CsvHardening, BareCarriageReturnTerminatesRecord) {
+  auto r = ParseCsvText("a,b\rc,d\r");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().size(), 2u);
+  EXPECT_EQ(r.ValueOrDie()[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(r.ValueOrDie()[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvHardening, CarriageReturnsInsideQuotesArePreserved) {
+  auto r = ParseCsvText("\"a\rb\",\"c\r\nd\"\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().size(), 1u);
+  EXPECT_EQ(r.ValueOrDie()[0][0], "a\rb");
+  EXPECT_EQ(r.ValueOrDie()[0][1], "c\r\nd");
+}
+
+TEST(CsvHardening, HostileHeaderNamesRoundTripThroughFiles) {
+  auto schema = Schema::Make({{"t,s", ValueType::kInt64},
+                              {"na\"me", ValueType::kString},
+                              {"li\nne", ValueType::kDouble}},
+                             "t,s");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  TupleVector tuples;
+  tuples.emplace_back(
+      schema.ValueOrDie(),
+      std::vector<Value>{Value(int64_t{9}), Value("v"), Value(0.5)});
+  const std::string path = testing::TempDir() + "/icewafl_csv_header.csv";
+  ASSERT_TRUE(WriteCsvFile(schema.ValueOrDie(), tuples, path).ok());
+  auto back = ReadCsvFile(schema.ValueOrDie(), path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvHardening, QuotedEmptyFieldStaysDistinctFromMissingRecord) {
+  auto r = ParseCsvText("\"\"\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().size(), 1u);
+  EXPECT_EQ(r.ValueOrDie()[0], (std::vector<std::string>{""}));
+}
+
 }  // namespace
 }  // namespace icewafl

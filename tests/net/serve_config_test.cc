@@ -1,0 +1,241 @@
+#include "net/serve_config.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "scenarios/scenarios.h"
+
+namespace icewafl {
+namespace net {
+namespace {
+
+Json ParseOrDie(const std::string& text) {
+  auto parsed = Json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).ValueOrDie();
+}
+
+analysis::ServeAnalyzeOptions LintOptions() {
+  analysis::ServeAnalyzeOptions options;
+  options.known_scenarios = scenarios::ScenarioNames();
+  options.known_policies = SlowConsumerPolicyNames();
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// ServeConfig::FromJson — the enforcing twin of the IW6xx lint.
+// ---------------------------------------------------------------------
+
+TEST(ServeConfig, ParsesFullDocument) {
+  Json json = ParseOrDie(R"({
+    "scenario": "network_delay",
+    "host": "0.0.0.0",
+    "port": 9099,
+    "seed": 7,
+    "parallelism": 3,
+    "min_subscribers": 2,
+    "max_sessions": 5,
+    "queue_capacity": 64,
+    "slow_consumer": "drop_oldest"
+  })");
+  auto config = ServeConfig::FromJson(json);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const ServeConfig& c = config.ValueOrDie();
+  EXPECT_EQ(c.scenario, "network_delay");
+  EXPECT_EQ(c.host, "0.0.0.0");
+  EXPECT_EQ(c.port, 9099);
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_EQ(c.parallelism, 3);
+  EXPECT_EQ(c.min_subscribers, 2);
+  EXPECT_EQ(c.max_sessions, 5u);
+  EXPECT_EQ(c.queue_capacity, 64u);
+  EXPECT_EQ(c.slow_consumer, SlowConsumerPolicy::kDropOldest);
+}
+
+TEST(ServeConfig, DefaultsApplyWhenOnlyScenarioGiven) {
+  auto config = ServeConfig::FromJson(ParseOrDie(R"({"scenario": "temporal_noise"})"));
+  ASSERT_TRUE(config.ok());
+  const ServeConfig& c = config.ValueOrDie();
+  EXPECT_EQ(c.host, "127.0.0.1");
+  EXPECT_EQ(c.port, 0);
+  EXPECT_EQ(c.seed, 42u);
+  EXPECT_EQ(c.parallelism, 1);
+  EXPECT_EQ(c.queue_capacity, 256u);
+  EXPECT_EQ(c.slow_consumer, SlowConsumerPolicy::kBlock);
+}
+
+TEST(ServeConfig, RejectsBadDocuments) {
+  const char* bad[] = {
+      R"(42)",                                            // not an object
+      R"({})",                                            // no scenario
+      R"({"scenario": 3})",                               // scenario type
+      R"({"scenario": "s", "port": 65536})",              // port range
+      R"({"scenario": "s", "port": -1})",                 // port range
+      R"({"scenario": "s", "queue_capacity": 0})",        // capacity
+      R"({"scenario": "s", "parallelism": 0})",           // parallelism
+      R"({"scenario": "s", "min_subscribers": 0})",       // subscribers
+      R"({"scenario": "s", "max_sessions": -2})",         // sessions
+      R"({"scenario": "s", "seed": -1})",                 // seed
+      R"({"scenario": "s", "slow_consumer": "panic"})",   // policy enum
+      R"({"scenario": "s", "host": 1})",                  // host type
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_FALSE(ServeConfig::FromJson(ParseOrDie(text)).ok());
+  }
+}
+
+TEST(ServeConfig, JsonRoundTripIsStable) {
+  ServeConfig config;
+  config.scenario = "temporal_scale";
+  config.port = 1234;
+  config.min_subscribers = 4;
+  config.slow_consumer = SlowConsumerPolicy::kDisconnect;
+  auto back = ServeConfig::FromJson(config.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().ToJson().Dump(), config.ToJson().Dump());
+}
+
+TEST(ServeConfig, ToServerOptionsCarriesEveryKnob) {
+  ServeConfig config;
+  config.scenario = "random_temporal";
+  config.host = "::1";
+  config.port = 4242;
+  config.min_subscribers = 3;
+  config.max_sessions = 9;
+  config.queue_capacity = 17;
+  config.slow_consumer = SlowConsumerPolicy::kDropOldest;
+  ServerOptions options = config.ToServerOptions(nullptr);
+  EXPECT_EQ(options.host, "::1");
+  EXPECT_EQ(options.port, 4242);
+  EXPECT_EQ(options.min_subscribers, 3);
+  EXPECT_EQ(options.max_sessions, 9u);
+  EXPECT_EQ(options.queue_capacity, 17u);
+  EXPECT_EQ(options.slow_consumer, SlowConsumerPolicy::kDropOldest);
+  EXPECT_EQ(options.metrics, nullptr);
+}
+
+TEST(SlowConsumerPolicy, NamesRoundTrip) {
+  for (const std::string& name : SlowConsumerPolicyNames()) {
+    auto policy = SlowConsumerPolicyFromName(name);
+    ASSERT_TRUE(policy.ok()) << name;
+    EXPECT_EQ(SlowConsumerPolicyName(policy.ValueOrDie()), name);
+  }
+  EXPECT_FALSE(SlowConsumerPolicyFromName("never-heard-of-it").ok());
+}
+
+// ---------------------------------------------------------------------
+// IW6xx lint fixtures — every code fires on its fixture and stays
+// silent on a clean document.
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeServeConfig, CleanConfigHasNoDiagnostics) {
+  Json json = ParseOrDie(R"({
+    "scenario": "random_temporal",
+    "port": 9099,
+    "queue_capacity": 32,
+    "slow_consumer": "block"
+  })");
+  Diagnostics diags = analysis::AnalyzeServeConfig(json, LintOptions());
+  EXPECT_TRUE(diags.empty()) << diags.ToReport();
+}
+
+TEST(AnalyzeServeConfig, IW601FiresOnBadPort) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "port": 70000})",
+        R"({"scenario": "random_temporal", "port": -5})",
+        R"({"scenario": "random_temporal", "port": "http"})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW601")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+}
+
+TEST(AnalyzeServeConfig, IW602FiresOnUnknownPolicy) {
+  Diagnostics diags = analysis::AnalyzeServeConfig(
+      ParseOrDie(R"({"scenario": "random_temporal",
+                     "slow_consumer": "drop_newest"})"),
+      LintOptions());
+  EXPECT_TRUE(diags.HasCode("IW602")) << diags.ToReport();
+}
+
+TEST(AnalyzeServeConfig, IW603FiresOnNonPositiveQueueCapacity) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "queue_capacity": 0})",
+        R"({"scenario": "random_temporal", "queue_capacity": "big"})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW603")) << diags.ToReport();
+  }
+}
+
+TEST(AnalyzeServeConfig, IW604WarnsOnUnknownKey) {
+  Diagnostics diags = analysis::AnalyzeServeConfig(
+      ParseOrDie(R"({"scenario": "random_temporal", "protocl": "tcp"})"),
+      LintOptions());
+  EXPECT_TRUE(diags.HasCode("IW604")) << diags.ToReport();
+  EXPECT_FALSE(diags.HasErrors()) << "unknown keys warn, not fail";
+}
+
+TEST(AnalyzeServeConfig, IW605FiresOnMissingOrUnknownScenario) {
+  for (const char* text :
+       {R"({})", R"({"scenario": 9})",
+        R"({"scenario": "random_temporel"})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW605")) << diags.ToReport();
+  }
+}
+
+TEST(AnalyzeServeConfig, IW606FiresOnOtherBadBounds) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "seed": -1})",
+        R"({"scenario": "random_temporal", "parallelism": 0})",
+        R"({"scenario": "random_temporal", "min_subscribers": 0})",
+        R"({"scenario": "random_temporal", "max_sessions": -1})",
+        R"({"scenario": "random_temporal", "host": 7})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW606")) << diags.ToReport();
+  }
+}
+
+TEST(AnalyzeServeConfig, LintAgreesWithFromJson) {
+  // The advisory lint and the enforcing parser must accept/reject the
+  // same documents (modulo IW604 warnings and scenario-name knowledge).
+  const char* docs[] = {
+      R"({"scenario": "random_temporal"})",
+      R"({"scenario": "random_temporal", "port": 70000})",
+      R"({"scenario": "random_temporal", "queue_capacity": 0})",
+      R"({"scenario": "random_temporal", "slow_consumer": "nope"})",
+      R"({"scenario": "random_temporal", "parallelism": -3})",
+  };
+  for (const char* text : docs) {
+    SCOPED_TRACE(text);
+    Json json = ParseOrDie(text);
+    Diagnostics diags = analysis::AnalyzeServeConfig(json, LintOptions());
+    EXPECT_EQ(ServeConfig::FromJson(json).ok(), !diags.HasErrors())
+        << diags.ToReport();
+  }
+}
+
+TEST(LooksLikeServeConfig, RoutesDocumentsByShape) {
+  EXPECT_TRUE(analysis::LooksLikeServeConfig(
+      ParseOrDie(R"({"scenario": "random_temporal"})")));
+  EXPECT_FALSE(analysis::LooksLikeServeConfig(
+      ParseOrDie(R"({"polluters": []})")));
+  EXPECT_FALSE(analysis::LooksLikeServeConfig(ParseOrDie(
+      R"({"scenario": "x", "polluters": []})")));
+  EXPECT_FALSE(analysis::LooksLikeServeConfig(ParseOrDie(R"([1, 2])")));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace icewafl

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/csv.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "scenarios/scenarios.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace icewafl {
+namespace net {
+namespace {
+
+using scenarios::ResolvedScenario;
+
+/// One pollution session over the resolved scenario — the same replay
+/// `icewafl_cli serve` runs, so served bytes must match the offline run.
+PollutionServer::SessionFn MakeScenarioSession(
+    std::shared_ptr<const ResolvedScenario> scenario, uint64_t seed,
+    int parallelism) {
+  return [scenario, seed, parallelism](Sink* sink) {
+    VectorSource source(scenario->schema, scenario->clean);
+    return scenarios::StreamPipelineToSink(
+        &source, scenario->pipeline, seed, parallelism, sink, nullptr, nullptr,
+        nullptr, scenario->stream_start, scenario->stream_end);
+  };
+}
+
+/// Drains one subscription completely; empty csv on error.
+struct TailResult {
+  std::string csv;
+  Status status = Status::OK();
+  uint64_t received = 0;
+};
+
+TailResult TailAll(uint16_t port) {
+  TailResult result;
+  auto client = StreamClient::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    result.status = client.status();
+    return result;
+  }
+  StreamClient& stream = *client.ValueOrDie();
+  TupleVector tuples;
+  Tuple tuple;
+  while (true) {
+    auto next = stream.Next(&tuple);
+    if (!next.ok()) {
+      result.status = next.status();
+      return result;
+    }
+    if (!next.ValueOrDie()) break;
+    tuples.push_back(std::move(tuple));
+  }
+  result.received = stream.tuples_received();
+  result.csv = ToCsvString(stream.schema(), tuples);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Golden digest: every subscriber of every scenario receives the
+// byte-identical offline stream.
+// ---------------------------------------------------------------------
+
+TEST(PollutionServer, AllScenariosByteIdenticalToOfflineRunFourSubscribers) {
+  constexpr uint64_t kSeed = 42;
+  constexpr int kSubscribers = 4;
+  for (const std::string& name : scenarios::ScenarioNames()) {
+    SCOPED_TRACE(name);
+    auto resolved = scenarios::ResolveScenario(name, kSeed);
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    auto scenario = std::make_shared<const ResolvedScenario>(
+        std::move(resolved).ValueOrDie());
+
+    // Offline reference run (what `icewafl_cli run --output` writes).
+    TupleVector clean_copy = scenario->clean;
+    VectorSource source(scenario->schema, std::move(clean_copy));
+    auto offline = scenarios::ApplyPipelineStreaming(
+        &source, scenario->pipeline, kSeed, /*parallelism=*/1, nullptr,
+        nullptr, nullptr, scenario->stream_start, scenario->stream_end);
+    ASSERT_TRUE(offline.ok()) << offline.status().ToString();
+    const std::string expected_csv =
+        ToCsvString(scenario->schema, offline.ValueOrDie());
+
+    obs::MetricRegistry registry;
+    ServerOptions options;
+    options.min_subscribers = kSubscribers;
+    options.max_sessions = 1;
+    options.metrics = &registry;
+    PollutionServer server(scenario->schema,
+                           MakeScenarioSession(scenario, kSeed, 1), options);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<TailResult> results(kSubscribers);
+    std::vector<std::thread> tails;
+    tails.reserve(kSubscribers);
+    for (int i = 0; i < kSubscribers; ++i) {
+      tails.emplace_back(
+          [&, i] { results[static_cast<size_t>(i)] = TailAll(server.port()); });
+    }
+    for (std::thread& t : tails) t.join();
+    ASSERT_TRUE(server.Wait().ok());
+
+    for (int i = 0; i < kSubscribers; ++i) {
+      const TailResult& r = results[static_cast<size_t>(i)];
+      ASSERT_TRUE(r.status.ok())
+          << "subscriber " << i << ": " << r.status.ToString();
+      EXPECT_EQ(r.received, offline.ValueOrDie().size()) << "subscriber " << i;
+      EXPECT_EQ(r.csv, expected_csv) << "subscriber " << i
+                                     << " diverged from the offline run";
+    }
+    EXPECT_EQ(server.sessions_served(), 1u);
+    // Serve metrics made it into the Prometheus export.
+    const std::string prom = registry.ToPrometheusText();
+    EXPECT_NE(prom.find("icewafl_server_sessions_total 1"), std::string::npos)
+        << prom;
+    EXPECT_NE(prom.find("icewafl_server_clients_accepted_total 4"),
+              std::string::npos);
+    EXPECT_NE(prom.find("icewafl_server_tuples_sent_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("icewafl_server_send_latency_seconds"),
+              std::string::npos);
+  }
+}
+
+TEST(PollutionServer, ParallelSessionMatchesParallelOfflineRun) {
+  constexpr uint64_t kSeed = 7;
+  constexpr int kParallelism = 2;
+  auto resolved = scenarios::ResolveScenario("random_temporal", kSeed);
+  ASSERT_TRUE(resolved.ok());
+  auto scenario = std::make_shared<const ResolvedScenario>(
+      std::move(resolved).ValueOrDie());
+
+  TupleVector clean_copy = scenario->clean;
+  VectorSource source(scenario->schema, std::move(clean_copy));
+  auto offline = scenarios::ApplyPipelineStreaming(
+      &source, scenario->pipeline, kSeed, kParallelism, nullptr, nullptr,
+      nullptr, scenario->stream_start, scenario->stream_end);
+  ASSERT_TRUE(offline.ok());
+
+  PollutionServer server(scenario->schema,
+                         MakeScenarioSession(scenario, kSeed, kParallelism),
+                         {.max_sessions = 1});
+  ASSERT_TRUE(server.Start().ok());
+  TailResult tail = TailAll(server.port());
+  ASSERT_TRUE(server.Wait().ok());
+  ASSERT_TRUE(tail.status.ok()) << tail.status.ToString();
+  EXPECT_EQ(tail.csv, ToCsvString(scenario->schema, offline.ValueOrDie()));
+}
+
+// ---------------------------------------------------------------------
+// Session replay: consecutive sessions serve identical bytes.
+// ---------------------------------------------------------------------
+
+TEST(PollutionServer, ConsecutiveSessionsAreIdenticalReplays) {
+  auto resolved = scenarios::ResolveScenario("random_temporal", 42);
+  ASSERT_TRUE(resolved.ok());
+  auto scenario = std::make_shared<const ResolvedScenario>(
+      std::move(resolved).ValueOrDie());
+  PollutionServer server(scenario->schema,
+                         MakeScenarioSession(scenario, 42, 1),
+                         {.max_sessions = 2});
+  ASSERT_TRUE(server.Start().ok());
+  TailResult first = TailAll(server.port());
+  TailResult second = TailAll(server.port());
+  ASSERT_TRUE(server.Wait().ok());
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_FALSE(first.csv.empty());
+  EXPECT_EQ(first.csv, second.csv);
+  EXPECT_EQ(server.sessions_served(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Slow-consumer policies (synthetic fat-tuple session so the bounded
+// queue — not kernel socket buffering — is what overflows).
+// ---------------------------------------------------------------------
+
+SchemaPtr FatSchema() {
+  auto schema = Schema::Make(
+      {{"t", ValueType::kInt64}, {"blob", ValueType::kString}}, "t");
+  return schema.ValueOrDie();
+}
+
+/// ~32 KiB per tuple, `count` tuples — enough total volume that a
+/// non-reading subscriber overflows its queue no matter how much the
+/// kernel buffers on loopback.
+PollutionServer::SessionFn MakeFatSession(SchemaPtr schema, int count) {
+  return [schema, count](Sink* sink) {
+    const std::string blob(32 * 1024, 'x');
+    for (int i = 0; i < count; ++i) {
+      Tuple tuple(schema, {Value(static_cast<int64_t>(i)), Value(blob)});
+      tuple.set_id(static_cast<TupleId>(i));
+      tuple.set_event_time(i);
+      ICEWAFL_RETURN_NOT_OK(sink->Write(tuple));
+    }
+    return Status::OK();
+  };
+}
+
+void WaitForSessions(const PollutionServer& server, uint64_t n) {
+  while (server.sessions_served() < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+TEST(PollutionServer, DropOldestKeepsSessionRunningAndCountsDrops) {
+  constexpr int kTuples = 700;  // ~22 MiB total
+  obs::MetricRegistry registry;
+  ServerOptions options;
+  options.queue_capacity = 8;
+  options.slow_consumer = SlowConsumerPolicy::kDropOldest;
+  options.max_sessions = 1;
+  options.metrics = &registry;
+  SchemaPtr schema = FatSchema();
+  PollutionServer server(schema, MakeFatSession(schema, kTuples), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Connect but do not read until the session has finished server-side:
+  // the pipeline must not stall on this slow consumer.
+  auto client = StreamClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  WaitForSessions(server, 1);
+
+  // Now drain: the subscriber sees gaps, surfaced as a count mismatch
+  // when the End frame's total disagrees with what arrived.
+  StreamClient& stream = *client.ValueOrDie();
+  Tuple tuple;
+  Status status;
+  while (true) {
+    auto next = stream.Next(&tuple);
+    if (!next.ok()) {
+      status = next.status();
+      break;
+    }
+    if (!next.ValueOrDie()) break;
+  }
+  EXPECT_FALSE(status.ok()) << "a lossy stream must not end cleanly";
+  EXPECT_LT(stream.tuples_received(), static_cast<uint64_t>(kTuples));
+  ASSERT_TRUE(server.Wait().ok());
+  EXPECT_NE(registry.ToPrometheusText().find("icewafl_server_slow_drops_total"),
+            std::string::npos);
+}
+
+TEST(PollutionServer, DisconnectPolicyCutsSlowConsumer) {
+  constexpr int kTuples = 700;
+  obs::MetricRegistry registry;
+  ServerOptions options;
+  options.queue_capacity = 8;
+  options.slow_consumer = SlowConsumerPolicy::kDisconnect;
+  options.max_sessions = 1;
+  options.metrics = &registry;
+  SchemaPtr schema = FatSchema();
+  PollutionServer server(schema, MakeFatSession(schema, kTuples), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = StreamClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  WaitForSessions(server, 1);
+
+  StreamClient& stream = *client.ValueOrDie();
+  Tuple tuple;
+  Status status;
+  while (true) {
+    auto next = stream.Next(&tuple);
+    if (!next.ok()) {
+      status = next.status();
+      break;
+    }
+    if (!next.ValueOrDie()) break;
+  }
+  // The victim observes a mid-stream disconnect (never a clean End).
+  EXPECT_FALSE(status.ok());
+  ASSERT_TRUE(server.Wait().ok());
+  const std::string prom = registry.ToPrometheusText();
+  EXPECT_NE(prom.find("icewafl_server_slow_disconnects_total 1"),
+            std::string::npos)
+      << prom;
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle edges
+// ---------------------------------------------------------------------
+
+TEST(PollutionServer, LateJoinerIsToldTheServerIsShuttingDown) {
+  auto resolved = scenarios::ResolveScenario("random_temporal", 42);
+  ASSERT_TRUE(resolved.ok());
+  auto scenario = std::make_shared<const ResolvedScenario>(
+      std::move(resolved).ValueOrDie());
+  PollutionServer server(scenario->schema,
+                         MakeScenarioSession(scenario, 42, 1),
+                         {.max_sessions = 1});
+  ASSERT_TRUE(server.Start().ok());
+  TailResult first = TailAll(server.port());
+  ASSERT_TRUE(first.status.ok());
+
+  // All sessions served, but the listener is still up until Wait():
+  // a late joiner gets the handshake plus a courteous Error frame.
+  auto late = StreamClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  ASSERT_TRUE(server.Wait().ok());
+  Tuple tuple;
+  auto next = late.ValueOrDie()->Next(&tuple);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().ToString().find("shutting down"), std::string::npos)
+      << next.status().ToString();
+}
+
+TEST(PollutionServer, RequestStopAbortsASessionInProgress) {
+  SchemaPtr schema = FatSchema();
+  // Unbounded sessions; small queue + blocking policy so the session
+  // wedges on a non-reading subscriber — exactly what stop must unwedge.
+  ServerOptions options;
+  options.queue_capacity = 4;
+  options.slow_consumer = SlowConsumerPolicy::kBlock;
+  PollutionServer server(schema, MakeFatSession(schema, 100000), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = StreamClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // Read a handful of tuples, then abandon the stream.
+  Tuple tuple;
+  for (int i = 0; i < 3; ++i) {
+    auto next = client.ValueOrDie()->Next(&tuple);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(next.ValueOrDie());
+  }
+  server.RequestStop();
+  ASSERT_TRUE(server.Wait().ok());  // a requested stop is not an error
+  // The abandoned subscriber observes a broken stream, not a clean end.
+  Status status = Status::OK();
+  while (status.ok()) {
+    auto next = client.ValueOrDie()->Next(&tuple);
+    if (!next.ok()) {
+      status = next.status();
+    } else if (!next.ValueOrDie()) {
+      break;
+    }
+  }
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(PollutionServer, DestructorAbortsCleanly) {
+  SchemaPtr schema = FatSchema();
+  PollutionServer server(schema, MakeFatSession(schema, 10), {});
+  ASSERT_TRUE(server.Start().ok());
+  // No Wait(), no RequestStop(): the destructor must tear down both
+  // threads and every fd without leaking or hanging.
+}
+
+TEST(StreamClient, ConnectToClosedPortFails) {
+  auto client = StreamClient::Connect("127.0.0.1", 1);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(PollutionServer, SessionErrorReachesSubscriberAsErrorFrame) {
+  SchemaPtr schema = FatSchema();
+  PollutionServer::SessionFn failing = [schema](Sink* sink) {
+    Tuple tuple(schema, {Value(int64_t{0}), Value("v")});
+    ICEWAFL_RETURN_NOT_OK(sink->Write(tuple));
+    return Status::Internal("polluter exploded");
+  };
+  PollutionServer server(schema, failing, {.max_sessions = 1});
+  ASSERT_TRUE(server.Start().ok());
+  auto client = StreamClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Tuple tuple;
+  Status status = Status::OK();
+  while (status.ok()) {
+    auto next = client.ValueOrDie()->Next(&tuple);
+    if (!next.ok()) {
+      status = next.status();
+    } else if (!next.ValueOrDie()) {
+      break;
+    }
+  }
+  EXPECT_NE(status.ToString().find("polluter exploded"), std::string::npos)
+      << status.ToString();
+  // The session failure is also Wait()'s verdict.
+  Status wait_status = server.Wait();
+  EXPECT_FALSE(wait_status.ok());
+  EXPECT_NE(wait_status.ToString().find("polluter exploded"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace icewafl

@@ -1,0 +1,123 @@
+// Exit-code contract of icewafl_cli, exercised against the real binary:
+// 0 = success, 1 = runtime failure, 2 = usage error. Unknown flags and
+// unknown subcommands are always usage errors.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+// ctest runs test cases as parallel processes; keep scratch paths unique.
+std::string UniqueTempPath(const std::string& stem) {
+  static std::atomic<int> counter{0};
+  return ::testing::TempDir() + "/cli_test_" + std::to_string(getpid()) +
+         "_" + std::to_string(counter.fetch_add(1)) + "_" + stem;
+}
+
+CliRun RunCli(const std::string& args) {
+  const std::string out_path = UniqueTempPath("output.txt");
+  const std::string command =
+      std::string(ICEWAFL_CLI_PATH) + " " + args + " > " + out_path + " 2>&1";
+  int raw = std::system(command.c_str());
+  CliRun run;
+  run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(out_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  run.output = text.str();
+  std::remove(out_path.c_str());
+  return run;
+}
+
+std::string WriteTempConfig(const char* name, const std::string& text) {
+  const std::string path = UniqueTempPath(name);
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+TEST(CliExitCodes, VersionExitsZero) {
+  CliRun run = RunCli("--version");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("icewafl_cli"), std::string::npos) << run.output;
+  EXPECT_EQ(RunCli("version").exit_code, 0);
+}
+
+TEST(CliExitCodes, NoArgumentsIsUsageError) {
+  EXPECT_EQ(RunCli("").exit_code, 2);
+}
+
+TEST(CliExitCodes, UnknownSubcommandIsUsageError) {
+  CliRun run = RunCli("pollinate");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown subcommand"), std::string::npos)
+      << run.output;
+}
+
+TEST(CliExitCodes, UnknownFlagIsUsageError) {
+  // Every subcommand audits its flags; a stray flag never silently
+  // passes through.
+  for (const char* args :
+       {"run --scenario random_temporal --turbo",
+        "serve --scenario random_temporal --frobnicate 1",
+        "tail --connect 127.0.0.1:1 --folow",
+        "lint --no-such-flag x", "schema --wat"}) {
+    SCOPED_TRACE(args);
+    EXPECT_EQ(RunCli(args).exit_code, 2);
+  }
+}
+
+TEST(CliExitCodes, MissingRequiredFlagIsUsageError) {
+  EXPECT_EQ(RunCli("serve").exit_code, 2);
+  EXPECT_EQ(RunCli("tail").exit_code, 2);
+  EXPECT_EQ(RunCli("run").exit_code, 2);
+}
+
+TEST(CliExitCodes, MalformedIntegerFlagIsUsageError) {
+  EXPECT_EQ(RunCli("serve --scenario random_temporal --port 80x").exit_code,
+            2);
+  EXPECT_EQ(RunCli("tail --connect 127.0.0.1:notaport").exit_code, 2);
+  EXPECT_EQ(RunCli("tail --connect 127.0.0.1:1 --limit zero").exit_code, 2);
+}
+
+TEST(CliExitCodes, ServeRefusesConfigTheLintRejects) {
+  const std::string path = WriteTempConfig(
+      "bad_serve.json",
+      R"({"scenario": "random_temporal", "port": 70000})");
+  CliRun run = RunCli("serve --config " + path);
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("IW601"), std::string::npos) << run.output;
+}
+
+TEST(CliExitCodes, ServeRejectsUnknownScenario) {
+  CliRun run = RunCli("serve --scenario no_such_scenario");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("IW605"), std::string::npos) << run.output;
+}
+
+TEST(CliExitCodes, TailFailsFastWhenNothingListens) {
+  // Connection refused is a runtime failure (1), not a usage error.
+  EXPECT_EQ(RunCli("tail --connect 127.0.0.1:1").exit_code, 1);
+}
+
+TEST(CliExitCodes, LintRoutesServeConfigs) {
+  const std::string path = WriteTempConfig(
+      "good_serve.json", R"({"scenario": "random_temporal", "port": 0})");
+  CliRun run = RunCli("lint " + path);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+}  // namespace

@@ -15,6 +15,10 @@
 #                             # smoke-run bench_micro_polluters (tiny
 #                             # iteration budget) so its built-in
 #                             # assertions break the build on regression
+#   tools/check.sh net        # pollution-as-a-service smoke: serve a
+#                             # scenario on an ephemeral loopback port,
+#                             # tail it, and require the received CSV to
+#                             # be byte-identical to the offline run
 #
 # The sanitizer presets compile with -Werror, so this script is also the
 # warning gate. (-Wmaybe-uninitialized is excluded there: GCC 12 emits
@@ -191,6 +195,68 @@ run_bench() {
   echo "=== bench: OK ==="
 }
 
+run_net() {
+  echo "=== net: build icewafl_cli ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${jobs}" --target icewafl_cli
+  local cli=build/tools/icewafl_cli
+  local outdir
+  outdir=$(mktemp -d)
+  trap 'rm -rf "${outdir}"' RETURN
+  echo "=== net: offline reference run ==="
+  "${cli}" run --scenario random_temporal --output "${outdir}/offline.csv" \
+    >/dev/null
+  echo "=== net: serve on an ephemeral loopback port ==="
+  "${cli}" serve --scenario random_temporal --port 0 --max-sessions 2 \
+    --metrics-out "${outdir}/serve.prom" >"${outdir}/serve.log" 2>&1 &
+  local server_pid=$!
+  # The server prints "serving scenario ... on 127.0.0.1:PORT (...)"
+  # once it is listening; wait for that line and extract the port.
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^serving scenario .* on [^ ]*:\([0-9]*\) .*/\1/p' \
+      "${outdir}/serve.log")
+    [ -n "${port}" ] && break
+    if ! kill -0 "${server_pid}" 2>/dev/null; then
+      echo "net: server exited before listening:"
+      cat "${outdir}/serve.log"
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "net: server never reported its port:"
+    cat "${outdir}/serve.log"
+    kill "${server_pid}" 2>/dev/null || true
+    return 1
+  fi
+  echo "=== net: session 1 — full tail must equal the offline run ==="
+  "${cli}" tail --connect "127.0.0.1:${port}" --csv-out "${outdir}/tail.csv"
+  cmp "${outdir}/offline.csv" "${outdir}/tail.csv"
+  echo "net: full-stream digest match ($(wc -c <"${outdir}/tail.csv")B)"
+  echo "=== net: session 2 — tail --limit 1000 is an exact prefix ==="
+  "${cli}" tail --connect "127.0.0.1:${port}" --limit 1000 \
+    --csv-out "${outdir}/tail1000.csv"
+  head -n 1001 "${outdir}/offline.csv" >"${outdir}/offline1000.csv"
+  cmp "${outdir}/offline1000.csv" "${outdir}/tail1000.csv"
+  echo "=== net: server drains after --max-sessions 2 ==="
+  if ! wait "${server_pid}"; then
+    echo "net: server exited non-zero:"
+    cat "${outdir}/serve.log"
+    return 1
+  fi
+  echo "=== net: serve metrics present in Prometheus export ==="
+  for metric in icewafl_server_sessions_total \
+                icewafl_server_tuples_sent_total \
+                icewafl_server_clients_accepted_total; do
+    if ! grep -q "^${metric}" "${outdir}/serve.prom"; then
+      echo "net: missing metric family ${metric}"
+      return 1
+    fi
+  done
+  echo "=== net: OK ==="
+}
+
 modes=("$@")
 if [ "${#modes[@]}" -eq 0 ]; then
   modes=(asan tsan)
@@ -203,8 +269,9 @@ for mode in "${modes[@]}"; do
     lint) run_lint ;;
     obs) run_obs ;;
     bench) run_bench ;;
+    net) run_net ;;
     *)
-      echo "unknown mode '${mode}' (expected asan, tsan, tidy, lint, obs, or bench)" >&2
+      echo "unknown mode '${mode}' (expected asan, tsan, tidy, lint, obs, bench, or net)" >&2
       exit 2
       ;;
   esac

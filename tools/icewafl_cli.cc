@@ -23,15 +23,31 @@
 //              pipelined runtime, validates the matching expectation
 //              suite, and optionally exports Prometheus metrics and a
 //              Chrome trace_event JSON)
+//   serve     --scenario NAME [--port P] [--host H] [--seed N]
+//             [--parallelism P] [--min-subscribers N] [--max-sessions N]
+//             [--queue-capacity N] [--slow-consumer block|drop_oldest|
+//             disconnect] [--config serve.json] [--metrics-out F.prom]
+//             (pollution as a service: binds a TCP port and streams the
+//              scenario's polluted run to every subscriber; the config
+//              is linted — IW6xx — before the socket opens)
+//   tail      --connect HOST:PORT [--limit N] [--csv-out OUT.csv]
+//             (subscribes to a serve instance; writes the received
+//              stream as CSV — byte-identical to `run --output` of the
+//              same scenario/seed — to --csv-out or stdout)
 //
 // Exit code: 0 on success (for `validate`: also when all expectations
 // pass; for `lint`: no error-severity findings), 1 on failure, 2 on
-// usage errors. `run` exits 0 even when the suite flags errors — a
-// polluted stream is SUPPOSED to violate its expectations.
+// usage errors — including unknown flags and unknown subcommands, which
+// are always usage errors, never silently ignored. `run` exits 0 even
+// when the suite flags errors — a polluted stream is SUPPOSED to
+// violate its expectations. `--version` prints the version and exits 0.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <string>
@@ -45,6 +61,9 @@
 #include "dq/profile.h"
 #include "io/csv.h"
 #include "io/schema_json.h"
+#include "net/client.h"
+#include "net/serve_config.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenarios/scenarios.h"
@@ -52,6 +71,8 @@
 namespace {
 
 using namespace icewafl;  // NOLINT
+
+constexpr const char* kVersion = "0.5.0";
 
 int Usage() {
   std::fprintf(
@@ -72,8 +93,46 @@ int Usage() {
       "  icewafl_cli run --scenario random_temporal|software_update|\n"
       "              network_delay|temporal_noise|temporal_scale\n"
       "              [--seed N] [--parallelism P] [--output OUT.csv]\n"
-      "              [--metrics-out F.prom] [--trace-out F.json]\n");
+      "              [--metrics-out F.prom] [--trace-out F.json]\n"
+      "  icewafl_cli serve --scenario NAME [--port P] [--host H] [--seed N]\n"
+      "              [--parallelism P] [--min-subscribers N]\n"
+      "              [--max-sessions N] [--queue-capacity N]\n"
+      "              [--slow-consumer block|drop_oldest|disconnect]\n"
+      "              [--config serve.json] [--metrics-out F.prom]\n"
+      "  icewafl_cli tail --connect HOST:PORT [--limit N]\n"
+      "              [--csv-out OUT.csv]\n"
+      "  icewafl_cli --version\n");
   return 2;
+}
+
+/// Rejects flags outside the subcommand's documented surface: a typoed
+/// flag must exit 2, not be silently dropped.
+bool CheckFlags(const char* command,
+                const std::map<std::string, std::string>& flags,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& entry : flags) {
+    bool known = false;
+    for (const char* name : allowed) {
+      if (entry.first == name) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", command,
+                   entry.first.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Strict integer flag parse; trailing garbage is a usage error.
+bool ParseInt64Flag(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<int64_t>(value);
+  return true;
 }
 
 /// Parses --key value pairs starting at argv[first]. `--json` is the one
@@ -301,7 +360,14 @@ int RunLint(const std::string& config_path,
   }
 
   Diagnostics diags;
-  if (flags.count("suite")) {
+  if (analysis::LooksLikeServeConfig(pipeline_json.ValueOrDie())) {
+    // A serve document (scenario, no polluters) gets the IW6xx surface.
+    analysis::ServeAnalyzeOptions serve_options;
+    serve_options.known_scenarios = scenarios::ScenarioNames();
+    serve_options.known_policies = net::SlowConsumerPolicyNames();
+    diags = analysis::AnalyzeServeConfig(pipeline_json.ValueOrDie(),
+                                         serve_options);
+  } else if (flags.count("suite")) {
     auto suite_json = ReadJsonFile(flags.at("suite"));
     if (!suite_json.ok()) return Fail(suite_json.status());
     diags = analysis::AnalyzeArtifacts(pipeline_json.ValueOrDie(),
@@ -329,53 +395,15 @@ int RunScenario(const std::map<std::string, std::string>& flags) {
   const int parallelism = static_cast<int>(
       std::strtol(FlagOr(flags, "parallelism", "1").c_str(), nullptr, 10));
 
-  // Resolve the scenario: pipeline, dataset, and (where the paper
-  // defines one) the matching expectation suite.
-  PollutionPipeline pipeline;
-  std::optional<dq::ExpectationSuite> suite;
-  Result<TupleVector> tuples = Status::Internal("unset");
-  SchemaPtr schema;
-  if (name == "random_temporal" || name == "software_update" ||
-      name == "network_delay") {
-    data::WearableOptions options;
-    if (seed != 0) options.seed = seed;
-    tuples = data::GenerateWearable(options);
-    schema = data::WearableSchema();
-    if (name == "random_temporal") {
-      pipeline = scenarios::RandomTemporalErrorsPipeline();
-      suite = scenarios::RandomTemporalErrorsSuite();
-    } else if (name == "software_update") {
-      pipeline = scenarios::SoftwareUpdatePipeline();
-      suite = scenarios::SoftwareUpdateSuite();
-    } else {
-      pipeline = scenarios::NetworkDelayPipeline();
-      suite = scenarios::NetworkDelaySuite();
-    }
-  } else if (name == "temporal_noise" || name == "temporal_scale") {
-    data::AirQualityOptions options;
-    if (seed != 0) options.seed = seed;
-    tuples = data::GenerateAirQuality(options);
-    schema = data::AirQualitySchema();
-    if (name == "temporal_noise") {
-      pipeline = scenarios::TemporalNoisePipeline(
-          scenarios::AirQualityNumericAttributes(), 0.5);
-    } else {
-      pipeline = scenarios::TemporalScalePipeline(
-          scenarios::AirQualityNumericAttributes(), 10.0, 0.1, 24);
-    }
-  } else {
-    std::fprintf(stderr, "unknown scenario: '%s'\n", name.c_str());
+  // Resolve the scenario: pipeline, dataset, suite, and stream bounds —
+  // the same single definition `serve` uses, which is what makes the
+  // served stream byte-identical to this offline run.
+  auto resolved = scenarios::ResolveScenario(name, seed);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "%s\n", resolved.status().ToString().c_str());
     return 2;
   }
-  if (!tuples.ok()) return Fail(tuples.status());
-  TupleVector clean = std::move(tuples).ValueOrDie();
-  if (clean.empty()) return Fail(Status::Internal("empty dataset"));
-
-  // Stream bounds for stream-relative profiles (Equations 3/4).
-  auto start_ts = clean.front().GetTimestamp();
-  auto end_ts = clean.back().GetTimestamp();
-  if (!start_ts.ok()) return Fail(start_ts.status());
-  if (!end_ts.ok()) return Fail(end_ts.status());
+  scenarios::ResolvedScenario& scenario = resolved.ValueOrDie();
 
   // Observability is opt-in: the registry/recorder are only wired into
   // the run when an export path asks for them, so a plain run pays
@@ -386,12 +414,12 @@ int RunScenario(const std::map<std::string, std::string>& flags) {
       flags.count("metrics-out") ? &registry : nullptr;
   obs::TraceRecorder* trace_ptr = flags.count("trace-out") ? &trace : nullptr;
 
-  const size_t clean_size = clean.size();
-  VectorSource source(schema, std::move(clean));
+  const size_t clean_size = scenario.clean.size();
+  VectorSource source(scenario.schema, std::move(scenario.clean));
   RuntimeStats stats;
   auto polluted = scenarios::ApplyPipelineStreaming(
-      &source, pipeline, seed, parallelism, &stats, metrics_ptr, trace_ptr,
-      start_ts.ValueOrDie(), end_ts.ValueOrDie());
+      &source, scenario.pipeline, seed, parallelism, &stats, metrics_ptr,
+      trace_ptr, scenario.stream_start, scenario.stream_end);
   if (!polluted.ok()) return Fail(polluted.status());
 
   std::printf("scenario %s: %zu tuples in, %zu out (seed %llu, "
@@ -400,17 +428,17 @@ int RunScenario(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(seed), parallelism);
   std::printf("%s\n", stats.ToString().c_str());
 
-  if (suite.has_value()) {
-    auto validation = suite->Validate(polluted.ValueOrDie());
+  if (scenario.suite.has_value()) {
+    auto validation = scenario.suite->Validate(polluted.ValueOrDie());
     if (!validation.ok()) return Fail(validation.status());
     std::printf("%s", validation.ValueOrDie().ToReport().c_str());
-    dq::PublishSuiteResult(validation.ValueOrDie(), suite->name(),
+    dq::PublishSuiteResult(validation.ValueOrDie(), scenario.suite->name(),
                            metrics_ptr);
   }
 
   if (flags.count("output")) {
-    Status st =
-        WriteCsvFile(schema, polluted.ValueOrDie(), flags.at("output"));
+    Status st = WriteCsvFile(scenario.schema, polluted.ValueOrDie(),
+                             flags.at("output"));
     if (!st.ok()) return Fail(st);
   }
   if (metrics_ptr != nullptr) {
@@ -430,24 +458,241 @@ int RunScenario(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Builds the serve JSON document from --config (file) or the flag set,
+/// so both paths go through the same IW6xx lint and ServeConfig parse.
+int BuildServeJson(const std::map<std::string, std::string>& flags,
+                   Json* out) {
+  if (flags.count("config")) {
+    auto json = ReadJsonFile(flags.at("config"));
+    if (!json.ok()) return Fail(json.status());
+    *out = std::move(json).ValueOrDie();
+    return 0;
+  }
+  Json doc = Json::MakeObject();
+  if (flags.count("scenario")) doc.Set("scenario", flags.at("scenario"));
+  if (flags.count("host")) doc.Set("host", flags.at("host"));
+  struct IntFlag {
+    const char* flag;
+    const char* key;
+  };
+  for (const IntFlag& f :
+       {IntFlag{"port", "port"}, IntFlag{"seed", "seed"},
+        IntFlag{"parallelism", "parallelism"},
+        IntFlag{"min-subscribers", "min_subscribers"},
+        IntFlag{"max-sessions", "max_sessions"},
+        IntFlag{"queue-capacity", "queue_capacity"}}) {
+    if (!flags.count(f.flag)) continue;
+    int64_t value = 0;
+    if (!ParseInt64Flag(flags.at(f.flag), &value)) {
+      std::fprintf(stderr, "serve: --%s needs an integer, got '%s'\n", f.flag,
+                   flags.at(f.flag).c_str());
+      return 2;
+    }
+    doc.Set(f.key, Json(value));
+  }
+  if (flags.count("slow-consumer")) {
+    doc.Set("slow_consumer", flags.at("slow-consumer"));
+  }
+  *out = std::move(doc);
+  return 0;
+}
+
+int RunServe(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("scenario") && !flags.count("config")) {
+    std::fprintf(stderr, "serve: need --scenario or --config\n");
+    return 2;
+  }
+  Json doc;
+  if (const int rc = BuildServeJson(flags, &doc); rc != 0) return rc;
+
+  // Static gate before the socket opens: the same IW6xx analysis
+  // `icewafl_cli lint` applies to a serve document.
+  analysis::ServeAnalyzeOptions serve_options;
+  serve_options.known_scenarios = scenarios::ScenarioNames();
+  serve_options.known_policies = net::SlowConsumerPolicyNames();
+  Diagnostics diags = analysis::AnalyzeServeConfig(doc, serve_options);
+  if (!diags.empty()) std::fprintf(stderr, "%s", diags.ToReport().c_str());
+  if (diags.HasErrors()) return 2;
+
+  auto config = net::ServeConfig::FromJson(doc);
+  if (!config.ok()) return Fail(config.status());
+  const net::ServeConfig& serve = config.ValueOrDie();
+
+  auto resolved = scenarios::ResolveScenario(serve.scenario, serve.seed);
+  if (!resolved.ok()) return Fail(resolved.status());
+  // Sessions replay the scenario, so the resolved dataset is shared
+  // read-only across them.
+  auto scenario = std::make_shared<const scenarios::ResolvedScenario>(
+      std::move(resolved).ValueOrDie());
+
+  obs::MetricRegistry registry;
+  obs::MetricRegistry* metrics_ptr =
+      flags.count("metrics-out") ? &registry : nullptr;
+
+  net::PollutionServer::SessionFn session = [scenario, serve,
+                                             metrics_ptr](Sink* sink) {
+    VectorSource source(scenario->schema, scenario->clean);
+    return scenarios::StreamPipelineToSink(
+        &source, scenario->pipeline, serve.seed, serve.parallelism, sink,
+        nullptr, metrics_ptr, nullptr, scenario->stream_start,
+        scenario->stream_end);
+  };
+  net::PollutionServer server(scenario->schema, std::move(session),
+                              serve.ToServerOptions(metrics_ptr));
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("serving scenario %s on %s:%u (seed %llu, parallelism %d, "
+              "min-subscribers %d, slow-consumer %s%s)\n",
+              serve.scenario.c_str(), serve.host.c_str(),
+              static_cast<unsigned>(server.port()),
+              static_cast<unsigned long long>(serve.seed), serve.parallelism,
+              serve.min_subscribers,
+              net::SlowConsumerPolicyName(serve.slow_consumer),
+              serve.max_sessions == 0
+                  ? ", until killed"
+                  : (", " + std::to_string(serve.max_sessions) + " sessions")
+                        .c_str());
+  std::fflush(stdout);
+  st = server.Wait();
+
+  if (metrics_ptr != nullptr) {
+    Status write_st = WriteTextFile(flags.at("metrics-out"),
+                                    registry.ToPrometheusText());
+    if (!write_st.ok()) return Fail(write_st);
+    std::printf("wrote %zu metric series to %s\n", registry.size(),
+                flags.at("metrics-out").c_str());
+  }
+  if (!st.ok()) return Fail(st);
+  std::printf("served %llu session(s)\n",
+              static_cast<unsigned long long>(server.sessions_served()));
+  return 0;
+}
+
+int RunTail(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("connect")) {
+    std::fprintf(stderr, "tail: missing --connect HOST:PORT\n");
+    return 2;
+  }
+  const std::string& endpoint = flags.at("connect");
+  const size_t colon = endpoint.rfind(':');
+  int64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseInt64Flag(endpoint.substr(colon + 1), &port) || port < 1 ||
+      port > 65535) {
+    std::fprintf(stderr, "tail: --connect needs HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  int64_t limit = 0;  // 0 = until end of stream
+  if (flags.count("limit") &&
+      (!ParseInt64Flag(flags.at("limit"), &limit) || limit < 1)) {
+    std::fprintf(stderr, "tail: --limit needs a positive integer\n");
+    return 2;
+  }
+
+  auto client =
+      net::StreamClient::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) return Fail(client.status());
+  net::StreamClient& stream = *client.ValueOrDie();
+
+  TupleVector tuples;
+  Tuple tuple;
+  bool truncated = false;
+  while (true) {
+    auto next = stream.Next(&tuple);
+    if (!next.ok()) return Fail(next.status());
+    if (!next.ValueOrDie()) break;
+    tuples.push_back(std::move(tuple));
+    if (limit > 0 && tuples.size() >= static_cast<size_t>(limit)) {
+      truncated = true;  // deliberate early hang-up, not an error
+      break;
+    }
+  }
+
+  // Default CsvOptions on both sides keep `tail --csv-out` byte-identical
+  // to `run --output` of the same scenario and seed.
+  if (flags.count("csv-out")) {
+    Status st = WriteCsvFile(stream.schema(), tuples, flags.at("csv-out"));
+    if (!st.ok()) return Fail(st);
+    std::printf("received %zu tuples%s, wrote %s\n", tuples.size(),
+                truncated ? " (limit reached)" : "",
+                flags.at("csv-out").c_str());
+  } else {
+    std::printf("%s", ToCsvString(stream.schema(), tuples).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::printf("icewafl_cli %s\n", kVersion);
+    return 0;
+  }
   std::map<std::string, std::string> flags;
   if (command == "lint") {
     // lint takes the pipeline as a positional argument.
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return Usage();
     if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
+    if (!CheckFlags("lint", flags,
+                    {"schema", "suite", "stream-start", "stream-end", "json"}))
+      return 2;
     return RunLint(argv[2], flags);
   }
   if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
-  if (command == "pollute") return RunPollute(flags);
-  if (command == "validate") return RunValidate(flags);
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "profile") return RunProfile(flags);
-  if (command == "schema") return RunSchema(flags);
-  if (command == "run") return RunScenario(flags);
+  if (command == "pollute") {
+    if (!CheckFlags("pollute", flags,
+                    {"schema", "config", "input", "output", "clean-output",
+                     "log", "seed", "null-repr"}))
+      return 2;
+    return RunPollute(flags);
+  }
+  if (command == "validate") {
+    if (!CheckFlags("validate", flags,
+                    {"schema", "suite", "input", "null-repr"}))
+      return 2;
+    return RunValidate(flags);
+  }
+  if (command == "generate") {
+    if (!CheckFlags("generate", flags,
+                    {"dataset", "output", "seed", "hours", "station"}))
+      return 2;
+    return RunGenerate(flags);
+  }
+  if (command == "profile") {
+    if (!CheckFlags("profile", flags,
+                    {"schema", "input", "null-repr", "suggest-suite"}))
+      return 2;
+    return RunProfile(flags);
+  }
+  if (command == "schema") {
+    if (!CheckFlags("schema", flags, {"dataset"})) return 2;
+    return RunSchema(flags);
+  }
+  if (command == "run") {
+    if (!CheckFlags("run", flags,
+                    {"scenario", "seed", "parallelism", "output",
+                     "metrics-out", "trace-out"}))
+      return 2;
+    return RunScenario(flags);
+  }
+  if (command == "serve") {
+    if (!CheckFlags("serve", flags,
+                    {"scenario", "config", "host", "port", "seed",
+                     "parallelism", "min-subscribers", "max-sessions",
+                     "queue-capacity", "slow-consumer", "metrics-out"}))
+      return 2;
+    return RunServe(flags);
+  }
+  if (command == "tail") {
+    if (!CheckFlags("tail", flags, {"connect", "limit", "csv-out"}))
+      return 2;
+    return RunTail(flags);
+  }
+  std::fprintf(stderr, "unknown subcommand: '%s'\n", command.c_str());
   return Usage();
 }
