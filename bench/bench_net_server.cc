@@ -1,0 +1,226 @@
+// Serving-core benchmark (ROADMAP item 5b): sessions × subscribers
+// fan-out throughput of the multi-tenant PollutionServer over loopback
+// TCP, with send-latency percentiles from the server's own
+// `icewafl_server_send_latency_seconds` histograms. Emits a
+// machine-readable JSON report (BENCH_net.json in CI) so the serving
+// perf trajectory lives in a tracked file rather than log scrollback.
+//
+// Usage: bench_net_server [--sessions N] [--subscribers M]
+//                         [--tuples T] [--out PATH]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/net_metrics.h"
+#include "stream/schema.h"
+#include "stream/sink.h"
+#include "stream/tuple.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace icewafl;  // NOLINT
+
+SchemaPtr BenchSchema() {
+  auto schema = Schema::Make({{"t", ValueType::kInt64},
+                              {"bpm", ValueType::kDouble},
+                              {"label", ValueType::kString}},
+                             "t");
+  return schema.ValueOrDie();
+}
+
+/// One run: `count` synthetic wearable-ish tuples (~40 wire bytes each).
+net::PollutionServer::SessionFn MakeBenchSession(SchemaPtr schema,
+                                                 int64_t count) {
+  return [schema, count](Sink* sink) {
+    for (int64_t i = 0; i < count; ++i) {
+      Tuple tuple(schema, {Value(i), Value(60.0 + (i % 40)),
+                           Value(std::string("beat"))});
+      tuple.set_id(static_cast<TupleId>(i));
+      tuple.set_event_time(i);
+      ICEWAFL_RETURN_NOT_OK(sink->Write(tuple));
+    }
+    return Status::OK();
+  };
+}
+
+/// Drains one subscription; returns tuples received (0 on error).
+uint64_t Drain(uint16_t port, const std::string& session_id) {
+  auto client = net::StreamClient::Connect("127.0.0.1", port, session_id);
+  if (!client.ok()) {
+    std::fprintf(stderr, "subscriber failed: %s\n",
+                 client.status().ToString().c_str());
+    return 0;
+  }
+  Tuple tuple;
+  while (true) {
+    auto next = client.ValueOrDie()->Next(&tuple);
+    if (!next.ok()) {
+      std::fprintf(stderr, "subscriber failed: %s\n",
+                   next.status().ToString().c_str());
+      return 0;
+    }
+    if (!next.ValueOrDie()) break;
+  }
+  return client.ValueOrDie()->tuples_received();
+}
+
+/// Quantile over the merged per-session latency buckets — the same
+/// linear interpolation obs::Histogram::Quantile applies to one series.
+double MergedQuantile(const std::vector<double>& bounds,
+                      const std::vector<uint64_t>& buckets, uint64_t total,
+                      double q) {
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = seen;
+    seen += buckets[i];
+    if (static_cast<double>(seen) < rank) continue;
+    if (i >= bounds.size()) return bounds.back();  // +Inf bucket clamps
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double fraction =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[i]);
+    return lo + (bounds[i] - lo) * fraction;
+  }
+  return bounds.back();
+}
+
+int64_t IntFlag(int argc, char** argv, const char* name, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int64_t sessions = IntFlag(argc, argv, "--sessions", 3);
+  const int64_t subscribers = IntFlag(argc, argv, "--subscribers", 4);
+  const int64_t tuples = IntFlag(argc, argv, "--tuples", 20000);
+  const std::string out = StringFlag(argc, argv, "--out", "BENCH_net.json");
+
+  SchemaPtr schema = BenchSchema();
+  obs::MetricRegistry registry;
+  net::ServerOptions options;
+  options.metrics = &registry;
+  net::PollutionServer server(options);
+  std::vector<std::string> names;
+  for (int64_t s = 0; s < sessions; ++s) {
+    names.push_back("bench" + std::to_string(s));
+    net::SessionOptions session;
+    session.min_subscribers = static_cast<int>(subscribers);
+    session.max_runs = 1;
+    Status st = server.AddSession(names.back(), schema,
+                                  MakeBenchSession(schema, tuples), session);
+    if (!st.ok()) {
+      std::fprintf(stderr, "AddSession: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> tails;
+  std::vector<uint64_t> received(
+      static_cast<size_t>(sessions * subscribers), 0);
+  for (int64_t s = 0; s < sessions; ++s) {
+    for (int64_t i = 0; i < subscribers; ++i) {
+      const size_t slot = static_cast<size_t>(s * subscribers + i);
+      const std::string name = names[static_cast<size_t>(s)];
+      tails.emplace_back(
+          [&, slot, name] { received[slot] = Drain(server.port(), name); });
+    }
+  }
+  for (std::thread& t : tails) t.join();
+  st = server.Wait();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!st.ok()) {
+    std::fprintf(stderr, "Wait: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  uint64_t fanned_out = 0;
+  for (const uint64_t r : received) fanned_out += r;
+  if (fanned_out !=
+      static_cast<uint64_t>(sessions) * static_cast<uint64_t>(subscribers) *
+          static_cast<uint64_t>(tuples)) {
+    std::fprintf(stderr, "short fan-out: %llu tuples received\n",
+                 static_cast<unsigned long long>(fanned_out));
+    return 1;
+  }
+  const double wall =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  // Merge the per-session send-latency histograms (identical bounds).
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+  uint64_t observations = 0;
+  for (const std::string& name : names) {
+    obs::SessionMetrics metrics = obs::SessionMetrics::Bind(&registry, name);
+    if (bounds.empty()) {
+      bounds = metrics.send_latency->bounds();
+      buckets.assign(bounds.size() + 1, 0);
+    }
+    const std::vector<uint64_t> counts =
+        metrics.send_latency->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) buckets[i] += counts[i];
+    observations += metrics.send_latency->count();
+  }
+
+  const uint64_t bytes_sent =
+      obs::ServerMetrics::Bind(&registry).bytes_sent->value();
+
+  Json latency = Json::MakeObject();
+  latency.Set("observations", Json(static_cast<int64_t>(observations)));
+  latency.Set("p50", Json(MergedQuantile(bounds, buckets, observations, 0.5)));
+  latency.Set("p90", Json(MergedQuantile(bounds, buckets, observations, 0.9)));
+  latency.Set("p99",
+              Json(MergedQuantile(bounds, buckets, observations, 0.99)));
+
+  Json report = Json::MakeObject();
+  report.Set("bench", Json(std::string("net_server_fanout")));
+  report.Set("sessions", Json(sessions));
+  report.Set("subscribers_per_session", Json(subscribers));
+  report.Set("tuples_per_run", Json(tuples));
+  report.Set("wall_seconds", Json(wall));
+  report.Set("tuples_fanned_out", Json(static_cast<int64_t>(fanned_out)));
+  report.Set("fanout_tuples_per_sec",
+             Json(static_cast<double>(fanned_out) / wall));
+  report.Set("bytes_sent", Json(static_cast<int64_t>(bytes_sent)));
+  report.Set("bytes_per_sec", Json(static_cast<double>(bytes_sent) / wall));
+  report.Set("send_latency_seconds", std::move(latency));
+
+  const std::string text = report.DumpPretty() + "\n";
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  std::printf("%s", text.c_str());
+  return 0;
+}

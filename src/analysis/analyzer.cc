@@ -915,9 +915,96 @@ std::string JoinHint(const std::string& prefix,
 }  // namespace
 
 bool LooksLikeServeConfig(const Json& json) {
-  return json.is_object() && json.Has("scenario") && !json.Has("polluters") &&
-         !json.Has("expectations");
+  return json.is_object() &&
+         (json.Has("scenario") || json.Has("sessions")) &&
+         !json.Has("polluters") && !json.Has("expectations");
 }
+
+namespace {
+
+/// Per-session checks shared by both document shapes. `prefix` is ""
+/// for the legacy top-level form or "/sessions/<i>" for an array
+/// entry; `max_runs_key` is "max_sessions" (legacy) or "max_runs".
+void AnalyzeSessionEntry(const Json& entry, const std::string& prefix,
+                         const char* max_runs_key,
+                         const ServeAnalyzeOptions& options,
+                         std::set<std::string>* seen_names,
+                         Diagnostics* diags) {
+  // IW605: the scenario is the one mandatory per-session field.
+  std::string scenario;
+  if (!entry.Has("scenario") ||
+      !entry.Get("scenario").ValueOrDie().is_string() ||
+      entry.GetString("scenario", "").empty()) {
+    diags->AddError("IW605", prefix + "/scenario", "missing scenario name",
+                    JoinHint("one of: ", options.known_scenarios));
+  } else {
+    scenario = entry.GetString("scenario", "");
+    if (!options.known_scenarios.empty()) {
+      bool known = false;
+      for (const std::string& candidate : options.known_scenarios) {
+        if (candidate == scenario) known = true;
+      }
+      if (!known) {
+        diags->AddError("IW605", prefix + "/scenario",
+                        "unknown scenario '" + scenario + "'",
+                        JoinHint("one of: ", options.known_scenarios));
+      }
+    }
+  }
+
+  // IW607: the session name clients subscribe with (defaults to the
+  // scenario). Must be a usable wire id and unique across entries.
+  std::string name = scenario;
+  if (entry.Has("name")) {
+    const Json value = entry.Get("name").ValueOrDie();
+    if (!value.is_string()) {
+      diags->AddError("IW607", prefix + "/name",
+                      "session name must be a string");
+      name.clear();
+    } else if (value.AsString().empty()) {
+      diags->AddError("IW607", prefix + "/name",
+                      "session name must not be empty");
+      name.clear();
+    } else if (value.AsString().size() > 256) {
+      diags->AddError("IW607", prefix + "/name",
+                      "session name of " +
+                          std::to_string(value.AsString().size()) +
+                          " bytes exceeds the 256-byte wire limit");
+      name.clear();
+    } else {
+      name = value.AsString();
+    }
+  }
+  if (!name.empty() && !seen_names->insert(name).second) {
+    diags->AddError("IW607", prefix + "/name",
+                    "duplicate session name '" + name + "'",
+                    "session names must be unique across entries");
+  }
+
+  // IW606: sign/minimum constraints on the per-session numerics.
+  struct Bound {
+    const char* key;
+    int64_t minimum;
+  };
+  for (const Bound& bound : {Bound{"seed", 0}, Bound{"parallelism", 1},
+                             Bound{"min_subscribers", 1},
+                             Bound{max_runs_key, 0}}) {
+    if (!entry.Has(bound.key)) continue;
+    const Json value = entry.Get(bound.key).ValueOrDie();
+    const std::string path = prefix + "/" + bound.key;
+    if (!value.is_number()) {
+      diags->AddError("IW606", path,
+                      std::string(bound.key) + " must be a number");
+    } else if (value.AsInt64() < bound.minimum) {
+      diags->AddError("IW606", path,
+                      std::string(bound.key) + " must be >= " +
+                          std::to_string(bound.minimum) + " (got " +
+                          std::to_string(value.AsInt64()) + ")");
+    }
+  }
+}
+
+}  // namespace
 
 Diagnostics AnalyzeServeConfig(const Json& serve_json,
                                const ServeAnalyzeOptions& options) {
@@ -927,22 +1014,49 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
     return diags;
   }
 
-  // IW605: the scenario is the one mandatory field.
-  if (!serve_json.Has("scenario") ||
-      !serve_json.Get("scenario").ValueOrDie().is_string() ||
-      serve_json.GetString("scenario", "").empty()) {
-    diags.AddError("IW605", "/scenario", "missing scenario name",
-                   JoinHint("one of: ", options.known_scenarios));
-  } else if (!options.known_scenarios.empty()) {
-    const std::string name = serve_json.GetString("scenario", "");
-    bool known = false;
-    for (const std::string& candidate : options.known_scenarios) {
-      if (candidate == name) known = true;
+  const bool has_scenario = serve_json.Has("scenario");
+  const bool has_sessions = serve_json.Has("sessions");
+  // IW608: the two document shapes are mutually exclusive.
+  if (has_scenario && has_sessions) {
+    diags.AddError("IW608", "/sessions",
+                   "use either a top-level \"scenario\" or a \"sessions\" "
+                   "array, not both");
+  }
+
+  std::set<std::string> seen_names;
+  if (has_sessions) {
+    const Json sessions = serve_json.Get("sessions").ValueOrDie();
+    if (!sessions.is_array() || sessions.items().empty()) {
+      diags.AddError("IW608", "/sessions",
+                     "\"sessions\" must be a non-empty array");
+    } else {
+      static const char* kSessionKeys[] = {"name",        "scenario",
+                                           "seed",        "parallelism",
+                                           "min_subscribers", "max_runs"};
+      for (size_t i = 0; i < sessions.items().size(); ++i) {
+        const Json& entry = sessions.items()[i];
+        const std::string prefix = "/sessions/" + std::to_string(i);
+        if (!entry.is_object()) {
+          diags.AddError("IW608", prefix, "session entry must be an object");
+          continue;
+        }
+        AnalyzeSessionEntry(entry, prefix, "max_runs", options, &seen_names,
+                            &diags);
+        for (const auto& field : entry.fields()) {
+          bool known = false;
+          for (const char* key : kSessionKeys) {
+            if (field.first == key) known = true;
+          }
+          if (!known) {
+            diags.AddWarning("IW604", prefix + "/" + field.first,
+                             "unknown session key '" + field.first + "'");
+          }
+        }
+      }
     }
-    if (!known) {
-      diags.AddError("IW605", "/scenario", "unknown scenario '" + name + "'",
-                     JoinHint("one of: ", options.known_scenarios));
-    }
+  } else {
+    AnalyzeSessionEntry(serve_json, "", "max_sessions", options, &seen_names,
+                        &diags);
   }
 
   // IW601: TCP port range.
@@ -992,37 +1106,34 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
     }
   }
 
-  // IW606: sign/minimum constraints on the remaining numerics.
-  struct Bound {
-    const char* key;
-    int64_t minimum;
-  };
-  for (const Bound& bound : {Bound{"seed", 0}, Bound{"parallelism", 1},
-                             Bound{"min_subscribers", 1},
-                             Bound{"max_sessions", 0}}) {
-    if (!serve_json.Has(bound.key)) continue;
-    const Json value = serve_json.Get(bound.key).ValueOrDie();
-    const std::string path = std::string("/") + bound.key;
-    if (!value.is_number()) {
-      diags.AddError("IW606", path,
-                     std::string(bound.key) + " must be a number");
-    } else if (value.AsInt64() < bound.minimum) {
-      diags.AddError("IW606", path,
-                     std::string(bound.key) + " must be >= " +
-                         std::to_string(bound.minimum) + " (got " +
-                         std::to_string(value.AsInt64()) + ")");
+  // IW606: the worker pool must have at least one worker.
+  if (serve_json.Has("workers")) {
+    const Json workers = serve_json.Get("workers").ValueOrDie();
+    if (!workers.is_number()) {
+      diags.AddError("IW606", "/workers", "workers must be a number");
+    } else if (workers.AsInt64() < 1) {
+      diags.AddError("IW606", "/workers",
+                     "workers must be >= 1 (got " +
+                         std::to_string(workers.AsInt64()) + ")");
     }
   }
 
-  // IW604: unknown keys are warnings — likely typos of the above.
-  static const char* kKnownKeys[] = {
-      "scenario",        "host",         "port",
-      "seed",            "parallelism",  "min_subscribers",
-      "max_sessions",    "queue_capacity", "slow_consumer"};
+  // IW604: unknown keys are warnings — likely typos of the above. The
+  // per-session knobs are top-level keys only in the legacy shape.
+  static const char* kServerKeys[] = {"sessions", "host", "port", "workers",
+                                      "queue_capacity", "slow_consumer"};
+  static const char* kLegacyKeys[] = {"scenario", "name", "seed",
+                                      "parallelism", "min_subscribers",
+                                      "max_sessions"};
   for (const auto& entry : serve_json.fields()) {
     bool known = false;
-    for (const char* key : kKnownKeys) {
+    for (const char* key : kServerKeys) {
       if (entry.first == key) known = true;
+    }
+    if (!has_sessions) {
+      for (const char* key : kLegacyKeys) {
+        if (entry.first == key) known = true;
+      }
     }
     if (!known) {
       diags.AddWarning("IW604", "/" + entry.first,

@@ -78,22 +78,31 @@ struct ServeAnalyzeOptions {
   std::vector<std::string> known_policies;
 };
 
-/// \brief Analyzes a serve document {"scenario": ..., "port": ...} — the
-/// config surface of `icewafl_cli serve` (net::ServeConfig). Codes:
+/// \brief Analyzes a serve document — the config surface of
+/// `icewafl_cli serve` (net::ServeConfig), in either shape: a
+/// multi-session {"sessions": [{"name": ..., "scenario": ...}, ...]}
+/// array or the legacy single-session {"scenario": ..., "port": ...}.
+/// Codes:
 ///  - IW601 (error): port outside [0, 65535] or not a number;
 ///  - IW602 (error): unknown slow_consumer policy (hint lists the
 ///    valid names when provided);
 ///  - IW603 (error): queue_capacity < 1 or not a number;
 ///  - IW604 (warning): unknown key (likely a typo);
-///  - IW605 (error): missing or unknown scenario;
-///  - IW606 (error): negative seed / parallelism / min_subscribers /
-///    max_sessions, or parallelism / min_subscribers < 1.
+///  - IW605 (error): missing or unknown scenario (per session entry);
+///  - IW606 (error): negative seed / max_runs (max_sessions in the
+///    legacy shape), parallelism / min_subscribers / workers < 1, or a
+///    non-string host;
+///  - IW607 (error): session name empty, oversized, non-string, or
+///    duplicated across entries;
+///  - IW608 (error): malformed sessions shape — "sessions" not a
+///    non-empty array, an entry not an object, or a document mixing a
+///    top-level "scenario" with a "sessions" array.
 Diagnostics AnalyzeServeConfig(const Json& serve_json,
                                const ServeAnalyzeOptions& options = {});
 
-/// \brief Heuristic: a JSON object that names a scenario but declares no
-/// polluters is a serve config, not a pipeline (used by the lint CLI to
-/// route documents).
+/// \brief Heuristic: a JSON object that names a scenario (or a sessions
+/// array) but declares no polluters is a serve config, not a pipeline
+/// (used by the lint CLI to route documents).
 bool LooksLikeServeConfig(const Json& json);
 
 /// \brief Gate form: OK when the pipeline has no error-severity

@@ -8,6 +8,35 @@
 namespace icewafl {
 namespace net {
 
+namespace {
+
+std::string ContextOf(const std::string& session_id, const std::string& peer) {
+  if (session_id.empty()) return "peer " + peer;
+  return "session '" + session_id + "' at " + peer;
+}
+
+/// Writes the whole buffer (the socket is blocking at this point).
+Status SendAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string StreamClient::Context() const {
+  return ContextOf(session_id_, peer_);
+}
+
 Status StreamClient::ReadFrame(int fd, FrameDecoder* decoder, uint8_t* type,
                                std::string* payload) {
   char buf[64 * 1024];
@@ -29,23 +58,30 @@ Status StreamClient::ReadFrame(int fd, FrameDecoder* decoder, uint8_t* type,
 }
 
 Result<std::unique_ptr<StreamClient>> StreamClient::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, const std::string& session_id) {
+  const std::string peer = host + ":" + std::to_string(port);
+  const std::string context = ContextOf(session_id, peer);
   ICEWAFL_ASSIGN_OR_RETURN(UniqueFd fd, ConnectTcp(host, port));
-  // Handshake: the server's first frame is the stream schema.
+  // Hello: the client speaks first, naming the session it wants.
+  ICEWAFL_RETURN_NOT_OK(
+      SendAll(fd.get(), EncodeSubscribeFrame(kWireVersion, session_id)));
+  // Handshake: the server answers with the session's schema.
   FrameDecoder decoder;
   uint8_t type = 0;
   std::string payload;
   ICEWAFL_RETURN_NOT_OK(ReadFrame(fd.get(), &decoder, &type, &payload));
   if (type == kFrameError) {
-    return Status::IOError("server error during handshake: " + payload);
+    return Status::IOError(context + ": server error during handshake: " +
+                           payload);
   }
   if (type != kFrameSchema) {
-    return Status::ParseError("expected Schema frame in handshake, got type " +
-                              std::to_string(static_cast<int>(type)));
+    return Status::ParseError(
+        context + ": expected Schema frame in handshake, got type " +
+        std::to_string(static_cast<int>(type)));
   }
   ICEWAFL_ASSIGN_OR_RETURN(SchemaPtr schema, DecodeSchemaPayload(payload));
-  auto client = std::unique_ptr<StreamClient>(
-      new StreamClient(std::move(fd), std::move(schema)));
+  auto client = std::unique_ptr<StreamClient>(new StreamClient(
+      std::move(fd), std::move(schema), session_id, peer));
   client->decoder_ = std::move(decoder);  // may hold early tuple bytes
   return client;
 }
@@ -54,7 +90,12 @@ Result<bool> StreamClient::Next(Tuple* out) {
   if (finished_) return false;
   uint8_t type = 0;
   std::string payload;
-  ICEWAFL_RETURN_NOT_OK(ReadFrame(fd_.get(), &decoder_, &type, &payload));
+  Status read = ReadFrame(fd_.get(), &decoder_, &type, &payload);
+  if (!read.ok()) {
+    // Attribute the failure: a bare "connection closed mid-stream" is
+    // useless when one process tails many sessions.
+    return Status(read.code(), Context() + ": " + read.message());
+  }
   switch (type) {
     case kFrameTuple: {
       ICEWAFL_ASSIGN_OR_RETURN(*out, DecodeTuplePayload(payload, schema_));
@@ -67,7 +108,8 @@ Result<bool> StreamClient::Next(Tuple* out) {
       fd_.Reset();
       if (reported_total_ != tuples_received_) {
         return Status::IOError(
-            "stream ended after " + std::to_string(tuples_received_) +
+            Context() + ": stream ended after " +
+            std::to_string(tuples_received_) +
             " tuples but the server reported " +
             std::to_string(reported_total_));
       }
@@ -76,11 +118,12 @@ Result<bool> StreamClient::Next(Tuple* out) {
     case kFrameError:
       finished_ = true;
       fd_.Reset();
-      return Status::IOError("server error: " + payload);
+      return Status::IOError(Context() + ": server error: " + payload);
     case kFrameSchema:
-      return Status::ParseError("unexpected mid-stream Schema frame");
+      return Status::ParseError(Context() +
+                                ": unexpected mid-stream Schema frame");
     default:
-      return Status::ParseError("unknown frame type " +
+      return Status::ParseError(Context() + ": unknown frame type " +
                                 std::to_string(static_cast<int>(type)));
   }
 }

@@ -15,18 +15,24 @@ namespace net {
 
 /// \brief TCP subscriber to a PollutionServer — a network-backed Source.
 ///
-/// Connect() dials the server and performs the handshake (the first
-/// frame must be the stream's Schema). After that the client is an
-/// ordinary pull-based Source: Next() blocks for the next Tuple frame,
-/// returns false at the End frame, and surfaces every abnormal
-/// condition — a server-sent Error frame, a mid-stream disconnect, or a
-/// malformed frame — as a Status. One client consumes exactly one
-/// session; it does not reconnect.
+/// Connect() dials the server, sends the Subscribe hello (wire version
+/// + session id), and performs the handshake (the server answers with
+/// the session's Schema frame, or an Error frame for an unknown
+/// session or version mismatch). After that the client is an ordinary
+/// pull-based Source: Next() blocks for the next Tuple frame, returns
+/// false at the End frame, and surfaces every abnormal condition — a
+/// server-sent Error frame, a mid-stream disconnect, or a malformed
+/// frame — as a Status. Every error status identifies the session and
+/// the peer address, so a multi-tenant failure is attributable. One
+/// client consumes exactly one run; it does not reconnect.
 class StreamClient : public Source {
  public:
-  /// \brief Dials host:port and completes the schema handshake.
-  static Result<std::unique_ptr<StreamClient>> Connect(const std::string& host,
-                                                       uint16_t port);
+  /// \brief Dials host:port, subscribes to `session_id`, and completes
+  /// the schema handshake. An empty session id subscribes to the
+  /// server's sole session (single-session deployments).
+  static Result<std::unique_ptr<StreamClient>> Connect(
+      const std::string& host, uint16_t port,
+      const std::string& session_id = "");
 
   SchemaPtr schema() const override { return schema_; }
 
@@ -41,16 +47,32 @@ class StreamClient : public Source {
   /// Next() has returned false).
   uint64_t reported_total() const { return reported_total_; }
 
+  /// \brief The session id this client subscribed with (possibly "").
+  const std::string& session_id() const { return session_id_; }
+
+  /// \brief The server address as "host:port".
+  const std::string& peer() const { return peer_; }
+
  private:
-  StreamClient(UniqueFd fd, SchemaPtr schema)
-      : fd_(std::move(fd)), schema_(std::move(schema)) {}
+  StreamClient(UniqueFd fd, SchemaPtr schema, std::string session_id,
+               std::string peer)
+      : fd_(std::move(fd)),
+        schema_(std::move(schema)),
+        session_id_(std::move(session_id)),
+        peer_(std::move(peer)) {}
 
   /// Blocks until one complete frame is available (or the peer closes).
   static Status ReadFrame(int fd, FrameDecoder* decoder, uint8_t* type,
                           std::string* payload);
 
+  /// "session '<id>' at <host>:<port>" (or "peer <host>:<port>" when
+  /// no session id was given) — the prefix of every error status.
+  std::string Context() const;
+
   UniqueFd fd_;
   SchemaPtr schema_;
+  std::string session_id_;
+  std::string peer_;
   FrameDecoder decoder_;
   bool finished_ = false;
   uint64_t tuples_received_ = 0;

@@ -1,5 +1,7 @@
 #include "net/serve_config.h"
 
+#include "net/wire.h"
+
 namespace icewafl {
 namespace net {
 
@@ -7,34 +9,137 @@ namespace {
 
 /// A present key of the wrong JSON type must fail loudly, not fall back
 /// to the default — the lint flags it, so the parser must refuse it.
-Status RequireType(const Json& json, const std::string& key, bool want_string) {
+Status RequireType(const Json& json, const std::string& key, bool want_string,
+                   const std::string& where) {
   if (!json.Has(key)) return Status::OK();
   ICEWAFL_ASSIGN_OR_RETURN(Json field, json.Get(key));
   const bool ok = want_string ? field.is_string() : field.is_number();
   if (!ok) {
-    return Status::InvalidArgument("serve config: \"" + key + "\" must be a " +
+    return Status::InvalidArgument("serve config: " + where + "\"" + key +
+                                   "\" must be a " +
                                    (want_string ? "string" : "number"));
   }
   return Status::OK();
 }
 
+/// Parses one session entry. `where` is "" (legacy top-level form) or
+/// "sessions[i]: " for error attribution; `max_runs_key` differs
+/// between the two shapes ("max_sessions" legacy, "max_runs" v2).
+Result<SessionConfig> ParseSession(const Json& json, const std::string& where,
+                                   const std::string& max_runs_key) {
+  for (const char* key : {"name", "scenario"}) {
+    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/true, where));
+  }
+  for (const std::string& key :
+       {std::string("seed"), std::string("parallelism"),
+        std::string("min_subscribers"), max_runs_key}) {
+    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/false, where));
+  }
+  SessionConfig session;
+  session.scenario = json.GetString("scenario", "");
+  if (session.scenario.empty()) {
+    return Status::InvalidArgument("serve config: " + where +
+                                   "missing \"scenario\"");
+  }
+  session.name = json.GetString("name", session.scenario);
+  if (session.name.empty()) {
+    return Status::InvalidArgument("serve config: " + where +
+                                   "\"name\" must not be empty");
+  }
+  if (session.name.size() > kMaxSessionIdBytes) {
+    return Status::InvalidArgument(
+        "serve config: " + where + "\"name\" of " +
+        std::to_string(session.name.size()) + " bytes exceeds the limit of " +
+        std::to_string(kMaxSessionIdBytes));
+  }
+  const int64_t seed =
+      json.GetInt("seed", static_cast<int64_t>(session.seed));
+  if (seed < 0) {
+    return Status::InvalidArgument("serve config: " + where +
+                                   "seed must be >= 0");
+  }
+  session.seed = static_cast<uint64_t>(seed);
+  session.parallelism =
+      static_cast<int>(json.GetInt("parallelism", session.parallelism));
+  if (session.parallelism < 1) {
+    return Status::InvalidArgument("serve config: " + where +
+                                   "parallelism must be >= 1");
+  }
+  session.min_subscribers = static_cast<int>(
+      json.GetInt("min_subscribers", session.min_subscribers));
+  if (session.min_subscribers < 1) {
+    return Status::InvalidArgument("serve config: " + where +
+                                   "min_subscribers must be >= 1");
+  }
+  const int64_t max_runs =
+      json.GetInt(max_runs_key, static_cast<int64_t>(session.max_runs));
+  if (max_runs < 0) {
+    return Status::InvalidArgument("serve config: " + where + max_runs_key +
+                                   " must be >= 0");
+  }
+  session.max_runs = static_cast<uint64_t>(max_runs);
+  return session;
+}
+
 }  // namespace
+
+SessionOptions SessionConfig::ToSessionOptions() const {
+  SessionOptions options;
+  options.min_subscribers = min_subscribers;
+  options.max_runs = max_runs;
+  return options;
+}
 
 Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
   if (!json.is_object()) {
     return Status::ParseError("serve config must be a JSON object");
   }
-  for (const char* key : {"scenario", "host", "slow_consumer"}) {
-    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/true));
+  const bool has_scenario = json.Has("scenario");
+  const bool has_sessions = json.Has("sessions");
+  if (has_scenario && has_sessions) {
+    return Status::InvalidArgument(
+        "serve config: use either a top-level \"scenario\" or a "
+        "\"sessions\" array, not both");
   }
-  for (const char* key : {"port", "seed", "parallelism", "min_subscribers",
-                          "max_sessions", "queue_capacity"}) {
-    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/false));
+  if (!has_scenario && !has_sessions) {
+    return Status::InvalidArgument(
+        "serve config: missing \"scenario\" (or a \"sessions\" array)");
+  }
+  for (const char* key : {"host", "slow_consumer"}) {
+    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/true, ""));
+  }
+  for (const char* key : {"port", "workers", "queue_capacity"}) {
+    ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/false, ""));
   }
   ServeConfig config;
-  config.scenario = json.GetString("scenario", "");
-  if (config.scenario.empty()) {
-    return Status::InvalidArgument("serve config: missing \"scenario\"");
+  if (has_sessions) {
+    ICEWAFL_ASSIGN_OR_RETURN(Json sessions, json.Get("sessions"));
+    if (!sessions.is_array() || sessions.items().empty()) {
+      return Status::InvalidArgument(
+          "serve config: \"sessions\" must be a non-empty array");
+    }
+    for (size_t i = 0; i < sessions.items().size(); ++i) {
+      const Json& entry = sessions.items()[i];
+      const std::string where = "sessions[" + std::to_string(i) + "]: ";
+      if (!entry.is_object()) {
+        return Status::InvalidArgument("serve config: " + where +
+                                       "entry must be an object");
+      }
+      ICEWAFL_ASSIGN_OR_RETURN(SessionConfig session,
+                               ParseSession(entry, where, "max_runs"));
+      for (const SessionConfig& prior : config.sessions) {
+        if (prior.name == session.name) {
+          return Status::InvalidArgument("serve config: " + where +
+                                         "duplicate session name '" +
+                                         session.name + "'");
+        }
+      }
+      config.sessions.push_back(std::move(session));
+    }
+  } else {
+    ICEWAFL_ASSIGN_OR_RETURN(SessionConfig session,
+                             ParseSession(json, "", "max_sessions"));
+    config.sessions.push_back(std::move(session));
   }
   config.host = json.GetString("host", config.host);
   const int64_t port = json.GetInt("port", 0);
@@ -44,37 +149,19 @@ Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
                                    " outside [0, 65535]");
   }
   config.port = static_cast<uint16_t>(port);
-  const int64_t seed = json.GetInt("seed", static_cast<int64_t>(config.seed));
-  if (seed < 0) {
-    return Status::InvalidArgument("serve config: seed must be >= 0");
+  config.workers = static_cast<int>(json.GetInt("workers", config.workers));
+  if (config.workers < 1) {
+    return Status::InvalidArgument("serve config: workers must be >= 1");
   }
-  config.seed = static_cast<uint64_t>(seed);
-  config.parallelism =
-      static_cast<int>(json.GetInt("parallelism", config.parallelism));
-  if (config.parallelism < 1) {
-    return Status::InvalidArgument("serve config: parallelism must be >= 1");
-  }
-  config.min_subscribers =
-      static_cast<int>(json.GetInt("min_subscribers", config.min_subscribers));
-  if (config.min_subscribers < 1) {
-    return Status::InvalidArgument(
-        "serve config: min_subscribers must be >= 1");
-  }
-  const int64_t max_sessions =
-      json.GetInt("max_sessions", static_cast<int64_t>(config.max_sessions));
-  if (max_sessions < 0) {
-    return Status::InvalidArgument("serve config: max_sessions must be >= 0");
-  }
-  config.max_sessions = static_cast<uint64_t>(max_sessions);
-  const int64_t capacity =
-      json.GetInt("queue_capacity", static_cast<int64_t>(config.queue_capacity));
+  const int64_t capacity = json.GetInt(
+      "queue_capacity", static_cast<int64_t>(config.queue_capacity));
   if (capacity < 1) {
     return Status::InvalidArgument(
         "serve config: queue_capacity must be >= 1");
   }
   config.queue_capacity = static_cast<size_t>(capacity);
-  const std::string policy =
-      json.GetString("slow_consumer", SlowConsumerPolicyName(config.slow_consumer));
+  const std::string policy = json.GetString(
+      "slow_consumer", SlowConsumerPolicyName(config.slow_consumer));
   ICEWAFL_ASSIGN_OR_RETURN(config.slow_consumer,
                            SlowConsumerPolicyFromName(policy));
   return config;
@@ -82,24 +169,34 @@ Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
 
 Json ServeConfig::ToJson() const {
   Json json = Json::MakeObject();
-  json.Set("scenario", Json(scenario));
+  Json entries = Json::MakeArray();
+  for (const SessionConfig& session : sessions) {
+    Json entry = Json::MakeObject();
+    entry.Set("name", Json(session.name));
+    entry.Set("scenario", Json(session.scenario));
+    entry.Set("seed", Json(static_cast<int64_t>(session.seed)));
+    entry.Set("parallelism", Json(static_cast<int64_t>(session.parallelism)));
+    entry.Set("min_subscribers",
+              Json(static_cast<int64_t>(session.min_subscribers)));
+    entry.Set("max_runs", Json(static_cast<int64_t>(session.max_runs)));
+    entries.Append(std::move(entry));
+  }
+  json.Set("sessions", std::move(entries));
   json.Set("host", Json(host));
   json.Set("port", Json(static_cast<int64_t>(port)));
-  json.Set("seed", Json(static_cast<int64_t>(seed)));
-  json.Set("parallelism", Json(static_cast<int64_t>(parallelism)));
-  json.Set("min_subscribers", Json(static_cast<int64_t>(min_subscribers)));
-  json.Set("max_sessions", Json(static_cast<int64_t>(max_sessions)));
+  json.Set("workers", Json(static_cast<int64_t>(workers)));
   json.Set("queue_capacity", Json(static_cast<int64_t>(queue_capacity)));
-  json.Set("slow_consumer", Json(std::string(SlowConsumerPolicyName(slow_consumer))));
+  json.Set("slow_consumer",
+           Json(std::string(SlowConsumerPolicyName(slow_consumer))));
   return json;
 }
 
-ServerOptions ServeConfig::ToServerOptions(obs::MetricRegistry* metrics) const {
+ServerOptions ServeConfig::ToServerOptions(
+    obs::MetricRegistry* metrics) const {
   ServerOptions options;
   options.host = host;
   options.port = port;
-  options.min_subscribers = min_subscribers;
-  options.max_sessions = max_sessions;
+  options.workers = workers;
   options.queue_capacity = queue_capacity;
   options.slow_consumer = slow_consumer;
   options.metrics = metrics;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/server.h"
 #include "util/json.h"
@@ -11,21 +12,42 @@
 namespace icewafl {
 namespace net {
 
-/// \brief Declarative configuration of `icewafl_cli serve` — one JSON
-/// document (or the equivalent flag set) naming the scenario to pollute
-/// and how to serve it. The same document is what
-/// `analysis::AnalyzeServeConfig` lints (IW601..IW606), so a config
-/// rejected by `icewafl_cli lint` is exactly one `serve` would refuse.
-struct ServeConfig {
+/// \brief One named session entry of a serve document: which scenario
+/// to pollute, how, and when its runs start and stop.
+struct SessionConfig {
+  /// Session id clients subscribe with; defaults to the scenario name.
+  std::string name;
   std::string scenario;
-  std::string host = "127.0.0.1";
-  /// 0 binds an ephemeral port (printed at startup).
-  uint16_t port = 0;
   uint64_t seed = 42;
   int parallelism = 1;
   int min_subscribers = 1;
-  /// 0 = serve sessions until stopped.
-  uint64_t max_sessions = 0;
+  /// Pipeline runs before the session retires; 0 = until stopped.
+  uint64_t max_runs = 0;
+
+  /// \brief Per-session server options for this entry.
+  SessionOptions ToSessionOptions() const;
+};
+
+/// \brief Declarative configuration of `icewafl_cli serve` — one JSON
+/// document (or the equivalent flag set) naming the sessions to host
+/// and how to serve them. The same document is what
+/// `analysis::AnalyzeServeConfig` lints (IW601..IW608), so a config
+/// rejected by `icewafl_cli lint` is exactly one `serve` would refuse.
+///
+/// Two document shapes parse:
+///  - multi-session: a `sessions` array of named scenario entries
+///    (canonical — ToJson() always emits this form);
+///  - legacy single-session: a top-level `scenario` plus the per-
+///    session knobs (`seed`, `parallelism`, `min_subscribers`,
+///    `max_sessions` — the pre-v2 name of `max_runs`).
+/// A document using both shapes at once is rejected.
+struct ServeConfig {
+  std::vector<SessionConfig> sessions;
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (printed at startup).
+  uint16_t port = 0;
+  /// Worker-pool size driving all sessions' pipelines.
+  int workers = 2;
   size_t queue_capacity = 256;
   SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
 
@@ -34,11 +56,10 @@ struct ServeConfig {
   /// advisory lint.
   static Result<ServeConfig> FromJson(const Json& json);
 
-  /// \brief Canonical JSON form (what the CLI lints when serve is
-  /// configured through flags).
+  /// \brief Canonical JSON form (always the `sessions` array shape).
   Json ToJson() const;
 
-  /// \brief Server options for this config; `metrics` may be null.
+  /// \brief Server-wide options for this config; `metrics` may be null.
   ServerOptions ToServerOptions(obs::MetricRegistry* metrics) const;
 };
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -16,9 +17,9 @@ namespace net {
 
 namespace {
 
-/// Upper bound on a connection's write buffer before the network thread
-/// stops refilling it from the frame queue (backpressure then builds in
-/// the bounded queue, where the slow-consumer policy applies).
+/// Upper bound on a connection's write buffer before the reactor stops
+/// refilling it from the frame queue (backpressure then builds in the
+/// bounded queue, where the slow-consumer policy applies).
 constexpr size_t kMaxOutbufBytes = 256 * 1024;
 
 /// Grace period for flushing connected subscribers during Wait(); an
@@ -57,13 +58,15 @@ const std::vector<std::string>& SlowConsumerPolicyNames() {
 }
 
 // ---------------------------------------------------------------------
-// Fan-out sink: runs on the session thread inside the pipeline runtime.
+// Fan-out sink: runs on a worker thread inside the pipeline runtime.
 // ---------------------------------------------------------------------
 
 class PollutionServer::FanoutSink : public Sink {
  public:
-  FanoutSink(PollutionServer* server, std::vector<ClientPtr> subscribers)
+  FanoutSink(PollutionServer* server, Session* session,
+             std::vector<ConnPtr> subscribers)
       : server_(server),
+        session_(session),
         subscribers_(std::move(subscribers)),
         open_(subscribers_.size(), true) {}
 
@@ -75,15 +78,19 @@ class PollutionServer::FanoutSink : public Sink {
       if (server_->stop_requested_) {
         return Status::IOError("server stopping");
       }
+      if (session_->stop_requested) {
+        return Status::IOError("session '" + session_->id + "' stopped");
+      }
     }
     // Encode once; every subscriber queue shares the same frame bytes.
     auto frame =
         std::make_shared<const std::string>(EncodeTupleFrame(tuple));
     for (size_t i = 0; i < subscribers_.size(); ++i) {
       if (!open_[i]) continue;
-      if (server_->EnqueueFrame(subscribers_[i], frame)) {
-        if (server_->metrics_.tuples_sent != nullptr) {
-          server_->metrics_.tuples_sent->Increment();
+      if (server_->EnqueueFrame(subscribers_[i], frame,
+                                session_->metrics)) {
+        if (session_->metrics.tuples_sent != nullptr) {
+          session_->metrics.tuples_sent->Increment();
         }
       } else {
         open_[i] = false;  // disconnected or cut by policy
@@ -93,49 +100,110 @@ class PollutionServer::FanoutSink : public Sink {
     return Status::OK();
   }
 
-  /// \brief Tuples the session produced (End-frame payload).
+  /// \brief Tuples the run produced (End-frame payload).
   uint64_t count() const { return count_; }
 
-  const std::vector<ClientPtr>& subscribers() const { return subscribers_; }
+  const std::vector<ConnPtr>& subscribers() const { return subscribers_; }
   bool open(size_t i) const { return open_[i]; }
 
  private:
   PollutionServer* server_;
-  std::vector<ClientPtr> subscribers_;
+  Session* session_;
+  std::vector<ConnPtr> subscribers_;
   std::vector<bool> open_;
   uint64_t count_ = 0;
 };
 
 // ---------------------------------------------------------------------
-// Server
+// Lifecycle
 // ---------------------------------------------------------------------
 
-PollutionServer::PollutionServer(SchemaPtr schema, SessionFn session,
-                                 ServerOptions options)
-    : schema_(std::move(schema)),
-      session_(std::move(session)),
-      options_(std::move(options)) {}
+PollutionServer::PollutionServer(ServerOptions options)
+    : options_(std::move(options)) {}
 
 PollutionServer::~PollutionServer() {
   RequestStop();
-  if (session_thread_.joinable()) session_thread_.join();
-  if (net_thread_.joinable()) net_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+}
+
+Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
+                                   SessionFn fn, SessionOptions options) {
+  if (id.empty()) {
+    return Status::InvalidArgument("session id must not be empty");
+  }
+  if (id.size() > kMaxSessionIdBytes) {
+    return Status::InvalidArgument(
+        "session id of " + std::to_string(id.size()) +
+        " bytes exceeds the limit of " + std::to_string(kMaxSessionIdBytes));
+  }
+  if (schema == nullptr) {
+    return Status::InvalidArgument("session '" + id + "' needs a schema");
+  }
+  if (fn == nullptr) {
+    return Status::InvalidArgument("session '" + id + "' needs a session fn");
+  }
+  if (options.min_subscribers < 1) options.min_subscribers = 1;
+  auto session = std::make_shared<Session>();
+  session->id = id;
+  session->schema = std::move(schema);
+  session->fn = std::move(fn);
+  session->options = options;
+  session->schema_frame = EncodeSchemaFrame(*session->schema);
+  session->metrics = obs::SessionMetrics::Bind(options_.metrics, id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_ || draining_) {
+      return Status::IOError("server is shutting down");
+    }
+    for (const SessionPtr& s : sessions_) {
+      if (s->id == id) {
+        return Status::AlreadyExists("session '" + id + "' already exists");
+      }
+    }
+    sessions_.push_back(std::move(session));
+  }
+  return Status::OK();
+}
+
+Status PollutionServer::StopSession(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionPtr session;
+    for (const SessionPtr& s : sessions_) {
+      if (s->id == id) {
+        session = s;
+        break;
+      }
+    }
+    if (session == nullptr) {
+      return Status::NotFound("no session named '" + id + "'");
+    }
+    if (session->state == Session::State::kRetired) return Status::OK();
+    session->stop_requested = true;
+    if (session->state == Session::State::kWaiting ||
+        session->state == Session::State::kQueued) {
+      // A queued entry stays in run_queue_; the worker that pops it
+      // skips it because the state is no longer kQueued.
+      RetireLocked(session, "session '" + id + "' stopped");
+    }
+    // kRunning: the worker's sink aborts at its next Write and the run
+    // epilogue retires the session.
+  }
+  cv_.notify_all();
+  wake_.Poke();
+  return Status::OK();
 }
 
 Status PollutionServer::Start() {
-  if (schema_ == nullptr) {
-    return Status::InvalidArgument("PollutionServer needs a schema");
-  }
-  if (session_ == nullptr) {
-    return Status::InvalidArgument("PollutionServer needs a session fn");
-  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (started_) return Status::AlreadyExists("server already started");
   }
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
-  if (options_.min_subscribers < 1) options_.min_subscribers = 1;
-  schema_frame_ = EncodeSchemaFrame(*schema_);
+  if (options_.workers < 1) options_.workers = 1;
   ICEWAFL_ASSIGN_OR_RETURN(wake_, WakePipe::Make());
   ICEWAFL_ASSIGN_OR_RETURN(
       listen_fd_,
@@ -146,8 +214,11 @@ Status PollutionServer::Start() {
     started_ = true;
     accepting_ = true;
   }
-  net_thread_ = std::thread(&PollutionServer::NetLoop, this);
-  session_thread_ = std::thread(&PollutionServer::SessionLoop, this);
+  reactor_thread_ = std::thread(&PollutionServer::ReactorLoop, this);
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back(&PollutionServer::WorkerLoop, this);
+  }
   return Status::OK();
 }
 
@@ -156,56 +227,173 @@ void PollutionServer::RequestStop() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_requested_ = true;
     accepting_ = false;
-    for (const ClientPtr& c : clients_) c->queue->Poison();
+    for (const ConnPtr& c : conns_) c->queue->Poison();
   }
   cv_.notify_all();
   wake_.Poke();
 }
 
 Status PollutionServer::Wait() {
-  if (session_thread_.joinable()) session_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      if (stop_requested_) return true;
+      if (sessions_.empty()) return false;
+      for (const SessionPtr& s : sessions_) {
+        if (s->state != Session::State::kRetired) return false;
+      }
+      return true;
+    });
     draining_ = true;
     accepting_ = false;
-    // Late joiners that never saw a session get a courteous error frame
-    // before their connection is flushed and closed.
+    // Connections that never subscribed (or are racing the shutdown)
+    // get a courteous error frame before being flushed and closed.
     auto bye = std::make_shared<const std::string>(
         EncodeErrorFrame("server shutting down"));
-    for (const ClientPtr& c : clients_) {
-      if (!c->in_session) {
-        (void)c->queue->TryPush(
-            {bye, std::chrono::steady_clock::now()});
+    for (const ConnPtr& c : conns_) {
+      if (!c->queue->closed()) {
+        (void)c->queue->TryPush({bye, std::chrono::steady_clock::now()});
         c->queue->Close();
       }
     }
   }
   cv_.notify_all();
   wake_.Poke();
-  if (net_thread_.joinable()) net_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (reactor_thread_.joinable()) reactor_thread_.join();
   std::lock_guard<std::mutex> lock(mu_);
   return first_error_;
 }
 
 size_t PollutionServer::clients_connected() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return clients_.size();
+  return conns_.size();
 }
 
+std::vector<std::string> PollutionServer::session_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const SessionPtr& s : sessions_) ids.push_back(s->id);
+  return ids;
+}
+
+// ---------------------------------------------------------------------
+// Session scheduling (worker pool)
+// ---------------------------------------------------------------------
+
+void PollutionServer::ScheduleReadyLocked() {
+  for (const SessionPtr& s : sessions_) {
+    if (s->state != Session::State::kWaiting || s->stop_requested) continue;
+    if (static_cast<int>(s->waiting.size()) < s->options.min_subscribers) {
+      continue;
+    }
+    s->state = Session::State::kQueued;
+    run_queue_.push_back(s);
+  }
+}
+
+void PollutionServer::RetireLocked(const SessionPtr& session,
+                                   const std::string& reason) {
+  session->state = Session::State::kRetired;
+  if (session->waiting.empty()) return;
+  auto bye = std::make_shared<const std::string>(EncodeErrorFrame(reason));
+  for (const ConnPtr& conn : session->waiting) {
+    // A waiting subscriber's queue is empty, so the push cannot be
+    // rejected for capacity.
+    (void)conn->queue->TryPush({bye, std::chrono::steady_clock::now()});
+    conn->queue->Close();
+  }
+  session->waiting.clear();
+}
+
+void PollutionServer::WorkerLoop() {
+  while (true) {
+    SessionPtr session;
+    std::vector<ConnPtr> participants;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_requested_ || draining_ || !run_queue_.empty();
+      });
+      if (stop_requested_ || run_queue_.empty()) break;
+      session = run_queue_.front();
+      run_queue_.pop_front();
+      // Retired while queued (StopSession raced the pop).
+      if (session->state != Session::State::kQueued) continue;
+      session->state = Session::State::kRunning;
+      participants.swap(session->waiting);
+      for (const ConnPtr& c : participants) c->in_run = true;
+    }
+    RunSession(session, std::move(participants));
+  }
+}
+
+void PollutionServer::RunSession(const SessionPtr& session,
+                                 std::vector<ConnPtr> participants) {
+  FanoutSink sink(this, session.get(), std::move(participants));
+  Status status = session->fn(&sink);
+
+  // Terminate every participating stream: End on success, Error on a
+  // run failure, then close the queues so the reactor flushes and
+  // hangs up.
+  auto tail = std::make_shared<const std::string>(
+      status.ok() ? EncodeEndFrame(sink.count())
+                  : EncodeErrorFrame(status.ToString()));
+  for (size_t i = 0; i < sink.subscribers().size(); ++i) {
+    if (sink.open(i)) {
+      (void)EnqueueFrame(sink.subscribers()[i], tail, session->metrics);
+    }
+    sink.subscribers()[i]->queue->Close();
+  }
+  wake_.Poke();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++session->runs;
+    if (session->metrics.runs != nullptr) session->metrics.runs->Increment();
+    runs_completed_.fetch_add(1, std::memory_order_relaxed);
+    // A stop-triggered abort (global or per-session) is not a failure.
+    if (!status.ok() && !stop_requested_ && !session->stop_requested &&
+        first_error_.ok()) {
+      first_error_ = status;
+    }
+    const bool done = session->stop_requested ||
+                      (session->options.max_runs != 0 &&
+                       session->runs >= session->options.max_runs);
+    if (done) {
+      RetireLocked(session, "session '" + session->id + "' has ended");
+    } else {
+      session->state = Session::State::kWaiting;
+      // Late joiners may already satisfy min_subscribers.
+      ScheduleReadyLocked();
+    }
+  }
+  cv_.notify_all();
+  wake_.Poke();
+}
+
+// ---------------------------------------------------------------------
+// Fan-out enqueue (slow-consumer policies)
+// ---------------------------------------------------------------------
+
 bool PollutionServer::EnqueueFrame(
-    const ClientPtr& client, const std::shared_ptr<const std::string>& frame) {
+    const ConnPtr& conn, const std::shared_ptr<const std::string>& frame,
+    const obs::SessionMetrics& metrics) {
   QueuedFrame qf{frame, std::chrono::steady_clock::now()};
   switch (options_.slow_consumer) {
     case SlowConsumerPolicy::kBlock: {
       // Blocking push: backpressure propagates into the pipeline
       // runtime, which is exactly the contract of this policy.
-      if (!client->queue->Push(std::move(qf))) return false;
+      if (!conn->queue->Push(std::move(qf))) return false;
       wake_.Poke();
       return true;
     }
     case SlowConsumerPolicy::kDropOldest: {
       while (true) {
-        switch (client->queue->TryPush(qf)) {
+        switch (conn->queue->TryPush(qf)) {
           case FrameQueue::PushResult::kOk:
             wake_.Poke();
             return true;
@@ -213,9 +401,9 @@ bool PollutionServer::EnqueueFrame(
             return false;
           case FrameQueue::PushResult::kFull: {
             QueuedFrame discard;
-            if (client->queue->TryPop(&discard) &&
-                metrics_.slow_drops != nullptr) {
-              metrics_.slow_drops->Increment();
+            if (conn->queue->TryPop(&discard) &&
+                metrics.slow_drops != nullptr) {
+              metrics.slow_drops->Increment();
             }
             break;  // retry the push
           }
@@ -223,7 +411,7 @@ bool PollutionServer::EnqueueFrame(
       }
     }
     case SlowConsumerPolicy::kDisconnect: {
-      switch (client->queue->TryPush(std::move(qf))) {
+      switch (conn->queue->TryPush(std::move(qf))) {
         case FrameQueue::PushResult::kOk:
           wake_.Poke();
           return true;
@@ -235,11 +423,11 @@ bool PollutionServer::EnqueueFrame(
       // Queue full: cut the slow consumer loose.
       {
         std::lock_guard<std::mutex> lock(mu_);
-        client->kill = true;
+        conn->kill = true;
       }
-      client->queue->Poison();
-      if (metrics_.slow_disconnects != nullptr) {
-        metrics_.slow_disconnects->Increment();
+      conn->queue->Poison();
+      if (metrics.slow_disconnects != nullptr) {
+        metrics.slow_disconnects->Increment();
       }
       wake_.Poke();
       return false;
@@ -248,115 +436,168 @@ bool PollutionServer::EnqueueFrame(
   return false;
 }
 
-void PollutionServer::SessionLoop() {
-  while (true) {
-    std::vector<ClientPtr> participants;
+// ---------------------------------------------------------------------
+// Reactor (event loop; single thread owns outbuf/decoder per conn)
+// ---------------------------------------------------------------------
+
+void PollutionServer::HandleSubscribe(const ConnPtr& conn,
+                                      const std::string& payload) {
+  // Rejections are answered on the spot: an Error frame into the write
+  // buffer (the reactor owns it), then flush-and-close.
+  auto reject = [&](const std::string& message) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        if (stop_requested_ || draining_) return true;
-        int waiting = 0;
-        for (const ClientPtr& c : clients_) {
-          if (!c->in_session && !c->kill) ++waiting;
-        }
-        return waiting >= options_.min_subscribers;
-      });
-      if (stop_requested_ || draining_) break;
-      for (const ClientPtr& c : clients_) {
-        if (!c->in_session && !c->kill) {
-          c->in_session = true;
-          participants.push_back(c);
-        }
+      std::lock_guard<std::mutex> lock(mu_);
+      conn->state = Connection::State::kClosing;
+    }
+    conn->outbuf.append(EncodeErrorFrame(message));
+  };
+
+  Result<SubscribeRequest> request = DecodeSubscribePayload(payload);
+  if (!request.ok()) {
+    reject("bad subscribe frame: " + request.status().ToString());
+    return;
+  }
+  const SubscribeRequest& hello = request.ValueOrDie();
+  if (hello.version != kWireVersion) {
+    reject("unsupported wire version " + std::to_string(hello.version) +
+           " (server speaks " + std::to_string(kWireVersion) + ")");
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string available;
+  for (const SessionPtr& s : sessions_) {
+    if (!available.empty()) available += ", ";
+    available += s->id;
+  }
+  SessionPtr session;
+  if (hello.session_id.empty()) {
+    // Convenience for single-session deployments: an empty id means
+    // "the sole session". Ambiguous otherwise.
+    if (sessions_.size() == 1) {
+      session = sessions_.front();
+    } else {
+      lock.unlock();
+      reject(sessions_.empty()
+                 ? "no sessions registered"
+                 : "subscribe must name one of the sessions: " + available);
+      return;
+    }
+  } else {
+    for (const SessionPtr& s : sessions_) {
+      if (s->id == hello.session_id) {
+        session = s;
+        break;
       }
     }
-    if (metrics_.sessions != nullptr) metrics_.sessions->Increment();
-
-    FanoutSink sink(this, std::move(participants));
-    Status status = session_(&sink);
-
-    // Terminate every participating stream: End on success, Error on a
-    // session failure, then close the queues so the network thread
-    // flushes and hangs up.
-    auto tail = std::make_shared<const std::string>(
-        status.ok() ? EncodeEndFrame(sink.count())
-                    : EncodeErrorFrame(status.ToString()));
-    for (size_t i = 0; i < sink.subscribers().size(); ++i) {
-      if (sink.open(i)) (void)EnqueueFrame(sink.subscribers()[i], tail);
-      sink.subscribers()[i]->queue->Close();
-    }
-    wake_.Poke();
-
-    if (!status.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      // A stop-triggered abort is not a session failure.
-      if (!stop_requested_ && first_error_.ok()) first_error_ = status;
-    }
-    const uint64_t served =
-        sessions_served_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (options_.max_sessions != 0 && served >= options_.max_sessions) break;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stop_requested_) break;
+    if (session == nullptr) {
+      lock.unlock();
+      reject("unknown session '" + hello.session_id + "'" +
+             (available.empty() ? " (no sessions registered)"
+                                : " (available: " + available + ")"));
+      return;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    session_thread_done_ = true;
+  if (session->state == Session::State::kRetired) {
+    lock.unlock();
+    reject("session '" + session->id + "' has ended");
+    return;
   }
-  cv_.notify_all();
-  wake_.Poke();
+
+  conn->state = Connection::State::kStreaming;
+  conn->session = session;
+  conn->send_latency = session->metrics.send_latency;
+  conn->outbuf.append(session->schema_frame);
+  session->waiting.push_back(conn);
+  ScheduleReadyLocked();
+  lock.unlock();
+  cv_.notify_all();  // a run may now have enough subscribers
 }
 
-bool PollutionServer::ServiceClient(const ClientPtr& client) {
+bool PollutionServer::ServiceConn(const ConnPtr& conn) {
+  Connection::State state;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (client->kill) {
-      client->queue->Poison();
+    if (conn->kill) {
+      conn->queue->Poison();
       return false;
     }
+    state = conn->state;
   }
-  // Inbound direction: the protocol is one-way, so reads only detect
-  // peer close (n == 0) and keep the receive buffer empty.
+  // Inbound direction: a v2 client speaks once — the Subscribe hello —
+  // so reads parse the handshake, then only detect peer close and keep
+  // the receive buffer empty.
   char rbuf[512];
   while (true) {
-    const ssize_t n = ::recv(client->fd.get(), rbuf, sizeof(rbuf), 0);
+    const ssize_t n = ::recv(conn->fd.get(), rbuf, sizeof(rbuf), 0);
     if (n == 0) {
-      client->queue->Poison();
+      conn->queue->Poison();
       return false;  // peer hung up
     }
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      client->queue->Poison();
+      conn->queue->Poison();
       return false;
+    }
+    if (state == Connection::State::kHandshake) {
+      conn->decoder.Feed(rbuf, static_cast<size_t>(n));
+      uint8_t type = 0;
+      std::string payload;
+      Result<bool> next = conn->decoder.Next(&type, &payload);
+      if (!next.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          conn->state = Connection::State::kClosing;
+        }
+        conn->outbuf.append(EncodeErrorFrame("bad subscribe frame: " +
+                                             next.status().ToString()));
+        state = Connection::State::kClosing;
+      } else if (next.ValueOrDie()) {
+        if (type != kFrameSubscribe) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            conn->state = Connection::State::kClosing;
+          }
+          conn->outbuf.append(EncodeErrorFrame(
+              "expected a Subscribe hello frame, got frame type " +
+              std::to_string(type)));
+          state = Connection::State::kClosing;
+        } else {
+          HandleSubscribe(conn, payload);
+          std::lock_guard<std::mutex> lock(mu_);
+          state = conn->state;
+        }
+      }
+      // Bytes past the hello are ignored, like any other inbound data.
     }
   }
   // Refill the write buffer from the frame queue.
   QueuedFrame frame;
-  while (client->outbuf.size() - client->outpos < kMaxOutbufBytes &&
-         client->queue->TryPop(&frame)) {
-    if (client->send_latency != nullptr) {
-      client->send_latency->Observe(
+  while (conn->outbuf.size() - conn->outpos < kMaxOutbufBytes &&
+         conn->queue->TryPop(&frame)) {
+    if (conn->send_latency != nullptr) {
+      conn->send_latency->Observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         frame.enqueued)
               .count());
     }
-    client->outbuf.append(*frame.bytes);
+    conn->outbuf.append(*frame.bytes);
   }
-  if (client->outpos == client->outbuf.size()) {
-    client->outbuf.clear();
-    client->outpos = 0;
-  } else if (client->outpos > kMaxOutbufBytes) {
-    client->outbuf.erase(0, client->outpos);
-    client->outpos = 0;
+  if (conn->outpos == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->outpos = 0;
+  } else if (conn->outpos > kMaxOutbufBytes) {
+    conn->outbuf.erase(0, conn->outpos);
+    conn->outpos = 0;
   }
   // Drain the write buffer into the socket.
-  while (client->outpos < client->outbuf.size()) {
+  while (conn->outpos < conn->outbuf.size()) {
     const ssize_t n =
-        ::send(client->fd.get(), client->outbuf.data() + client->outpos,
-               client->outbuf.size() - client->outpos, MSG_NOSIGNAL);
+        ::send(conn->fd.get(), conn->outbuf.data() + conn->outpos,
+               conn->outbuf.size() - conn->outpos, MSG_NOSIGNAL);
     if (n > 0) {
-      client->outpos += static_cast<size_t>(n);
+      conn->outpos += static_cast<size_t>(n);
       if (metrics_.bytes_sent != nullptr) {
         metrics_.bytes_sent->Increment(static_cast<uint64_t>(n));
       }
@@ -364,37 +605,51 @@ bool PollutionServer::ServiceClient(const ClientPtr& client) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    client->queue->Poison();
+    conn->queue->Poison();
     return false;  // broken connection
   }
+  const bool flushed = conn->outpos == conn->outbuf.size();
+  // A closing connection hangs up once its Error tail is flushed.
+  if (state == Connection::State::kClosing && flushed) return false;
   // Graceful completion: queue closed and drained, buffer flushed.
-  // The network thread is the only consumer of a closed queue, so
-  // closed + empty cannot un-empty.
-  if (client->queue->closed() && client->queue->size() == 0 &&
-      client->outpos == client->outbuf.size()) {
+  // The reactor is the only consumer of a closed queue, so closed +
+  // empty cannot un-empty.
+  if (conn->queue->closed() && conn->queue->size() == 0 && flushed) {
     return false;
   }
   return true;
 }
 
-void PollutionServer::RemoveClient(const ClientPtr& client) {
-  client->fd.Reset();
+void PollutionServer::RemoveConn(const ConnPtr& conn) {
+  conn->fd.Reset();
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = clients_.begin(); it != clients_.end(); ++it) {
-    if (it->get() == client.get()) {
-      clients_.erase(it);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->get() == conn.get()) {
+      conns_.erase(it);
       break;
     }
   }
+  // A subscriber that vanishes while waiting must not count toward its
+  // session's min_subscribers.
+  if (conn->session != nullptr && !conn->in_run) {
+    auto& waiting = conn->session->waiting;
+    for (auto it = waiting.begin(); it != waiting.end(); ++it) {
+      if (it->get() == conn.get()) {
+        waiting.erase(it);
+        break;
+      }
+    }
+  }
+  conn->session.reset();
   if (metrics_.clients_connected != nullptr) {
-    metrics_.clients_connected->Set(static_cast<double>(clients_.size()));
+    metrics_.clients_connected->Set(static_cast<double>(conns_.size()));
   }
   cv_.notify_all();
 }
 
-void PollutionServer::NetLoop() {
+void PollutionServer::ReactorLoop() {
   std::vector<pollfd> fds;
-  std::vector<ClientPtr> snapshot;
+  std::vector<ConnPtr> snapshot;
   bool drain_deadline_set = false;
   std::chrono::steady_clock::time_point drain_deadline;
   while (true) {
@@ -402,8 +657,8 @@ void PollutionServer::NetLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stop_requested_) break;
-      if (draining_ && session_thread_done_) {
-        if (clients_.empty()) break;
+      if (draining_) {
+        if (conns_.empty()) break;
         if (!drain_deadline_set) {
           drain_deadline_set = true;
           drain_deadline = std::chrono::steady_clock::now() + kDrainGrace;
@@ -412,13 +667,14 @@ void PollutionServer::NetLoop() {
         }
       }
       accepting = accepting_;
-      snapshot = clients_;
+      snapshot = conns_;
     }
 
     fds.clear();
     fds.push_back({wake_.read_end.get(), POLLIN, 0});
+    const size_t listen_index = fds.size();
     if (accepting) fds.push_back({listen_fd_.get(), POLLIN, 0});
-    for (const ClientPtr& c : snapshot) {
+    for (const ConnPtr& c : snapshot) {
       short events = POLLIN;
       const bool wants_write = c->outpos < c->outbuf.size() ||
                                c->queue->size() > 0 || c->queue->closed();
@@ -426,57 +682,64 @@ void PollutionServer::NetLoop() {
       fds.push_back({c->fd.get(), events, 0});
     }
 
-    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100) < 0 &&
+    // Event-driven, never ticked: poll blocks until a socket is ready
+    // or a cross-thread transition pokes the self-pipe. Only the drain
+    // grace period bounds the wait.
+    int timeout_ms = -1;
+    if (drain_deadline_set) {
+      const int64_t left_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              drain_deadline - std::chrono::steady_clock::now())
+              .count();
+      timeout_ms = static_cast<int>(std::max<int64_t>(left_ms, 0)) + 1;
+    }
+    if (::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms) < 0 &&
         errno != EINTR) {
       break;  // poll itself failed; abort serving
     }
     if ((fds[0].revents & POLLIN) != 0) wake_.Drain();
 
-    if (accepting && (fds[1].revents & POLLIN) != 0) {
+    if (accepting && (fds[listen_index].revents & POLLIN) != 0) {
       while (true) {
         const int cfd = ::accept4(listen_fd_.get(), nullptr, nullptr,
                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (cfd < 0) break;
-        auto client = std::make_shared<Client>();
-        client->fd = UniqueFd(cfd);
+        auto conn = std::make_shared<Connection>();
+        conn->fd = UniqueFd(cfd);
         const int one = 1;
         (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        client->queue =
+        conn->queue =
             std::make_shared<FrameQueue>(options_.queue_capacity);
-        client->outbuf = schema_frame_;  // handshake goes out first
         {
           std::lock_guard<std::mutex> lock(mu_);
-          client->id = next_client_id_++;
-          clients_.push_back(client);
+          conn->id = next_conn_id_++;
+          conns_.push_back(conn);
           if (metrics_.clients_connected != nullptr) {
             metrics_.clients_connected->Set(
-                static_cast<double>(clients_.size()));
+                static_cast<double>(conns_.size()));
           }
         }
-        client->send_latency =
-            obs::BindClientSendLatency(options_.metrics, client->id);
         if (metrics_.clients_accepted != nullptr) {
           metrics_.clients_accepted->Increment();
         }
-        cv_.notify_all();  // a session may now have enough subscribers
       }
     }
 
-    for (const ClientPtr& c : snapshot) {
+    for (const ConnPtr& c : snapshot) {
       if (!c->fd.valid()) continue;
-      if (!ServiceClient(c)) RemoveClient(c);
+      if (!ServiceConn(c)) RemoveConn(c);
     }
   }
   // Abort/exit path: close everything still open.
-  std::vector<ClientPtr> leftovers;
+  std::vector<ConnPtr> leftovers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    leftovers.swap(clients_);
+    leftovers.swap(conns_);
     if (metrics_.clients_connected != nullptr) {
       metrics_.clients_connected->Set(0.0);
     }
   }
-  for (const ClientPtr& c : leftovers) {
+  for (const ConnPtr& c : leftovers) {
     c->queue->Poison();
     c->fd.Reset();
   }

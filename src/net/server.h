@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "net/wire.h"
 #include "obs/net_metrics.h"
 #include "stream/channel.h"
 #include "stream/schema.h"
@@ -30,7 +32,7 @@ enum class SlowConsumerPolicy {
   /// to the source. Every subscriber sees the complete stream.
   kBlock = 0,
   /// Drop the oldest queued frame to make room. The pipeline never
-  /// stalls; slow consumers see gaps (drops are counted per server).
+  /// stalls; slow consumers see gaps (drops are counted per session).
   kDropOldest,
   /// Close the slow subscriber's connection. The pipeline never stalls
   /// and surviving subscribers see the complete stream; the victim
@@ -47,19 +49,17 @@ Result<SlowConsumerPolicy> SlowConsumerPolicyFromName(const std::string& name);
 /// \brief All valid policy names, for diagnostics and lint hints.
 const std::vector<std::string>& SlowConsumerPolicyNames();
 
-/// \brief Configuration of a PollutionServer.
+/// \brief Server-wide configuration of a PollutionServer.
 struct ServerOptions {
   /// Interface to bind; empty means INADDR_ANY.
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (see PollutionServer::port()).
   uint16_t port = 0;
   int backlog = 16;
-  /// Subscribers that must be connected before a session starts. A
-  /// session snapshots the waiting subscribers and streams one full
-  /// pollution run to them; late joiners wait for the next session.
-  int min_subscribers = 1;
-  /// Sessions to serve before Wait() returns; 0 = until RequestStop().
-  uint64_t max_sessions = 0;
+  /// Size of the worker pool that drives ready sessions' pipelines. A
+  /// server hosts many sessions over few workers (many-sessions-few-
+  /// workers sharding); must be >= 1.
+  int workers = 2;
   /// Frames each subscriber queue buffers before the slow-consumer
   /// policy applies (must be >= 1).
   size_t queue_capacity = 256;
@@ -68,51 +68,84 @@ struct ServerOptions {
   obs::MetricRegistry* metrics = nullptr;
 };
 
-/// \brief TCP fan-out server for polluted streams (DESIGN.md section 9).
+/// \brief Per-session configuration.
+struct SessionOptions {
+  /// Subscribers that must be waiting before a run starts. A run
+  /// snapshots the waiting subscribers and streams one full pollution
+  /// run to them; late joiners wait for the session's next run.
+  int min_subscribers = 1;
+  /// Pipeline runs to serve before the session retires; 0 = until
+  /// StopSession() / RequestStop().
+  uint64_t max_runs = 0;
+};
+
+/// \brief Multi-tenant TCP fan-out server for polluted streams
+/// (DESIGN.md section 11).
 ///
-/// Topology: one *network thread* owns a poll()-driven loop over the
-/// listening socket, a self-pipe, and every subscriber connection; one
-/// *session thread* repeatedly runs the bound pollution pipeline (the
-/// `SessionFn`, typically `PipelineRuntime` over a scenario source) into
-/// a fan-out sink. Each subscriber has a bounded `BoundedChannel` frame
-/// queue between the two threads: the sink encodes each tuple once and
-/// enqueues the shared frame per subscriber; the network thread drains
-/// queues into per-connection write buffers and the sockets.
+/// Topology: one *reactor thread* owns a poll()-driven event loop over
+/// the listening socket, a self-pipe, and every connection, advancing
+/// small heap-allocated per-connection state machines (kHandshake →
+/// kStreaming → kClosing); a registry of *named sessions* — each owning
+/// a scenario pipeline factory, its encode-once frame stream, and its
+/// subscriber set — moves through its own state machine (kWaiting →
+/// kQueued → kRunning → kWaiting…, terminally kRetired); a fixed
+/// *worker pool* pops ready sessions from a run queue and drives one
+/// full pipeline run each (many sessions, few workers). Each subscriber
+/// has a bounded `BoundedChannel` frame queue between a worker and the
+/// reactor: the per-run fan-out sink encodes each tuple once and
+/// enqueues the shared frame per subscriber; the reactor drains queues
+/// into per-connection write buffers and the sockets. The reactor never
+/// ticks: every cross-thread transition pokes the self-pipe, so poll()
+/// blocks indefinitely when nothing is happening.
 ///
-/// Protocol per connection: the server immediately sends a Schema frame
-/// (handshake), then — once a session starts — Tuple frames, then one
-/// End frame carrying the session's tuple count, then closes. A session
-/// failure is reported with an Error frame instead of End.
+/// Protocol per connection (wire version 2): the client speaks first
+/// with a Subscribe frame naming a session; the server answers with
+/// that session's Schema frame (handshake), then — once a run starts —
+/// Tuple frames, then one End frame carrying the run's tuple count,
+/// then closes. A bad hello (unknown session, version mismatch,
+/// malformed frame) or a run failure is reported with an Error frame.
 ///
-/// Lifecycle: Start() binds and spawns the threads; Wait() blocks until
-/// `max_sessions` sessions completed, then drains and closes every
-/// connection gracefully; RequestStop() aborts (queues poisoned, fds
-/// closed). The destructor aborts if still running — no fd or thread
-/// leaks on any path.
+/// Lifecycle: sessions can be added before or after Start() and stopped
+/// at runtime; Start() binds and spawns the threads; Wait() blocks
+/// until every registered session has retired, then drains and closes
+/// every connection gracefully; RequestStop() aborts (queues poisoned,
+/// fds closed). The destructor aborts if still running — no fd or
+/// thread leaks on any path.
 class PollutionServer {
  public:
-  /// \brief One pollution session: stream the full (bounded) polluted
-  /// stream into `sink`. Invoked on the session thread once per
-  /// session; must create its own Source so sessions are independent
-  /// replays.
+  /// \brief One pollution run: stream the full (bounded) polluted
+  /// stream into `sink`. Invoked on a worker thread once per run; must
+  /// create its own Source so runs are independent replays.
   using SessionFn = std::function<Status(Sink* sink)>;
 
-  PollutionServer(SchemaPtr schema, SessionFn session,
-                  ServerOptions options = {});
+  explicit PollutionServer(ServerOptions options = {});
   ~PollutionServer();
 
   PollutionServer(const PollutionServer&) = delete;
   PollutionServer& operator=(const PollutionServer&) = delete;
 
-  /// \brief Binds, listens, and spawns the serving threads.
+  /// \brief Registers a named session. Valid before or after Start()
+  /// (runtime creation); fails once the server is stopping. The id must
+  /// be non-empty, unique, and at most kMaxSessionIdBytes bytes.
+  Status AddSession(const std::string& id, SchemaPtr schema, SessionFn fn,
+                    SessionOptions options = {});
+
+  /// \brief Retires a session at runtime. A waiting session retires
+  /// immediately (its waiting subscribers get an Error frame); a
+  /// running session aborts its current run. Idempotent once retired;
+  /// NotFound for an unknown id.
+  Status StopSession(const std::string& id);
+
+  /// \brief Binds, listens, and spawns the reactor and worker threads.
   Status Start();
 
   /// \brief The actually bound port (differs from options.port when 0).
   uint16_t port() const { return port_; }
 
-  /// \brief Blocks until the configured sessions are served, then
-  /// flushes and closes every subscriber. Returns the first session
-  /// error, if any. With max_sessions == 0 this returns only after
+  /// \brief Blocks until every registered session has retired (a
+  /// session with max_runs == 0 retires only via StopSession), then
+  /// flushes and closes every subscriber. Returns the first run error,
+  /// if any. With no sessions registered this returns only after
   /// RequestStop().
   Status Wait();
 
@@ -121,13 +154,16 @@ class PollutionServer {
   /// teardown paths).
   void RequestStop();
 
-  /// \brief Completed sessions so far.
-  uint64_t sessions_served() const {
-    return sessions_served_.load(std::memory_order_relaxed);
+  /// \brief Completed pipeline runs so far, across all sessions.
+  uint64_t runs_completed() const {
+    return runs_completed_.load(std::memory_order_relaxed);
   }
 
   /// \brief Currently connected subscribers (tests / introspection).
   size_t clients_connected() const;
+
+  /// \brief Ids of all registered sessions, in registration order.
+  std::vector<std::string> session_ids() const;
 
  private:
   struct QueuedFrame {
@@ -136,39 +172,85 @@ class PollutionServer {
   };
   using FrameQueue = BoundedChannel<QueuedFrame>;
 
-  struct Client {
+  struct Connection;
+
+  /// \brief A named tenant: pipeline factory + subscriber set + state.
+  struct Session {
+    enum class State {
+      kWaiting,  ///< registered, short of min_subscribers
+      kQueued,   ///< enough subscribers; awaiting a free worker
+      kRunning,  ///< a worker is streaming one pipeline run
+      kRetired,  ///< terminal: max_runs reached or stopped
+    };
+
+    // Immutable after AddSession().
+    std::string id;
+    SchemaPtr schema;
+    SessionFn fn;
+    SessionOptions options;
+    std::string schema_frame;
+    obs::SessionMetrics metrics;
+
+    // Guarded by PollutionServer::mu_.
+    State state = State::kWaiting;
+    bool stop_requested = false;
+    uint64_t runs = 0;
+    std::vector<std::shared_ptr<Connection>> waiting;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  /// \brief Heap-allocated per-connection state machine, advanced by
+  /// the reactor.
+  struct Connection {
+    enum class State {
+      kHandshake,  ///< accepted; awaiting the Subscribe hello
+      kStreaming,  ///< subscribed; frames flow queue → outbuf → socket
+      kClosing,    ///< flush outbuf (an Error tail), then hang up
+    };
+
     uint64_t id = 0;
     UniqueFd fd;
     std::shared_ptr<FrameQueue> queue;
-    /// Write buffer; owned exclusively by the network thread.
+    /// Reactor-thread only: hello parser and write buffer.
+    FrameDecoder decoder;
     std::string outbuf;
     size_t outpos = 0;
-    /// Guarded by mu_: session membership and the disconnect-policy
-    /// kill flag.
-    bool in_session = false;
-    bool kill = false;
     obs::Histogram* send_latency = nullptr;
+    /// Guarded by PollutionServer::mu_.
+    State state = State::kHandshake;
+    SessionPtr session;
+    bool in_run = false;
+    bool kill = false;
   };
-  using ClientPtr = std::shared_ptr<Client>;
+  using ConnPtr = std::shared_ptr<Connection>;
 
   class FanoutSink;
 
-  void NetLoop();
-  void SessionLoop();
-  /// Applies the slow-consumer policy to enqueue `frame` for `client`.
-  /// Returns false when the client can no longer receive (closed/killed).
-  bool EnqueueFrame(const ClientPtr& client,
-                    const std::shared_ptr<const std::string>& frame);
-  /// Network-thread helper: moves queued frames into the write buffer
-  /// and writes to the socket. Returns false when the connection is
-  /// finished (drained or broken) and should be removed.
-  bool ServiceClient(const ClientPtr& client);
-  void RemoveClient(const ClientPtr& client);
+  void ReactorLoop();
+  void WorkerLoop();
+  /// Runs one pipeline run of `session` for `participants` (worker).
+  void RunSession(const SessionPtr& session,
+                  std::vector<ConnPtr> participants);
+  /// Moves every waiting session with enough subscribers to the run
+  /// queue. Caller holds mu_; caller notifies.
+  void ScheduleReadyLocked();
+  /// Retires `session`: terminal state + an Error tail for its waiting
+  /// subscribers. Caller holds mu_; caller pokes the reactor.
+  void RetireLocked(const SessionPtr& session, const std::string& reason);
+  /// Reactor: parses and answers the Subscribe hello in `payload`.
+  void HandleSubscribe(const ConnPtr& conn, const std::string& payload);
+  /// Applies the slow-consumer policy to enqueue `frame` for `conn`.
+  /// Returns false when the conn can no longer receive (closed/killed).
+  bool EnqueueFrame(const ConnPtr& conn,
+                    const std::shared_ptr<const std::string>& frame,
+                    const obs::SessionMetrics& metrics);
+  /// Reactor: advances one connection (read side, queue drain, socket
+  /// flush). Returns false when the connection is finished and should
+  /// be removed.
+  bool ServiceConn(const ConnPtr& conn);
+  void RemoveConn(const ConnPtr& conn);
 
-  SchemaPtr schema_;
-  SessionFn session_;
   ServerOptions options_;
-  std::string schema_frame_;
 
   UniqueFd listen_fd_;
   WakePipe wake_;
@@ -176,20 +258,21 @@ class PollutionServer {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<ClientPtr> clients_;
+  std::vector<SessionPtr> sessions_;
+  std::vector<ConnPtr> conns_;
+  std::deque<SessionPtr> run_queue_;
   bool started_ = false;
   bool accepting_ = false;
   bool draining_ = false;
   bool stop_requested_ = false;
-  bool session_thread_done_ = false;
   Status first_error_;
-  uint64_t next_client_id_ = 1;
+  uint64_t next_conn_id_ = 1;
 
-  std::atomic<uint64_t> sessions_served_{0};
+  std::atomic<uint64_t> runs_completed_{0};
   obs::ServerMetrics metrics_;
 
-  std::thread net_thread_;
-  std::thread session_thread_;
+  std::thread reactor_thread_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace net

@@ -170,6 +170,15 @@ std::string EncodeEndPayload(uint64_t total_tuples) {
   return out;
 }
 
+std::string EncodeSubscribePayload(uint64_t version,
+                                   const std::string& session_id) {
+  std::string out;
+  AppendVarint(version, &out);
+  AppendVarint(session_id.size(), &out);
+  out.append(session_id);
+  return out;
+}
+
 std::string EncodeSchemaFrame(const Schema& schema) {
   std::string out;
   AppendFrame(kFrameSchema, EncodeSchemaPayload(schema), &out);
@@ -191,6 +200,14 @@ std::string EncodeEndFrame(uint64_t total_tuples) {
 std::string EncodeErrorFrame(const std::string& message) {
   std::string out;
   AppendFrame(kFrameError, message, &out);
+  return out;
+}
+
+std::string EncodeSubscribeFrame(uint64_t version,
+                                 const std::string& session_id) {
+  std::string out;
+  AppendFrame(kFrameSubscribe, EncodeSubscribePayload(version, session_id),
+              &out);
   return out;
 }
 
@@ -270,6 +287,24 @@ Result<uint64_t> DecodeEndPayload(const std::string& payload) {
   ICEWAFL_ASSIGN_OR_RETURN(uint64_t total, reader.Varint());
   ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
   return total;
+}
+
+Result<SubscribeRequest> DecodeSubscribePayload(const std::string& payload) {
+  ByteReader reader(payload);
+  SubscribeRequest request;
+  ICEWAFL_ASSIGN_OR_RETURN(request.version, reader.Varint());
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t id_len, reader.Varint());
+  if (id_len > kMaxSessionIdBytes) {
+    return Status::ParseError("wire: session id of " + std::to_string(id_len) +
+                              " bytes exceeds limit");
+  }
+  if (id_len > reader.remaining()) {
+    return Status::ParseError("wire: session id length exceeds payload");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(request.session_id,
+                           reader.Bytes(static_cast<size_t>(id_len)));
+  ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
+  return request;
 }
 
 void FrameDecoder::Feed(const void* data, size_t n) {

@@ -29,15 +29,27 @@ namespace net {
 
 /// \brief Frame type tags. Values are part of the wire contract.
 enum FrameType : uint8_t {
-  kFrameSchema = 0x01,  ///< handshake: the stream's schema
-  kFrameTuple = 0x02,   ///< one stream element
-  kFrameEnd = 0x03,     ///< graceful end of stream (payload: total count)
-  kFrameError = 0x04,   ///< server-side failure (payload: UTF-8 message)
+  kFrameSchema = 0x01,     ///< handshake: the stream's schema
+  kFrameTuple = 0x02,      ///< one stream element
+  kFrameEnd = 0x03,        ///< graceful end of stream (payload: total count)
+  kFrameError = 0x04,      ///< server-side failure (payload: UTF-8 message)
+  kFrameSubscribe = 0x05,  ///< client hello: wire version + session id
 };
+
+/// \brief Wire protocol version. Bumped to 2 when the client-side
+/// Subscribe hello frame became mandatory (a v1 client that waits
+/// silently for a Schema frame is answered with an Error frame, which
+/// its FrameDecoder already understands — the failure mode is a clean
+/// error message, not a hang or a parse crash).
+constexpr uint64_t kWireVersion = 2;
 
 /// \brief Upper bound on a frame payload; decode rejects larger length
 /// prefixes before allocating (a corrupt length must not OOM the peer).
 constexpr uint64_t kMaxFramePayload = 16ull << 20;  // 16 MiB
+
+/// \brief Upper bound on a session id on the wire (also enforced by
+/// lint as IW607 before a config ever reaches the server).
+constexpr uint64_t kMaxSessionIdBytes = 256;
 
 // ---------------------------------------------------------------------
 // Primitives
@@ -107,11 +119,19 @@ std::string EncodeTuplePayload(const Tuple& tuple);
 /// \brief End payload: total tuples sent in this stream, as a varint.
 std::string EncodeEndPayload(uint64_t total_tuples);
 
+/// \brief Subscribe payload: version:varint, id_len:varint, id:bytes.
+/// An empty id means "the server's sole session" (convenience for
+/// single-session deployments; a multi-session server rejects it).
+std::string EncodeSubscribePayload(uint64_t version,
+                                   const std::string& session_id);
+
 /// Convenience: full frames, ready to write to a socket.
 std::string EncodeSchemaFrame(const Schema& schema);
 std::string EncodeTupleFrame(const Tuple& tuple);
 std::string EncodeEndFrame(uint64_t total_tuples);
 std::string EncodeErrorFrame(const std::string& message);
+std::string EncodeSubscribeFrame(uint64_t version,
+                                 const std::string& session_id);
 
 // ---------------------------------------------------------------------
 // Frame decoding
@@ -128,6 +148,16 @@ Result<Tuple> DecodeTuplePayload(const std::string& payload,
 
 /// \brief Decodes the total-count payload of an End frame.
 Result<uint64_t> DecodeEndPayload(const std::string& payload);
+
+/// \brief Decoded Subscribe hello.
+struct SubscribeRequest {
+  uint64_t version = 0;
+  std::string session_id;
+};
+
+/// \brief Decodes a Subscribe payload. Rejects ids longer than
+/// kMaxSessionIdBytes; version compatibility is the server's call.
+Result<SubscribeRequest> DecodeSubscribePayload(const std::string& payload);
 
 /// \brief Incremental frame splitter over a byte stream.
 ///

@@ -12,30 +12,32 @@ ServerMetrics ServerMetrics::Bind(MetricRegistry* registry) {
   m.clients_connected =
       registry->GetGauge("icewafl_server_clients_connected", {},
                          "Subscribers currently connected");
-  m.sessions = registry->GetCounter("icewafl_server_sessions_total", {},
-                                    "Pollution sessions served");
-  m.tuples_sent =
-      registry->GetCounter("icewafl_server_tuples_sent_total", {},
-                           "Tuple frames enqueued to subscribers");
   m.bytes_sent = registry->GetCounter("icewafl_server_bytes_sent_total", {},
                                       "Frame bytes written to sockets");
-  m.slow_drops = registry->GetCounter(
-      "icewafl_server_slow_drops_total", {},
-      "Frames dropped by the drop_oldest slow-consumer policy");
-  m.slow_disconnects = registry->GetCounter(
-      "icewafl_server_slow_disconnects_total", {},
-      "Subscribers disconnected by the disconnect slow-consumer policy");
   return m;
 }
 
-Histogram* BindClientSendLatency(MetricRegistry* registry,
-                                 uint64_t client_id) {
-  if (registry == nullptr) return nullptr;
-  return registry->GetHistogram(
-      "icewafl_server_send_latency_seconds",
-      {{"client", std::to_string(client_id)}},
+SessionMetrics SessionMetrics::Bind(MetricRegistry* registry,
+                                    const std::string& session_id) {
+  SessionMetrics m;
+  if (registry == nullptr) return m;
+  const Labels labels = {{"session", session_id}};
+  m.runs = registry->GetCounter("icewafl_server_sessions_total", labels,
+                                "Pollution runs served per session");
+  m.tuples_sent =
+      registry->GetCounter("icewafl_server_tuples_sent_total", labels,
+                           "Tuple frames enqueued to subscribers");
+  m.slow_drops = registry->GetCounter(
+      "icewafl_server_slow_drops_total", labels,
+      "Frames dropped by the drop_oldest slow-consumer policy");
+  m.slow_disconnects = registry->GetCounter(
+      "icewafl_server_slow_disconnects_total", labels,
+      "Subscribers disconnected by the disconnect slow-consumer policy");
+  m.send_latency = registry->GetHistogram(
+      "icewafl_server_send_latency_seconds", labels,
       ExponentialBounds(1e-6, 10.0, 4.0),
-      "Per-client latency from frame enqueue to socket write");
+      "Per-session latency from frame enqueue to socket write");
+  return m;
 }
 
 }  // namespace obs

@@ -1,7 +1,6 @@
 #ifndef ICEWAFL_OBS_NET_METRICS_H_
 #define ICEWAFL_OBS_NET_METRICS_H_
 
-#include <cstdint>
 #include <string>
 
 #include "obs/metrics.h"
@@ -11,31 +10,41 @@ namespace obs {
 
 /// \file
 /// Metric families of the serving subsystem (`src/net/`). Bound once
-/// from a MetricRegistry at server start, handles shared by the network
-/// and session threads (all handles are lock-free atomics). With a null
-/// registry every handle is nullptr and the server pays one null check
-/// per event — the same opt-in contract as the runtime instrumentation
-/// (DESIGN.md section 7).
+/// from a MetricRegistry at server start (server-wide families) or at
+/// session registration (session-labeled families), handles shared by
+/// the reactor and worker threads (all handles are lock-free atomics).
+/// With a null registry every handle is nullptr and the server pays one
+/// null check per event — the same opt-in contract as the runtime
+/// instrumentation (DESIGN.md section 7).
 
-/// \brief Server-wide serving metrics.
+/// \brief Server-wide serving metrics (no session dimension).
 struct ServerMetrics {
-  Counter* clients_accepted = nullptr;   ///< connections accepted
-  Gauge* clients_connected = nullptr;    ///< currently connected
-  Counter* sessions = nullptr;           ///< pollution sessions served
-  Counter* tuples_sent = nullptr;        ///< tuple frames enqueued
-  Counter* bytes_sent = nullptr;         ///< payload bytes written
-  Counter* slow_drops = nullptr;         ///< frames dropped (drop_oldest)
-  Counter* slow_disconnects = nullptr;   ///< clients cut (disconnect)
+  Counter* clients_accepted = nullptr;  ///< connections accepted
+  Gauge* clients_connected = nullptr;   ///< currently connected
+  Counter* bytes_sent = nullptr;        ///< payload bytes written
 
   /// \brief Binds every family in `registry`; no-op when null.
   static ServerMetrics Bind(MetricRegistry* registry);
 };
 
-/// \brief Per-client send-latency histogram (seconds between a frame
-/// entering the client's queue and its bytes being handed to the
-/// socket), labeled {client="<id>"}. Returns nullptr when `registry` is
-/// null.
-Histogram* BindClientSendLatency(MetricRegistry* registry, uint64_t client_id);
+/// \brief Per-session serving metrics, labeled {session="<id>"}. A
+/// multi-tenant server binds one of these per named session, so the
+/// exposition separates tenants instead of blending them into one
+/// counter.
+struct SessionMetrics {
+  Counter* runs = nullptr;              ///< completed pipeline runs
+  Counter* tuples_sent = nullptr;       ///< tuple frames enqueued
+  Counter* slow_drops = nullptr;        ///< frames dropped (drop_oldest)
+  Counter* slow_disconnects = nullptr;  ///< clients cut (disconnect)
+  /// Seconds between a frame entering a subscriber's queue and its
+  /// bytes being handed to the socket.
+  Histogram* send_latency = nullptr;
+
+  /// \brief Binds every family in `registry` under the session label;
+  /// no-op when null.
+  static SessionMetrics Bind(MetricRegistry* registry,
+                             const std::string& session_id);
+};
 
 }  // namespace obs
 }  // namespace icewafl

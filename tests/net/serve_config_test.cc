@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "net/wire.h"
 #include "scenarios/scenarios.h"
 
 namespace icewafl {
@@ -28,7 +29,7 @@ analysis::ServeAnalyzeOptions LintOptions() {
 // ServeConfig::FromJson — the enforcing twin of the IW6xx lint.
 // ---------------------------------------------------------------------
 
-TEST(ServeConfig, ParsesFullDocument) {
+TEST(ServeConfig, ParsesLegacySingleSessionDocument) {
   Json json = ParseOrDie(R"({
     "scenario": "network_delay",
     "host": "0.0.0.0",
@@ -43,45 +44,91 @@ TEST(ServeConfig, ParsesFullDocument) {
   auto config = ServeConfig::FromJson(json);
   ASSERT_TRUE(config.ok()) << config.status().ToString();
   const ServeConfig& c = config.ValueOrDie();
-  EXPECT_EQ(c.scenario, "network_delay");
+  ASSERT_EQ(c.sessions.size(), 1u);
+  // The legacy shape is one anonymous session named after its scenario;
+  // `max_sessions` is the pre-v2 name of `max_runs`.
+  EXPECT_EQ(c.sessions[0].name, "network_delay");
+  EXPECT_EQ(c.sessions[0].scenario, "network_delay");
+  EXPECT_EQ(c.sessions[0].seed, 7u);
+  EXPECT_EQ(c.sessions[0].parallelism, 3);
+  EXPECT_EQ(c.sessions[0].min_subscribers, 2);
+  EXPECT_EQ(c.sessions[0].max_runs, 5u);
   EXPECT_EQ(c.host, "0.0.0.0");
   EXPECT_EQ(c.port, 9099);
-  EXPECT_EQ(c.seed, 7u);
-  EXPECT_EQ(c.parallelism, 3);
-  EXPECT_EQ(c.min_subscribers, 2);
-  EXPECT_EQ(c.max_sessions, 5u);
   EXPECT_EQ(c.queue_capacity, 64u);
   EXPECT_EQ(c.slow_consumer, SlowConsumerPolicy::kDropOldest);
 }
 
+TEST(ServeConfig, ParsesMultiSessionDocument) {
+  Json json = ParseOrDie(R"({
+    "sessions": [
+      {"name": "alpha", "scenario": "random_temporal", "seed": 1,
+       "min_subscribers": 3, "max_runs": 2},
+      {"scenario": "network_delay", "parallelism": 2}
+    ],
+    "port": 9099,
+    "workers": 4,
+    "slow_consumer": "disconnect"
+  })");
+  auto config = ServeConfig::FromJson(json);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const ServeConfig& c = config.ValueOrDie();
+  ASSERT_EQ(c.sessions.size(), 2u);
+  EXPECT_EQ(c.sessions[0].name, "alpha");
+  EXPECT_EQ(c.sessions[0].scenario, "random_temporal");
+  EXPECT_EQ(c.sessions[0].seed, 1u);
+  EXPECT_EQ(c.sessions[0].min_subscribers, 3);
+  EXPECT_EQ(c.sessions[0].max_runs, 2u);
+  EXPECT_EQ(c.sessions[1].name, "network_delay");  // defaults to scenario
+  EXPECT_EQ(c.sessions[1].parallelism, 2);
+  EXPECT_EQ(c.workers, 4);
+  EXPECT_EQ(c.slow_consumer, SlowConsumerPolicy::kDisconnect);
+}
+
 TEST(ServeConfig, DefaultsApplyWhenOnlyScenarioGiven) {
-  auto config = ServeConfig::FromJson(ParseOrDie(R"({"scenario": "temporal_noise"})"));
+  auto config =
+      ServeConfig::FromJson(ParseOrDie(R"({"scenario": "temporal_noise"})"));
   ASSERT_TRUE(config.ok());
   const ServeConfig& c = config.ValueOrDie();
   EXPECT_EQ(c.host, "127.0.0.1");
   EXPECT_EQ(c.port, 0);
-  EXPECT_EQ(c.seed, 42u);
-  EXPECT_EQ(c.parallelism, 1);
+  EXPECT_EQ(c.workers, 2);
   EXPECT_EQ(c.queue_capacity, 256u);
   EXPECT_EQ(c.slow_consumer, SlowConsumerPolicy::kBlock);
+  ASSERT_EQ(c.sessions.size(), 1u);
+  EXPECT_EQ(c.sessions[0].seed, 42u);
+  EXPECT_EQ(c.sessions[0].parallelism, 1);
+  EXPECT_EQ(c.sessions[0].min_subscribers, 1);
+  EXPECT_EQ(c.sessions[0].max_runs, 0u);
 }
 
 TEST(ServeConfig, RejectsBadDocuments) {
-  const char* bad[] = {
+  const std::string oversized(kMaxSessionIdBytes + 1, 'n');
+  const std::string bad[] = {
       R"(42)",                                            // not an object
       R"({})",                                            // no scenario
       R"({"scenario": 3})",                               // scenario type
       R"({"scenario": "s", "port": 65536})",              // port range
       R"({"scenario": "s", "port": -1})",                 // port range
       R"({"scenario": "s", "queue_capacity": 0})",        // capacity
+      R"({"scenario": "s", "workers": 0})",               // worker pool
       R"({"scenario": "s", "parallelism": 0})",           // parallelism
       R"({"scenario": "s", "min_subscribers": 0})",       // subscribers
-      R"({"scenario": "s", "max_sessions": -2})",         // sessions
+      R"({"scenario": "s", "max_sessions": -2})",         // legacy max_runs
       R"({"scenario": "s", "seed": -1})",                 // seed
       R"({"scenario": "s", "slow_consumer": "panic"})",   // policy enum
       R"({"scenario": "s", "host": 1})",                  // host type
+      R"({"scenario": "s", "sessions": []})",             // mixed shapes
+      R"({"sessions": []})",                              // empty array
+      R"({"sessions": {}})",                              // not an array
+      R"({"sessions": [7]})",                             // entry not object
+      R"({"sessions": [{}]})",                            // entry no scenario
+      R"({"sessions": [{"scenario": "s", "name": ""}]})",  // empty name
+      R"({"sessions": [{"scenario": "s", "max_runs": -1}]})",
+      R"({"sessions": [{"scenario": "s"}, {"scenario": "s"}]})",  // dup name
+      R"({"sessions": [{"scenario": "s", "name": ")" + oversized + R"("}]})",
   };
-  for (const char* text : bad) {
+  for (const std::string& text : bad) {
     SCOPED_TRACE(text);
     EXPECT_FALSE(ServeConfig::FromJson(ParseOrDie(text)).ok());
   }
@@ -89,32 +136,58 @@ TEST(ServeConfig, RejectsBadDocuments) {
 
 TEST(ServeConfig, JsonRoundTripIsStable) {
   ServeConfig config;
-  config.scenario = "temporal_scale";
+  SessionConfig alpha;
+  alpha.name = "alpha";
+  alpha.scenario = "temporal_scale";
+  alpha.min_subscribers = 4;
+  SessionConfig beta;
+  beta.name = "beta";
+  beta.scenario = "network_delay";
+  beta.max_runs = 3;
+  config.sessions = {alpha, beta};
   config.port = 1234;
-  config.min_subscribers = 4;
+  config.workers = 3;
   config.slow_consumer = SlowConsumerPolicy::kDisconnect;
   auto back = ServeConfig::FromJson(config.ToJson());
   ASSERT_TRUE(back.ok()) << back.status().ToString();
   EXPECT_EQ(back.ValueOrDie().ToJson().Dump(), config.ToJson().Dump());
 }
 
+TEST(ServeConfig, LegacyDocumentCanonicalizesToSessionsArray) {
+  auto config = ServeConfig::FromJson(
+      ParseOrDie(R"({"scenario": "random_temporal", "max_sessions": 2})"));
+  ASSERT_TRUE(config.ok());
+  Json json = config.ValueOrDie().ToJson();
+  EXPECT_TRUE(json.Has("sessions"));
+  EXPECT_FALSE(json.Has("scenario"));
+  auto back = ServeConfig::FromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().sessions[0].max_runs, 2u);
+}
+
 TEST(ServeConfig, ToServerOptionsCarriesEveryKnob) {
   ServeConfig config;
-  config.scenario = "random_temporal";
   config.host = "::1";
   config.port = 4242;
-  config.min_subscribers = 3;
-  config.max_sessions = 9;
+  config.workers = 5;
   config.queue_capacity = 17;
   config.slow_consumer = SlowConsumerPolicy::kDropOldest;
   ServerOptions options = config.ToServerOptions(nullptr);
   EXPECT_EQ(options.host, "::1");
   EXPECT_EQ(options.port, 4242);
-  EXPECT_EQ(options.min_subscribers, 3);
-  EXPECT_EQ(options.max_sessions, 9u);
+  EXPECT_EQ(options.workers, 5);
   EXPECT_EQ(options.queue_capacity, 17u);
   EXPECT_EQ(options.slow_consumer, SlowConsumerPolicy::kDropOldest);
   EXPECT_EQ(options.metrics, nullptr);
+}
+
+TEST(ServeConfig, ToSessionOptionsCarriesPerSessionKnobs) {
+  SessionConfig session;
+  session.min_subscribers = 3;
+  session.max_runs = 9;
+  SessionOptions options = session.ToSessionOptions();
+  EXPECT_EQ(options.min_subscribers, 3);
+  EXPECT_EQ(options.max_runs, 9u);
 }
 
 TEST(SlowConsumerPolicy, NamesRoundTrip) {
@@ -131,15 +204,27 @@ TEST(SlowConsumerPolicy, NamesRoundTrip) {
 // silent on a clean document.
 // ---------------------------------------------------------------------
 
-TEST(AnalyzeServeConfig, CleanConfigHasNoDiagnostics) {
-  Json json = ParseOrDie(R"({
-    "scenario": "random_temporal",
-    "port": 9099,
-    "queue_capacity": 32,
-    "slow_consumer": "block"
-  })");
-  Diagnostics diags = analysis::AnalyzeServeConfig(json, LintOptions());
-  EXPECT_TRUE(diags.empty()) << diags.ToReport();
+TEST(AnalyzeServeConfig, CleanConfigsHaveNoDiagnostics) {
+  for (const char* text :
+       {R"({
+          "scenario": "random_temporal",
+          "port": 9099,
+          "queue_capacity": 32,
+          "slow_consumer": "block"
+        })",
+        R"({
+          "sessions": [
+            {"name": "alpha", "scenario": "random_temporal", "max_runs": 1},
+            {"scenario": "network_delay", "min_subscribers": 2}
+          ],
+          "workers": 3,
+          "port": 9099
+        })"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.empty()) << diags.ToReport();
+  }
 }
 
 TEST(AnalyzeServeConfig, IW601FiresOnBadPort) {
@@ -175,17 +260,33 @@ TEST(AnalyzeServeConfig, IW603FiresOnNonPositiveQueueCapacity) {
 }
 
 TEST(AnalyzeServeConfig, IW604WarnsOnUnknownKey) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "protocl": "tcp"})",
+        R"({"sessions": [{"scenario": "random_temporal", "sed": 1}]})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW604")) << diags.ToReport();
+    EXPECT_FALSE(diags.HasErrors()) << "unknown keys warn, not fail";
+  }
+}
+
+TEST(AnalyzeServeConfig, IW604FlagsSessionKnobsAtTopLevelOfSessionsDoc) {
+  // In the multi-session shape the per-session knobs belong inside the
+  // entries; a stray top-level `seed` is a likely porting mistake.
   Diagnostics diags = analysis::AnalyzeServeConfig(
-      ParseOrDie(R"({"scenario": "random_temporal", "protocl": "tcp"})"),
+      ParseOrDie(R"({"sessions": [{"scenario": "random_temporal"}],
+                     "seed": 1})"),
       LintOptions());
   EXPECT_TRUE(diags.HasCode("IW604")) << diags.ToReport();
-  EXPECT_FALSE(diags.HasErrors()) << "unknown keys warn, not fail";
 }
 
 TEST(AnalyzeServeConfig, IW605FiresOnMissingOrUnknownScenario) {
   for (const char* text :
        {R"({})", R"({"scenario": 9})",
-        R"({"scenario": "random_temporel"})"}) {
+        R"({"scenario": "random_temporel"})",
+        R"({"sessions": [{"name": "a"}]})",
+        R"({"sessions": [{"scenario": "random_temporel"}]})"}) {
     SCOPED_TRACE(text);
     Diagnostics diags =
         analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
@@ -199,11 +300,54 @@ TEST(AnalyzeServeConfig, IW606FiresOnOtherBadBounds) {
         R"({"scenario": "random_temporal", "parallelism": 0})",
         R"({"scenario": "random_temporal", "min_subscribers": 0})",
         R"({"scenario": "random_temporal", "max_sessions": -1})",
-        R"({"scenario": "random_temporal", "host": 7})"}) {
+        R"({"scenario": "random_temporal", "workers": 0})",
+        R"({"scenario": "random_temporal", "host": 7})",
+        R"({"sessions": [{"scenario": "random_temporal", "max_runs": -1}]})",
+        R"({"sessions": [{"scenario": "random_temporal", "seed": -2}]})"}) {
     SCOPED_TRACE(text);
     Diagnostics diags =
         analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
     EXPECT_TRUE(diags.HasCode("IW606")) << diags.ToReport();
+  }
+}
+
+TEST(AnalyzeServeConfig, IW607FiresOnBadSessionNames) {
+  const std::string oversized(300, 'n');
+  for (const std::string& text :
+       {std::string(
+            R"({"sessions": [{"scenario": "random_temporal", "name": ""}]})"),
+        std::string(
+            R"({"sessions": [{"scenario": "random_temporal", "name": 7}]})"),
+        R"({"sessions": [{"scenario": "random_temporal", "name": ")" +
+            oversized + R"("}]})",
+        std::string(R"({"sessions": [
+            {"scenario": "random_temporal", "name": "twin"},
+            {"scenario": "network_delay", "name": "twin"}]})")}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW607")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+  // Two entries of the same scenario with distinct names are fine.
+  Diagnostics diags = analysis::AnalyzeServeConfig(
+      ParseOrDie(R"({"sessions": [
+          {"scenario": "random_temporal", "name": "a"},
+          {"scenario": "random_temporal", "name": "b"}]})"),
+      LintOptions());
+  EXPECT_FALSE(diags.HasCode("IW607")) << diags.ToReport();
+}
+
+TEST(AnalyzeServeConfig, IW608FiresOnMalformedSessionsShape) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "sessions": []})",
+        R"({"sessions": []})", R"({"sessions": {}})",
+        R"({"sessions": [7]})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW608")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
   }
 }
 
@@ -216,6 +360,13 @@ TEST(AnalyzeServeConfig, LintAgreesWithFromJson) {
       R"({"scenario": "random_temporal", "queue_capacity": 0})",
       R"({"scenario": "random_temporal", "slow_consumer": "nope"})",
       R"({"scenario": "random_temporal", "parallelism": -3})",
+      R"({"scenario": "random_temporal", "workers": 0})",
+      R"({"sessions": [{"name": "a", "scenario": "random_temporal"}]})",
+      R"({"sessions": []})",
+      R"({"sessions": [{"scenario": "random_temporal", "name": ""}]})",
+      R"({"sessions": [{"scenario": "random_temporal"},
+                       {"scenario": "random_temporal"}]})",
+      R"({"scenario": "random_temporal", "sessions": []})",
   };
   for (const char* text : docs) {
     SCOPED_TRACE(text);
@@ -229,6 +380,8 @@ TEST(AnalyzeServeConfig, LintAgreesWithFromJson) {
 TEST(LooksLikeServeConfig, RoutesDocumentsByShape) {
   EXPECT_TRUE(analysis::LooksLikeServeConfig(
       ParseOrDie(R"({"scenario": "random_temporal"})")));
+  EXPECT_TRUE(analysis::LooksLikeServeConfig(
+      ParseOrDie(R"({"sessions": [{"scenario": "random_temporal"}]})")));
   EXPECT_FALSE(analysis::LooksLikeServeConfig(
       ParseOrDie(R"({"polluters": []})")));
   EXPECT_FALSE(analysis::LooksLikeServeConfig(ParseOrDie(

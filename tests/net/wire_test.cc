@@ -426,6 +426,50 @@ TEST(WireFuzz, CorruptSchemaPayloadsReturnStatus) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Subscribe hello (wire version 2)
+// ---------------------------------------------------------------------
+
+TEST(WireFrames, SubscribeRoundTrip) {
+  for (const std::string& id :
+       {std::string(""), std::string("alpha"),
+        std::string("weird \xE2\x82\xAC id with spaces"),
+        std::string(kMaxSessionIdBytes, 's')}) {
+    const std::string frame = EncodeSubscribeFrame(kWireVersion, id);
+    FrameDecoder decoder;
+    decoder.Feed(frame.data(), frame.size());
+    uint8_t type = 0;
+    std::string payload;
+    auto next = decoder.Next(&type, &payload);
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(next.ValueOrDie());
+    EXPECT_EQ(type, kFrameSubscribe);
+    auto request = DecodeSubscribePayload(payload);
+    ASSERT_TRUE(request.ok()) << request.status().ToString();
+    EXPECT_EQ(request.ValueOrDie().version, kWireVersion);
+    EXPECT_EQ(request.ValueOrDie().session_id, id);
+  }
+}
+
+TEST(WireFrames, SubscribeRejectsOversizedSessionId) {
+  const std::string payload = EncodeSubscribePayload(
+      kWireVersion, std::string(kMaxSessionIdBytes + 1, 's'));
+  auto request = DecodeSubscribePayload(payload);
+  ASSERT_FALSE(request.ok());
+  EXPECT_NE(request.status().ToString().find("exceeds limit"),
+            std::string::npos)
+      << request.status().ToString();
+}
+
+TEST(WireFrames, SubscribeRejectsTruncatedAndTrailingPayloads) {
+  const std::string good = EncodeSubscribePayload(kWireVersion, "alpha");
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeSubscribePayload(good.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes accepted";
+  }
+  EXPECT_FALSE(DecodeSubscribePayload(good + "x").ok());
+}
+
 TEST(WireFrames, ErrorFrameCarriesMessage) {
   const std::string frame = EncodeErrorFrame("boom");
   FrameDecoder decoder;

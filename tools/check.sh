@@ -18,7 +18,12 @@
 #   tools/check.sh net        # pollution-as-a-service smoke: serve a
 #                             # scenario on an ephemeral loopback port,
 #                             # tail it, and require the received CSV to
-#                             # be byte-identical to the offline run
+#                             # be byte-identical to the offline run;
+#                             # then a two-named-session server tailed
+#                             # with --session, each stream compared to
+#                             # its per-session offline run, plus a
+#                             # bench_net_server fan-out smoke emitting
+#                             # BENCH_net.json
 #
 # The sanitizer presets compile with -Werror, so this script is also the
 # warning gate. (-Wmaybe-uninitialized is excluded there: GCC 12 emits
@@ -254,6 +259,80 @@ run_net() {
       return 1
     fi
   done
+
+  echo "=== net: two named sessions on one server ==="
+  cat >"${outdir}/two_sessions.json" <<'EOF'
+{
+  "sessions": [
+    {"name": "alpha", "scenario": "random_temporal", "seed": 42,
+     "max_runs": 1},
+    {"name": "beta", "scenario": "network_delay", "seed": 7, "max_runs": 1}
+  ],
+  "port": 0,
+  "workers": 2
+}
+EOF
+  "${cli}" lint "${outdir}/two_sessions.json"
+  "${cli}" run --scenario random_temporal --seed 42 \
+    --output "${outdir}/alpha_offline.csv" >/dev/null
+  "${cli}" run --scenario network_delay --seed 7 \
+    --output "${outdir}/beta_offline.csv" >/dev/null
+  "${cli}" serve --config "${outdir}/two_sessions.json" \
+    >"${outdir}/serve2.log" 2>&1 &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^serving scenario .* on [^ ]*:\([0-9]*\) .*/\1/p' \
+      "${outdir}/serve2.log")
+    [ -n "${port}" ] && break
+    if ! kill -0 "${server_pid}" 2>/dev/null; then
+      echo "net: two-session server exited before listening:"
+      cat "${outdir}/serve2.log"
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "${port}" ]; then
+    echo "net: two-session server never reported its port:"
+    cat "${outdir}/serve2.log"
+    kill "${server_pid}" 2>/dev/null || true
+    return 1
+  fi
+  "${cli}" tail --connect "127.0.0.1:${port}" --session alpha \
+    --csv-out "${outdir}/alpha_tail.csv" &
+  local alpha_pid=$!
+  "${cli}" tail --connect "127.0.0.1:${port}" --session beta \
+    --csv-out "${outdir}/beta_tail.csv"
+  wait "${alpha_pid}"
+  if ! wait "${server_pid}"; then
+    echo "net: two-session server exited non-zero:"
+    cat "${outdir}/serve2.log"
+    return 1
+  fi
+  cmp "${outdir}/alpha_offline.csv" "${outdir}/alpha_tail.csv"
+  cmp "${outdir}/beta_offline.csv" "${outdir}/beta_tail.csv"
+  echo "net: per-session digest match (alpha, beta)"
+
+  echo "=== net: bench_net_server → BENCH_net.json ==="
+  cmake --build --preset default -j "${jobs}" --target bench_net_server
+  ./build/bench/bench_net_server --sessions 2 --subscribers 2 \
+    --tuples 5000 --out BENCH_net.json >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_net.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for key in ("fanout_tuples_per_sec", "bytes_per_sec", "wall_seconds",
+            "tuples_fanned_out"):
+    assert report[key] > 0, key
+latency = report["send_latency_seconds"]
+assert latency["p50"] <= latency["p90"] <= latency["p99"], latency
+print(f"net: BENCH_net.json OK "
+      f"({report['fanout_tuples_per_sec']:.0f} tuples/s fan-out)")
+EOF
+  else
+    grep -q '"fanout_tuples_per_sec"' BENCH_net.json
+  fi
   echo "=== net: OK ==="
 }
 

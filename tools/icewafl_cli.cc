@@ -25,15 +25,20 @@
 //              Chrome trace_event JSON)
 //   serve     --scenario NAME [--port P] [--host H] [--seed N]
 //             [--parallelism P] [--min-subscribers N] [--max-sessions N]
-//             [--queue-capacity N] [--slow-consumer block|drop_oldest|
-//             disconnect] [--config serve.json] [--metrics-out F.prom]
-//             (pollution as a service: binds a TCP port and streams the
-//              scenario's polluted run to every subscriber; the config
-//              is linted — IW6xx — before the socket opens)
-//   tail      --connect HOST:PORT [--limit N] [--csv-out OUT.csv]
-//             (subscribes to a serve instance; writes the received
-//              stream as CSV — byte-identical to `run --output` of the
-//              same scenario/seed — to --csv-out or stdout)
+//             [--queue-capacity N] [--workers N]
+//             [--slow-consumer block|drop_oldest|disconnect]
+//             [--config serve.json] [--metrics-out F.prom]
+//             (pollution as a service: binds a TCP port and hosts one
+//              or more named sessions — a --config document may carry a
+//              "sessions" array — streaming each session's polluted
+//              runs to its subscribers over a shared worker pool; the
+//              config is linted — IW6xx — before the socket opens)
+//   tail      --connect HOST:PORT [--session NAME] [--limit N]
+//             [--csv-out OUT.csv]
+//             (subscribes to one named session of a serve instance;
+//              writes the received stream as CSV — byte-identical to
+//              `run --output` of the same scenario/seed — to --csv-out
+//              or stdout)
 //
 // Exit code: 0 on success (for `validate`: also when all expectations
 // pass; for `lint`: no error-severity findings), 1 on failure, 2 on
@@ -72,7 +77,7 @@ namespace {
 
 using namespace icewafl;  // NOLINT
 
-constexpr const char* kVersion = "0.5.0";
+constexpr const char* kVersion = "0.6.0";
 
 int Usage() {
   std::fprintf(
@@ -96,10 +101,10 @@ int Usage() {
       "              [--metrics-out F.prom] [--trace-out F.json]\n"
       "  icewafl_cli serve --scenario NAME [--port P] [--host H] [--seed N]\n"
       "              [--parallelism P] [--min-subscribers N]\n"
-      "              [--max-sessions N] [--queue-capacity N]\n"
+      "              [--max-sessions N] [--queue-capacity N] [--workers N]\n"
       "              [--slow-consumer block|drop_oldest|disconnect]\n"
       "              [--config serve.json] [--metrics-out F.prom]\n"
-      "  icewafl_cli tail --connect HOST:PORT [--limit N]\n"
+      "  icewafl_cli tail --connect HOST:PORT [--session NAME] [--limit N]\n"
       "              [--csv-out OUT.csv]\n"
       "  icewafl_cli --version\n");
   return 2;
@@ -480,7 +485,8 @@ int BuildServeJson(const std::map<std::string, std::string>& flags,
         IntFlag{"parallelism", "parallelism"},
         IntFlag{"min-subscribers", "min_subscribers"},
         IntFlag{"max-sessions", "max_sessions"},
-        IntFlag{"queue-capacity", "queue_capacity"}}) {
+        IntFlag{"queue-capacity", "queue_capacity"},
+        IntFlag{"workers", "workers"}}) {
     if (!flags.count(f.flag)) continue;
     int64_t value = 0;
     if (!ParseInt64Flag(flags.at(f.flag), &value)) {
@@ -518,40 +524,57 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   if (!config.ok()) return Fail(config.status());
   const net::ServeConfig& serve = config.ValueOrDie();
 
-  auto resolved = scenarios::ResolveScenario(serve.scenario, serve.seed);
-  if (!resolved.ok()) return Fail(resolved.status());
-  // Sessions replay the scenario, so the resolved dataset is shared
-  // read-only across them.
-  auto scenario = std::make_shared<const scenarios::ResolvedScenario>(
-      std::move(resolved).ValueOrDie());
-
   obs::MetricRegistry registry;
   obs::MetricRegistry* metrics_ptr =
       flags.count("metrics-out") ? &registry : nullptr;
 
-  net::PollutionServer::SessionFn session = [scenario, serve,
-                                             metrics_ptr](Sink* sink) {
-    VectorSource source(scenario->schema, scenario->clean);
-    return scenarios::StreamPipelineToSink(
-        &source, scenario->pipeline, serve.seed, serve.parallelism, sink,
-        nullptr, metrics_ptr, nullptr, scenario->stream_start,
-        scenario->stream_end);
-  };
-  net::PollutionServer server(scenario->schema, std::move(session),
-                              serve.ToServerOptions(metrics_ptr));
+  net::PollutionServer server(serve.ToServerOptions(metrics_ptr));
+  for (const net::SessionConfig& entry : serve.sessions) {
+    auto resolved = scenarios::ResolveScenario(entry.scenario, entry.seed);
+    if (!resolved.ok()) return Fail(resolved.status());
+    // Runs replay the scenario, so the resolved dataset is shared
+    // read-only across them.
+    auto scenario = std::make_shared<const scenarios::ResolvedScenario>(
+        std::move(resolved).ValueOrDie());
+    const uint64_t seed = entry.seed;
+    const int parallelism = entry.parallelism;
+    net::PollutionServer::SessionFn fn = [scenario, seed, parallelism,
+                                          metrics_ptr](Sink* sink) {
+      VectorSource source(scenario->schema, scenario->clean);
+      return scenarios::StreamPipelineToSink(
+          &source, scenario->pipeline, seed, parallelism, sink, nullptr,
+          metrics_ptr, nullptr, scenario->stream_start,
+          scenario->stream_end);
+    };
+    Status st = server.AddSession(entry.name, scenario->schema,
+                                  std::move(fn), entry.ToSessionOptions());
+    if (!st.ok()) return Fail(st);
+  }
   Status st = server.Start();
   if (!st.ok()) return Fail(st);
-  std::printf("serving scenario %s on %s:%u (seed %llu, parallelism %d, "
-              "min-subscribers %d, slow-consumer %s%s)\n",
-              serve.scenario.c_str(), serve.host.c_str(),
-              static_cast<unsigned>(server.port()),
-              static_cast<unsigned long long>(serve.seed), serve.parallelism,
-              serve.min_subscribers,
-              net::SlowConsumerPolicyName(serve.slow_consumer),
-              serve.max_sessions == 0
-                  ? ", until killed"
-                  : (", " + std::to_string(serve.max_sessions) + " sessions")
-                        .c_str());
+
+  std::string desc;
+  for (const net::SessionConfig& entry : serve.sessions) {
+    if (!desc.empty()) desc += ", ";
+    desc += entry.name == entry.scenario ? entry.scenario
+                                         : entry.name + "=" + entry.scenario;
+  }
+  std::printf("serving scenario %s on %s:%u (workers %d, queue %zu, "
+              "slow-consumer %s)\n",
+              desc.c_str(), serve.host.c_str(),
+              static_cast<unsigned>(server.port()), serve.workers,
+              serve.queue_capacity,
+              net::SlowConsumerPolicyName(serve.slow_consumer));
+  for (const net::SessionConfig& entry : serve.sessions) {
+    std::printf("  session %s: seed %llu, parallelism %d, "
+                "min-subscribers %d, %s\n",
+                entry.name.c_str(),
+                static_cast<unsigned long long>(entry.seed),
+                entry.parallelism, entry.min_subscribers,
+                entry.max_runs == 0
+                    ? "until stopped"
+                    : (std::to_string(entry.max_runs) + " run(s)").c_str());
+  }
   std::fflush(stdout);
   st = server.Wait();
 
@@ -563,8 +586,9 @@ int RunServe(const std::map<std::string, std::string>& flags) {
                 flags.at("metrics-out").c_str());
   }
   if (!st.ok()) return Fail(st);
-  std::printf("served %llu session(s)\n",
-              static_cast<unsigned long long>(server.sessions_served()));
+  std::printf("served %llu run(s) across %zu session(s)\n",
+              static_cast<unsigned long long>(server.runs_completed()),
+              serve.sessions.size());
   return 0;
 }
 
@@ -591,8 +615,8 @@ int RunTail(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
-  auto client =
-      net::StreamClient::Connect(host, static_cast<uint16_t>(port));
+  auto client = net::StreamClient::Connect(host, static_cast<uint16_t>(port),
+                                           FlagOr(flags, "session", ""));
   if (!client.ok()) return Fail(client.status());
   net::StreamClient& stream = *client.ValueOrDie();
 
@@ -684,12 +708,14 @@ int main(int argc, char** argv) {
     if (!CheckFlags("serve", flags,
                     {"scenario", "config", "host", "port", "seed",
                      "parallelism", "min-subscribers", "max-sessions",
-                     "queue-capacity", "slow-consumer", "metrics-out"}))
+                     "workers", "queue-capacity", "slow-consumer",
+                     "metrics-out"}))
       return 2;
     return RunServe(flags);
   }
   if (command == "tail") {
-    if (!CheckFlags("tail", flags, {"connect", "limit", "csv-out"}))
+    if (!CheckFlags("tail", flags,
+                    {"connect", "session", "limit", "csv-out"}))
       return 2;
     return RunTail(flags);
   }
