@@ -1,0 +1,21 @@
+// Negative control for the thread-safety gate (see CMakeLists.txt).
+//
+// A seeded GUARDED_BY violation: this file MUST FAIL to compile under
+// -Wthread-safety -Werror=thread-safety. If it compiles, the analysis is
+// not actually rejecting unlocked access and the whole tsafety preset is
+// a rubber stamp — the configure step errors out in that case.
+
+#include "util/sync.h"
+
+namespace tsafety_check {
+
+struct Counter {
+  icewafl::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int UnlockedRead(Counter& counter) {
+  return counter.value;  // reads a guarded field without holding mu
+}
+
+}  // namespace tsafety_check

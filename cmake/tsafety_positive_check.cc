@@ -1,0 +1,22 @@
+// Positive control for the thread-safety gate (see CMakeLists.txt).
+//
+// A correctly locked GUARDED_BY access: this file MUST compile under
+// -Wthread-safety -Werror=thread-safety. If it does not, the toolchain
+// (not the tree) is misconfigured and the negative check below would be
+// vacuous.
+
+#include "util/sync.h"
+
+namespace tsafety_check {
+
+struct Counter {
+  icewafl::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+int LockedRead(Counter& counter) {
+  icewafl::MutexLock lock(&counter.mu);
+  return counter.value;
+}
+
+}  // namespace tsafety_check

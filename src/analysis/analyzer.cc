@@ -1,6 +1,7 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -12,6 +13,7 @@
 #include "core/error_function.h"
 #include "core/time_profile.h"
 #include "dq/config.h"
+#include "util/strings.h"
 
 namespace icewafl {
 namespace analysis {
@@ -1106,15 +1108,30 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
     }
   }
 
-  // IW606: the worker pool must have at least one worker.
+  // IW609: the server-wide worker pool must be a positive integer. A
+  // fractional count would truncate silently, zero can never drive a
+  // session, and a value past the int range would overflow the pool
+  // size on load.
   if (serve_json.Has("workers")) {
     const Json workers = serve_json.Get("workers").ValueOrDie();
     if (!workers.is_number()) {
-      diags.AddError("IW606", "/workers", "workers must be a number");
-    } else if (workers.AsInt64() < 1) {
-      diags.AddError("IW606", "/workers",
-                     "workers must be >= 1 (got " +
-                         std::to_string(workers.AsInt64()) + ")");
+      diags.AddError("IW609", "/workers",
+                     "workers must be a positive integer");
+    } else {
+      const double value = workers.AsDouble();
+      if (value != std::floor(value)) {
+        diags.AddError("IW609", "/workers",
+                       "workers must be a positive integer (got " +
+                           FormatDouble(value) + ", which would truncate)");
+      } else if (value < 1.0) {
+        diags.AddError("IW609", "/workers",
+                       "workers must be >= 1 (got " +
+                           FormatDouble(value) + ")");
+      } else if (value > 2147483647.0) {
+        diags.AddError("IW609", "/workers",
+                       "workers must fit a 32-bit integer (got " +
+                           FormatDouble(value) + ")");
+      }
     }
   }
 

@@ -90,13 +90,15 @@ struct ServeAnalyzeOptions {
 ///  - IW604 (warning): unknown key (likely a typo);
 ///  - IW605 (error): missing or unknown scenario (per session entry);
 ///  - IW606 (error): negative seed / max_runs (max_sessions in the
-///    legacy shape), parallelism / min_subscribers / workers < 1, or a
+///    legacy shape), parallelism / min_subscribers < 1, or a
 ///    non-string host;
 ///  - IW607 (error): session name empty, oversized, non-string, or
 ///    duplicated across entries;
 ///  - IW608 (error): malformed sessions shape — "sessions" not a
 ///    non-empty array, an entry not an object, or a document mixing a
-///    top-level "scenario" with a "sessions" array.
+///    top-level "scenario" with a "sessions" array;
+///  - IW609 (error): workers not a positive integer (non-numeric,
+///    fractional, < 1, or past the 32-bit int range).
 Diagnostics AnalyzeServeConfig(const Json& serve_json,
                                const ServeAnalyzeOptions& options = {});
 

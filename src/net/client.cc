@@ -26,7 +26,7 @@ Status SendAll(int fd, const std::string& bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return Status::IOError(std::string("send: ") + std::strerror(errno));
+    return Status::IOError("send: " + ErrnoMessage(errno));
   }
   return Status::OK();
 }
@@ -51,7 +51,7 @@ Status StreamClient::ReadFrame(int fd, FrameDecoder* decoder, uint8_t* type,
     }
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+      return Status::IOError("recv: " + ErrnoMessage(errno));
     }
     decoder->Feed(buf, static_cast<size_t>(n));
   }

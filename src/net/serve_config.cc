@@ -1,6 +1,9 @@
 #include "net/serve_config.h"
 
+#include <cmath>
+
 #include "net/wire.h"
+#include "util/strings.h"
 
 namespace icewafl {
 namespace net {
@@ -149,9 +152,25 @@ Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
                                    " outside [0, 65535]");
   }
   config.port = static_cast<uint16_t>(port);
-  config.workers = static_cast<int>(json.GetInt("workers", config.workers));
-  if (config.workers < 1) {
-    return Status::InvalidArgument("serve config: workers must be >= 1");
+  // Mirrors lint code IW609: a positive integer, rejected (not silently
+  // truncated) when fractional, and bounded by the int pool size.
+  if (json.Has("workers")) {
+    ICEWAFL_ASSIGN_OR_RETURN(Json workers, json.Get("workers"));
+    const double value = workers.AsDouble();
+    if (value != std::floor(value)) {
+      return Status::InvalidArgument(
+          "serve config: workers must be a positive integer (got " +
+          FormatDouble(value) + ", which would truncate)");
+    }
+    if (value < 1.0) {
+      return Status::InvalidArgument("serve config: workers must be >= 1");
+    }
+    if (value > 2147483647.0) {
+      return Status::InvalidArgument(
+          "serve config: workers must fit a 32-bit integer (got " +
+          FormatDouble(value) + ")");
+    }
+    config.workers = static_cast<int>(workers.AsInt64());
   }
   const int64_t capacity = json.GetInt(
       "queue_capacity", static_cast<int64_t>(config.queue_capacity));

@@ -73,11 +73,17 @@ class PollutionServer::FanoutSink : public Sink {
   using Sink::Write;
 
   Status Write(const Tuple& tuple) override {
+    // Two short stop-flag probes, taken one after the other (never
+    // nested): the server-wide flag under the registry lock, the
+    // session flag under its own.
     {
-      std::lock_guard<std::mutex> lock(server_->mu_);
+      MutexLock lock(&server_->mu_);
       if (server_->stop_requested_) {
         return Status::IOError("server stopping");
       }
+    }
+    {
+      MutexLock lock(&session_->mu);
       if (session_->stop_requested) {
         return Status::IOError("session '" + session_->id + "' stopped");
       }
@@ -146,6 +152,8 @@ Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
     return Status::InvalidArgument("session '" + id + "' needs a session fn");
   }
   if (options.min_subscribers < 1) options.min_subscribers = 1;
+  // Built unpublished (no lock needed); pushing into sessions_ under the
+  // registry lock is the publication edge.
   auto session = std::make_shared<Session>();
   session->id = id;
   session->schema = std::move(schema);
@@ -154,7 +162,7 @@ Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
   session->schema_frame = EncodeSchemaFrame(*session->schema);
   session->metrics = obs::SessionMetrics::Bind(options_.metrics, id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_requested_ || draining_) {
       return Status::IOError("server is shutting down");
     }
@@ -170,7 +178,7 @@ Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
 
 Status PollutionServer::StopSession(const std::string& id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     SessionPtr session;
     for (const SessionPtr& s : sessions_) {
       if (s->id == id) {
@@ -181,6 +189,8 @@ Status PollutionServer::StopSession(const std::string& id) {
     if (session == nullptr) {
       return Status::NotFound("no session named '" + id + "'");
     }
+    // Stopping is a state transition, so it holds registry + session.
+    MutexLock session_lock(&session->mu);
     if (session->state == Session::State::kRetired) return Status::OK();
     session->stop_requested = true;
     if (session->state == Session::State::kWaiting ||
@@ -192,14 +202,14 @@ Status PollutionServer::StopSession(const std::string& id) {
     // kRunning: the worker's sink aborts at its next Write and the run
     // epilogue retires the session.
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   wake_.Poke();
   return Status::OK();
 }
 
 Status PollutionServer::Start() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (started_) return Status::AlreadyExists("server already started");
   }
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
@@ -210,7 +220,7 @@ Status PollutionServer::Start() {
       ListenTcp(options_.host, options_.port, options_.backlog, &port_));
   metrics_ = obs::ServerMetrics::Bind(options_.metrics);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     started_ = true;
     accepting_ = true;
   }
@@ -224,26 +234,36 @@ Status PollutionServer::Start() {
 
 void PollutionServer::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_requested_ = true;
     accepting_ = false;
     for (const ConnPtr& c : conns_) c->queue->Poison();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   wake_.Poke();
 }
 
 Status PollutionServer::Wait() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      if (stop_requested_) return true;
-      if (sessions_.empty()) return false;
-      for (const SessionPtr& s : sessions_) {
-        if (s->state != Session::State::kRetired) return false;
+    MutexLock lock(&mu_);
+    while (true) {
+      if (stop_requested_) break;
+      if (!sessions_.empty()) {
+        // Sessions are checked one at a time (never two session locks
+        // at once); a transition cannot slip past the wait because it
+        // holds the registry lock this loop sleeps under.
+        bool all_retired = true;
+        for (const SessionPtr& s : sessions_) {
+          MutexLock session_lock(&s->mu);
+          if (s->state != Session::State::kRetired) {
+            all_retired = false;
+            break;
+          }
+        }
+        if (all_retired) break;
       }
-      return true;
-    });
+      cv_.Wait(mu_);
+    }
     draining_ = true;
     accepting_ = false;
     // Connections that never subscribed (or are racing the shutdown)
@@ -257,23 +277,23 @@ Status PollutionServer::Wait() {
       }
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   wake_.Poke();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   if (reactor_thread_.joinable()) reactor_thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return first_error_;
 }
 
 size_t PollutionServer::clients_connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return conns_.size();
 }
 
 std::vector<std::string> PollutionServer::session_ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> ids;
   ids.reserve(sessions_.size());
   for (const SessionPtr& s : sessions_) ids.push_back(s->id);
@@ -286,6 +306,7 @@ std::vector<std::string> PollutionServer::session_ids() const {
 
 void PollutionServer::ScheduleReadyLocked() {
   for (const SessionPtr& s : sessions_) {
+    MutexLock session_lock(&s->mu);
     if (s->state != Session::State::kWaiting || s->stop_requested) continue;
     if (static_cast<int>(s->waiting.size()) < s->options.min_subscribers) {
       continue;
@@ -302,7 +323,8 @@ void PollutionServer::RetireLocked(const SessionPtr& session,
   auto bye = std::make_shared<const std::string>(EncodeErrorFrame(reason));
   for (const ConnPtr& conn : session->waiting) {
     // A waiting subscriber's queue is empty, so the push cannot be
-    // rejected for capacity.
+    // rejected for capacity. Channel locks rank below session locks, so
+    // enqueueing here respects the hierarchy.
     (void)conn->queue->TryPush({bye, std::chrono::steady_clock::now()});
     conn->queue->Close();
   }
@@ -314,18 +336,22 @@ void PollutionServer::WorkerLoop() {
     SessionPtr session;
     std::vector<ConnPtr> participants;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        return stop_requested_ || draining_ || !run_queue_.empty();
-      });
+      MutexLock lock(&mu_);
+      while (!stop_requested_ && !draining_ && run_queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (stop_requested_ || run_queue_.empty()) break;
       session = run_queue_.front();
       run_queue_.pop_front();
+      MutexLock session_lock(&session->mu);
       // Retired while queued (StopSession raced the pop).
       if (session->state != Session::State::kQueued) continue;
       session->state = Session::State::kRunning;
       participants.swap(session->waiting);
-      for (const ConnPtr& c : participants) c->in_run = true;
+      for (const ConnPtr& c : participants) {
+        MutexLock conn_lock(&c->mu);
+        c->in_run = true;
+      }
     }
     RunSession(session, std::move(participants));
   }
@@ -338,7 +364,7 @@ void PollutionServer::RunSession(const SessionPtr& session,
 
   // Terminate every participating stream: End on success, Error on a
   // run failure, then close the queues so the reactor flushes and
-  // hangs up.
+  // hangs up. No server lock is held here.
   auto tail = std::make_shared<const std::string>(
       status.ok() ? EncodeEndFrame(sink.count())
                   : EncodeErrorFrame(status.ToString()));
@@ -351,27 +377,33 @@ void PollutionServer::RunSession(const SessionPtr& session,
   wake_.Poke();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++session->runs;
-    if (session->metrics.runs != nullptr) session->metrics.runs->Increment();
-    runs_completed_.fetch_add(1, std::memory_order_relaxed);
-    // A stop-triggered abort (global or per-session) is not a failure.
-    if (!status.ok() && !stop_requested_ && !session->stop_requested &&
-        first_error_.ok()) {
-      first_error_ = status;
+    MutexLock lock(&mu_);
+    bool done = false;
+    {
+      MutexLock session_lock(&session->mu);
+      ++session->runs;
+      if (session->metrics.runs != nullptr) session->metrics.runs->Increment();
+      runs_completed_.fetch_add(1, std::memory_order_relaxed);
+      // A stop-triggered abort (global or per-session) is not a failure.
+      if (!status.ok() && !stop_requested_ && !session->stop_requested &&
+          first_error_.ok()) {
+        first_error_ = status;
+      }
+      done = session->stop_requested ||
+             (session->options.max_runs != 0 &&
+              session->runs >= session->options.max_runs);
+      if (done) {
+        RetireLocked(session, "session '" + session->id + "' has ended");
+      } else {
+        session->state = Session::State::kWaiting;
+      }
     }
-    const bool done = session->stop_requested ||
-                      (session->options.max_runs != 0 &&
-                       session->runs >= session->options.max_runs);
-    if (done) {
-      RetireLocked(session, "session '" + session->id + "' has ended");
-    } else {
-      session->state = Session::State::kWaiting;
-      // Late joiners may already satisfy min_subscribers.
-      ScheduleReadyLocked();
-    }
+    // Late joiners may already satisfy min_subscribers. Runs after the
+    // session lock is dropped: ScheduleReadyLocked locks candidate
+    // sessions itself, and two session locks are never held at once.
+    if (!done) ScheduleReadyLocked();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   wake_.Poke();
 }
 
@@ -420,9 +452,11 @@ bool PollutionServer::EnqueueFrame(
         case FrameQueue::PushResult::kFull:
           break;
       }
-      // Queue full: cut the slow consumer loose.
+      // Queue full: cut the slow consumer loose. The kill flag is
+      // connection state; the poison (a channel op, lower in the
+      // hierarchy) happens after the lock is dropped.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&conn->mu);
         conn->kill = true;
       }
       conn->queue->Poison();
@@ -446,7 +480,7 @@ void PollutionServer::HandleSubscribe(const ConnPtr& conn,
   // buffer (the reactor owns it), then flush-and-close.
   auto reject = [&](const std::string& message) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&conn->mu);
       conn->state = Connection::State::kClosing;
     }
     conn->outbuf.append(EncodeErrorFrame(message));
@@ -464,61 +498,86 @@ void PollutionServer::HandleSubscribe(const ConnPtr& conn,
     return;
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  std::string available;
-  for (const SessionPtr& s : sessions_) {
-    if (!available.empty()) available += ", ";
-    available += s->id;
-  }
+  // Resolve the session under the registry lock only; park the
+  // subscriber under the session (+ connection) locks; then let the
+  // scheduler look for a newly ready session under the registry lock
+  // again. Each step stays inside the hierarchy.
   SessionPtr session;
-  if (hello.session_id.empty()) {
-    // Convenience for single-session deployments: an empty id means
-    // "the sole session". Ambiguous otherwise.
-    if (sessions_.size() == 1) {
-      session = sessions_.front();
-    } else {
-      lock.unlock();
-      reject(sessions_.empty()
-                 ? "no sessions registered"
-                 : "subscribe must name one of the sessions: " + available);
-      return;
-    }
-  } else {
+  std::string failure;
+  {
+    MutexLock lock(&mu_);
+    std::string available;
     for (const SessionPtr& s : sessions_) {
-      if (s->id == hello.session_id) {
-        session = s;
-        break;
+      if (!available.empty()) available += ", ";
+      available += s->id;
+    }
+    if (hello.session_id.empty()) {
+      // Convenience for single-session deployments: an empty id means
+      // "the sole session". Ambiguous otherwise.
+      if (sessions_.size() == 1) {
+        session = sessions_.front();
+      } else {
+        failure = sessions_.empty()
+                      ? "no sessions registered"
+                      : "subscribe must name one of the sessions: " + available;
+      }
+    } else {
+      for (const SessionPtr& s : sessions_) {
+        if (s->id == hello.session_id) {
+          session = s;
+          break;
+        }
+      }
+      if (session == nullptr) {
+        failure = "unknown session '" + hello.session_id + "'" +
+                  (available.empty() ? " (no sessions registered)"
+                                     : " (available: " + available + ")");
       }
     }
-    if (session == nullptr) {
-      lock.unlock();
-      reject("unknown session '" + hello.session_id + "'" +
-             (available.empty() ? " (no sessions registered)"
-                                : " (available: " + available + ")"));
-      return;
-    }
   }
-  if (session->state == Session::State::kRetired) {
-    lock.unlock();
-    reject("session '" + session->id + "' has ended");
+  if (session == nullptr) {
+    reject(failure);
     return;
   }
 
-  conn->state = Connection::State::kStreaming;
-  conn->session = session;
-  conn->send_latency = session->metrics.send_latency;
+  bool retired = false;
+  {
+    MutexLock session_lock(&session->mu);
+    if (session->state == Session::State::kRetired) {
+      retired = true;
+    } else {
+      {
+        MutexLock conn_lock(&conn->mu);
+        conn->state = Connection::State::kStreaming;
+        conn->session = session;
+        conn->send_latency = session->metrics.send_latency;
+      }
+      session->waiting.push_back(conn);
+    }
+  }
+  if (retired) {
+    // The session retired between lookup and parking; same answer a
+    // straggler would have gotten under the old single lock.
+    reject("session '" + session->id + "' has ended");
+    return;
+  }
+  // outbuf is reactor-only state and schema_frame is immutable; frames
+  // from a run that starts right now still trail the schema frame,
+  // because only this reactor thread moves queue bytes into outbuf.
   conn->outbuf.append(session->schema_frame);
-  session->waiting.push_back(conn);
-  ScheduleReadyLocked();
-  lock.unlock();
-  cv_.notify_all();  // a run may now have enough subscribers
+  {
+    MutexLock lock(&mu_);
+    ScheduleReadyLocked();
+  }
+  cv_.NotifyAll();  // a run may now have enough subscribers
 }
 
 bool PollutionServer::ServiceConn(const ConnPtr& conn) {
   Connection::State state;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&conn->mu);
     if (conn->kill) {
+      lock.Unlock();
       conn->queue->Poison();
       return false;
     }
@@ -547,7 +606,7 @@ bool PollutionServer::ServiceConn(const ConnPtr& conn) {
       Result<bool> next = conn->decoder.Next(&type, &payload);
       if (!next.ok()) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&conn->mu);
           conn->state = Connection::State::kClosing;
         }
         conn->outbuf.append(EncodeErrorFrame("bad subscribe frame: " +
@@ -556,7 +615,7 @@ bool PollutionServer::ServiceConn(const ConnPtr& conn) {
       } else if (next.ValueOrDie()) {
         if (type != kFrameSubscribe) {
           {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(&conn->mu);
             conn->state = Connection::State::kClosing;
           }
           conn->outbuf.append(EncodeErrorFrame(
@@ -565,19 +624,28 @@ bool PollutionServer::ServiceConn(const ConnPtr& conn) {
           state = Connection::State::kClosing;
         } else {
           HandleSubscribe(conn, payload);
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&conn->mu);
           state = conn->state;
         }
       }
       // Bytes past the hello are ignored, like any other inbound data.
     }
   }
+  // Re-read the connection state once after the inbound pass (the
+  // handshake may have advanced it) along with the latency handle the
+  // subscribe installed.
+  obs::Histogram* send_latency = nullptr;
+  {
+    MutexLock lock(&conn->mu);
+    state = conn->state;
+    send_latency = conn->send_latency;
+  }
   // Refill the write buffer from the frame queue.
   QueuedFrame frame;
   while (conn->outbuf.size() - conn->outpos < kMaxOutbufBytes &&
          conn->queue->TryPop(&frame)) {
-    if (conn->send_latency != nullptr) {
-      conn->send_latency->Observe(
+    if (send_latency != nullptr) {
+      send_latency->Observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         frame.enqueued)
               .count());
@@ -622,17 +690,22 @@ bool PollutionServer::ServiceConn(const ConnPtr& conn) {
 
 void PollutionServer::RemoveConn(const ConnPtr& conn) {
   conn->fd.Reset();
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
-    if (it->get() == conn.get()) {
-      conns_.erase(it);
-      break;
-    }
+  // Three sequential, never-nested acquisitions walking *down* the
+  // hierarchy would invert it; instead each step releases before the
+  // next: read the connection's session link, fix that session's
+  // waiting list, then unlink from the registry.
+  SessionPtr session;
+  bool in_run = false;
+  {
+    MutexLock conn_lock(&conn->mu);
+    session = std::move(conn->session);
+    in_run = conn->in_run;
   }
-  // A subscriber that vanishes while waiting must not count toward its
-  // session's min_subscribers.
-  if (conn->session != nullptr && !conn->in_run) {
-    auto& waiting = conn->session->waiting;
+  if (session != nullptr && !in_run) {
+    // A subscriber that vanishes while waiting must not count toward
+    // its session's min_subscribers.
+    MutexLock session_lock(&session->mu);
+    auto& waiting = session->waiting;
     for (auto it = waiting.begin(); it != waiting.end(); ++it) {
       if (it->get() == conn.get()) {
         waiting.erase(it);
@@ -640,11 +713,20 @@ void PollutionServer::RemoveConn(const ConnPtr& conn) {
       }
     }
   }
-  conn->session.reset();
-  if (metrics_.clients_connected != nullptr) {
-    metrics_.clients_connected->Set(static_cast<double>(conns_.size()));
+  session.reset();
+  {
+    MutexLock lock(&mu_);
+    for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+      if (it->get() == conn.get()) {
+        conns_.erase(it);
+        break;
+      }
+    }
+    if (metrics_.clients_connected != nullptr) {
+      metrics_.clients_connected->Set(static_cast<double>(conns_.size()));
+    }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void PollutionServer::ReactorLoop() {
@@ -655,7 +737,7 @@ void PollutionServer::ReactorLoop() {
   while (true) {
     bool accepting = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stop_requested_) break;
       if (draining_) {
         if (conns_.empty()) break;
@@ -711,7 +793,7 @@ void PollutionServer::ReactorLoop() {
         conn->queue =
             std::make_shared<FrameQueue>(options_.queue_capacity);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           conn->id = next_conn_id_++;
           conns_.push_back(conn);
           if (metrics_.clients_connected != nullptr) {
@@ -733,7 +815,7 @@ void PollutionServer::ReactorLoop() {
   // Abort/exit path: close everything still open.
   std::vector<ConnPtr> leftovers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     leftovers.swap(conns_);
     if (metrics_.clients_connected != nullptr) {
       metrics_.clients_connected->Set(0.0);
@@ -744,7 +826,7 @@ void PollutionServer::ReactorLoop() {
     c->fd.Reset();
   }
   listen_fd_.Reset();
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace net

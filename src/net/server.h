@@ -3,12 +3,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +18,7 @@
 #include "stream/schema.h"
 #include "stream/sink.h"
 #include "util/result.h"
+#include "util/sync.h"
 
 namespace icewafl {
 namespace net {
@@ -111,6 +110,24 @@ struct SessionOptions {
 /// every connection gracefully; RequestStop() aborts (queues poisoned,
 /// fds closed). The destructor aborts if still running — no fd or
 /// thread leaks on any path.
+///
+/// Locking (checked under `-Wthread-safety`; DESIGN.md §12). Three lock
+/// layers, acquired strictly in this order and never reversed:
+///
+///   registry `mu_` (kLockRankServerRegistry)
+///     → `Session::mu` (kLockRankSession)
+///       → `Connection::mu` (kLockRankConnection)
+///         → frame-queue channel locks (kLockRankChannel)
+///
+/// The registry lock guards the collections (`sessions_`, `conns_`,
+/// `run_queue_`) and the server-wide flags; each session and connection
+/// guards its own mutable state. Two sessions (or two connections) are
+/// never locked at once — same-rank acquisitions are always sequential,
+/// one at a time. `cv_` is associated with the registry lock, so every
+/// session *state transition* holds both `mu_` and the session's `mu`
+/// (registry first): a waiter's predicate re-check can then never miss
+/// a transition. Ordering is enforced at runtime by the lockdep-lite
+/// rank check in util/sync.h.
 class PollutionServer {
  public:
   /// \brief One pollution run: stream the full (bounded) polluted
@@ -128,16 +145,16 @@ class PollutionServer {
   /// (runtime creation); fails once the server is stopping. The id must
   /// be non-empty, unique, and at most kMaxSessionIdBytes bytes.
   Status AddSession(const std::string& id, SchemaPtr schema, SessionFn fn,
-                    SessionOptions options = {});
+                    SessionOptions options = {}) EXCLUDES(mu_);
 
   /// \brief Retires a session at runtime. A waiting session retires
   /// immediately (its waiting subscribers get an Error frame); a
   /// running session aborts its current run. Idempotent once retired;
   /// NotFound for an unknown id.
-  Status StopSession(const std::string& id);
+  Status StopSession(const std::string& id) EXCLUDES(mu_);
 
   /// \brief Binds, listens, and spawns the reactor and worker threads.
-  Status Start();
+  Status Start() EXCLUDES(mu_);
 
   /// \brief The actually bound port (differs from options.port when 0).
   uint16_t port() const { return port_; }
@@ -147,12 +164,12 @@ class PollutionServer {
   /// flushes and closes every subscriber. Returns the first run error,
   /// if any. With no sessions registered this returns only after
   /// RequestStop().
-  Status Wait();
+  Status Wait() EXCLUDES(mu_);
 
   /// \brief Aborts serving: poisons every queue, wakes every thread.
   /// Idempotent and safe from any thread (including signal-free CLI
   /// teardown paths).
-  void RequestStop();
+  void RequestStop() EXCLUDES(mu_);
 
   /// \brief Completed pipeline runs so far, across all sessions.
   uint64_t runs_completed() const {
@@ -160,10 +177,10 @@ class PollutionServer {
   }
 
   /// \brief Currently connected subscribers (tests / introspection).
-  size_t clients_connected() const;
+  size_t clients_connected() const EXCLUDES(mu_);
 
   /// \brief Ids of all registered sessions, in registration order.
-  std::vector<std::string> session_ids() const;
+  std::vector<std::string> session_ids() const EXCLUDES(mu_);
 
  private:
   struct QueuedFrame {
@@ -183,7 +200,7 @@ class PollutionServer {
       kRetired,  ///< terminal: max_runs reached or stopped
     };
 
-    // Immutable after AddSession().
+    // Immutable after AddSession() publishes the session.
     std::string id;
     SchemaPtr schema;
     SessionFn fn;
@@ -191,11 +208,13 @@ class PollutionServer {
     std::string schema_frame;
     obs::SessionMetrics metrics;
 
-    // Guarded by PollutionServer::mu_.
-    State state = State::kWaiting;
-    bool stop_requested = false;
-    uint64_t runs = 0;
-    std::vector<std::shared_ptr<Connection>> waiting;
+    /// Second rank of the hierarchy: acquired after the registry lock
+    /// (state transitions hold both), before connection/channel locks.
+    mutable Mutex mu{kLockRankSession};
+    State state GUARDED_BY(mu) = State::kWaiting;
+    bool stop_requested GUARDED_BY(mu) = false;
+    uint64_t runs GUARDED_BY(mu) = 0;
+    std::vector<std::shared_ptr<Connection>> waiting GUARDED_BY(mu);
   };
   using SessionPtr = std::shared_ptr<Session>;
 
@@ -208,65 +227,80 @@ class PollutionServer {
       kClosing,    ///< flush outbuf (an Error tail), then hang up
     };
 
+    // Immutable after the accept path publishes the connection.
     uint64_t id = 0;
     UniqueFd fd;
     std::shared_ptr<FrameQueue> queue;
-    /// Reactor-thread only: hello parser and write buffer.
+
+    /// Reactor-thread only: hello parser and write buffer. Never
+    /// touched off the reactor, so they need no lock.
     FrameDecoder decoder;
     std::string outbuf;
     size_t outpos = 0;
-    obs::Histogram* send_latency = nullptr;
-    /// Guarded by PollutionServer::mu_.
-    State state = State::kHandshake;
-    SessionPtr session;
-    bool in_run = false;
-    bool kill = false;
+
+    /// Third rank of the hierarchy: acquired after registry/session
+    /// locks, before channel locks; never while holding another
+    /// connection's lock.
+    mutable Mutex mu{kLockRankConnection};
+    State state GUARDED_BY(mu) = State::kHandshake;
+    SessionPtr session GUARDED_BY(mu);
+    obs::Histogram* send_latency GUARDED_BY(mu) = nullptr;
+    bool in_run GUARDED_BY(mu) = false;
+    bool kill GUARDED_BY(mu) = false;
   };
   using ConnPtr = std::shared_ptr<Connection>;
 
   class FanoutSink;
 
-  void ReactorLoop();
-  void WorkerLoop();
+  void ReactorLoop() EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
   /// Runs one pipeline run of `session` for `participants` (worker).
   void RunSession(const SessionPtr& session,
-                  std::vector<ConnPtr> participants);
+                  std::vector<ConnPtr> participants) EXCLUDES(mu_);
   /// Moves every waiting session with enough subscribers to the run
-  /// queue. Caller holds mu_; caller notifies.
-  void ScheduleReadyLocked();
+  /// queue. Locks each candidate session in turn; caller notifies.
+  void ScheduleReadyLocked() REQUIRES(mu_);
   /// Retires `session`: terminal state + an Error tail for its waiting
-  /// subscribers. Caller holds mu_; caller pokes the reactor.
-  void RetireLocked(const SessionPtr& session, const std::string& reason);
+  /// subscribers. A state transition, so it requires both the registry
+  /// and the session lock; caller pokes the reactor.
+  void RetireLocked(const SessionPtr& session, const std::string& reason)
+      REQUIRES(mu_, session->mu);
   /// Reactor: parses and answers the Subscribe hello in `payload`.
-  void HandleSubscribe(const ConnPtr& conn, const std::string& payload);
+  void HandleSubscribe(const ConnPtr& conn, const std::string& payload)
+      EXCLUDES(mu_);
   /// Applies the slow-consumer policy to enqueue `frame` for `conn`.
   /// Returns false when the conn can no longer receive (closed/killed).
   bool EnqueueFrame(const ConnPtr& conn,
                     const std::shared_ptr<const std::string>& frame,
-                    const obs::SessionMetrics& metrics);
+                    const obs::SessionMetrics& metrics) EXCLUDES(mu_);
   /// Reactor: advances one connection (read side, queue drain, socket
   /// flush). Returns false when the connection is finished and should
   /// be removed.
-  bool ServiceConn(const ConnPtr& conn);
-  void RemoveConn(const ConnPtr& conn);
+  bool ServiceConn(const ConnPtr& conn) EXCLUDES(mu_);
+  void RemoveConn(const ConnPtr& conn) EXCLUDES(mu_);
 
+  /// Written by the constructor and Start() before any thread exists;
+  /// read-only afterwards (thread creation is the publication edge).
   ServerOptions options_;
 
   UniqueFd listen_fd_;
   WakePipe wake_;
   uint16_t port_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<SessionPtr> sessions_;
-  std::vector<ConnPtr> conns_;
-  std::deque<SessionPtr> run_queue_;
-  bool started_ = false;
-  bool accepting_ = false;
-  bool draining_ = false;
-  bool stop_requested_ = false;
-  Status first_error_;
-  uint64_t next_conn_id_ = 1;
+  /// First rank of the hierarchy; `cv_` waits are predicated only on
+  /// fields this lock guards (plus session states, whose transitions
+  /// also hold this lock — see the class comment).
+  mutable Mutex mu_{kLockRankServerRegistry};
+  CondVar cv_;
+  std::vector<SessionPtr> sessions_ GUARDED_BY(mu_);
+  std::vector<ConnPtr> conns_ GUARDED_BY(mu_);
+  std::deque<SessionPtr> run_queue_ GUARDED_BY(mu_);
+  bool started_ GUARDED_BY(mu_) = false;
+  bool accepting_ GUARDED_BY(mu_) = false;
+  bool draining_ GUARDED_BY(mu_) = false;
+  bool stop_requested_ GUARDED_BY(mu_) = false;
+  Status first_error_ GUARDED_BY(mu_);
+  uint64_t next_conn_id_ GUARDED_BY(mu_) = 1;
 
   std::atomic<uint64_t> runs_completed_{0};
   obs::ServerMetrics metrics_;

@@ -16,8 +16,20 @@ namespace net {
 
 namespace {
 
+// strerror_r comes in two flavours: XSI returns int and fills the
+// buffer, GNU returns the message pointer (which may ignore the
+// buffer). Overload resolution picks the right unpacking at compile
+// time, so this builds against either libc.
+[[maybe_unused]] const char* PickErrnoText(int rc, const char* buf) {
+  return rc == 0 ? buf : "unknown error";
+}
+[[maybe_unused]] const char* PickErrnoText(const char* message,
+                                           const char* /*buf*/) {
+  return message;
+}
+
 Status ErrnoStatus(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
+  return Status::IOError(what + ": " + ErrnoMessage(errno));
 }
 
 /// Resolves `host` to an IPv4 sockaddr_in. getaddrinfo handles both
@@ -50,6 +62,11 @@ Status ResolveIpv4(const std::string& host, uint16_t port,
 }
 
 }  // namespace
+
+std::string ErrnoMessage(int errnum) {
+  char buf[128] = {};
+  return PickErrnoText(strerror_r(errnum, buf, sizeof(buf)), buf);
+}
 
 void UniqueFd::Reset() {
   if (fd_ >= 0) {

@@ -52,6 +52,11 @@ class UniqueFd {
   int fd_ = -1;
 };
 
+/// \brief Thread-safe errno formatting (strerror_r; plain strerror
+/// shares a static buffer across threads, and the serving core calls
+/// into here from the reactor and every worker).
+std::string ErrnoMessage(int errnum);
+
 /// \brief Creates a listening TCP socket bound to `host:port`
 /// (SO_REUSEADDR, non-blocking). Port 0 binds an ephemeral port; the
 /// actually bound port is written to `*bound_port`.

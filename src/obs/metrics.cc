@@ -141,7 +141,6 @@ MetricRegistry::Series* MetricRegistry::GetSeries(
   if (!IsValidMetricName(name)) return nullptr;
   std::sort(labels->begin(), labels->end());
   const std::string signature = LabelSignature(*labels);
-  std::lock_guard<std::mutex> lock(mu_);
   auto [family_it, inserted] = families_.try_emplace(name);
   Family& family = family_it->second;
   if (inserted) {
@@ -177,12 +176,14 @@ MetricRegistry::Series* MetricRegistry::GetSeries(
 
 Counter* MetricRegistry::GetCounter(const std::string& name, Labels labels,
                                     const std::string& help) {
+  MutexLock lock(&mu_);
   Series* series = GetSeries(name, &labels, Type::kCounter, help);
   return series == nullptr ? nullptr : series->counter.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name, Labels labels,
                                 const std::string& help) {
+  MutexLock lock(&mu_);
   Series* series = GetSeries(name, &labels, Type::kGauge, help);
   return series == nullptr ? nullptr : series->gauge.get();
 }
@@ -191,20 +192,21 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name,
                                         Labels labels,
                                         std::vector<double> upper_bounds,
                                         const std::string& help) {
+  MutexLock lock(&mu_);
   Series* series =
       GetSeries(name, &labels, Type::kHistogram, help, &upper_bounds);
   return series == nullptr ? nullptr : series->histogram.get();
 }
 
 size_t MetricRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [name, family] : families_) n += family.series.size();
   return n;
 }
 
 std::string MetricRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {

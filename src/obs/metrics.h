@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace icewafl {
 namespace obs {
@@ -131,19 +132,19 @@ class MetricRegistry {
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
   Counter* GetCounter(const std::string& name, Labels labels = {},
-                      const std::string& help = "");
+                      const std::string& help = "") EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, Labels labels = {},
-                  const std::string& help = "");
+                  const std::string& help = "") EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, Labels labels,
                           std::vector<double> upper_bounds,
-                          const std::string& help = "");
+                          const std::string& help = "") EXCLUDES(mu_);
 
   /// \brief Number of registered series (all types).
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
 
   /// \brief Prometheus text exposition of every registered series.
   /// Deterministic: families sorted by name, series by label signature.
-  std::string ToPrometheusText() const;
+  std::string ToPrometheusText() const EXCLUDES(mu_);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };
@@ -164,13 +165,16 @@ class MetricRegistry {
   /// Registers (or finds) the series and lazily constructs its value
   /// object while `mu_` is held, so concurrent Get* calls with the same
   /// name + labels never race on the unique_ptr. `upper_bounds` is
-  /// consumed only when a histogram is first created.
+  /// consumed only when a histogram is first created. Callers (the three
+  /// public Get*) take the lock; the registry mutex is the last rank in
+  /// the global hierarchy, so registration is legal from any context.
   Series* GetSeries(const std::string& name, Labels* labels, Type type,
                     const std::string& help,
-                    std::vector<double>* upper_bounds = nullptr);
+                    std::vector<double>* upper_bounds = nullptr)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mu_{kLockRankMetricRegistry};
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -3,6 +3,10 @@
 namespace icewafl {
 namespace obs {
 
+// Both Bind overloads only call MetricRegistry::Get*, which lock the
+// registry mutex internally (EXCLUDES(mu_) in metrics.h) — no lock is
+// ever held across a Bind, so these are callable from any server thread.
+
 ServerMetrics ServerMetrics::Bind(MetricRegistry* registry) {
   ServerMetrics m;
   if (registry == nullptr) return m;

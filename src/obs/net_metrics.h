@@ -16,6 +16,13 @@ namespace obs {
 /// With a null registry every handle is nullptr and the server pays one
 /// null check per event — the same opt-in contract as the runtime
 /// instrumentation (DESIGN.md section 7).
+///
+/// Thread-safety contract: `Bind` serializes through the registry's own
+/// mutex (`kLockRankMetricRegistry`, the last rank in the lock
+/// hierarchy — see util/sync.h), so binding is legal while holding any
+/// server lock. The returned structs are immutable after Bind; publish
+/// them to other threads before use (the server binds before spawning
+/// its reactor/workers, or under its registry mutex for late sessions).
 
 /// \brief Server-wide serving metrics (no session dimension).
 struct ServerMetrics {

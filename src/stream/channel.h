@@ -1,13 +1,12 @@
 #ifndef ICEWAFL_STREAM_CHANNEL_H_
 #define ICEWAFL_STREAM_CHANNEL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 
 #include "stream/tuple.h"
+#include "util/sync.h"
 
 namespace icewafl {
 
@@ -40,7 +39,11 @@ struct ChannelStats {
 ///                  producers and consumers wake immediately (error
 ///                  propagation across stages).
 ///
-/// All operations are safe to call concurrently from any thread.
+/// All operations are safe to call concurrently from any thread. The
+/// channel lock ranks as `kLockRankChannel` in the global hierarchy
+/// (util/sync.h): server code may enqueue while holding registry /
+/// session / connection locks, but channel callbacks never re-enter the
+/// server.
 template <typename T>
 class BoundedChannel {
  public:
@@ -53,13 +56,12 @@ class BoundedChannel {
 
   /// \brief Enqueues `item`, blocking while the channel is full.
   /// \return false iff the channel was closed (the item is dropped).
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool Push(T item) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     bool waited = false;
-    if (queue_.size() >= capacity_ && !closed_) {
+    while (queue_.size() >= capacity_ && !closed_) {
       waited = true;
-      not_full_.wait(lock,
-                     [this] { return queue_.size() < capacity_ || closed_; });
+      not_full_.Wait(mu_);
     }
     if (closed_) return false;
     queue_.push_back(std::move(item));
@@ -68,8 +70,8 @@ class BoundedChannel {
     // waits cut short by Close()/Poison() are aborts, not backpressure.
     if (waited) ++stats_.blocked_pushes;
     if (queue_.size() > stats_.peak_queued) stats_.peak_queued = queue_.size();
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -79,15 +81,15 @@ class BoundedChannel {
   /// \brief Non-blocking enqueue; never waits. Used by the serving
   /// fan-out to implement the drop_oldest / disconnect slow-consumer
   /// policies, where a full queue is a decision point, not a wait.
-  PushResult TryPush(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+  PushResult TryPush(T item) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (closed_) return PushResult::kClosed;
     if (queue_.size() >= capacity_) return PushResult::kFull;
     queue_.push_back(std::move(item));
     ++stats_.pushes;
     if (queue_.size() > stats_.peak_queued) stats_.peak_queued = queue_.size();
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return PushResult::kOk;
   }
 
@@ -95,81 +97,81 @@ class BoundedChannel {
   /// \return false when the channel is currently empty (whether open or
   /// closed — combine with closed() to distinguish end of stream, which
   /// is race-free for a channel's single consumer).
-  bool TryPop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool TryPop(T* out) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (queue_.empty()) return false;
     *out = std::move(queue_.front());
     queue_.pop_front();
     ++stats_.pops;
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// \brief Dequeues into `*out`, blocking while the channel is empty and
   /// still open.
   /// \return false iff the channel is closed and drained (end of stream).
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
+  bool Pop(T* out) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (queue_.empty() && !closed_) {
       ++stats_.blocked_pops;
-      not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+      while (queue_.empty() && !closed_) not_empty_.Wait(mu_);
     }
     if (queue_.empty()) return false;
     *out = std::move(queue_.front());
     queue_.pop_front();
     ++stats_.pops;
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return true;
   }
 
   /// \brief Closes the channel for writing; queued items stay poppable.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   /// \brief Closes the channel and discards queued items (abort path).
-  void Poison() {
+  void Poison() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
       queue_.clear();
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return queue_.size();
   }
 
   size_t capacity() const { return capacity_; }
 
-  ChannelStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  ChannelStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> queue_;
-  bool closed_ = false;
-  ChannelStats stats_;
+  mutable Mutex mu_{kLockRankChannel};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  ChannelStats stats_ GUARDED_BY(mu_);
 };
 
 /// \brief Channel of tuple batches — the unit of transfer between

@@ -173,6 +173,14 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
   obs::TraceRecorder* const trace = options_.trace;
   obs::ScopedSpan run_span(trace, "pipeline_run", "runtime", 0);
 
+  // Single-writer slots, one per stage thread: `source_status` belongs to
+  // the source thread, `worker_status[w]` to worker w, `sink_status` to
+  // the caller. None of them needs a lock — the thread joins below are
+  // the release/acquire edge before the caller aggregates them, which is
+  // why they carry no GUARDED_BY annotation (there is no lock to name).
+  // Cross-thread signalling happens exclusively through the channels:
+  // Close() is end-of-stream, Poison() is the stop flag, and both wake
+  // every blocked stage.
   BufferGauge gauge;
   Status source_status;
   std::vector<Status> worker_status(workers);

@@ -101,6 +101,17 @@ struct RuntimeStats {
 /// Errors from any stage cancel the run: channels are poisoned so every
 /// blocked stage wakes, and the first non-OK status (source before
 /// workers before sink) is returned.
+///
+/// Concurrency contract (checked under `-Wthread-safety`, see
+/// util/sync.h and DESIGN.md §12): the runtime owns no mutex of its
+/// own. The bounded channels are the only cross-thread mechanism — both
+/// data transfer and the stop signal (Close/Poison) flow through their
+/// internal lock (`kLockRankChannel`). Everything else is partitioned by
+/// construction: each StageStats slot and each Status slot is written by
+/// exactly one stage thread while that thread is alive, and the joins at
+/// the end of Run() are the synchronization point after which the caller
+/// thread reads them. `stats()` is therefore only meaningful between
+/// runs, never while Run() is executing on another thread.
 class PipelineRuntime {
  public:
   using ChainFactory = std::function<OperatorChain(int worker_index)>;

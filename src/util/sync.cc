@@ -1,0 +1,76 @@
+#include "util/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace icewafl {
+namespace sync_internal {
+namespace {
+
+// Default posture: on in debug builds; the asan/tsan/sync-test targets opt
+// in explicitly with ICEWAFL_SYNC_DEBUG so sanitizer CI exercises the
+// hierarchy even though those presets compile with NDEBUG.
+#if !defined(NDEBUG) || defined(ICEWAFL_SYNC_DEBUG)
+constexpr bool kRankChecksDefault = true;
+#else
+constexpr bool kRankChecksDefault = false;
+#endif
+
+void DefaultViolationHandler(const char* message) {
+  std::fprintf(stderr, "icewafl lock-rank violation: %s\n", message);
+  std::abort();
+}
+
+std::atomic<LockRankViolationHandler> g_violation_handler{&DefaultViolationHandler};
+
+// Ranks currently held by this thread, in acquisition order. A vector (not
+// a fixed array) because block-policy fanout can hold registry + session +
+// several channel locks transiently; depth stays single digits in practice.
+thread_local std::vector<int> t_held_ranks;
+
+}  // namespace
+
+std::atomic<bool> g_rank_checks_enabled{kRankChecksDefault};
+
+void OnLockAcquired(int rank) {
+  for (int held : t_held_ranks) {
+    if (held >= rank) {
+      char message[160];
+      std::snprintf(message, sizeof(message),
+                    "acquiring rank %d while already holding rank %d "
+                    "(order must be strictly increasing: registry 10 -> "
+                    "session 20 -> connection 30 -> channel 40 -> metrics 50)",
+                    rank, held);
+      g_violation_handler.load(std::memory_order_acquire)(message);
+      break;
+    }
+  }
+  t_held_ranks.push_back(rank);
+}
+
+void OnLockReleased(int rank) {
+  // Remove the most recent matching entry; tolerate a miss so that turning
+  // the check on between a Lock and its Unlock cannot crash.
+  for (auto it = t_held_ranks.rbegin(); it != t_held_ranks.rend(); ++it) {
+    if (*it == rank) {
+      t_held_ranks.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace sync_internal
+
+LockRankViolationHandler SetLockRankViolationHandler(LockRankViolationHandler handler) {
+  if (handler == nullptr) handler = &sync_internal::DefaultViolationHandler;
+  return sync_internal::g_violation_handler.exchange(handler,
+                                                     std::memory_order_acq_rel);
+}
+
+bool EnableLockRankChecks(bool enabled) {
+  return sync_internal::g_rank_checks_enabled.exchange(enabled,
+                                                       std::memory_order_relaxed);
+}
+
+}  // namespace icewafl

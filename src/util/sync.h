@@ -1,0 +1,245 @@
+// Annotated synchronization primitives.
+//
+// Drop-in wrappers over <mutex>/<condition_variable> that carry Clang's
+// thread-safety capability attributes, so the locking contract of every
+// concurrent component lives in the type system and is checked at compile
+// time under `-Wthread-safety` (tools/check.sh tsafety). On compilers
+// without the attributes (GCC) the annotations expand to nothing and the
+// wrappers cost exactly what the std primitives cost.
+//
+// Conventions used throughout the tree (see DESIGN.md §12):
+//   - Every shared field names its lock with GUARDED_BY(mu).
+//   - Private helpers that expect a lock to be held are annotated
+//     REQUIRES(mu) and suffixed `Locked`.
+//   - Condition-variable waits are written as explicit while-loops, never
+//     predicate lambdas: the analysis checks lambda bodies separately and
+//     cannot see that the surrounding lock is held.
+//
+// Lock hierarchy. Mutexes may optionally carry a rank (LockRank); a thread
+// may only acquire a ranked mutex whose rank is strictly greater than every
+// ranked mutex it already holds. The documented global order is
+//
+//   server registry (10) -> session (20) -> connection (30)
+//       -> channel (40) -> metric registry (50)
+//
+// and never the reverse. Ordering is enforced at runtime by a lockdep-lite
+// per-thread rank stack (sync.cc). The check is compiled in everywhere but
+// gated behind a global switch: it defaults ON in debug builds and in any
+// translation of sync.cc with ICEWAFL_SYNC_DEBUG defined (the asan/tsan
+// presets do this), and tests can flip it with EnableLockRankChecks().
+
+#ifndef ICEWAFL_UTIL_SYNC_H_
+#define ICEWAFL_UTIL_SYNC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety annotation macros (no-ops elsewhere). The vocabulary
+// follows the Clang documentation's mutex.h reference header.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define ICEWAFL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ICEWAFL_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) ICEWAFL_THREAD_ANNOTATION(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY ICEWAFL_THREAD_ANNOTATION(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) ICEWAFL_THREAD_ANNOTATION(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) ICEWAFL_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) ICEWAFL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) ICEWAFL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) ICEWAFL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) ICEWAFL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) ICEWAFL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) ICEWAFL_THREAD_ANNOTATION(assert_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) ICEWAFL_THREAD_ANNOTATION(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS ICEWAFL_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif
+
+namespace icewafl {
+
+// The documented global acquisition order. A mutex constructed with one of
+// these ranks participates in the runtime ordering check; default-constructed
+// (unranked) mutexes are exempt, for leaf locks with no nesting.
+enum LockRank : int {
+  kLockRankUnranked = 0,
+  kLockRankServerRegistry = 10,  // PollutionServer::mu_
+  kLockRankSession = 20,         // PollutionServer::Session::mu
+  kLockRankConnection = 30,      // PollutionServer::Connection::mu
+  kLockRankChannel = 40,         // BoundedChannel::mu_
+  kLockRankMetricRegistry = 50,  // obs::MetricRegistry::mu_
+};
+
+namespace sync_internal {
+
+// Single definition lives in sync.cc; the header only reads it, so the
+// fast path is one relaxed load + branch per ranked acquisition and the
+// behaviour cannot diverge between translation units.
+extern std::atomic<bool> g_rank_checks_enabled;
+
+inline bool RankChecksEnabled() {
+  return g_rank_checks_enabled.load(std::memory_order_relaxed);
+}
+
+// Out-of-line bookkeeping against the calling thread's rank stack.
+void OnLockAcquired(int rank);
+void OnLockReleased(int rank);
+
+}  // namespace sync_internal
+
+// Installable reaction to an ordering violation (message describes the held
+// rank and the offending acquisition). The default handler prints the
+// message to stderr and aborts; tests install a recorder instead. Returns
+// the previous handler.
+using LockRankViolationHandler = void (*)(const char* message);
+LockRankViolationHandler SetLockRankViolationHandler(LockRankViolationHandler handler);
+
+// Turn the lockdep-lite rank check on or off process-wide. Toggle before
+// spawning threads that take ranked locks: entries pushed while the check
+// is on must be popped while it is still on. Returns the previous setting.
+bool EnableLockRankChecks(bool enabled);
+
+// A std::mutex that is (a) a Clang capability and (b) optionally ranked in
+// the global lock hierarchy above.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(int rank) : rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    if (rank_ != kLockRankUnranked && sync_internal::RankChecksEnabled()) {
+      mu_.lock();
+      sync_internal::OnLockAcquired(rank_);
+      return;
+    }
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    if (rank_ != kLockRankUnranked && sync_internal::RankChecksEnabled()) {
+      sync_internal::OnLockReleased(rank_);
+    }
+    mu_.unlock();
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (rank_ != kLockRankUnranked && sync_internal::RankChecksEnabled()) {
+      sync_internal::OnLockAcquired(rank_);
+    }
+    return true;
+  }
+
+  // Tells the analysis this thread holds the mutex on paths it cannot
+  // prove (e.g. re-entry from a callback documented to run locked).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+  const int rank_ = kLockRankUnranked;
+};
+
+// RAII scoped acquisition, with early release for the lock/compute/
+// unlock-then-notify idiom.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    owned_ = false;
+  }
+
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool owned_ = true;
+};
+
+// Condition variable bound to Mutex. Wait() atomically releases and
+// reacquires the caller's lock, so it REQUIRES the capability; write waits
+// as explicit loops:
+//
+//   MutexLock lock(&mu_);
+//   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Rank bookkeeping: the lock is released for the duration of the wait
+    // and reacquired before returning, so the net held-set is unchanged;
+    // popping and re-pushing the rank keeps the stack exact.
+    const bool ranked =
+        mu.rank_ != kLockRankUnranked && sync_internal::RankChecksEnabled();
+    if (ranked) sync_internal::OnLockReleased(mu.rank_);
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+    if (ranked) sync_internal::OnLockAcquired(mu.rank_);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace icewafl
+
+#endif  // ICEWAFL_UTIL_SYNC_H_

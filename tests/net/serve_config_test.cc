@@ -112,6 +112,9 @@ TEST(ServeConfig, RejectsBadDocuments) {
       R"({"scenario": "s", "port": -1})",                 // port range
       R"({"scenario": "s", "queue_capacity": 0})",        // capacity
       R"({"scenario": "s", "workers": 0})",               // worker pool
+      R"({"scenario": "s", "workers": 2.5})",             // fractional pool
+      R"({"scenario": "s", "workers": "many"})",          // pool type
+      R"({"scenario": "s", "workers": 4294967296})",      // pool overflow
       R"({"scenario": "s", "parallelism": 0})",           // parallelism
       R"({"scenario": "s", "min_subscribers": 0})",       // subscribers
       R"({"scenario": "s", "max_sessions": -2})",         // legacy max_runs
@@ -300,7 +303,6 @@ TEST(AnalyzeServeConfig, IW606FiresOnOtherBadBounds) {
         R"({"scenario": "random_temporal", "parallelism": 0})",
         R"({"scenario": "random_temporal", "min_subscribers": 0})",
         R"({"scenario": "random_temporal", "max_sessions": -1})",
-        R"({"scenario": "random_temporal", "workers": 0})",
         R"({"scenario": "random_temporal", "host": 7})",
         R"({"sessions": [{"scenario": "random_temporal", "max_runs": -1}]})",
         R"({"sessions": [{"scenario": "random_temporal", "seed": -2}]})"}) {
@@ -309,6 +311,26 @@ TEST(AnalyzeServeConfig, IW606FiresOnOtherBadBounds) {
         analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
     EXPECT_TRUE(diags.HasCode("IW606")) << diags.ToReport();
   }
+}
+
+TEST(AnalyzeServeConfig, IW609FiresOnNonPositiveIntegerWorkers) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "workers": 0})",
+        R"({"scenario": "random_temporal", "workers": -2})",
+        R"({"scenario": "random_temporal", "workers": 2.5})",
+        R"({"scenario": "random_temporal", "workers": "many"})",
+        R"({"scenario": "random_temporal", "workers": 4294967296})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW609")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+  // Whole-valued doubles (a JSON "4" parsed as 4.0) are integers.
+  Diagnostics diags = analysis::AnalyzeServeConfig(
+      ParseOrDie(R"({"scenario": "random_temporal", "workers": 4})"),
+      LintOptions());
+  EXPECT_FALSE(diags.HasCode("IW609")) << diags.ToReport();
 }
 
 TEST(AnalyzeServeConfig, IW607FiresOnBadSessionNames) {
@@ -361,6 +383,8 @@ TEST(AnalyzeServeConfig, LintAgreesWithFromJson) {
       R"({"scenario": "random_temporal", "slow_consumer": "nope"})",
       R"({"scenario": "random_temporal", "parallelism": -3})",
       R"({"scenario": "random_temporal", "workers": 0})",
+      R"({"scenario": "random_temporal", "workers": 2.5})",
+      R"({"scenario": "random_temporal", "workers": "many"})",
       R"({"sessions": [{"name": "a", "scenario": "random_temporal"}]})",
       R"({"sessions": []})",
       R"({"sessions": [{"scenario": "random_temporal", "name": ""}]})",

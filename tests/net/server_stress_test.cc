@@ -1,0 +1,142 @@
+// Concurrency stress for the multi-tenant serving core, meant to run
+// under the tsan preset (tools/check.sh tsan). Churn threads hammer
+// AddSession/StopSession against the registry while subscriber threads
+// tail a steady session end to end — the exact interleaving the lock
+// hierarchy (registry -> session -> connection, DESIGN.md §12) exists
+// to keep coherent. The lockdep-lite rank checks run for the whole
+// test with the default abort-on-violation handler, so an ordering
+// regression kills the test even without tsan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "stream/schema.h"
+#include "stream/sink.h"
+#include "stream/tuple.h"
+#include "util/sync.h"
+
+namespace icewafl {
+namespace net {
+namespace {
+
+SchemaPtr MakeSchema() {
+  auto schema = Schema::Make(
+      {{"ts", ValueType::kInt64}, {"load", ValueType::kDouble}}, "ts");
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  return schema.ValueOrDie();
+}
+
+/// A synthetic pollution run: `count` deterministic tuples, no scenario
+/// machinery, so a run is milliseconds and the churn loops get hundreds
+/// of registry transitions per second.
+PollutionServer::SessionFn MakeCountingSession(SchemaPtr schema, int count) {
+  return [schema, count](Sink* sink) -> Status {
+    for (int i = 0; i < count; ++i) {
+      Tuple tuple(schema, {Value(static_cast<int64_t>(i)),
+                           Value(static_cast<double>(i) * 0.5)});
+      tuple.set_id(static_cast<TupleId>(i));
+      ICEWAFL_RETURN_NOT_OK(sink->Write(std::move(tuple)));
+    }
+    return sink->Flush();
+  };
+}
+
+/// Tails one full run of `session_id`; returns tuples received (0 on
+/// connect/stream error, which is fine mid-churn).
+uint64_t TailOnce(uint16_t port, const std::string& session_id) {
+  auto client = StreamClient::Connect("127.0.0.1", port, session_id);
+  if (!client.ok()) return 0;
+  StreamClient& stream = *client.ValueOrDie();
+  Tuple tuple;
+  while (true) {
+    auto next = stream.Next(&tuple);
+    if (!next.ok() || !next.ValueOrDie()) break;
+  }
+  return stream.tuples_received();
+}
+
+TEST(PollutionServerStress, SessionChurnAgainstActiveSubscribers) {
+  // Rank checks on for the duration: any registry/session/connection
+  // acquisition out of order aborts via the default handler.
+  const bool checks_were_enabled = EnableLockRankChecks(true);
+
+  constexpr int kTuplesPerRun = 300;
+  constexpr int kChurnThreads = 3;
+  constexpr int kChurnIterations = 25;
+  constexpr int kSubscriberThreads = 4;
+  constexpr int kTailsPerSubscriber = 6;
+
+  SchemaPtr schema = MakeSchema();
+  ServerOptions options;
+  options.workers = 3;
+  PollutionServer server(options);
+  // The steady tenant: unlimited runs, one subscriber triggers a run.
+  ASSERT_TRUE(server
+                  .AddSession("steady", schema,
+                              MakeCountingSession(schema, kTuplesPerRun),
+                              {.min_subscribers = 1, .max_runs = 0})
+                  .ok());
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // Churners: register a uniquely named session, stop it, repeat. Half
+  // the stops race a freshly queued run; the other half hit sessions
+  // still waiting. Stopping a name twice and stopping a never-added
+  // name exercise the NotFound/already-retired paths.
+  std::atomic<int> churned{0};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurnThreads; ++t) {
+    churners.emplace_back([&, t] {
+      for (int i = 0; i < kChurnIterations; ++i) {
+        const std::string name =
+            "churn-" + std::to_string(t) + "-" + std::to_string(i);
+        Status added = server.AddSession(
+            name, schema, MakeCountingSession(schema, kTuplesPerRun),
+            {.min_subscribers = 1, .max_runs = 1});
+        if (!added.ok()) continue;  // only legal failure: shutdown race
+        if (i % 2 == 0) TailOnce(port, name);
+        EXPECT_TRUE(server.StopSession(name).ok());
+        EXPECT_TRUE(server.StopSession(name).ok());  // idempotent
+        EXPECT_FALSE(server.StopSession(name + "-never-added").ok());
+        ++churned;
+      }
+    });
+  }
+
+  // Subscribers: tail the steady session to completion, repeatedly,
+  // concurrently with the churn.
+  std::atomic<uint64_t> tuples_tailed{0};
+  std::vector<std::thread> subscribers;
+  for (int t = 0; t < kSubscriberThreads; ++t) {
+    subscribers.emplace_back([&] {
+      for (int i = 0; i < kTailsPerSubscriber; ++i) {
+        tuples_tailed += TailOnce(port, "steady");
+      }
+    });
+  }
+
+  for (std::thread& t : churners) t.join();
+  for (std::thread& t : subscribers) t.join();
+
+  server.RequestStop();
+  ASSERT_TRUE(server.Wait().ok());
+
+  EXPECT_EQ(churned, kChurnThreads * kChurnIterations);
+  // Every steady tail that connected before the stop saw complete runs.
+  EXPECT_EQ(tuples_tailed % kTuplesPerRun, 0u);
+  EXPECT_GT(tuples_tailed, 0u);
+  EXPECT_GE(server.runs_completed(), 1u);
+
+  EnableLockRankChecks(checks_were_enabled);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace icewafl

@@ -4,7 +4,13 @@
 #   tools/check.sh            # asan + tsan (the sanitizer gate)
 #   tools/check.sh asan       # Address+UndefinedBehavior only
 #   tools/check.sh tsan       # Thread sanitizer only
-#   tools/check.sh tidy       # clang-tidy over src/ and tools/
+#   tools/check.sh tidy       # clang-tidy over src/, tools/, and tests/
+#   tools/check.sh tsafety    # Clang -Wthread-safety over the full tree
+#                             # (compile-time lock checking against the
+#                             # annotations in src/util/sync.h), plus a
+#                             # configure-time self-test proving the
+#                             # analysis rejects a seeded GUARDED_BY
+#                             # violation; skips when clang is absent
 #   tools/check.sh lint       # icewafl_cli lint over configs/*.json
 #   tools/check.sh obs        # end-to-end observability smoke: run a
 #                             # scenario with --metrics-out/--trace-out
@@ -30,9 +36,13 @@
 # false positives inside libstdc++'s <regex> and variant<string>
 # machinery when sanitizers are enabled — see GCC PR105562.) The tsan pass is what keeps the pipelined runtime
 # (stream/channel.h, stream/runtime.cc, the parallel pollution process)
-# data-race free. The tidy mode degrades to a skip (exit 0 with a
-# notice) when clang-tidy is not installed, so it can sit in the same CI
-# matrix as the sanitizers without making clang a hard dependency.
+# data-race free. The tidy and tsafety modes degrade to a skip (exit 0
+# with a notice) when the clang tooling is not installed, so they can
+# sit in the same CI matrix as the sanitizers without making clang a
+# hard dependency. The tsafety preset promotes only the thread-safety
+# diagnostic groups to errors (-Werror=thread-safety) rather than a
+# blanket -Werror: the gate is about lock discipline, not about chasing
+# clang/gcc differences in -Wall warnings.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -64,11 +74,11 @@ run_tidy() {
   fi
   echo "=== tidy: configure (compile_commands.json) ==="
   cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  echo "=== tidy: ${tidy} over src/ and tools/ ==="
+  echo "=== tidy: ${tidy} over src/, tools/, and tests/ ==="
   # Checks come from the top-level .clang-tidy; -quiet keeps the output
   # to actual findings.
   local files
-  files=$(find src tools -name '*.cc' -o -name '*.h' | sort)
+  files=$(find src tools tests -name '*.cc' -o -name '*.h' | sort)
   local status=0
   if command -v run-clang-tidy >/dev/null 2>&1; then
     run-clang-tidy -clang-tidy-binary "${tidy}" -p build -quiet ${files} ||
@@ -82,6 +92,28 @@ run_tidy() {
     return "${status}"
   fi
   echo "=== tidy: OK ==="
+}
+
+run_tsafety() {
+  local cxx=""
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      cxx="${candidate}"
+      break
+    fi
+  done
+  if [ -z "${cxx}" ]; then
+    echo "=== tsafety: SKIPPED (clang not installed) ==="
+    return 0
+  fi
+  echo "=== tsafety: configure (${cxx}; negative self-test runs here) ==="
+  # The configure step itself is a gate: ICEWAFL_TSAFETY_NEGATIVE_CHECK
+  # try_compiles a correctly locked control (must pass) and a seeded
+  # GUARDED_BY violation (must fail) before anything else builds.
+  cmake --preset tsafety -DCMAKE_CXX_COMPILER="${cxx}"
+  echo "=== tsafety: build full tree (-Werror=thread-safety) ==="
+  cmake --build --preset tsafety -j "${jobs}"
+  echo "=== tsafety: OK ==="
 }
 
 run_lint() {
@@ -345,12 +377,13 @@ for mode in "${modes[@]}"; do
   case "${mode}" in
     asan | tsan) run_preset "${mode}" ;;
     tidy) run_tidy ;;
+    tsafety) run_tsafety ;;
     lint) run_lint ;;
     obs) run_obs ;;
     bench) run_bench ;;
     net) run_net ;;
     *)
-      echo "unknown mode '${mode}' (expected asan, tsan, tidy, lint, obs, bench, or net)" >&2
+      echo "unknown mode '${mode}' (expected asan, tsan, tidy, tsafety, lint, obs, bench, or net)" >&2
       exit 2
       ;;
   esac
