@@ -9,12 +9,28 @@
 
 #include "core/context.h"
 #include "core/time_profile.h"
+#include "stream/batch.h"
 #include "stream/bind.h"
 #include "stream/tuple.h"
 #include "util/json.h"
 #include "util/result.h"
 
 namespace icewafl {
+
+/// \brief Columnar capability of a condition subtree (DESIGN.md §13).
+///
+/// `supported` says whether RefineMask is implemented for the whole
+/// subtree. `rng_consumers` counts the probabilistic nodes inside it:
+/// the columnar driver stages condition evaluation before error
+/// application, which preserves the tuple path's RNG draw order only
+/// while the polluter has at most one RNG consumer in total (condition
+/// tree plus error function) — more than one, and the interleaved
+/// per-tuple draws cannot be replayed stage-by-stage, so the polluter
+/// falls back to the tuple path.
+struct ColumnarSpec {
+  bool supported = false;
+  int rng_consumers = 0;
+};
 
 /// \brief A pollution condition c(t, tau) (Section 2.2).
 ///
@@ -47,6 +63,25 @@ class Condition {
   virtual bool Evaluate(const Tuple& tuple,
                         PollutionContext* ctx) noexcept = 0;
 
+  /// \brief Columnar capability of this subtree. Default: unsupported
+  /// (stateful conditions like window aggregates and holds depend on
+  /// tuple-at-a-time evaluation order across batches).
+  virtual ColumnarSpec Columnar() const { return {}; }
+
+  /// \brief Columnar twin of Evaluate: refines `mask` (one byte per
+  /// batch row; non-zero = still pending) in place, clearing the byte of
+  /// every pending row the condition does not fire for. Contract
+  /// (byte-identity with the tuple path): pending rows are visited in
+  /// ascending order, exactly the RNG draws Evaluate would make are
+  /// made, and `ctx->tau` may be clobbered (the driver re-derives it).
+  /// Only called when Columnar().supported; the default conservatively
+  /// clears everything, mirroring Evaluate's unbound false.
+  virtual void RefineMask(const Batch& batch, PollutionContext* ctx,
+                          uint8_t* mask) noexcept {
+    (void)ctx;
+    for (size_t r = 0; r < batch.rows(); ++r) mask[r] = 0;
+  }
+
   virtual std::string name() const = 0;
   virtual Json ToJson() const = 0;
   virtual std::unique_ptr<Condition> Clone() const = 0;
@@ -58,6 +93,9 @@ using ConditionPtr = std::unique_ptr<Condition>;
 class AlwaysCondition : public Condition {
  public:
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 0}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "always"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -67,6 +105,9 @@ class AlwaysCondition : public Condition {
 class NeverCondition : public Condition {
  public:
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 0}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "never"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -77,6 +118,9 @@ class RandomCondition : public Condition {
  public:
   explicit RandomCondition(double p);
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 1}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "random"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -116,11 +160,18 @@ class ValueCondition : public Condition {
   Status Bind(BindContext& ctx) override;
 
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 0}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "value"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
 
  private:
+  /// Post-bind comparison of one stored value against the operand; the
+  /// single source of truth shared by Evaluate and RefineMask.
+  bool Decide(const Value& v) const noexcept;
+
   std::string attribute_;
   CompareOp op_;
   Value operand_;
@@ -140,6 +191,9 @@ class TimeWindowCondition : public Condition {
   static ConditionPtr After(Timestamp start);
 
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 0}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "time_window"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -156,6 +210,9 @@ class DailyWindowCondition : public Condition {
  public:
   DailyWindowCondition(int start_minute, int end_minute);
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 0}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "daily_window"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -172,6 +229,9 @@ class ProfileProbabilityCondition : public Condition {
  public:
   explicit ProfileProbabilityCondition(TimeProfilePtr profile);
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override { return {true, 1}; }
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "profile_probability"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -187,6 +247,9 @@ class AndCondition : public Condition {
   explicit AndCondition(std::vector<ConditionPtr> children);
   Status Bind(BindContext& ctx) override;
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override;
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "and"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -201,6 +264,9 @@ class OrCondition : public Condition {
   explicit OrCondition(std::vector<ConditionPtr> children);
   Status Bind(BindContext& ctx) override;
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override;
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "or"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;
@@ -288,6 +354,9 @@ class NotCondition : public Condition {
   explicit NotCondition(ConditionPtr child);
   Status Bind(BindContext& ctx) override;
   bool Evaluate(const Tuple& tuple, PollutionContext* ctx) noexcept override;
+  ColumnarSpec Columnar() const override;
+  void RefineMask(const Batch& batch, PollutionContext* ctx,
+                  uint8_t* mask) noexcept override;
   std::string name() const override { return "not"; }
   Json ToJson() const override;
   ConditionPtr Clone() const override;

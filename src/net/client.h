@@ -2,6 +2,7 @@
 #define ICEWAFL_NET_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 
@@ -30,9 +31,13 @@ class StreamClient : public Source {
   /// \brief Dials host:port, subscribes to `session_id`, and completes
   /// the schema handshake. An empty session id subscribes to the
   /// server's sole session (single-session deployments).
+  /// `capabilities` are kCap* bits advertised in the hello; pass
+  /// kCapBatchFrames to receive columnar Batch frames (transparently
+  /// unpacked — Next() still yields one Tuple at a time). The default
+  /// advertises nothing, so the hello bytes match older clients.
   static Result<std::unique_ptr<StreamClient>> Connect(
       const std::string& host, uint16_t port,
-      const std::string& session_id = "");
+      const std::string& session_id = "", uint64_t capabilities = 0);
 
   SchemaPtr schema() const override { return schema_; }
 
@@ -74,6 +79,11 @@ class StreamClient : public Source {
   std::string session_id_;
   std::string peer_;
   FrameDecoder decoder_;
+  /// kCap* bits sent in the hello; a Batch frame from the server is a
+  /// protocol violation unless kCapBatchFrames is set here.
+  uint64_t capabilities_ = 0;
+  /// Rows of a decoded Batch frame not yet handed out by Next().
+  std::deque<Tuple> pending_;
   bool finished_ = false;
   uint64_t tuples_received_ = 0;
   uint64_t reported_total_ = 0;

@@ -68,7 +68,18 @@ class PollutionServer::FanoutSink : public Sink {
       : server_(server),
         session_(session),
         subscribers_(std::move(subscribers)),
-        open_(subscribers_.size(), true) {}
+        open_(subscribers_.size(), true),
+        wants_batch_(subscribers_.size(), false),
+        batch_rows_(std::max<size_t>(1, server->options_.batch_rows)) {
+    // The capability split is fixed for the whole run: the hello set
+    // batch_frames before the subscriber could join a run's snapshot.
+    for (size_t i = 0; i < subscribers_.size(); ++i) {
+      MutexLock lock(&subscribers_[i]->mu);
+      wants_batch_[i] = subscribers_[i]->batch_frames;
+      has_batch_ = has_batch_ || wants_batch_[i];
+      has_tuple_ = has_tuple_ || !wants_batch_[i];
+    }
+  }
 
   using Sink::Write;
 
@@ -88,21 +99,80 @@ class PollutionServer::FanoutSink : public Sink {
         return Status::IOError("session '" + session_->id + "' stopped");
       }
     }
-    // Encode once; every subscriber queue shares the same frame bytes.
-    auto frame =
-        std::make_shared<const std::string>(EncodeTupleFrame(tuple));
-    for (size_t i = 0; i < subscribers_.size(); ++i) {
-      if (!open_[i]) continue;
-      if (server_->EnqueueFrame(subscribers_[i], frame,
-                                session_->metrics)) {
-        if (session_->metrics.tuples_sent != nullptr) {
-          session_->metrics.tuples_sent->Increment();
+    if (has_tuple_) {
+      // Encode once; every tuple subscriber queue shares the frame.
+      auto frame =
+          std::make_shared<const std::string>(EncodeTupleFrame(tuple));
+      for (size_t i = 0; i < subscribers_.size(); ++i) {
+        if (!open_[i] || wants_batch_[i]) continue;
+        if (server_->EnqueueFrame(subscribers_[i], frame,
+                                  session_->metrics)) {
+          if (session_->metrics.tuples_sent != nullptr) {
+            session_->metrics.tuples_sent->Increment();
+          }
+        } else {
+          open_[i] = false;  // disconnected or cut by policy
         }
-      } else {
-        open_[i] = false;  // disconnected or cut by policy
+      }
+    }
+    if (has_batch_) {
+      pending_.push_back(tuple);
+      if (pending_.size() >= batch_rows_) {
+        ICEWAFL_RETURN_NOT_OK(FlushBatch());
       }
     }
     ++count_;
+    return Status::OK();
+  }
+
+  /// \brief Fans out the buffered rows to batch subscribers as one
+  /// encode-once Batch frame. Falls back to per-tuple frames when the
+  /// rows cannot be columnarized (mixed schemas) or the batch payload
+  /// would exceed the frame limit — subscribers accept both kinds.
+  /// RunSession calls this once more for the trailing partial batch.
+  Status FlushBatch() {
+    if (pending_.empty()) return Status::OK();
+    std::shared_ptr<const std::string> frame;
+    Result<Batch> transposed = Batch::FromTuples(pending_);
+    if (transposed.ok()) {
+      std::string payload = EncodeBatchPayload(transposed.ValueOrDie());
+      if (payload.size() <= kMaxFramePayload) {
+        std::string bytes;
+        bytes.reserve(payload.size() + 11);
+        bytes.push_back(static_cast<char>(kFrameBatch));
+        AppendVarint(payload.size(), &bytes);
+        bytes.append(payload);
+        frame = std::make_shared<const std::string>(std::move(bytes));
+      }
+    }
+    for (size_t i = 0; i < subscribers_.size(); ++i) {
+      if (!open_[i] || !wants_batch_[i]) continue;
+      if (frame != nullptr) {
+        if (server_->EnqueueFrame(subscribers_[i], frame,
+                                  session_->metrics)) {
+          if (session_->metrics.tuples_sent != nullptr) {
+            session_->metrics.tuples_sent->Increment(pending_.size());
+          }
+          if (session_->metrics.batches_sent != nullptr) {
+            session_->metrics.batches_sent->Increment();
+          }
+        } else {
+          open_[i] = false;
+        }
+        continue;
+      }
+      for (const Tuple& t : pending_) {
+        auto tf = std::make_shared<const std::string>(EncodeTupleFrame(t));
+        if (!server_->EnqueueFrame(subscribers_[i], tf, session_->metrics)) {
+          open_[i] = false;
+          break;
+        }
+        if (session_->metrics.tuples_sent != nullptr) {
+          session_->metrics.tuples_sent->Increment();
+        }
+      }
+    }
+    pending_.clear();
     return Status::OK();
   }
 
@@ -117,6 +187,11 @@ class PollutionServer::FanoutSink : public Sink {
   Session* session_;
   std::vector<ConnPtr> subscribers_;
   std::vector<bool> open_;
+  std::vector<bool> wants_batch_;
+  bool has_batch_ = false;
+  bool has_tuple_ = false;
+  const size_t batch_rows_;
+  TupleVector pending_;
   uint64_t count_ = 0;
 };
 
@@ -292,6 +367,15 @@ size_t PollutionServer::clients_connected() const {
   return conns_.size();
 }
 
+ChannelStats PollutionServer::frame_queue_stats() const {
+  MutexLock lock(&mu_);
+  // Channel locks rank below the registry lock, so sampling live
+  // queues here stays inside the hierarchy.
+  ChannelStats total = retired_queue_stats_;
+  for (const ConnPtr& c : conns_) total.Add(c->queue->stats());
+  return total;
+}
+
 std::vector<std::string> PollutionServer::session_ids() const {
   MutexLock lock(&mu_);
   std::vector<std::string> ids;
@@ -361,6 +445,8 @@ void PollutionServer::RunSession(const SessionPtr& session,
                                  std::vector<ConnPtr> participants) {
   FanoutSink sink(this, session.get(), std::move(participants));
   Status status = session->fn(&sink);
+  // Batch subscribers still hold a trailing partial batch.
+  if (status.ok()) status = sink.FlushBatch();
 
   // Terminate every participating stream: End on success, Error on a
   // run failure, then close the queues so the reactor flushes and
@@ -551,6 +637,7 @@ void PollutionServer::HandleSubscribe(const ConnPtr& conn,
         conn->state = Connection::State::kStreaming;
         conn->session = session;
         conn->send_latency = session->metrics.send_latency;
+        conn->batch_frames = (hello.capabilities & kCapBatchFrames) != 0;
       }
       session->waiting.push_back(conn);
     }
@@ -722,6 +809,9 @@ void PollutionServer::RemoveConn(const ConnPtr& conn) {
         break;
       }
     }
+    // Fold the departing queue's stats into the server-lifetime totals
+    // so frame_queue_stats() keeps reconciling after disconnects.
+    retired_queue_stats_.Add(conn->queue->stats());
     if (metrics_.clients_connected != nullptr) {
       metrics_.clients_connected->Set(static_cast<double>(conns_.size()));
     }
@@ -817,6 +907,9 @@ void PollutionServer::ReactorLoop() {
   {
     MutexLock lock(&mu_);
     leftovers.swap(conns_);
+    for (const ConnPtr& c : leftovers) {
+      retired_queue_stats_.Add(c->queue->stats());
+    }
     if (metrics_.clients_connected != nullptr) {
       metrics_.clients_connected->Set(0.0);
     }

@@ -62,6 +62,11 @@ struct ServerOptions {
   /// Frames each subscriber queue buffers before the slow-consumer
   /// policy applies (must be >= 1).
   size_t queue_capacity = 256;
+  /// Tuples per Batch frame for subscribers that negotiated
+  /// kCapBatchFrames in their Subscribe hello (must be >= 1). Tuple
+  /// subscribers are unaffected; a trailing partial batch is flushed
+  /// before the End frame.
+  size_t batch_rows = 256;
   SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlock;
   /// Optional metrics sink (not owned; may be nullptr).
   obs::MetricRegistry* metrics = nullptr;
@@ -179,6 +184,13 @@ class PollutionServer {
   /// \brief Currently connected subscribers (tests / introspection).
   size_t clients_connected() const EXCLUDES(mu_);
 
+  /// \brief Aggregated frame-queue statistics across every subscriber
+  /// connection this server has seen — live queues plus the accumulated
+  /// totals of departed ones — so TryPush rejections under a
+  /// slow-consumer policy reconcile with the session drop/disconnect
+  /// metrics (tests / introspection).
+  ChannelStats frame_queue_stats() const EXCLUDES(mu_);
+
   /// \brief Ids of all registered sessions, in registration order.
   std::vector<std::string> session_ids() const EXCLUDES(mu_);
 
@@ -247,6 +259,9 @@ class PollutionServer {
     obs::Histogram* send_latency GUARDED_BY(mu) = nullptr;
     bool in_run GUARDED_BY(mu) = false;
     bool kill GUARDED_BY(mu) = false;
+    /// The hello negotiated kCapBatchFrames: runs send this subscriber
+    /// Batch frames instead of per-tuple frames.
+    bool batch_frames GUARDED_BY(mu) = false;
   };
   using ConnPtr = std::shared_ptr<Connection>;
 
@@ -301,6 +316,8 @@ class PollutionServer {
   bool stop_requested_ GUARDED_BY(mu_) = false;
   Status first_error_ GUARDED_BY(mu_);
   uint64_t next_conn_id_ GUARDED_BY(mu_) = 1;
+  /// Frame-queue stats of departed connections (see frame_queue_stats).
+  ChannelStats retired_queue_stats_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> runs_completed_{0};
   obs::ServerMetrics metrics_;

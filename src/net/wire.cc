@@ -51,7 +51,15 @@ Result<uint64_t> ByteReader::Varint() {
       return Status::ParseError("wire: varint overflows 64 bits");
     }
     v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
-    if ((byte & 0x80) == 0) return v;
+    if ((byte & 0x80) == 0) {
+      // A terminating byte of 0x00 after at least one continuation byte
+      // is an overlong (non-minimal) encoding — e.g. 0x80 0x00 for 0 —
+      // and must be rejected, or the same value has many wire spellings.
+      if (i > 0 && byte == 0) {
+        return Status::ParseError("wire: non-canonical varint");
+      }
+      return v;
+    }
   }
   return Status::ParseError("wire: varint too long");
 }
@@ -61,6 +69,23 @@ Result<std::string> ByteReader::Bytes(size_t n) {
   std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
   pos_ += n;
   return out;
+}
+
+Status ByteReader::ReadRaw(void* dst, size_t n) {
+  if (size_ - pos_ < n) return Status::ParseError("wire: truncated bytes");
+  if (n == 0) return Status::OK();  // dst may be null for an empty span
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<ByteReader> ByteReader::SubReader(size_t n) {
+  if (size_ - pos_ < n) {
+    return Status::ParseError("wire: sub-blob length exceeds payload");
+  }
+  ByteReader sub(data_ + pos_, n);
+  pos_ += n;
+  return sub;
 }
 
 Status ByteReader::ExpectEnd() const {
@@ -151,6 +176,37 @@ Result<Value> ReadValue(ByteReader* reader) {
   return Status::ParseError("wire: unknown value tag " + std::to_string(tag));
 }
 
+/// Appends `n` 64-bit words as little-endian fixed64s — a single blit
+/// on little-endian hosts, which is what "serialize straight from the
+/// column buffers" buys on the wire bench.
+void AppendFixed64Span(const void* data, size_t n, std::string* out) {
+  if (n == 0) return;  // data may be null for an empty span
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  out->append(static_cast<const char*>(data), n * 8);
+#else
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    std::memcpy(&v, p + i * 8, 8);
+    AppendFixed64(v, out);
+  }
+#endif
+}
+
+/// Inverse of AppendFixed64Span.
+Status ReadFixed64Span(ByteReader* reader, void* dst, size_t n) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  return reader->ReadRaw(dst, n * 8);
+#else
+  uint8_t* p = static_cast<uint8_t*>(dst);
+  for (size_t i = 0; i < n; ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(uint64_t v, reader->Fixed64());
+    std::memcpy(p + i * 8, &v, 8);
+  }
+  return Status::OK();
+#endif
+}
+
 }  // namespace
 
 std::string EncodeTuplePayload(const Tuple& tuple) {
@@ -164,6 +220,62 @@ std::string EncodeTuplePayload(const Tuple& tuple) {
   return out;
 }
 
+std::string EncodeBatchPayload(const Batch& batch) {
+  std::string out;
+  const size_t rows = batch.rows();
+  AppendVarint(rows, &out);
+  AppendFixed64Span(batch.ids(), rows, &out);
+  AppendFixed64Span(batch.event_times(), rows, &out);
+  AppendFixed64Span(batch.arrival_times(), rows, &out);
+  const int32_t* subs = batch.substreams();
+  for (size_t r = 0; r < rows; ++r) AppendVarint(ZigzagEncode(subs[r]), &out);
+  AppendVarint(batch.num_columns(), &out);
+  const size_t vbytes = (rows + 7) / 8;
+  std::string blob;
+  for (size_t i = 0; i < batch.num_columns(); ++i) {
+    const Column& col = batch.column(i);
+    blob.clear();
+    blob.push_back(static_cast<char>(col.declared_type()));
+    const uint64_t* words = col.validity();
+    for (size_t b = 0; b < vbytes; ++b) {
+      blob.push_back(
+          static_cast<char>((words[b >> 3] >> ((b & 7) * 8)) & 0xFF));
+    }
+    switch (col.declared_type()) {
+      case ValueType::kBool:
+        if (rows > 0) {
+          blob.append(reinterpret_cast<const char*>(col.bools()), rows);
+        }
+        break;
+      case ValueType::kInt64:
+        AppendFixed64Span(col.int64s(), rows, &blob);
+        break;
+      case ValueType::kDouble:
+        AppendFixed64Span(col.doubles(), rows, &blob);
+        break;
+      case ValueType::kString: {
+        const std::string* strs = col.strings();
+        for (size_t r = 0; r < rows; ++r) {
+          if (!col.IsValid(r)) continue;
+          AppendVarint(strs[r].size(), &blob);
+          blob.append(strs[r]);
+        }
+        break;
+      }
+      case ValueType::kNull:
+        break;
+    }
+    AppendVarint(col.divergent().size(), &blob);
+    for (const std::pair<uint32_t, Value>& entry : col.divergent()) {
+      AppendVarint(entry.first, &blob);
+      AppendValue(entry.second, &blob);
+    }
+    AppendVarint(blob.size(), &out);
+    out.append(blob);
+  }
+  return out;
+}
+
 std::string EncodeEndPayload(uint64_t total_tuples) {
   std::string out;
   AppendVarint(total_tuples, &out);
@@ -171,11 +283,15 @@ std::string EncodeEndPayload(uint64_t total_tuples) {
 }
 
 std::string EncodeSubscribePayload(uint64_t version,
-                                   const std::string& session_id) {
+                                   const std::string& session_id,
+                                   uint64_t capabilities) {
   std::string out;
   AppendVarint(version, &out);
   AppendVarint(session_id.size(), &out);
   out.append(session_id);
+  // Appended only when set, so a capability-less hello is byte-identical
+  // to the pre-capability wire form (old servers keep accepting it).
+  if (capabilities != 0) AppendVarint(capabilities, &out);
   return out;
 }
 
@@ -204,10 +320,18 @@ std::string EncodeErrorFrame(const std::string& message) {
 }
 
 std::string EncodeSubscribeFrame(uint64_t version,
-                                 const std::string& session_id) {
+                                 const std::string& session_id,
+                                 uint64_t capabilities) {
   std::string out;
-  AppendFrame(kFrameSubscribe, EncodeSubscribePayload(version, session_id),
+  AppendFrame(kFrameSubscribe,
+              EncodeSubscribePayload(version, session_id, capabilities),
               &out);
+  return out;
+}
+
+std::string EncodeBatchFrame(const Batch& batch) {
+  std::string out;
+  AppendFrame(kFrameBatch, EncodeBatchPayload(batch), &out);
   return out;
 }
 
@@ -282,6 +406,161 @@ Result<Tuple> DecodeTuplePayload(const std::string& payload,
   return tuple;
 }
 
+Result<Batch> DecodeBatchPayload(const std::string& payload,
+                                 const SchemaPtr& schema) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("wire: batch decode requires a schema");
+  }
+  ByteReader reader(payload);
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t row_count, reader.Varint());
+  // The id array alone costs 8 bytes per row, so `row_count` is bounded
+  // by the payload size — reject before allocating a hostile capacity.
+  if (row_count > payload.size() / 8) {
+    return Status::ParseError("wire: batch row count exceeds payload");
+  }
+  const size_t rows = static_cast<size_t>(row_count);
+  Batch batch = Batch::Empty(schema);
+  batch.ResizeDefault(rows);
+  ICEWAFL_RETURN_NOT_OK(ReadFixed64Span(&reader, batch.mutable_ids(), rows));
+  ICEWAFL_RETURN_NOT_OK(
+      ReadFixed64Span(&reader, batch.mutable_event_times(), rows));
+  ICEWAFL_RETURN_NOT_OK(
+      ReadFixed64Span(&reader, batch.mutable_arrival_times(), rows));
+  int32_t* subs = batch.mutable_substreams();
+  for (size_t r = 0; r < rows; ++r) {
+    ICEWAFL_ASSIGN_OR_RETURN(uint64_t zz, reader.Varint());
+    const int64_t substream = ZigzagDecode(zz);
+    if (substream < INT32_MIN || substream > INT32_MAX) {
+      return Status::ParseError("wire: substream id out of range");
+    }
+    subs[r] = static_cast<int32_t>(substream);
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(uint64_t col_count, reader.Varint());
+  if (col_count != schema->num_attributes()) {
+    return Status::ParseError(
+        "wire: batch has " + std::to_string(col_count) +
+        " columns, schema expects " +
+        std::to_string(schema->num_attributes()));
+  }
+  const size_t vbytes = (rows + 7) / 8;
+  for (size_t i = 0; i < schema->num_attributes(); ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(uint64_t blob_len, reader.Varint());
+    if (blob_len > reader.remaining()) {
+      return Status::ParseError("wire: column blob length exceeds payload");
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(ByteReader cr,
+                             reader.SubReader(static_cast<size_t>(blob_len)));
+    ICEWAFL_ASSIGN_OR_RETURN(uint8_t type_tag, cr.U8());
+    const ValueType declared = schema->attribute(i).type;
+    if (type_tag != static_cast<uint8_t>(declared)) {
+      return Status::ParseError(
+          "wire: column " + std::to_string(i) + " type tag " +
+          std::to_string(type_tag) + " does not match the schema");
+    }
+    Column& col = batch.column(i);
+    ICEWAFL_ASSIGN_OR_RETURN(std::string vbits, cr.Bytes(vbytes));
+    if (rows % 8 != 0 &&
+        (static_cast<uint8_t>(vbits[vbytes - 1]) >> (rows % 8)) != 0) {
+      return Status::ParseError("wire: non-zero trailing validity bits");
+    }
+    uint64_t* words = col.mutable_validity();
+    for (size_t b = 0; b < vbytes; ++b) {
+      words[b >> 3] |= static_cast<uint64_t>(static_cast<uint8_t>(vbits[b]))
+                       << ((b & 7) * 8);
+    }
+    switch (declared) {
+      case ValueType::kBool: {
+        ICEWAFL_RETURN_NOT_OK(cr.ReadRaw(col.bools(), rows));
+        const uint8_t* bools = col.bools();
+        for (size_t r = 0; r < rows; ++r) {
+          if (bools[r] > 1) {
+            return Status::ParseError("wire: bool byte not 0/1");
+          }
+          if (bools[r] != 0 && !col.IsValid(r)) {
+            return Status::ParseError("wire: non-zero slot for invalid row");
+          }
+        }
+        break;
+      }
+      case ValueType::kInt64: {
+        ICEWAFL_RETURN_NOT_OK(ReadFixed64Span(&cr, col.int64s(), rows));
+        const int64_t* ints = col.int64s();
+        for (size_t r = 0; r < rows; ++r) {
+          if (ints[r] != 0 && !col.IsValid(r)) {
+            return Status::ParseError("wire: non-zero slot for invalid row");
+          }
+        }
+        break;
+      }
+      case ValueType::kDouble: {
+        ICEWAFL_RETURN_NOT_OK(ReadFixed64Span(&cr, col.doubles(), rows));
+        const double* ds = col.doubles();
+        for (size_t r = 0; r < rows; ++r) {
+          uint64_t bits = 0;
+          std::memcpy(&bits, &ds[r], sizeof(bits));
+          if (bits != 0 && !col.IsValid(r)) {
+            return Status::ParseError("wire: non-zero slot for invalid row");
+          }
+        }
+        break;
+      }
+      case ValueType::kString: {
+        std::string* strs = col.strings();
+        for (size_t r = 0; r < rows; ++r) {
+          if (!col.IsValid(r)) continue;
+          ICEWAFL_ASSIGN_OR_RETURN(uint64_t len, cr.Varint());
+          if (len > cr.remaining()) {
+            return Status::ParseError("wire: string length exceeds payload");
+          }
+          ICEWAFL_ASSIGN_OR_RETURN(strs[r],
+                                   cr.Bytes(static_cast<size_t>(len)));
+        }
+        break;
+      }
+      case ValueType::kNull: {
+        // A null-typed column has no typed storage, so no row may claim
+        // a valid typed slot.
+        for (size_t b = 0; b < vbytes; ++b) {
+          if (vbits[b] != 0) {
+            return Status::ParseError("wire: valid row in null-typed column");
+          }
+        }
+        break;
+      }
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(uint64_t divergent_count, cr.Varint());
+    // Each divergent entry takes at least two bytes (row + value tag).
+    if (divergent_count > cr.remaining()) {
+      return Status::ParseError("wire: divergent count exceeds column blob");
+    }
+    std::vector<std::pair<uint32_t, Value>>& divergent =
+        col.mutable_divergent();
+    divergent.reserve(static_cast<size_t>(divergent_count));
+    uint64_t prev = 0;
+    for (uint64_t d = 0; d < divergent_count; ++d) {
+      ICEWAFL_ASSIGN_OR_RETURN(uint64_t row, cr.Varint());
+      if (row >= rows) {
+        return Status::ParseError("wire: divergent row out of range");
+      }
+      if (d > 0 && row <= prev) {
+        return Status::ParseError("wire: divergent rows not ascending");
+      }
+      prev = row;
+      if (col.IsValid(static_cast<size_t>(row))) {
+        return Status::ParseError("wire: divergent entry for valid row");
+      }
+      ICEWAFL_ASSIGN_OR_RETURN(Value v, ReadValue(&cr));
+      if (v.is_null() || v.type() == declared) {
+        return Status::ParseError("wire: divergent value does not diverge");
+      }
+      divergent.emplace_back(static_cast<uint32_t>(row), std::move(v));
+    }
+    ICEWAFL_RETURN_NOT_OK(cr.ExpectEnd());
+  }
+  ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
+  return batch;
+}
+
 Result<uint64_t> DecodeEndPayload(const std::string& payload) {
   ByteReader reader(payload);
   ICEWAFL_ASSIGN_OR_RETURN(uint64_t total, reader.Varint());
@@ -303,6 +582,10 @@ Result<SubscribeRequest> DecodeSubscribePayload(const std::string& payload) {
   }
   ICEWAFL_ASSIGN_OR_RETURN(request.session_id,
                            reader.Bytes(static_cast<size_t>(id_len)));
+  // Optional capabilities varint (absent in capability-less hellos).
+  if (reader.remaining() > 0) {
+    ICEWAFL_ASSIGN_OR_RETURN(request.capabilities, reader.Varint());
+  }
   ICEWAFL_RETURN_NOT_OK(reader.ExpectEnd());
   return request;
 }
@@ -336,6 +619,11 @@ Result<bool> FrameDecoder::Next(uint8_t* type, std::string* payload) {
     }
     len |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
     if ((byte & 0x80) == 0) {
+      // Same canonicality rule as ByteReader::Varint: an overlong
+      // length encoding is corruption, not a length.
+      if (i > 0 && byte == 0) {
+        return Status::ParseError("wire: non-canonical varint");
+      }
       complete = true;
       break;
     }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "stream/batch.h"
 #include "stream/schema.h"
 #include "stream/tuple.h"
 #include "util/result.h"
@@ -34,7 +35,14 @@ enum FrameType : uint8_t {
   kFrameEnd = 0x03,        ///< graceful end of stream (payload: total count)
   kFrameError = 0x04,      ///< server-side failure (payload: UTF-8 message)
   kFrameSubscribe = 0x05,  ///< client hello: wire version + session id
+  kFrameBatch = 0x06,      ///< columnar micro-batch (capability-gated)
 };
+
+/// \brief Capability bits a client advertises in its Subscribe hello.
+/// The server only sends a gated frame type to subscribers that set the
+/// matching bit; everyone else keeps receiving per-tuple frames, so a
+/// capability-oblivious client never sees a frame it cannot parse.
+constexpr uint64_t kCapBatchFrames = 1;  ///< client decodes Batch frames
 
 /// \brief Wire protocol version. Bumped to 2 when the client-side
 /// Subscribe hello frame became mandatory (a v1 client that waits
@@ -89,6 +97,11 @@ class ByteReader {
   Result<uint64_t> Varint();
   /// \brief Reads `n` raw bytes into a string.
   Result<std::string> Bytes(size_t n);
+  /// \brief Copies `n` raw bytes into `dst` (bulk fixed-width arrays).
+  Status ReadRaw(void* dst, size_t n);
+  /// \brief Splits off a bounds-checked reader over the next `n` bytes
+  /// and advances past them (length-prefixed sub-blobs).
+  Result<ByteReader> SubReader(size_t n);
   /// \brief Error unless the payload was consumed exactly.
   Status ExpectEnd() const;
 
@@ -119,19 +132,47 @@ std::string EncodeTuplePayload(const Tuple& tuple);
 /// \brief End payload: total tuples sent in this stream, as a varint.
 std::string EncodeEndPayload(uint64_t total_tuples);
 
-/// \brief Subscribe payload: version:varint, id_len:varint, id:bytes.
+/// \brief Batch payload (DESIGN.md section 13): row_count:varint, then
+/// the per-row metadata arrays column-major (ids, event_times,
+/// arrival_times each row_count × fixed64; substreams as row_count
+/// zigzag-varints), then column_count:varint and per attribute one
+/// length-prefixed column blob:
+///
+///   blob     := blob_len:varint  declared_type:u8  validity  values
+///               divergent_count:varint  divergent*
+///   validity := ceil(row_count/8) bytes, LSB-first (bit set = typed
+///               slot holds the value; trailing bits must be zero)
+///   values   := bool: row_count bytes · int64/double: row_count ×
+///               fixed64 (invalid slots all-zero) · string: one
+///               varint-length + bytes per *valid* row, ascending ·
+///               null-typed column: nothing
+///   divergent:= row:varint + self-describing value (as in the tuple
+///               frame) for each non-null value whose runtime type
+///               differs from the declared column type, rows strictly
+///               ascending
+///
+/// Encoding serializes straight from the column buffers — one memcpy
+/// per fixed-width column, no per-tuple framing.
+std::string EncodeBatchPayload(const Batch& batch);
+
+/// \brief Subscribe payload: version:varint, id_len:varint, id:bytes,
+/// then optionally capabilities:varint (absent on the wire when zero,
+/// so a capability-less hello is byte-identical to the v2 form).
 /// An empty id means "the server's sole session" (convenience for
 /// single-session deployments; a multi-session server rejects it).
 std::string EncodeSubscribePayload(uint64_t version,
-                                   const std::string& session_id);
+                                   const std::string& session_id,
+                                   uint64_t capabilities = 0);
 
 /// Convenience: full frames, ready to write to a socket.
 std::string EncodeSchemaFrame(const Schema& schema);
 std::string EncodeTupleFrame(const Tuple& tuple);
+std::string EncodeBatchFrame(const Batch& batch);
 std::string EncodeEndFrame(uint64_t total_tuples);
 std::string EncodeErrorFrame(const std::string& message);
 std::string EncodeSubscribeFrame(uint64_t version,
-                                 const std::string& session_id);
+                                 const std::string& session_id,
+                                 uint64_t capabilities = 0);
 
 // ---------------------------------------------------------------------
 // Frame decoding
@@ -146,6 +187,16 @@ Result<SchemaPtr> DecodeSchemaPayload(const std::string& payload);
 Result<Tuple> DecodeTuplePayload(const std::string& payload,
                                  const SchemaPtr& schema);
 
+/// \brief Validates and decodes a batch payload against `schema`. The
+/// column count and declared column types must match the schema, and
+/// the decode is strict: zero padding in invalid fixed-width slots,
+/// zero trailing validity bits, strictly ascending divergent rows whose
+/// validity bit is clear and whose value type actually diverges —
+/// anything else is a ParseError, so served batch bytes have exactly
+/// one accepted spelling.
+Result<Batch> DecodeBatchPayload(const std::string& payload,
+                                 const SchemaPtr& schema);
+
 /// \brief Decodes the total-count payload of an End frame.
 Result<uint64_t> DecodeEndPayload(const std::string& payload);
 
@@ -153,6 +204,7 @@ Result<uint64_t> DecodeEndPayload(const std::string& payload);
 struct SubscribeRequest {
   uint64_t version = 0;
   std::string session_id;
+  uint64_t capabilities = 0;  ///< kCap* bits; unknown bits are ignored
 };
 
 /// \brief Decodes a Subscribe payload. Rejects ids longer than

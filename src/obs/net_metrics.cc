@@ -31,6 +31,9 @@ SessionMetrics SessionMetrics::Bind(MetricRegistry* registry,
   m.tuples_sent =
       registry->GetCounter("icewafl_server_tuples_sent_total", labels,
                            "Tuple frames enqueued to subscribers");
+  m.batches_sent = registry->GetCounter(
+      "icewafl_server_batches_sent_total", labels,
+      "Batch frames enqueued to batch-capable subscribers");
   m.slow_drops = registry->GetCounter(
       "icewafl_server_slow_drops_total", labels,
       "Frames dropped by the drop_oldest slow-consumer policy");

@@ -40,7 +40,8 @@ struct ServerMetrics {
 /// counter.
 struct SessionMetrics {
   Counter* runs = nullptr;              ///< completed pipeline runs
-  Counter* tuples_sent = nullptr;       ///< tuple frames enqueued
+  Counter* tuples_sent = nullptr;       ///< tuples enqueued (any frame kind)
+  Counter* batches_sent = nullptr;      ///< batch frames enqueued (v2 cap)
   Counter* slow_drops = nullptr;        ///< frames dropped (drop_oldest)
   Counter* slow_disconnects = nullptr;  ///< clients cut (disconnect)
   /// Seconds between a frame entering a subscriber's queue and its

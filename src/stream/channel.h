@@ -20,8 +20,24 @@ struct ChannelStats {
   uint64_t pops = 0;
   uint64_t blocked_pushes = 0;
   uint64_t blocked_pops = 0;
+  /// Rejected TryPush calls, by reason. These are what reconcile the
+  /// server's slow-consumer metrics (drops, disconnects) against the
+  /// channel layer: every dropped frame starts as a kFull TryPush.
+  uint64_t try_push_full = 0;
+  uint64_t try_push_closed = 0;
   /// Largest number of items queued at once (peak buffering).
   uint64_t peak_queued = 0;
+
+  /// \brief Accumulates `other` (peak takes the max; everything else sums).
+  void Add(const ChannelStats& other) {
+    pushes += other.pushes;
+    pops += other.pops;
+    blocked_pushes += other.blocked_pushes;
+    blocked_pops += other.blocked_pops;
+    try_push_full += other.try_push_full;
+    try_push_closed += other.try_push_closed;
+    if (other.peak_queued > peak_queued) peak_queued = other.peak_queued;
+  }
 };
 
 /// \brief Bounded blocking MPSC/MPMC queue connecting pipeline stages.
@@ -83,8 +99,14 @@ class BoundedChannel {
   /// policies, where a full queue is a decision point, not a wait.
   PushResult TryPush(T item) EXCLUDES(mu_) {
     MutexLock lock(&mu_);
-    if (closed_) return PushResult::kClosed;
-    if (queue_.size() >= capacity_) return PushResult::kFull;
+    if (closed_) {
+      ++stats_.try_push_closed;
+      return PushResult::kClosed;
+    }
+    if (queue_.size() >= capacity_) {
+      ++stats_.try_push_full;
+      return PushResult::kFull;
+    }
     queue_.push_back(std::move(item));
     ++stats_.pushes;
     if (queue_.size() > stats_.peak_queued) stats_.peak_queued = queue_.size();

@@ -99,6 +99,8 @@ std::string RuntimeStats::ToString() const {
                   " batches=" + std::to_string(batches) +
                   " blocked_pushes=" + std::to_string(blocked_pushes) +
                   " blocked_pops=" + std::to_string(blocked_pops) +
+                  " try_push_full=" + std::to_string(try_push_full) +
+                  " try_push_closed=" + std::to_string(try_push_closed) +
                   " peak_buffered_tuples=" +
                   std::to_string(peak_buffered_tuples) +
                   " wall_s=" + FormatDouble(wall_seconds, 4);
@@ -379,6 +381,8 @@ Status PipelineRuntime::Run(Source* source, const ChainFactory& chain_factory,
     stats_.stages[w + 1].blocked_pops += in.blocked_pops;
     stats_.stages[w + 1].blocked_pushes += out.blocked_pushes;
     sink_stage.blocked_pops += out.blocked_pops;
+    stats_.try_push_full += in.try_push_full + out.try_push_full;
+    stats_.try_push_closed += in.try_push_closed + out.try_push_closed;
   }
   stats_.source_tuples = source_stage.tuples_in;
   stats_.sink_tuples = sink_stage.tuples_out;

@@ -62,6 +62,12 @@ struct RuntimeStats {
   /// values on worker stages mean the source is the bottleneck; on the
   /// sink they mean the workers are.
   uint64_t blocked_pops = 0;
+  /// Rejected non-blocking pushes across all channels (TryPush hitting a
+  /// full or closed channel). The runtime's own stages always block, so
+  /// these stay zero here; embedders that drive runtime channels with
+  /// TryPush (the serving fan-out) see their rejections accounted.
+  uint64_t try_push_full = 0;
+  uint64_t try_push_closed = 0;
   /// Largest number of tuples queued in channels at any point — the
   /// steady-state memory footprint of the pipeline (compare against the
   /// stream length for the materializing executors).

@@ -634,6 +634,78 @@ TEST(PollutionServer, DropOldestKeepsRunGoingAndCountsDrops) {
                 "icewafl_server_slow_drops_total{session=\"fat\"}"),
             std::string::npos)
       << registry.ToPrometheusText();
+  // Reconciliation: every drop began life as a kFull TryPush on the
+  // subscriber's frame queue, so the channel-level counter must account
+  // for at least the session-level drop total (retired queues included —
+  // the connection is gone by the time Wait() returns).
+  const uint64_t slow_drops =
+      registry.GetCounter("icewafl_server_slow_drops_total",
+                          {{"session", "fat"}})
+          ->value();
+  EXPECT_GT(slow_drops, 0u);
+  EXPECT_GE(server.frame_queue_stats().try_push_full, slow_drops);
+}
+
+// ---------------------------------------------------------------------
+// Batch-frame capability: a negotiated subscriber receives columnar
+// Batch frames, a default subscriber receives tuple frames, and both
+// decode to byte-identical CSV — the offline run's bytes.
+// ---------------------------------------------------------------------
+
+TEST(PollutionServer, BatchAndTupleSubscribersSeeIdenticalStreams) {
+  const uint64_t seed = 77;
+  auto scenario = Resolve("random_temporal", seed);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  const std::string offline = OfflineCsv(scenario.ValueOrDie(), seed, 1);
+
+  obs::MetricRegistry registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  options.batch_rows = 64;  // several full batches plus a partial tail
+  PollutionServer server(options);
+  SessionOptions session;
+  session.min_subscribers = 2;  // both clients share one fanout
+  session.max_runs = 1;
+  ASSERT_TRUE(
+      server
+          .AddSession("wear", scenario.ValueOrDie()->schema,
+                      MakeScenarioSession(scenario.ValueOrDie(), seed, 1),
+                      session)
+          .ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // One batch-capable and one plain subscriber share the run's fanout.
+  auto batch_client =
+      StreamClient::Connect("127.0.0.1", server.port(), "wear",
+                            kCapBatchFrames);
+  ASSERT_TRUE(batch_client.ok()) << batch_client.status().ToString();
+  std::string tuple_csv;
+  std::thread tuple_tail([&] {
+    TailResult r = TailAll(server.port(), "wear");
+    EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+    tuple_csv = std::move(r.csv);
+  });
+  StreamClient& stream = *batch_client.ValueOrDie();
+  TupleVector tuples;
+  Tuple tuple;
+  while (true) {
+    auto next = stream.Next(&tuple);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ValueOrDie()) break;
+    tuples.push_back(std::move(tuple));
+  }
+  tuple_tail.join();
+  const std::string batch_csv = ToCsvString(stream.schema(), tuples);
+  EXPECT_EQ(batch_csv, offline);
+  EXPECT_EQ(tuple_csv, offline);
+  // The End-frame accounting holds across unpacked batches.
+  EXPECT_EQ(stream.tuples_received(), stream.reported_total());
+  ASSERT_TRUE(server.Wait().ok());
+  const uint64_t batches =
+      registry.GetCounter("icewafl_server_batches_sent_total",
+                          {{"session", "wear"}})
+          ->value();
+  EXPECT_GT(batches, 0u) << registry.ToPrometheusText();
 }
 
 TEST(PollutionServer, DisconnectPolicyCutsSlowConsumer) {

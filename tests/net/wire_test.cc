@@ -181,6 +181,53 @@ TEST(WirePrimitives, OverlongVarintRejected) {
   EXPECT_FALSE(reader2.Varint().ok());
 }
 
+TEST(WirePrimitives, NonCanonicalVarintRejected) {
+  // LEB128 admits padded spellings of every value (a redundant
+  // continuation byte followed by a zero terminator). The reader used
+  // to accept them silently, which broke the one-spelling-per-value
+  // contract the canonical re-encode checks rely on. Fixtures cover
+  // the overlong forms of 0, 127, 128, and the 2^63 boundary.
+  struct Fixture {
+    std::string bytes;
+    const char* what;
+  };
+  const Fixture kOverlong[] = {
+      {std::string("\x80\x00", 2), "0 padded to two bytes"},
+      {std::string("\xFF\x00", 2), "127 padded to two bytes"},
+      {std::string("\x80\x81\x00", 3), "128 padded to three bytes"},
+      {std::string(9, static_cast<char>(0x80)) + std::string(1, '\x00'),
+       "0 padded to the full ten bytes"},
+  };
+  for (const Fixture& f : kOverlong) {
+    ByteReader reader(f.bytes);
+    auto result = reader.Varint();
+    ASSERT_FALSE(result.ok()) << f.what << " accepted";
+    EXPECT_NE(result.status().ToString().find("non-canonical varint"),
+              std::string::npos)
+        << f.what << ": " << result.status().ToString();
+  }
+  // 2^63 needs all ten bytes, so its only overlong spelling is eleven
+  // bytes — rejected by the length cap before the canonicality check.
+  std::string eleven_pow63(10, static_cast<char>(0x80));
+  eleven_pow63.push_back(0x01);
+  ByteReader reader_pow63(eleven_pow63);
+  EXPECT_FALSE(reader_pow63.Varint().ok());
+  // The canonical spellings of the same values still decode.
+  const std::pair<std::string, uint64_t> kCanonical[] = {
+      {std::string(1, '\x00'), 0},
+      {std::string(1, '\x7F'), 127},
+      {std::string("\x80\x01", 2), 128},
+      {std::string(9, static_cast<char>(0x80)) + std::string(1, '\x01'),
+       uint64_t{1} << 63},
+  };
+  for (const auto& [bytes, want] : kCanonical) {
+    ByteReader reader3(bytes);
+    auto result = reader3.Varint();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.ValueOrDie(), want);
+  }
+}
+
 // ---------------------------------------------------------------------
 // 500-seed property round-trip
 // ---------------------------------------------------------------------
@@ -315,6 +362,26 @@ TEST(WireFuzz, OverlongFrameLengthVarintRejected) {
   EXPECT_FALSE(decoder.Next(&type, &payload).ok());
 }
 
+TEST(WireFuzz, NonCanonicalFrameLengthVarintRejected) {
+  // A payload length of 1 spelled as [0x81 0x00] instead of [0x01]:
+  // the stream-level length field obeys the same canonicality rule as
+  // every in-payload varint.
+  std::string frame;
+  frame.push_back(static_cast<char>(kFrameTuple));
+  frame.push_back(static_cast<char>(0x81));
+  frame.push_back(0x00);
+  frame.push_back('x');  // the one payload byte the length promises
+  FrameDecoder decoder;
+  decoder.Feed(frame.data(), frame.size());
+  uint8_t type = 0;
+  std::string payload;
+  auto next = decoder.Next(&type, &payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().ToString().find("non-canonical varint"),
+            std::string::npos)
+      << next.status().ToString();
+}
+
 TEST(WireFuzz, CorruptTuplePayloadsReturnStatus) {
   Rng rng(13);
   SchemaPtr schema = RandomSchema(&rng);
@@ -426,6 +493,177 @@ TEST(WireFuzz, CorruptSchemaPayloadsReturnStatus) {
   }
 }
 
+TEST(WireFuzz, EndPayloadRejectsTruncationAndTrailingBytes) {
+  std::string good;
+  AppendVarint(123456789, &good);
+  auto total = DecodeEndPayload(good);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total.ValueOrDie(), 123456789u);
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeEndPayload(good.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes accepted";
+  }
+  // Bytes after the total were silently ignored before the decoder
+  // audit; they are a ParseError now, like every other frame type.
+  EXPECT_FALSE(DecodeEndPayload(good + "x").ok());
+  EXPECT_FALSE(DecodeEndPayload(std::string("\x80\x00", 2)).ok());
+}
+
+TEST(WireFuzz, CorruptBatchPayloadsReturnStatus) {
+  auto schema =
+      Schema::Make({{"ts", ValueType::kInt64}, {"v", ValueType::kInt64}},
+                   "ts")
+          .ValueOrDie();
+  // Hand-built single-row payload so each strictness rule can be
+  // violated in isolation. Layout: row_count, ids, event/arrival
+  // times, substreams, column count, then per-column blobs of
+  // [tag, validity bits, slots, divergent entries].
+  auto make_payload = [&](const std::string& v_blob) {
+    std::string payload;
+    AppendVarint(1, &payload);                   // row_count
+    AppendFixed64(7, &payload);                  // id
+    AppendFixed64(100, &payload);                // event time
+    AppendFixed64(200, &payload);                // arrival time
+    AppendVarint(ZigzagEncode(kNoSubstream), &payload);
+    AppendVarint(2, &payload);                   // column count
+    std::string ts_blob;
+    ts_blob.push_back(static_cast<char>(ValueType::kInt64));
+    ts_blob.push_back(0x01);                     // row 0 valid
+    AppendFixed64(100, &ts_blob);
+    AppendVarint(0, &ts_blob);                   // no divergents
+    AppendVarint(ts_blob.size(), &payload);
+    payload += ts_blob;
+    AppendVarint(v_blob.size(), &payload);
+    payload += v_blob;
+    return payload;
+  };
+  auto int64_blob = [](uint8_t vbits, int64_t slot) {
+    std::string blob;
+    blob.push_back(static_cast<char>(ValueType::kInt64));
+    blob.push_back(static_cast<char>(vbits));
+    AppendFixed64(static_cast<uint64_t>(slot), &blob);
+    AppendVarint(0, &blob);
+    return blob;
+  };
+  auto expect_error = [&](const std::string& payload, const char* needle) {
+    auto result = DecodeBatchPayload(payload, schema);
+    ASSERT_FALSE(result.ok()) << "expected '" << needle << "'";
+    EXPECT_NE(result.status().ToString().find(needle), std::string::npos)
+        << result.status().ToString();
+  };
+
+  // The well-formed baseline decodes and re-encodes byte-identically.
+  const std::string good = make_payload(int64_blob(0x01, 42));
+  {
+    auto batch = DecodeBatchPayload(good, schema);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(EncodeBatchPayload(batch.ValueOrDie()), good);
+  }
+  // Truncation: every proper prefix is an error, never an accept.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeBatchPayload(good.substr(0, cut), schema).ok())
+        << "prefix of " << cut << " bytes accepted";
+  }
+  // Trailing bytes after the last column blob.
+  expect_error(good + "x", "trailing payload byte");
+  // Row count beyond what the payload could hold, rejected before any
+  // allocation.
+  {
+    std::string bad;
+    AppendVarint(uint64_t{1} << 40, &bad);
+    expect_error(bad, "row count exceeds payload");
+  }
+  // Column count disagreeing with the schema arity.
+  {
+    auto narrow = Schema::Make({{"ts", ValueType::kInt64}}, "ts").ValueOrDie();
+    auto result = DecodeBatchPayload(good, narrow);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().ToString().find("columns"), std::string::npos);
+  }
+  // Column type tag disagreeing with the schema.
+  {
+    auto retyped =
+        Schema::Make({{"ts", ValueType::kInt64}, {"v", ValueType::kDouble}},
+                     "ts")
+            .ValueOrDie();
+    auto result = DecodeBatchPayload(good, retyped);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().ToString().find("type tag"), std::string::npos);
+  }
+  // Validity bits set past the row count.
+  expect_error(make_payload(int64_blob(0x02, 0)),
+               "non-zero trailing validity bits");
+  // A non-zero typed slot for a row marked invalid (two spellings of
+  // the same logical column would otherwise round-trip differently).
+  expect_error(make_payload(int64_blob(0x00, 42)),
+               "non-zero slot for invalid row");
+  // Divergent row index past the batch.
+  {
+    std::string blob = int64_blob(0x00, 0);
+    blob.back() = 0x01;  // divergent count 1
+    AppendVarint(5, &blob);
+    blob.push_back(static_cast<char>(ValueType::kBool));
+    blob.push_back(1);
+    expect_error(make_payload(blob), "divergent row out of range");
+  }
+  // Divergent entry naming a row the validity bitmap already covers.
+  {
+    std::string blob = int64_blob(0x01, 42);
+    blob.back() = 0x01;
+    AppendVarint(0, &blob);
+    blob.push_back(static_cast<char>(ValueType::kBool));
+    blob.push_back(1);
+    expect_error(make_payload(blob), "divergent entry for valid row");
+  }
+  // A "divergent" value of the column's own declared type.
+  {
+    std::string blob = int64_blob(0x00, 0);
+    blob.back() = 0x01;
+    AppendVarint(0, &blob);
+    blob.push_back(static_cast<char>(ValueType::kInt64));
+    AppendFixed64(9, &blob);
+    expect_error(make_payload(blob), "does not diverge");
+  }
+  // Unconsumed bytes inside a column blob.
+  {
+    std::string blob = int64_blob(0x01, 42);
+    blob.push_back('x');
+    expect_error(make_payload(blob), "trailing payload byte");
+  }
+}
+
+TEST(WireFuzz, MutatedBatchPayloadsRejectOrStayCanonical) {
+  // Single-byte corruptions of a real batch payload must either fail
+  // to decode or decode to a batch whose canonical re-encode is the
+  // corrupted spelling itself — i.e. there is exactly one accepted
+  // spelling per batch, so served frame bytes are reproducible.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SchemaPtr schema = RandomSchema(&rng);
+    TupleVector tuples;
+    const int rows = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < rows; ++i) {
+      tuples.push_back(RandomTuple(&rng, schema));
+    }
+    auto batch = Batch::FromTuples(tuples);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    const std::string payload = EncodeBatchPayload(batch.ValueOrDie());
+    for (size_t pos = 0; pos < payload.size(); ++pos) {
+      for (uint8_t flip : {uint8_t{0x01}, uint8_t{0xFF}}) {
+        std::string mutated = payload;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ flip);
+        auto decoded = DecodeBatchPayload(mutated, schema);
+        if (decoded.ok()) {
+          EXPECT_EQ(EncodeBatchPayload(decoded.ValueOrDie()), mutated)
+              << "seed " << seed << " byte " << pos << " flip "
+              << static_cast<int>(flip)
+              << ": accepted a non-canonical spelling";
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------
 // Subscribe hello (wire version 2)
 // ---------------------------------------------------------------------
@@ -467,7 +705,34 @@ TEST(WireFrames, SubscribeRejectsTruncatedAndTrailingPayloads) {
     EXPECT_FALSE(DecodeSubscribePayload(good.substr(0, cut)).ok())
         << "prefix of " << cut << " bytes accepted";
   }
-  EXPECT_FALSE(DecodeSubscribePayload(good + "x").ok());
+  // A single trailing varint is the optional capabilities field, not
+  // garbage: "x" (0x78) decodes as capabilities = 0x78.
+  {
+    auto request = DecodeSubscribePayload(good + "x");
+    ASSERT_TRUE(request.ok()) << request.status().ToString();
+    EXPECT_EQ(request.ValueOrDie().capabilities, 0x78u);
+  }
+  // Anything after the capabilities field is trailing garbage again.
+  const std::string with_caps =
+      EncodeSubscribePayload(kWireVersion, "alpha", kCapBatchFrames);
+  EXPECT_FALSE(DecodeSubscribePayload(with_caps + "x").ok());
+  // A truncated multi-byte capabilities varint is rejected, as is a
+  // non-canonical one.
+  EXPECT_FALSE(DecodeSubscribePayload(good + std::string("\x80", 1)).ok());
+  EXPECT_FALSE(DecodeSubscribePayload(good + std::string("\x80\x00", 2)).ok());
+}
+
+TEST(WireFrames, SubscribeCapabilitiesRoundTrip) {
+  // Default capabilities stay off the wire (old servers see old bytes).
+  EXPECT_EQ(EncodeSubscribePayload(kWireVersion, "alpha"),
+            EncodeSubscribePayload(kWireVersion, "alpha", 0));
+  const std::string payload =
+      EncodeSubscribePayload(kWireVersion, "alpha", kCapBatchFrames);
+  auto request = DecodeSubscribePayload(payload);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.ValueOrDie().version, kWireVersion);
+  EXPECT_EQ(request.ValueOrDie().session_id, "alpha");
+  EXPECT_EQ(request.ValueOrDie().capabilities, kCapBatchFrames);
 }
 
 TEST(WireFrames, ErrorFrameCarriesMessage) {

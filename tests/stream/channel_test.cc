@@ -140,6 +140,45 @@ TEST(ChannelTest, SuccessfulPushAfterWaitStillCounts) {
   EXPECT_EQ(ch.stats().pushes, 2u);
 }
 
+TEST(ChannelTest, TryPushOutcomesAreCountedByReason) {
+  // Regression: rejected TryPush calls were invisible in ChannelStats,
+  // so a fanout queue that dropped frames reconciled against nothing.
+  // Every kFull and kClosed outcome must land in its own counter.
+  IntChannel ch(2);
+  EXPECT_EQ(ch.TryPush(1), IntChannel::PushResult::kOk);
+  EXPECT_EQ(ch.TryPush(2), IntChannel::PushResult::kOk);
+  EXPECT_EQ(ch.TryPush(3), IntChannel::PushResult::kFull);
+  EXPECT_EQ(ch.TryPush(4), IntChannel::PushResult::kFull);
+  int v = 0;
+  ASSERT_TRUE(ch.Pop(&v));
+  EXPECT_EQ(ch.TryPush(5), IntChannel::PushResult::kOk);
+  ch.Close();
+  EXPECT_EQ(ch.TryPush(6), IntChannel::PushResult::kClosed);
+  const ChannelStats stats = ch.stats();
+  EXPECT_EQ(stats.pushes, 3u);  // only accepted items count as pushes
+  EXPECT_EQ(stats.try_push_full, 2u);
+  EXPECT_EQ(stats.try_push_closed, 1u);
+  EXPECT_EQ(stats.blocked_pushes, 0u);  // TryPush never parks
+}
+
+TEST(ChannelTest, StatsAddSumsTryPushCounters) {
+  ChannelStats a;
+  a.pushes = 3;
+  a.try_push_full = 2;
+  a.try_push_closed = 1;
+  a.peak_queued = 4;
+  ChannelStats b;
+  b.pushes = 5;
+  b.try_push_full = 7;
+  b.try_push_closed = 9;
+  b.peak_queued = 2;
+  a.Add(b);
+  EXPECT_EQ(a.pushes, 8u);
+  EXPECT_EQ(a.try_push_full, 9u);
+  EXPECT_EQ(a.try_push_closed, 10u);
+  EXPECT_EQ(a.peak_queued, 4u);  // max, not sum
+}
+
 TEST(ChannelTest, StatsCountTraffic) {
   IntChannel ch(8);
   for (int i = 0; i < 6; ++i) EXPECT_TRUE(ch.Push(i));
