@@ -41,7 +41,7 @@ SchemaPtr BenchSchema() {
 /// One run: `count` synthetic wearable-ish tuples (~40 wire bytes each).
 net::PollutionServer::SessionFn MakeBenchSession(SchemaPtr schema,
                                                  int64_t count) {
-  return [schema, count](Sink* sink) {
+  return [schema, count](const PlanContext&, Sink* sink) {
     for (int64_t i = 0; i < count; ++i) {
       Tuple tuple(schema, {Value(i), Value(60.0 + (i % 40)),
                            Value(std::string("beat"))});

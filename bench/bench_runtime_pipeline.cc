@@ -12,11 +12,19 @@
 // GeneratorSource (generation cost models a real ingest stage) through
 // identical pollution chains on both paths and reports throughput, the
 // speedup of the pipelined path, and the runtime's peak channel
-// buffering next to the stream length.
+// buffering next to the stream length. Alongside the human-readable
+// table it emits a machine-readable JSON report (BENCH_runtime.json in
+// CI, validated by tools/check.sh bench) so the runtime perf trajectory
+// lives in a tracked artifact.
+//
+// Usage: bench_runtime_pipeline [--tuples N] [--reps R] [--out PATH]
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/errors_numeric.h"
 #include "core/polluter_operator.h"
@@ -25,14 +33,30 @@
 #include "stream/runtime.h"
 #include "stream/sink.h"
 #include "stream/source.h"
+#include "util/json.h"
 
 namespace {
 
 using namespace icewafl;  // NOLINT
 
-constexpr uint64_t kTuples = 300000;
+uint64_t kTuples = 300000;  // --tuples
 constexpr int kPipelineLength = 12;
 constexpr uint64_t kSeed = 0x1CE3AF1ULL;
+
+int64_t IntFlag(int argc, char** argv, const char* name, int64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string StringFlag(int argc, char** argv, const char* name,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
 
 SchemaPtr WearableSchema() {
   return Schema::Make({{"ts", ValueType::kInt64},
@@ -150,7 +174,13 @@ RunResult RunPipelined(int parallelism,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  kTuples = static_cast<uint64_t>(
+      IntFlag(argc, argv, "--tuples", static_cast<int64_t>(kTuples)));
+  const int reps = static_cast<int>(IntFlag(argc, argv, "--reps", 7));
+  const std::string out =
+      StringFlag(argc, argv, "--out", "BENCH_runtime.json");
+
   std::printf("Pipelined runtime vs. materializing executor\n");
   std::printf("stream: %llu synthetic wearable tuples, pipeline length %d\n\n",
               static_cast<unsigned long long>(kTuples), kPipelineLength);
@@ -165,6 +195,7 @@ int main() {
               base.seconds, Mtps(base), "1.00x", "whole stream", "-");
 
   double speedup_p4 = 0.0;
+  Json pipelined_runs = Json::MakeArray();
   for (int p : {1, 2, 4}) {
     const RunResult r = RunPipelined(p);
     const double speedup = base.seconds / r.seconds;
@@ -179,6 +210,15 @@ int main() {
                    static_cast<unsigned long long>(base.tuples));
       return 1;
     }
+    Json run = Json::MakeObject();
+    run.Set("parallelism", Json(static_cast<int64_t>(p)));
+    run.Set("seconds", Json(r.seconds));
+    run.Set("mtuples_per_sec", Json(Mtps(r)));
+    run.Set("speedup", Json(speedup));
+    run.Set("peak_buffered_tuples",
+            Json(static_cast<int64_t>(r.peak_buffered)));
+    run.Set("blocked_pushes", Json(static_cast<int64_t>(r.blocked_pushes)));
+    pipelined_runs.Append(std::move(run));
   }
 
   std::printf("\npipelined P=4 speedup over materializing P=4: %.2fx %s\n",
@@ -189,16 +229,15 @@ int main() {
   // sample; the instrumented column carries a live MetricRegistry
   // through the runtime and every polluter (the overhead contract in
   // DESIGN.md section 7 is <5% on this comparison).
-  constexpr int kReps = 7;
   const std::vector<double> bounds = obs::ExponentialBounds(0.001, 16.0, 2.0);
   obs::Histogram plain(bounds);
   obs::Histogram instrumented(bounds);
-  for (int i = 0; i < kReps; ++i) {
+  for (int i = 0; i < reps; ++i) {
     plain.Observe(RunPipelined(4).seconds);
     obs::MetricRegistry registry;
     instrumented.Observe(RunPipelined(4, &registry).seconds);
   }
-  std::printf("\npipelined P=4 wall seconds over %d reps:\n", kReps);
+  std::printf("\npipelined P=4 wall seconds over %d reps:\n", reps);
   std::printf("%-24s %10s %10s %10s %10s\n", "variant", "p50", "p95", "p99",
               "mean");
   for (const auto& [label, hist] :
@@ -221,5 +260,49 @@ int main() {
       plain_mean > 0.0 ? (inst_mean / plain_mean - 1.0) * 100.0 : 0.0;
   std::printf("instrumentation overhead on mean wall time: %+.1f%%\n",
               overhead);
+
+  // The tracked artifact: same numbers as the tables above.
+  Json latency = Json::MakeObject();
+  for (const auto& [label, hist] :
+       {std::pair<const char*, const obs::Histogram*>{"uninstrumented",
+                                                      &plain},
+        std::pair<const char*, const obs::Histogram*>{"instrumented",
+                                                      &instrumented}}) {
+    Json variant = Json::MakeObject();
+    variant.Set("p50", Json(hist->Quantile(0.5)));
+    variant.Set("p95", Json(hist->Quantile(0.95)));
+    variant.Set("p99", Json(hist->Quantile(0.99)));
+    variant.Set("mean",
+                Json(hist->count() > 0
+                         ? hist->sum() / static_cast<double>(hist->count())
+                         : 0.0));
+    latency.Set(label, std::move(variant));
+  }
+
+  Json materializing = Json::MakeObject();
+  materializing.Set("parallelism", Json(static_cast<int64_t>(4)));
+  materializing.Set("seconds", Json(base.seconds));
+  materializing.Set("mtuples_per_sec", Json(Mtps(base)));
+
+  Json report = Json::MakeObject();
+  report.Set("bench", Json(std::string("runtime_pipeline")));
+  report.Set("tuples", Json(static_cast<int64_t>(kTuples)));
+  report.Set("pipeline_length", Json(static_cast<int64_t>(kPipelineLength)));
+  report.Set("reps", Json(static_cast<int64_t>(reps)));
+  report.Set("materializing", std::move(materializing));
+  report.Set("pipelined", std::move(pipelined_runs));
+  report.Set("speedup_p4", Json(speedup_p4));
+  report.Set("wall_seconds_p4", std::move(latency));
+  report.Set("instrumentation_overhead_pct", Json(overhead));
+
+  const std::string text = report.DumpPretty() + "\n";
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

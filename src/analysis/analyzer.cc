@@ -975,6 +975,19 @@ void AnalyzeSessionEntry(const Json& entry, const std::string& prefix,
       name.clear();
     } else {
       name = value.AsString();
+      // IW615: control characters would corrupt metric labels, log
+      // lines, and the admin channel's JSON frames.
+      for (char c : name) {
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20 || byte == 0x7f) {
+          diags->AddError("IW615", prefix + "/name",
+                          "session name contains control characters",
+                          "names appear in wire frames and metric labels; "
+                          "use printable characters");
+          name.clear();
+          break;
+        }
+      }
     }
   }
   if (!name.empty() && !seen_names->insert(name).second) {
@@ -1061,14 +1074,17 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
                         &diags);
   }
 
-  // IW601: TCP port range.
-  if (serve_json.Has("port")) {
-    const Json port = serve_json.Get("port").ValueOrDie();
+  // IW601: TCP port range — for the streaming port and (when the
+  // control plane is enabled) the admin port alike.
+  for (const char* key : {"port", "admin_port"}) {
+    if (!serve_json.Has(key)) continue;
+    const Json port = serve_json.Get(key).ValueOrDie();
+    const std::string path = std::string("/") + key;
     if (!port.is_number()) {
-      diags.AddError("IW601", "/port", "port must be a number");
+      diags.AddError("IW601", path, std::string(key) + " must be a number");
     } else if (port.AsInt64() < 0 || port.AsInt64() > 65535) {
-      diags.AddError("IW601", "/port",
-                     "port " + std::to_string(port.AsInt64()) +
+      diags.AddError("IW601", path,
+                     std::string(key) + " " + std::to_string(port.AsInt64()) +
                          " outside [0, 65535]",
                      "0 binds an ephemeral port");
     }
@@ -1137,8 +1153,10 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
 
   // IW604: unknown keys are warnings — likely typos of the above. The
   // per-session knobs are top-level keys only in the legacy shape.
-  static const char* kServerKeys[] = {"sessions", "host", "port", "workers",
-                                      "queue_capacity", "slow_consumer"};
+  static const char* kServerKeys[] = {"sessions",       "host",
+                                      "port",           "admin_port",
+                                      "workers",        "queue_capacity",
+                                      "slow_consumer"};
   static const char* kLegacyKeys[] = {"scenario", "name", "seed",
                                       "parallelism", "min_subscribers",
                                       "max_sessions"};
@@ -1160,6 +1178,165 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
   if (serve_json.Has("host") &&
       !serve_json.Get("host").ValueOrDie().is_string()) {
     diags.AddError("IW606", "/host", "host must be a string");
+  }
+  return diags;
+}
+
+Diagnostics AnalyzeAdminRequest(const Json& request_json,
+                                const AdminAnalyzeOptions& options) {
+  Diagnostics diags;
+  // IW610: the envelope itself.
+  if (!request_json.is_object()) {
+    diags.AddError("IW610", "", "admin request must be a JSON object",
+                   "expected {\"id\": ..., \"method\": ..., \"params\": {...}}");
+    return diags;
+  }
+  if (request_json.Has("id")) {
+    const Json id = request_json.Get("id").ValueOrDie();
+    if (!id.is_number() && !id.is_string()) {
+      diags.AddError("IW610", "/id",
+                     "request id must be a number or a string");
+    }
+  }
+  if (!request_json.Has("method") ||
+      !request_json.Get("method").ValueOrDie().is_string() ||
+      request_json.GetString("method", "").empty()) {
+    diags.AddError("IW610", "/method", "missing method name",
+                   JoinHint("one of: ", options.known_methods));
+    return diags;
+  }
+  const std::string method = request_json.GetString("method", "");
+  Json params = Json::MakeObject();
+  if (request_json.Has("params")) {
+    const Json value = request_json.Get("params").ValueOrDie();
+    if (!value.is_object()) {
+      diags.AddError("IW610", "/params", "params must be an object");
+      return diags;
+    }
+    params = value;
+  }
+  for (const auto& field : request_json.fields()) {
+    if (field.first != "id" && field.first != "method" &&
+        field.first != "params") {
+      diags.AddWarning("IW604", "/" + field.first,
+                       "unknown admin request key '" + field.first + "'");
+    }
+  }
+
+  // IW611: method vocabulary. The per-method checks below would be
+  // meaningless for an unknown method.
+  if (!options.known_methods.empty()) {
+    bool known = false;
+    for (const std::string& candidate : options.known_methods) {
+      if (candidate == method) known = true;
+    }
+    if (!known) {
+      diags.AddError("IW611", "/method", "unknown method '" + method + "'",
+                     JoinHint("one of: ", options.known_methods));
+      return diags;
+    }
+  }
+
+  // IW612: the session target of every per-session method.
+  const bool needs_session_id =
+      method == "get_config" || method == "swap_pipeline" ||
+      method == "set_rate" || method == "stop_session";
+  if (needs_session_id) {
+    if (!params.Has("session") ||
+        !params.Get("session").ValueOrDie().is_string() ||
+        params.GetString("session", "").empty()) {
+      diags.AddError("IW612", "/params/session",
+                     method + " needs a \"session\" name (non-empty string)");
+    }
+  }
+  if (method == "create_session") {
+    if (!params.Has("session") ||
+        !params.Get("session").ValueOrDie().is_object()) {
+      diags.AddError(
+          "IW612", "/params/session",
+          "create_session needs a \"session\" entry object",
+          "the same shape as one serve-config sessions[] entry");
+    }
+  }
+
+  // IW613: swap_pipeline's two mutually exclusive payload forms.
+  if (method == "swap_pipeline") {
+    const bool has_pipeline = params.Has("pipeline");
+    const bool has_scenario = params.Has("scenario");
+    if (has_pipeline == has_scenario) {
+      diags.AddError("IW613", "/params",
+                     "swap_pipeline needs exactly one of \"pipeline\" (a "
+                     "pipeline document) or \"scenario\" (a built-in name)");
+    } else if (has_pipeline &&
+               !params.Get("pipeline").ValueOrDie().is_object()) {
+      diags.AddError("IW613", "/params/pipeline",
+                     "\"pipeline\" must be a pipeline document object");
+    } else if (has_scenario) {
+      const Json scenario = params.Get("scenario").ValueOrDie();
+      if (!scenario.is_string() || scenario.AsString().empty()) {
+        diags.AddError("IW613", "/params/scenario",
+                       "\"scenario\" must be a non-empty string",
+                       JoinHint("one of: ", options.known_scenarios));
+      } else if (!options.known_scenarios.empty()) {
+        bool known = false;
+        for (const std::string& candidate : options.known_scenarios) {
+          if (candidate == scenario.AsString()) known = true;
+        }
+        if (!known) {
+          diags.AddError("IW613", "/params/scenario",
+                         "unknown scenario '" + scenario.AsString() + "'",
+                         JoinHint("one of: ", options.known_scenarios));
+        }
+      }
+    }
+  }
+
+  // IW614: the pacing rate must be a usable number.
+  if (method == "set_rate") {
+    if (!params.Has("tuples_per_sec")) {
+      diags.AddError("IW614", "/params/tuples_per_sec",
+                     "set_rate needs \"tuples_per_sec\"",
+                     "rows per second; 0 serves unpaced");
+    } else {
+      const Json rate = params.Get("tuples_per_sec").ValueOrDie();
+      if (!rate.is_number()) {
+        diags.AddError("IW614", "/params/tuples_per_sec",
+                       "tuples_per_sec must be a number");
+      } else if (!std::isfinite(rate.AsDouble()) || rate.AsDouble() < 0) {
+        diags.AddError("IW614", "/params/tuples_per_sec",
+                       "tuples_per_sec must be finite and >= 0 (got " +
+                           FormatDouble(rate.AsDouble()) + ")");
+      }
+    }
+  }
+
+  // IW604: unknown params keys for a known method are likely typos.
+  struct MethodKeys {
+    const char* method;
+    std::vector<const char*> keys;
+  };
+  static const MethodKeys kMethodKeys[] = {
+      {"list_sessions", {}},
+      {"get_metrics", {}},
+      {"get_config", {"session"}},
+      {"stop_session", {"session"}},
+      {"swap_pipeline", {"session", "pipeline", "scenario"}},
+      {"set_rate", {"session", "tuples_per_sec"}},
+      {"create_session", {"session"}},
+  };
+  for (const MethodKeys& entry : kMethodKeys) {
+    if (entry.method != method) continue;
+    for (const auto& field : params.fields()) {
+      bool known = false;
+      for (const char* key : entry.keys) {
+        if (field.first == key) known = true;
+      }
+      if (!known) {
+        diags.AddWarning("IW604", "/params/" + field.first,
+                         "unknown " + method + " params key '" + field.first +
+                             "'");
+      }
+    }
   }
   return diags;
 }

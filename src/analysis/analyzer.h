@@ -98,9 +98,41 @@ struct ServeAnalyzeOptions {
 ///    non-empty array, an entry not an object, or a document mixing a
 ///    top-level "scenario" with a "sessions" array;
 ///  - IW609 (error): workers not a positive integer (non-numeric,
-///    fractional, < 1, or past the 32-bit int range).
+///    fractional, < 1, or past the 32-bit int range);
+///  - IW615 (error): session name containing ASCII control characters
+///    (names travel in wire frames and metric labels).
+/// The optional "admin_port" key is range-checked like "port" (IW601).
 Diagnostics AnalyzeServeConfig(const Json& serve_json,
                                const ServeAnalyzeOptions& options = {});
+
+/// \brief Context for admin-request analysis. Vocabularies are passed
+/// in (net::AdminMethodNames(), scenarios::ScenarioNames()) so the
+/// analyzer stays free of network and scenario dependencies; an empty
+/// vector skips the corresponding membership check.
+struct AdminAnalyzeOptions {
+  std::vector<std::string> known_methods;
+  std::vector<std::string> known_scenarios;
+};
+
+/// \brief Analyzes one admin-channel request document
+/// {"id": ..., "method": ..., "params": {...}} before it is applied —
+/// the lint gate of every `icewafl_cli admin` mutation (the server
+/// re-runs it, so a hand-rolled client cannot skip the gate). Codes:
+///  - IW610 (error): malformed envelope — not an object, missing or
+///    non-string method, an id that is neither number nor string, or
+///    params that are not an object;
+///  - IW611 (error): unknown method (hint lists the known methods);
+///  - IW612 (error): missing or malformed per-method params — the
+///    "session" target of get_config / swap_pipeline / set_rate /
+///    stop_session (a non-empty string) or the "session" entry object
+///    of create_session;
+///  - IW613 (error): swap_pipeline params carrying both or neither of
+///    "pipeline" (an object document) and "scenario" (a known name);
+///  - IW614 (error): set_rate "tuples_per_sec" missing, non-numeric,
+///    negative, or not finite (0 serves unpaced);
+///  - IW604 (warning): unknown params key for the method.
+Diagnostics AnalyzeAdminRequest(const Json& request_json,
+                                const AdminAnalyzeOptions& options = {});
 
 /// \brief Heuristic: a JSON object that names a scenario (or a sessions
 /// array) but declares no polluters is a serve config, not a pipeline

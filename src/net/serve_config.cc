@@ -55,6 +55,16 @@ Result<SessionConfig> ParseSession(const Json& json, const std::string& where,
         std::to_string(session.name.size()) + " bytes exceeds the limit of " +
         std::to_string(kMaxSessionIdBytes));
   }
+  // Mirrors lint code IW615: names travel in wire frames and metric
+  // labels, so control characters are refused outright.
+  for (const char ch : session.name) {
+    const unsigned char byte = static_cast<unsigned char>(ch);
+    if (byte < 0x20 || byte == 0x7f) {
+      return Status::InvalidArgument(
+          "serve config: " + where +
+          "\"name\" must not contain control characters");
+    }
+  }
   const int64_t seed =
       json.GetInt("seed", static_cast<int64_t>(session.seed));
   if (seed < 0) {
@@ -111,7 +121,7 @@ Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
   for (const char* key : {"host", "slow_consumer"}) {
     ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/true, ""));
   }
-  for (const char* key : {"port", "workers", "queue_capacity"}) {
+  for (const char* key : {"port", "admin_port", "workers", "queue_capacity"}) {
     ICEWAFL_RETURN_NOT_OK(RequireType(json, key, /*want_string=*/false, ""));
   }
   ServeConfig config;
@@ -152,6 +162,15 @@ Result<ServeConfig> ServeConfig::FromJson(const Json& json) {
                                    " outside [0, 65535]");
   }
   config.port = static_cast<uint16_t>(port);
+  if (json.Has("admin_port")) {
+    const int64_t admin_port = json.GetInt("admin_port", -1);
+    if (admin_port < 0 || admin_port > 65535) {
+      return Status::InvalidArgument("serve config: admin_port " +
+                                     std::to_string(admin_port) +
+                                     " outside [0, 65535]");
+    }
+    config.admin_port = static_cast<int>(admin_port);
+  }
   // Mirrors lint code IW609: a positive integer, rejected (not silently
   // truncated) when fractional, and bounded by the int pool size.
   if (json.Has("workers")) {
@@ -203,6 +222,9 @@ Json ServeConfig::ToJson() const {
   json.Set("sessions", std::move(entries));
   json.Set("host", Json(host));
   json.Set("port", Json(static_cast<int64_t>(port)));
+  if (admin_port >= 0) {
+    json.Set("admin_port", Json(static_cast<int64_t>(admin_port)));
+  }
   json.Set("workers", Json(static_cast<int64_t>(workers)));
   json.Set("queue_capacity", Json(static_cast<int64_t>(queue_capacity)));
   json.Set("slow_consumer",

@@ -46,6 +46,9 @@ struct ServeConfig {
   std::string host = "127.0.0.1";
   /// 0 binds an ephemeral port (printed at startup).
   uint16_t port = 0;
+  /// Admin channel port: -1 disables the channel (default), 0 binds an
+  /// ephemeral port (printed at startup like the serve port).
+  int admin_port = -1;
   /// Worker-pool size driving all sessions' pipelines.
   int workers = 2;
   size_t queue_capacity = 256;

@@ -220,6 +220,9 @@ Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
         "session id of " + std::to_string(id.size()) +
         " bytes exceeds the limit of " + std::to_string(kMaxSessionIdBytes));
   }
+  if (schema == nullptr && options.plan != nullptr) {
+    schema = options.plan->schema;  // plan-driven convenience
+  }
   if (schema == nullptr) {
     return Status::InvalidArgument("session '" + id + "' needs a schema");
   }
@@ -233,9 +236,27 @@ Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
   session->id = id;
   session->schema = std::move(schema);
   session->fn = std::move(fn);
-  session->options = options;
   session->schema_frame = EncodeSchemaFrame(*session->schema);
   session->metrics = obs::SessionMetrics::Bind(options_.metrics, id);
+  if (options.plan != nullptr) {
+    std::shared_ptr<PlanSnapshot> plan = std::move(options.plan);
+    if (plan->schema == nullptr ||
+        EncodeSchemaFrame(*plan->schema) != session->schema_frame) {
+      return Status::InvalidArgument(
+          "session '" + id + "': the initial plan's schema differs from "
+          "the session schema");
+    }
+    plan->version = 1;
+    plan->published_at = std::chrono::steady_clock::now();
+    if (session->metrics.plan_version != nullptr) {
+      session->metrics.plan_version->Set(1.0);
+    }
+    // The session is unpublished, so its lock is not yet contended;
+    // the analysis still wants the capability held.
+    MutexLock plan_lock(&session->mu);
+    session->plan = std::move(plan);
+  }
+  session->options = std::move(options);
   {
     MutexLock lock(&mu_);
     if (stop_requested_ || draining_) {
@@ -251,16 +272,18 @@ Status PollutionServer::AddSession(const std::string& id, SchemaPtr schema,
   return Status::OK();
 }
 
+PollutionServer::SessionPtr PollutionServer::FindSessionLocked(
+    const std::string& id) const {
+  for (const SessionPtr& s : sessions_) {
+    if (s->id == id) return s;
+  }
+  return nullptr;
+}
+
 Status PollutionServer::StopSession(const std::string& id) {
   {
     MutexLock lock(&mu_);
-    SessionPtr session;
-    for (const SessionPtr& s : sessions_) {
-      if (s->id == id) {
-        session = s;
-        break;
-      }
-    }
+    SessionPtr session = FindSessionLocked(id);
     if (session == nullptr) {
       return Status::NotFound("no session named '" + id + "'");
     }
@@ -280,6 +303,154 @@ Status PollutionServer::StopSession(const std::string& id) {
   cv_.NotifyAll();
   wake_.Poke();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Plan control plane (SwapPlan / UpdateSession / introspection)
+// ---------------------------------------------------------------------
+
+Status PollutionServer::PublishPlanLocked(const SessionPtr& session,
+                                          std::shared_ptr<PlanSnapshot> next) {
+  if (session->state == Session::State::kRetired) {
+    return Status::IOError("session '" + session->id + "' has ended");
+  }
+  if (session->plan == nullptr) {
+    return Status::InvalidArgument("session '" + session->id +
+                                   "' is not plan-driven");
+  }
+  if (next == nullptr) {
+    return Status::InvalidArgument("no plan snapshot to publish");
+  }
+  // Subscribers hold the Schema frame from their handshake; a swap must
+  // never change the wire schema mid-stream. Comparing the encoded
+  // frames compares the schemas structurally.
+  if (next->schema == nullptr ||
+      EncodeSchemaFrame(*next->schema) != session->schema_frame) {
+    return Status::InvalidArgument(
+        "session '" + session->id +
+        "': the new plan's schema differs from the session schema");
+  }
+  next->version = session->plan->version + 1;
+  next->published_at = std::chrono::steady_clock::now();
+  if (session->metrics.plan_version != nullptr) {
+    session->metrics.plan_version->Set(static_cast<double>(next->version));
+  }
+  if (session->metrics.plan_swaps != nullptr) {
+    session->metrics.plan_swaps->Increment();
+  }
+  session->plan = std::move(next);  // freeze: PlanSnapshot -> const
+  ++session->plan_swaps;
+  return Status::OK();
+}
+
+Status PollutionServer::SwapPlan(const std::string& id,
+                                 std::shared_ptr<PlanSnapshot> next) {
+  MutexLock lock(&mu_);
+  SessionPtr session = FindSessionLocked(id);
+  if (session == nullptr) {
+    return Status::NotFound("no session named '" + id + "'");
+  }
+  MutexLock session_lock(&session->mu);
+  return PublishPlanLocked(session, std::move(next));
+}
+
+Status PollutionServer::UpdateSession(
+    const std::string& id, const std::function<void(PlanSnapshot*)>& mutate) {
+  if (mutate == nullptr) {
+    return Status::InvalidArgument("UpdateSession needs a mutate fn");
+  }
+  MutexLock lock(&mu_);
+  SessionPtr session = FindSessionLocked(id);
+  if (session == nullptr) {
+    return Status::NotFound("no session named '" + id + "'");
+  }
+  MutexLock session_lock(&session->mu);
+  if (session->plan == nullptr) {
+    return Status::InvalidArgument("session '" + id + "' is not plan-driven");
+  }
+  std::shared_ptr<PlanSnapshot> next = ClonePlan(*session->plan);
+  mutate(next.get());
+  return PublishPlanLocked(session, std::move(next));
+}
+
+void PollutionServer::OnSegment(Session* session, const PlanSegment& segment) {
+  double latency = -1.0;
+  obs::Histogram* histogram = nullptr;
+  {
+    MutexLock lock(&session->mu);
+    session->segments.push_back(segment);
+    if (segment.version > session->adopted_version) {
+      // First adoption of this version. Initial plans (version 1) are
+      // adopted with their first run, not swapped in — only published
+      // successors measure a swap latency.
+      if (session->adopted_version != 0 && session->plan != nullptr &&
+          session->plan->version == segment.version) {
+        latency = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() -
+                      session->plan->published_at)
+                      .count();
+        histogram = session->metrics.swap_latency;
+      }
+      session->adopted_version = segment.version;
+    }
+  }
+  if (histogram != nullptr && latency >= 0) histogram->Observe(latency);
+}
+
+Result<SessionInfo> PollutionServer::session_info(const std::string& id) const {
+  MutexLock lock(&mu_);
+  SessionPtr session = FindSessionLocked(id);
+  if (session == nullptr) {
+    return Status::NotFound("no session named '" + id + "'");
+  }
+  SessionInfo info;
+  info.id = session->id;
+  MutexLock session_lock(&session->mu);
+  switch (session->state) {
+    case Session::State::kWaiting:
+      info.state = "waiting";
+      break;
+    case Session::State::kQueued:
+      info.state = "queued";
+      break;
+    case Session::State::kRunning:
+      info.state = "running";
+      break;
+    case Session::State::kRetired:
+      info.state = "retired";
+      break;
+  }
+  info.runs = session->runs;
+  info.waiting_subscribers = static_cast<int>(session->waiting.size());
+  if (session->plan != nullptr) {
+    info.scenario = session->plan->scenario;
+    info.plan_version = session->plan->version;
+  }
+  info.plan_swaps = session->plan_swaps;
+  info.segments = session->segments;
+  return info;
+}
+
+std::vector<SessionInfo> PollutionServer::ListSessions() const {
+  std::vector<std::string> ids = session_ids();
+  std::vector<SessionInfo> infos;
+  infos.reserve(ids.size());
+  for (const std::string& id : ids) {
+    Result<SessionInfo> info = session_info(id);
+    // A session cannot disappear from the registry, only retire.
+    if (info.ok()) infos.push_back(std::move(info.ValueOrDie()));
+  }
+  return infos;
+}
+
+Result<PlanPtr> PollutionServer::session_plan(const std::string& id) const {
+  MutexLock lock(&mu_);
+  SessionPtr session = FindSessionLocked(id);
+  if (session == nullptr) {
+    return Status::NotFound("no session named '" + id + "'");
+  }
+  MutexLock session_lock(&session->mu);
+  return session->plan;
 }
 
 Status PollutionServer::Start() {
@@ -444,7 +615,29 @@ void PollutionServer::WorkerLoop() {
 void PollutionServer::RunSession(const SessionPtr& session,
                                  std::vector<ConnPtr> participants) {
   FanoutSink sink(this, session.get(), std::move(participants));
-  Status status = session->fn(&sink);
+  // The run's plan view: the snapshot current at run start, a probe
+  // for the newest one (polled by the serving runner at cutover
+  // boundaries), and the segment-bookkeeping callback. The callbacks
+  // capture the raw session pointer; `session` outlives the run (the
+  // registry never erases sessions) and fn returns before this frame
+  // unwinds.
+  PlanContext ctx;
+  {
+    MutexLock session_lock(&session->mu);
+    ctx.plan = session->plan;
+    session->segments.clear();
+  }
+  if (ctx.plan != nullptr) {
+    Session* raw = session.get();
+    ctx.latest = [raw]() -> PlanPtr {
+      MutexLock lock(&raw->mu);
+      return raw->plan;
+    };
+    ctx.on_segment = [this, raw](const PlanSegment& segment) {
+      OnSegment(raw, segment);
+    };
+  }
+  Status status = session->fn(ctx, &sink);
   // Batch subscribers still hold a trailing partial batch.
   if (status.ok()) status = sink.FlushBatch();
 

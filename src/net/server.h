@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/plan.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/net_metrics.h"
@@ -81,6 +82,28 @@ struct SessionOptions {
   /// Pipeline runs to serve before the session retires; 0 = until
   /// StopSession() / RequestStop().
   uint64_t max_runs = 0;
+  /// Optional initial plan snapshot. When set, AddSession publishes it
+  /// as version 1, the session becomes plan-driven (SwapPlan /
+  /// UpdateSession apply), and its runs receive the snapshot through
+  /// their PlanContext. The plan's schema must match the session's.
+  /// (The explicit initializer keeps designated-initializer call sites
+  /// that omit it clean under -Wmissing-field-initializers.)
+  std::shared_ptr<PlanSnapshot> plan = nullptr;
+};
+
+/// \brief Introspection snapshot of one session (tests, `admin
+/// list_sessions`).
+struct SessionInfo {
+  std::string id;
+  std::string scenario;  ///< plan scenario; empty for plan-less sessions
+  std::string state;     ///< "waiting" | "queued" | "running" | "retired"
+  uint64_t runs = 0;
+  int waiting_subscribers = 0;
+  uint64_t plan_version = 0;  ///< 0 for plan-less sessions
+  uint64_t plan_swaps = 0;
+  /// Segments of the current (or most recent) run, in adoption order:
+  /// where each plan version took over the clean stream.
+  std::vector<PlanSegment> segments;
 };
 
 /// \brief Multi-tenant TCP fan-out server for polluted streams
@@ -137,8 +160,12 @@ class PollutionServer {
  public:
   /// \brief One pollution run: stream the full (bounded) polluted
   /// stream into `sink`. Invoked on a worker thread once per run; must
-  /// create its own Source so runs are independent replays.
-  using SessionFn = std::function<Status(Sink* sink)>;
+  /// create its own Source so runs are independent replays. `ctx`
+  /// carries the session's plan snapshot (null members for plan-less
+  /// sessions): plan-driven runs read `ctx.plan`, poll `ctx.latest()`
+  /// at cutover boundaries, and report adopted segments through
+  /// `ctx.on_segment` (scenarios::ServePlanToSink does all three).
+  using SessionFn = std::function<Status(const PlanContext& ctx, Sink* sink)>;
 
   explicit PollutionServer(ServerOptions options = {});
   ~PollutionServer();
@@ -157,6 +184,39 @@ class PollutionServer {
   /// running session aborts its current run. Idempotent once retired;
   /// NotFound for an unknown id.
   Status StopSession(const std::string& id) EXCLUDES(mu_);
+
+  /// \brief Atomically publishes `next` as the session's newest plan.
+  ///
+  /// The server assigns the next version and the publication timestamp,
+  /// then swaps the session's snapshot pointer under the lock hierarchy
+  /// (registry → session). A running pipeline finishes its in-flight
+  /// rows under the old snapshot and adopts the new one at its next
+  /// cutover boundary; a waiting session picks it up at its next run.
+  /// Subscribers are never disconnected. Fails without applying when
+  /// the session is unknown, retired, plan-less, or when the new plan's
+  /// schema differs from the session's (subscribers already hold the
+  /// session's Schema frame from their handshake).
+  Status SwapPlan(const std::string& id, std::shared_ptr<PlanSnapshot> next)
+      EXCLUDES(mu_);
+
+  /// \brief Delta update: clones the session's current snapshot, lets
+  /// `mutate` adjust the copy (e.g. the pacing rate), and republishes
+  /// it as the next version. Same atomicity and failure contract as
+  /// SwapPlan.
+  Status UpdateSession(const std::string& id,
+                       const std::function<void(PlanSnapshot*)>& mutate)
+      EXCLUDES(mu_);
+
+  /// \brief Introspection for one session; NotFound for an unknown id.
+  /// Valid on retired sessions (their last run's segments persist).
+  Result<SessionInfo> session_info(const std::string& id) const EXCLUDES(mu_);
+
+  /// \brief Introspection for every session, in registration order.
+  std::vector<SessionInfo> ListSessions() const EXCLUDES(mu_);
+
+  /// \brief The session's current published plan (NotFound for an
+  /// unknown id; null for a plan-less session).
+  Result<PlanPtr> session_plan(const std::string& id) const EXCLUDES(mu_);
 
   /// \brief Binds, listens, and spawns the reactor and worker threads.
   Status Start() EXCLUDES(mu_);
@@ -227,6 +287,17 @@ class PollutionServer {
     bool stop_requested GUARDED_BY(mu) = false;
     uint64_t runs GUARDED_BY(mu) = 0;
     std::vector<std::shared_ptr<Connection>> waiting GUARDED_BY(mu);
+    /// Newest published snapshot (null for plan-less sessions). Swapped
+    /// whole — the snapshot behind the pointer is immutable, so a
+    /// running pipeline holding the old PlanPtr is never raced.
+    PlanPtr plan GUARDED_BY(mu);
+    /// Publications after the initial one (SwapPlan / UpdateSession).
+    uint64_t plan_swaps GUARDED_BY(mu) = 0;
+    /// Segments of the current run, reset when a run starts.
+    std::vector<PlanSegment> segments GUARDED_BY(mu);
+    /// Highest version a serving runner has adopted (swap-latency
+    /// bookkeeping: each version's adoption is observed once).
+    uint64_t adopted_version GUARDED_BY(mu) = 0;
   };
   using SessionPtr = std::shared_ptr<Session>;
 
@@ -269,6 +340,18 @@ class PollutionServer {
 
   void ReactorLoop() EXCLUDES(mu_);
   void WorkerLoop() EXCLUDES(mu_);
+  /// Looks up a session by id in registration order.
+  SessionPtr FindSessionLocked(const std::string& id) const REQUIRES(mu_);
+  /// Versions, timestamps, and publishes `next` as `session`'s newest
+  /// snapshot; shared tail of SwapPlan and UpdateSession.
+  Status PublishPlanLocked(const SessionPtr& session,
+                           std::shared_ptr<PlanSnapshot> next)
+      REQUIRES(mu_, session->mu);
+  /// Cutover bookkeeping: records an adopted segment and observes the
+  /// swap-latency histogram on the first adoption of each version.
+  /// Runs on a serving runner's source thread with no locks held.
+  void OnSegment(Session* session, const PlanSegment& segment)
+      EXCLUDES(mu_);
   /// Runs one pipeline run of `session` for `participants` (worker).
   void RunSession(const SessionPtr& session,
                   std::vector<ConnPtr> participants) EXCLUDES(mu_);

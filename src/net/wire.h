@@ -36,6 +36,13 @@ enum FrameType : uint8_t {
   kFrameError = 0x04,      ///< server-side failure (payload: UTF-8 message)
   kFrameSubscribe = 0x05,  ///< client hello: wire version + session id
   kFrameBatch = 0x06,      ///< columnar micro-batch (capability-gated)
+  /// Admin-channel request (payload: one UTF-8 JSON object with "id",
+  /// "method", "params"). Only spoken on the separate admin port —
+  /// the streaming port rejects it like any non-Subscribe hello.
+  kFrameAdminRequest = 0x07,
+  /// Admin-channel response (payload: one UTF-8 JSON object with "id"
+  /// and either "result" or "error").
+  kFrameAdminResponse = 0x08,
 };
 
 /// \brief Capability bits a client advertises in its Subscribe hello.

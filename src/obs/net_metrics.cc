@@ -44,6 +44,16 @@ SessionMetrics SessionMetrics::Bind(MetricRegistry* registry,
       "icewafl_server_send_latency_seconds", labels,
       ExponentialBounds(1e-6, 10.0, 4.0),
       "Per-session latency from frame enqueue to socket write");
+  m.plan_version = registry->GetGauge(
+      "icewafl_server_plan_version", labels,
+      "Version of the session's current published plan snapshot");
+  m.plan_swaps = registry->GetCounter(
+      "icewafl_server_plan_swaps_total", labels,
+      "Plan snapshots published after the initial one");
+  m.swap_latency = registry->GetHistogram(
+      "icewafl_server_plan_swap_latency_seconds", labels,
+      ExponentialBounds(1e-4, 60.0, 4.0),
+      "Latency from plan publication to adoption at a cutover boundary");
   return m;
 }
 

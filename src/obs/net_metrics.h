@@ -47,6 +47,15 @@ struct SessionMetrics {
   /// Seconds between a frame entering a subscriber's queue and its
   /// bytes being handed to the socket.
   Histogram* send_latency = nullptr;
+  /// Version of the session's current published PlanSnapshot (0 while
+  /// the session serves no plan).
+  Gauge* plan_version = nullptr;
+  /// Successful plan publications after the initial one (SwapPlan /
+  /// UpdateSession over the admin channel or in-process).
+  Counter* plan_swaps = nullptr;
+  /// Seconds between a snapshot's publication and the serving runner
+  /// adopting it at a cutover boundary.
+  Histogram* swap_latency = nullptr;
 
   /// \brief Binds every family in `registry` under the session label;
   /// no-op when null.

@@ -1,10 +1,13 @@
 #include "scenarios/scenarios.h"
 
+#include <chrono>
 #include <cmath>
 #include <optional>
+#include <thread>
 
 #include "analysis/analyzer.h"
 #include "core/composite_polluter.h"
+#include "core/config.h"
 #include "core/derived_error.h"
 #include "core/polluter_operator.h"
 #include "core/errors_numeric.h"
@@ -249,6 +252,163 @@ Result<TupleVector> ApplyPipelineStreaming(
                                              parallelism, &sink, stats, metrics,
                                              trace, stream_start, stream_end));
   return sink.TakeTuples();
+}
+
+// ---------------------------------------------------------------------
+// Versioned plan serving (DESIGN.md section 14)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Rows a serving segment produces between two probes of the newest
+/// published plan. The probe is one mutex acquisition, so the interval
+/// balances swap latency against per-row overhead; it also quantizes
+/// cutover boundaries (a swap lands on a multiple of this many rows
+/// into the segment, never between a probe and its batch).
+constexpr uint64_t kCutoverCheckRows = 64;
+
+/// Bounded source over `plan->clean[offset..]` that (a) paces emission
+/// to `plan->tuples_per_sec` and (b) ends the stream early — reporting
+/// the newer snapshot through cutover() — when a probe of `latest`
+/// observes a version change. Ending the stream (instead of switching
+/// pipelines in place) is what makes the cutover a clean boundary: the
+/// runtime drains, every in-flight row finishes under the old plan, and
+/// the next segment replays nothing.
+class PlanSegmentSource : public Source {
+ public:
+  PlanSegmentSource(PlanPtr plan, uint64_t offset,
+                    std::function<PlanPtr()> latest)
+      : plan_(std::move(plan)),
+        offset_(offset),
+        pos_(offset),
+        latest_(std::move(latest)) {}
+
+  SchemaPtr schema() const override { return plan_->schema; }
+
+  Result<bool> Next(Tuple* out) override {
+    const TupleVector& clean = *plan_->clean;
+    if (pos_ >= clean.size()) return false;
+    if (latest_ != nullptr && consumed_ > 0 &&
+        consumed_ % kCutoverCheckRows == 0) {
+      PlanPtr newest = latest_();
+      if (newest != nullptr && newest->version != plan_->version) {
+        cutover_ = std::move(newest);
+        return false;
+      }
+    }
+    if (plan_->tuples_per_sec > 0) {
+      if (consumed_ == 0) {
+        segment_start_ = std::chrono::steady_clock::now();
+      } else {
+        std::this_thread::sleep_until(
+            segment_start_ +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    static_cast<double>(consumed_) / plan_->tuples_per_sec)));
+      }
+    }
+    *out = clean[pos_];
+    ++pos_;
+    ++consumed_;
+    return true;
+  }
+
+  Status Reset() override {
+    pos_ = offset_;
+    consumed_ = 0;
+    cutover_.reset();
+    return Status::OK();
+  }
+
+  /// Clean rows emitted by this segment.
+  uint64_t consumed() const { return consumed_; }
+  /// The newer snapshot that ended the segment (null: stream end).
+  const PlanPtr& cutover() const { return cutover_; }
+
+ private:
+  PlanPtr plan_;
+  uint64_t offset_;
+  uint64_t pos_;
+  std::function<PlanPtr()> latest_;
+  uint64_t consumed_ = 0;
+  PlanPtr cutover_;
+  std::chrono::steady_clock::time_point segment_start_{};
+};
+
+}  // namespace
+
+Result<std::shared_ptr<PlanSnapshot>> BuildScenarioPlan(
+    const std::string& name, uint64_t seed, int parallelism,
+    double tuples_per_sec) {
+  ICEWAFL_ASSIGN_OR_RETURN(ResolvedScenario scenario,
+                           ResolveScenario(name, seed));
+  Json config = scenario.pipeline.ToJson();
+  auto clean =
+      std::make_shared<const TupleVector>(std::move(scenario.clean));
+  return MakePlanSnapshot(name, std::move(config), scenario.schema,
+                          std::move(clean), std::move(scenario.pipeline), seed,
+                          parallelism, scenario.stream_start,
+                          scenario.stream_end, tuples_per_sec);
+}
+
+Result<std::shared_ptr<PlanSnapshot>> BuildPlanFromPipelineJson(
+    const PlanSnapshot& base, const Json& pipeline_json) {
+  // PipelineFromJson runs the installed AnalyzeOrDie hook and binds
+  // against the session schema, so every rejection carries JSON-pointer
+  // diagnostics and happens before a snapshot exists.
+  ICEWAFL_ASSIGN_OR_RETURN(PollutionPipeline pipeline,
+                           PipelineFromJson(pipeline_json, base.schema));
+  return MakePlanSnapshot("custom", pipeline_json, base.schema, base.clean,
+                          std::move(pipeline), base.seed, base.parallelism,
+                          base.stream_start, base.stream_end,
+                          base.tuples_per_sec);
+}
+
+Status ServePlanToSink(const PlanContext& ctx, Sink* sink) {
+  PlanPtr plan = ctx.plan;
+  if (plan == nullptr && ctx.latest != nullptr) plan = ctx.latest();
+  if (plan == nullptr) {
+    return Status::InvalidArgument("no plan snapshot to serve");
+  }
+  uint64_t offset = 0;
+  while (true) {
+    if (ctx.on_segment != nullptr) {
+      ctx.on_segment(PlanSegment{plan->version, offset});
+    }
+    PlanSegmentSource source(plan, offset, ctx.latest);
+    ICEWAFL_RETURN_NOT_OK(StreamPipelineToSink(
+        &source, plan->pipeline, plan->seed, plan->parallelism, sink,
+        /*stats=*/nullptr, /*metrics=*/nullptr, /*trace=*/nullptr,
+        plan->stream_start, plan->stream_end));
+    offset += source.consumed();
+    if (source.cutover() == nullptr || offset >= plan->clean->size()) {
+      return Status::OK();  // stream end (under whichever plan was last)
+    }
+    // Adopt the newest snapshot, not necessarily the one that tripped
+    // the probe — back-to-back swaps collapse into one cutover.
+    plan = ctx.latest != nullptr ? ctx.latest() : source.cutover();
+    if (plan == nullptr) plan = source.cutover();
+  }
+}
+
+Result<TupleVector> RunPlanSegmentOffline(const PlanSnapshot& plan,
+                                          uint64_t start_row,
+                                          uint64_t end_row) {
+  const TupleVector& clean = *plan.clean;
+  if (start_row > clean.size() || end_row > clean.size() ||
+      start_row > end_row) {
+    return Status::OutOfRange("segment [" + std::to_string(start_row) + ", " +
+                              std::to_string(end_row) +
+                              ") outside the clean stream of " +
+                              std::to_string(clean.size()) + " rows");
+  }
+  TupleVector slice(clean.begin() + static_cast<ptrdiff_t>(start_row),
+                    clean.begin() + static_cast<ptrdiff_t>(end_row));
+  VectorSource source(plan.schema, std::move(slice));
+  return ApplyPipelineStreaming(&source, plan.pipeline, plan.seed,
+                                plan.parallelism, /*stats=*/nullptr,
+                                /*metrics=*/nullptr, /*trace=*/nullptr,
+                                plan.stream_start, plan.stream_end);
 }
 
 Status AnalyzeScenariosOrDie() {

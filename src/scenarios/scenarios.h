@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/plan.h"
 #include "dq/suite.h"
 #include "stream/runtime.h"
 #include "stream/sink.h"
 #include "stream/source.h"
+#include "util/json.h"
 
 namespace icewafl {
 namespace scenarios {
@@ -156,6 +158,48 @@ Result<TupleVector> ApplyPipelineStreaming(
     int parallelism = 1, RuntimeStats* stats = nullptr,
     obs::MetricRegistry* metrics = nullptr, obs::TraceRecorder* trace = nullptr,
     Timestamp stream_start = 0, Timestamp stream_end = 0);
+
+// ---------------------------------------------------------------------
+// Versioned plan serving (DESIGN.md section 14)
+// ---------------------------------------------------------------------
+
+/// \brief Compiles a built-in scenario into an unpublished PlanSnapshot:
+/// the resolved clean stream, the bound pipeline, the seed/parallelism
+/// knobs, and the full-stream profile bounds, ready for
+/// PollutionServer::AddSession / SwapPlan to version and publish.
+Result<std::shared_ptr<PlanSnapshot>> BuildScenarioPlan(
+    const std::string& name, uint64_t seed, int parallelism,
+    double tuples_per_sec = 0.0);
+
+/// \brief Compiles a raw pipeline document into an unpublished snapshot
+/// that inherits everything else — schema, clean stream, seed,
+/// parallelism, bounds, rate — from `base` (the session's current
+/// plan). The document passes through PipelineFromJson, so the
+/// installed AnalyzeOrDie hook lint-gates it against the schema before
+/// a snapshot exists to publish; the new plan's scenario is "custom".
+Result<std::shared_ptr<PlanSnapshot>> BuildPlanFromPipelineJson(
+    const PlanSnapshot& base, const Json& pipeline_json);
+
+/// \brief The plan-driven session function: streams `ctx.plan`'s clean
+/// rows through its pipeline into `sink`, polling `ctx.latest()` every
+/// few rows. When a newer snapshot has been published, the current
+/// segment's in-flight rows drain under the old plan, then the runner
+/// adopts the newest snapshot and continues from the next clean row —
+/// no row is dropped, duplicated, or polluted by two plans. Each
+/// adopted segment is reported through `ctx.on_segment` before its
+/// first row, so the produced stream is exactly the concatenation of
+/// offline runs of each segment's plan over its row slice (the cutover
+/// determinism contract the loopback tests enforce). Pacing
+/// (`tuples_per_sec`) delays rows but never changes bytes.
+Status ServePlanToSink(const PlanContext& ctx, Sink* sink);
+
+/// \brief Offline twin of one ServePlanToSink segment: runs `plan` over
+/// its clean rows [start_row, end_row) with the plan's seed,
+/// parallelism, and full-stream bounds. Concatenating the outputs for a
+/// run's recorded segments reproduces the served stream byte-for-byte.
+Result<TupleVector> RunPlanSegmentOffline(const PlanSnapshot& plan,
+                                          uint64_t start_row,
+                                          uint64_t end_row);
 
 // ---------------------------------------------------------------------
 // Static analysis gate

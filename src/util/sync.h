@@ -19,8 +19,8 @@
 // may only acquire a ranked mutex whose rank is strictly greater than every
 // ranked mutex it already holds. The documented global order is
 //
-//   server registry (10) -> session (20) -> connection (30)
-//       -> channel (40) -> metric registry (50)
+//   admin server (5) -> server registry (10) -> session (20)
+//       -> connection (30) -> channel (40) -> metric registry (50)
 //
 // and never the reverse. Ordering is enforced at runtime by a lockdep-lite
 // per-thread rank stack (sync.cc). The check is compiled in everywhere but
@@ -101,6 +101,7 @@ namespace icewafl {
 // (unranked) mutexes are exempt, for leaf locks with no nesting.
 enum LockRank : int {
   kLockRankUnranked = 0,
+  kLockRankAdmin = 5,            // net::AdminServer::mu_
   kLockRankServerRegistry = 10,  // PollutionServer::mu_
   kLockRankSession = 20,         // PollutionServer::Session::mu
   kLockRankConnection = 30,      // PollutionServer::Connection::mu

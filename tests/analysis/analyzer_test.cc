@@ -370,6 +370,126 @@ TEST(AnalyzerTest, LoadHookGatesPipelineFromJson) {
   EXPECT_TRUE(PipelineFromJson(broken).ok());
 }
 
+// ---------------------------------------------------------------------
+// IW61x — the admin-channel request lint (DESIGN.md section 14). Run
+// client-side by `icewafl_cli admin` and re-run server-side, so the
+// fixtures here lock both gates at once.
+// ---------------------------------------------------------------------
+
+AdminAnalyzeOptions AdminOptions() {
+  AdminAnalyzeOptions options;
+  options.known_methods = {"list_sessions", "get_config",  "swap_pipeline",
+                           "set_rate",      "stop_session", "create_session",
+                           "get_metrics"};
+  options.known_scenarios = {"random_temporal", "software_update"};
+  return options;
+}
+
+TEST(AnalyzeAdminRequest, CleanRequestsHaveNoFindings) {
+  for (const char* text :
+       {R"({"id": 1, "method": "list_sessions", "params": {}})",
+        R"({"id": "x", "method": "get_config",
+            "params": {"session": "live"}})",
+        R"({"method": "swap_pipeline",
+            "params": {"session": "live", "scenario": "software_update"}})",
+        R"({"method": "swap_pipeline",
+            "params": {"session": "live", "pipeline": {"polluters": []}}})",
+        R"({"method": "set_rate",
+            "params": {"session": "live", "tuples_per_sec": 0}})",
+        R"({"method": "create_session",
+            "params": {"session": {"name": "n", "scenario": "s"}}})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags = AnalyzeAdminRequest(P(text), AdminOptions());
+    EXPECT_FALSE(diags.HasErrors()) << diags.ToReport();
+    EXPECT_EQ(diags.items().size(), 0u) << diags.ToReport();
+  }
+}
+
+TEST(AnalyzeAdminRequest, IW610FiresOnMalformedEnvelopes) {
+  for (const char* text :
+       {R"(42)",                                         // not an object
+        R"({})",                                         // no method
+        R"({"method": 7})",                              // method type
+        R"({"method": ""})",                             // empty method
+        R"({"id": {}, "method": "list_sessions"})",      // id type
+        R"({"method": "list_sessions", "params": []})"}) {  // params type
+    SCOPED_TRACE(text);
+    Diagnostics diags = AnalyzeAdminRequest(P(text), AdminOptions());
+    EXPECT_TRUE(diags.HasCode("IW610")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+}
+
+TEST(AnalyzeAdminRequest, IW611FiresOnUnknownMethod) {
+  Diagnostics diags = AnalyzeAdminRequest(
+      P(R"({"method": "frobnicate", "params": {}})"), AdminOptions());
+  EXPECT_TRUE(diags.HasCode("IW611")) << diags.ToReport();
+  // With no method vocabulary the membership check is skipped.
+  Diagnostics open = AnalyzeAdminRequest(
+      P(R"({"method": "frobnicate", "params": {}})"), AdminAnalyzeOptions{});
+  EXPECT_FALSE(open.HasCode("IW611")) << open.ToReport();
+}
+
+TEST(AnalyzeAdminRequest, IW612FiresOnMissingSessionTarget) {
+  for (const char* text :
+       {R"({"method": "get_config", "params": {}})",
+        R"({"method": "stop_session", "params": {"session": ""}})",
+        R"({"method": "set_rate",
+            "params": {"session": 7, "tuples_per_sec": 1}})",
+        R"({"method": "create_session", "params": {}})",
+        R"({"method": "create_session", "params": {"session": "flat"}})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags = AnalyzeAdminRequest(P(text), AdminOptions());
+    EXPECT_TRUE(diags.HasCode("IW612")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+}
+
+TEST(AnalyzeAdminRequest, IW613FiresOnBadSwapPayloads) {
+  for (const char* text :
+       {R"({"method": "swap_pipeline", "params": {"session": "s"}})",
+        R"({"method": "swap_pipeline",
+            "params": {"session": "s", "scenario": "x",
+                       "pipeline": {}}})",               // both forms
+        R"({"method": "swap_pipeline",
+            "params": {"session": "s", "pipeline": "inline"}})",
+        R"({"method": "swap_pipeline",
+            "params": {"session": "s", "scenario": ""}})",
+        R"({"method": "swap_pipeline",
+            "params": {"session": "s", "scenario": "unknown_name"}})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags = AnalyzeAdminRequest(P(text), AdminOptions());
+    EXPECT_TRUE(diags.HasCode("IW613")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+}
+
+TEST(AnalyzeAdminRequest, IW614FiresOnBadRates) {
+  for (const char* text :
+       {R"({"method": "set_rate", "params": {"session": "s"}})",
+        R"({"method": "set_rate",
+            "params": {"session": "s", "tuples_per_sec": "fast"}})",
+        R"({"method": "set_rate",
+            "params": {"session": "s", "tuples_per_sec": -0.5}})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags = AnalyzeAdminRequest(P(text), AdminOptions());
+    EXPECT_TRUE(diags.HasCode("IW614")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+}
+
+TEST(AnalyzeAdminRequest, IW604WarnsOnUnknownKeys) {
+  // Unknown envelope key and unknown per-method params key: warnings
+  // only, the request still passes the gate.
+  Diagnostics diags = AnalyzeAdminRequest(
+      P(R"({"method": "get_config", "verbose": true,
+            "params": {"session": "s", "tpyo": 1}})"),
+      AdminOptions());
+  EXPECT_TRUE(diags.HasCode("IW604")) << diags.ToReport();
+  EXPECT_FALSE(diags.HasErrors()) << diags.ToReport();
+  EXPECT_EQ(diags.items().size(), 2u) << diags.ToReport();
+}
+
 }  // namespace
 }  // namespace analysis
 }  // namespace icewafl

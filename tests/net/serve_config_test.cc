@@ -110,6 +110,9 @@ TEST(ServeConfig, RejectsBadDocuments) {
       R"({"scenario": 3})",                               // scenario type
       R"({"scenario": "s", "port": 65536})",              // port range
       R"({"scenario": "s", "port": -1})",                 // port range
+      R"({"scenario": "s", "admin_port": 65536})",        // admin range
+      R"({"scenario": "s", "admin_port": -1})",           // admin range
+      R"({"scenario": "s", "admin_port": "auto"})",       // admin type
       R"({"scenario": "s", "queue_capacity": 0})",        // capacity
       R"({"scenario": "s", "workers": 0})",               // worker pool
       R"({"scenario": "s", "workers": 2.5})",             // fractional pool
@@ -127,6 +130,7 @@ TEST(ServeConfig, RejectsBadDocuments) {
       R"({"sessions": [7]})",                             // entry not object
       R"({"sessions": [{}]})",                            // entry no scenario
       R"({"sessions": [{"scenario": "s", "name": ""}]})",  // empty name
+      R"({"sessions": [{"scenario": "s", "name": "a\tb"}]})",  // control char
       R"({"sessions": [{"scenario": "s", "max_runs": -1}]})",
       R"({"sessions": [{"scenario": "s"}, {"scenario": "s"}]})",  // dup name
       R"({"sessions": [{"scenario": "s", "name": ")" + oversized + R"("}]})",
@@ -149,6 +153,7 @@ TEST(ServeConfig, JsonRoundTripIsStable) {
   beta.max_runs = 3;
   config.sessions = {alpha, beta};
   config.port = 1234;
+  config.admin_port = 9100;
   config.workers = 3;
   config.slow_consumer = SlowConsumerPolicy::kDisconnect;
   auto back = ServeConfig::FromJson(config.ToJson());
@@ -358,6 +363,60 @@ TEST(AnalyzeServeConfig, IW607FiresOnBadSessionNames) {
           {"scenario": "random_temporal", "name": "b"}]})"),
       LintOptions());
   EXPECT_FALSE(diags.HasCode("IW607")) << diags.ToReport();
+}
+
+TEST(ServeConfig, AdminPortParsesAndDefaultsOff) {
+  // Absent: the admin channel stays disabled and round-trips away.
+  auto off = ServeConfig::FromJson(
+      ParseOrDie(R"({"scenario": "random_temporal"})"));
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off.ValueOrDie().admin_port, -1);
+  EXPECT_FALSE(off.ValueOrDie().ToJson().Has("admin_port"));
+  // 0 is a legal value: bind an ephemeral admin port.
+  auto ephemeral = ServeConfig::FromJson(
+      ParseOrDie(R"({"scenario": "random_temporal", "admin_port": 0})"));
+  ASSERT_TRUE(ephemeral.ok());
+  EXPECT_EQ(ephemeral.ValueOrDie().admin_port, 0);
+  EXPECT_TRUE(ephemeral.ValueOrDie().ToJson().Has("admin_port"));
+}
+
+TEST(AnalyzeServeConfig, IW601FiresOnBadAdminPort) {
+  for (const char* text :
+       {R"({"scenario": "random_temporal", "admin_port": 65536})",
+        R"({"scenario": "random_temporal", "admin_port": -1})",
+        R"({"scenario": "random_temporal", "admin_port": "auto"})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW601")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+  Diagnostics clean = analysis::AnalyzeServeConfig(
+      ParseOrDie(R"({"scenario": "random_temporal", "admin_port": 0})"),
+      LintOptions());
+  EXPECT_FALSE(clean.HasCode("IW601")) << clean.ToReport();
+}
+
+TEST(AnalyzeServeConfig, IW615FiresOnControlCharacterNames) {
+  for (const char* text :
+       {R"({"sessions": [{"scenario": "random_temporal",
+                          "name": "a\tb"}]})",
+        R"({"sessions": [{"scenario": "random_temporal",
+                          "name": "line\nbreak"}]})",
+        R"({"sessions": [{"scenario": "random_temporal",
+                          "name": "del\u007fete"}]})"}) {
+    SCOPED_TRACE(text);
+    Diagnostics diags =
+        analysis::AnalyzeServeConfig(ParseOrDie(text), LintOptions());
+    EXPECT_TRUE(diags.HasCode("IW615")) << diags.ToReport();
+    EXPECT_TRUE(diags.HasErrors());
+  }
+  // Spaces and punctuation are printable, not control characters.
+  Diagnostics clean = analysis::AnalyzeServeConfig(
+      ParseOrDie(R"({"sessions": [{"scenario": "random_temporal",
+                                   "name": "live session #1"}]})"),
+      LintOptions());
+  EXPECT_FALSE(clean.HasCode("IW615")) << clean.ToReport();
 }
 
 TEST(AnalyzeServeConfig, IW608FiresOnMalformedSessionsShape) {

@@ -31,7 +31,7 @@ using scenarios::ResolvedScenario;
 PollutionServer::SessionFn MakeScenarioSession(
     std::shared_ptr<const ResolvedScenario> scenario, uint64_t seed,
     int parallelism) {
-  return [scenario, seed, parallelism](Sink* sink) {
+  return [scenario, seed, parallelism](const PlanContext&, Sink* sink) {
     VectorSource source(scenario->schema, scenario->clean);
     return scenarios::StreamPipelineToSink(
         &source, scenario->pipeline, seed, parallelism, sink, nullptr, nullptr,
@@ -518,7 +518,7 @@ SchemaPtr FatSchema() {
 /// non-reading subscriber overflows its queue no matter how much the
 /// kernel buffers on loopback.
 PollutionServer::SessionFn MakeFatSession(SchemaPtr schema, int count) {
-  return [schema, count](Sink* sink) {
+  return [schema, count](const PlanContext&, Sink* sink) {
     const std::string blob(32 * 1024, 'x');
     for (int i = 0; i < count; ++i) {
       Tuple tuple(schema, {Value(static_cast<int64_t>(i)), Value(blob)});
@@ -841,7 +841,8 @@ TEST(StreamClient, ConnectToClosedPortFails) {
 
 TEST(PollutionServer, RunErrorReachesSubscriberAndWait) {
   SchemaPtr schema = FatSchema();
-  PollutionServer::SessionFn failing = [schema](Sink* sink) {
+  PollutionServer::SessionFn failing = [schema](const PlanContext&,
+                                                Sink* sink) {
     Tuple tuple(schema, {Value(int64_t{0}), Value("v")});
     ICEWAFL_RETURN_NOT_OK(sink->Write(tuple));
     return Status::Internal("polluter exploded");

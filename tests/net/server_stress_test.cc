@@ -15,8 +15,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/plan.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "scenarios/scenarios.h"
 #include "stream/schema.h"
 #include "stream/sink.h"
 #include "stream/tuple.h"
@@ -37,7 +39,7 @@ SchemaPtr MakeSchema() {
 /// machinery, so a run is milliseconds and the churn loops get hundreds
 /// of registry transitions per second.
 PollutionServer::SessionFn MakeCountingSession(SchemaPtr schema, int count) {
-  return [schema, count](Sink* sink) -> Status {
+  return [schema, count](const PlanContext&, Sink* sink) -> Status {
     for (int i = 0; i < count; ++i) {
       Tuple tuple(schema, {Value(static_cast<int64_t>(i)),
                            Value(static_cast<double>(i) * 0.5)});
@@ -133,6 +135,123 @@ TEST(PollutionServerStress, SessionChurnAgainstActiveSubscribers) {
   EXPECT_EQ(tuples_tailed % kTuplesPerRun, 0u);
   EXPECT_GT(tuples_tailed, 0u);
   EXPECT_GE(server.runs_completed(), 1u);
+
+  EnableLockRankChecks(checks_were_enabled);
+}
+
+// Hot-reconfiguration churn: SwapPlan and UpdateSession hammer a
+// plan-driven session while subscribers tail it end to end and churn
+// threads add/stop ephemeral plan sessions. Every subscriber must see
+// complete segment-concatenated runs — a swap lands at a tuple boundary
+// or not at all — and the published version must account for exactly
+// the successful swaps. Runs under the asan/tsan presets via
+// tools/check.sh.
+TEST(PollutionServerStress, PlanSwapChurnAgainstSubscribers) {
+  const bool checks_were_enabled = EnableLockRankChecks(true);
+
+  constexpr int kSwapThreads = 2;
+  constexpr int kSwapsPerThread = 15;
+  constexpr int kSubscriberThreads = 3;
+  constexpr int kTailsPerSubscriber = 5;
+  constexpr int kChurnIterations = 10;
+
+  auto base_a = scenarios::BuildScenarioPlan("random_temporal", 42, 1);
+  auto base_b = scenarios::BuildScenarioPlan("software_update", 42, 1);
+  ASSERT_TRUE(base_a.ok()) << base_a.status().ToString();
+  ASSERT_TRUE(base_b.ok()) << base_b.status().ToString();
+
+  ServerOptions options;
+  options.workers = 3;
+  PollutionServer server(options);
+  SessionOptions live;
+  live.plan = base_a.ValueOrDie();
+  live.min_subscribers = 1;
+  live.max_runs = 0;
+  ASSERT_TRUE(server
+                  .AddSession("plan-live", nullptr,
+                              scenarios::ServePlanToSink, std::move(live))
+                  .ok());
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  // Swappers: alternate between clones of the two base plans, with an
+  // UpdateSession rate tweak sprinkled in. Clones start unpublished, so
+  // every publish is a fresh version.
+  std::atomic<int> swaps{0};
+  std::vector<std::thread> swappers;
+  for (int t = 0; t < kSwapThreads; ++t) {
+    swappers.emplace_back([&, t] {
+      for (int i = 0; i < kSwapsPerThread; ++i) {
+        Status swapped;
+        if (i % 3 == 2) {
+          // Keep the republished rate far above the stream size so a
+          // paced segment still drains in well under a second.
+          swapped = server.UpdateSession(
+              "plan-live", [i](PlanSnapshot* plan) {
+                plan->tuples_per_sec = 100000.0 + static_cast<double>(i);
+              });
+        } else {
+          const PlanSnapshot& base = (t + i) % 2 == 0
+                                         ? *base_a.ValueOrDie()
+                                         : *base_b.ValueOrDie();
+          swapped = server.SwapPlan("plan-live", ClonePlan(base));
+        }
+        EXPECT_TRUE(swapped.ok()) << swapped.ToString();
+        if (swapped.ok()) ++swaps;
+      }
+    });
+  }
+
+  // Subscribers: tail plan-live to completion, repeatedly, while the
+  // plan underneath them is being republished.
+  std::atomic<uint64_t> tuples_tailed{0};
+  std::vector<std::thread> subscribers;
+  for (int t = 0; t < kSubscriberThreads; ++t) {
+    subscribers.emplace_back([&] {
+      for (int i = 0; i < kTailsPerSubscriber; ++i) {
+        tuples_tailed += TailOnce(port, "plan-live");
+      }
+    });
+  }
+
+  // Churn: ephemeral plan-driven tenants registered and stopped while
+  // the swaps and tails are in flight, to drive the registry and the
+  // plan control plane through the same lock hierarchy concurrently.
+  std::thread churner([&] {
+    for (int i = 0; i < kChurnIterations; ++i) {
+      const std::string name = "plan-churn-" + std::to_string(i);
+      SessionOptions ephemeral;
+      ephemeral.plan = ClonePlan(*base_b.ValueOrDie());
+      ephemeral.min_subscribers = 1;
+      ephemeral.max_runs = 1;
+      Status added = server.AddSession(name, nullptr,
+                                       scenarios::ServePlanToSink,
+                                       std::move(ephemeral));
+      if (!added.ok()) continue;
+      if (i % 2 == 0) TailOnce(port, name);
+      EXPECT_TRUE(server.StopSession(name).ok());
+      // Racing a publish against the retirement may land on either
+      // side; either way it must return cleanly, never corrupt state.
+      // (The deterministic "swap into retired fails" case is locked in
+      // plan_swap_test.)
+      (void)server.SwapPlan(name, ClonePlan(*base_a.ValueOrDie()));
+    }
+  });
+
+  for (std::thread& t : swappers) t.join();
+  for (std::thread& t : subscribers) t.join();
+  churner.join();
+
+  auto info = server.session_info("plan-live");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.ValueOrDie().plan_swaps,
+            static_cast<uint64_t>(swaps.load()));
+  EXPECT_EQ(info.ValueOrDie().plan_version,
+            static_cast<uint64_t>(1 + swaps.load()));
+  EXPECT_GT(tuples_tailed, 0u);
+
+  server.RequestStop();
+  ASSERT_TRUE(server.Wait().ok());
 
   EnableLockRankChecks(checks_were_enabled);
 }

@@ -120,4 +120,140 @@ TEST(CliExitCodes, LintRoutesServeConfigs) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+// ---------------------------------------------------------------------
+// admin — same contract: 2 = caught client-side before any connection
+// (bad flags or IW61x lint errors), 1 = the server rejected the request
+// (lint-gated swaps land here with the Diagnostics JSON on stderr).
+// ---------------------------------------------------------------------
+
+TEST(CliAdminExitCodes, UsageErrorsExitTwoBeforeConnecting) {
+  // Port 1 has no listener, so an exit of 2 (not 1) on these proves the
+  // client-side gate fired before any connect was attempted.
+  EXPECT_EQ(RunCli("admin").exit_code, 2);
+  EXPECT_EQ(RunCli("admin list_sessions").exit_code, 2);  // no --connect
+  EXPECT_EQ(RunCli("admin list_sessions --connect nocolon").exit_code, 2);
+
+  CliRun unknown = RunCli("admin frobnicate --connect 127.0.0.1:1");
+  EXPECT_EQ(unknown.exit_code, 2);
+  EXPECT_NE(unknown.output.find("IW611"), std::string::npos)
+      << unknown.output;
+
+  CliRun swap =
+      RunCli("admin swap_pipeline --connect 127.0.0.1:1 --session s");
+  EXPECT_EQ(swap.exit_code, 2);
+  EXPECT_NE(swap.output.find("IW613"), std::string::npos) << swap.output;
+
+  CliRun rate = RunCli(
+      "admin set_rate --connect 127.0.0.1:1 --session s --rate fast");
+  EXPECT_EQ(rate.exit_code, 2);
+
+  CliRun no_session = RunCli("admin get_config --connect 127.0.0.1:1");
+  EXPECT_EQ(no_session.exit_code, 2);
+  EXPECT_NE(no_session.output.find("IW612"), std::string::npos)
+      << no_session.output;
+}
+
+TEST(CliAdminExitCodes, ConnectionRefusedIsRuntimeFailure) {
+  EXPECT_EQ(RunCli("admin list_sessions --connect 127.0.0.1:1").exit_code, 1);
+}
+
+/// Starts `icewafl_cli serve` in the background and kills it on scope
+/// exit; serves one scenario with the admin channel on an ephemeral
+/// port scraped from the startup banner.
+class BackgroundServe {
+ public:
+  explicit BackgroundServe(const std::string& serve_args)
+      : log_path_(UniqueTempPath("serve_log.txt")),
+        pid_path_(UniqueTempPath("serve_pid.txt")) {
+    const std::string command = "sh -c '" + std::string(ICEWAFL_CLI_PATH) +
+                                " " + serve_args + " > " + log_path_ +
+                                " 2>&1 & echo $!> " + pid_path_ + "'";
+    std::system(command.c_str());
+  }
+
+  ~BackgroundServe() {
+    std::system(("kill -9 $(cat " + pid_path_ + ") 2>/dev/null").c_str());
+    std::remove(log_path_.c_str());
+    std::remove(pid_path_.c_str());
+  }
+
+  /// Polls the serve log for a line containing `needle` (10s cap).
+  std::string WaitForLine(const std::string& needle) const {
+    for (int i = 0; i < 100; ++i) {
+      std::ifstream in(log_path_);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.find(needle) != std::string::npos) return line;
+      }
+      usleep(100 * 1000);
+    }
+    return "";
+  }
+
+  /// The "host:port" tail of a banner line like "admin channel on
+  /// 127.0.0.1:37841", or "" if the banner never appeared.
+  std::string Endpoint(const std::string& banner) const {
+    const std::string line = WaitForLine(banner);
+    const size_t on = line.rfind(" on ");
+    if (on == std::string::npos) return "";
+    return line.substr(on + 4);
+  }
+
+ private:
+  std::string log_path_;
+  std::string pid_path_;
+};
+
+TEST(CliAdminExitCodes, LiveServerAcceptsMutationsAndRejectsBadSwaps) {
+  BackgroundServe serve(
+      "serve --scenario random_temporal --port 0 --admin-port 0");
+  const std::string endpoint = serve.Endpoint("admin channel on");
+  ASSERT_FALSE(endpoint.empty()) << "serve never printed the admin banner";
+  const std::string connect = " --connect " + endpoint;
+
+  CliRun listed = RunCli("admin list_sessions" + connect);
+  EXPECT_EQ(listed.exit_code, 0) << listed.output;
+  EXPECT_NE(listed.output.find("random_temporal"), std::string::npos)
+      << listed.output;
+
+  // A healthy swap: exit 0, version bumped to 2.
+  CliRun swapped = RunCli("admin swap_pipeline" + connect +
+                          " --session random_temporal"
+                          " --scenario software_update");
+  EXPECT_EQ(swapped.exit_code, 0) << swapped.output;
+  EXPECT_NE(swapped.output.find("\"plan_version\": 2"), std::string::npos)
+      << swapped.output;
+
+  // A swap the server's lint gate rejects: exit 1, full Diagnostics on
+  // stderr (IW101: unknown attribute for the session's schema).
+  const std::string bad = WriteTempConfig("bad_pipeline.json", R"({
+    "name": "broken",
+    "polluters": [
+      {"type": "standard", "label": "bad", "attributes": ["Nope"],
+       "condition": {"type": "always"},
+       "error": {"type": "missing_value"}}
+    ]
+  })");
+  CliRun rejected = RunCli("admin swap_pipeline" + connect +
+                           " --session random_temporal --pipeline " + bad);
+  EXPECT_EQ(rejected.exit_code, 1) << rejected.output;
+  EXPECT_NE(rejected.output.find("admin swap_pipeline failed"),
+            std::string::npos)
+      << rejected.output;
+  EXPECT_NE(rejected.output.find("IW101"), std::string::npos)
+      << rejected.output;
+
+  // The rejected swap was not applied: still version 2.
+  CliRun config =
+      RunCli("admin get_config" + connect + " --session random_temporal");
+  EXPECT_EQ(config.exit_code, 0) << config.output;
+  EXPECT_NE(config.output.find("\"plan_version\": 2"), std::string::npos)
+      << config.output;
+
+  // Stopping an unknown session is a server-side NotFound: exit 1.
+  CliRun missing =
+      RunCli("admin stop_session" + connect + " --session nope");
+  EXPECT_EQ(missing.exit_code, 1) << missing.output;
+}
+
 }  // namespace

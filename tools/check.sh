@@ -30,6 +30,15 @@
 #                             # its per-session offline run, plus a
 #                             # bench_net_server fan-out smoke emitting
 #                             # BENCH_net.json
+#   tools/check.sh admin      # live control-plane smoke: serve with
+#                             # --admin-port 0, drive the admin channel
+#                             # with icewafl_cli admin (list/get/swap/
+#                             # set_rate/metrics), byte-compare a
+#                             # post-swap tail to the offline run of the
+#                             # swapped-in scenario, swap mid-stream
+#                             # under an active tail, and require
+#                             # lint-rejected swaps to exit 1 with
+#                             # Diagnostics on stderr
 #
 # The sanitizer presets compile with -Werror, so this script is also the
 # warning gate. (-Wmaybe-uninitialized is excluded there: GCC 12 emits
@@ -224,7 +233,7 @@ run_bench() {
   echo "=== bench: Release build ==="
   cmake -S . -B build-rel -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-rel -j "${jobs}" --target bench_micro_polluters \
-    --target bench_net_wire
+    --target bench_net_wire --target bench_runtime_pipeline
   echo "=== bench: smoke run ==="
   # The tiny time budget keeps this a compile-and-assert smoke, not a
   # measurement; the binaries' built-in ratio assertions (keyed
@@ -258,6 +267,33 @@ EOF
   else
     grep -q '"median_columnar_speedup"' BENCH_micro.json
     grep -q '"encode_speedup"' BENCH_wire.json
+  fi
+  echo "=== bench: bench_runtime_pipeline → BENCH_runtime.json ==="
+  # Tiny stream: a schema/emission smoke, not a measurement. The real
+  # numbers come from the default full-size run.
+  ./build-rel/bench/bench_runtime_pipeline --tuples 20000 --reps 2 \
+    --out BENCH_runtime.json >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_runtime.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "runtime_pipeline", report
+assert report["tuples"] == 20000, report["tuples"]
+assert report["materializing"]["seconds"] > 0, report["materializing"]
+runs = report["pipelined"]
+assert [r["parallelism"] for r in runs] == [1, 2, 4], runs
+for r in runs:
+    assert r["seconds"] > 0 and r["speedup"] > 0, r
+    assert r["peak_buffered_tuples"] > 0, r
+for variant in ("uninstrumented", "instrumented"):
+    lat = report["wall_seconds_p4"][variant]
+    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"], lat
+print(f"bench: BENCH_runtime.json OK "
+      f"(pipelined P=4 speedup {report['speedup_p4']:.2f}x)")
+EOF
+  else
+    grep -q '"speedup_p4"' BENCH_runtime.json
   fi
   echo "=== bench: OK ==="
 }
@@ -398,6 +434,131 @@ EOF
   echo "=== net: OK ==="
 }
 
+# Scrapes "<banner> ... on HOST:PORT" from a serve log, polling until
+# the server prints it (or dies). Echoes the port, empty on timeout.
+scrape_port() {
+  local log="$1" banner="$2" pid="$3" port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n "s/^${banner} .*:\([0-9]*\).*/\1/p" "${log}" | head -n 1)
+    [ -n "${port}" ] && break
+    kill -0 "${pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  echo "${port}"
+}
+
+run_admin() {
+  echo "=== admin: build icewafl_cli ==="
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "${jobs}" --target icewafl_cli
+  local cli=build/tools/icewafl_cli
+  local outdir
+  outdir=$(mktemp -d)
+  trap 'rm -rf "${outdir}"' RETURN
+
+  echo "=== admin: serve random_temporal with the admin channel ==="
+  "${cli}" serve --scenario random_temporal --seed 7 --port 0 \
+    --admin-port 0 --max-sessions 1 >"${outdir}/serve.log" 2>&1 &
+  local server_pid=$!
+  local port admin_port
+  port=$(scrape_port "${outdir}/serve.log" "serving scenario" \
+    "${server_pid}")
+  admin_port=$(scrape_port "${outdir}/serve.log" "admin channel on" \
+    "${server_pid}")
+  if [ -z "${port}" ] || [ -z "${admin_port}" ]; then
+    echo "admin: server never printed both banners:"
+    cat "${outdir}/serve.log"
+    kill "${server_pid}" 2>/dev/null || true
+    return 1
+  fi
+  local connect="--connect 127.0.0.1:${admin_port}"
+
+  echo "=== admin: list_sessions / get_config ==="
+  # shellcheck disable=SC2086
+  "${cli}" admin list_sessions ${connect} | grep -q random_temporal
+  # shellcheck disable=SC2086
+  "${cli}" admin get_config ${connect} --session random_temporal |
+    grep -q '"plan_version": 1'
+
+  echo "=== admin: lint-rejected swap exits 1 with Diagnostics ==="
+  cat >"${outdir}/bad_pipeline.json" <<'EOF'
+{
+  "name": "broken",
+  "polluters": [
+    {"type": "standard", "label": "bad", "attributes": ["Nope"],
+     "condition": {"type": "always"}, "error": {"type": "missing_value"}}
+  ]
+}
+EOF
+  local swap_status=0
+  # shellcheck disable=SC2086
+  "${cli}" admin swap_pipeline ${connect} --session random_temporal \
+    --pipeline "${outdir}/bad_pipeline.json" \
+    >"${outdir}/swap.out" 2>"${outdir}/swap.err" || swap_status=$?
+  if [ "${swap_status}" -ne 1 ]; then
+    echo "admin: lint-rejected swap exited ${swap_status}, want 1"
+    return 1
+  fi
+  grep -q IW101 "${outdir}/swap.err"
+
+  echo "=== admin: swap to software_update, then byte-compare a tail ==="
+  # shellcheck disable=SC2086
+  "${cli}" admin swap_pipeline ${connect} --session random_temporal \
+    --scenario software_update | grep -q '"plan_version": 2'
+  # The waiting session adopts the newest plan at its next run, with the
+  # session's own seed (7): the tail must equal the offline run.
+  "${cli}" run --scenario software_update --seed 7 \
+    --output "${outdir}/offline.csv" >/dev/null
+  "${cli}" tail --connect "127.0.0.1:${port}" \
+    --csv-out "${outdir}/tail.csv"
+  cmp "${outdir}/offline.csv" "${outdir}/tail.csv"
+  echo "admin: post-swap digest match ($(wc -c <"${outdir}/tail.csv")B)"
+  if ! wait "${server_pid}"; then
+    echo "admin: server exited non-zero:"
+    cat "${outdir}/serve.log"
+    return 1
+  fi
+
+  echo "=== admin: mid-stream swap under an active tail ==="
+  "${cli}" serve --scenario random_temporal --port 0 --admin-port 0 \
+    --max-sessions 1 --metrics-out "${outdir}/serve2.prom" \
+    >"${outdir}/serve2.log" 2>&1 &
+  server_pid=$!
+  port=$(scrape_port "${outdir}/serve2.log" "serving scenario" \
+    "${server_pid}")
+  admin_port=$(scrape_port "${outdir}/serve2.log" "admin channel on" \
+    "${server_pid}")
+  connect="--connect 127.0.0.1:${admin_port}"
+  # Pace the stream so the swap lands mid-run, then tail through it.
+  # shellcheck disable=SC2086
+  "${cli}" admin set_rate ${connect} --session random_temporal \
+    --rate 2000 >/dev/null
+  "${cli}" tail --connect "127.0.0.1:${port}" \
+    --csv-out "${outdir}/tail2.csv" &
+  local tail_pid=$!
+  sleep 0.3
+  # shellcheck disable=SC2086
+  "${cli}" admin swap_pipeline ${connect} --session random_temporal \
+    --scenario software_update >/dev/null
+  # The subscriber must ride through the swap on one connection.
+  if ! wait "${tail_pid}"; then
+    echo "admin: tail disconnected across the swap"
+    return 1
+  fi
+  [ "$(wc -l <"${outdir}/tail2.csv")" -gt 1 ]
+  if ! wait "${server_pid}"; then
+    echo "admin: mid-stream server exited non-zero:"
+    cat "${outdir}/serve2.log"
+    return 1
+  fi
+  echo "=== admin: swap metrics in the Prometheus export ==="
+  grep -q 'icewafl_server_plan_swaps_total{session="random_temporal"} 2' \
+    "${outdir}/serve2.prom"
+  grep -q 'icewafl_server_plan_version{session="random_temporal"} 3' \
+    "${outdir}/serve2.prom"
+  echo "=== admin: OK ==="
+}
+
 modes=("$@")
 if [ "${#modes[@]}" -eq 0 ]; then
   modes=(asan tsan)
@@ -412,8 +573,9 @@ for mode in "${modes[@]}"; do
     obs) run_obs ;;
     bench) run_bench ;;
     net) run_net ;;
+    admin) run_admin ;;
     *)
-      echo "unknown mode '${mode}' (expected asan, tsan, tidy, tsafety, lint, obs, bench, or net)" >&2
+      echo "unknown mode '${mode}' (expected asan, tsan, tidy, tsafety, lint, obs, bench, net, or admin)" >&2
       exit 2
       ;;
   esac

@@ -28,11 +28,26 @@
 //             [--queue-capacity N] [--workers N]
 //             [--slow-consumer block|drop_oldest|disconnect]
 //             [--config serve.json] [--metrics-out F.prom]
+//             [--admin-port P]
 //             (pollution as a service: binds a TCP port and hosts one
 //              or more named sessions — a --config document may carry a
 //              "sessions" array — streaming each session's polluted
 //              runs to its subscribers over a shared worker pool; the
-//              config is linted — IW6xx — before the socket opens)
+//              config is linted — IW6xx — before the socket opens.
+//              Every session runs a versioned plan snapshot; with
+//              --admin-port the live control plane is exposed on its
+//              own port for `icewafl_cli admin`)
+//   admin     METHOD --connect HOST:PORT [--session NAME]
+//             [--scenario NAME] [--pipeline P.json] [--rate R] [--json]
+//             (control plane of a running serve: METHOD is one of
+//              list_sessions, get_config, swap_pipeline, set_rate,
+//              stop_session, create_session, get_metrics. Requests are
+//              linted client-side — IW61x — before the connection, and
+//              again server-side; swapped pipeline documents pass the
+//              full IW1xx..IW4xx analysis against the session's schema
+//              before the new plan version is published. Running
+//              subscribers keep streaming across a swap: in-flight rows
+//              finish under the old plan, the next rows use the new one)
 //   tail      --connect HOST:PORT [--session NAME] [--limit N]
 //             [--csv-out OUT.csv]
 //             (subscribes to one named session of a serve instance;
@@ -45,7 +60,12 @@
 // usage errors — including unknown flags and unknown subcommands, which
 // are always usage errors, never silently ignored. `run` exits 0 even
 // when the suite flags errors — a polluted stream is SUPPOSED to
-// violate its expectations. `--version` prints the version and exits 0.
+// violate its expectations. `admin` follows the same contract: a
+// malformed invocation (bad flags, client-side IW61x lint errors)
+// exits 2 before connecting; a request the server rejects — e.g. a
+// swap whose pipeline fails the lint gate — exits 1 with the
+// Diagnostics JSON on stderr. `--version` prints the version and
+// exits 0.
 
 #include <cerrno>
 #include <cstdio>
@@ -54,6 +74,7 @@
 #include <fstream>
 #include <initializer_list>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -66,6 +87,7 @@
 #include "dq/profile.h"
 #include "io/csv.h"
 #include "io/schema_json.h"
+#include "net/admin.h"
 #include "net/client.h"
 #include "net/serve_config.h"
 #include "net/server.h"
@@ -104,6 +126,11 @@ int Usage() {
       "              [--max-sessions N] [--queue-capacity N] [--workers N]\n"
       "              [--slow-consumer block|drop_oldest|disconnect]\n"
       "              [--config serve.json] [--metrics-out F.prom]\n"
+      "              [--admin-port P]\n"
+      "  icewafl_cli admin list_sessions|get_config|swap_pipeline|set_rate|\n"
+      "              stop_session|create_session|get_metrics\n"
+      "              --connect HOST:PORT [--session NAME] [--scenario NAME]\n"
+      "              [--pipeline P.json] [--rate R] [--json]\n"
       "  icewafl_cli tail --connect HOST:PORT [--session NAME] [--limit N]\n"
       "              [--csv-out OUT.csv]\n"
       "  icewafl_cli --version\n");
@@ -481,8 +508,8 @@ int BuildServeJson(const std::map<std::string, std::string>& flags,
     const char* key;
   };
   for (const IntFlag& f :
-       {IntFlag{"port", "port"}, IntFlag{"seed", "seed"},
-        IntFlag{"parallelism", "parallelism"},
+       {IntFlag{"port", "port"}, IntFlag{"admin-port", "admin_port"},
+        IntFlag{"seed", "seed"}, IntFlag{"parallelism", "parallelism"},
         IntFlag{"min-subscribers", "min_subscribers"},
         IntFlag{"max-sessions", "max_sessions"},
         IntFlag{"queue-capacity", "queue_capacity"},
@@ -501,6 +528,77 @@ int BuildServeJson(const std::map<std::string, std::string>& flags,
   }
   *out = std::move(doc);
   return 0;
+}
+
+/// Compiles one session entry into a versioned plan and registers it:
+/// the session serves scenarios::ServePlanToSink, so SwapPlan /
+/// `admin swap_pipeline` apply live.
+Status AddPlanSession(net::PollutionServer* server,
+                      const net::SessionConfig& entry) {
+  auto plan = scenarios::BuildScenarioPlan(entry.scenario, entry.seed,
+                                           entry.parallelism);
+  if (!plan.ok()) return plan.status();
+  net::SessionOptions options = entry.ToSessionOptions();
+  options.plan = std::move(plan).ValueOrDie();
+  return server->AddSession(entry.name, nullptr, scenarios::ServePlanToSink,
+                            std::move(options));
+}
+
+/// The admin channel's mutation hooks: compile swap_pipeline /
+/// create_session params through the scenarios layer, lint-gating
+/// pipeline documents (full IW1xx..IW4xx analysis against the session's
+/// schema and stream bounds) before any snapshot exists to publish.
+net::AdminHooks MakeAdminHooks(net::PollutionServer* server) {
+  net::AdminHooks hooks;
+  hooks.known_scenarios = scenarios::ScenarioNames();
+  hooks.compile_swap = [](const PlanSnapshot& current, const Json& params,
+                          Json* diagnostics)
+      -> Result<std::shared_ptr<PlanSnapshot>> {
+    if (params.Has("scenario")) {
+      return scenarios::BuildScenarioPlan(params.GetString("scenario", ""),
+                                          current.seed, current.parallelism,
+                                          current.tuples_per_sec);
+    }
+    auto pipeline_json = params.Get("pipeline");
+    if (!pipeline_json.ok()) return pipeline_json.status();
+    analysis::AnalyzeOptions options;
+    options.schema = current.schema;
+    options.stream_start = current.stream_start;
+    options.stream_end = current.stream_end;
+    Diagnostics diags =
+        analysis::AnalyzePipeline(pipeline_json.ValueOrDie(), options);
+    if (diags.HasErrors()) {
+      *diagnostics = diags.ToJson();
+      return Status::InvalidArgument("pipeline rejected by lint:\n" +
+                                     diags.ToReport());
+    }
+    return scenarios::BuildPlanFromPipelineJson(current,
+                                                pipeline_json.ValueOrDie());
+  };
+  hooks.create_session = [server](const Json& params,
+                                  Json* diagnostics) -> Status {
+    auto entry_json = params.Get("session");
+    if (!entry_json.ok()) return entry_json.status();
+    // Route the entry through the same IW6xx lint and ServeConfig parse
+    // a --config sessions[] entry gets.
+    Json doc = Json::MakeObject();
+    Json sessions = Json::MakeArray();
+    sessions.Append(entry_json.ValueOrDie());
+    doc.Set("sessions", std::move(sessions));
+    analysis::ServeAnalyzeOptions serve_options;
+    serve_options.known_scenarios = scenarios::ScenarioNames();
+    serve_options.known_policies = net::SlowConsumerPolicyNames();
+    Diagnostics diags = analysis::AnalyzeServeConfig(doc, serve_options);
+    if (diags.HasErrors()) {
+      *diagnostics = diags.ToJson();
+      return Status::InvalidArgument("session entry rejected by lint:\n" +
+                                     diags.ToReport());
+    }
+    auto config = net::ServeConfig::FromJson(doc);
+    if (!config.ok()) return config.status();
+    return AddPlanSession(server, config.ValueOrDie().sessions[0]);
+  };
+  return hooks;
 }
 
 int RunServe(const std::map<std::string, std::string>& flags) {
@@ -524,34 +622,35 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   if (!config.ok()) return Fail(config.status());
   const net::ServeConfig& serve = config.ValueOrDie();
 
+  // The admin channel reports metrics (get_metrics, plan_version), so
+  // enabling it wires the registry in even without --metrics-out.
   obs::MetricRegistry registry;
   obs::MetricRegistry* metrics_ptr =
-      flags.count("metrics-out") ? &registry : nullptr;
+      (flags.count("metrics-out") || serve.admin_port >= 0) ? &registry
+                                                            : nullptr;
 
   net::PollutionServer server(serve.ToServerOptions(metrics_ptr));
   for (const net::SessionConfig& entry : serve.sessions) {
-    auto resolved = scenarios::ResolveScenario(entry.scenario, entry.seed);
-    if (!resolved.ok()) return Fail(resolved.status());
-    // Runs replay the scenario, so the resolved dataset is shared
-    // read-only across them.
-    auto scenario = std::make_shared<const scenarios::ResolvedScenario>(
-        std::move(resolved).ValueOrDie());
-    const uint64_t seed = entry.seed;
-    const int parallelism = entry.parallelism;
-    net::PollutionServer::SessionFn fn = [scenario, seed, parallelism,
-                                          metrics_ptr](Sink* sink) {
-      VectorSource source(scenario->schema, scenario->clean);
-      return scenarios::StreamPipelineToSink(
-          &source, scenario->pipeline, seed, parallelism, sink, nullptr,
-          metrics_ptr, nullptr, scenario->stream_start,
-          scenario->stream_end);
-    };
-    Status st = server.AddSession(entry.name, scenario->schema,
-                                  std::move(fn), entry.ToSessionOptions());
+    Status st = AddPlanSession(&server, entry);
     if (!st.ok()) return Fail(st);
   }
   Status st = server.Start();
   if (!st.ok()) return Fail(st);
+
+  std::unique_ptr<net::AdminServer> admin;
+  if (serve.admin_port >= 0) {
+    net::AdminOptions admin_options;
+    admin_options.host = serve.host;
+    admin_options.port = static_cast<uint16_t>(serve.admin_port);
+    admin = std::make_unique<net::AdminServer>(
+        &server, metrics_ptr, admin_options, MakeAdminHooks(&server));
+    st = admin->Start();
+    if (!st.ok()) {
+      server.RequestStop();
+      server.Wait();
+      return Fail(st);
+    }
+  }
 
   std::string desc;
   for (const net::SessionConfig& entry : serve.sessions) {
@@ -565,6 +664,10 @@ int RunServe(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned>(server.port()), serve.workers,
               serve.queue_capacity,
               net::SlowConsumerPolicyName(serve.slow_consumer));
+  if (admin != nullptr) {
+    std::printf("admin channel on %s:%u\n", serve.host.c_str(),
+                static_cast<unsigned>(admin->port()));
+  }
   for (const net::SessionConfig& entry : serve.sessions) {
     std::printf("  session %s: seed %llu, parallelism %d, "
                 "min-subscribers %d, %s\n",
@@ -577,8 +680,9 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   }
   std::fflush(stdout);
   st = server.Wait();
+  if (admin != nullptr) admin->Stop();
 
-  if (metrics_ptr != nullptr) {
+  if (metrics_ptr != nullptr && flags.count("metrics-out")) {
     Status write_st = WriteTextFile(flags.at("metrics-out"),
                                     registry.ToPrometheusText());
     if (!write_st.ok()) return Fail(write_st);
@@ -648,6 +752,92 @@ int RunTail(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int RunAdmin(const std::string& method,
+             const std::map<std::string, std::string>& flags) {
+  if (!flags.count("connect")) {
+    std::fprintf(stderr, "admin: missing --connect HOST:PORT\n");
+    return 2;
+  }
+  const std::string& endpoint = flags.at("connect");
+  const size_t colon = endpoint.rfind(':');
+  int64_t port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !ParseInt64Flag(endpoint.substr(colon + 1), &port) || port < 1 ||
+      port > 65535) {
+    std::fprintf(stderr, "admin: --connect needs HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+
+  Json params = Json::MakeObject();
+  if (flags.count("session")) params.Set("session", flags.at("session"));
+  if (flags.count("scenario")) params.Set("scenario", flags.at("scenario"));
+  if (flags.count("pipeline")) {
+    auto doc = ReadJsonFile(flags.at("pipeline"));
+    if (!doc.ok()) {
+      std::fprintf(stderr, "admin: --pipeline: %s\n",
+                   doc.status().ToString().c_str());
+      return 2;
+    }
+    params.Set("pipeline", std::move(doc).ValueOrDie());
+  }
+  if (flags.count("rate")) {
+    const std::string& text = flags.at("rate");
+    char* end = nullptr;
+    errno = 0;
+    const double rate = std::strtod(text.c_str(), &end);
+    if (text.empty() || errno != 0 || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "admin: --rate needs a number, got '%s'\n",
+                   text.c_str());
+      return 2;
+    }
+    params.Set("tuples_per_sec", Json(rate));
+  }
+
+  // Client-side gate: a request the server would reject as malformed
+  // (IW61x) is a usage error here, caught before any connection.
+  Json request = Json::MakeObject();
+  request.Set("id", Json(static_cast<int64_t>(1)));
+  request.Set("method", Json(method));
+  request.Set("params", params);
+  analysis::AdminAnalyzeOptions lint;
+  lint.known_methods = net::AdminMethodNames();
+  lint.known_scenarios = scenarios::ScenarioNames();
+  Diagnostics diags = analysis::AnalyzeAdminRequest(request, lint);
+  if (!diags.empty()) std::fprintf(stderr, "%s", diags.ToReport().c_str());
+  if (diags.HasErrors()) return 2;
+
+  auto client = net::AdminClient::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) return Fail(client.status());
+  auto response = client.ValueOrDie()->Call(method, params);
+  if (!response.ok()) return Fail(response.status());
+  const Json& body = response.ValueOrDie();
+  if (body.Has("error")) {
+    // The server's rejection — lint-gated swaps land here with the full
+    // Diagnostics JSON.
+    const Json error = body.Get("error").ValueOrDie();
+    std::fprintf(stderr, "admin %s failed [%s]: %s\n", method.c_str(),
+                 error.GetString("code", "?").c_str(),
+                 error.GetString("message", "").c_str());
+    if (error.Has("diagnostics")) {
+      std::fprintf(
+          stderr, "%s\n",
+          error.Get("diagnostics").ValueOrDie().DumpPretty().c_str());
+    }
+    return 1;
+  }
+  Json result =
+      body.Has("result") ? body.Get("result").ValueOrDie() : Json();
+  if (!flags.count("json") && method == "get_metrics" &&
+      result.is_object() && result.Has("text")) {
+    std::printf("%s", result.GetString("text", "").c_str());
+  } else {
+    std::printf("%s\n", result.DumpPretty().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -666,6 +856,16 @@ int main(int argc, char** argv) {
                     {"schema", "suite", "stream-start", "stream-end", "json"}))
       return 2;
     return RunLint(argv[2], flags);
+  }
+  if (command == "admin") {
+    // admin takes the method as a positional argument.
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return Usage();
+    if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
+    if (!CheckFlags("admin", flags,
+                    {"connect", "session", "scenario", "pipeline", "rate",
+                     "json"}))
+      return 2;
+    return RunAdmin(argv[2], flags);
   }
   if (!ParseFlags(argc, argv, 2, &flags)) return Usage();
   if (command == "pollute") {
@@ -706,10 +906,10 @@ int main(int argc, char** argv) {
   }
   if (command == "serve") {
     if (!CheckFlags("serve", flags,
-                    {"scenario", "config", "host", "port", "seed",
-                     "parallelism", "min-subscribers", "max-sessions",
-                     "workers", "queue-capacity", "slow-consumer",
-                     "metrics-out"}))
+                    {"scenario", "config", "host", "port", "admin-port",
+                     "seed", "parallelism", "min-subscribers",
+                     "max-sessions", "workers", "queue-capacity",
+                     "slow-consumer", "metrics-out"}))
       return 2;
     return RunServe(flags);
   }
