@@ -1017,6 +1017,17 @@ void AnalyzeSessionEntry(const Json& entry, const std::string& prefix,
                           std::to_string(value.AsInt64()) + ")");
     }
   }
+
+  // An embedded cleaning document gets the full IW70x analysis, rooted
+  // at this entry (no schema here — the serve path binds it later).
+  // A null cleaner means "no cleaner" — ServeConfig::FromJson parity.
+  if (entry.Has("cleaner") &&
+      !entry.Get("cleaner").ValueOrDie().is_null()) {
+    CleanerAnalyzeOptions cleaner_options;
+    cleaner_options.path_root = prefix + "/cleaner";
+    diags->Merge(AnalyzeCleanerRules(entry.Get("cleaner").ValueOrDie(),
+                                     cleaner_options));
+  }
 }
 
 }  // namespace
@@ -1047,7 +1058,8 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
     } else {
       static const char* kSessionKeys[] = {"name",        "scenario",
                                            "seed",        "parallelism",
-                                           "min_subscribers", "max_runs"};
+                                           "min_subscribers", "max_runs",
+                                           "cleaner"};
       for (size_t i = 0; i < sessions.items().size(); ++i) {
         const Json& entry = sessions.items()[i];
         const std::string prefix = "/sessions/" + std::to_string(i);
@@ -1159,7 +1171,7 @@ Diagnostics AnalyzeServeConfig(const Json& serve_json,
                                       "slow_consumer"};
   static const char* kLegacyKeys[] = {"scenario", "name", "seed",
                                       "parallelism", "min_subscribers",
-                                      "max_sessions"};
+                                      "max_sessions", "cleaner"};
   for (const auto& entry : serve_json.fields()) {
     bool known = false;
     for (const char* key : kServerKeys) {
@@ -1240,7 +1252,8 @@ Diagnostics AnalyzeAdminRequest(const Json& request_json,
   // IW612: the session target of every per-session method.
   const bool needs_session_id =
       method == "get_config" || method == "swap_pipeline" ||
-      method == "set_rate" || method == "stop_session";
+      method == "set_rate" || method == "stop_session" ||
+      method == "set_cleaner";
   if (needs_session_id) {
     if (!params.Has("session") ||
         !params.Get("session").ValueOrDie().is_string() ||
@@ -1291,6 +1304,29 @@ Diagnostics AnalyzeAdminRequest(const Json& request_json,
     }
   }
 
+  // IW616: set_cleaner's payload — a cleaning document installs, null
+  // removes. A document object gets the full IW70x analysis (no schema
+  // here; the server binds against the session's schema on apply).
+  if (method == "set_cleaner") {
+    if (!params.Has("rules")) {
+      diags.AddError("IW616", "/params/rules",
+                     "set_cleaner needs \"rules\"",
+                     "a cleaning document object, or null to remove the "
+                     "session's cleaner");
+    } else {
+      const Json rules = params.Get("rules").ValueOrDie();
+      if (rules.is_object()) {
+        CleanerAnalyzeOptions cleaner_options;
+        cleaner_options.path_root = "/params/rules";
+        diags.Merge(AnalyzeCleanerRules(rules, cleaner_options));
+      } else if (!rules.is_null()) {
+        diags.AddError("IW616", "/params/rules",
+                       "\"rules\" must be a cleaning document object or "
+                       "null");
+      }
+    }
+  }
+
   // IW614: the pacing rate must be a usable number.
   if (method == "set_rate") {
     if (!params.Has("tuples_per_sec")) {
@@ -1323,6 +1359,7 @@ Diagnostics AnalyzeAdminRequest(const Json& request_json,
       {"swap_pipeline", {"session", "pipeline", "scenario"}},
       {"set_rate", {"session", "tuples_per_sec"}},
       {"create_session", {"session"}},
+      {"set_cleaner", {"session", "rules"}},
   };
   for (const MethodKeys& entry : kMethodKeys) {
     if (entry.method != method) continue;

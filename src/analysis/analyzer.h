@@ -102,8 +102,50 @@ struct ServeAnalyzeOptions {
 ///  - IW615 (error): session name containing ASCII control characters
 ///    (names travel in wire frames and metric labels).
 /// The optional "admin_port" key is range-checked like "port" (IW601).
+/// A session entry's optional "cleaner" key (a cleaning-rules document
+/// applied to that session's served stream) is analyzed in place with
+/// the IW70x cleaner checks, findings rooted at the entry's path.
 Diagnostics AnalyzeServeConfig(const Json& serve_json,
                                const ServeAnalyzeOptions& options = {});
+
+/// \brief Context for cleaner-document analysis. Without a schema the
+/// column checks (IW703) are skipped; `path_root` prefixes every
+/// finding's JSON pointer (used when a cleaner document is embedded in
+/// a larger document, e.g. a serve-config session entry).
+struct CleanerAnalyzeOptions {
+  SchemaPtr schema;
+  std::string path_root;
+};
+
+/// \brief Analyzes a cleaning-rules document (clean::RulesFromJson's
+/// input shape: {"name": ..., "key": ..., "history": N,
+/// "rules": [...]}) without binding or running it. Codes:
+///  - IW701 (error): malformed document shape — not an object, missing
+///    or non-array "rules", bad "name"/"key"/"history" types (an empty
+///    rules array is a warning: the cleaner never repairs anything);
+///  - IW702 (error): malformed rule entry — missing or mistyped
+///    label / column / detect / repair / when / guard fields;
+///  - IW703 (error): a column the schema lacks, or a string-typed
+///    column in a position that binds numerically (range / cross_field
+///    / rate_of_change / stuck_at columns, cross_field "other", every
+///    guard column);
+///  - IW704 (error): bad detect parameters — unknown detect type,
+///    repair, compare op, or value type; range min > max; an invalid
+///    regex pattern; max_change <= 0; min_repeats < 2;
+///  - IW705 (error): a repair incompatible with its detect (clamp
+///    without a range detect to take bounds from);
+///  - IW706 (warning): duplicate rule label (metrics and repair-log
+///    series merge);
+///  - IW707 (warning): a windowed detect that can never fire as
+///    written (stuck_at min_repeats exceeding the history window);
+///  - IW604 (warning): unknown document or rule key.
+Diagnostics AnalyzeCleanerRules(const Json& rules_json,
+                                const CleanerAnalyzeOptions& options = {});
+
+/// \brief Heuristic: a JSON object with a "rules" array whose entries
+/// carry "detect"/"repair" (and no pipeline/suite/serve markers) is a
+/// cleaning document (used by the lint CLI to route documents).
+bool LooksLikeCleanerRules(const Json& json);
 
 /// \brief Context for admin-request analysis. Vocabularies are passed
 /// in (net::AdminMethodNames(), scenarios::ScenarioNames()) so the
@@ -130,6 +172,10 @@ struct AdminAnalyzeOptions {
 ///    "pipeline" (an object document) and "scenario" (a known name);
 ///  - IW614 (error): set_rate "tuples_per_sec" missing, non-numeric,
 ///    negative, or not finite (0 serves unpaced);
+///  - IW616 (error): set_cleaner params missing "rules", or "rules"
+///    neither a cleaning document object (checked with the IW70x
+///    analysis, rooted at /params/rules) nor null (which removes the
+///    session's cleaner);
 ///  - IW604 (warning): unknown params key for the method.
 Diagnostics AnalyzeAdminRequest(const Json& request_json,
                                 const AdminAnalyzeOptions& options = {});

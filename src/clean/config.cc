@@ -1,0 +1,249 @@
+#include "clean/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace icewafl {
+namespace clean {
+
+namespace {
+
+// Thread-local pointer prefix for the helpers below; set once per rule
+// so every field error carries its JSON pointer.
+thread_local std::string t_path;
+
+std::string At(const std::string& key) {
+  return " at " + (t_path.empty() ? std::string("/") : t_path) + "/" + key;
+}
+
+Result<Json> GetField(const Json& json, const std::string& key) {
+  if (!json.Has(key)) {
+    return Status::NotFound("missing field '" + key + "'" + At(key));
+  }
+  return json.Get(key);
+}
+
+Result<std::string> RequireString(const Json& json, const std::string& key) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, GetField(json, key));
+  if (!field.is_string()) {
+    return Status::TypeError("field" + At(key) + " must be a string");
+  }
+  return field.AsString();
+}
+
+Result<double> RequireDouble(const Json& json, const std::string& key) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json field, GetField(json, key));
+  if (!field.is_number()) {
+    return Status::TypeError("field" + At(key) + " must be a number");
+  }
+  return field.AsDouble();
+}
+
+Result<RuleGuard> GuardFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::ParseError("guard" + At("when") + " must be an object");
+  }
+  RuleGuard guard;
+  ICEWAFL_ASSIGN_OR_RETURN(guard.column, RequireString(json, "column"));
+  ICEWAFL_ASSIGN_OR_RETURN(std::string op_name, RequireString(json, "op"));
+  auto op = CompareOpFromName(op_name);
+  if (!op.ok()) {
+    return Status::ParseError(op.status().message() + At("op"));
+  }
+  guard.op = op.ValueOrDie();
+  ICEWAFL_ASSIGN_OR_RETURN(guard.value, RequireDouble(json, "value"));
+  return guard;
+}
+
+Result<std::unique_ptr<CleanRule>> RuleFromJson(const Json& json,
+                                                const std::string& path) {
+  t_path = path;
+  if (!json.is_object()) {
+    return Status::ParseError(
+        "rule description at " + (path.empty() ? std::string("/") : path) +
+        " must be an object");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(std::string label, RequireString(json, "label"));
+  ICEWAFL_ASSIGN_OR_RETURN(std::string column, RequireString(json, "column"));
+  ICEWAFL_ASSIGN_OR_RETURN(std::string repair_name,
+                           RequireString(json, "repair"));
+  auto repair = RepairActionFromName(repair_name);
+  if (!repair.ok()) {
+    return Status::ParseError(repair.status().message() + At("repair"));
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(Json detect, GetField(json, "detect"));
+  if (!detect.is_object()) {
+    return Status::TypeError("field" + At("detect") + " must be an object");
+  }
+  // Field errors inside "detect" point below the detect object.
+  t_path = path + "/detect";
+  ICEWAFL_ASSIGN_OR_RETURN(std::string type, RequireString(detect, "type"));
+
+  std::unique_ptr<CleanRule> rule;
+  if (type == "range") {
+    ICEWAFL_ASSIGN_OR_RETURN(double min, RequireDouble(detect, "min"));
+    ICEWAFL_ASSIGN_OR_RETURN(double max, RequireDouble(detect, "max"));
+    if (min > max) {
+      return Status::InvalidArgument("range min " + std::to_string(min) +
+                                     " exceeds max " + std::to_string(max) +
+                                     At("min"));
+    }
+    rule = std::make_unique<RangeRule>(std::move(label), std::move(column),
+                                       min, max, repair.ValueOrDie());
+  } else if (type == "not_null") {
+    rule = std::make_unique<NotNullRule>(std::move(label), std::move(column),
+                                         repair.ValueOrDie());
+  } else if (type == "regex") {
+    ICEWAFL_ASSIGN_OR_RETURN(std::string pattern,
+                             RequireString(detect, "pattern"));
+    rule = std::make_unique<RegexRule>(std::move(label), std::move(column),
+                                       std::move(pattern), repair.ValueOrDie());
+  } else if (type == "type") {
+    ICEWAFL_ASSIGN_OR_RETURN(std::string type_name,
+                             RequireString(detect, "value_type"));
+    auto value_type = ValueTypeFromName(type_name);
+    if (!value_type.ok()) {
+      return Status::ParseError(value_type.status().message() +
+                                At("value_type"));
+    }
+    rule = std::make_unique<TypeRule>(std::move(label), std::move(column),
+                                      value_type.ValueOrDie(), repair.ValueOrDie());
+  } else if (type == "cross_field") {
+    ICEWAFL_ASSIGN_OR_RETURN(std::string op_name, RequireString(detect, "op"));
+    auto op = CompareOpFromName(op_name);
+    if (!op.ok()) {
+      return Status::ParseError(op.status().message() + At("op"));
+    }
+    ICEWAFL_ASSIGN_OR_RETURN(std::string other, RequireString(detect, "other"));
+    rule = std::make_unique<CrossFieldRule>(std::move(label), std::move(column),
+                                            op.ValueOrDie(), std::move(other), repair.ValueOrDie());
+  } else if (type == "rate_of_change") {
+    ICEWAFL_ASSIGN_OR_RETURN(double max_change,
+                             RequireDouble(detect, "max_change"));
+    if (max_change <= 0) {
+      return Status::InvalidArgument("max_change must be positive" +
+                                     At("max_change"));
+    }
+    rule = std::make_unique<RateOfChangeRule>(std::move(label),
+                                              std::move(column), max_change,
+                                              repair.ValueOrDie());
+  } else if (type == "stuck_at") {
+    ICEWAFL_ASSIGN_OR_RETURN(double repeats,
+                             RequireDouble(detect, "min_repeats"));
+    if (repeats < 2) {
+      return Status::InvalidArgument("min_repeats must be at least 2" +
+                                     At("min_repeats"));
+    }
+    rule = std::make_unique<StuckAtRule>(std::move(label), std::move(column),
+                                         static_cast<size_t>(repeats),
+                                         repair.ValueOrDie());
+  } else {
+    return Status::ParseError("unknown detect type '" + type + "'" +
+                              At("type"));
+  }
+
+  if (repair.ValueOrDie() == RepairAction::kClamp) {
+    double lo, hi;
+    if (!rule->ClampBounds(&lo, &hi)) {
+      t_path = path;
+      return Status::InvalidArgument(
+          "repair 'clamp' requires a range detect rule" + At("repair"));
+    }
+  }
+
+  if (json.Has("when")) {
+    t_path = path;
+    ICEWAFL_ASSIGN_OR_RETURN(Json when, json.Get("when"));
+    std::vector<Json> guard_docs;
+    if (when.is_object()) {
+      guard_docs.push_back(when);
+    } else if (when.is_array()) {
+      guard_docs = when.items();
+    } else {
+      return Status::TypeError("field" + At("when") +
+                               " must be an object or an array");
+    }
+    for (size_t i = 0; i < guard_docs.size(); ++i) {
+      t_path = path + "/when/" + std::to_string(i);
+      ICEWAFL_ASSIGN_OR_RETURN(RuleGuard guard,
+                               GuardFromJson(guard_docs[i]));
+      rule->mutable_guards()->push_back(std::move(guard));
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+Result<CleaningRules> RulesFromJson(const Json& json, SchemaPtr bind_schema) {
+  if (!json.is_object()) {
+    return Status::ParseError("cleaning document must be a JSON object");
+  }
+  CleaningRules rules;
+  rules.name = json.GetString("name", "clean");
+  if (json.Has("key")) {
+    ICEWAFL_ASSIGN_OR_RETURN(Json key, json.Get("key"));
+    if (!key.is_string()) {
+      return Status::TypeError("field at /key must be a string");
+    }
+    rules.key = key.AsString();
+  }
+  if (json.Has("history")) {
+    ICEWAFL_ASSIGN_OR_RETURN(Json history, json.Get("history"));
+    if (!history.is_number() || history.AsInt64() < 1) {
+      return Status::InvalidArgument(
+          "field at /history must be a positive number");
+    }
+    rules.history = static_cast<size_t>(history.AsInt64());
+  }
+  if (!json.Has("rules")) {
+    return Status::NotFound("missing field 'rules' at /");
+  }
+  ICEWAFL_ASSIGN_OR_RETURN(Json rule_docs, json.Get("rules"));
+  if (!rule_docs.is_array()) {
+    return Status::TypeError("field at /rules must be an array");
+  }
+  for (size_t i = 0; i < rule_docs.items().size(); ++i) {
+    ICEWAFL_ASSIGN_OR_RETURN(
+        std::unique_ptr<CleanRule> rule,
+        RuleFromJson(rule_docs.items()[i], "/rules/" + std::to_string(i)));
+    rules.rules.push_back(std::move(rule));
+  }
+  if (bind_schema != nullptr) {
+    ICEWAFL_RETURN_NOT_OK(BindRules(&rules, *bind_schema));
+  }
+  return rules;
+}
+
+Result<CleaningRules> RulesFromJsonString(const std::string& text,
+                                          SchemaPtr bind_schema) {
+  ICEWAFL_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return RulesFromJson(json, std::move(bind_schema));
+}
+
+Result<CleaningRules> RulesFromJsonFile(const std::string& path,
+                                        SchemaPtr bind_schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return RulesFromJsonString(buf.str(), std::move(bind_schema));
+}
+
+Status BindRules(CleaningRules* rules, const Schema& schema) {
+  BindContext ctx(schema);
+  if (!rules->key.empty()) {
+    BindContext::Scope scope(ctx, "key");
+    ICEWAFL_RETURN_NOT_OK(ctx.Resolve(rules->key).status());
+  }
+  for (size_t i = 0; i < rules->rules.size(); ++i) {
+    BindContext::Scope rules_scope(ctx, "rules");
+    BindContext::Scope index_scope(ctx, i);
+    ICEWAFL_RETURN_NOT_OK(rules->rules[i]->Bind(ctx));
+  }
+  return Status::OK();
+}
+
+}  // namespace clean
+}  // namespace icewafl

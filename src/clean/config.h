@@ -1,0 +1,52 @@
+#ifndef ICEWAFL_CLEAN_CONFIG_H_
+#define ICEWAFL_CLEAN_CONFIG_H_
+
+#include <string>
+
+#include "clean/rules.h"
+#include "stream/schema.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace icewafl {
+namespace clean {
+
+/// \file
+/// JSON loading of cleaning documents. Errors carry JSON-pointer paths
+/// ("missing field 'column' at /rules/2"), exactly like the pipeline
+/// and suite loaders. The document shape is
+/// \code{.json}
+/// {"name": "wearable_clean", "key": "device", "history": 16,
+///  "rules": [
+///    {"label": "bpm_range", "column": "BPM",
+///     "detect": {"type": "range", "min": 20, "max": 250},
+///     "repair": "set_null",
+///     "when": [{"column": "Steps", "op": "gt", "value": 0}]}]}
+/// \endcode
+/// with detect types range / not_null / regex / type / cross_field /
+/// rate_of_change / stuck_at and repairs drop / set_null / clamp /
+/// last_good / window_mean / window_median. "when" accepts one guard
+/// object or an array of them.
+
+/// \brief Builds cleaning rules from a parsed document. When
+/// `bind_schema` is non-null every rule is also bound against it, so a
+/// returned document is ready to run.
+Result<CleaningRules> RulesFromJson(const Json& json,
+                                    SchemaPtr bind_schema = nullptr);
+
+/// \brief Parses JSON text and builds the rules.
+Result<CleaningRules> RulesFromJsonString(const std::string& text,
+                                          SchemaPtr bind_schema = nullptr);
+
+/// \brief Reads a JSON file and builds the rules.
+Result<CleaningRules> RulesFromJsonFile(const std::string& path,
+                                        SchemaPtr bind_schema = nullptr);
+
+/// \brief Binds every rule of `rules` against `schema`, rooting error
+/// paths at "/rules/<i>".
+Status BindRules(CleaningRules* rules, const Schema& schema);
+
+}  // namespace clean
+}  // namespace icewafl
+
+#endif  // ICEWAFL_CLEAN_CONFIG_H_

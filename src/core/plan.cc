@@ -42,6 +42,7 @@ std::shared_ptr<PlanSnapshot> ClonePlan(const PlanSnapshot& plan) {
   copy->stream_start = plan.stream_start;
   copy->stream_end = plan.stream_end;
   copy->tuples_per_sec = plan.tuples_per_sec;
+  copy->cleaner = plan.cleaner;
   // version / published_at stay unset: the publisher assigns them.
   return copy;
 }

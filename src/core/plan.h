@@ -60,6 +60,13 @@ struct PlanSnapshot {
   /// Serving pace in rows per second; 0 streams unpaced. Pacing never
   /// changes the produced bytes, only their timing.
   double tuples_per_sec = 0.0;
+  /// Optional cleaning document (clean::RulesFromJson shape) applied to
+  /// the polluted stream of every segment — null serves uncleaned. Kept
+  /// as the raw JSON so the core stays free of the cleaning layer; the
+  /// scenarios runner compiles and validates it (set_cleaner rejects a
+  /// broken document before a snapshot exists). Cleaner state is fresh
+  /// per plan segment, preserving the cutover determinism contract.
+  Json cleaner;
   /// Publication instant (swap-latency measurement).
   std::chrono::steady_clock::time_point published_at{};
 };

@@ -44,7 +44,7 @@ bool NumericValue(const Value& v, double* out) {
 /// anything else is rendered into `storage`.
 const std::string& RenderedValue(const Value& v, std::string* storage) {
   if (v.is_string()) return v.AsString();
-  *storage = v.ToString();
+  v.RenderTo(storage);
   return *storage;
 }
 
@@ -156,14 +156,22 @@ Result<ExpectationResult> ExpectColumnValuesToMatchRegex::Validate(
   ICEWAFL_RETURN_NOT_OK(EnsureBound(tuples));
   if (tuples.empty()) return result;
   const size_t idx = column_index(0);
+  // String values match in place; other types render into one reused
+  // buffer, hoisted out of the tuple loop (ToString returned a fresh
+  // string per non-string tuple, an allocation per row on numeric
+  // columns).
+  std::string storage;
   for (const Tuple& t : tuples) {
     const Value& v = t.value(idx);
     if (v.is_null()) continue;
     ++result.evaluated;
-    // String values match in place; only other types are rendered first.
-    const bool matched = v.is_string()
-                             ? std::regex_match(v.AsString(), regex_)
-                             : std::regex_match(v.ToString(), regex_);
+    bool matched;
+    if (v.is_string()) {
+      matched = std::regex_match(v.AsString(), regex_);
+    } else {
+      v.RenderTo(&storage);
+      matched = std::regex_match(storage, regex_);
+    }
     if (!matched) AddFailure(&result, t);
   }
   return result;

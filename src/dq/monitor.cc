@@ -1,0 +1,227 @@
+#include "dq/monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace icewafl {
+namespace dq {
+
+namespace {
+
+// Floor division for possibly-negative event times (epoch seconds can
+// legitimately predate 1970 in test fixtures).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+Json WindowResult::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("start", Json(static_cast<int64_t>(start)));
+  out.Set("end", Json(static_cast<int64_t>(end)));
+  out.Set("tuples", Json(static_cast<int64_t>(tuples)));
+  out.Set("violations", Json(static_cast<int64_t>(violations)));
+  out.Set("pass", Json(pass));
+  return out;
+}
+
+WindowedMonitor::WindowedMonitor(ExpectationSuite suite, WindowSpec window,
+                                 WatermarkPolicy watermark,
+                                 obs::MetricRegistry* metrics)
+    : suite_(std::move(suite)),
+      window_(window),
+      watermark_policy_(watermark) {
+  if (window_.size_seconds <= 0) window_.size_seconds = 1;
+  if (window_.kind == WindowSpec::Kind::kSliding) {
+    if (window_.slide_seconds <= 0 ||
+        window_.slide_seconds > window_.size_seconds) {
+      window_.slide_seconds = window_.size_seconds;
+    }
+  }
+  if (metrics != nullptr) {
+    const obs::Labels suite_label = {{"suite", suite_.name()}};
+    windows_pass_ = metrics->GetCounter(
+        "icewafl_dq_windows_total", {{"suite", suite_.name()},
+                                     {"result", "pass"}},
+        "Closed data-quality windows by outcome.");
+    windows_fail_ = metrics->GetCounter(
+        "icewafl_dq_windows_total", {{"suite", suite_.name()},
+                                     {"result", "fail"}},
+        "Closed data-quality windows by outcome.");
+    violations_ = metrics->GetCounter(
+        "icewafl_dq_window_violations_total", suite_label,
+        "Unexpected elements across closed windows.");
+    late_ = metrics->GetCounter(
+        "icewafl_dq_late_tuples_total", suite_label,
+        "Tuples dropped because every containing window had closed.");
+    if (windows_pass_ == nullptr || windows_fail_ == nullptr ||
+        violations_ == nullptr || late_ == nullptr) {
+      windows_pass_ = windows_fail_ = nullptr;
+      violations_ = late_ = nullptr;
+    }
+  }
+}
+
+Status WindowedMonitor::Bind(SchemaPtr schema) {
+  return suite_.Bind(std::move(schema));
+}
+
+void WindowedMonitor::WindowStartsFor(Timestamp t,
+                                      std::vector<Timestamp>* starts) const {
+  starts->clear();
+  const int64_t size = window_.size_seconds;
+  if (window_.kind == WindowSpec::Kind::kTumbling) {
+    starts->push_back(FloorDiv(t, size) * size);
+    return;
+  }
+  // Sliding: every start s with s <= t < s + size, stepped by slide.
+  const int64_t slide = window_.slide_seconds;
+  const Timestamp last = FloorDiv(t, slide) * slide;
+  for (Timestamp s = last; s > t - size; s -= slide) {
+    starts->push_back(s);
+  }
+  // Ascending start order keeps the open_ map insertions cheap.
+  std::reverse(starts->begin(), starts->end());
+}
+
+Status WindowedMonitor::Observe(const Tuple& tuple) {
+  ++tuples_seen_;
+  Timestamp t = tuple.event_time();
+  Result<Timestamp> ts = tuple.GetTimestamp();
+  if (ts.ok()) t = ts.ValueOrDie();
+
+  WindowStartsFor(t, &starts_scratch_);
+  bool routed = false;
+  for (Timestamp start : starts_scratch_) {
+    // A window whose end has passed the closed cutoff no longer accepts
+    // tuples — that is what makes the tuple "late".
+    if (start + window_.size_seconds <= closed_through_) continue;
+    open_[start].push_back(tuple);
+    routed = true;
+  }
+  if (!routed) {
+    ++late_dropped_;
+    if (late_ != nullptr) late_->Increment();
+  }
+
+  if (t > max_event_time_) {
+    max_event_time_ = t;
+    const Timestamp wm = t - watermark_policy_.allowed_lateness_seconds;
+    if (wm > watermark_) {
+      watermark_ = wm;
+      ICEWAFL_RETURN_NOT_OK(CloseWindowsThrough(watermark_));
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowedMonitor::ObserveAll(const TupleVector& tuples) {
+  for (const Tuple& tuple : tuples) {
+    ICEWAFL_RETURN_NOT_OK(Observe(tuple));
+  }
+  return Status::OK();
+}
+
+Status WindowedMonitor::CloseWindowsThrough(Timestamp watermark) {
+  while (!open_.empty()) {
+    const Timestamp start = open_.begin()->first;
+    if (start + window_.size_seconds > watermark) break;
+    ICEWAFL_RETURN_NOT_OK(CloseWindow(start));
+  }
+  // The cutoff advances with the watermark even when no window was open
+  // to close — otherwise a straggler could re-open (and score into) a
+  // window the watermark passed before it ever received a tuple.
+  if (watermark > closed_through_) closed_through_ = watermark;
+  return Status::OK();
+}
+
+Status WindowedMonitor::CloseWindow(Timestamp start) {
+  auto it = open_.find(start);
+  if (it == open_.end()) return Status::OK();
+  TupleVector tuples = std::move(it->second);
+  open_.erase(it);
+
+  ICEWAFL_ASSIGN_OR_RETURN(SuiteResult verdict, suite_.Validate(tuples));
+
+  WindowResult result;
+  result.start = start;
+  result.end = start + window_.size_seconds;
+  result.tuples = tuples.size();
+  result.violations = verdict.TotalUnexpected();
+  result.pass = verdict.success();
+  series_.push_back(result);
+  if (start + window_.size_seconds > closed_through_) {
+    closed_through_ = start + window_.size_seconds;
+  }
+
+  if (windows_pass_ != nullptr) {
+    (result.pass ? windows_pass_ : windows_fail_)->Increment();
+    violations_->Increment(result.violations);
+  }
+  return Status::OK();
+}
+
+Status WindowedMonitor::Flush() {
+  while (!open_.empty()) {
+    ICEWAFL_RETURN_NOT_OK(CloseWindow(open_.begin()->first));
+  }
+  return Status::OK();
+}
+
+size_t WindowedMonitor::FailedWindowCount() const {
+  size_t failed = 0;
+  for (const WindowResult& w : series_) {
+    if (!w.pass) ++failed;
+  }
+  return failed;
+}
+
+std::string WindowedMonitor::ToCsv() const {
+  std::string out = "window_start,window_end,tuples,violations,pass\n";
+  for (const WindowResult& w : series_) {
+    out += std::to_string(w.start);
+    out += ',';
+    out += std::to_string(w.end);
+    out += ',';
+    out += std::to_string(w.tuples);
+    out += ',';
+    out += std::to_string(w.violations);
+    out += ',';
+    out += w.pass ? "true" : "false";
+    out += '\n';
+  }
+  return out;
+}
+
+Json WindowedMonitor::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("suite", Json(suite_.name()));
+  Json window = Json::MakeObject();
+  window.Set("kind", Json(window_.kind == WindowSpec::Kind::kTumbling
+                              ? "tumbling"
+                              : "sliding"));
+  window.Set("size_seconds", Json(window_.size_seconds));
+  if (window_.kind == WindowSpec::Kind::kSliding) {
+    window.Set("slide_seconds", Json(window_.slide_seconds));
+  }
+  window.Set("allowed_lateness_seconds",
+             Json(watermark_policy_.allowed_lateness_seconds));
+  out.Set("window", std::move(window));
+  Json series = Json::MakeArray();
+  for (const WindowResult& w : series_) {
+    series.Append(w.ToJson());
+  }
+  out.Set("series", std::move(series));
+  out.Set("tuples_seen", Json(static_cast<int64_t>(tuples_seen_)));
+  out.Set("late_dropped", Json(static_cast<int64_t>(late_dropped_)));
+  out.Set("failed_windows", Json(static_cast<int64_t>(FailedWindowCount())));
+  return out;
+}
+
+}  // namespace dq
+}  // namespace icewafl

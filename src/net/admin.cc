@@ -114,7 +114,7 @@ Json SessionInfoToJson(const SessionInfo& info) {
 const std::vector<std::string>& AdminMethodNames() {
   static const std::vector<std::string>* names = new std::vector<std::string>{
       "list_sessions", "get_config",   "swap_pipeline", "set_rate",
-      "stop_session",  "create_session", "get_metrics",
+      "stop_session",  "create_session", "get_metrics", "set_cleaner",
   };
   return *names;
 }
@@ -272,6 +272,7 @@ Json AdminServer::Dispatch(const std::string& method, const Json& params) {
   if (method == "stop_session") return DoStopSession(params);
   if (method == "create_session") return DoCreateSession(params);
   if (method == "get_metrics") return DoGetMetrics();
+  if (method == "set_cleaner") return DoSetCleaner(params);
   return ErrorBody("IW611", "unknown method '" + method + "'");
 }
 
@@ -302,6 +303,7 @@ Json AdminServer::DoGetConfig(const Json& params) {
   result.Set("parallelism", Json(static_cast<int64_t>(snapshot.parallelism)));
   result.Set("tuples_per_sec", Json(snapshot.tuples_per_sec));
   result.Set("pipeline", snapshot.config);
+  result.Set("cleaner", snapshot.cleaner);
   return ResultBody(std::move(result));
 }
 
@@ -371,6 +373,31 @@ Json AdminServer::DoCreateSession(const Json& params) {
     result.Set("session",
                params.Get("session").ValueOrDie().GetString("name", ""));
   }
+  return ResultBody(std::move(result));
+}
+
+Json AdminServer::DoSetCleaner(const Json& params) {
+  const std::string id = params.GetString("session", "");
+  if (!hooks_.compile_cleaner) {
+    return ErrorBody("NotImplemented",
+                     "this admin endpoint has no cleaner compiler installed");
+  }
+  Result<PlanPtr> current = server_->session_plan(id);
+  if (!current.ok()) return ErrorBody(current.status());
+  if (current.ValueOrDie() == nullptr) {
+    return ErrorBody("NotFound", "session '" + id + "' is not plan-driven");
+  }
+  Json diagnostics;
+  Result<std::shared_ptr<PlanSnapshot>> next =
+      hooks_.compile_cleaner(*current.ValueOrDie(), params, &diagnostics);
+  if (!next.ok()) return ErrorBody(next.status(), std::move(diagnostics));
+  Status swapped = server_->SwapPlan(id, next.ValueOrDie());
+  if (!swapped.ok()) return ErrorBody(swapped);
+  Json result = Json::MakeObject();
+  result.Set("session", Json(id));
+  result.Set("plan_version",
+             Json(static_cast<int64_t>(next.ValueOrDie()->version)));
+  result.Set("cleaning", Json(!next.ValueOrDie()->cleaner.is_null()));
   return ResultBody(std::move(result));
 }
 

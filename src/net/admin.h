@@ -33,7 +33,7 @@ namespace net {
 
 /// \brief The admin method vocabulary, in documentation order:
 /// list_sessions, get_config, swap_pipeline, set_rate, stop_session,
-/// create_session, get_metrics.
+/// create_session, get_metrics, set_cleaner.
 const std::vector<std::string>& AdminMethodNames();
 
 /// \brief Compilation hooks the admin server dispatches mutations
@@ -53,6 +53,15 @@ struct AdminHooks {
   /// Creates a new session from create_session params (a serve-config
   /// "session" entry object), same diagnostics contract.
   std::function<Status(const Json& params, Json* diagnostics)> create_session;
+  /// Compiles set_cleaner params ({"rules": <cleaning document>} to
+  /// install, {"rules": null} to remove) into an unpublished snapshot
+  /// derived from `current`, lint-gating the document against the
+  /// session's schema — same diagnostics contract as compile_swap. The
+  /// cutover is run-atomic like a pipeline swap: in-flight segments
+  /// finish under the old cleaner, the next segment uses the new one.
+  std::function<Result<std::shared_ptr<PlanSnapshot>>(
+      const PlanSnapshot& current, const Json& params, Json* diagnostics)>
+      compile_cleaner;
   /// Scenario vocabulary for linting swap_pipeline {"scenario": ...}
   /// requests (scenarios::ScenarioNames()); empty skips the check.
   std::vector<std::string> known_scenarios;
@@ -120,6 +129,7 @@ class AdminServer {
   Json DoStopSession(const Json& params);
   Json DoCreateSession(const Json& params);
   Json DoGetMetrics();
+  Json DoSetCleaner(const Json& params);
 
   PollutionServer* const server_;
   obs::MetricRegistry* const metrics_;

@@ -91,6 +91,15 @@ Result<SessionConfig> ParseSession(const Json& json, const std::string& where,
                                    " must be >= 0");
   }
   session.max_runs = static_cast<uint64_t>(max_runs);
+  if (json.Has("cleaner")) {
+    ICEWAFL_ASSIGN_OR_RETURN(Json cleaner, json.Get("cleaner"));
+    if (!cleaner.is_object() && !cleaner.is_null()) {
+      return Status::InvalidArgument(
+          "serve config: " + where +
+          "\"cleaner\" must be a cleaning document object");
+    }
+    session.cleaner = std::move(cleaner);
+  }
   return session;
 }
 
@@ -217,6 +226,7 @@ Json ServeConfig::ToJson() const {
     entry.Set("min_subscribers",
               Json(static_cast<int64_t>(session.min_subscribers)));
     entry.Set("max_runs", Json(static_cast<int64_t>(session.max_runs)));
+    if (!session.cleaner.is_null()) entry.Set("cleaner", session.cleaner);
     entries.Append(std::move(entry));
   }
   json.Set("sessions", std::move(entries));

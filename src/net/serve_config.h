@@ -23,6 +23,11 @@ struct SessionConfig {
   int min_subscribers = 1;
   /// Pipeline runs before the session retires; 0 = until stopped.
   uint64_t max_runs = 0;
+  /// Optional cleaning-rules document applied to this session's served
+  /// stream (scenarios::BuildPlanWithCleaner); null serves raw polluted
+  /// output. Kept as raw JSON so the net layer stays free of the
+  /// cleaning library — the CLI compiles and lint-gates it.
+  Json cleaner;
 
   /// \brief Per-session server options for this entry.
   SessionOptions ToSessionOptions() const;

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "analysis/analyzer.h"
+#include "clean/cleaner.h"
+#include "clean/config.h"
 #include "core/composite_polluter.h"
 #include "core/config.h"
 #include "core/derived_error.h"
@@ -335,6 +337,42 @@ class PlanSegmentSource : public Source {
   std::chrono::steady_clock::time_point segment_start_{};
 };
 
+/// Sink decorator applying a plan's cleaner to the polluted stream as
+/// it is produced: one sequential kAll CleanerOperator per segment
+/// (fresh history state), so a serving segment's cleaned bytes equal an
+/// offline sequential clean of the same polluted slice — the cleaner
+/// extension of the cutover determinism contract.
+class CleaningSink : public Sink {
+ public:
+  CleaningSink(const clean::CleaningRules& rules, Sink* inner)
+      : op_(rules), emitter_(inner) {}
+
+  Status Write(const Tuple& tuple) override {
+    return op_.Process(tuple, &emitter_);
+  }
+  Status Write(Tuple&& tuple) override {
+    return op_.Process(std::move(tuple), &emitter_);
+  }
+  Status Flush() override {
+    ICEWAFL_RETURN_NOT_OK(op_.Finish(&emitter_));
+    return emitter_.sink()->Flush();
+  }
+
+ private:
+  class SinkEmitter : public Emitter {
+   public:
+    explicit SinkEmitter(Sink* sink) : sink_(sink) {}
+    Status Emit(Tuple tuple) override { return sink_->Write(std::move(tuple)); }
+    Sink* sink() const { return sink_; }
+
+   private:
+    Sink* sink_;
+  };
+
+  clean::CleanerOperator op_;
+  SinkEmitter emitter_;
+};
+
 }  // namespace
 
 Result<std::shared_ptr<PlanSnapshot>> BuildScenarioPlan(
@@ -376,8 +414,19 @@ Status ServePlanToSink(const PlanContext& ctx, Sink* sink) {
       ctx.on_segment(PlanSegment{plan->version, offset});
     }
     PlanSegmentSource source(plan, offset, ctx.latest);
+    Sink* segment_sink = sink;
+    std::optional<CleaningSink> cleaning;
+    clean::CleaningRules rules;
+    if (!plan->cleaner.is_null()) {
+      // Compiled fresh per segment: cleaner history never crosses a
+      // cutover, so each segment replays offline byte-identically.
+      ICEWAFL_ASSIGN_OR_RETURN(
+          rules, clean::RulesFromJson(plan->cleaner, plan->schema));
+      cleaning.emplace(rules, sink);
+      segment_sink = &cleaning.value();
+    }
     ICEWAFL_RETURN_NOT_OK(StreamPipelineToSink(
-        &source, plan->pipeline, plan->seed, plan->parallelism, sink,
+        &source, plan->pipeline, plan->seed, plan->parallelism, segment_sink,
         /*stats=*/nullptr, /*metrics=*/nullptr, /*trace=*/nullptr,
         plan->stream_start, plan->stream_end));
     offset += source.consumed();
@@ -405,10 +454,24 @@ Result<TupleVector> RunPlanSegmentOffline(const PlanSnapshot& plan,
   TupleVector slice(clean.begin() + static_cast<ptrdiff_t>(start_row),
                     clean.begin() + static_cast<ptrdiff_t>(end_row));
   VectorSource source(plan.schema, std::move(slice));
-  return ApplyPipelineStreaming(&source, plan.pipeline, plan.seed,
-                                plan.parallelism, /*stats=*/nullptr,
-                                /*metrics=*/nullptr, /*trace=*/nullptr,
-                                plan.stream_start, plan.stream_end);
+  if (plan.cleaner.is_null()) {
+    return ApplyPipelineStreaming(&source, plan.pipeline, plan.seed,
+                                  plan.parallelism, /*stats=*/nullptr,
+                                  /*metrics=*/nullptr, /*trace=*/nullptr,
+                                  plan.stream_start, plan.stream_end);
+  }
+  // Mirror the serving path: pollute the slice, then clean it through a
+  // fresh sequential kAll operator (exactly what CleaningSink does per
+  // served segment).
+  ICEWAFL_ASSIGN_OR_RETURN(clean::CleaningRules rules,
+                           clean::RulesFromJson(plan.cleaner, plan.schema));
+  VectorSink cleaned;
+  CleaningSink cleaning(rules, &cleaned);
+  ICEWAFL_RETURN_NOT_OK(StreamPipelineToSink(
+      &source, plan.pipeline, plan.seed, plan.parallelism, &cleaning,
+      /*stats=*/nullptr, /*metrics=*/nullptr, /*trace=*/nullptr,
+      plan.stream_start, plan.stream_end));
+  return cleaned.TakeTuples();
 }
 
 Status AnalyzeScenariosOrDie() {

@@ -1,5 +1,7 @@
 #include "stream/value.h"
 
+#include <cstdio>
+
 #include "util/strings.h"
 
 namespace icewafl {
@@ -63,20 +65,35 @@ Result<int64_t> Value::ToInt64() const {
   return Status::Internal("corrupt value type");
 }
 
-std::string Value::ToString(const std::string& null_repr) const {
+void Value::RenderTo(std::string* out, const std::string& null_repr) const {
   switch (type()) {
     case ValueType::kNull:
-      return null_repr;
+      *out = null_repr;
+      return;
     case ValueType::kBool:
-      return AsBool() ? "true" : "false";
-    case ValueType::kInt64:
-      return std::to_string(AsInt64());
+      *out = AsBool() ? "true" : "false";
+      return;
+    case ValueType::kInt64: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(AsInt64()));
+      *out = buf;
+      return;
+    }
     case ValueType::kDouble:
-      return FormatDouble(AsDouble());
+      FormatDoubleTo(AsDouble(), out);
+      return;
     case ValueType::kString:
-      return AsString();
+      *out = AsString();
+      return;
   }
-  return "";
+  out->clear();
+}
+
+std::string Value::ToString(const std::string& null_repr) const {
+  std::string out;
+  RenderTo(&out, null_repr);
+  return out;
 }
 
 bool Value::operator<(const Value& other) const {

@@ -68,6 +68,10 @@ class Value {
   /// \brief String rendering of any value; NULL renders as "" by default.
   std::string ToString(const std::string& null_repr = "") const;
 
+  /// \brief Same rendering, assigned into `*out`: a loop-hoisted buffer
+  /// makes per-tuple rendering allocation-free (hot validation loops).
+  void RenderTo(std::string* out, const std::string& null_repr = "") const;
+
   /// Strict equality: types must match (int64(1) != double(1.0)).
   bool operator==(const Value& other) const { return data_ == other.data_; }
 

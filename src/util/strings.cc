@@ -86,12 +86,13 @@ Result<int64_t> ParseInt64(std::string_view text) {
   return static_cast<int64_t>(v);
 }
 
-std::string FormatDouble(double v) {
+void FormatDoubleTo(double v, std::string* out) {
   // Integral values render without an exponent ("20", not "2e+01").
   if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    return buf;
+    *out = buf;
+    return;
   }
   // Otherwise: the shortest %g representation that round-trips.
   char buf[40];
@@ -99,7 +100,13 @@ std::string FormatDouble(double v) {
     std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
     if (std::strtod(buf, nullptr) == v) break;
   }
-  return buf;
+  *out = buf;
+}
+
+std::string FormatDouble(double v) {
+  std::string out;
+  FormatDoubleTo(v, &out);
+  return out;
 }
 
 std::string FormatDouble(double v, int precision) {

@@ -33,6 +33,11 @@ Result<int64_t> ParseInt64(std::string_view text);
 /// \brief Shortest round-trip formatting of a double ("%.17g" trimmed).
 std::string FormatDouble(double v);
 
+/// \brief Same rendering, assigned into `*out` — reuses the string's
+/// capacity, so a loop-hoisted buffer makes repeated formatting
+/// allocation-free.
+void FormatDoubleTo(double v, std::string* out);
+
 /// \brief Fixed-precision formatting ("%.*f").
 std::string FormatDouble(double v, int precision);
 

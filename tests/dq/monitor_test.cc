@@ -1,0 +1,181 @@
+#include "dq/monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace icewafl {
+namespace dq {
+namespace {
+
+SchemaPtr SensorSchema() {
+  return Schema::Make({{"Time", ValueType::kInt64},
+                       {"BPM", ValueType::kDouble}},
+                      "Time")
+      .ValueOrDie();
+}
+
+Tuple Row(const SchemaPtr& schema, Timestamp t, double bpm) {
+  Tuple tuple(schema, {Value(t), Value(bpm)});
+  tuple.set_id(static_cast<TupleId>(t));
+  tuple.set_event_time(t);
+  return tuple;
+}
+
+ExpectationSuite BpmSuite() {
+  ExpectationSuite suite("bpm");
+  suite.Expect<ExpectColumnValuesToBeBetween>("BPM", 20.0, 250.0);
+  return suite;
+}
+
+WindowedMonitor MakeMonitor(const SchemaPtr& schema, WindowSpec window,
+                            WatermarkPolicy watermark = {},
+                            obs::MetricRegistry* metrics = nullptr) {
+  WindowedMonitor monitor(BpmSuite(), window, watermark, metrics);
+  EXPECT_TRUE(monitor.Bind(schema).ok());
+  return monitor;
+}
+
+TEST(WindowedMonitorTest, TumblingWindowsBucketByEventTime) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor = MakeMonitor(schema, WindowSpec::Tumbling(10));
+  // Window [0,10): two clean tuples. Window [10,20): one violation.
+  ASSERT_TRUE(monitor.Observe(Row(schema, 1, 70.0)).ok());
+  ASSERT_TRUE(monitor.Observe(Row(schema, 5, 80.0)).ok());
+  ASSERT_TRUE(monitor.Observe(Row(schema, 12, 900.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+
+  ASSERT_EQ(monitor.series().size(), 2u);
+  const WindowResult& w0 = monitor.series()[0];
+  EXPECT_EQ(w0.start, 0);
+  EXPECT_EQ(w0.end, 10);
+  EXPECT_EQ(w0.tuples, 2u);
+  EXPECT_EQ(w0.violations, 0u);
+  EXPECT_TRUE(w0.pass);
+  const WindowResult& w1 = monitor.series()[1];
+  EXPECT_EQ(w1.start, 10);
+  EXPECT_EQ(w1.tuples, 1u);
+  EXPECT_EQ(w1.violations, 1u);
+  EXPECT_FALSE(w1.pass);
+  EXPECT_EQ(monitor.FailedWindowCount(), 1u);
+  EXPECT_EQ(monitor.tuples_seen(), 3u);
+}
+
+TEST(WindowedMonitorTest, WatermarkClosesPassedWindowsEagerly) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor = MakeMonitor(schema, WindowSpec::Tumbling(10));
+  ASSERT_TRUE(monitor.Observe(Row(schema, 1, 70.0)).ok());
+  EXPECT_EQ(monitor.series().size(), 0u);
+  // Event time 25 pushes the watermark past [0,10) and [10,20).
+  ASSERT_TRUE(monitor.Observe(Row(schema, 25, 70.0)).ok());
+  EXPECT_EQ(monitor.series().size(), 1u);
+  EXPECT_EQ(monitor.series()[0].start, 0);
+  ASSERT_TRUE(monitor.Flush().ok());
+  EXPECT_EQ(monitor.series().size(), 2u);
+}
+
+TEST(WindowedMonitorTest, LateTuplesDroppedAndCounted) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor = MakeMonitor(schema, WindowSpec::Tumbling(10));
+  ASSERT_TRUE(monitor.Observe(Row(schema, 25, 70.0)).ok());
+  // Window [0,10) already closed: this tuple is late.
+  ASSERT_TRUE(monitor.Observe(Row(schema, 3, 900.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+  EXPECT_EQ(monitor.late_dropped(), 1u);
+  // The late violation never scored.
+  for (const WindowResult& w : monitor.series()) {
+    EXPECT_EQ(w.violations, 0u);
+  }
+}
+
+TEST(WindowedMonitorTest, AllowedLatenessAdmitsOutOfOrderTuples) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor =
+      MakeMonitor(schema, WindowSpec::Tumbling(10), WatermarkPolicy{20});
+  ASSERT_TRUE(monitor.Observe(Row(schema, 25, 70.0)).ok());
+  // Watermark is 25 - 20 = 5: window [0,10) is still open.
+  ASSERT_TRUE(monitor.Observe(Row(schema, 3, 900.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+  EXPECT_EQ(monitor.late_dropped(), 0u);
+  ASSERT_GE(monitor.series().size(), 1u);
+  EXPECT_EQ(monitor.series()[0].violations, 1u);
+}
+
+TEST(WindowedMonitorTest, SlidingWindowsOverlap) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor = MakeMonitor(schema, WindowSpec::Sliding(10, 5));
+  // Event time 7 belongs to [0,10) and [5,15).
+  ASSERT_TRUE(monitor.Observe(Row(schema, 7, 900.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+  ASSERT_EQ(monitor.series().size(), 2u);
+  EXPECT_EQ(monitor.series()[0].start, 0);
+  EXPECT_EQ(monitor.series()[1].start, 5);
+  EXPECT_EQ(monitor.series()[0].violations, 1u);
+  EXPECT_EQ(monitor.series()[1].violations, 1u);
+}
+
+TEST(WindowedMonitorTest, SeriesSortedByStartDespiteOutOfOrderInput) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor =
+      MakeMonitor(schema, WindowSpec::Tumbling(10), WatermarkPolicy{100});
+  ASSERT_TRUE(monitor.Observe(Row(schema, 35, 70.0)).ok());
+  ASSERT_TRUE(monitor.Observe(Row(schema, 5, 70.0)).ok());
+  ASSERT_TRUE(monitor.Observe(Row(schema, 15, 70.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+  ASSERT_EQ(monitor.series().size(), 3u);
+  EXPECT_LT(monitor.series()[0].start, monitor.series()[1].start);
+  EXPECT_LT(monitor.series()[1].start, monitor.series()[2].start);
+}
+
+TEST(WindowedMonitorTest, CsvAndJsonExports) {
+  SchemaPtr schema = SensorSchema();
+  WindowedMonitor monitor = MakeMonitor(schema, WindowSpec::Tumbling(10));
+  ASSERT_TRUE(monitor.Observe(Row(schema, 1, 70.0)).ok());
+  ASSERT_TRUE(monitor.Observe(Row(schema, 12, 900.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+
+  const std::string csv = monitor.ToCsv();
+  EXPECT_NE(csv.find("window_start,window_end,tuples,violations,pass"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\n0,10,1,0,"), std::string::npos) << csv;
+
+  const Json json = monitor.ToJson();
+  EXPECT_EQ(json.GetString("suite", ""), "bpm");
+  ASSERT_TRUE(json.Has("series"));
+  EXPECT_EQ(json.Get("series").ValueOrDie().size(), 2u);
+  EXPECT_EQ(json.GetInt("late_dropped", -1), 0);
+}
+
+TEST(WindowedMonitorTest, MetricsPublishedPerWindow) {
+  SchemaPtr schema = SensorSchema();
+  obs::MetricRegistry registry;
+  WindowedMonitor monitor = MakeMonitor(schema, WindowSpec::Tumbling(10), {},
+                                        &registry);
+  ASSERT_TRUE(monitor.Observe(Row(schema, 1, 70.0)).ok());
+  ASSERT_TRUE(monitor.Observe(Row(schema, 12, 900.0)).ok());
+  ASSERT_TRUE(monitor.Flush().ok());
+  const std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("icewafl_dq_windows_total"), std::string::npos);
+  EXPECT_NE(text.find("icewafl_dq_window_violations_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("suite=\"bpm\""), std::string::npos);
+}
+
+TEST(WindowedMonitorTest, ObserveAllMatchesObserveLoop) {
+  SchemaPtr schema = SensorSchema();
+  TupleVector tuples;
+  for (Timestamp t = 0; t < 50; t += 3) {
+    tuples.push_back(Row(schema, t, t % 2 == 0 ? 70.0 : 900.0));
+  }
+  WindowedMonitor all = MakeMonitor(schema, WindowSpec::Tumbling(10));
+  ASSERT_TRUE(all.ObserveAll(tuples).ok());
+  ASSERT_TRUE(all.Flush().ok());
+  WindowedMonitor loop = MakeMonitor(schema, WindowSpec::Tumbling(10));
+  for (const Tuple& t : tuples) {
+    ASSERT_TRUE(loop.Observe(t).ok());
+  }
+  ASSERT_TRUE(loop.Flush().ok());
+  EXPECT_EQ(all.ToCsv(), loop.ToCsv());
+}
+
+}  // namespace
+}  // namespace dq
+}  // namespace icewafl

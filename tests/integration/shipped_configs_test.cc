@@ -4,12 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "analysis/analyzer.h"
+#include "clean/config.h"
 #include "core/config.h"
 #include "core/process.h"
 #include "data/airquality.h"
 #include "data/wearable.h"
 #include "dq/config.h"
 #include "io/schema_json.h"
+#include "scenarios/closed_loop.h"
 #include "scenarios/scenarios.h"
 
 namespace icewafl {
@@ -47,6 +53,33 @@ TEST(ShippedConfigsTest, SchemasMatchGenerators) {
   auto airquality = SchemaFromJsonFile(ConfigPath("airquality_schema.json"));
   ASSERT_TRUE(airquality.ok()) << airquality.status().ToString();
   EXPECT_TRUE(airquality.ValueOrDie()->Equals(*data::AirQualitySchema()));
+}
+
+TEST(ShippedConfigsTest, CleanerMatchesStockScenarioCleaner) {
+  std::ifstream in(ConfigPath("software_update_clean.json"));
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto json = Json::Parse(text.str());
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+
+  auto stock = scenarios::CleanerForScenario("software_update");
+  ASSERT_TRUE(stock.ok()) << stock.status().ToString();
+  EXPECT_EQ(json.ValueOrDie(), stock.ValueOrDie().rules)
+      << "configs/software_update_clean.json drifted from the builder in "
+         "src/scenarios/closed_loop.cc";
+
+  // The shipped document lints clean against the wearable schema and
+  // binds (the lint soundness contract: no diagnostics => it runs).
+  analysis::CleanerAnalyzeOptions options;
+  options.schema = data::WearableSchema();
+  Diagnostics diags =
+      analysis::AnalyzeCleanerRules(json.ValueOrDie(), options);
+  EXPECT_EQ(diags.ErrorCount(), 0u) << diags.ToReport();
+  EXPECT_EQ(diags.WarningCount(), 0u) << diags.ToReport();
+  auto rules =
+      clean::RulesFromJson(json.ValueOrDie(), data::WearableSchema());
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(rules.ValueOrDie().rules.size(), 5u);
 }
 
 TEST(ShippedConfigsTest, SuiteLoadsAndDetectsSoftwareUpdateErrors) {

@@ -13,6 +13,7 @@
 #include "analysis/analyzer.h"
 #include "net/server.h"
 #include "obs/metrics.h"
+#include "scenarios/closed_loop.h"
 #include "scenarios/scenarios.h"
 #include "util/json.h"
 
@@ -51,6 +52,22 @@ AdminHooks TestHooks(PollutionServer* server) {
       return Status::InvalidArgument(diags.ToReport());
     }
     return scenarios::BuildPlanFromPipelineJson(current, doc.ValueOrDie());
+  };
+  hooks.compile_cleaner = [](const PlanSnapshot& current, const Json& params,
+                             Json* diagnostics)
+      -> Result<std::shared_ptr<PlanSnapshot>> {
+    Json rules;
+    if (params.Has("rules")) rules = params.Get("rules").ValueOrDie();
+    if (!rules.is_null()) {
+      analysis::CleanerAnalyzeOptions options;
+      options.schema = current.schema;
+      Diagnostics diags = analysis::AnalyzeCleanerRules(rules, options);
+      if (diags.HasErrors()) {
+        *diagnostics = diags.ToJson();
+        return Status::InvalidArgument(diags.ToReport());
+      }
+    }
+    return scenarios::BuildPlanWithCleaner(current, rules);
   };
   hooks.create_session = [server](const Json& params, Json*) -> Status {
     auto entry = params.Get("session");
@@ -309,6 +326,76 @@ TEST_F(AdminWireTest, CreateAndStopSessions) {
           .ValueOrDie());
   ASSERT_TRUE(duplicate.ok());
   EXPECT_TRUE(duplicate.ValueOrDie().Has("error"));
+}
+
+TEST_F(AdminWireTest, SetCleanerInstallsSwapsAndRemoves) {
+  // Install: the plan version bumps and get_config reports the rules.
+  Json installed = Call("set_cleaner", R"({
+    "session": "live",
+    "rules": {"name": "live_clean", "rules": [
+      {"label": "bpm_null", "column": "BPM",
+       "detect": {"type": "not_null"}, "repair": "last_good"}]}
+  })");
+  ASSERT_TRUE(installed.Has("result")) << installed.Dump();
+  EXPECT_TRUE(installed.Get("result").ValueOrDie().GetBool("cleaning", false));
+  EXPECT_EQ(installed.Get("result").ValueOrDie().GetInt("plan_version", 0), 2);
+  auto published = server_->session_plan("live");
+  ASSERT_TRUE(published.ok());
+  EXPECT_FALSE(published.ValueOrDie()->cleaner.is_null());
+
+  Json config = Call("get_config", R"({"session": "live"})");
+  const Json result = config.Get("result").ValueOrDie();
+  ASSERT_TRUE(result.Has("cleaner"));
+  EXPECT_EQ(result.Get("cleaner").ValueOrDie().GetString("name", ""),
+            "live_clean");
+
+  // Swap in a different document: run-atomic like a pipeline swap.
+  Json swapped = Call("set_cleaner", R"({
+    "session": "live",
+    "rules": {"name": "v2", "rules": [
+      {"label": "bpm_range", "column": "BPM",
+       "detect": {"type": "range", "min": 20, "max": 250},
+       "repair": "clamp"}]}
+  })");
+  ASSERT_TRUE(swapped.Has("result")) << swapped.Dump();
+  EXPECT_EQ(swapped.Get("result").ValueOrDie().GetInt("plan_version", 0), 3);
+
+  // Remove with null: served output reverts to the raw polluted stream.
+  Json removed = Call("set_cleaner", R"({"session": "live", "rules": null})");
+  ASSERT_TRUE(removed.Has("result")) << removed.Dump();
+  EXPECT_FALSE(removed.Get("result").ValueOrDie().GetBool("cleaning", true));
+  published = server_->session_plan("live");
+  ASSERT_TRUE(published.ok());
+  EXPECT_TRUE(published.ValueOrDie()->cleaner.is_null());
+}
+
+TEST_F(AdminWireTest, SetCleanerIsLintGatedWithJsonPointers) {
+  // Missing "rules" entirely: the IW616 envelope gate, before any hook.
+  auto no_rules = client_->Call(
+      "set_cleaner", Json::Parse(R"({"session": "live"})").ValueOrDie());
+  ASSERT_TRUE(no_rules.ok());
+  EXPECT_EQ(ErrorCode(no_rules.ValueOrDie()), "IW616");
+
+  // A document referencing an unknown column: rejected by the hook's
+  // schema-aware lint with a JSON-pointer path; no snapshot published.
+  auto rejected = client_->Call("set_cleaner", Json::Parse(R"({
+    "session": "live",
+    "rules": {"rules": [
+      {"label": "x", "column": "Ghost",
+       "detect": {"type": "not_null"}, "repair": "drop"}]}
+  })").ValueOrDie());
+  ASSERT_TRUE(rejected.ok());
+  const Json& body = rejected.ValueOrDie();
+  ASSERT_TRUE(body.Has("error")) << body.Dump();
+  const Json error = body.Get("error").ValueOrDie();
+  ASSERT_TRUE(error.Has("diagnostics")) << body.Dump();
+  EXPECT_NE(error.Get("diagnostics").ValueOrDie().Dump().find("/rules/0"),
+            std::string::npos)
+      << body.Dump();
+  auto published = server_->session_plan("live");
+  ASSERT_TRUE(published.ok());
+  EXPECT_EQ(published.ValueOrDie()->version, 1u);
+  EXPECT_TRUE(published.ValueOrDie()->cleaner.is_null());
 }
 
 TEST_F(AdminWireTest, WarningsRideAlongWithResults) {

@@ -161,6 +161,44 @@ TEST(ServeConfig, JsonRoundTripIsStable) {
   EXPECT_EQ(back.ValueOrDie().ToJson().Dump(), config.ToJson().Dump());
 }
 
+TEST(ServeConfig, SessionCleanerKeyParsesAndRoundTrips) {
+  auto config = ServeConfig::FromJson(ParseOrDie(R"({
+    "sessions": [
+      {"name": "scrubbed", "scenario": "software_update",
+       "cleaner": {"name": "wear_clean",
+                   "rules": [{"label": "bpm", "column": "BPM",
+                              "detect": {"type": "not_null"},
+                              "repair": "last_good"}]}},
+      {"name": "raw", "scenario": "software_update", "cleaner": null}
+    ],
+    "port": 0
+  })"));
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  const ServeConfig& c = config.ValueOrDie();
+  ASSERT_EQ(c.sessions.size(), 2u);
+  ASSERT_TRUE(c.sessions[0].cleaner.is_object());
+  EXPECT_EQ(c.sessions[0].cleaner.GetString("name", ""), "wear_clean");
+  // `"cleaner": null` means "no cleaner" and canonicalizes to absence.
+  EXPECT_TRUE(c.sessions[1].cleaner.is_null());
+
+  Json json = c.ToJson();
+  const Json::Array& entries = json.Get("sessions").ValueOrDie().items();
+  EXPECT_TRUE(entries[0].Has("cleaner"));
+  EXPECT_FALSE(entries[1].Has("cleaner"));
+  auto back = ServeConfig::FromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.ValueOrDie().ToJson().Dump(), json.Dump());
+}
+
+TEST(ServeConfig, RejectsNonObjectCleaner) {
+  auto config = ServeConfig::FromJson(ParseOrDie(
+      R"({"sessions": [{"scenario": "s", "cleaner": 7}], "port": 0})"));
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().ToString().find("cleaning document"),
+            std::string::npos)
+      << config.status().ToString();
+}
+
 TEST(ServeConfig, LegacyDocumentCanonicalizesToSessionsArray) {
   auto config = ServeConfig::FromJson(
       ParseOrDie(R"({"scenario": "random_temporal", "max_sessions": 2})"));
@@ -226,6 +264,18 @@ TEST(AnalyzeServeConfig, CleanConfigsHaveNoDiagnostics) {
             {"scenario": "network_delay", "min_subscribers": 2}
           ],
           "workers": 3,
+          "port": 9099
+        })",
+        // "cleaner": null means "no cleaner" — FromJson parity; a valid
+        // embedded document must lint clean too.
+        R"({
+          "sessions": [
+            {"name": "raw", "scenario": "software_update", "cleaner": null},
+            {"name": "scrubbed", "scenario": "software_update",
+             "cleaner": {"rules": [{"label": "bpm", "column": "BPM",
+                                    "detect": {"type": "not_null"},
+                                    "repair": "last_good"}]}}
+          ],
           "port": 9099
         })"}) {
     SCOPED_TRACE(text);

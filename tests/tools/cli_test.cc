@@ -121,6 +121,97 @@ TEST(CliExitCodes, LintRoutesServeConfigs) {
 }
 
 // ---------------------------------------------------------------------
+// clean — file mode lints the rules document before reading a single
+// tuple (statically broken documents exit 1 with the IW70x report);
+// scenario mode runs the closed pollute -> detect -> repair ->
+// re-validate loop and prints the scorecard.
+// ---------------------------------------------------------------------
+
+TEST(CliClean, MissingInputsAreUsageErrors) {
+  // File mode needs all three of --rules/--schema/--input.
+  EXPECT_EQ(RunCli("clean").exit_code, 2);
+  EXPECT_EQ(RunCli("clean --rules nowhere.json").exit_code, 2);
+  // Scenario-mode flag validation is a usage error too.
+  EXPECT_EQ(
+      RunCli("clean --scenario software_update --window-seconds 0").exit_code,
+      2);
+  EXPECT_EQ(
+      RunCli("clean --scenario software_update --frobnicate 1").exit_code, 2);
+}
+
+TEST(CliClean, UnknownScenarioIsUsageError) {
+  EXPECT_EQ(RunCli("clean --scenario no_such_scenario").exit_code, 2);
+}
+
+TEST(CliClean, LintRejectedRulesExitOneWithJsonPointerReport) {
+  const std::string schema = WriteTempConfig("clean_schema.json", R"({
+    "attributes": [{"name": "Time", "type": "int64"},
+                   {"name": "BPM", "type": "double"}],
+    "timestamp": "Time"
+  })");
+  const std::string rules = WriteTempConfig("ghost_rules.json", R"({
+    "name": "broken",
+    "rules": [{"label": "ghost", "column": "Ghost",
+               "detect": {"type": "not_null"}, "repair": "set_null"}]
+  })");
+  const std::string input =
+      WriteTempConfig("clean_in.csv", "Time,BPM\n1,60\n");
+  CliRun run = RunCli("clean --rules " + rules + " --schema " + schema +
+                      " --input " + input);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("IW703"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("/rules/0"), std::string::npos) << run.output;
+}
+
+TEST(CliClean, FileModeRepairsAndWritesOutput) {
+  const std::string schema = WriteTempConfig("clean_schema.json", R"({
+    "attributes": [{"name": "Time", "type": "int64"},
+                   {"name": "BPM", "type": "double"}],
+    "timestamp": "Time"
+  })");
+  const std::string rules = WriteTempConfig("drop_rules.json", R"({
+    "name": "bpm_gate",
+    "rules": [{"label": "bpm_range", "column": "BPM",
+               "detect": {"type": "range", "min": 40, "max": 200},
+               "repair": "drop"}]
+  })");
+  const std::string input = WriteTempConfig(
+      "clean_in.csv", "Time,BPM\n1,60\n2,300\n3,80\n");
+  const std::string output = UniqueTempPath("cleaned.csv");
+  CliRun run = RunCli("clean --rules " + rules + " --schema " + schema +
+                      " --input " + input + " --output " + output);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("2 kept, 1 dropped"), std::string::npos)
+      << run.output;
+
+  std::ifstream cleaned(output);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(cleaned, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // header + the two surviving rows
+  std::remove(output.c_str());
+}
+
+TEST(CliClean, ScenarioModeRunsClosedLoopAndWritesReport) {
+  const std::string report = UniqueTempPath("closed_loop.json");
+  CliRun run =
+      RunCli("clean --scenario software_update --report " + report);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("closed loop software_update"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("repair accuracy"), std::string::npos)
+      << run.output;
+
+  std::ifstream in(report);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"families\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"min_deterministic_f1\""), std::string::npos);
+  std::remove(report.c_str());
+}
+
+// ---------------------------------------------------------------------
 // admin — same contract: 2 = caught client-side before any connection
 // (bad flags or IW61x lint errors), 1 = the server rejected the request
 // (lint-gated swaps land here with the Diagnostics JSON on stderr).

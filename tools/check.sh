@@ -142,6 +142,9 @@ run_lint() {
   "${cli}" lint configs/software_update.json \
     --schema configs/wearable_schema.json \
     --suite configs/wearable_suite.json || status=$?
+  echo "--- configs/software_update_clean.json (IW70x cleaner surface)"
+  "${cli}" lint configs/software_update_clean.json \
+    --schema configs/wearable_schema.json || status=$?
   if [ "${status}" -ne 0 ]; then
     echo "=== lint: FAILED ==="
     return "${status}"
@@ -233,7 +236,8 @@ run_bench() {
   echo "=== bench: Release build ==="
   cmake -S . -B build-rel -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-rel -j "${jobs}" --target bench_micro_polluters \
-    --target bench_net_wire --target bench_runtime_pipeline
+    --target bench_net_wire --target bench_runtime_pipeline \
+    --target bench_clean
   echo "=== bench: smoke run ==="
   # The tiny time budget keeps this a compile-and-assert smoke, not a
   # measurement; the binaries' built-in ratio assertions (keyed
@@ -294,6 +298,33 @@ print(f"bench: BENCH_runtime.json OK "
 EOF
   else
     grep -q '"speedup_p4"' BENCH_runtime.json
+  fi
+  echo "=== bench: bench_clean → BENCH_clean.json ==="
+  # Tiny stream again: the binary's built-in assertions (every rule
+  # family fires and measures, checksum-identical output at parallelism
+  # 1/2/4) run at full strength regardless of stream size.
+  ./build-rel/bench/bench_clean --tuples 50000 --out BENCH_clean.json \
+    >/dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - BENCH_clean.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "clean", report
+assert report["tuples"] == 50000, report["tuples"]
+families = report["families"]
+expected = {"range", "not_null", "regex", "type", "cross_field",
+            "rate_of_change", "stuck_at"}
+assert set(families) == expected, set(families)
+for name, entry in families.items():
+    assert entry["seconds"] > 0 and entry["fired"] > 0, name
+assert report["stateful_overhead"] > 0, report["stateful_overhead"]
+assert [r["parallelism"] for r in report["parallel"]] == [1, 2, 4]
+print(f"bench: BENCH_clean.json OK "
+      f"(stateful overhead {report['stateful_overhead']:.2f}x)")
+EOF
+  else
+    grep -q '"stateful_overhead"' BENCH_clean.json
   fi
   echo "=== bench: OK ==="
 }

@@ -23,6 +23,19 @@
 //              pipelined runtime, validates the matching expectation
 //              suite, and optionally exports Prometheus metrics and a
 //              Chrome trace_event JSON)
+//   clean     --rules R.json --schema s.json --input in.csv
+//             [--output out.csv] [--log repairs.json] [--parallelism P]
+//             [--metrics-out F.prom] [--null-repr STR]
+//             (rule-based stream repair: lints the cleaning document —
+//              IW70x — against the schema, then detects and repairs;
+//              output is byte-identical at every --parallelism)
+//             OR
+//             --scenario software_update|random_temporal [--seed N]
+//             [--parallelism P] [--output out.csv] [--report F.json]
+//             [--metrics-out F.prom] [--window-seconds N]
+//             (the closed pollute -> detect -> clean -> re-validate
+//              loop with the scenario's stock cleaner; prints the
+//              per-family precision/recall/F1 + repair-accuracy report)
 //   serve     --scenario NAME [--port P] [--host H] [--seed N]
 //             [--parallelism P] [--min-subscribers N] [--max-sessions N]
 //             [--queue-capacity N] [--workers N]
@@ -38,10 +51,14 @@
 //              --admin-port the live control plane is exposed on its
 //              own port for `icewafl_cli admin`)
 //   admin     METHOD --connect HOST:PORT [--session NAME]
-//             [--scenario NAME] [--pipeline P.json] [--rate R] [--json]
+//             [--scenario NAME] [--pipeline P.json] [--rules R.json]
+//             [--rate R] [--json]
 //             (control plane of a running serve: METHOD is one of
 //              list_sessions, get_config, swap_pipeline, set_rate,
-//              stop_session, create_session, get_metrics. Requests are
+//              stop_session, create_session, get_metrics, set_cleaner.
+//              set_cleaner installs --rules R.json as the session's
+//              live cleaner — lint-gated IW70x against the session's
+//              schema — or removes it with `--rules null`. Requests are
 //              linted client-side — IW61x — before the connection, and
 //              again server-side; swapped pipeline documents pass the
 //              full IW1xx..IW4xx analysis against the session's schema
@@ -79,6 +96,8 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "clean/cleaner.h"
+#include "clean/config.h"
 #include "core/config.h"
 #include "core/process.h"
 #include "data/airquality.h"
@@ -93,6 +112,7 @@
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scenarios/closed_loop.h"
 #include "scenarios/scenarios.h"
 
 namespace {
@@ -121,6 +141,13 @@ int Usage() {
       "              network_delay|temporal_noise|temporal_scale\n"
       "              [--seed N] [--parallelism P] [--output OUT.csv]\n"
       "              [--metrics-out F.prom] [--trace-out F.json]\n"
+      "  icewafl_cli clean --rules R.json --schema S.json --input IN.csv\n"
+      "              [--output OUT.csv] [--log L.json] [--parallelism P]\n"
+      "              [--metrics-out F.prom] [--null-repr STR]\n"
+      "  icewafl_cli clean --scenario software_update|random_temporal\n"
+      "              [--seed N] [--parallelism P] [--output OUT.csv]\n"
+      "              [--report F.json] [--metrics-out F.prom]\n"
+      "              [--window-seconds N]\n"
       "  icewafl_cli serve --scenario NAME [--port P] [--host H] [--seed N]\n"
       "              [--parallelism P] [--min-subscribers N]\n"
       "              [--max-sessions N] [--queue-capacity N] [--workers N]\n"
@@ -128,9 +155,10 @@ int Usage() {
       "              [--config serve.json] [--metrics-out F.prom]\n"
       "              [--admin-port P]\n"
       "  icewafl_cli admin list_sessions|get_config|swap_pipeline|set_rate|\n"
-      "              stop_session|create_session|get_metrics\n"
+      "              stop_session|create_session|get_metrics|set_cleaner\n"
       "              --connect HOST:PORT [--session NAME] [--scenario NAME]\n"
-      "              [--pipeline P.json] [--rate R] [--json]\n"
+      "              [--pipeline P.json] [--rules R.json|null] [--rate R]\n"
+      "              [--json]\n"
       "  icewafl_cli tail --connect HOST:PORT [--session NAME] [--limit N]\n"
       "              [--csv-out OUT.csv]\n"
       "  icewafl_cli --version\n");
@@ -399,6 +427,12 @@ int RunLint(const std::string& config_path,
     serve_options.known_policies = net::SlowConsumerPolicyNames();
     diags = analysis::AnalyzeServeConfig(pipeline_json.ValueOrDie(),
                                          serve_options);
+  } else if (analysis::LooksLikeCleanerRules(pipeline_json.ValueOrDie())) {
+    // A cleaning document (rules with repairs) gets the IW70x surface.
+    analysis::CleanerAnalyzeOptions cleaner_options;
+    cleaner_options.schema = options.schema;
+    diags = analysis::AnalyzeCleanerRules(pipeline_json.ValueOrDie(),
+                                          cleaner_options);
   } else if (flags.count("suite")) {
     auto suite_json = ReadJsonFile(flags.at("suite"));
     if (!suite_json.ok()) return Fail(suite_json.status());
@@ -490,6 +524,162 @@ int RunScenario(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// The closed-loop scenario mode of `clean`: pollute with the stock
+/// pipeline, repair with the stock cleaner, score against the tagged
+/// ground truth, re-validate windowed.
+int RunCleanScenario(const std::map<std::string, std::string>& flags) {
+  const std::string name = flags.at("scenario");
+  scenarios::ClosedLoopOptions options;
+  options.seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  options.parallelism = static_cast<int>(
+      std::strtol(FlagOr(flags, "parallelism", "1").c_str(), nullptr, 10));
+  if (flags.count("window-seconds")) {
+    int64_t window = 0;
+    if (!ParseInt64Flag(flags.at("window-seconds"), &window) || window < 1) {
+      std::fprintf(stderr,
+                   "clean: --window-seconds needs a positive integer\n");
+      return 2;
+    }
+    options.window_seconds = window;
+  }
+
+  obs::MetricRegistry registry;
+  obs::MetricRegistry* metrics_ptr =
+      flags.count("metrics-out") ? &registry : nullptr;
+  TupleVector cleaned;
+  auto report = scenarios::RunClosedLoop(name, options, metrics_ptr,
+                                         &cleaned);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;  // unknown scenario / no stock cleaner: a usage error
+  }
+  const scenarios::ClosedLoopReport& r = report.ValueOrDie();
+
+  std::printf("closed loop %s: %llu rows, %llu injections, %llu "
+              "detections (seed %llu, parallelism %d)\n",
+              name.c_str(),
+              static_cast<unsigned long long>(r.polluted_rows),
+              static_cast<unsigned long long>(r.injections),
+              static_cast<unsigned long long>(r.detections),
+              static_cast<unsigned long long>(options.seed),
+              options.parallelism);
+  for (const scenarios::FamilyScore& f : r.families) {
+    std::printf("  %-24s P %.3f  R %.3f  F1 %.3f  (gt %llu%s)\n",
+                f.family.c_str(), f.precision, f.recall, f.f1,
+                static_cast<unsigned long long>(f.ground_truth),
+                f.deterministic ? "" : ", random");
+  }
+  std::printf("  min deterministic F1 %.3f, repair accuracy %.3f "
+              "(%llu/%llu scored)\n",
+              r.MinDeterministicF1(), r.repair_accuracy,
+              static_cast<unsigned long long>(r.repairs_accurate),
+              static_cast<unsigned long long>(r.repairs_scored));
+
+  if (flags.count("output")) {
+    auto resolved = scenarios::ResolveScenario(name, options.dataset_seed);
+    if (!resolved.ok()) return Fail(resolved.status());
+    Status st = WriteCsvFile(resolved.ValueOrDie().schema, cleaned,
+                             flags.at("output"));
+    if (!st.ok()) return Fail(st);
+  }
+  if (flags.count("report")) {
+    Status st =
+        WriteTextFile(flags.at("report"), r.ToJson().DumpPretty());
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote closed-loop report to %s\n",
+                flags.at("report").c_str());
+  }
+  if (metrics_ptr != nullptr) {
+    Status st =
+        WriteTextFile(flags.at("metrics-out"), registry.ToPrometheusText());
+    if (!st.ok()) return Fail(st);
+  }
+  return 0;
+}
+
+int RunClean(const std::map<std::string, std::string>& flags) {
+  if (flags.count("scenario")) return RunCleanScenario(flags);
+  for (const char* required : {"rules", "schema", "input"}) {
+    if (!flags.count(required)) {
+      std::fprintf(stderr, "clean: missing --%s (or use --scenario)\n",
+                   required);
+      return 2;
+    }
+  }
+  CsvOptions csv;
+  csv.null_repr = FlagOr(flags, "null-repr", "");
+  auto schema = SchemaFromJsonFile(flags.at("schema"));
+  if (!schema.ok()) return Fail(schema.status());
+  auto rules_json = ReadJsonFile(flags.at("rules"));
+  if (!rules_json.ok()) return Fail(rules_json.status());
+
+  // The lint gate: a statically broken document exits 1 with the
+  // report before any tuple is read.
+  analysis::CleanerAnalyzeOptions lint;
+  lint.schema = schema.ValueOrDie();
+  Diagnostics diags =
+      analysis::AnalyzeCleanerRules(rules_json.ValueOrDie(), lint);
+  if (!diags.empty()) std::fprintf(stderr, "%s", diags.ToReport().c_str());
+  if (diags.HasErrors()) return 1;
+
+  auto rules =
+      clean::RulesFromJson(rules_json.ValueOrDie(), schema.ValueOrDie());
+  if (!rules.ok()) return Fail(rules.status());
+  auto tuples = ReadCsvFile(schema.ValueOrDie(), flags.at("input"), csv);
+  if (!tuples.ok()) return Fail(tuples.status());
+
+  int64_t parallelism = 1;
+  if (flags.count("parallelism") &&
+      (!ParseInt64Flag(flags.at("parallelism"), &parallelism) ||
+       parallelism < 1)) {
+    std::fprintf(stderr, "clean: --parallelism needs a positive integer\n");
+    return 2;
+  }
+
+  obs::MetricRegistry registry;
+  obs::MetricRegistry* metrics_ptr =
+      flags.count("metrics-out") ? &registry : nullptr;
+  const size_t rows_in = tuples.ValueOrDie().size();
+  VectorSink cleaned;
+  clean::RepairLog log;
+  clean::CleanStats stats;
+  Status st = clean::CleanTuples(rules.ValueOrDie(),
+                                 std::move(tuples).ValueOrDie(),
+                                 static_cast<int>(parallelism), &cleaned,
+                                 metrics_ptr, &log, &stats);
+  if (!st.ok()) return Fail(st);
+
+  std::printf("cleaned %zu tuples: %llu kept, %llu dropped, %llu rule "
+              "firings, %llu repairs\n",
+              rows_in, static_cast<unsigned long long>(stats.tuples_out),
+              static_cast<unsigned long long>(stats.tuples_dropped),
+              static_cast<unsigned long long>(stats.fired),
+              static_cast<unsigned long long>(stats.repaired));
+  for (const clean::RuleStats& rule : stats.rules) {
+    std::printf("  %-24s fired %llu, repaired %llu, dropped %llu\n",
+                rule.label.c_str(),
+                static_cast<unsigned long long>(rule.fired),
+                static_cast<unsigned long long>(rule.repaired),
+                static_cast<unsigned long long>(rule.dropped));
+  }
+
+  if (flags.count("output")) {
+    st = WriteCsvFile(schema.ValueOrDie(), cleaned.tuples(),
+                      flags.at("output"), csv);
+    if (!st.ok()) return Fail(st);
+  }
+  if (flags.count("log")) {
+    st = WriteTextFile(flags.at("log"), log.ToJson().DumpPretty());
+    if (!st.ok()) return Fail(st);
+  }
+  if (metrics_ptr != nullptr) {
+    st = WriteTextFile(flags.at("metrics-out"), registry.ToPrometheusText());
+    if (!st.ok()) return Fail(st);
+  }
+  return 0;
+}
+
 /// Builds the serve JSON document from --config (file) or the flag set,
 /// so both paths go through the same IW6xx lint and ServeConfig parse.
 int BuildServeJson(const std::map<std::string, std::string>& flags,
@@ -540,6 +730,14 @@ Status AddPlanSession(net::PollutionServer* server,
   if (!plan.ok()) return plan.status();
   net::SessionOptions options = entry.ToSessionOptions();
   options.plan = std::move(plan).ValueOrDie();
+  if (!entry.cleaner.is_null()) {
+    // The entry's cleaning document, schema-validated like a
+    // set_cleaner mutation would be.
+    auto with_cleaner =
+        scenarios::BuildPlanWithCleaner(*options.plan, entry.cleaner);
+    if (!with_cleaner.ok()) return with_cleaner.status();
+    options.plan = std::move(with_cleaner).ValueOrDie();
+  }
   return server->AddSession(entry.name, nullptr, scenarios::ServePlanToSink,
                             std::move(options));
 }
@@ -574,6 +772,25 @@ net::AdminHooks MakeAdminHooks(net::PollutionServer* server) {
     }
     return scenarios::BuildPlanFromPipelineJson(current,
                                                 pipeline_json.ValueOrDie());
+  };
+  hooks.compile_cleaner = [](const PlanSnapshot& current, const Json& params,
+                             Json* diagnostics)
+      -> Result<std::shared_ptr<PlanSnapshot>> {
+    Json rules;
+    if (params.Has("rules")) rules = params.Get("rules").ValueOrDie();
+    if (!rules.is_null()) {
+      // Schema-sharpened re-lint: the envelope gate already ran the
+      // schemaless IW70x pass; this one catches unknown columns.
+      analysis::CleanerAnalyzeOptions options;
+      options.schema = current.schema;
+      Diagnostics diags = analysis::AnalyzeCleanerRules(rules, options);
+      if (diags.HasErrors()) {
+        *diagnostics = diags.ToJson();
+        return Status::InvalidArgument("cleaner rejected by lint:\n" +
+                                       diags.ToReport());
+      }
+    }
+    return scenarios::BuildPlanWithCleaner(current, rules);
   };
   hooks.create_session = [server](const Json& params,
                                   Json* diagnostics) -> Status {
@@ -782,6 +999,21 @@ int RunAdmin(const std::string& method,
     }
     params.Set("pipeline", std::move(doc).ValueOrDie());
   }
+  if (flags.count("rules")) {
+    // `--rules null` removes the session's cleaner; a path installs
+    // the file's cleaning document.
+    if (flags.at("rules") == "null") {
+      params.Set("rules", Json());
+    } else {
+      auto doc = ReadJsonFile(flags.at("rules"));
+      if (!doc.ok()) {
+        std::fprintf(stderr, "admin: --rules: %s\n",
+                     doc.status().ToString().c_str());
+        return 2;
+      }
+      params.Set("rules", std::move(doc).ValueOrDie());
+    }
+  }
   if (flags.count("rate")) {
     const std::string& text = flags.at("rate");
     char* end = nullptr;
@@ -862,8 +1094,8 @@ int main(int argc, char** argv) {
     if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return Usage();
     if (!ParseFlags(argc, argv, 3, &flags)) return Usage();
     if (!CheckFlags("admin", flags,
-                    {"connect", "session", "scenario", "pipeline", "rate",
-                     "json"}))
+                    {"connect", "session", "scenario", "pipeline", "rules",
+                     "rate", "json"}))
       return 2;
     return RunAdmin(argv[2], flags);
   }
@@ -896,6 +1128,14 @@ int main(int argc, char** argv) {
   if (command == "schema") {
     if (!CheckFlags("schema", flags, {"dataset"})) return 2;
     return RunSchema(flags);
+  }
+  if (command == "clean") {
+    if (!CheckFlags("clean", flags,
+                    {"rules", "schema", "input", "output", "log",
+                     "parallelism", "metrics-out", "null-repr", "scenario",
+                     "seed", "report", "window-seconds"}))
+      return 2;
+    return RunClean(flags);
   }
   if (command == "run") {
     if (!CheckFlags("run", flags,
